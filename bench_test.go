@@ -1,0 +1,304 @@
+// Package chameleon's top-level benchmark suite regenerates every table and
+// figure of the paper (one benchmark per exhibit) plus the ablations called
+// out in DESIGN.md and micro-benchmarks of the core kernels.
+//
+//	go test -bench=. -benchmem
+//
+// Accuracy benchmarks run the full online experiment per iteration on the
+// cached test-scale pipeline (built on first use, ~30 s) and report the
+// measured accuracy as the custom metric "acc%"; hardware benchmarks run the
+// analytic platform models and report latency metrics.
+package chameleon
+
+import (
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/baselines"
+	"chameleon/internal/cl"
+	"chameleon/internal/core"
+	"chameleon/internal/data"
+	"chameleon/internal/exp"
+	"chameleon/internal/hw"
+	"chameleon/internal/mobilenet"
+	"chameleon/internal/nn"
+	"chameleon/internal/quant"
+	"chameleon/internal/tensor"
+	"chameleon/internal/testenv"
+)
+
+// benchScale returns the scale tier the accuracy benches run at, with one
+// seed per iteration to keep bench iterations meaningful.
+func benchScale() exp.Scale {
+	sc := exp.TestScale()
+	sc.Seeds = []int64{1}
+	return sc
+}
+
+// BenchmarkTable1Core50 regenerates the CORe50 column of Table I.
+func BenchmarkTable1Core50(b *testing.B) {
+	benchTable1(b, "core50")
+}
+
+// BenchmarkTable1OpenLORIS regenerates the OpenLORIS column of Table I.
+func BenchmarkTable1OpenLORIS(b *testing.B) {
+	benchTable1(b, "openloris")
+}
+
+func benchTable1(b *testing.B, dataset string) {
+	set := testenv.Env(b, dataset)
+	sc := benchScale()
+	b.ResetTimer()
+	var chamAcc, jointAcc float64
+	for i := 0; i < b.N; i++ {
+		sets := map[string]*cl.LatentSet{dataset: set}
+		res, err := exp.RunTable1(sets, sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Spec.Label() {
+			case "joint":
+				jointAcc = row.Acc[dataset].MeanAcc
+			case "chameleon-10+40":
+				chamAcc = row.Acc[dataset].MeanAcc
+			}
+		}
+	}
+	b.ReportMetric(100*chamAcc, "chameleon-acc%")
+	b.ReportMetric(100*jointAcc, "joint-acc%")
+}
+
+// BenchmarkFig2 regenerates the Fig. 2 accuracy-vs-memory sweep on CORe50.
+func BenchmarkFig2(b *testing.B) {
+	set := testenv.Env(b, "core50")
+	sc := benchScale()
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunFig2(set, sc, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts := res.Points["chameleon"]
+		last = pts[len(pts)-1].MeanAcc
+	}
+	b.ReportMetric(100*last, "chameleon-max-acc%")
+}
+
+// BenchmarkTable2 regenerates the Table II latency/energy matrix.
+func BenchmarkTable2(b *testing.B) {
+	var res *exp.Table2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, e := range res.Entries {
+		if e.Method == "chameleon" && e.Platform == "zcu102" {
+			b.ReportMetric(e.Cost.LatencySec*1e3, "fpga-chameleon-ms")
+		}
+		if e.Method == "latent" && e.Platform == "zcu102" {
+			b.ReportMetric(e.Cost.LatencySec*1e3, "fpga-latent-ms")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the Table III FPGA resource report.
+func BenchmarkTable3(b *testing.B) {
+	var r hw.ResourceReport
+	for i := 0; i < b.N; i++ {
+		r = exp.RunTable3().Report
+	}
+	b.ReportMetric(hw.Percent(r.DSPUsed, r.DSPAvail), "dsp%")
+	b.ReportMetric(hw.Percent(r.BRAMUsed, r.BRAMAvail), "bram%")
+}
+
+// BenchmarkAblationDualVsSingle compares the dual-store design against one
+// unified buffer of equal capacity (DESIGN.md §6).
+func BenchmarkAblationDualVsSingle(b *testing.B) {
+	set := testenv.Env(b, "core50")
+	sc := benchScale()
+	b.ResetTimer()
+	var res []exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		res = exp.RunAblationDualVsSingle(set, sc)
+	}
+	b.ReportMetric(100*res[0].MeanAcc, "dual-acc%")
+	b.ReportMetric(100*res[1].MeanAcc, "single-acc%")
+}
+
+// BenchmarkAblationSTPolicy compares Eq. 4 against degenerate insertion
+// policies.
+func BenchmarkAblationSTPolicy(b *testing.B) {
+	set := testenv.Env(b, "core50")
+	sc := benchScale()
+	b.ResetTimer()
+	var res []exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		res = exp.RunAblationSTPolicy(set, sc)
+	}
+	b.ReportMetric(100*res[0].MeanAcc, "eq4-acc%")
+	b.ReportMetric(100*res[2].MeanAcc, "random-acc%")
+}
+
+// BenchmarkAblationLTPolicy compares Eq. 6 promotion against random.
+func BenchmarkAblationLTPolicy(b *testing.B) {
+	set := testenv.Env(b, "core50")
+	sc := benchScale()
+	b.ResetTimer()
+	var res []exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		res = exp.RunAblationLTPolicy(set, sc)
+	}
+	b.ReportMetric(100*res[0].MeanAcc, "protoKL-acc%")
+	b.ReportMetric(100*res[1].MeanAcc, "random-acc%")
+}
+
+// BenchmarkAblationAccessRate sweeps the long-term access period h.
+func BenchmarkAblationAccessRate(b *testing.B) {
+	set := testenv.Env(b, "core50")
+	sc := benchScale()
+	b.ResetTimer()
+	var res []exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		res = exp.RunAblationAccessRate(set, sc, []int{1, 5, 10, 20})
+	}
+	b.ReportMetric(100*res[0].MeanAcc, "h1-acc%")
+	b.ReportMetric(100*res[len(res)-1].MeanAcc, "h20-acc%")
+}
+
+// BenchmarkAblationRho sweeps the allocation exponent on a user-centric
+// stream.
+func BenchmarkAblationRho(b *testing.B) {
+	set := testenv.Env(b, "core50")
+	sc := benchScale()
+	b.ResetTimer()
+	var res []exp.AblationResult
+	for i := 0; i < b.N; i++ {
+		res = exp.RunAblationRho(set, sc, []float64{0.2, 0.6, 1.0})
+	}
+	b.ReportMetric(100*res[1].MeanAcc, "rho0.6-acc%")
+}
+
+// --- Micro-benchmarks of the numeric substrate -----------------------------
+
+// BenchmarkMatMul128 measures the GEMM kernel at the latent-layer scale.
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 1, 128, 128)
+	y := tensor.RandNormal(rng, 1, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+// BenchmarkFeatureExtraction measures one frozen forward pass of the
+// test-scale backbone.
+func BenchmarkFeatureExtraction(b *testing.B) {
+	m, err := mobilenet.New(mobilenet.DefaultConfig(10, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandNormal(rng, 1, 3, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ExtractLatent(x)
+	}
+}
+
+// BenchmarkChameleonObserve measures one online step (batch 10 + ST sweep).
+func BenchmarkChameleonObserve(b *testing.B) {
+	set := testenv.Env(b, "core50")
+	ch := core.New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: 0.05, Seed: 1}),
+		core.Config{STCap: 10, LTCap: 40, AccessRate: 5, PromoteEvery: 1, Window: 200, Seed: 1})
+	st := set.Stream(1, data.StreamOptions{BatchSize: 10})
+	var batches []cl.LatentBatch
+	for {
+		bt, ok := st.Next()
+		if !ok {
+			break
+		}
+		batches = append(batches, bt)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Observe(batches[i%len(batches)])
+	}
+}
+
+// BenchmarkSLDAInversion measures the O(d³) kernel Table II punishes.
+func BenchmarkSLDAInversion(b *testing.B) {
+	set := testenv.Env(b, "core50")
+	dim := set.Backbone.LatentShape[0]
+	s := baselines.NewSLDA(dim, 10, baselines.Config{})
+	st := set.Stream(1, data.StreamOptions{BatchSize: 10})
+	bt, _ := st.Next()
+	s.Observe(bt)
+	z := set.Test[0].Z
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Observe(cl.LatentBatch{Samples: bt.Samples[:1]}) // marks precision stale
+		s.Predict(z)                                       // forces an inversion
+	}
+}
+
+// BenchmarkGEMMCycleModel measures the systolic tiling model itself.
+func BenchmarkGEMMCycleModel(b *testing.B) {
+	tpu := hw.EdgeTPU()
+	for i := 0; i < b.N; i++ {
+		tpu.NetworkCycles()
+	}
+}
+
+// BenchmarkConv2DForward measures the im2col convolution kernel at a
+// mid-network shape.
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	conv := nn.NewConv2D("conv", 32, 64, 3, 1, 1, rng)
+	x := tensor.RandNormal(rng, 1, 32, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x, false)
+	}
+}
+
+// BenchmarkGroupNormForward measures the backbone's normalisation layer.
+func BenchmarkGroupNormForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	gn := nn.NewGroupNorm2D("gn", 64, 8)
+	x := tensor.RandNormal(rng, 1, 64, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gn.Forward(x, false)
+	}
+}
+
+// BenchmarkBFPRoundTrip measures the EdgeTPU datatype encoder on one
+// paper-scale latent.
+func BenchmarkBFPRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	z := tensor.RandNormal(rng, 1, 8192)
+	cfg := quant.DefaultBFP()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cfg.RoundTripBFP(z); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadTrainStep measures one head SGD step on a latent.
+func BenchmarkHeadTrainStep(b *testing.B) {
+	set := testenv.Env(b, "core50")
+	h := cl.NewHead(set.Backbone, cl.HeadConfig{LR: 0.05, Seed: 1})
+	s := set.Train[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.TrainCEOn([]cl.LatentSample{s})
+	}
+}

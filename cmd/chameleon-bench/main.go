@@ -1,0 +1,148 @@
+// Command chameleon-bench regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	chameleon-bench -exp table1            # accuracy vs memory (Table I)
+//	chameleon-bench -exp table2            # latency/energy on edge devices (Table II)
+//	chameleon-bench -exp table3            # FPGA resource utilization (Table III)
+//	chameleon-bench -exp fig2              # accuracy vs memory budget (Fig. 2)
+//	chameleon-bench -exp all -scale small  # everything at the default scale
+//
+// Accuracy experiments build (and cache) the synthetic-benchmark + pretrained
+// backbone pipeline first; the first run at a scale takes a few minutes,
+// subsequent runs reuse the cached latents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chameleon-bench: ")
+	var (
+		expName  = flag.String("exp", "all", "experiment: table1|table2|table3|fig2|ablations|tradeoff|all")
+		scale    = flag.String("scale", "small", "scale tier: test|small")
+		cacheDir = flag.String("cache", exp.DefaultCacheDir(), "latent cache directory ('' disables)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	sc, err := scaleByName(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	progress := func(f string, a ...any) { log.Printf(f, a...) }
+	if *quiet {
+		progress = func(string, ...any) {}
+	}
+
+	needAccuracy := *expName == "table1" || *expName == "fig2" || *expName == "ablations" || *expName == "tradeoff" || *expName == "all"
+	var sets map[string]*cl.LatentSet
+	if needAccuracy {
+		sets = map[string]*cl.LatentSet{}
+		for _, ds := range []string{"core50", "openloris"} {
+			set, err := exp.BuildLatentSet(ds, sc, *cacheDir, progress)
+			if err != nil {
+				log.Fatalf("build %s pipeline: %v", ds, err)
+			}
+			sets[ds] = set
+		}
+	}
+
+	switch *expName {
+	case "table1":
+		runTable1(sets, sc, progress)
+	case "fig2":
+		runFig2(sets["core50"], sc, progress)
+	case "table2":
+		runTable2()
+	case "table3":
+		runTable3()
+	case "ablations":
+		runAblations(sets["core50"], sc)
+	case "tradeoff":
+		runTradeoff(sets["core50"], sc)
+	case "all":
+		runTable1(sets, sc, progress)
+		fmt.Println()
+		runFig2(sets["core50"], sc, progress)
+		fmt.Println()
+		runTable2()
+		fmt.Println()
+		runTable3()
+		fmt.Println()
+		runAblations(sets["core50"], sc)
+		fmt.Println()
+		runTradeoff(sets["core50"], sc)
+	default:
+		log.Fatalf("unknown experiment %q", *expName)
+	}
+}
+
+func scaleByName(name string) (exp.Scale, error) {
+	switch name {
+	case "test":
+		return exp.TestScale(), nil
+	case "small":
+		return exp.SmallScale(), nil
+	default:
+		return exp.Scale{}, fmt.Errorf("unknown scale %q (want test or small)", name)
+	}
+}
+
+func runTable1(sets map[string]*cl.LatentSet, sc exp.Scale, progress func(string, ...any)) {
+	res, err := exp.RunTable1(sets, sc, progress)
+	if err != nil {
+		log.Fatalf("table1: %v", err)
+	}
+	res.Render(os.Stdout)
+}
+
+func runFig2(set *cl.LatentSet, sc exp.Scale, progress func(string, ...any)) {
+	res, err := exp.RunFig2(set, sc, progress)
+	if err != nil {
+		log.Fatalf("fig2: %v", err)
+	}
+	res.Render(os.Stdout)
+}
+
+func runTable2() {
+	res, err := exp.RunTable2()
+	if err != nil {
+		log.Fatalf("table2: %v", err)
+	}
+	res.Render(os.Stdout)
+}
+
+func runTable3() {
+	exp.RunTable3().Render(os.Stdout)
+}
+
+func runTradeoff(set *cl.LatentSet, sc exp.Scale) {
+	pts, err := exp.RunTradeoff(set, sc, []int{1, 2, 5, 10, 20})
+	if err != nil {
+		log.Fatalf("tradeoff: %v", err)
+	}
+	exp.RenderTradeoff(os.Stdout, pts)
+}
+
+func runAblations(set *cl.LatentSet, sc exp.Scale) {
+	fmt.Println("Ablations (CORe50, mean ± std over seeds) — DESIGN.md §6")
+	emit := func(title string, rows []exp.AblationResult) {
+		fmt.Printf("\n%s\n", title)
+		for _, r := range rows {
+			fmt.Printf("  %-46s %6.2f%% ± %.2f\n", r.Variant, 100*r.MeanAcc, 100*r.StdAcc)
+		}
+	}
+	emit("Dual store vs single unified buffer", exp.RunAblationDualVsSingle(set, sc))
+	emit("Short-term insertion policy (Eq. 4)", exp.RunAblationSTPolicy(set, sc))
+	emit("Long-term promotion policy (Eq. 6)", exp.RunAblationLTPolicy(set, sc))
+	emit("Long-term access period h", exp.RunAblationAccessRate(set, sc, []int{1, 5, 10, 20}))
+	emit("Allocation exponent rho (user-centric stream)", exp.RunAblationRho(set, sc, []float64{0.2, 0.6, 1.0}))
+}

@@ -1,0 +1,79 @@
+// Command chameleon-hw drives the hardware simulators directly: it prints
+// per-method step profiles (MACs, replay traffic, serial ops) and the
+// latency/energy breakdown on each platform, plus the FPGA resource report.
+//
+//	chameleon-hw                         # all methods × all platforms
+//	chameleon-hw -method chameleon       # one method
+//	chameleon-hw -replay 20 -h 5         # vary the training regime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"chameleon/internal/hw"
+	"chameleon/internal/mobilenet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chameleon-hw: ")
+	var (
+		method     = flag.String("method", "", "restrict to one method (chameleon|latent|slda|er|der|finetune)")
+		replay     = flag.Int("replay", 10, "replay elements per incoming sample (R)")
+		accessRate = flag.Int("h", 10, "chameleon long-term access period")
+		resolution = flag.Int("res", 128, "input resolution of the costed backbone")
+		layers     = flag.Bool("layers", false, "print the per-layer systolic-array cycle breakdown")
+	)
+	flag.Parse()
+
+	cfg := mobilenet.PaperConfig(50)
+	cfg.Resolution = *resolution
+	profiler := hw.NewProfiler(cfg, hw.ProfileParams{
+		Replay: *replay, AccessRate: *accessRate, BytesPerScalar: 2,
+	})
+	platforms := []hw.Platform{hw.JetsonNano(), hw.ZCU102(), hw.EdgeTPU()}
+
+	methods := []string{"finetune", "er", "der", "latent", "slda", "chameleon"}
+	if *method != "" {
+		methods = []string{*method}
+	}
+	for _, m := range methods {
+		p, err := profiler.Profile(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n%s\n", strings.ToUpper(m), strings.Repeat("=", len(m)))
+		fmt.Printf("  fwd MACs %.1fM  bwd MACs %.1fM  on-chip %.1f KiB  off-chip %.1f KiB  serial %.1fM ops\n",
+			float64(p.FwdMACs)/1e6, float64(p.BwdMACs)/1e6,
+			float64(p.OnChipBytes)/1024, float64(p.OffChipBytes)/1024,
+			float64(p.SerialOps)/1e6)
+		for _, plat := range platforms {
+			c := plat.Step(p)
+			fmt.Printf("  %-12s latency %8.1f ms  energy %6.2f J  (compute %2.0f%% / data %2.0f%% / serial %2.0f%%)\n",
+				plat.Name(), c.LatencySec*1e3, c.EnergyJ,
+				100*c.ComputeFrac, 100*c.DataFrac, 100*c.SerialFrac)
+		}
+		fmt.Println()
+	}
+	fmt.Println("ZCU102 resource utilization (Table III):")
+	fmt.Println("  " + hw.ZCU102().Resources().String())
+
+	latent := int64(64 * 1024) // 512×8×8 fp16 at 128×128 input
+	fmt.Println("\nOn-chip placement (ZCU102 BRAM):")
+	fmt.Println("  Ms (10 latents):  " + hw.ZCU102Fit(10*latent).String())
+	fmt.Println("  unified (100):    " + hw.ZCU102Fit(100*latent).String())
+
+	if *layers {
+		fmt.Println("\nPer-layer EdgeTPU cycle breakdown (64x64 weight-stationary array):")
+		tpu := hw.EdgeTPU()
+		fmt.Printf("%-8s %-6s %10s %12s %14s %10s\n", "layer", "kind", "MACs(K)", "cycles(K)", "cycles/MAC", "frozen")
+		for _, li := range mobilenet.Inventory(cfg) {
+			c := tpu.LayerCycles(li)
+			fmt.Printf("%-8s %-6s %10.0f %12.1f %14.2f %10v\n",
+				li.Name, li.Kind, float64(li.MACs)/1e3, float64(c)/1e3, float64(c)/float64(li.MACs), li.Frozen)
+		}
+	}
+}

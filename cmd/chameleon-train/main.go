@@ -1,0 +1,98 @@
+// Command chameleon-train runs a single continual-learning method over one
+// synthetic benchmark stream and reports its final accuracy, per-class
+// accuracy and paper-scale memory overhead:
+//
+//	chameleon-train -method chameleon -dataset core50 -buffer 100
+//	chameleon-train -method er -dataset openloris -buffer 500 -seed 3
+//	chameleon-train -method chameleon -user-centric   # personalization stream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+	"chameleon/internal/exp"
+	"chameleon/internal/hw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chameleon-train: ")
+	var (
+		method      = flag.String("method", "chameleon", "method: chameleon|finetune|joint|ewcpp|lwf|slda|gss|er|der|latent")
+		dataset     = flag.String("dataset", "core50", "dataset: core50|openloris")
+		buffer      = flag.Int("buffer", 100, "replay buffer size in samples (long-term size for chameleon)")
+		st          = flag.Int("st", 10, "chameleon short-term size")
+		seed        = flag.Int64("seed", 1, "run seed (stream order + head init)")
+		scale       = flag.String("scale", "test", "scale tier: test|small")
+		cacheDir    = flag.String("cache", exp.DefaultCacheDir(), "latent cache directory ('' disables)")
+		userCentric = flag.Bool("user-centric", false, "use a preference-skewed (personalized) stream")
+		prefSkew    = flag.Float64("pref-skew", 1.2, "Zipf exponent of the user preference (with -user-centric)")
+		classIL     = flag.Bool("class-incremental", false, "stream classes incrementally (Class-IL) instead of domains (Domain-IL)")
+	)
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scale {
+	case "test":
+		sc = exp.TestScale()
+	case "small":
+		sc = exp.SmallScale()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	set, err := exp.BuildLatentSet(*dataset, sc, *cacheDir, func(f string, a ...any) { log.Printf(f, a...) })
+	if err != nil {
+		log.Fatalf("pipeline: %v", err)
+	}
+
+	spec := exp.MethodSpec{Name: *method, Buffer: *buffer, ST: *st}
+	meter := &cl.TrafficMeter{}
+	learner, err := exp.NewLearnerMetered(spec, set, sc, *seed, meter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := data.StreamOptions{BatchSize: 10}
+	if *classIL {
+		opts.ClassIncremental = true
+	}
+	if *userCentric {
+		opts.UserCentric = true
+		opts.PrefSkew = *prefSkew
+		opts.DriftEveryBatches = 0
+	}
+	stream := set.Stream(*seed, opts)
+	log.Printf("running %s on %s (%d samples, seed %d)...", spec.Label(), *dataset, stream.Total(), *seed)
+	res := cl.RunOnline(learner, stream, set.Test)
+
+	fmt.Printf("method:        %s\n", spec.Label())
+	fmt.Printf("dataset:       %s (%d train / %d test)\n", *dataset, set.Dataset.NumTrain(), set.Dataset.NumTest())
+	fmt.Printf("Acc_all:       %.2f%%\n", 100*res.AccAll)
+	if !math.IsNaN(res.PreferredAcc) {
+		fmt.Printf("preferred-acc: %.2f%% (classes %v)\n", 100*res.PreferredAcc, stream.PreferredClasses())
+	}
+	if mb, err := exp.MemoryMB(spec); err == nil {
+		fmt.Printf("memory (paper-scale): %.1f MB\n", mb)
+	}
+	if meter.OnChipItems()+meter.OffChipItems() > 0 {
+		// Convert measured buffer traffic to paper-scale bytes and DRAM/SRAM
+		// energy (32 KiB fp32 latents, Horowitz 45nm table).
+		const latentBytes = 32 * 1024
+		on, off := meter.Bytes(latentBytes)
+		energy := float64(on)*hw.Horowitz45nm.SRAMPerByte + float64(off)*hw.Horowitz45nm.DRAMPerByte
+		fmt.Printf("replay traffic (measured): %s\n", meter)
+		fmt.Printf("  at paper scale: %.1f MB on-chip, %.1f MB off-chip -> %.3f J memory energy\n",
+			float64(on)/(1<<20), float64(off)/(1<<20), energy)
+	}
+	fmt.Printf("per-class accuracy:\n")
+	for c, acc := range res.PerClass {
+		if !math.IsNaN(acc) {
+			fmt.Printf("  class %2d: %5.1f%%\n", c, 100*acc)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package baselines implements the continual-learning methods the paper
+// compares Chameleon against (Table I / Fig. 2): the Finetuning lower bound,
+// the JOINT upper bound, the regularisation methods EWC++ and LwF, the
+// streaming classifier SLDA, and the replay methods GSS, ER, DER and Latent
+// Replay.
+//
+// All methods learn in latent space above the shared frozen extractor, the
+// same substrate Chameleon uses (see internal/cl); what distinguishes them is
+// their buffer policy, loss, and — in internal/memcost — what they must
+// store per sample. Methods that conceptually keep raw images (ER, DER, GSS)
+// replay identical latents here because f(·) is frozen; their raw-image
+// storage cost is charged by the memory accounting, and their extra
+// re-extraction compute is charged by the hardware models.
+package baselines
+
+import (
+	"math/rand"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/tensor"
+)
+
+// Config carries the knobs shared by the baseline constructors.
+type Config struct {
+	// BufferSize is the replay-buffer capacity in samples.
+	BufferSize int
+	// ReplaySize is how many buffer samples are rehearsed per batch
+	// (default 10, matching the paper's FPGA experiment).
+	ReplaySize int
+	// Lambda weighs the auxiliary loss (EWC penalty, LwF/DER distillation).
+	Lambda float64
+	// Temperature is the distillation temperature (LwF).
+	Temperature float64
+	// Epochs is JOINT's offline epoch count (paper: 4).
+	Epochs int
+	// Meter, when non-nil, counts replay-buffer traffic (single unified
+	// buffers live off-chip).
+	Meter *cl.TrafficMeter
+	// Seed drives method-internal randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReplaySize <= 0 {
+		c.ReplaySize = 10
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.Temperature == 0 {
+		c.Temperature = 2
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 4
+	}
+	return c
+}
+
+func (c Config) rng(salt int64) *rand.Rand { return cl.RNG(c.Seed, salt) }
+
+// Finetune is the naive single-epoch lower bound: SGD on each incoming batch
+// with no memory of the past.
+type Finetune struct {
+	head *cl.Head
+}
+
+// NewFinetune creates the lower-bound learner.
+func NewFinetune(head *cl.Head) *Finetune { return &Finetune{head: head} }
+
+// Name implements cl.Learner.
+func (f *Finetune) Name() string { return "finetune" }
+
+// Observe implements cl.Learner.
+func (f *Finetune) Observe(b cl.LatentBatch) { f.head.TrainCEOn(b.Samples) }
+
+// Predict implements cl.Learner.
+func (f *Finetune) Predict(z *tensor.Tensor) int { return f.head.Predict(z) }
+
+// Joint is the traditional multi-epoch upper bound: it accumulates the whole
+// stream and trains offline in Finish (paper: 4 epochs of joint training).
+type Joint struct {
+	head *cl.Head
+	cfg  Config
+	pool []cl.LatentSample
+	rng  *rand.Rand
+}
+
+// NewJoint creates the upper-bound learner.
+func NewJoint(head *cl.Head, cfg Config) *Joint {
+	cfg = cfg.withDefaults()
+	return &Joint{head: head, cfg: cfg, rng: cfg.rng(1)}
+}
+
+// Name implements cl.Learner.
+func (j *Joint) Name() string { return "joint" }
+
+// Observe implements cl.Learner: JOINT violates the streaming constraint by
+// design — it keeps everything.
+func (j *Joint) Observe(b cl.LatentBatch) { j.pool = append(j.pool, b.Samples...) }
+
+// Finish implements cl.Finisher: offline multi-epoch training.
+func (j *Joint) Finish() {
+	if len(j.pool) == 0 {
+		return
+	}
+	idx := j.rng.Perm(len(j.pool))
+	const miniBatch = 10
+	for ep := 0; ep < j.cfg.Epochs; ep++ {
+		j.rng.Shuffle(len(idx), func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		for start := 0; start < len(idx); start += miniBatch {
+			end := start + miniBatch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := make([]cl.LatentSample, 0, end-start)
+			for _, i := range idx[start:end] {
+				batch = append(batch, j.pool[i])
+			}
+			j.head.TrainCEOn(batch)
+		}
+	}
+}
+
+// Predict implements cl.Learner.
+func (j *Joint) Predict(z *tensor.Tensor) int { return j.head.Predict(z) }

@@ -1,0 +1,158 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/replay"
+	"chameleon/internal/tensor"
+)
+
+// ER is Experience Replay (Chaudhry et al., 2019): a reservoir-sampled
+// buffer whose contents are interleaved with each incoming batch. The paper's
+// ER stores raw input images; the equal-information latents are replayed
+// here (f is frozen), while memcost charges raw-image bytes and the hardware
+// models charge the re-extraction compute.
+type ER struct {
+	head *cl.Head
+	cfg  Config
+	buf  *replay.Reservoir
+}
+
+// NewER creates the ER learner.
+func NewER(head *cl.Head, cfg Config) *ER {
+	cfg = cfg.withDefaults()
+	return &ER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, cfg.rng(2))}
+}
+
+// Name implements cl.Learner.
+func (e *ER) Name() string { return "er" }
+
+// Predict implements cl.Learner.
+func (e *ER) Predict(z *tensor.Tensor) int { return e.head.Predict(z) }
+
+// Observe implements cl.Learner.
+func (e *ER) Observe(b cl.LatentBatch) {
+	if len(b.Samples) == 0 {
+		return
+	}
+	train := append([]cl.LatentSample{}, b.Samples...)
+	drawn := e.buf.Sample(e.cfg.ReplaySize)
+	e.cfg.Meter.AddOffChip(int64(len(drawn)), 0)
+	for _, it := range drawn {
+		train = append(train, cl.LatentSample{Z: it.Z, Label: it.Label})
+	}
+	e.head.TrainCEOn(train)
+	for _, s := range b.Samples {
+		if e.buf.Offer(replay.Item{Z: s.Z, Label: s.Label}) {
+			e.cfg.Meter.AddOffChip(0, 1)
+		}
+	}
+}
+
+// Buffer exposes the reservoir (tests, memory accounting).
+func (e *ER) Buffer() *replay.Reservoir { return e.buf }
+
+// DER is Dark Experience Replay++ (Buzzega et al., 2020): the buffer stores
+// the model's logits at insertion time; replay combines a logit-matching MSE
+// term (dark knowledge) with a cross-entropy term on a second buffer draw.
+type DER struct {
+	head *cl.Head
+	cfg  Config
+	buf  *replay.Reservoir
+	// Alpha weighs the MSE logit term; Beta the replay CE term (DER++).
+	Alpha, Beta float64
+}
+
+// NewDER creates the DER++ learner.
+func NewDER(head *cl.Head, cfg Config) *DER {
+	cfg = cfg.withDefaults()
+	return &DER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, cfg.rng(3)), Alpha: 0.5, Beta: 0.5}
+}
+
+// Name implements cl.Learner.
+func (d *DER) Name() string { return "der" }
+
+// Predict implements cl.Learner.
+func (d *DER) Predict(z *tensor.Tensor) int { return d.head.Predict(z) }
+
+// Observe implements cl.Learner.
+func (d *DER) Observe(b cl.LatentBatch) {
+	if len(b.Samples) == 0 {
+		return
+	}
+	d.head.ZeroGrad()
+	count := 0
+	for _, s := range b.Samples {
+		d.head.AccumulateCE(s.Z, s.Label, 1)
+		count++
+	}
+	for _, it := range d.buf.Sample(d.cfg.ReplaySize) {
+		d.head.AccumulateMSE(it.Z, it.Logits, d.Alpha)
+		count++
+	}
+	for _, it := range d.buf.Sample(d.cfg.ReplaySize) {
+		d.head.AccumulateCE(it.Z, it.Label, d.Beta)
+		count++
+	}
+	d.head.Step(float64(count))
+	// Insert with the logits the model produces *now* (post-update, as the
+	// reference implementation records the response it trained to).
+	for _, s := range b.Samples {
+		d.buf.Offer(replay.Item{Z: s.Z, Label: s.Label, Logits: d.head.Logits(s.Z).Clone()})
+	}
+}
+
+// LatentReplay (Pellegrini et al., 2020) stores intermediate activations in a
+// single unified buffer with uniform random replacement once full, replaying
+// a fixed-size draw with every batch. It is Chameleon's closest relative —
+// same payload, single buffer, no hierarchy awareness.
+type LatentReplay struct {
+	head  *cl.Head
+	cfg   Config
+	items []replay.Item
+	seen  int
+	rng   *rand.Rand
+}
+
+// NewLatentReplay creates the Latent Replay learner.
+func NewLatentReplay(head *cl.Head, cfg Config) *LatentReplay {
+	cfg = cfg.withDefaults()
+	return &LatentReplay{head: head, cfg: cfg, rng: cfg.rng(4)}
+}
+
+// Name implements cl.Learner.
+func (l *LatentReplay) Name() string { return "latent" }
+
+// Predict implements cl.Learner.
+func (l *LatentReplay) Predict(z *tensor.Tensor) int { return l.head.Predict(z) }
+
+// Observe implements cl.Learner.
+func (l *LatentReplay) Observe(b cl.LatentBatch) {
+	if len(b.Samples) == 0 {
+		return
+	}
+	train := append([]cl.LatentSample{}, b.Samples...)
+	if len(l.items) > 0 {
+		n := l.cfg.ReplaySize
+		l.cfg.Meter.AddOffChip(int64(n), 0)
+		for i := 0; i < n; i++ {
+			it := l.items[l.rng.Intn(len(l.items))]
+			train = append(train, cl.LatentSample{Z: it.Z, Label: it.Label})
+		}
+	}
+	l.head.TrainCEOn(train)
+	for _, s := range b.Samples {
+		it := replay.Item{Z: s.Z, Label: s.Label}
+		if len(l.items) < l.cfg.BufferSize {
+			l.items = append(l.items, it)
+		} else {
+			l.items[l.rng.Intn(len(l.items))] = it
+		}
+		l.cfg.Meter.AddOffChip(0, 1)
+		l.seen++
+	}
+}
+
+// Len reports the buffer fill (tests).
+func (l *LatentReplay) Len() int { return len(l.items) }

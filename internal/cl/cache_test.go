@@ -1,0 +1,63 @@
+package cl
+
+import (
+	"path/filepath"
+	"testing"
+
+	"chameleon/internal/data"
+)
+
+func TestSaveLoadLatentSetRoundTrip(t *testing.T) {
+	set := testEnv(t)
+	path := filepath.Join(t.TempDir(), "set.latents")
+	if err := SaveLatentSet(path, set); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLatentSet(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Train) != len(set.Train) || len(loaded.Test) != len(set.Test) {
+		t.Fatalf("counts changed: %d/%d vs %d/%d", len(loaded.Train), len(loaded.Test), len(set.Train), len(set.Test))
+	}
+	for i, s := range set.Train {
+		l := loaded.Train[i]
+		if l.Label != s.Label || l.Domain != s.Domain || l.ID != s.ID {
+			t.Fatal("metadata corrupted")
+		}
+		for j, v := range s.Z.Data() {
+			if l.Z.Data()[j] != v {
+				t.Fatal("latent payload corrupted")
+			}
+		}
+	}
+	// The loaded set must support streaming and evaluation.
+	st := loaded.Stream(3, data.StreamOptions{BatchSize: 4})
+	total := 0
+	for {
+		b, ok := st.Next()
+		if !ok {
+			break
+		}
+		total += len(b.Samples)
+		for _, s := range b.Samples {
+			if s.Z == nil {
+				t.Fatal("stream emitted nil latent")
+			}
+		}
+	}
+	if total != loaded.Dataset.NumTrain() {
+		t.Fatalf("loaded stream emitted %d of %d", total, loaded.Dataset.NumTrain())
+	}
+	// Backbone config survives (head construction works).
+	h := NewHead(loaded.Backbone, HeadConfig{Seed: 1})
+	if h.Predict(loaded.Test[0].Z) < 0 {
+		t.Fatal("prediction failed on loaded set")
+	}
+}
+
+func TestLoadLatentSetErrors(t *testing.T) {
+	if _, err := LoadLatentSet(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,99 @@
+package cl
+
+import "math"
+
+// ForgettingProbe measures catastrophic forgetting during an online run: it
+// tracks, for every domain, the learner's peak accuracy on that domain's
+// probe pool and the final accuracy, reporting the mean drop (the standard
+// "forgetting" measure adapted to Domain-IL).
+type ForgettingProbe struct {
+	// pools maps domain -> probe samples.
+	pools map[int][]LatentSample
+	// peak maps domain -> best accuracy seen so far.
+	peak map[int]float64
+	// last maps domain -> most recent accuracy.
+	last map[int]float64
+}
+
+// NewForgettingProbe builds a probe over per-domain pools drawn from the
+// training latents (evaluation-on-seen-data, as the forgetting measure
+// prescribes).
+func NewForgettingProbe(train []LatentSample) *ForgettingProbe {
+	pools := map[int][]LatentSample{}
+	for _, s := range train {
+		pools[s.Domain] = append(pools[s.Domain], s)
+	}
+	return &ForgettingProbe{pools: pools, peak: map[int]float64{}, last: map[int]float64{}}
+}
+
+// Measure evaluates the learner on every domain pool and updates peaks.
+// Call it at domain boundaries (or any checkpoint cadence).
+func (f *ForgettingProbe) Measure(l Learner) {
+	for d, pool := range f.pools {
+		hits := 0
+		for _, s := range pool {
+			if l.Predict(s.Z) == s.Label {
+				hits++
+			}
+		}
+		acc := float64(hits) / float64(len(pool))
+		f.last[d] = acc
+		if acc > f.peak[d] {
+			f.peak[d] = acc
+		}
+	}
+}
+
+// Forgetting returns the mean (peak − final) accuracy drop across domains
+// that have been measured at least once, or NaN if none were.
+func (f *ForgettingProbe) Forgetting() float64 {
+	var sum float64
+	n := 0
+	for d, pk := range f.peak {
+		sum += pk - f.last[d]
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// DomainAccuracy returns the latest measured accuracy per domain.
+func (f *ForgettingProbe) DomainAccuracy() map[int]float64 {
+	out := make(map[int]float64, len(f.last))
+	for d, a := range f.last {
+		out[d] = a
+	}
+	return out
+}
+
+// RunOnlineWithForgetting drives the learner like RunOnline but measures the
+// forgetting probe at every domain boundary and at the end. It returns the
+// result plus the mean forgetting.
+func RunOnlineWithForgetting(l Learner, stream *LatentStream, test []LatentSample) (Result, float64) {
+	probe := NewForgettingProbe(stream.set.Train)
+	seen := 0
+	lastDomain := -1
+	started := false
+	for {
+		b, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if started && b.Domain != lastDomain {
+			probe.Measure(l)
+		}
+		lastDomain, started = b.Domain, true
+		l.Observe(b)
+		seen += len(b.Samples)
+	}
+	if f, ok := l.(Finisher); ok {
+		f.Finish()
+	}
+	probe.Measure(l)
+	res := Evaluate(l, test)
+	res.SamplesSeen = seen
+	res.PreferredAcc = PreferredAccuracy(res.PerClass, test, stream.PreferredClasses())
+	return res, probe.Forgetting()
+}

@@ -1,0 +1,68 @@
+package cl
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/data"
+	"chameleon/internal/tensor"
+)
+
+// flipLearner predicts correctly for a configurable label set; used to
+// script accuracy trajectories.
+type flipLearner struct{ correct map[int]bool }
+
+func (f *flipLearner) Name() string          { return "flip" }
+func (f *flipLearner) Observe(b LatentBatch) {}
+func (f *flipLearner) Predict(z *tensor.Tensor) int {
+	// Encode the true label in the latent's first element (test rig).
+	label := int(z.Data()[0])
+	if f.correct[label] {
+		return label
+	}
+	return -1
+}
+
+func mkSample(label, domain int) LatentSample {
+	z := tensor.New(2)
+	z.Data()[0] = float32(label)
+	return LatentSample{Z: z, Label: label, Domain: domain}
+}
+
+func TestForgettingProbeMeasuresPeakMinusFinal(t *testing.T) {
+	train := []LatentSample{mkSample(0, 0), mkSample(0, 0), mkSample(1, 1), mkSample(1, 1)}
+	probe := NewForgettingProbe(train)
+	l := &flipLearner{correct: map[int]bool{0: true}}
+	probe.Measure(l) // domain 0 at 1.0, domain 1 at 0.0
+	l.correct = map[int]bool{1: true}
+	probe.Measure(l) // domain 0 drops to 0, domain 1 rises to 1
+	// Peaks: d0=1, d1=1. Finals: d0=0, d1=1. Mean forgetting = 0.5.
+	if got := probe.Forgetting(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("forgetting = %v, want 0.5", got)
+	}
+	acc := probe.DomainAccuracy()
+	if acc[0] != 0 || acc[1] != 1 {
+		t.Fatalf("domain accuracy = %v", acc)
+	}
+}
+
+func TestForgettingProbeEmpty(t *testing.T) {
+	probe := NewForgettingProbe(nil)
+	if !math.IsNaN(probe.Forgetting()) {
+		t.Fatal("empty probe should report NaN")
+	}
+}
+
+func TestRunOnlineWithForgetting(t *testing.T) {
+	set := testEnv(t)
+	h := NewHead(set.Backbone, HeadConfig{LR: 0.05, Seed: 5})
+	l := &headLearner{h: h}
+	st := set.Stream(5, data.StreamOptions{BatchSize: 4})
+	res, forg := RunOnlineWithForgetting(l, st, set.Test)
+	if res.SamplesSeen != st.Total() {
+		t.Fatalf("consumed %d", res.SamplesSeen)
+	}
+	if math.IsNaN(forg) || forg < 0 || forg > 1 {
+		t.Fatalf("forgetting = %v", forg)
+	}
+}

@@ -1,0 +1,117 @@
+// Package cl defines the shared vocabulary of the continual-learning
+// experiments: the Learner interface every method implements, latent
+// extraction and caching over the frozen backbone, the online single-pass
+// trainer, evaluation metrics (Acc_all, per-class and preferred-class
+// accuracy), and a multi-seed runner reporting mean ± std as the paper does.
+package cl
+
+import (
+	"fmt"
+
+	"chameleon/internal/data"
+	"chameleon/internal/mobilenet"
+	"chameleon/internal/tensor"
+)
+
+// LatentSample is one frame after the frozen feature extractor f(·): the
+// latent activation plus its label and provenance. All continual learners in
+// this repository consume latents — exactly the Latent Replay setting the
+// paper builds on (methods that conceptually store raw images, such as ER,
+// still learn on latents because f is frozen; only their *memory accounting*
+// differs, see internal/memcost).
+type LatentSample struct {
+	// Z is the latent activation, shape = backbone.LatentShape.
+	Z *tensor.Tensor
+	// Label is the class index.
+	Label int
+	// Domain is the acquisition condition of the source frame.
+	Domain int
+	// ID is the source sample's pool index.
+	ID int
+}
+
+// LatentBatch is one online step.
+type LatentBatch struct {
+	Samples []LatentSample
+	Index   int
+	Domain  int
+}
+
+// Learner is an online continual learner. Observe is called once per
+// incoming mini-batch in stream order (single pass); Predict classifies a
+// latent. Implementations must be deterministic given their construction
+// seed.
+type Learner interface {
+	// Name identifies the method ("chameleon", "er", ...).
+	Name() string
+	// Observe consumes one incoming mini-batch.
+	Observe(b LatentBatch)
+	// Predict returns the predicted class index of a latent.
+	Predict(z *tensor.Tensor) int
+}
+
+// Finisher is an optional Learner extension invoked after the stream ends
+// (e.g. the JOINT upper bound runs its offline epochs there).
+type Finisher interface {
+	Finish()
+}
+
+// LatentSet caches the frozen-backbone features of a dataset so that every
+// method and seed shares one extraction pass (f is identical for all).
+type LatentSet struct {
+	Backbone *mobilenet.Model
+	Dataset  *data.Dataset
+	// Train and Test are latents indexed by data.Sample.ID.
+	Train []LatentSample
+	Test  []LatentSample
+}
+
+// NewLatentSet extracts latents for the full train and test pools.
+func NewLatentSet(m *mobilenet.Model, ds *data.Dataset) (*LatentSet, error) {
+	if m.Cfg.Resolution != ds.Cfg.Resolution {
+		return nil, fmt.Errorf("cl: backbone resolution %d != dataset resolution %d", m.Cfg.Resolution, ds.Cfg.Resolution)
+	}
+	if m.Cfg.NumClasses < ds.Cfg.NumClasses {
+		return nil, fmt.Errorf("cl: backbone has %d classes, dataset needs %d", m.Cfg.NumClasses, ds.Cfg.NumClasses)
+	}
+	ls := &LatentSet{Backbone: m, Dataset: ds}
+	ls.Train = make([]LatentSample, len(ds.Train))
+	for _, sm := range ds.Train {
+		ls.Train[sm.ID] = LatentSample{Z: m.ExtractLatent(sm.Image), Label: sm.Label, Domain: sm.Domain, ID: sm.ID}
+	}
+	ls.Test = make([]LatentSample, len(ds.Test))
+	for _, sm := range ds.Test {
+		ls.Test[sm.ID] = LatentSample{Z: m.ExtractLatent(sm.Image), Label: sm.Label, Domain: sm.Domain, ID: sm.ID}
+	}
+	return ls, nil
+}
+
+// LatentStream adapts a data.Stream to emit cached latents.
+type LatentStream struct {
+	inner *data.Stream
+	set   *LatentSet
+}
+
+// Stream opens a latent stream over the cached set.
+func (ls *LatentSet) Stream(seed int64, opt data.StreamOptions) *LatentStream {
+	return &LatentStream{inner: ls.Dataset.Stream(seed, opt), set: ls}
+}
+
+// Next returns the next latent batch.
+func (s *LatentStream) Next() (LatentBatch, bool) {
+	b, ok := s.inner.Next()
+	if !ok {
+		return LatentBatch{}, false
+	}
+	out := LatentBatch{Index: b.Index, Domain: b.Domain, Samples: make([]LatentSample, len(b.Samples))}
+	for i, sm := range b.Samples {
+		out.Samples[i] = s.set.Train[sm.ID]
+	}
+	return out, true
+}
+
+// Total returns the number of samples the stream will emit.
+func (s *LatentStream) Total() int { return s.inner.Total() }
+
+// PreferredClasses exposes the underlying stream's current preference set.
+func (s *LatentStream) PreferredClasses() []int { return s.inner.PreferredClasses() }

@@ -1,0 +1,56 @@
+package cl
+
+import "fmt"
+
+// TrafficMeter counts replay-buffer item movements during a simulated run,
+// split by the memory level the buffer is mapped to. Learners increment it
+// as they read and write their stores; multiplying by a per-item payload
+// size (e.g. the paper-scale 32 KiB latent) turns the counts into the DRAM/
+// SRAM traffic the hardware energy models price.
+//
+// This is the dynamic counterpart of internal/hw's static step profiles: the
+// profiles predict traffic analytically, the meter measures it from the
+// actual execution, buffer fills and access schedules included.
+type TrafficMeter struct {
+	// OnChipReads/Writes count items moved to/from the on-chip store
+	// (Chameleon's short-term memory).
+	OnChipReads, OnChipWrites int64
+	// OffChipReads/Writes count items moved to/from off-chip buffers
+	// (long-term stores, unified replay buffers).
+	OffChipReads, OffChipWrites int64
+}
+
+// AddOnChip records on-chip item movements.
+func (m *TrafficMeter) AddOnChip(reads, writes int64) {
+	if m == nil {
+		return
+	}
+	m.OnChipReads += reads
+	m.OnChipWrites += writes
+}
+
+// AddOffChip records off-chip item movements.
+func (m *TrafficMeter) AddOffChip(reads, writes int64) {
+	if m == nil {
+		return
+	}
+	m.OffChipReads += reads
+	m.OffChipWrites += writes
+}
+
+// OnChipItems returns total on-chip movements.
+func (m *TrafficMeter) OnChipItems() int64 { return m.OnChipReads + m.OnChipWrites }
+
+// OffChipItems returns total off-chip movements.
+func (m *TrafficMeter) OffChipItems() int64 { return m.OffChipReads + m.OffChipWrites }
+
+// Bytes converts the counts to bytes given a per-item payload size.
+func (m *TrafficMeter) Bytes(perItem int64) (onChip, offChip int64) {
+	return m.OnChipItems() * perItem, m.OffChipItems() * perItem
+}
+
+// String summarises the meter.
+func (m *TrafficMeter) String() string {
+	return fmt.Sprintf("on-chip %d reads / %d writes, off-chip %d reads / %d writes",
+		m.OnChipReads, m.OnChipWrites, m.OffChipReads, m.OffChipWrites)
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/tensor"
+)
+
+// Config collects Chameleon's hyper-parameters. Zero values select the
+// paper's defaults (adjusted for the laptop-scale streams).
+type Config struct {
+	// STCap is the short-term store capacity (paper: 10).
+	STCap int
+	// LTCap is the long-term store capacity (paper: 100–1500).
+	LTCap int
+	// AccessRate is h, the long-term *read* period in batches (paper: 10 —
+	// M_l is rehearsed every ten batches to respect the on-chip/off-chip
+	// traffic trade-off).
+	AccessRate int
+	// PromoteEvery is the long-term *write* period in batches. The paper
+	// couples writes to h; shorter streams need faster fills to reach the
+	// same buffer-fill fraction as the paper's 165k-sample runs, so the
+	// experiment scales set this to 1. Defaults to AccessRate.
+	PromoteEvery int
+	// LTSampleSize is |m̂_l|, the rehearsal mini-batch drawn from M_l
+	// (paper: iterative mini-batch concatenation at the stream batch size).
+	LTSampleSize int
+	// Alpha and Beta weight the allocation and uncertainty terms of Eq. 4.
+	Alpha, Beta float64
+	// Rho is the allocation exponent of Eq. 2.
+	Rho float64
+	// TopK is the preferred-class count k (paper: 5).
+	TopK int
+	// Window is the preference learning window in samples (paper: ~1500).
+	Window int
+	// RandomPromotion replaces the Eq. 6 prototype-KL promotion with a
+	// uniformly random pick from the short-term store (ablation only).
+	RandomPromotion bool
+	// IterativeLT uses the paper's iterative mini-batch concatenation for
+	// long-term rehearsal (a rotating cursor covering the whole store over
+	// successive accesses) instead of uniform sampling.
+	IterativeLT bool
+	// Meter, when non-nil, counts the replay-buffer traffic of the run
+	// (short-term = on-chip, long-term = off-chip).
+	Meter *cl.TrafficMeter
+	// Seed drives the learner's internal randomness.
+	Seed int64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.STCap <= 0 {
+		c.STCap = 10
+	}
+	if c.LTCap <= 0 {
+		c.LTCap = 100
+	}
+	if c.AccessRate <= 0 {
+		c.AccessRate = 10
+	}
+	if c.PromoteEvery <= 0 {
+		c.PromoteEvery = c.AccessRate
+	}
+	if c.LTSampleSize <= 0 {
+		c.LTSampleSize = 10
+	}
+	if c.Alpha == 0 && c.Beta == 0 {
+		c.Alpha, c.Beta = 1, 1
+	}
+	if c.Rho == 0 {
+		c.Rho = 0.6
+	}
+	if c.TopK <= 0 {
+		c.TopK = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 1500
+	}
+	return c
+}
+
+// Chameleon is the paper's dual-memory replay learner (Algorithm 1).
+type Chameleon struct {
+	cfg     Config
+	head    *cl.Head
+	tracker *PreferenceTracker
+	st      *ShortTermStore
+	lt      *LongTermStore
+	rng     *rand.Rand
+	batches int
+}
+
+// New creates a Chameleon learner over a fresh trainable head.
+func New(head *cl.Head, cfg Config) *Chameleon {
+	cfg = cfg.withDefaults()
+	rng := cl.RNG(cfg.Seed, 0xC0FFEE)
+	return &Chameleon{
+		cfg:     cfg,
+		head:    head,
+		tracker: NewPreferenceTracker(cfg.TopK, cfg.Rho, cfg.Window),
+		st:      NewShortTermStore(cfg.STCap, rng),
+		lt:      NewLongTermStore(cfg.LTCap, rng),
+		rng:     rng,
+	}
+}
+
+// Name implements cl.Learner.
+func (c *Chameleon) Name() string { return "chameleon" }
+
+// Predict implements cl.Learner.
+func (c *Chameleon) Predict(z *tensor.Tensor) int { return c.head.Predict(z) }
+
+// Head exposes the trainable head (hardware profiling reads its shape).
+func (c *Chameleon) Head() *cl.Head { return c.head }
+
+// ShortTerm exposes M_s for inspection (examples, tests).
+func (c *Chameleon) ShortTerm() *ShortTermStore { return c.st }
+
+// LongTerm exposes M_l for inspection.
+func (c *Chameleon) LongTerm() *LongTermStore { return c.lt }
+
+// Tracker exposes the preference tracker.
+func (c *Chameleon) Tracker() *PreferenceTracker { return c.tracker }
+
+// Observe implements Algorithm 1 for one incoming batch B_t:
+//
+//	① update running class statistics (preference estimation),
+//	② (feature extraction — already done by the pipeline),
+//	③ train g on Z_t ∪ M_s, plus a long-term mini-batch every h cycles,
+//	④ refresh M_s with the Eq. 4 user-aware uncertainty selection,
+//	⑤ every h cycles, promote the Eq. 6 max-divergence sample into M_l.
+func (c *Chameleon) Observe(b cl.LatentBatch) {
+	if len(b.Samples) == 0 {
+		return
+	}
+	// ① preference estimation.
+	for _, s := range b.Samples {
+		c.tracker.Observe(s.Label)
+	}
+	// Uncertainty scores need the *pre-update* logits; capture them first so
+	// the subsequent weight update does not bias selection (Eq. 3).
+	uncert := make([]float64, len(b.Samples))
+	labels := make([]int, len(b.Samples))
+	for i, s := range b.Samples {
+		uncert[i] = Uncertainty(c.head.Logits(s.Z), s.Label)
+		labels[i] = s.Label
+	}
+
+	// ③ weight update. The paper trains with batch size one and ten replay
+	// elements per incoming input: each new sample takes one SGD step jointly
+	// with a sweep of the complete short-term memory. The long-term store
+	// contributes one extra rehearsal mini-batch every h cycles.
+	for _, s := range b.Samples {
+		step := append([]cl.LatentSample{s}, c.st.Items()...)
+		c.cfg.Meter.AddOnChip(int64(c.st.Len()), 0)
+		c.head.TrainCEOn(step)
+	}
+	if c.batches%c.cfg.AccessRate == 0 && c.lt.Len() > 0 {
+		var mb []cl.LatentSample
+		if c.cfg.IterativeLT {
+			mb = c.lt.NextMinibatch(c.cfg.LTSampleSize)
+		} else {
+			mb = c.lt.Sample(c.cfg.LTSampleSize)
+		}
+		c.cfg.Meter.AddOffChip(int64(len(mb)), 0)
+		c.head.TrainCEOn(mb)
+	}
+
+	// ④ short-term refresh (Eq. 4).
+	probs := SelectionProbs(c.tracker, uncert, labels, c.cfg.Alpha, c.cfg.Beta)
+	if c.st.Update(b.Samples, probs) >= 0 {
+		c.cfg.Meter.AddOnChip(0, 1)
+	}
+
+	// ⑤ long-term promotion every PromoteEvery cycles (Eq. 5–6).
+	if c.batches%c.cfg.PromoteEvery == 0 && c.st.Len() > 0 {
+		if c.cfg.RandomPromotion {
+			c.lt.PromoteIndex(c.st.Items(), c.rng.Intn(c.st.Len()))
+		} else {
+			c.lt.Promote(c.st.Items(), c.head.Probs)
+		}
+		c.cfg.Meter.AddOffChip(0, 1)
+	}
+	c.batches++
+}

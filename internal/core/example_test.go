@@ -1,0 +1,33 @@
+package core_test
+
+import (
+	"fmt"
+
+	"chameleon/internal/core"
+)
+
+// The preference tracker estimates the user's top-k classes over a learning
+// window and exposes the Eq. 2 allocation factor.
+func ExamplePreferenceTracker() {
+	tracker := core.NewPreferenceTracker(1, 1.0, 4)
+	for _, label := range []int{3, 3, 3, 9} {
+		tracker.Observe(label)
+	}
+	fmt.Println("preferred:", tracker.Preferred())
+	fmt.Printf("delta: %.2f\n", tracker.Delta())
+	// Output:
+	// preferred: [3]
+	// delta: 0.75
+}
+
+// SelectionProbs mixes the user-allocation and inverse-uncertainty terms of
+// Eq. 4 into a sampling distribution over the incoming batch.
+func ExampleSelectionProbs() {
+	tracker := core.NewPreferenceTracker(1, 1.0, 2)
+	tracker.Observe(0)
+	tracker.Observe(0) // class 0 becomes the sole preferred class
+	// Two candidates with equal uncertainty: preference decides.
+	probs := core.SelectionProbs(tracker, []float64{1, 1}, []int{0, 1}, 1, 0)
+	fmt.Printf("%.2f\n", probs)
+	// Output: [1.00 0.00]
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/replay"
+	"chameleon/internal/tensor"
+)
+
+// LongTermStore is Chameleon's off-chip replay buffer M_l: class-balanced,
+// updated every h batches by promoting the short-term sample that diverges
+// most from its class prototype (Eq. 5–6), and sampled in mini-batches for
+// periodic rehearsal.
+type LongTermStore struct {
+	buf    *replay.ClassBalanced
+	rng    *rand.Rand
+	cursor int
+}
+
+// NewLongTermStore creates an M_l with the given capacity.
+func NewLongTermStore(capacity int, rng *rand.Rand) *LongTermStore {
+	return &LongTermStore{buf: replay.NewClassBalanced(capacity, rng), rng: rng}
+}
+
+// Len returns the current fill.
+func (l *LongTermStore) Len() int { return l.buf.Len() }
+
+// Cap returns the capacity.
+func (l *LongTermStore) Cap() int { return l.buf.Cap() }
+
+// Classes returns the classes currently present.
+func (l *LongTermStore) Classes() []int { return l.buf.Classes() }
+
+// Sample draws n items uniformly for rehearsal (m̂_l in Algorithm 1, line 5).
+func (l *LongTermStore) Sample(n int) []cl.LatentSample {
+	items := l.buf.Sample(n)
+	out := make([]cl.LatentSample, len(items))
+	for i, it := range items {
+		out[i] = cl.LatentSample{Z: it.Z, Label: it.Label}
+	}
+	return out
+}
+
+// NextMinibatch implements the paper's "iterative mini-batch concatenation
+// scheme": successive calls walk the store with a rotating cursor (class by
+// class), so over consecutive long-term accesses the whole buffer is
+// rehearsed rather than a random subset. Wraps around when exhausted.
+func (l *LongTermStore) NextMinibatch(n int) []cl.LatentSample {
+	classes := l.buf.Classes()
+	if len(classes) == 0 || n <= 0 {
+		return nil
+	}
+	sort.Ints(classes)
+	var all []replay.Item
+	for _, c := range classes {
+		all = append(all, l.buf.OfClass(c)...)
+	}
+	out := make([]cl.LatentSample, 0, n)
+	for i := 0; i < n; i++ {
+		it := all[l.cursor%len(all)]
+		out = append(out, cl.LatentSample{Z: it.Z, Label: it.Label})
+		l.cursor++
+	}
+	l.cursor %= len(all)
+	return out
+}
+
+// Prototype computes P_c (Eq. 5): the mean latent of class c's stored
+// samples, approximating the class's centre of mass in latent space.
+// Returns nil when the class is absent.
+func (l *LongTermStore) Prototype(class int) *tensor.Tensor {
+	items := l.buf.OfClass(class)
+	if len(items) == 0 {
+		return nil
+	}
+	proto := tensor.New(items[0].Z.Shape()...)
+	for _, it := range items {
+		proto.AddInPlace(it.Z)
+	}
+	proto.Scale(1 / float32(len(items)))
+	return proto
+}
+
+// Score computes S_j (Eq. 6) for a candidate: tanh of the KL divergence
+// between the model's softmax on the candidate and on its class prototype.
+// A high score means the sample disagrees with its class's stored consensus
+// and is therefore informative. When the class has no prototype yet the
+// candidate is maximally novel and scores 1.
+func (l *LongTermStore) Score(candidate cl.LatentSample, probsOf func(z *tensor.Tensor) *tensor.Tensor) float64 {
+	proto := l.Prototype(candidate.Label)
+	if proto == nil {
+		return 1
+	}
+	p := probsOf(candidate.Z)
+	q := probsOf(proto)
+	return math.Tanh(tensor.KLDivergence(p.Data(), q.Data()))
+}
+
+// Promote implements Algorithm 1, lines 12–14: among the short-term
+// candidates it greedily selects the one with the maximum S_j and swaps it
+// for a random same-class long-term sample (Insert handles the class-absent
+// and under-capacity cases, preserving class balance). It returns the index
+// of the promoted candidate, or -1 when there are no candidates.
+func (l *LongTermStore) Promote(candidates []cl.LatentSample, probsOf func(z *tensor.Tensor) *tensor.Tensor) int {
+	if len(candidates) == 0 {
+		return -1
+	}
+	best, bestScore := -1, math.Inf(-1)
+	for i, c := range candidates {
+		s := l.Score(c, probsOf)
+		if s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	l.PromoteIndex(candidates, best)
+	return best
+}
+
+// PromoteIndex inserts candidates[i] directly (the ablation path that skips
+// the Eq. 6 scoring), swapping a random same-class victim when full.
+func (l *LongTermStore) PromoteIndex(candidates []cl.LatentSample, i int) {
+	chosen := candidates[i]
+	it := replay.Item{Z: chosen.Z, Label: chosen.Label}
+	if l.buf.Len() < l.buf.Cap() {
+		l.buf.Insert(it)
+	} else if !l.buf.ReplaceRandomOfClass(it) {
+		l.buf.Insert(it)
+	}
+}

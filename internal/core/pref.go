@@ -1,0 +1,143 @@
+// Package core implements Chameleon, the paper's contribution: a dual-memory
+// replay continual learner with an on-chip short-term store (user-aware
+// uncertainty sampling, Eq. 2–4) and an off-chip long-term store
+// (class-prototype KL sampling, Eq. 5–6), trained by Algorithm 1.
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// PreferenceTracker estimates user preferences on-device by tracking the
+// running class frequencies n_c over a learning window (paper step ①). At
+// the end of each window it re-calibrates the top-k preferred classes and the
+// allocation factor Δ_k (Eq. 2), so the tracker adapts to changing user
+// inclination.
+type PreferenceTracker struct {
+	// TopK is the number of preferred classes (paper: k = 5).
+	TopK int
+	// Rho is the allocation exponent ρ ∈ [0,1] of Eq. 2: 0 treats all classes
+	// equally, 1 allocates proportionally to running frequencies.
+	Rho float64
+	// Window is the learning-window length in samples (paper: ~1500 images).
+	Window int
+
+	counts    map[int]int
+	inWindow  int
+	preferred map[int]bool
+	delta     float64
+	// everSeen tracks all classes encountered so far (N in the paper).
+	everSeen map[int]bool
+}
+
+// NewPreferenceTracker creates a tracker. Until the first window completes,
+// every class is treated as non-preferred and Δ_k falls back to 0.5
+// (indifference).
+func NewPreferenceTracker(topK int, rho float64, window int) *PreferenceTracker {
+	if topK <= 0 {
+		topK = 5
+	}
+	if window <= 0 {
+		window = 1500
+	}
+	if rho < 0 {
+		rho = 0
+	}
+	if rho > 1 {
+		rho = 1
+	}
+	return &PreferenceTracker{
+		TopK: topK, Rho: rho, Window: window,
+		counts:    map[int]int{},
+		preferred: map[int]bool{},
+		delta:     0.5,
+		everSeen:  map[int]bool{},
+	}
+}
+
+// Observe records one incoming label (paper Algorithm 1, line 3). When the
+// learning window fills, the preferred set and Δ_k are re-calibrated and the
+// window statistics reset.
+func (p *PreferenceTracker) Observe(label int) {
+	p.counts[label]++
+	p.everSeen[label] = true
+	p.inWindow++
+	if p.inWindow >= p.Window {
+		p.recalibrate()
+	}
+}
+
+// recalibrate implements Eq. 2 over the finished window.
+func (p *PreferenceTracker) recalibrate() {
+	type cc struct {
+		class, n int
+	}
+	ranked := make([]cc, 0, len(p.counts))
+	for c, n := range p.counts {
+		ranked = append(ranked, cc{c, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].class < ranked[j].class
+	})
+	k := p.TopK
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	p.preferred = map[int]bool{}
+	var nK float64 // average running frequency of the preferred classes
+	for i := 0; i < k; i++ {
+		p.preferred[ranked[i].class] = true
+		nK += float64(ranked[i].n)
+	}
+	if k > 0 {
+		nK /= float64(k)
+	}
+	var nRest float64 // average frequency of the remaining classes
+	rest := len(ranked) - k
+	if rest > 0 {
+		for i := k; i < len(ranked); i++ {
+			nRest += float64(ranked[i].n)
+		}
+		nRest /= float64(rest)
+	}
+	// Eq. 2: Δ_k = n_k^ρ / (n_k + n_{N−k})^ρ.
+	if nK+nRest > 0 {
+		p.delta = math.Pow(nK, p.Rho) / math.Pow(nK+nRest, p.Rho)
+	} else {
+		p.delta = 0.5
+	}
+	p.counts = map[int]int{}
+	p.inWindow = 0
+}
+
+// Delta returns the current allocation factor Δ_k.
+func (p *PreferenceTracker) Delta() float64 { return p.delta }
+
+// IsPreferred reports whether the class is in the current top-k set.
+func (p *PreferenceTracker) IsPreferred(class int) bool { return p.preferred[class] }
+
+// Preferred returns the current preferred classes, sorted.
+func (p *PreferenceTracker) Preferred() []int {
+	out := make([]int, 0, len(p.preferred))
+	for c := range p.preferred {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumSeen returns N, the number of distinct classes encountered so far.
+func (p *PreferenceTracker) NumSeen() int { return len(p.everSeen) }
+
+// AllocationWeight returns Δ_i for one sample (Eq. 4's numerator): Δ_k for
+// preferred classes, 1−Δ_k otherwise.
+func (p *PreferenceTracker) AllocationWeight(class int) float64 {
+	if p.preferred[class] {
+		return p.delta
+	}
+	return 1 - p.delta
+}

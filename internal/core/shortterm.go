@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/tensor"
+)
+
+// ShortTermStore is Chameleon's on-chip replay buffer M_s: tiny (paper: 10
+// samples ≈ 0.3 MB of latents), swept in full at every training step, and
+// refreshed once per incoming batch with the user-aware uncertainty-guided
+// selection of Eq. 4.
+type ShortTermStore struct {
+	cap   int
+	items []cl.LatentSample
+	rng   *rand.Rand
+}
+
+// NewShortTermStore creates an M_s with the given capacity (paper: 10).
+func NewShortTermStore(capacity int, rng *rand.Rand) *ShortTermStore {
+	if capacity <= 0 {
+		capacity = 10
+	}
+	return &ShortTermStore{cap: capacity, rng: rng}
+}
+
+// Len returns the current fill.
+func (s *ShortTermStore) Len() int { return len(s.items) }
+
+// Cap returns the capacity.
+func (s *ShortTermStore) Cap() int { return s.cap }
+
+// Items returns the live contents (the "sweep the complete short-term
+// memory" training set). Callers must not mutate.
+func (s *ShortTermStore) Items() []cl.LatentSample { return s.items }
+
+// Uncertainty computes U_i (Eq. 3) for a sample: the absolute logit response
+// at the true class, |o(x_i)·y|. Low U_i means the model is uncertain, so
+// selection uses U_i⁻¹.
+func Uncertainty(logits *tensor.Tensor, label int) float64 {
+	return math.Abs(float64(logits.Data()[label]))
+}
+
+// SelectionProbs implements Eq. 4: for each batch element it combines the
+// normalised allocation weight Δ_i with the normalised inverse uncertainty
+// U_i⁻¹, mixed by α and β, and returns a probability distribution over the
+// batch.
+func SelectionProbs(tracker *PreferenceTracker, uncertainties []float64, labels []int, alpha, beta float64) []float64 {
+	n := len(labels)
+	probs := make([]float64, n)
+	if n == 0 {
+		return probs
+	}
+	// Normalised allocation term: Δ_i / Σ_j Δ_j (the paper's denominator sums
+	// Δ_k over preferred and 1−Δ_k over non-preferred batch members).
+	alloc := make([]float64, n)
+	var allocZ float64
+	for i, y := range labels {
+		alloc[i] = tracker.AllocationWeight(y)
+		allocZ += alloc[i]
+	}
+	// Normalised inverse-uncertainty term, clamped to keep U⁻¹ finite.
+	const minU = 1e-3
+	invU := make([]float64, n)
+	var invZ float64
+	for i, u := range uncertainties {
+		if u < minU {
+			u = minU
+		}
+		invU[i] = 1 / u
+		invZ += invU[i]
+	}
+	var z float64
+	for i := range probs {
+		p := 0.0
+		if allocZ > 0 {
+			p += alpha * alloc[i] / allocZ
+		}
+		if invZ > 0 {
+			p += beta * invU[i] / invZ
+		}
+		probs[i] = p
+		z += p
+	}
+	if z <= 0 {
+		// Degenerate weights: fall back to uniform.
+		for i := range probs {
+			probs[i] = 1 / float64(n)
+		}
+		return probs
+	}
+	for i := range probs {
+		probs[i] /= z
+	}
+	return probs
+}
+
+// Update performs the per-batch M_s refresh (Algorithm 1, lines 8–10):
+// draw one element b_t from the batch according to probs and replace a
+// uniformly random stored sample with it (or append while below capacity).
+// It returns the index of the chosen batch element.
+func (s *ShortTermStore) Update(batch []cl.LatentSample, probs []float64) int {
+	if len(batch) == 0 {
+		return -1
+	}
+	chosen := sampleIndex(probs, s.rng)
+	if len(s.items) < s.cap {
+		s.items = append(s.items, batch[chosen])
+		return chosen
+	}
+	victim := s.rng.Intn(len(s.items))
+	s.items[victim] = batch[chosen]
+	return chosen
+}
+
+// Remove deletes the stored sample at index i (used when promoting to the
+// long-term store would otherwise duplicate it; the paper keeps the sample,
+// so Chameleon calls this only in ablation variants).
+func (s *ShortTermStore) Remove(i int) {
+	s.items[i] = s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+}
+
+// sampleIndex draws an index from a (possibly unnormalised) distribution.
+func sampleIndex(probs []float64, rng *rand.Rand) int {
+	var z float64
+	for _, p := range probs {
+		z += p
+	}
+	if z <= 0 {
+		return rng.Intn(len(probs))
+	}
+	r := rng.Float64() * z
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}

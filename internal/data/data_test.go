@@ -1,0 +1,370 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func tinyConfig(seed int64) Config {
+	return Config{
+		Name:                     "tiny",
+		NumClasses:               4,
+		NumDomains:               4,
+		TestDomains:              []int{3},
+		Resolution:               16,
+		SessionsPerClassDomain:   2,
+		FramesPerSession:         3,
+		TestFramesPerClassDomain: 2,
+		Severity:                 1.0,
+		Seed:                     seed,
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{NumClasses: 1, NumDomains: 4, TestDomains: []int{3}, Resolution: 16, Severity: 1},
+		{NumClasses: 4, NumDomains: 1, TestDomains: []int{0}, Resolution: 16, Severity: 1},
+		{NumClasses: 4, NumDomains: 4, TestDomains: []int{9}, Resolution: 16, Severity: 1},
+		{NumClasses: 4, NumDomains: 4, TestDomains: nil, Resolution: 16, Severity: 1},
+		{NumClasses: 4, NumDomains: 4, TestDomains: []int{3}, Resolution: 2, Severity: 1},
+		{NumClasses: 4, NumDomains: 4, TestDomains: []int{3}, Resolution: 16, Severity: 0},
+		{NumClasses: 4, NumDomains: 2, TestDomains: []int{0, 1}, Resolution: 16, Severity: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	ds, err := Generate(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 train domains × 4 classes × 2 sessions × 3 frames = 72.
+	if ds.NumTrain() != 72 {
+		t.Fatalf("train = %d, want 72", ds.NumTrain())
+	}
+	// 1 test domain × 4 classes × 2 frames = 8.
+	if ds.NumTest() != 8 {
+		t.Fatalf("test = %d, want 8", ds.NumTest())
+	}
+	if len(ds.TrainDomains) != 3 {
+		t.Fatalf("train domains = %v", ds.TrainDomains)
+	}
+	for _, sm := range ds.Test {
+		if sm.Domain != 3 {
+			t.Fatalf("test sample from domain %d", sm.Domain)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(tinyConfig(7))
+	b, _ := Generate(tinyConfig(7))
+	for i := range a.Train {
+		for j, v := range a.Train[i].Image.Data() {
+			if b.Train[i].Image.Data()[j] != v {
+				t.Fatal("same seed must reproduce identical frames")
+			}
+		}
+	}
+	c, _ := Generate(tinyConfig(8))
+	if c.Train[0].Image.Data()[0] == a.Train[0].Image.Data()[0] &&
+		c.Train[0].Image.Data()[100] == a.Train[0].Image.Data()[100] {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestImagesFiniteAndNonTrivial(t *testing.T) {
+	ds, _ := Generate(tinyConfig(2))
+	for _, sm := range append(append([]Sample{}, ds.Train...), ds.Test...) {
+		var mn, mx float32 = math.MaxFloat32, -math.MaxFloat32
+		for _, v := range sm.Image.Data() {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatal("non-finite pixel")
+			}
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if mx == mn {
+			t.Fatal("constant image rendered")
+		}
+	}
+}
+
+func TestClassesAreVisuallyDistinct(t *testing.T) {
+	// Same domain, same jitter statistics: the mean inter-class pixel
+	// distance must clearly exceed the mean intra-class distance, otherwise
+	// no classifier could work.
+	cfg := tinyConfig(3)
+	cfg.FramesPerSession = 4
+	ds, _ := Generate(cfg)
+	dom := ds.TrainDomains[0]
+	byClass := map[int][]Sample{}
+	for _, sm := range ds.Train {
+		if sm.Domain == dom {
+			byClass[sm.Label] = append(byClass[sm.Label], sm)
+		}
+	}
+	dist := func(a, b Sample) float64 {
+		var s float64
+		for i, v := range a.Image.Data() {
+			d := float64(v - b.Image.Data()[i])
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	var intra, inter float64
+	var ni, nx int
+	for c1 := 0; c1 < cfg.NumClasses; c1++ {
+		ss := byClass[c1]
+		for i := 0; i < len(ss); i++ {
+			for j := i + 1; j < len(ss); j++ {
+				intra += dist(ss[i], ss[j])
+				ni++
+			}
+		}
+		for c2 := c1 + 1; c2 < cfg.NumClasses; c2++ {
+			inter += dist(ss[0], byClass[c2][0])
+			nx++
+		}
+	}
+	intra /= float64(ni)
+	inter /= float64(nx)
+	if inter < 1.5*intra {
+		t.Fatalf("classes not distinct enough: inter=%v intra=%v", inter, intra)
+	}
+}
+
+func TestDomainsShiftAppearance(t *testing.T) {
+	// The same class must look different across domains (domain shift).
+	ds, _ := Generate(tinyConfig(4))
+	var first, second Sample
+	for _, sm := range ds.Train {
+		if sm.Label == 0 && sm.Domain == ds.TrainDomains[0] && first.Image == nil {
+			first = sm
+		}
+		if sm.Label == 0 && sm.Domain == ds.TrainDomains[1] && second.Image == nil {
+			second = sm
+		}
+	}
+	var d float64
+	for i, v := range first.Image.Data() {
+		dd := float64(v - second.Image.Data()[i])
+		d += dd * dd
+	}
+	if math.Sqrt(d) < 1 {
+		t.Fatalf("cross-domain distance too small: %v", math.Sqrt(d))
+	}
+}
+
+func TestBalancedStreamSinglePassAndDomainOrder(t *testing.T) {
+	ds, _ := Generate(tinyConfig(5))
+	st := ds.Stream(1, StreamOptions{BatchSize: 5})
+	if st.Total() != ds.NumTrain() {
+		t.Fatalf("Total = %d, want %d", st.Total(), ds.NumTrain())
+	}
+	seen := 0
+	lastDomainIdx := -1
+	domainRank := map[int]int{}
+	for i, d := range ds.TrainDomains {
+		domainRank[d] = i
+	}
+	for {
+		b, ok := st.Next()
+		if !ok {
+			break
+		}
+		if len(b.Samples) == 0 || len(b.Samples) > 5 {
+			t.Fatalf("batch size %d", len(b.Samples))
+		}
+		for _, sm := range b.Samples {
+			if sm.Domain != b.Domain {
+				t.Fatal("batch straddles domains")
+			}
+		}
+		if r := domainRank[b.Domain]; r < lastDomainIdx {
+			t.Fatal("domains must be visited incrementally")
+		} else {
+			lastDomainIdx = r
+		}
+		seen += len(b.Samples)
+	}
+	if seen != ds.NumTrain() {
+		t.Fatalf("stream emitted %d of %d", seen, ds.NumTrain())
+	}
+}
+
+func TestBalancedStreamKeepsSessionsContiguous(t *testing.T) {
+	ds, _ := Generate(tinyConfig(6))
+	st := ds.Stream(2, StreamOptions{BatchSize: 1})
+	var sessions []int
+	for {
+		b, ok := st.Next()
+		if !ok {
+			break
+		}
+		sessions = append(sessions, b.Samples[0].Session)
+	}
+	// Each session id must appear as one contiguous run.
+	seen := map[int]bool{}
+	for i, s := range sessions {
+		if i > 0 && s != sessions[i-1] && seen[s] {
+			t.Fatalf("session %d appears in two separate runs", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestUserCentricStreamSkewsFrequencies(t *testing.T) {
+	cfg := tinyConfig(9)
+	cfg.NumClasses = 8
+	ds, _ := Generate(cfg)
+	st := ds.Stream(3, StreamOptions{BatchSize: 5, UserCentric: true, PrefSkew: 2.0, PrefTopK: 2, SamplesPerDomain: 200})
+	pref := st.PreferredClasses()
+	if len(pref) != 2 {
+		t.Fatalf("PreferredClasses = %v", pref)
+	}
+	counts := make([]int, cfg.NumClasses)
+	total := 0
+	for {
+		b, ok := st.Next()
+		if !ok {
+			break
+		}
+		for _, sm := range b.Samples {
+			counts[sm.Label]++
+			total++
+		}
+	}
+	if total != st.Total() {
+		t.Fatalf("emitted %d, Total says %d", total, st.Total())
+	}
+	prefCount := counts[pref[0]] + counts[pref[1]]
+	if float64(prefCount) < 0.4*float64(total) {
+		t.Fatalf("preferred classes got %d of %d samples; skew too weak (counts=%v)", prefCount, total, counts)
+	}
+}
+
+func TestUserCentricDriftChangesPreferences(t *testing.T) {
+	cfg := tinyConfig(10)
+	cfg.NumClasses = 8
+	ds, _ := Generate(cfg)
+	st := ds.Stream(4, StreamOptions{BatchSize: 5, UserCentric: true, DriftEveryBatches: 3, SamplesPerDomain: 300})
+	before := st.PreferredClasses()
+	for i := 0; i < 20; i++ {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+	}
+	after := st.PreferredClasses()
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("preferences did not drift after 20 batches with DriftEveryBatches=3")
+	}
+}
+
+func TestClassIncrementalStream(t *testing.T) {
+	cfg := tinyConfig(15)
+	cfg.NumClasses = 6
+	ds, _ := Generate(cfg)
+	st := ds.Stream(7, StreamOptions{BatchSize: 4, ClassIncremental: true, ClassesPerTask: 2})
+	if st.Total() != ds.NumTrain() {
+		t.Fatalf("Total = %d, want %d", st.Total(), ds.NumTrain())
+	}
+	lastTask := -1
+	taskClasses := map[int]map[int]bool{}
+	seen := 0
+	for {
+		b, ok := st.Next()
+		if !ok {
+			break
+		}
+		if b.Domain < lastTask {
+			t.Fatal("tasks must be visited incrementally")
+		}
+		lastTask = b.Domain
+		if taskClasses[b.Domain] == nil {
+			taskClasses[b.Domain] = map[int]bool{}
+		}
+		for _, sm := range b.Samples {
+			taskClasses[b.Domain][sm.Label] = true
+			seen++
+		}
+	}
+	if seen != ds.NumTrain() {
+		t.Fatalf("emitted %d of %d", seen, ds.NumTrain())
+	}
+	if len(taskClasses) != 3 {
+		t.Fatalf("6 classes / 2 per task should give 3 tasks, got %d", len(taskClasses))
+	}
+	// Each task must contain exactly its 2 classes, disjoint from others.
+	union := map[int]bool{}
+	for task, cls := range taskClasses {
+		if len(cls) != 2 {
+			t.Fatalf("task %d has classes %v", task, cls)
+		}
+		for c := range cls {
+			if union[c] {
+				t.Fatalf("class %d appears in two tasks", c)
+			}
+			union[c] = true
+		}
+	}
+}
+
+func TestCORe50AndOpenLORISConfigsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark generation in -short mode")
+	}
+	for _, cfg := range []Config{CORe50(1), OpenLORIS(1)} {
+		// Shrink for test runtime while preserving structure.
+		cfg.NumClasses = 6
+		cfg.FramesPerSession = 2
+		cfg.TestFramesPerClassDomain = 1
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		wantTrain := 6 * (cfg.NumDomains - len(cfg.TestDomains)) * cfg.SessionsPerClassDomain * 2
+		if ds.NumTrain() != wantTrain {
+			t.Fatalf("%s: train=%d want %d", cfg.Name, ds.NumTrain(), wantTrain)
+		}
+	}
+}
+
+func TestSmoothDomainsAreGradual(t *testing.T) {
+	cfg := tinyConfig(11)
+	cfg.NumDomains = 6
+	cfg.TestDomains = []int{5}
+	cfg.Smooth = true
+	ds, _ := Generate(cfg)
+	// Consecutive domain params must be closer than distant ones.
+	d01 := domainDist(ds.Domains[0], ds.Domains[1])
+	d05 := domainDist(ds.Domains[0], ds.Domains[4])
+	if d01 >= d05 {
+		t.Fatalf("smooth domains not gradual: d(0,1)=%v d(0,4)=%v", d01, d05)
+	}
+}
+
+func domainDist(a, b DomainParams) float64 {
+	d := math.Abs(a.Brightness-b.Brightness) + math.Abs(a.Contrast-b.Contrast) +
+		math.Abs(a.Noise-b.Noise) + math.Abs(a.BgX-b.BgX) + math.Abs(a.BgY-b.BgY)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			d += math.Abs(a.Mix[i][j] - b.Mix[i][j])
+		}
+	}
+	return d
+}

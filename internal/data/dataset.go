@@ -1,0 +1,211 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chameleon/internal/tensor"
+)
+
+// Sample is one labelled frame of the stream.
+type Sample struct {
+	// ID is the sample's stable index within its pool (train and test pools
+	// are numbered independently, each from 0). Feature caches key on it.
+	ID int
+	// Image is the [3,R,R] rendered frame.
+	Image *tensor.Tensor
+	// Label is the class index.
+	Label int
+	// Domain is the acquisition-condition index the frame was rendered under.
+	Domain int
+	// Session groups consecutive frames of the same object recording.
+	Session int
+}
+
+// Config describes a synthetic benchmark instance.
+type Config struct {
+	// Name is a human-readable identifier ("core50", "openloris").
+	Name string
+	// NumClasses is the number of object classes.
+	NumClasses int
+	// NumDomains is the total number of acquisition conditions.
+	NumDomains int
+	// TestDomains lists held-out domain indices used only for evaluation
+	// (CORe50's NI protocol holds out sessions 3, 7 and 10).
+	TestDomains []int
+	// Resolution is the square image size.
+	Resolution int
+	// SessionsPerClassDomain and FramesPerSession size each (class, domain)
+	// pool; train pool size = classes × train-domains × sessions × frames.
+	SessionsPerClassDomain int
+	FramesPerSession       int
+	// TestFramesPerClassDomain sizes the test pool on held-out domains.
+	TestFramesPerClassDomain int
+	// Severity scales domain-shift strength in (0,1].
+	Severity float64
+	// Smooth makes consecutive domains interpolate between two endpoint
+	// conditions (OpenLORIS's gradual illumination/occlusion factors) instead
+	// of being independent draws (CORe50's distinct sessions).
+	Smooth bool
+	// Seed drives all procedural generation.
+	Seed int64
+}
+
+// CORe50 returns the laptop-scale synthetic CORe50 configuration: 50 classes,
+// 11 domains with 3 held out for testing, abrupt domain shifts.
+func CORe50(seed int64) Config {
+	return Config{
+		Name:                     "core50",
+		NumClasses:               50,
+		NumDomains:               11,
+		TestDomains:              []int{2, 6, 9}, // sessions 3, 7, 10 (0-based)
+		Resolution:               32,
+		SessionsPerClassDomain:   1,
+		FramesPerSession:         5,
+		TestFramesPerClassDomain: 3,
+		Severity:                 1.0,
+		Smooth:                   false,
+		Seed:                     seed,
+	}
+}
+
+// OpenLORIS returns the laptop-scale synthetic OpenLORIS-Object
+// configuration: more frames per class and smooth transitions between the 12
+// domains, which is why every method scores higher on it (paper §IV-B).
+func OpenLORIS(seed int64) Config {
+	return Config{
+		Name:                     "openloris",
+		NumClasses:               40,
+		NumDomains:               12,
+		TestDomains:              []int{3, 7, 11},
+		Resolution:               32,
+		SessionsPerClassDomain:   1,
+		FramesPerSession:         8,
+		TestFramesPerClassDomain: 4,
+		Severity:                 0.55,
+		Smooth:                   true,
+		Seed:                     seed,
+	}
+}
+
+// Dataset is a fully generated benchmark: train pool (ordered by domain) and
+// held-out test pool.
+type Dataset struct {
+	Cfg Config
+	// Train holds the training frames grouped by domain in stream order.
+	Train []Sample
+	// Test holds the evaluation frames from the held-out domains.
+	Test []Sample
+	// Domains are the generated acquisition conditions, index-aligned with
+	// Sample.Domain.
+	Domains []DomainParams
+	// TrainDomains lists domain indices present in Train, in stream order.
+	TrainDomains []int
+}
+
+// Generate renders the benchmark described by cfg.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.NumClasses < 2 {
+		return nil, fmt.Errorf("data: need at least 2 classes, got %d", cfg.NumClasses)
+	}
+	if cfg.NumDomains < 2 {
+		return nil, fmt.Errorf("data: need at least 2 domains, got %d", cfg.NumDomains)
+	}
+	if cfg.Resolution < 8 {
+		return nil, fmt.Errorf("data: resolution %d too small", cfg.Resolution)
+	}
+	if cfg.Severity <= 0 || cfg.Severity > 1.5 {
+		return nil, fmt.Errorf("data: severity %v out of (0,1.5]", cfg.Severity)
+	}
+	test := make(map[int]bool)
+	for _, d := range cfg.TestDomains {
+		if d < 0 || d >= cfg.NumDomains {
+			return nil, fmt.Errorf("data: test domain %d out of range", d)
+		}
+		test[d] = true
+	}
+	if len(test) == 0 || len(test) >= cfg.NumDomains {
+		return nil, fmt.Errorf("data: need at least one train and one test domain")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	protos := make([]classProto, cfg.NumClasses)
+	for c := range protos {
+		protos[c] = newClassProto(rng)
+	}
+	domains := make([]DomainParams, cfg.NumDomains)
+	if cfg.Smooth {
+		a := randomDomain(rng, cfg.Severity)
+		b := randomDomain(rng, cfg.Severity)
+		for d := range domains {
+			domains[d] = lerpDomain(a, b, float64(d)/float64(cfg.NumDomains-1))
+		}
+	} else {
+		for d := range domains {
+			domains[d] = randomDomain(rng, cfg.Severity)
+		}
+	}
+
+	ds := &Dataset{Cfg: cfg, Domains: domains}
+	session := 0
+	for d := 0; d < cfg.NumDomains; d++ {
+		if test[d] {
+			// Held-out domain: render the test pool.
+			for c := 0; c < cfg.NumClasses; c++ {
+				for i := 0; i < cfg.TestFramesPerClassDomain; i++ {
+					j := jitter{
+						dx:    rng.NormFloat64() * 0.03,
+						dy:    rng.NormFloat64() * 0.03,
+						scale: 1 + rng.NormFloat64()*0.08,
+					}
+					ds.Test = append(ds.Test, Sample{
+						Image:  protos[c].render(cfg.Resolution, j, domains[d], rng),
+						Label:  c,
+						Domain: d,
+					})
+				}
+			}
+			continue
+		}
+		ds.TrainDomains = append(ds.TrainDomains, d)
+		// Training domain: render temporally correlated sessions.
+		var pool []Sample
+		for c := 0; c < cfg.NumClasses; c++ {
+			for s := 0; s < cfg.SessionsPerClassDomain; s++ {
+				session++
+				j := jitter{
+					dx:    rng.NormFloat64() * 0.03,
+					dy:    rng.NormFloat64() * 0.03,
+					scale: 1 + rng.NormFloat64()*0.08,
+				}
+				for f := 0; f < cfg.FramesPerSession; f++ {
+					// Random-walk jitter within the session: consecutive
+					// frames are highly correlated, like video.
+					j.dx += rng.NormFloat64() * 0.008
+					j.dy += rng.NormFloat64() * 0.008
+					j.scale += rng.NormFloat64() * 0.02
+					pool = append(pool, Sample{
+						Image:   protos[c].render(cfg.Resolution, j, domains[d], rng),
+						Label:   c,
+						Domain:  d,
+						Session: session,
+					})
+				}
+			}
+		}
+		ds.Train = append(ds.Train, pool...)
+	}
+	for i := range ds.Train {
+		ds.Train[i].ID = i
+	}
+	for i := range ds.Test {
+		ds.Test[i].ID = i
+	}
+	return ds, nil
+}
+
+// NumTrain returns the training-pool size.
+func (d *Dataset) NumTrain() int { return len(d.Train) }
+
+// NumTest returns the test-pool size.
+func (d *Dataset) NumTest() int { return len(d.Test) }

@@ -1,0 +1,98 @@
+// Package data generates the synthetic stand-ins for the CORe50 and
+// OpenLORIS-Object continual-learning benchmarks and exposes them as
+// domain-incremental, temporally correlated streams.
+//
+// Real CORe50/OpenLORIS frames are unavailable offline, so each class is a
+// procedurally generated prototype image (a composition of Gaussian colour
+// blobs and a sinusoidal grating) and each domain is a parametric acquisition
+// condition — brightness, contrast, colour mixing, background gradient,
+// sensor noise and translation — mirroring the lighting/background/occlusion
+// variation the real benchmarks exhibit (paper Fig. 1). Instances within a
+// (class, domain) pool are short "session" clips with smoothly varying
+// jitter, reproducing the temporal correlation of video frames.
+package data
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DomainParams is one acquisition condition applied on top of the class
+// prototype renderer.
+type DomainParams struct {
+	// Brightness is an additive offset applied to all channels.
+	Brightness float64
+	// Contrast scales the prototype signal around zero.
+	Contrast float64
+	// Noise is the per-pixel Gaussian noise std.
+	Noise float64
+	// Mix is a colour mixing matrix applied to the RGB vector of each pixel.
+	Mix [3][3]float64
+	// BgX, BgY, BgC parameterise a planar background gradient
+	// BgX·u + BgY·v + BgC with u,v in [-1,1].
+	BgX, BgY, BgC float64
+	// ShiftX, ShiftY translate the object in pixels.
+	ShiftX, ShiftY int
+	// Occlusion is the side length, as a fraction of the image, of a zeroed
+	// box occluding the object (OpenLORIS has an occlusion factor).
+	Occlusion float64
+}
+
+// identityMix returns the identity colour matrix.
+func identityMix() [3][3]float64 {
+	return [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+}
+
+// randomDomain draws a random acquisition condition. severity in (0,1]
+// scales how far the condition departs from the canonical one; higher
+// severity means stronger domain shift and thus harder continual learning.
+func randomDomain(rng *rand.Rand, severity float64) DomainParams {
+	d := DomainParams{
+		Brightness: rng.NormFloat64() * 0.45 * severity,
+		Contrast:   1 + rng.NormFloat64()*0.35*severity,
+		Noise:      0.05 + rng.Float64()*0.25*severity,
+		BgX:        rng.NormFloat64() * 0.4 * severity,
+		BgY:        rng.NormFloat64() * 0.4 * severity,
+		BgC:        rng.NormFloat64() * 0.3 * severity,
+		ShiftX:     rng.Intn(2*maxShift+1) - maxShift,
+		ShiftY:     rng.Intn(2*maxShift+1) - maxShift,
+	}
+	if d.Contrast < 0.3 {
+		d.Contrast = 0.3
+	}
+	d.Mix = identityMix()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			d.Mix[i][j] += rng.NormFloat64() * 0.18 * severity
+		}
+	}
+	if rng.Float64() < 0.3*severity {
+		d.Occlusion = 0.15 + rng.Float64()*0.15
+	}
+	return d
+}
+
+const maxShift = 2
+
+// lerpDomain interpolates between two conditions; OpenLORIS-style smooth
+// factor sequences are built by sliding t from 0 to 1.
+func lerpDomain(a, b DomainParams, t float64) DomainParams {
+	l := func(x, y float64) float64 { return x + (y-x)*t }
+	out := DomainParams{
+		Brightness: l(a.Brightness, b.Brightness),
+		Contrast:   l(a.Contrast, b.Contrast),
+		Noise:      l(a.Noise, b.Noise),
+		BgX:        l(a.BgX, b.BgX),
+		BgY:        l(a.BgY, b.BgY),
+		BgC:        l(a.BgC, b.BgC),
+		ShiftX:     int(math.Round(l(float64(a.ShiftX), float64(b.ShiftX)))),
+		ShiftY:     int(math.Round(l(float64(a.ShiftY), float64(b.ShiftY)))),
+		Occlusion:  l(a.Occlusion, b.Occlusion),
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.Mix[i][j] = l(a.Mix[i][j], b.Mix[i][j])
+		}
+	}
+	return out
+}

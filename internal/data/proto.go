@@ -1,0 +1,115 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+
+	"chameleon/internal/tensor"
+)
+
+// blob is one Gaussian colour blob of a class prototype.
+type blob struct {
+	cx, cy, sigma float64
+	amp           [3]float64
+}
+
+// classProto is the procedural appearance model of one object class.
+type classProto struct {
+	blobs []blob
+	// grating parameters: spatial frequency, phase and per-channel weight.
+	fx, fy, phase float64
+	gamp          [3]float64
+}
+
+// newClassProto draws a class prototype from rng.
+func newClassProto(rng *rand.Rand) classProto {
+	nBlobs := 3 + rng.Intn(3)
+	p := classProto{
+		fx:    1 + rng.Float64()*3,
+		fy:    1 + rng.Float64()*3,
+		phase: rng.Float64() * 2 * math.Pi,
+	}
+	for c := 0; c < 3; c++ {
+		p.gamp[c] = rng.NormFloat64() * 0.25
+	}
+	for i := 0; i < nBlobs; i++ {
+		b := blob{
+			cx:    0.2 + rng.Float64()*0.6,
+			cy:    0.2 + rng.Float64()*0.6,
+			sigma: 0.08 + rng.Float64()*0.2,
+		}
+		for c := 0; c < 3; c++ {
+			b.amp[c] = rng.NormFloat64()
+		}
+		p.blobs = append(p.blobs, b)
+	}
+	return p
+}
+
+// jitter is the per-frame instance variation applied to a prototype: blob
+// displacement and amplitude modulation. Within a session it evolves
+// smoothly, emulating consecutive video frames of the same object.
+type jitter struct {
+	dx, dy float64 // blob displacement (fraction of image)
+	scale  float64 // amplitude modulation
+}
+
+// render draws a [3,R,R] image of the prototype under the given jitter and
+// domain, adding per-pixel noise from rng.
+func (p classProto) render(res int, j jitter, d DomainParams, rng *rand.Rand) *tensor.Tensor {
+	img := tensor.New(3, res, res)
+	data := img.Data()
+	inv := 1 / float64(res)
+	for y := 0; y < res; y++ {
+		for x := 0; x < res; x++ {
+			// Object-space coordinates with domain translation.
+			u := (float64(x-d.ShiftX) + 0.5) * inv
+			v := (float64(y-d.ShiftY) + 0.5) * inv
+			var px [3]float64
+			for _, b := range p.blobs {
+				du := u - (b.cx + j.dx)
+				dv := v - (b.cy + j.dy)
+				g := math.Exp(-(du*du + dv*dv) / (2 * b.sigma * b.sigma))
+				if g < 1e-4 {
+					continue
+				}
+				for c := 0; c < 3; c++ {
+					px[c] += b.amp[c] * g * j.scale
+				}
+			}
+			gr := math.Sin(2*math.Pi*(p.fx*u+p.fy*v) + p.phase)
+			for c := 0; c < 3; c++ {
+				px[c] += p.gamp[c] * gr
+			}
+			// Domain transform: contrast, colour mix, brightness, background.
+			for c := 0; c < 3; c++ {
+				px[c] *= d.Contrast
+			}
+			var mixed [3]float64
+			for c := 0; c < 3; c++ {
+				mixed[c] = d.Mix[c][0]*px[0] + d.Mix[c][1]*px[1] + d.Mix[c][2]*px[2]
+			}
+			bg := d.BgX*(2*u-1) + d.BgY*(2*v-1) + d.BgC
+			for c := 0; c < 3; c++ {
+				val := mixed[c] + d.Brightness + bg
+				if d.Noise > 0 {
+					val += rng.NormFloat64() * d.Noise
+				}
+				data[c*res*res+y*res+x] = float32(val)
+			}
+		}
+	}
+	if d.Occlusion > 0 {
+		side := int(d.Occlusion * float64(res))
+		ox := rng.Intn(res - side)
+		oy := rng.Intn(res - side)
+		for c := 0; c < 3; c++ {
+			for y := oy; y < oy+side; y++ {
+				for x := ox; x < ox+side; x++ {
+					data[c*res*res+y*res+x] = 0
+				}
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,282 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+)
+
+// StreamOptions configures how a Dataset is serialised into an online stream.
+type StreamOptions struct {
+	// BatchSize is the mini-batch size (paper uses 10). Defaults to 10.
+	BatchSize int
+	// UserCentric enables preference-skewed sampling: class frequencies
+	// follow a Zipf law over a random class ranking, modelling the paper's
+	// observation that an individual user accesses only a few classes often.
+	UserCentric bool
+	// PrefSkew is the Zipf exponent (default 1.2). Larger means stronger
+	// concentration on the preferred classes.
+	PrefSkew float64
+	// PrefTopK is the number of strongly preferred classes (default 5,
+	// matching the paper's k).
+	PrefTopK int
+	// DriftEveryBatches re-draws the preference ranking after this many
+	// batches (0 = stable preferences), modelling changing user inclination.
+	DriftEveryBatches int
+	// SamplesPerDomain overrides how many frames each training domain emits
+	// in UserCentric mode (default: the domain's pool size).
+	SamplesPerDomain int
+	// ClassIncremental switches the stream from the paper's Domain-IL
+	// protocol to Class-IL: instead of visiting domains in order, the stream
+	// visits *class groups* in order (ClassesPerTask classes at a time, all
+	// their domains mixed), the other canonical continual-learning axis.
+	ClassIncremental bool
+	// ClassesPerTask sizes the Class-IL task groups (default 2).
+	ClassesPerTask int
+}
+
+// Batch is one step of the online stream.
+type Batch struct {
+	// Samples are the frames of this step (≤ BatchSize at domain edges).
+	Samples []Sample
+	// Index is the 0-based batch index.
+	Index int
+	// Domain is the acquisition condition the batch was drawn from.
+	Domain int
+}
+
+// domainPool is the per-domain draw state of a user-centric stream.
+type domainPool struct {
+	domain  int
+	byClass map[int][][]Sample
+	budget  int
+	emitted int
+	pending []Sample // remainder of the session currently being replayed
+}
+
+// Stream is a single-pass, domain-incremental iterator over a Dataset's
+// training pool. Frames within a session stay contiguous (temporal
+// correlation); session order is shuffled per domain. In user-centric mode
+// sessions are drawn with preference-weighted class frequencies, re-drawable
+// over time (preference drift).
+type Stream struct {
+	opt   StreamOptions
+	rng   *rand.Rand
+	ds    *Dataset
+	batch int
+
+	// Balanced mode: fully serialised order.
+	order  []Sample
+	cursor int
+
+	// User-centric mode: lazy per-domain pools.
+	pools   []*domainPool
+	poolIdx int
+	total   int
+
+	prefs   []float64
+	ranking []int
+}
+
+// Stream creates a stream over the dataset with the given seed and options.
+func (d *Dataset) Stream(seed int64, opt StreamOptions) *Stream {
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 10
+	}
+	if opt.PrefSkew <= 0 {
+		opt.PrefSkew = 1.2
+	}
+	if opt.PrefTopK <= 0 {
+		opt.PrefTopK = 5
+	}
+	if opt.ClassesPerTask <= 0 {
+		opt.ClassesPerTask = 2
+	}
+	s := &Stream{opt: opt, rng: rand.New(rand.NewSource(seed)), ds: d}
+	s.redrawPreferences()
+	switch {
+	case opt.UserCentric:
+		s.buildPools()
+	case opt.ClassIncremental:
+		s.buildClassIncrementalOrder()
+		s.total = len(s.order)
+	default:
+		s.buildBalancedOrder()
+		s.total = len(s.order)
+	}
+	return s
+}
+
+// buildClassIncrementalOrder serialises the pool by class group: classes are
+// shuffled into tasks of ClassesPerTask; each task emits all its sessions
+// (across every training domain) in shuffled order before the next task
+// starts. Batch.Domain reports the task index in this mode.
+func (s *Stream) buildClassIncrementalOrder() {
+	classes := s.rng.Perm(s.ds.Cfg.NumClasses)
+	taskOf := make(map[int]int, len(classes))
+	for i, c := range classes {
+		taskOf[c] = i / s.opt.ClassesPerTask
+	}
+	// Group sessions per task.
+	type sess struct {
+		task   int
+		frames []Sample
+	}
+	var sessions []sess
+	for _, dom := range s.ds.TrainDomains {
+		ids, bySession := s.sessionsByDomain(dom)
+		for _, id := range ids {
+			frames := bySession[id]
+			sessions = append(sessions, sess{task: taskOf[frames[0].Label], frames: frames})
+		}
+	}
+	s.rng.Shuffle(len(sessions), func(i, j int) { sessions[i], sessions[j] = sessions[j], sessions[i] })
+	numTasks := (s.ds.Cfg.NumClasses + s.opt.ClassesPerTask - 1) / s.opt.ClassesPerTask
+	for task := 0; task < numTasks; task++ {
+		for _, se := range sessions {
+			if se.task != task {
+				continue
+			}
+			for _, f := range se.frames {
+				// Re-badge the frame's Domain as the task id so batch
+				// boundary detection (and EWC/LwF consolidation) follows
+				// tasks in Class-IL mode.
+				f.Domain = task
+				s.order = append(s.order, f)
+			}
+		}
+	}
+}
+
+// sessionsByDomain groups the training pool into sessions per domain,
+// preserving frame order within each session.
+func (s *Stream) sessionsByDomain(dom int) (ids []int, bySession map[int][]Sample) {
+	bySession = map[int][]Sample{}
+	for _, sm := range s.ds.Train {
+		if sm.Domain != dom {
+			continue
+		}
+		if _, seen := bySession[sm.Session]; !seen {
+			ids = append(ids, sm.Session)
+		}
+		bySession[sm.Session] = append(bySession[sm.Session], sm)
+	}
+	return ids, bySession
+}
+
+func (s *Stream) buildBalancedOrder() {
+	for _, dom := range s.ds.TrainDomains {
+		ids, bySession := s.sessionsByDomain(dom)
+		s.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		for _, id := range ids {
+			s.order = append(s.order, bySession[id]...)
+		}
+	}
+}
+
+func (s *Stream) buildPools() {
+	for _, dom := range s.ds.TrainDomains {
+		ids, bySession := s.sessionsByDomain(dom)
+		p := &domainPool{domain: dom, byClass: map[int][][]Sample{}}
+		for _, id := range ids {
+			sess := bySession[id]
+			p.byClass[sess[0].Label] = append(p.byClass[sess[0].Label], sess)
+			p.budget += len(sess)
+		}
+		if s.opt.SamplesPerDomain > 0 {
+			p.budget = s.opt.SamplesPerDomain
+		}
+		s.pools = append(s.pools, p)
+		s.total += p.budget
+	}
+}
+
+// drawClass samples a class index from the preference distribution.
+func (s *Stream) drawClass() int {
+	r := s.rng.Float64()
+	acc := 0.0
+	for c, w := range s.prefs {
+		acc += w
+		if r < acc {
+			return c
+		}
+	}
+	return len(s.prefs) - 1
+}
+
+// redrawPreferences samples a fresh class ranking and Zipf weights.
+func (s *Stream) redrawPreferences() {
+	n := s.ds.Cfg.NumClasses
+	s.ranking = s.rng.Perm(n)
+	s.prefs = make([]float64, n)
+	var z float64
+	for rank, c := range s.ranking {
+		w := 1 / math.Pow(float64(rank+1), s.opt.PrefSkew)
+		s.prefs[c] = w
+		z += w
+	}
+	for c := range s.prefs {
+		s.prefs[c] /= z
+	}
+}
+
+// PreferredClasses returns the current top-k preferred class indices.
+func (s *Stream) PreferredClasses() []int {
+	k := s.opt.PrefTopK
+	if k > len(s.ranking) {
+		k = len(s.ranking)
+	}
+	return append([]int(nil), s.ranking[:k]...)
+}
+
+// Total returns how many samples the stream will emit in total.
+func (s *Stream) Total() int { return s.total }
+
+// Next returns the next batch, or ok=false when the stream is exhausted.
+// Batches never straddle a domain boundary.
+func (s *Stream) Next() (Batch, bool) {
+	if s.opt.UserCentric {
+		return s.nextUserCentric()
+	}
+	if s.cursor >= len(s.order) {
+		return Batch{}, false
+	}
+	dom := s.order[s.cursor].Domain
+	end := s.cursor
+	for end < len(s.order) && end-s.cursor < s.opt.BatchSize && s.order[end].Domain == dom {
+		end++
+	}
+	b := Batch{Samples: s.order[s.cursor:end], Index: s.batch, Domain: dom}
+	s.cursor = end
+	s.batch++
+	return b, true
+}
+
+func (s *Stream) nextUserCentric() (Batch, bool) {
+	for s.poolIdx < len(s.pools) && s.pools[s.poolIdx].emitted >= s.pools[s.poolIdx].budget {
+		s.poolIdx++
+	}
+	if s.poolIdx >= len(s.pools) {
+		return Batch{}, false
+	}
+	if s.opt.DriftEveryBatches > 0 && s.batch > 0 && s.batch%s.opt.DriftEveryBatches == 0 {
+		s.redrawPreferences()
+	}
+	p := s.pools[s.poolIdx]
+	var out []Sample
+	for len(out) < s.opt.BatchSize && p.emitted < p.budget {
+		if len(p.pending) == 0 {
+			c := s.drawClass()
+			sessions := p.byClass[c]
+			if len(sessions) == 0 {
+				continue
+			}
+			p.pending = sessions[s.rng.Intn(len(sessions))]
+		}
+		out = append(out, p.pending[0])
+		p.pending = p.pending[1:]
+		p.emitted++
+	}
+	b := Batch{Samples: out, Index: s.batch, Domain: p.domain}
+	s.batch++
+	return b, true
+}

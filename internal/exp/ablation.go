@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"fmt"
+
+	"chameleon/internal/baselines"
+	"chameleon/internal/cl"
+	"chameleon/internal/core"
+	"chameleon/internal/data"
+)
+
+// AblationResult is one ablation variant's outcome.
+type AblationResult struct {
+	Variant string
+	MeanAcc float64
+	StdAcc  float64
+}
+
+// chameleonSummary runs a Chameleon config over the scale's seeds.
+func chameleonSummary(set *cl.LatentSet, sc Scale, mutate func(*core.Config)) cl.Summary {
+	return cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
+		cfg := core.Config{
+			STCap: sc.ChameleonST, LTCap: defaultLT(sc),
+			AccessRate: sc.AccessRate, PromoteEvery: sc.PromoteEvery,
+			LTSampleSize: 10, Window: sc.Window, Seed: seed,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		return core.New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: sc.HeadLR, Seed: seed}), cfg)
+	}, sc.Seeds)
+}
+
+func defaultLT(sc Scale) int {
+	if len(sc.BufferSizes) >= 3 {
+		return sc.BufferSizes[2]
+	}
+	return 100
+}
+
+// RunAblationSTPolicy compares the short-term insertion policy of Eq. 4
+// against pure-uncertainty and pure-random variants (DESIGN.md §6).
+func RunAblationSTPolicy(set *cl.LatentSet, sc Scale) []AblationResult {
+	variants := []struct {
+		name        string
+		alpha, beta float64
+	}{
+		{"user-aware+uncertainty (α=1,β=1)", 1, 1},
+		{"uncertainty-only (α=0,β=1)", 0, 1},
+		{"random (α=0,β=0)", 0, 0},
+	}
+	var out []AblationResult
+	for _, v := range variants {
+		v := v
+		s := chameleonSummary(set, sc, func(c *core.Config) { c.Alpha, c.Beta = v.alpha, v.beta })
+		out = append(out, AblationResult{Variant: v.name, MeanAcc: s.MeanAcc, StdAcc: s.StdAcc})
+	}
+	return out
+}
+
+// RunAblationLTPolicy compares prototype-KL promotion (Eq. 6) against random
+// promotion.
+func RunAblationLTPolicy(set *cl.LatentSet, sc Scale) []AblationResult {
+	proto := chameleonSummary(set, sc, nil)
+	random := chameleonSummary(set, sc, func(c *core.Config) { c.RandomPromotion = true })
+	return []AblationResult{
+		{Variant: "prototype-KL promotion (Eq. 6)", MeanAcc: proto.MeanAcc, StdAcc: proto.StdAcc},
+		{Variant: "random promotion", MeanAcc: random.MeanAcc, StdAcc: random.StdAcc},
+	}
+}
+
+// RunAblationAccessRate sweeps the long-term access period h, the paper's
+// on-chip/off-chip traffic knob; the DRAM traffic per step scales as 1/h.
+func RunAblationAccessRate(set *cl.LatentSet, sc Scale, rates []int) []AblationResult {
+	var out []AblationResult
+	for _, h := range rates {
+		h := h
+		s := chameleonSummary(set, sc, func(c *core.Config) { c.AccessRate = h })
+		out = append(out, AblationResult{
+			Variant: fmt.Sprintf("h=%d (off-chip replay traffic ∝ 1/%d)", h, h),
+			MeanAcc: s.MeanAcc, StdAcc: s.StdAcc,
+		})
+	}
+	return out
+}
+
+// RunAblationRho sweeps the allocation exponent ρ of Eq. 2 under a
+// user-centric stream, where it actually matters.
+func RunAblationRho(set *cl.LatentSet, sc Scale, rhos []float64) []AblationResult {
+	var out []AblationResult
+	for _, rho := range rhos {
+		rho := rho
+		summary := cl.MultiSeed(set, data.StreamOptions{
+			BatchSize: 10, UserCentric: true, PrefSkew: 1.6, PrefTopK: 3,
+		}, func(seed int64) cl.Learner {
+			return core.New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: sc.HeadLR, Seed: seed}), core.Config{
+				STCap: sc.ChameleonST, LTCap: defaultLT(sc),
+				AccessRate: sc.AccessRate, PromoteEvery: sc.PromoteEvery,
+				LTSampleSize: 10, Window: sc.Window, TopK: 3, Rho: rho, Seed: seed,
+			})
+		}, sc.Seeds)
+		out = append(out, AblationResult{
+			Variant: fmt.Sprintf("rho=%.2f", rho),
+			MeanAcc: summary.MeanAcc, StdAcc: summary.StdAcc,
+		})
+	}
+	return out
+}
+
+// RunAblationDualVsSingle compares the dual-store design against a single
+// unified latent buffer of the same total capacity (Latent Replay).
+func RunAblationDualVsSingle(set *cl.LatentSet, sc Scale) []AblationResult {
+	lt := defaultLT(sc)
+	dual := chameleonSummary(set, sc, nil)
+	single := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
+		return baselines.NewLatentReplay(cl.NewHead(set.Backbone, cl.HeadConfig{LR: sc.HeadLR, Seed: seed}),
+			baselines.Config{BufferSize: lt + sc.ChameleonST, Seed: seed})
+	}, sc.Seeds)
+	return []AblationResult{
+		{Variant: fmt.Sprintf("dual store (%d on-chip + %d off-chip)", sc.ChameleonST, lt), MeanAcc: dual.MeanAcc, StdAcc: dual.StdAcc},
+		{Variant: fmt.Sprintf("single unified buffer (%d)", lt+sc.ChameleonST), MeanAcc: single.MeanAcc, StdAcc: single.StdAcc},
+	}
+}

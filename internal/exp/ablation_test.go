@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestAblationsRun exercises every ablation runner end to end on the cached
+// test-scale pipeline with a single seed. Skipped in -short mode.
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation integration is slow; run without -short")
+	}
+	sc := TestScale()
+	sc.Seeds = []int64{1}
+	set, err := BuildLatentSet("core50", sc, DefaultCacheDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, rows []AblationResult, wantRows int) {
+		t.Helper()
+		if len(rows) != wantRows {
+			t.Fatalf("%s: %d rows, want %d", name, len(rows), wantRows)
+		}
+		for _, r := range rows {
+			if r.Variant == "" {
+				t.Fatalf("%s: empty variant label", name)
+			}
+			if r.MeanAcc <= 0 || r.MeanAcc > 1 {
+				t.Fatalf("%s/%s: acc %v out of range", name, r.Variant, r.MeanAcc)
+			}
+		}
+	}
+	dual := RunAblationDualVsSingle(set, sc)
+	check("dual", dual, 2)
+	// The headline ablation: the dual store must not be materially worse
+	// than the unified buffer of equal capacity.
+	if dual[0].MeanAcc < dual[1].MeanAcc-0.10 {
+		t.Fatalf("dual store (%v) far below single buffer (%v)", dual[0].MeanAcc, dual[1].MeanAcc)
+	}
+	check("st", RunAblationSTPolicy(set, sc), 3)
+	check("lt", RunAblationLTPolicy(set, sc), 2)
+	check("h", RunAblationAccessRate(set, sc, []int{1, 10}), 2)
+	check("rho", RunAblationRho(set, sc, []float64{0.2, 1.0}), 2)
+}
+
+// TestTradeoffRun exercises the h trade-off sweep end to end (one seed).
+func TestTradeoffRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tradeoff integration is slow; run without -short")
+	}
+	sc := TestScale()
+	sc.Seeds = []int64{1}
+	set, err := BuildLatentSet("core50", sc, DefaultCacheDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := RunTradeoff(set, sc, []int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Larger h must reduce both the measured off-chip traffic and the
+	// modelled FPGA step latency.
+	if pts[1].OffChipMBRun >= pts[0].OffChipMBRun {
+		t.Fatalf("off-chip traffic did not drop with h: %v vs %v", pts[1].OffChipMBRun, pts[0].OffChipMBRun)
+	}
+	if pts[1].FPGAStep.LatencySec >= pts[0].FPGAStep.LatencySec {
+		t.Fatalf("FPGA step did not drop with h")
+	}
+	for _, p := range pts {
+		if p.MeanAcc <= 0 || p.MeanAcc > 1 {
+			t.Fatalf("acc out of range: %+v", p)
+		}
+	}
+}

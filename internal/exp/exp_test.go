@@ -1,0 +1,213 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"chameleon/internal/cl"
+)
+
+func TestScaleDatasetConfig(t *testing.T) {
+	sc := TestScale()
+	if _, ok := sc.DatasetConfig("core50"); !ok {
+		t.Fatal("core50 missing")
+	}
+	if _, ok := sc.DatasetConfig("openloris"); !ok {
+		t.Fatal("openloris missing")
+	}
+	if _, ok := sc.DatasetConfig("mnist"); ok {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestMethodSpecLabel(t *testing.T) {
+	cases := map[string]MethodSpec{
+		"finetune":        {Name: "finetune"},
+		"er-200":          {Name: "er", Buffer: 200},
+		"chameleon-10+50": {Name: "chameleon", Buffer: 50, ST: 10},
+	}
+	for want, spec := range cases {
+		if got := spec.Label(); got != want {
+			t.Errorf("Label() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestTable1SpecsCoverPaperRows(t *testing.T) {
+	sc := TestScale()
+	specs := Table1Specs(sc)
+	// 5 bufferless/fixed rows + 4 replay families × len(buffers) + chameleon × len(buffers).
+	want := 5 + 5*len(sc.BufferSizes)
+	if len(specs) != want {
+		t.Fatalf("got %d specs, want %d", len(specs), want)
+	}
+	families := map[string]bool{}
+	for _, s := range specs {
+		families[s.Name] = true
+		if s.Name == "chameleon" && s.ST != sc.ChameleonST {
+			t.Fatal("chameleon spec missing ST")
+		}
+	}
+	for _, f := range []string{"joint", "finetune", "ewcpp", "lwf", "slda", "gss", "er", "der", "latent", "chameleon"} {
+		if !families[f] {
+			t.Fatalf("missing family %q", f)
+		}
+	}
+}
+
+func TestMemoryMBOrdering(t *testing.T) {
+	gss, err := MemoryMB(MethodSpec{Name: "gss", Buffer: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, _ := MemoryMB(MethodSpec{Name: "er", Buffer: 100})
+	lat, _ := MemoryMB(MethodSpec{Name: "latent", Buffer: 100})
+	if !(gss > er && er > lat) {
+		t.Fatalf("memory ordering broken: gss=%.1f er=%.1f latent=%.1f", gss, er, lat)
+	}
+	if _, err := MemoryMB(MethodSpec{Name: "nope"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestNewLearnerUnknownMethod(t *testing.T) {
+	if _, err := NewLearner(MethodSpec{Name: "nope"}, nil, TestScale(), 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuildLatentSetUnknownDataset(t *testing.T) {
+	if _, err := BuildLatentSet("imagenet", TestScale(), "", nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCacheKeyDistinguishesConfigs(t *testing.T) {
+	a := cacheKey("core50", TestScale())
+	b := cacheKey("openloris", TestScale())
+	c := cacheKey("core50", SmallScale())
+	if a == b || a == c {
+		t.Fatalf("cache keys collide: %q %q %q", a, b, c)
+	}
+	if !strings.HasPrefix(a, "core50-test-") {
+		t.Fatalf("cache key format: %q", a)
+	}
+}
+
+func TestRunTable2MatchesPaperShape(t *testing.T) {
+	res, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]float64{}
+	for _, e := range res.Entries {
+		byKey[e.Method+"/"+e.Platform] = e.Cost.LatencySec
+	}
+	// Headline ratios: Chameleon fastest everywhere it is compared.
+	if byKey["latent/zcu102"]/byKey["chameleon/zcu102"] < 4 {
+		t.Fatalf("FPGA speedup too small: %.2f", byKey["latent/zcu102"]/byKey["chameleon/zcu102"])
+	}
+	if byKey["slda/edgetpu"]/byKey["chameleon/edgetpu"] < 8 {
+		t.Fatalf("EdgeTPU speedup too small: %.2f", byKey["slda/edgetpu"]/byKey["chameleon/edgetpu"])
+	}
+	if byKey["latent/jetson-nano"]/byKey["chameleon/jetson-nano"] < 2.5 {
+		t.Fatalf("Nano speedup too small")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Jetson Nano") || !strings.Contains(buf.String(), "chameleon") {
+		t.Fatal("render missing content")
+	}
+}
+
+func TestRunTable3MatchesPaper(t *testing.T) {
+	res := RunTable3()
+	r := res.Report
+	if r.DSPUsed != 1164 || r.BRAMUsed != 632 || r.LUTUsed != 169428 {
+		t.Fatalf("resources drifted: %+v", r)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"2520", "656", "233707", "46.19", "96.34", "72.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPipelineAndTable1Integration exercises the full accuracy pipeline at
+// test scale with a single seed. Skipped in -short mode; the first run per
+// machine builds the cached latents (~30 s).
+func TestPipelineAndTable1Integration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline integration is slow; run without -short")
+	}
+	sc := TestScale()
+	sc.Seeds = []int64{1}
+	set, err := BuildLatentSet("core50", sc, DefaultCacheDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Train) == 0 || len(set.Test) == 0 {
+		t.Fatal("empty latent set")
+	}
+
+	// A reduced spec sweep: the bounds plus one replay method and chameleon.
+	sets := map[string]*cl.LatentSet{"core50": set}
+	sc.BufferSizes = []int{40}
+	res, err := RunTable1(sets, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := map[string]float64{}
+	for _, row := range res.Rows {
+		acc[row.Spec.Label()] = row.Acc["core50"].MeanAcc
+	}
+	if acc["joint"] < 0.6 {
+		t.Fatalf("joint = %v, pipeline degraded", acc["joint"])
+	}
+	if acc["joint"] <= acc["finetune"] {
+		t.Fatalf("joint (%v) must beat finetune (%v)", acc["joint"], acc["finetune"])
+	}
+	if acc["chameleon-10+40"] < acc["finetune"]-0.1 {
+		t.Fatalf("chameleon (%v) far below finetune (%v)", acc["chameleon-10+40"], acc["finetune"])
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "chameleon-10+40") {
+		t.Fatal("render missing chameleon row")
+	}
+}
+
+// TestFig2Integration checks the Fig. 2 runner end to end with one seed.
+func TestFig2Integration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline integration is slow; run without -short")
+	}
+	sc := TestScale()
+	sc.Seeds = []int64{1}
+	sc.BufferSizes = []int{20, 80}
+	set, err := BuildLatentSet("core50", sc, DefaultCacheDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunFig2(set, sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points["chameleon"]) != 2 || len(res.Points["finetune"]) != 1 {
+		t.Fatalf("series shapes wrong: %+v", res.Points)
+	}
+	for _, p := range res.Points["er"] {
+		if p.MemoryMB <= 0 || p.MeanAcc <= 0 {
+			t.Fatalf("bad point %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig. 2") {
+		t.Fatal("render missing header")
+	}
+}

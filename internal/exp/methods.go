@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+
+	"chameleon/internal/baselines"
+	"chameleon/internal/cl"
+	"chameleon/internal/core"
+	"chameleon/internal/memcost"
+)
+
+// MethodSpec names a method instance for a table row: the method family plus
+// its buffer sizing.
+type MethodSpec struct {
+	// Name is the method family ("chameleon", "er", ...), matching
+	// memcost.Method identifiers.
+	Name string
+	// Buffer is the replay-buffer size in samples (long-term size for
+	// Chameleon; 0 for bufferless methods).
+	Buffer int
+	// ST is Chameleon's short-term size (0 elsewhere).
+	ST int
+}
+
+// Label renders "er-200"-style row labels.
+func (m MethodSpec) Label() string {
+	if m.Buffer <= 0 {
+		return m.Name
+	}
+	if m.Name == "chameleon" {
+		return fmt.Sprintf("chameleon-%d+%d", m.ST, m.Buffer)
+	}
+	return fmt.Sprintf("%s-%d", m.Name, m.Buffer)
+}
+
+// NewLearner instantiates the method over a fresh head for one run.
+func NewLearner(spec MethodSpec, set *cl.LatentSet, sc Scale, seed int64) (cl.Learner, error) {
+	return NewLearnerMetered(spec, set, sc, seed, nil)
+}
+
+// NewLearnerMetered is NewLearner with an optional traffic meter wired into
+// the method's replay buffers (nil disables metering).
+func NewLearnerMetered(spec MethodSpec, set *cl.LatentSet, sc Scale, seed int64, meter *cl.TrafficMeter) (cl.Learner, error) {
+	hc := cl.HeadConfig{LR: sc.HeadLR, Momentum: sc.HeadMomentum, Seed: seed}
+	bc := baselines.Config{BufferSize: spec.Buffer, ReplaySize: 10, Meter: meter, Seed: seed}
+	switch spec.Name {
+	case "finetune":
+		return baselines.NewFinetune(cl.NewHead(set.Backbone, hc)), nil
+	case "joint":
+		jc := hc
+		jc.LR = sc.JointLR
+		cfg := bc
+		cfg.Epochs = sc.JointEpochs
+		return baselines.NewJoint(cl.NewHead(set.Backbone, jc), cfg), nil
+	case "ewcpp":
+		return baselines.NewEWCPP(cl.NewHead(set.Backbone, hc), bc), nil
+	case "lwf":
+		return baselines.NewLwF(cl.NewHead(set.Backbone, hc), bc), nil
+	case "slda":
+		return baselines.NewSLDA(set.Backbone.LatentShape[0], set.Dataset.Cfg.NumClasses, bc), nil
+	case "gss":
+		return baselines.NewGSS(cl.NewHead(set.Backbone, hc), bc), nil
+	case "er":
+		return baselines.NewER(cl.NewHead(set.Backbone, hc), bc), nil
+	case "der":
+		return baselines.NewDER(cl.NewHead(set.Backbone, hc), bc), nil
+	case "latent":
+		return baselines.NewLatentReplay(cl.NewHead(set.Backbone, hc), bc), nil
+	case "chameleon":
+		return core.New(cl.NewHead(set.Backbone, hc), core.Config{
+			STCap: spec.ST, LTCap: spec.Buffer,
+			AccessRate: sc.AccessRate, PromoteEvery: sc.PromoteEvery, LTSampleSize: 10,
+			Window: sc.Window, Meter: meter, Seed: seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown method %q", spec.Name)
+	}
+}
+
+// MemoryMB prices a spec's replay overhead at paper scale (the Table I
+// convention: the MB column always refers to the paper-scale backbone).
+func MemoryMB(spec MethodSpec) (float64, error) {
+	m := memcost.PaperModel()
+	b, err := m.Overhead(memcost.Method(spec.Name), spec.Buffer, spec.ST)
+	if err != nil {
+		return 0, err
+	}
+	return memcost.MB(b), nil
+}
+
+// Table1Specs enumerates Table I's rows for a scale's buffer sweep.
+func Table1Specs(sc Scale) []MethodSpec {
+	specs := []MethodSpec{
+		{Name: "joint"},
+		{Name: "finetune"},
+		{Name: "ewcpp"},
+		{Name: "lwf"},
+		{Name: "slda"},
+	}
+	for _, name := range []string{"gss", "er", "der", "latent"} {
+		for _, b := range sc.BufferSizes {
+			specs = append(specs, MethodSpec{Name: name, Buffer: b})
+		}
+	}
+	for _, b := range sc.BufferSizes {
+		specs = append(specs, MethodSpec{Name: "chameleon", Buffer: b, ST: sc.ChameleonST})
+	}
+	return specs
+}
+
+// Fig2Specs enumerates Fig. 2's series: the replay methods swept over buffer
+// sizes plus the finetune floor.
+func Fig2Specs(sc Scale) []MethodSpec {
+	specs := []MethodSpec{{Name: "finetune"}}
+	for _, name := range []string{"gss", "er", "der", "latent"} {
+		for _, b := range sc.BufferSizes {
+			specs = append(specs, MethodSpec{Name: name, Buffer: b})
+		}
+	}
+	for _, b := range sc.BufferSizes {
+		specs = append(specs, MethodSpec{Name: "chameleon", Buffer: b, ST: sc.ChameleonST})
+	}
+	return specs
+}

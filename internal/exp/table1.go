@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+)
+
+// Row is one Table I / Fig. 2 entry: a method instance's accuracy (mean ±
+// std over seeds) and its paper-scale memory overhead.
+type Row struct {
+	Spec     MethodSpec
+	MemoryMB float64
+	// Acc maps dataset name → summary.
+	Acc map[string]cl.Summary
+}
+
+// Table1Result is the full table.
+type Table1Result struct {
+	Scale    string
+	Datasets []string
+	Rows     []Row
+}
+
+// RunTable1 regenerates Table I: every method × buffer size × dataset,
+// mean ± std over the scale's seeds.
+func RunTable1(sets map[string]*cl.LatentSet, sc Scale, progress func(format string, args ...any)) (*Table1Result, error) {
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	var datasets []string
+	for name := range sets {
+		datasets = append(datasets, name)
+	}
+	sort.Strings(datasets)
+	res := &Table1Result{Scale: sc.Name, Datasets: datasets}
+	for _, spec := range Table1Specs(sc) {
+		mb, err := MemoryMB(spec)
+		if err != nil {
+			return nil, err
+		}
+		row := Row{Spec: spec, MemoryMB: mb, Acc: map[string]cl.Summary{}}
+		for _, dsName := range datasets {
+			set := sets[dsName]
+			spec := spec
+			summary := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
+				l, err := NewLearner(spec, set, sc, seed)
+				if err != nil {
+					panic("exp: " + err.Error()) // specs come from Table1Specs; cannot miss
+				}
+				return l
+			}, sc.Seeds)
+			summary.Method = spec.Label()
+			row.Acc[dsName] = summary
+			progress("table1 %-18s %-10s %.2f%% ± %.2f", spec.Label(), dsName, 100*summary.MeanAcc, 100*summary.StdAcc)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table I — Acc_all (mean ± std over %s-scale seeds) and paper-scale memory overhead\n", t.Scale)
+	header := fmt.Sprintf("%-18s %12s", "Method", "Memory(MB)")
+	for _, ds := range t.Datasets {
+		header += fmt.Sprintf(" %20s", ds)
+	}
+	fmt.Fprintln(w, header)
+	fmt.Fprintln(w, strings.Repeat("-", len(header)))
+	for _, row := range t.Rows {
+		mem := fmt.Sprintf("%.1f", row.MemoryMB)
+		if row.MemoryMB == 0 {
+			mem = "-"
+		} else if row.Spec.Name == "chameleon" {
+			on, _ := MemoryMB(MethodSpec{Name: "latent", Buffer: row.Spec.ST})
+			mem = fmt.Sprintf("%.1f+%.1f", on, row.MemoryMB-on)
+		}
+		line := fmt.Sprintf("%-18s %12s", row.Spec.Label(), mem)
+		for _, ds := range t.Datasets {
+			s := row.Acc[ds]
+			line += fmt.Sprintf("      %6.2f ± %-5.2f", 100*s.MeanAcc, 100*s.StdAcc)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// Fig2Result is the Fig. 2 series set: Acc_all vs memory budget on CORe50.
+type Fig2Result struct {
+	Scale string
+	// Points maps method family → ordered (MB, mean accuracy) points.
+	Points map[string][]Fig2Point
+}
+
+// Fig2Point is one point of a Fig. 2 series.
+type Fig2Point struct {
+	Buffer   int
+	MemoryMB float64
+	MeanAcc  float64
+}
+
+// RunFig2 regenerates Fig. 2 on the CORe50 set.
+func RunFig2(set *cl.LatentSet, sc Scale, progress func(format string, args ...any)) (*Fig2Result, error) {
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	res := &Fig2Result{Scale: sc.Name, Points: map[string][]Fig2Point{}}
+	for _, spec := range Fig2Specs(sc) {
+		mb, err := MemoryMB(spec)
+		if err != nil {
+			return nil, err
+		}
+		spec := spec
+		summary := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
+			l, err := NewLearner(spec, set, sc, seed)
+			if err != nil {
+				panic("exp: " + err.Error())
+			}
+			return l
+		}, sc.Seeds)
+		res.Points[spec.Name] = append(res.Points[spec.Name], Fig2Point{
+			Buffer: spec.Buffer, MemoryMB: mb, MeanAcc: summary.MeanAcc,
+		})
+		progress("fig2 %-18s %6.1f MB -> %.2f%%", spec.Label(), mb, 100*summary.MeanAcc)
+	}
+	return res, nil
+}
+
+// Render prints the Fig. 2 series as aligned columns plus an ASCII chart.
+func (f *Fig2Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Fig. 2 — Acc_all vs replay-memory budget on CORe50 (%s scale)\n", f.Scale)
+	var methods []string
+	for m := range f.Points {
+		methods = append(methods, m)
+	}
+	sort.Strings(methods)
+	fmt.Fprintf(w, "%-12s %10s %10s %8s\n", "method", "buffer", "MB(paper)", "acc%%")
+	for _, m := range methods {
+		for _, p := range f.Points[m] {
+			fmt.Fprintf(w, "%-12s %10d %10.1f %8.2f\n", m, p.Buffer, p.MemoryMB, 100*p.MeanAcc)
+		}
+	}
+	// Compact ASCII strip chart: accuracy bars by method@budget.
+	fmt.Fprintln(w)
+	for _, m := range methods {
+		for _, p := range f.Points[m] {
+			bar := int(math.Round(p.MeanAcc * 50))
+			if bar < 0 {
+				bar = 0
+			}
+			fmt.Fprintf(w, "%-20s |%s %.1f%%\n", fmt.Sprintf("%s@%.1fMB", m, p.MemoryMB), strings.Repeat("#", bar), 100*p.MeanAcc)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/core"
+	"chameleon/internal/data"
+	"chameleon/internal/hw"
+	"chameleon/internal/mobilenet"
+)
+
+// TradeoffPoint is one h setting of the accuracy/energy trade-off: the
+// measured accuracy at that long-term access period, the measured replay
+// traffic of the run, and the paper-scale per-image step cost on the FPGA.
+type TradeoffPoint struct {
+	H             int
+	MeanAcc       float64
+	StdAcc        float64
+	Meter         cl.TrafficMeter
+	FPGAStep      hw.Cost
+	OffChipMBRun  float64
+	MemoryEnergyJ float64
+}
+
+// RunTradeoff sweeps Chameleon's long-term access period h, running the full
+// accuracy experiment per setting (the ablation) while the hardware model
+// prices the corresponding step profile — the quantitative form of the
+// paper's claim that h=10 buys an order-of-magnitude DRAM saving at no
+// accuracy cost.
+func RunTradeoff(set *cl.LatentSet, sc Scale, hs []int) ([]TradeoffPoint, error) {
+	cfgHW := mobilenet.PaperConfig(50)
+	cfgHW.Resolution = 128
+	fpga := hw.ZCU102()
+	var out []TradeoffPoint
+	for _, h := range hs {
+		h := h
+		meter := &cl.TrafficMeter{}
+		summary := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
+			return core.New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: sc.HeadLR, Momentum: sc.HeadMomentum, Seed: seed}), core.Config{
+				STCap: sc.ChameleonST, LTCap: defaultLT(sc),
+				AccessRate: h, PromoteEvery: sc.PromoteEvery,
+				LTSampleSize: 10, Window: sc.Window, Meter: meter, Seed: seed,
+			})
+		}, sc.Seeds)
+
+		profiler := hw.NewProfiler(cfgHW, hw.ProfileParams{Replay: 10, AccessRate: h, BytesPerScalar: 2})
+		profile, err := profiler.Profile("chameleon")
+		if err != nil {
+			return nil, err
+		}
+		// Measured traffic of the whole run at paper-scale latent payloads.
+		const latentBytes = 32 * 1024
+		on, off := meter.Bytes(latentBytes)
+		energy := float64(on)*hw.Horowitz45nm.SRAMPerByte + float64(off)*hw.Horowitz45nm.DRAMPerByte
+		out = append(out, TradeoffPoint{
+			H: h, MeanAcc: summary.MeanAcc, StdAcc: summary.StdAcc,
+			Meter:         *meter,
+			FPGAStep:      fpga.Step(profile),
+			OffChipMBRun:  float64(off) / (1 << 20),
+			MemoryEnergyJ: energy,
+		})
+	}
+	return out, nil
+}
+
+// RenderTradeoff prints the sweep.
+func RenderTradeoff(w io.Writer, points []TradeoffPoint) {
+	fmt.Fprintln(w, "Accuracy vs off-chip traffic trade-off (Chameleon, long-term access period h)")
+	fmt.Fprintf(w, "%4s %14s %18s %16s %18s\n", "h", "Acc_all", "off-chip MB/run", "mem energy J", "FPGA step ms")
+	for _, p := range points {
+		fmt.Fprintf(w, "%4d %8.2f ± %-4.2f %18.1f %16.3f %18.0f\n",
+			p.H, 100*p.MeanAcc, 100*p.StdAcc, p.OffChipMBRun, p.MemoryEnergyJ, p.FPGAStep.LatencySec*1e3)
+	}
+}

@@ -1,0 +1,86 @@
+// Package hw models the three deployment targets of the paper's Table II —
+// NVIDIA Jetson Nano (GPU roofline), a ZCU102 FPGA training accelerator
+// (DSP-array + AXI DRAM path, Table III resources), and an EdgeTPU-class
+// systolic array (uSystolic-style cycle model) — and prices one online
+// training step of each continual-learning method on each platform.
+//
+// The models are analytic: a method is summarised as a StepProfile (MACs,
+// on-/off-chip replay traffic, serial ops), and each platform converts a
+// profile into latency and energy. Absolute numbers are calibrated against
+// the paper's reported magnitudes; the *mechanisms* — Latent Replay paying
+// DRAM round-trips for every replay latent, SLDA paying an O(d³) inversion
+// per image, Chameleon keeping its short-term store on-chip — are structural.
+package hw
+
+// EnergyTable holds per-operation energy costs in joules, following the
+// 45 nm process table of Horowitz (ISSCC 2014) that the paper cites.
+type EnergyTable struct {
+	// MACfp16 and MACfp32 are multiply-accumulate energies.
+	MACfp16, MACfp32 float64
+	// SRAMPerByte is the on-chip SRAM/BRAM access energy per byte
+	// (≈10 pJ per 32-bit word for a 32 KB array).
+	SRAMPerByte float64
+	// DRAMPerByte is the off-chip LPDDR access energy per byte
+	// (≈1.3–2.6 nJ per 32-bit word; 0.5 nJ/B is the mid-point).
+	DRAMPerByte float64
+}
+
+// Horowitz45nm is the canonical energy table.
+var Horowitz45nm = EnergyTable{
+	MACfp16:     1.5e-12, // 1.1 pJ mult + 0.4 pJ add
+	MACfp32:     4.6e-12, // 3.7 pJ mult + 0.9 pJ add
+	SRAMPerByte: 2.5e-12,
+	DRAMPerByte: 5.0e-10,
+}
+
+// StepProfile summarises the per-image cost of one online training step of a
+// continual-learning method, counted at paper scale by internal/hw/profiles.
+type StepProfile struct {
+	// Method is the profile's method name.
+	Method string
+	// FwdMACs covers all inference-direction MACs of the step: the incoming
+	// sample's full forward pass plus forward passes over replayed samples
+	// through the trainable section.
+	FwdMACs int64
+	// BwdMACs covers gradient computation (≈2× the trainable forward MACs:
+	// input gradients + weight gradients).
+	BwdMACs int64
+	// OnChipBytes is replay/working traffic served by SRAM/BRAM.
+	OnChipBytes int64
+	// OffChipBytes is replay traffic that must cross to DRAM (loads+stores).
+	OffChipBytes int64
+	// SerialOps counts poorly-parallelisable scalar operations (SLDA's
+	// Gauss-Jordan pseudo-inverse), which no PE array accelerates.
+	SerialOps int64
+	// WeightBytes is streaming weight traffic per step for platforms that
+	// cannot hold all weights on chip.
+	WeightBytes int64
+	// FrozenPasses and TrainPasses record how many forward passes the step
+	// makes through the frozen extractor and how many forward-equivalent
+	// passes (forward + 2× for backward) through the trainable section.
+	// Cycle-accurate platforms (the systolic model) price passes directly;
+	// roofline platforms use the MAC counts.
+	FrozenPasses, TrainPasses float64
+}
+
+// TotalMACs returns forward plus backward MACs.
+func (p StepProfile) TotalMACs() int64 { return p.FwdMACs + p.BwdMACs }
+
+// Cost is a platform's verdict on one step.
+type Cost struct {
+	// LatencySec is the per-image step latency in seconds.
+	LatencySec float64
+	// EnergyJ is the per-image energy in joules.
+	EnergyJ float64
+	// Breakdown attributes latency to compute / data movement / serial parts
+	// (fractions summing to ~1).
+	ComputeFrac, DataFrac, SerialFrac float64
+}
+
+// Platform prices a step profile.
+type Platform interface {
+	// Name identifies the platform ("jetson-nano", "zcu102", "edgetpu").
+	Name() string
+	// Step prices one online training step.
+	Step(p StepProfile) Cost
+}

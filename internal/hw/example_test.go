@@ -1,0 +1,31 @@
+package hw_test
+
+import (
+	"fmt"
+
+	"chameleon/internal/hw"
+)
+
+// The FPGA resource model derives the paper's Table III from the accelerator
+// configuration.
+func ExampleFPGA_Resources() {
+	r := hw.ZCU102().Resources()
+	fmt.Printf("DSP  %d/%d (%.2f%%)\n", r.DSPUsed, r.DSPAvail, hw.Percent(r.DSPUsed, r.DSPAvail))
+	fmt.Printf("BRAM %d/%d (%.2f%%)\n", r.BRAMUsed, r.BRAMAvail, hw.Percent(r.BRAMUsed, r.BRAMAvail))
+	fmt.Printf("LUT  %d/%d (%.2f%%)\n", r.LUTUsed, r.LUTAvail, hw.Percent(r.LUTUsed, r.LUTAvail))
+	// Output:
+	// DSP  1164/2520 (46.19%)
+	// BRAM 632/656 (96.34%)
+	// LUT  169428/233707 (72.50%)
+}
+
+// Profiles summarise one online training step; platforms price them.
+func ExampleProfiler() {
+	profiler := hw.PaperProfiler()
+	p, _ := profiler.Profile("chameleon")
+	fmt.Printf("on-chip replay: %d KiB/step\n", p.OnChipBytes/1024)
+	fmt.Printf("off-chip replay: %d KiB/step (amortised by h)\n", p.OffChipBytes/1024)
+	// Output:
+	// on-chip replay: 160 KiB/step
+	// off-chip replay: 17 KiB/step (amortised by h)
+}

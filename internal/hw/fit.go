@@ -1,0 +1,91 @@
+package hw
+
+import (
+	"fmt"
+
+	"chameleon/internal/mobilenet"
+)
+
+// FitReport answers the question the paper's dual-buffer design hinges on:
+// given an accelerator's on-chip memory, the streaming working set, and a
+// replay buffer, does the buffer fit on-chip? On the ZCU102, Chameleon's
+// 10-latent short-term store fits in the BRAM left over after the tiled
+// weight/activation buffers; a unified replay buffer at useful sizes (100+
+// latents) does not and must live in DRAM (paper §IV-C).
+type FitReport struct {
+	// CapacityBytes is the accelerator's on-chip memory.
+	CapacityBytes int64
+	// WeightBytes is the resident weight working set: a double-buffered
+	// PE-array tile (the paper's accelerator streams weights from DRAM for
+	// both methods, so full weights are never resident).
+	WeightBytes int64
+	// ActivationBytes is the activation working set: double-buffered row
+	// tiles of the widest layer (input + output rows).
+	ActivationBytes int64
+	// BufferBytes is the replay buffer being placed.
+	BufferBytes int64
+	// FreeBytes is what remains for the buffer after weights + activations.
+	FreeBytes int64
+	// Fits reports whether the buffer fits in FreeBytes.
+	Fits bool
+}
+
+// String renders the verdict.
+func (r FitReport) String() string {
+	verdict := "FITS on-chip"
+	if !r.Fits {
+		verdict = "does NOT fit on-chip"
+	}
+	return fmt.Sprintf("capacity %.2f MiB − weights %.2f MiB − activations %.2f MiB = %.2f MiB free; buffer %.2f MiB %s",
+		mib(r.CapacityBytes), mib(r.WeightBytes), mib(r.ActivationBytes), mib(r.FreeBytes), mib(r.BufferBytes), verdict)
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
+
+// OnChipFit places a replay buffer of bufferBytes on an accelerator with
+// onChipBytes of memory, next to the streaming working set (double-buffered
+// weight tiles and activation row tiles) at the given datatype width. The
+// paper's accelerator streams weights and activations for both methods
+// ("the cost of compute and data movement for weights remains the same"), so
+// only the tiles are resident — the free space is what a replay buffer can
+// claim.
+func OnChipFit(cfg mobilenet.Config, onChipBytes, bufferBytes, bytesPerScalar int64) FitReport {
+	if bytesPerScalar <= 0 {
+		bytesPerScalar = 2
+	}
+	inv := mobilenet.Inventory(cfg)
+	// Weight tile: the largest single layer's weights, split into PE-array
+	// column tiles and double buffered; bounded below by one full tile row.
+	var maxLayerWeights, peakRowActs int64
+	for _, l := range inv {
+		if l.Weights > maxLayerWeights {
+			maxLayerWeights = l.Weights
+		}
+		rows := int64(l.InC)*int64(l.InW) + int64(l.OutC)*int64(l.OutW)
+		if rows > peakRowActs {
+			peakRowActs = rows
+		}
+	}
+	const colTiles = 16 // weight matrix split into 16 streamed column tiles
+	r := FitReport{
+		CapacityBytes:   onChipBytes,
+		WeightBytes:     2 * maxLayerWeights / colTiles * bytesPerScalar,
+		ActivationBytes: 2 * peakRowActs * bytesPerScalar,
+		BufferBytes:     bufferBytes,
+	}
+	r.FreeBytes = r.CapacityBytes - r.WeightBytes - r.ActivationBytes
+	if r.FreeBytes < 0 {
+		r.FreeBytes = 0
+	}
+	r.Fits = r.BufferBytes <= r.FreeBytes
+	return r
+}
+
+// ZCU102Fit evaluates buffer placement on the paper's FPGA accelerator
+// (632 BRAM36 of on-chip buffering, fp16 datapath, 128×128 backbone).
+func ZCU102Fit(bufferBytes int64) FitReport {
+	cfg := paperHWConfig()
+	f := ZCU102()
+	onChip := int64(f.BufferKB) * 1024
+	return OnChipFit(cfg, onChip, bufferBytes, 2)
+}

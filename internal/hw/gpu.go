@@ -1,0 +1,64 @@
+package hw
+
+// GPU is a roofline model of an embedded GPU (Jetson Nano class): latency is
+// the max of compute time at an effective training throughput and memory
+// time at an effective bandwidth, plus a fixed per-image kernel-launch
+// overhead; poorly-parallel serial ops (SLDA's pseudo-inverse) run at their
+// own much lower rate. Energy is average board power × latency, which is how
+// the paper measures it.
+type GPU struct {
+	// EffMACsPerSec is the achieved training throughput for small-batch
+	// MobileNet kernels. Jetson Nano peaks at 236 GMAC/s fp16; small-batch
+	// online training achieves a fraction of it.
+	EffMACsPerSec float64
+	// MemBytesPerSec is effective DRAM bandwidth for replay traffic.
+	MemBytesPerSec float64
+	// SerialOpsPerSec is the throughput of dependency-bound scalar work.
+	SerialOpsPerSec float64
+	// OverheadSec is fixed per-image launch/sync overhead.
+	OverheadSec float64
+	// AvgPowerW is the measured average board power under load.
+	AvgPowerW float64
+}
+
+// JetsonNano returns the calibrated Jetson Nano model (10 W mode).
+func JetsonNano() *GPU {
+	return &GPU{
+		EffMACsPerSec:   59e9,
+		MemBytesPerSec:  4e9,
+		SerialOpsPerSec: 2.2e9,
+		OverheadSec:     5e-3,
+		AvgPowerW:       9.5,
+	}
+}
+
+// Name implements Platform.
+func (g *GPU) Name() string { return "jetson-nano" }
+
+// Step implements Platform.
+func (g *GPU) Step(p StepProfile) Cost {
+	compute := float64(p.TotalMACs()) / g.EffMACsPerSec
+	data := float64(p.OffChipBytes+p.WeightBytes) / g.MemBytesPerSec
+	serial := float64(p.SerialOps) / g.SerialOpsPerSec
+	// Compute and data overlap on the GPU (unified memory prefetch); serial
+	// work does not.
+	lat := maxF(compute, data) + serial + g.OverheadSec
+	total := compute + data + serial
+	if total <= 0 {
+		total = 1
+	}
+	return Cost{
+		LatencySec:  lat,
+		EnergyJ:     lat * g.AvgPowerW,
+		ComputeFrac: compute / total,
+		DataFrac:    data / total,
+		SerialFrac:  serial / total,
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

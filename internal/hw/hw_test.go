@@ -1,0 +1,246 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/mobilenet"
+)
+
+func paperCfg() mobilenet.Config {
+	cfg := mobilenet.PaperConfig(50)
+	cfg.Resolution = 128
+	return cfg
+}
+
+func profileFor(t *testing.T, method string, replay int) StepProfile {
+	t.Helper()
+	pr := NewProfiler(paperCfg(), ProfileParams{Replay: replay, AccessRate: 10, BytesPerScalar: 2})
+	p, err := pr.Profile(method)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func within(got, want, frac float64) bool {
+	return math.Abs(got-want) <= frac*want
+}
+
+func TestProfileUnknownMethod(t *testing.T) {
+	pr := PaperProfiler()
+	if _, err := pr.Profile("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestProfileStructure(t *testing.T) {
+	cham := profileFor(t, "chameleon", 10)
+	lat := profileFor(t, "latent", 10)
+	slda := profileFor(t, "slda", 10)
+	ft := profileFor(t, "finetune", 10)
+	er := profileFor(t, "er", 10)
+
+	// Chameleon's off-chip replay traffic must be ~1/h of Latent Replay's.
+	if cham.OffChipBytes*12 < lat.OffChipBytes || cham.OffChipBytes*8 > lat.OffChipBytes {
+		t.Fatalf("offchip: chameleon=%d latent=%d, want ≈10× gap", cham.OffChipBytes, lat.OffChipBytes)
+	}
+	if cham.OnChipBytes == 0 || lat.OnChipBytes != 0 {
+		t.Fatal("only chameleon keeps replay traffic on-chip")
+	}
+	// Training compute of the two latent-replay methods is nearly equal.
+	if !within(float64(cham.TotalMACs()), float64(lat.TotalMACs()), 0.15) {
+		t.Fatalf("MACs: chameleon=%d latent=%d", cham.TotalMACs(), lat.TotalMACs())
+	}
+	// SLDA has no backward pass but a big serial term.
+	if slda.BwdMACs != 0 || slda.SerialOps == 0 {
+		t.Fatalf("slda profile: %+v", slda)
+	}
+	// SLDA serial term is the d³ inverse with d=512.
+	if slda.SerialOps != 512*512*512 {
+		t.Fatalf("slda serial ops = %d", slda.SerialOps)
+	}
+	// Finetune is the cheapest.
+	if ft.TotalMACs() >= cham.TotalMACs() {
+		t.Fatal("finetune should be cheaper than chameleon")
+	}
+	// ER re-runs the frozen extractor per replayed frame.
+	if er.FrozenPasses != 11 || er.FwdMACs <= lat.FwdMACs {
+		t.Fatalf("er frozen passes = %v", er.FrozenPasses)
+	}
+}
+
+func TestLatentBytesAtPaperScale(t *testing.T) {
+	pr := NewProfiler(paperCfg(), DefaultProfileParams())
+	// 512×8×8 fp16 = 64 KiB at 128×128 input.
+	if pr.LatentBytes() != 64*1024 {
+		t.Fatalf("latent bytes = %d", pr.LatentBytes())
+	}
+}
+
+// TestTableIIJetson checks the calibrated Jetson Nano model against the
+// paper's measurements (33/69/115 ms and 0.31/0.68/1.14 J).
+func TestTableIIJetson(t *testing.T) {
+	gpu := JetsonNano()
+	cases := []struct {
+		method string
+		replay int
+		wantMS float64
+		wantJ  float64
+	}{
+		{"chameleon", 10, 33, 0.31},
+		{"slda", 10, 69, 0.68},
+		{"latent", 50, 115, 1.14}, // reference Latent Replay minibatch
+	}
+	for _, c := range cases {
+		cost := gpu.Step(profileFor(t, c.method, c.replay))
+		if !within(cost.LatencySec*1e3, c.wantMS, 0.20) {
+			t.Errorf("jetson %s latency = %.1f ms, paper %.0f", c.method, cost.LatencySec*1e3, c.wantMS)
+		}
+		if !within(cost.EnergyJ, c.wantJ, 0.20) {
+			t.Errorf("jetson %s energy = %.2f J, paper %.2f", c.method, cost.EnergyJ, c.wantJ)
+		}
+	}
+}
+
+// TestTableIIFPGA checks the ZCU102 model (413 ms/1.22 J vs 2788 ms/8.62 J;
+// the paper's headline is the ~6.75× latency and ~7× energy gap).
+func TestTableIIFPGA(t *testing.T) {
+	fpga := ZCU102()
+	cham := fpga.Step(profileFor(t, "chameleon", 10))
+	lat := fpga.Step(profileFor(t, "latent", 10))
+	if !within(cham.LatencySec*1e3, 413, 0.20) {
+		t.Errorf("fpga chameleon latency = %.0f ms, paper 413", cham.LatencySec*1e3)
+	}
+	if !within(cham.EnergyJ, 1.22, 0.20) {
+		t.Errorf("fpga chameleon energy = %.2f J, paper 1.22", cham.EnergyJ)
+	}
+	ratio := lat.LatencySec / cham.LatencySec
+	if ratio < 4.5 || ratio > 9 {
+		t.Errorf("fpga latency ratio = %.2f, paper 6.75", ratio)
+	}
+	eratio := lat.EnergyJ / cham.EnergyJ
+	if eratio < 4.5 || eratio > 9 {
+		t.Errorf("fpga energy ratio = %.2f, paper ~7", eratio)
+	}
+	// Latent Replay must be data-movement dominated.
+	if lat.DataFrac < 0.4 {
+		t.Errorf("fpga latent data fraction = %.2f, want replay-traffic bound", lat.DataFrac)
+	}
+}
+
+// TestTableIIEdgeTPU checks the systolic model (47 ms vs 554 ms, ~11.7×).
+func TestTableIIEdgeTPU(t *testing.T) {
+	tpu := EdgeTPU()
+	cham := tpu.Step(profileFor(t, "chameleon", 10))
+	slda := tpu.Step(profileFor(t, "slda", 10))
+	if !within(cham.LatencySec*1e3, 47, 0.25) {
+		t.Errorf("edgetpu chameleon latency = %.1f ms, paper 47", cham.LatencySec*1e3)
+	}
+	if !within(slda.LatencySec*1e3, 554, 0.25) {
+		t.Errorf("edgetpu slda latency = %.1f ms, paper 554", slda.LatencySec*1e3)
+	}
+	ratio := slda.LatencySec / cham.LatencySec
+	if ratio < 8 || ratio > 15 {
+		t.Errorf("edgetpu ratio = %.2f, paper 11.7", ratio)
+	}
+	if slda.SerialFrac < 0.8 {
+		t.Errorf("slda on edgetpu should be inversion-bound, serial frac = %.2f", slda.SerialFrac)
+	}
+}
+
+// TestTableIIIResources checks the FPGA resource report against Table III.
+func TestTableIIIResources(t *testing.T) {
+	r := ZCU102().Resources()
+	if r.DSPUsed != 1164 || r.DSPAvail != 2520 {
+		t.Errorf("DSP %d/%d, paper 1164/2520", r.DSPUsed, r.DSPAvail)
+	}
+	if r.BRAMUsed != 632 || r.BRAMAvail != 656 {
+		t.Errorf("BRAM %d/%d, paper 632/656", r.BRAMUsed, r.BRAMAvail)
+	}
+	if r.LUTUsed != 169428 || r.LUTAvail != 233707 {
+		t.Errorf("LUT %d/%d, paper 169428/233707", r.LUTUsed, r.LUTAvail)
+	}
+	if !within(Percent(r.DSPUsed, r.DSPAvail), 46.19, 0.01) ||
+		!within(Percent(r.BRAMUsed, r.BRAMAvail), 96.34, 0.01) ||
+		!within(Percent(r.LUTUsed, r.LUTAvail), 72.50, 0.01) {
+		t.Errorf("percentages drifted: %s", r)
+	}
+}
+
+func TestGEMMCycles(t *testing.T) {
+	s := EdgeTPU()
+	if s.GEMMCycles(0, 1, 1) != 0 {
+		t.Fatal("degenerate GEMM should cost 0")
+	}
+	// One tile: 64 load + M + 128 fill/drain.
+	if got := s.GEMMCycles(100, 64, 64); got != 64+100+128 {
+		t.Fatalf("single-tile cycles = %d", got)
+	}
+	// Doubling K doubles the tile count.
+	if s.GEMMCycles(100, 128, 64) != 2*s.GEMMCycles(100, 64, 64) {
+		t.Fatal("tiling not linear in K tiles")
+	}
+}
+
+func TestDepthwiseMapsPoorly(t *testing.T) {
+	// Depthwise layers must cost far more cycles per MAC than pointwise
+	// layers on the systolic array — the uSystolic observation.
+	s := EdgeTPU()
+	var dwCyclesPerMAC, pwCyclesPerMAC float64
+	for _, l := range mobilenet.Inventory(paperCfg()) {
+		switch {
+		case l.Kind == mobilenet.KindDepthwise && l.Name == "dw6":
+			dwCyclesPerMAC = float64(s.LayerCycles(l)) / float64(l.MACs)
+		case l.Kind == mobilenet.KindPointwise && l.Name == "pw6":
+			pwCyclesPerMAC = float64(s.LayerCycles(l)) / float64(l.MACs)
+		}
+	}
+	if dwCyclesPerMAC <= 5*pwCyclesPerMAC {
+		t.Fatalf("dw %.4f vs pw %.4f cycles/MAC; dw should map much worse", dwCyclesPerMAC, pwCyclesPerMAC)
+	}
+}
+
+func TestCostFractionsSumToOne(t *testing.T) {
+	for _, plat := range []Platform{JetsonNano(), ZCU102(), EdgeTPU()} {
+		for _, m := range []string{"chameleon", "latent", "slda", "er", "finetune"} {
+			c := plat.Step(profileFor(t, m, 10))
+			sum := c.ComputeFrac + c.DataFrac + c.SerialFrac
+			if math.Abs(sum-1) > 1e-6 {
+				t.Errorf("%s/%s fractions sum to %v", plat.Name(), m, sum)
+			}
+			if c.LatencySec <= 0 || c.EnergyJ <= 0 {
+				t.Errorf("%s/%s non-positive cost", plat.Name(), m)
+			}
+		}
+	}
+}
+
+func TestOnChipFitChameleonVsUnified(t *testing.T) {
+	// The paper's §IV-C claim: Chameleon's 10-latent short-term store fits in
+	// the ZCU102's BRAM next to the training working set; a unified latent
+	// buffer at useful sizes (100+ samples) does not.
+	latent := int64(64 * 1024) // 512×8×8 fp16 at 128×128 input
+	ms := ZCU102Fit(10 * latent)
+	if !ms.Fits {
+		t.Fatalf("short-term store should fit on-chip: %s", ms)
+	}
+	unified := ZCU102Fit(100 * latent)
+	if unified.Fits {
+		t.Fatalf("unified 100-latent buffer should NOT fit on-chip: %s", unified)
+	}
+	if ms.FreeBytes <= 0 || ms.WeightBytes <= 0 || ms.ActivationBytes <= 0 {
+		t.Fatalf("degenerate report: %+v", ms)
+	}
+}
+
+func TestOnChipFitMonotone(t *testing.T) {
+	small := ZCU102Fit(1024)
+	big := ZCU102Fit(1 << 30)
+	if !small.Fits || big.Fits {
+		t.Fatalf("fit not monotone: small=%v big=%v", small.Fits, big.Fits)
+	}
+	if small.FreeBytes != big.FreeBytes {
+		t.Fatal("free bytes should not depend on the buffer")
+	}
+}

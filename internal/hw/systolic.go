@@ -1,0 +1,119 @@
+package hw
+
+import (
+	"chameleon/internal/mobilenet"
+)
+
+// Systolic is a uSystolic-style cycle model of an EdgeTPU-class accelerator:
+// a weight-stationary PE array whose GEMM latency is computed by tiling, with
+// block-floating-point operands. Depthwise layers map poorly onto the array
+// (one output channel per GEMM), which the tiling model captures naturally.
+type Systolic struct {
+	// Rows, Cols is the PE array geometry (paper: 64×64).
+	Rows, Cols int
+	// ClockHz is the array clock (paper: 400 MHz).
+	ClockHz float64
+	// OnChipBytes is the unified buffer (paper: 8 MB).
+	OnChipBytes int64
+	// DRAMBytesPerSec is off-chip bandwidth for spills and replay traffic.
+	DRAMBytesPerSec float64
+	// SerialOpsPerSec prices scalar work the array cannot map (SLDA's
+	// pseudo-inverse runs on the host core).
+	SerialOpsPerSec float64
+	// AvgPowerW approximates board power for the energy estimate.
+	AvgPowerW float64
+
+	cfg mobilenet.Config
+}
+
+// EdgeTPU returns the calibrated 64×64 @ 400 MHz configuration used in the
+// paper's Table II, costing the paper-scale backbone.
+func EdgeTPU() *Systolic {
+	return &Systolic{
+		Rows: 64, Cols: 64,
+		ClockHz:         400e6,
+		OnChipBytes:     8 << 20,
+		DRAMBytesPerSec: 4e9,
+		SerialOpsPerSec: 0.25e9,
+		AvgPowerW:       2.0,
+		cfg:             paperHWConfig(),
+	}
+}
+
+// paperHWConfig is the backbone the hardware tables cost: MobileNetV1-1.0 at
+// the datasets' native 128×128 camera resolution.
+func paperHWConfig() mobilenet.Config {
+	cfg := mobilenet.PaperConfig(50)
+	cfg.Resolution = 128
+	return cfg
+}
+
+// Name implements Platform.
+func (s *Systolic) Name() string { return "edgetpu" }
+
+// GEMMCycles returns the weight-stationary cycle count of an M×K×N GEMM:
+// the array holds a K×N weight tile (loaded column-wise), streams M rows
+// through, and pays fill+drain each tile.
+func (s *Systolic) GEMMCycles(m, k, n int64) int64 {
+	if m <= 0 || k <= 0 || n <= 0 {
+		return 0
+	}
+	tilesK := (k + int64(s.Rows) - 1) / int64(s.Rows)
+	tilesN := (n + int64(s.Cols) - 1) / int64(s.Cols)
+	perTile := int64(s.Rows) /*weight load*/ + m + int64(s.Rows+s.Cols) /*fill+drain*/
+	return tilesK * tilesN * perTile
+}
+
+// LayerCycles maps one conv layer onto the array.
+func (s *Systolic) LayerCycles(l mobilenet.LayerInfo) int64 {
+	m := int64(l.OutH) * int64(l.OutW)
+	switch l.Kind {
+	case mobilenet.KindDepthwise:
+		// One tiny GEMM per channel: M=OH·OW, K=k², N=1.
+		return int64(l.InC) * s.GEMMCycles(m, int64(l.Kernel*l.Kernel), 1)
+	case mobilenet.KindDense:
+		return s.GEMMCycles(1, int64(l.InC), int64(l.OutC))
+	default:
+		return s.GEMMCycles(m, int64(l.InC)*int64(l.Kernel*l.Kernel), int64(l.OutC))
+	}
+}
+
+// NetworkCycles returns forward cycles through the frozen and trainable
+// sections separately.
+func (s *Systolic) NetworkCycles() (frozen, trainable int64) {
+	for _, l := range mobilenet.Inventory(s.cfg) {
+		c := s.LayerCycles(l)
+		if l.Frozen {
+			frozen += c
+		} else {
+			trainable += c
+		}
+	}
+	return frozen, trainable
+}
+
+// Step implements Platform: the profile's pass counts drive the per-layer
+// tiling cycle model.
+func (s *Systolic) Step(p StepProfile) Cost {
+	frozen, trainable := s.NetworkCycles()
+	frozenPasses := p.FrozenPasses
+	if frozenPasses < 1 {
+		frozenPasses = 1
+	}
+	cycles := float64(frozen)*frozenPasses + float64(trainable)*p.TrainPasses
+	compute := cycles / s.ClockHz
+	data := float64(p.OffChipBytes) / s.DRAMBytesPerSec
+	serial := float64(p.SerialOps) / s.SerialOpsPerSec
+	lat := compute + data + serial
+	total := compute + data + serial
+	if total <= 0 {
+		total = 1
+	}
+	return Cost{
+		LatencySec:  lat,
+		EnergyJ:     lat * s.AvgPowerW,
+		ComputeFrac: compute / total,
+		DataFrac:    data / total,
+		SerialFrac:  serial / total,
+	}
+}

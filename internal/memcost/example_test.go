@@ -1,0 +1,22 @@
+package memcost_test
+
+import (
+	"fmt"
+
+	"chameleon/internal/memcost"
+)
+
+// Reproduce the paper's headline memory comparison: Latent Replay at 1500
+// samples vs Chameleon at 10 on-chip + 100 off-chip samples.
+func ExampleModel_Overhead() {
+	m := memcost.PaperModel()
+	latent, _ := m.Overhead(memcost.Latent, 1500, 0)
+	on, off, _ := m.OnChipOffChip(memcost.Chameleon, 100, 10)
+	fmt.Printf("latent replay 1500: %.1f MB\n", memcost.MB(latent))
+	fmt.Printf("chameleon: %.2f MB on-chip + %.2f MB off-chip\n", memcost.MB(on), memcost.MB(off))
+	fmt.Printf("reduction: %.0fx\n", memcost.MB(latent)/(memcost.MB(on)+memcost.MB(off)))
+	// Output:
+	// latent replay 1500: 46.9 MB
+	// chameleon: 0.31 MB on-chip + 3.12 MB off-chip
+	// reduction: 14x
+}

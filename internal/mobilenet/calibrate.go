@@ -1,0 +1,97 @@
+package mobilenet
+
+import (
+	"fmt"
+
+	"chameleon/internal/nn"
+	"chameleon/internal/tensor"
+)
+
+// CalibrateBN sets every BatchNorm layer's running statistics to the actual
+// per-channel mean/variance of its input over the given calibration images,
+// processing the network layer by layer.
+//
+// A real pretrained MobileNetV1 ships BN statistics matched to its weights;
+// with deterministic He-init weights and arbitrary BN statistics the signal
+// collapses within a few blocks (activations die through the 13 ReLU6
+// blocks). Calibration restores the property that matters: every layer's
+// output stays well-scaled, so the frozen random features preserve class
+// geometry. The images should be a small sample of the pre-deployment
+// distribution (the paper's ImageNet pretraining step; here a slice of the
+// synthetic pool).
+func (m *Model) CalibrateBN(images []*tensor.Tensor) error {
+	if len(images) == 0 {
+		return fmt.Errorf("mobilenet: CalibrateBN needs at least one image")
+	}
+	acts := make([]*tensor.Tensor, len(images))
+	for i, img := range images {
+		if img.NDim() != 3 || img.Dim(0) != 3 || img.Dim(1) != m.Cfg.Resolution {
+			return fmt.Errorf("mobilenet: calibration image %d has shape %v, want [3,%d,%d]",
+				i, img.Shape(), m.Cfg.Resolution, m.Cfg.Resolution)
+		}
+		acts[i] = img
+	}
+	calibrateChain(m.Features.Layers, acts)
+	// The head may also contain BN stages (HeadConvTail); calibrate them with
+	// the latents just produced.
+	calibrateChain(m.Head.Layers, acts)
+	return nil
+}
+
+// calibrateChain walks a layer chain, setting BN stats from the incoming
+// activations before forwarding through each layer.
+func calibrateChain(layers []nn.Layer, acts []*tensor.Tensor) {
+	for _, l := range layers {
+		if bn := asBatchNorm(l); bn != nil {
+			setStatsFrom(bn, acts)
+		}
+		for i := range acts {
+			acts[i] = l.Forward(acts[i], false)
+		}
+	}
+}
+
+// asBatchNorm unwraps Frozen and returns the BatchNorm2D inside, if any.
+func asBatchNorm(l nn.Layer) *nn.BatchNorm2D {
+	switch v := l.(type) {
+	case *nn.BatchNorm2D:
+		return v
+	case *nn.Frozen:
+		if bn, ok := v.Inner.(*nn.BatchNorm2D); ok {
+			return bn
+		}
+	}
+	return nil
+}
+
+// setStatsFrom computes per-channel mean and variance over all activations
+// (channels × spatial) and installs them in the BN layer.
+func setStatsFrom(bn *nn.BatchNorm2D, acts []*tensor.Tensor) {
+	c := acts[0].Dim(0)
+	mean := tensor.New(c)
+	vari := tensor.New(c)
+	sum := make([]float64, c)
+	sumSq := make([]float64, c)
+	var n float64
+	for _, a := range acts {
+		h, w := a.Dim(1), a.Dim(2)
+		plane := h * w
+		for ci := 0; ci < c; ci++ {
+			for _, v := range a.Data()[ci*plane : (ci+1)*plane] {
+				sum[ci] += float64(v)
+				sumSq[ci] += float64(v) * float64(v)
+			}
+		}
+		n += float64(plane)
+	}
+	for ci := 0; ci < c; ci++ {
+		mu := sum[ci] / n
+		v := sumSq[ci]/n - mu*mu
+		if v < 1e-4 {
+			v = 1e-4 // dead channel: avoid amplifying noise
+		}
+		mean.Data()[ci] = float32(mu)
+		vari.Data()[ci] = float32(v)
+	}
+	bn.SetStats(mean, vari)
+}

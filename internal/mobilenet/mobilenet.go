@@ -1,0 +1,294 @@
+// Package mobilenet builds the MobileNetV1 backbone the paper trains on and
+// splits it at a latent layer into a frozen feature extractor f(·) and a
+// trainable head g(·), following the Latent Replay / Chameleon setup.
+//
+// MobileNetV1 has 27 convolutional layers: one standard 3×3 stem plus 13
+// depthwise-separable blocks (a depthwise 3×3 and a pointwise 1×1 each).
+// The paper freezes layers 1..21 — conv layer 21 is the pointwise layer of
+// block 10, whose output (512·α channels at stride 16) is the "latent"
+// activation stored in the replay buffers — and trains the rest.
+//
+// Pretrained ImageNet weights are substituted by a deterministic He-normal
+// initialisation (see DESIGN.md): with the synthetic class-prototype data in
+// internal/data, frozen random convolutional features act as a structured
+// random projection that preserves class geometry, which is all the online
+// learner relies on.
+package mobilenet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"chameleon/internal/nn"
+	"chameleon/internal/tensor"
+)
+
+// HeadKind selects the architecture of the trainable head g(·).
+type HeadKind int
+
+const (
+	// HeadConvTail is the faithful MobileNetV1 tail: the remaining
+	// depthwise-separable blocks after the latent layer, global average
+	// pooling and the classifier. This is what the paper trains and what the
+	// hardware models cost out.
+	HeadConvTail HeadKind = iota
+	// HeadMLP is a lighter head (global average pool, one hidden dense layer,
+	// classifier) used to keep laptop-scale accuracy experiments fast. It
+	// preserves the structure that matters for continual learning — all
+	// trainable capacity sits above the frozen latent layer.
+	HeadMLP
+)
+
+// String implements fmt.Stringer.
+func (k HeadKind) String() string {
+	switch k {
+	case HeadConvTail:
+		return "convtail"
+	case HeadMLP:
+		return "mlp"
+	default:
+		return fmt.Sprintf("HeadKind(%d)", int(k))
+	}
+}
+
+// NormKind selects the backbone's normalisation layer.
+type NormKind int
+
+const (
+	// NormGroup uses GroupNorm (default). It has no batch or dataset
+	// dependence, so it both trains the deep backbone from scratch during the
+	// pretraining phase and behaves identically in single-sample online
+	// training — the regime edge devices actually run. This is a documented
+	// substitution for the paper's BatchNorm (see DESIGN.md).
+	NormGroup NormKind = iota
+	// NormBatch uses frozen-statistics BatchNorm, the inference-time
+	// behaviour of the paper's pretrained backbone. Statistics are installed
+	// via CalibrateBN. Deep from-scratch pretraining does not converge under
+	// frozen statistics; use NormGroup for that.
+	NormBatch
+)
+
+// String implements fmt.Stringer.
+func (n NormKind) String() string {
+	switch n {
+	case NormGroup:
+		return "groupnorm"
+	case NormBatch:
+		return "batchnorm"
+	default:
+		return fmt.Sprintf("NormKind(%d)", int(n))
+	}
+}
+
+// Config describes a MobileNetV1 instance.
+type Config struct {
+	// Width is the width multiplier α (paper uses 1.0; experiments here
+	// default to 0.25 for speed).
+	Width float64
+	// Resolution is the square input size.
+	Resolution int
+	// NumClasses is the classifier width.
+	NumClasses int
+	// LatentLayer is the conv-layer index (1..27) after which activations are
+	// treated as latents. The paper uses 21.
+	LatentLayer int
+	// Head selects the trainable head architecture.
+	Head HeadKind
+	// Norm selects the normalisation layer (default NormGroup).
+	Norm NormKind
+	// HiddenDim is the hidden width for HeadMLP (default 64).
+	HiddenDim int
+	// Seed drives the deterministic pseudo-pretrained initialisation.
+	Seed int64
+}
+
+// DefaultConfig returns the laptop-scale configuration used by the
+// experiment harness: MobileNetV1-0.25 at 32×32 with the paper's latent
+// layer 21 and an MLP head.
+func DefaultConfig(numClasses int, seed int64) Config {
+	return Config{
+		Width:       0.25,
+		Resolution:  32,
+		NumClasses:  numClasses,
+		LatentLayer: 21,
+		Head:        HeadMLP,
+		HiddenDim:   64,
+		Seed:        seed,
+	}
+}
+
+// PaperConfig returns the paper-scale configuration (MobileNetV1-1.0, 64×64
+// inputs — the resolution at which the latent layer's 512×4×4 fp32 activation
+// matches the paper's reported 32 KB per replay sample), with the faithful
+// convolutional tail head. Used for memory accounting and hardware modelling.
+func PaperConfig(numClasses int) Config {
+	return Config{
+		Width:       1.0,
+		Resolution:  64,
+		NumClasses:  numClasses,
+		LatentLayer: 21,
+		Head:        HeadConvTail,
+	}
+}
+
+// blockSpec is one depthwise-separable block: output channels (pre-width
+// scaling) and the stride of its depthwise conv.
+type blockSpec struct {
+	outC   int
+	stride int
+}
+
+// v1Blocks is the canonical MobileNetV1 block table.
+var v1Blocks = []blockSpec{
+	{64, 1},
+	{128, 2},
+	{128, 1},
+	{256, 2},
+	{256, 1},
+	{512, 2},
+	{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+	{1024, 2},
+	{1024, 1},
+}
+
+// NumConvLayers is the number of convolutional layers in MobileNetV1.
+const NumConvLayers = 1 + 2*13
+
+// normGroups picks the largest group count in {8,4,2,1} dividing c.
+func normGroups(c int) int {
+	for _, g := range []int{8, 4, 2} {
+		if c%g == 0 {
+			return g
+		}
+	}
+	return 1
+}
+
+// scaleC applies the width multiplier, keeping at least 4 channels.
+func scaleC(c int, width float64) int {
+	s := int(math.Round(float64(c) * width))
+	if s < 4 {
+		s = 4
+	}
+	return s
+}
+
+// Model is a split MobileNetV1: frozen Features (f) and trainable Head (g).
+type Model struct {
+	Cfg Config
+	// Features is the frozen extractor: conv layers 1..LatentLayer with their
+	// BN and activations, wrapped so they expose no trainable parameters.
+	Features *nn.Sequential
+	// Head is the trainable g(·): it consumes a latent tensor and produces
+	// class logits.
+	Head *nn.Sequential
+	// LatentShape is the [C,H,W] shape of f's output.
+	LatentShape []int
+}
+
+// New builds the model described by cfg. It returns an error for invalid
+// configurations (bad latent layer, non-positive sizes).
+func New(cfg Config) (*Model, error) {
+	if cfg.Width <= 0 {
+		return nil, fmt.Errorf("mobilenet: width %v must be positive", cfg.Width)
+	}
+	if cfg.Resolution < 16 {
+		return nil, fmt.Errorf("mobilenet: resolution %d too small (min 16)", cfg.Resolution)
+	}
+	if cfg.NumClasses < 2 {
+		return nil, fmt.Errorf("mobilenet: need at least 2 classes, got %d", cfg.NumClasses)
+	}
+	if cfg.LatentLayer < 1 || cfg.LatentLayer >= NumConvLayers {
+		return nil, fmt.Errorf("mobilenet: latent layer %d out of range [1,%d)", cfg.LatentLayer, NumConvLayers)
+	}
+	if cfg.HiddenDim <= 0 {
+		cfg.HiddenDim = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	feat := nn.NewSequential("features")
+	head := nn.NewSequential("head")
+	// appendConv adds a conv (+BN+ReLU6) stage to features or head depending
+	// on whether its conv-layer index is within the frozen range.
+	convIdx := 0
+	addStage := func(conv nn.Layer, c int) {
+		convIdx++
+		var norm nn.Layer
+		switch cfg.Norm {
+		case NormBatch:
+			bn := nn.NewBatchNorm2D(fmt.Sprintf("bn%d", convIdx), c)
+			// Pseudo-pretrained statistics: mild per-channel offsets/scales;
+			// CalibrateBN replaces them with measured values.
+			bn.SetStats(tensor.RandNormal(rng, 0.1, c), tensor.RandUniform(rng, 0.8, 1.2, c))
+			norm = bn
+		default:
+			norm = nn.NewGroupNorm2D(fmt.Sprintf("gn%d", convIdx), c, normGroups(c))
+		}
+		if convIdx <= cfg.LatentLayer {
+			feat.Append(&nn.Frozen{Inner: conv}, &nn.Frozen{Inner: norm}, nn.NewReLU6())
+		} else {
+			head.Append(conv, norm, nn.NewReLU6())
+		}
+	}
+
+	inC := 3
+	stemC := scaleC(32, cfg.Width)
+	addStage(nn.NewConv2D("conv1", inC, stemC, 3, 2, 1, rng), stemC)
+	inC = stemC
+	for b, spec := range v1Blocks {
+		outC := scaleC(spec.outC, cfg.Width)
+		addStage(nn.NewDepthwiseConv2D(fmt.Sprintf("dw%d", b+1), inC, 3, spec.stride, 1, rng), inC)
+		addStage(nn.NewConv2D(fmt.Sprintf("pw%d", b+1), inC, outC, 1, 1, 0, rng), outC)
+		inC = outC
+	}
+
+	m := &Model{Cfg: cfg, Features: feat}
+	m.LatentShape = feat.OutShape([]int{3, cfg.Resolution, cfg.Resolution})
+	latC := m.LatentShape[0]
+
+	switch cfg.Head {
+	case HeadConvTail:
+		head.Append(nn.NewGlobalAvgPool2D(), nn.NewDense("fc", inC, cfg.NumClasses, rng))
+		m.Head = head
+	case HeadMLP:
+		m.Head = nn.NewSequential("head",
+			nn.NewGlobalAvgPool2D(),
+			nn.NewDense("fc1", latC, cfg.HiddenDim, rng),
+			nn.NewReLU(),
+			nn.NewDense("fc2", cfg.HiddenDim, cfg.NumClasses, rng),
+		)
+	default:
+		return nil, fmt.Errorf("mobilenet: unknown head kind %v", cfg.Head)
+	}
+	return m, nil
+}
+
+// ExtractLatent runs the frozen feature extractor on a [3,R,R] image.
+func (m *Model) ExtractLatent(x *tensor.Tensor) *tensor.Tensor {
+	return m.Features.Forward(x, false)
+}
+
+// Logits runs the trainable head on a latent tensor in eval mode.
+func (m *Model) Logits(latent *tensor.Tensor) *tensor.Tensor {
+	return m.Head.Forward(latent, false)
+}
+
+// TrainStep performs one forward/backward pass of the head on a latent and
+// accumulates gradients (no optimizer step; callers batch several of these
+// before stepping). It returns the loss.
+func (m *Model) TrainStep(latent *tensor.Tensor, label int) float64 {
+	logits := m.Head.Forward(latent, true)
+	loss, g := nn.CrossEntropy(logits, label)
+	m.Head.Backward(g)
+	return loss
+}
+
+// LatentLen returns the flattened latent size in scalars.
+func (m *Model) LatentLen() int {
+	n := 1
+	for _, d := range m.LatentShape {
+		n *= d
+	}
+	return n
+}

@@ -1,0 +1,97 @@
+package mobilenet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"chameleon/internal/nn"
+	"chameleon/internal/tensor"
+)
+
+// modelDisk is the on-disk form of a model: its config plus every parameter
+// tensor (frozen layers included) and the BN running statistics.
+type modelDisk struct {
+	Version string
+	Cfg     Config
+	Params  []*tensor.Tensor
+	BNMean  []*tensor.Tensor
+	BNVar   []*tensor.Tensor
+}
+
+const modelVersion = "chameleon-model-v1"
+
+// allLayers walks features then head.
+func (m *Model) allLayers() []nn.Layer {
+	return append(append([]nn.Layer{}, m.Features.Layers...), m.Head.Layers...)
+}
+
+// Save writes the model's weights (and BN statistics, if any) to path. The
+// architecture itself is reconstructed from the saved Config on load.
+func (m *Model) Save(path string) error {
+	disk := modelDisk{Version: modelVersion, Cfg: m.Cfg}
+	for _, l := range m.allLayers() {
+		for _, p := range unwrapParams(l) {
+			disk.Params = append(disk.Params, p.Data)
+		}
+		if bn := asBatchNorm(l); bn != nil {
+			mean, vari := bn.Stats()
+			disk.BNMean = append(disk.BNMean, mean)
+			disk.BNVar = append(disk.BNVar, vari)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mobilenet: save: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&disk); err != nil {
+		return fmt.Errorf("mobilenet: save: %w", err)
+	}
+	return f.Sync()
+}
+
+// Load reconstructs a model saved with Save: it rebuilds the architecture
+// from the stored config and installs the stored weights and statistics.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mobilenet: load: %w", err)
+	}
+	defer f.Close()
+	var disk modelDisk
+	if err := gob.NewDecoder(f).Decode(&disk); err != nil {
+		return nil, fmt.Errorf("mobilenet: load: %w", err)
+	}
+	if disk.Version != modelVersion {
+		return nil, fmt.Errorf("mobilenet: load: version %q, want %q", disk.Version, modelVersion)
+	}
+	m, err := New(disk.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mobilenet: load: rebuild: %w", err)
+	}
+	pi, bi := 0, 0
+	for _, l := range m.allLayers() {
+		for _, p := range unwrapParams(l) {
+			if pi >= len(disk.Params) {
+				return nil, fmt.Errorf("mobilenet: load: parameter stream too short")
+			}
+			if p.Data.Len() != disk.Params[pi].Len() {
+				return nil, fmt.Errorf("mobilenet: load: parameter %q size mismatch", p.Name)
+			}
+			p.Data.CopyFrom(disk.Params[pi])
+			pi++
+		}
+		if bn := asBatchNorm(l); bn != nil {
+			if bi >= len(disk.BNMean) {
+				return nil, fmt.Errorf("mobilenet: load: BN stream too short")
+			}
+			bn.SetStats(disk.BNMean[bi], disk.BNVar[bi])
+			bi++
+		}
+	}
+	if pi != len(disk.Params) {
+		return nil, fmt.Errorf("mobilenet: load: %d unused parameters", len(disk.Params)-pi)
+	}
+	return m, nil
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math/rand"
+
+	"chameleon/internal/tensor"
+)
+
+// ReLU applies max(0, x). With a positive Cap it becomes ReLU-N (e.g. ReLU6,
+// MobileNet's activation).
+type ReLU struct {
+	Cap  float32 // 0 means unbounded
+	mask []bool  // true where the gradient passes
+}
+
+// NewReLU returns an unbounded ReLU.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// NewReLU6 returns the ReLU6 activation used by MobileNet.
+func NewReLU6() *ReLU { return &ReLU{Cap: 6} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string {
+	if r.Cap > 0 {
+		return "relu6"
+	}
+	return "relu"
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if train {
+		if cap(r.mask) < y.Len() {
+			r.mask = make([]bool, y.Len())
+		}
+		r.mask = r.mask[:y.Len()]
+	}
+	for i, v := range y.Data() {
+		pass := v > 0
+		if v < 0 {
+			y.Data()[i] = 0
+		}
+		if r.Cap > 0 && v > r.Cap {
+			y.Data()[i] = r.Cap
+			pass = false
+		}
+		if train {
+			r.mask[i] = pass
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	for i := range g.Data() {
+		if !r.mask[i] {
+			g.Data()[i] = 0
+		}
+	}
+	return g
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int { return in }
+
+// Dropout zeroes activations with probability P during training and scales
+// survivors by 1/(1-P) (inverted dropout). In eval mode it is the identity.
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	keep []float32
+}
+
+// NewDropout creates a Dropout layer with its own deterministic RNG stream.
+func NewDropout(p float64, seed int64) *Dropout {
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P <= 0 {
+		return x
+	}
+	y := x.Clone()
+	if cap(d.keep) < y.Len() {
+		d.keep = make([]float32, y.Len())
+	}
+	d.keep = d.keep[:y.Len()]
+	scale := float32(1 / (1 - d.P))
+	for i := range y.Data() {
+		if d.rng.Float64() < d.P {
+			d.keep[i] = 0
+			y.Data()[i] = 0
+		} else {
+			d.keep[i] = scale
+			y.Data()[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.P <= 0 || len(d.keep) == 0 {
+		return grad
+	}
+	g := grad.Clone()
+	for i := range g.Data() {
+		g.Data()[i] *= d.keep[i]
+	}
+	return g
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int { return in }

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chameleon/internal/tensor"
+)
+
+// Conv2D is a standard 2-D convolution on [C,H,W] single-sample inputs,
+// implemented as im2col + GEMM. Weights are stored as [outC, inC*KH*KW].
+type Conv2D struct {
+	label            string
+	inC, outC        int
+	kh, kw, stride   int
+	pad              int
+	w                *Param
+	b                *Param
+	col              *tensor.Tensor // cached im2col matrix (train mode)
+	inH, inW, oh, ow int
+}
+
+// NewConv2D creates a Conv2D with He-normal weights.
+func NewConv2D(label string, inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
+	fanIn := inC * k * k
+	return &Conv2D{
+		label: label, inC: inC, outC: outC, kh: k, kw: k, stride: stride, pad: pad,
+		w: &Param{Name: label + ".w", Data: tensor.HeNormal(rng, fanIn, outC, fanIn), Grad: tensor.New(outC, fanIn)},
+		b: &Param{Name: label + ".b", Data: tensor.New(outC), Grad: tensor.New(outC)},
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.label }
+
+// Forward implements Layer for a [inC,H,W] input, producing [outC,OH,OW].
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NDim() != 3 || x.Dim(0) != c.inC {
+		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", c.label, c.inC, x.Shape()))
+	}
+	h, w := x.Dim(1), x.Dim(2)
+	oh := tensor.ConvOut(h, c.kh, c.stride, c.pad)
+	ow := tensor.ConvOut(w, c.kw, c.stride, c.pad)
+	col := tensor.Im2Col(x, c.kh, c.kw, c.stride, c.pad)
+	if train {
+		c.col, c.inH, c.inW, c.oh, c.ow = col, h, w, oh, ow
+	}
+	y := tensor.MatMul(c.w.Data, col) // [outC, oh*ow]
+	// Add bias per output channel.
+	for o := 0; o < c.outC; o++ {
+		b := c.b.Data.Data()[o]
+		if b == 0 {
+			continue
+		}
+		row := y.Data()[o*oh*ow : (o+1)*oh*ow]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	return y.Reshape(c.outC, oh, ow)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.col == nil {
+		panic("nn: Conv2D.Backward before training Forward")
+	}
+	g := grad.Reshape(c.outC, c.oh*c.ow)
+	// dW = g @ colᵀ
+	gw := tensor.MatMulT2(g, c.col)
+	c.w.Grad.AddInPlace(gw)
+	// db = row sums of g
+	for o := 0; o < c.outC; o++ {
+		var s float32
+		for _, v := range g.Row(o).Data() {
+			s += v
+		}
+		c.b.Grad.Data()[o] += s
+	}
+	// dcol = Wᵀ @ g ; dX = col2im(dcol)
+	dcol := tensor.MatMulT1(c.w.Data, g)
+	return tensor.Col2Im(dcol, c.inC, c.inH, c.inW, c.kh, c.kw, c.stride, c.pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	return []int{c.outC, tensor.ConvOut(in[1], c.kh, c.stride, c.pad), tensor.ConvOut(in[2], c.kw, c.stride, c.pad)}
+}
+
+// DepthwiseConv2D applies one k×k filter per input channel.
+type DepthwiseConv2D struct {
+	label       string
+	c, k        int
+	stride, pad int
+	w           *Param // [C,K,K]
+	b           *Param // [C]
+	x           *tensor.Tensor
+}
+
+// NewDepthwiseConv2D creates a depthwise convolution with He-normal weights.
+func NewDepthwiseConv2D(label string, channels, k, stride, pad int, rng *rand.Rand) *DepthwiseConv2D {
+	fanIn := k * k
+	return &DepthwiseConv2D{
+		label: label, c: channels, k: k, stride: stride, pad: pad,
+		w: &Param{Name: label + ".w", Data: tensor.HeNormal(rng, fanIn, channels, k, k), Grad: tensor.New(channels, k, k)},
+		b: &Param{Name: label + ".b", Data: tensor.New(channels), Grad: tensor.New(channels)},
+	}
+}
+
+// Name implements Layer.
+func (d *DepthwiseConv2D) Name() string { return d.label }
+
+// Forward implements Layer.
+func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NDim() != 3 || x.Dim(0) != d.c {
+		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", d.label, d.c, x.Shape()))
+	}
+	if train {
+		d.x = x.Clone()
+	}
+	return tensor.DepthwiseConv(x, d.w.Data, d.b.Data, d.stride, d.pad)
+}
+
+// Backward implements Layer.
+func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.x == nil {
+		panic("nn: DepthwiseConv2D.Backward before training Forward")
+	}
+	gx, gw, gb := tensor.DepthwiseConvGrads(d.x, d.w.Data, grad, d.stride, d.pad)
+	d.w.Grad.AddInPlace(gw)
+	d.b.Grad.AddInPlace(gb)
+	return gx
+}
+
+// Params implements Layer.
+func (d *DepthwiseConv2D) Params() []*Param { return []*Param{d.w, d.b} }
+
+// OutShape implements Layer.
+func (d *DepthwiseConv2D) OutShape(in []int) []int {
+	return []int{d.c, tensor.ConvOut(in[1], d.k, d.stride, d.pad), tensor.ConvOut(in[2], d.k, d.stride, d.pad)}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chameleon/internal/tensor"
+)
+
+// Dense is a fully connected layer y = Wx + b on 1-D inputs.
+type Dense struct {
+	label string
+	w     *Param // [out, in]
+	b     *Param // [out]
+	inCap int
+	x     *tensor.Tensor // cached input (train mode)
+}
+
+// NewDense creates a Dense layer with He-normal weights and zero bias.
+func NewDense(label string, in, out int, rng *rand.Rand) *Dense {
+	return &Dense{
+		label: label,
+		w:     &Param{Name: label + ".w", Data: tensor.HeNormal(rng, in, out, in), Grad: tensor.New(out, in)},
+		b:     &Param{Name: label + ".b", Data: tensor.New(out), Grad: tensor.New(out)},
+		inCap: in,
+	}
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.label }
+
+// In returns the input width.
+func (d *Dense) In() int { return d.inCap }
+
+// Out returns the output width.
+func (d *Dense) Out() int { return d.w.Data.Dim(0) }
+
+// Forward implements Layer for a [in] input, producing [out].
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Len() != d.inCap {
+		panic(fmt.Sprintf("nn: %s expects %d inputs, got shape %v", d.label, d.inCap, x.Shape()))
+	}
+	flat := x.Reshape(d.inCap)
+	if train {
+		d.x = flat.Clone()
+	}
+	y := tensor.MatVec(d.w.Data, flat)
+	y.AddInPlace(d.b.Data)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.x == nil {
+		panic("nn: Dense.Backward before training Forward")
+	}
+	out, in := d.Out(), d.inCap
+	gw, gb := d.w.Grad.Data(), d.b.Grad.Data()
+	gx := tensor.New(in)
+	for o := 0; o < out; o++ {
+		g := grad.Data()[o]
+		gb[o] += g
+		wRow := d.w.Data.Data()[o*in : (o+1)*in]
+		gwRow := gw[o*in : (o+1)*in]
+		if g != 0 {
+			for i, xv := range d.x.Data() {
+				gwRow[i] += g * xv
+				gx.Data()[i] += g * wRow[i]
+			}
+		}
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) []int { return []int{d.Out()} }
+
+// Flatten reshapes any input to 1-D. It has no parameters.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.inShape = append(f.inShape[:0], x.Shape()...)
+	}
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int {
+	n := 1
+	for _, d := range in {
+		n *= d
+	}
+	return []int{n}
+}

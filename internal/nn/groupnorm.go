@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"chameleon/internal/tensor"
+)
+
+// GroupNorm2D normalises each sample over channel groups (Wu & He, 2018):
+// for each of G groups of C/G channels, activations are standardised over
+// (C/G)·H·W positions, then scaled/shifted by per-channel γ/β.
+//
+// Unlike BatchNorm it has no running statistics and no batch dependence,
+// which makes it exactly right for this repository's regime: single-sample
+// online training on-device, and from-scratch pretraining of the deep
+// backbone (frozen-statistics BN cannot train a 27-layer plain CNN; GN can).
+// The backward pass is exact, including the gradient through the
+// normalisation statistics.
+type GroupNorm2D struct {
+	label  string
+	c, g   int
+	gamma  *Param
+	beta   *Param
+	eps    float32
+	xhat   *tensor.Tensor
+	invStd []float32 // per group, cached in train mode
+}
+
+// NewGroupNorm2D creates a GroupNorm layer. groups must divide channels.
+func NewGroupNorm2D(label string, channels, groups int) *GroupNorm2D {
+	if groups <= 0 || channels%groups != 0 {
+		panic(fmt.Sprintf("nn: %s groups %d must divide channels %d", label, groups, channels))
+	}
+	return &GroupNorm2D{
+		label: label, c: channels, g: groups,
+		gamma: &Param{Name: label + ".gamma", Data: tensor.Full(1, channels), Grad: tensor.New(channels)},
+		beta:  &Param{Name: label + ".beta", Data: tensor.New(channels), Grad: tensor.New(channels)},
+		eps:   1e-5,
+	}
+}
+
+// Name implements Layer.
+func (gn *GroupNorm2D) Name() string { return gn.label }
+
+// Forward implements Layer.
+func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NDim() != 3 || x.Dim(0) != gn.c {
+		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", gn.label, gn.c, x.Shape()))
+	}
+	h, w := x.Dim(1), x.Dim(2)
+	plane := h * w
+	perG := gn.c / gn.g
+	gSize := perG * plane
+	y := tensor.New(gn.c, h, w)
+	var xhat *tensor.Tensor
+	if train {
+		xhat = tensor.New(gn.c, h, w)
+		if cap(gn.invStd) < gn.g {
+			gn.invStd = make([]float32, gn.g)
+		}
+		gn.invStd = gn.invStd[:gn.g]
+	}
+	for gi := 0; gi < gn.g; gi++ {
+		seg := x.Data()[gi*gSize : (gi+1)*gSize]
+		var sum, sumSq float64
+		for _, v := range seg {
+			sum += float64(v)
+			sumSq += float64(v) * float64(v)
+		}
+		n := float64(gSize)
+		mu := sum / n
+		variance := sumSq/n - mu*mu
+		if variance < 0 {
+			variance = 0
+		}
+		inv := float32(1 / math.Sqrt(variance+float64(gn.eps)))
+		if train {
+			gn.invStd[gi] = inv
+		}
+		for ci := 0; ci < perG; ci++ {
+			c := gi*perG + ci
+			gamma := gn.gamma.Data.Data()[c]
+			beta := gn.beta.Data.Data()[c]
+			in := x.Data()[c*plane : (c+1)*plane]
+			out := y.Data()[c*plane : (c+1)*plane]
+			for i, v := range in {
+				xh := (v - float32(mu)) * inv
+				if train {
+					xhat.Data()[c*plane+i] = xh
+				}
+				out[i] = gamma*xh + beta
+			}
+		}
+	}
+	if train {
+		gn.xhat = xhat
+	}
+	return y
+}
+
+// Backward implements Layer with the exact GroupNorm gradient:
+// dx = invStd · (ĝ − mean(ĝ) − x̂·mean(ĝ·x̂)) per group, where ĝ = dy·γ.
+func (gn *GroupNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if gn.xhat == nil {
+		panic("nn: GroupNorm2D.Backward before training Forward")
+	}
+	h, w := grad.Dim(1), grad.Dim(2)
+	plane := h * w
+	perG := gn.c / gn.g
+	gSize := perG * plane
+	gx := tensor.New(gn.c, h, w)
+	ghat := make([]float32, gSize)
+	for gi := 0; gi < gn.g; gi++ {
+		var sumG, sumGX float64
+		for ci := 0; ci < perG; ci++ {
+			c := gi*perG + ci
+			gamma := gn.gamma.Data.Data()[c]
+			gIn := grad.Data()[c*plane : (c+1)*plane]
+			xh := gn.xhat.Data()[c*plane : (c+1)*plane]
+			var dg, db float32
+			for i, gv := range gIn {
+				gh := gv * gamma
+				ghat[ci*plane+i] = gh
+				sumG += float64(gh)
+				sumGX += float64(gh) * float64(xh[i])
+				dg += gv * xh[i]
+				db += gv
+			}
+			gn.gamma.Grad.Data()[c] += dg
+			gn.beta.Grad.Data()[c] += db
+		}
+		n := float64(gSize)
+		meanG := float32(sumG / n)
+		meanGX := float32(sumGX / n)
+		inv := gn.invStd[gi]
+		for ci := 0; ci < perG; ci++ {
+			c := gi*perG + ci
+			xh := gn.xhat.Data()[c*plane : (c+1)*plane]
+			out := gx.Data()[c*plane : (c+1)*plane]
+			for i := range out {
+				out[i] = inv * (ghat[ci*plane+i] - meanG - xh[i]*meanGX)
+			}
+		}
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (gn *GroupNorm2D) Params() []*Param { return []*Param{gn.gamma, gn.beta} }
+
+// OutShape implements Layer.
+func (gn *GroupNorm2D) OutShape(in []int) []int { return in }

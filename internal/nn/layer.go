@@ -1,0 +1,153 @@
+// Package nn is a compact neural-network training framework: explicit-layer
+// forward/backward propagation, SGD with momentum and weight decay, and the
+// loss functions used by the continual-learning methods in this repository
+// (cross-entropy, soft-target distillation, logit MSE).
+//
+// The design is a deliberate substitute for the PyTorch stack the paper uses:
+// layers cache what their backward pass needs, and a Sequential chains them.
+// Batch processing is done one sample at a time internally (NCHW without the
+// N), matching the paper's online single-sample training regime.
+package nn
+
+import (
+	"fmt"
+
+	"chameleon/internal/tensor"
+)
+
+// Param is a trainable parameter with its accumulated gradient.
+type Param struct {
+	Name string
+	Data *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Numel returns the number of scalar weights in the parameter.
+func (p *Param) Numel() int { return p.Data.Len() }
+
+// Layer is one differentiable stage. Forward consumes a single-sample input
+// and returns the output; Backward consumes the gradient of the loss with
+// respect to the output and returns the gradient with respect to the input,
+// accumulating parameter gradients along the way. Backward must be called
+// only after a Forward in train mode, whose intermediate values the layer
+// caches.
+type Layer interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// Forward runs the layer. train selects training behaviour (caching of
+	// intermediates; dropout etc. if applicable).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward back-propagates grad through the most recent training Forward.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly none).
+	Params() []*Param
+	// OutShape returns the output shape for a given input shape.
+	OutShape(in []int) []int
+}
+
+// Frozen wraps a layer so its parameters are hidden from optimizers and its
+// backward pass still propagates input gradients (needed when frozen layers
+// sit between trainable ones).
+type Frozen struct{ Inner Layer }
+
+// Name implements Layer.
+func (f *Frozen) Name() string { return "frozen(" + f.Inner.Name() + ")" }
+
+// Forward implements Layer.
+func (f *Frozen) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return f.Inner.Forward(x, train)
+}
+
+// Backward implements Layer.
+func (f *Frozen) Backward(grad *tensor.Tensor) *tensor.Tensor { return f.Inner.Backward(grad) }
+
+// Params implements Layer: a frozen layer exposes no trainable parameters.
+func (f *Frozen) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (f *Frozen) OutShape(in []int) []int { return f.Inner.OutShape(in) }
+
+// Sequential chains layers. It is itself a Layer.
+type Sequential struct {
+	Label  string
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential with the given label and layers.
+func NewSequential(label string, layers ...Layer) *Sequential {
+	return &Sequential{Label: label, Layers: layers}
+}
+
+// Name implements Layer.
+func (s *Sequential) Name() string { return s.Label }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutShape implements Layer.
+func (s *Sequential) OutShape(in []int) []int {
+	for _, l := range s.Layers {
+		in = l.OutShape(in)
+	}
+	return in
+}
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
+
+// NumParams returns the total scalar parameter count.
+func NumParams(l Layer) int {
+	n := 0
+	for _, p := range l.Params() {
+		n += p.Numel()
+	}
+	return n
+}
+
+// ZeroGrads clears all parameter gradients of a layer tree.
+func ZeroGrads(l Layer) {
+	for _, p := range l.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// CopyParams copies parameter data from src to dst. The two layer trees must
+// have identical parameter structure.
+func CopyParams(dst, src Layer) error {
+	dp, sp := dst.Params(), src.Params()
+	if len(dp) != len(sp) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(dp), len(sp))
+	}
+	for i := range dp {
+		if dp[i].Data.Len() != sp[i].Data.Len() {
+			return fmt.Errorf("nn: parameter %q size mismatch", dp[i].Name)
+		}
+		dp[i].Data.CopyFrom(sp[i].Data)
+	}
+	return nil
+}

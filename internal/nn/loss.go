@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"chameleon/internal/tensor"
+)
+
+// CrossEntropy returns the negative log-likelihood of label under
+// softmax(logits) and the gradient of the loss with respect to the logits
+// (softmax − onehot).
+func CrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
+	if logits.NDim() != 1 {
+		panic(fmt.Sprintf("nn: CrossEntropy expects 1-D logits, got %v", logits.Shape()))
+	}
+	if label < 0 || label >= logits.Len() {
+		panic(fmt.Sprintf("nn: label %d out of range for %d classes", label, logits.Len()))
+	}
+	ls := tensor.LogSoftmax(logits)
+	loss = -float64(ls.Data()[label])
+	grad = tensor.New(logits.Len())
+	for i, v := range ls.Data() {
+		grad.Data()[i] = float32(math.Exp(float64(v)))
+	}
+	grad.Data()[label] -= 1
+	return loss, grad
+}
+
+// SoftCrossEntropy is the knowledge-distillation loss: the cross-entropy of
+// the temperature-softened teacher distribution p = softmax(teacher/T) under
+// the student distribution q = softmax(student/T). It returns the loss and
+// its exact gradient with respect to the student logits, (q−p)/T. Callers
+// that want Hinton's conventional T² loss scaling (so soft and hard gradients
+// stay commensurate as T grows) should multiply the gradient by T².
+func SoftCrossEntropy(student, teacher *tensor.Tensor, temperature float64) (loss float64, grad *tensor.Tensor) {
+	if student.Len() != teacher.Len() {
+		panic(fmt.Sprintf("nn: SoftCrossEntropy size mismatch %v vs %v", student.Shape(), teacher.Shape()))
+	}
+	if temperature <= 0 {
+		temperature = 1
+	}
+	n := student.Len()
+	sT := tensor.New(n)
+	tT := tensor.New(n)
+	invT := float32(1 / temperature)
+	for i := 0; i < n; i++ {
+		sT.Data()[i] = student.Data()[i] * invT
+		tT.Data()[i] = teacher.Data()[i] * invT
+	}
+	logQ := tensor.LogSoftmax(sT)
+	p := tensor.Softmax(tT)
+	grad = tensor.New(n)
+	for i := 0; i < n; i++ {
+		loss -= float64(p.Data()[i]) * float64(logQ.Data()[i])
+		grad.Data()[i] = (float32(math.Exp(float64(logQ.Data()[i]))) - p.Data()[i]) * invT
+	}
+	return loss, grad
+}
+
+// MSELogits is the Dark Experience Replay consistency loss: mean squared
+// error between current logits and stored logits, with gradient.
+func MSELogits(logits, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	if logits.Len() != target.Len() {
+		panic(fmt.Sprintf("nn: MSELogits size mismatch %v vs %v", logits.Shape(), target.Shape()))
+	}
+	n := logits.Len()
+	grad = tensor.New(n)
+	for i := 0; i < n; i++ {
+		d := logits.Data()[i] - target.Data()[i]
+		loss += float64(d) * float64(d)
+		grad.Data()[i] = 2 * d / float32(n)
+	}
+	return loss / float64(n), grad
+}

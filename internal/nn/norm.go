@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"chameleon/internal/tensor"
+)
+
+// BatchNorm2D is per-channel normalisation y = γ·(x−μ)/√(σ²+ε) + β on
+// [C,H,W] inputs. In this framework it always runs in *inference* form
+// against fixed running statistics — mirroring the paper's setup, where the
+// ImageNet-pretrained MobileNetV1 backbone keeps its BN statistics frozen
+// during on-device single-pass training. γ/β are still Params so trailing
+// trainable blocks may fine-tune them; the backward pass treats μ/σ² as
+// constants (the standard "frozen BN" gradient).
+type BatchNorm2D struct {
+	label      string
+	c          int
+	gamma      *Param
+	beta       *Param
+	mean, vari *tensor.Tensor
+	eps        float32
+	xhat       *tensor.Tensor // cached normalised input (train mode)
+}
+
+// NewBatchNorm2D creates a frozen-statistics batch norm with μ=0, σ²=1,
+// γ=1, β=0. Use SetStats to install pretrained running statistics.
+func NewBatchNorm2D(label string, channels int) *BatchNorm2D {
+	return &BatchNorm2D{
+		label: label,
+		c:     channels,
+		gamma: &Param{Name: label + ".gamma", Data: tensor.Full(1, channels), Grad: tensor.New(channels)},
+		beta:  &Param{Name: label + ".beta", Data: tensor.New(channels), Grad: tensor.New(channels)},
+		mean:  tensor.New(channels),
+		vari:  tensor.Full(1, channels),
+		eps:   1e-5,
+	}
+}
+
+// SetStats installs running mean and variance (copied).
+func (b *BatchNorm2D) SetStats(mean, variance *tensor.Tensor) {
+	if mean.Len() != b.c || variance.Len() != b.c {
+		panic(fmt.Sprintf("nn: %s SetStats wants %d channels", b.label, b.c))
+	}
+	b.mean.CopyFrom(mean)
+	b.vari.CopyFrom(variance)
+}
+
+// Stats returns the current running mean and variance (live tensors; callers
+// must treat them as read-only).
+func (b *BatchNorm2D) Stats() (mean, variance *tensor.Tensor) { return b.mean, b.vari }
+
+// Name implements Layer.
+func (b *BatchNorm2D) Name() string { return b.label }
+
+// Forward implements Layer.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NDim() != 3 || x.Dim(0) != b.c {
+		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", b.label, b.c, x.Shape()))
+	}
+	h, w := x.Dim(1), x.Dim(2)
+	y := tensor.New(b.c, h, w)
+	var xhat *tensor.Tensor
+	if train {
+		xhat = tensor.New(b.c, h, w)
+	}
+	for c := 0; c < b.c; c++ {
+		inv := float32(1 / math.Sqrt(float64(b.vari.Data()[c]+b.eps)))
+		mu := b.mean.Data()[c]
+		g := b.gamma.Data.Data()[c]
+		bt := b.beta.Data.Data()[c]
+		in := x.Data()[c*h*w : (c+1)*h*w]
+		out := y.Data()[c*h*w : (c+1)*h*w]
+		for i, v := range in {
+			n := (v - mu) * inv
+			if xhat != nil {
+				xhat.Data()[c*h*w+i] = n
+			}
+			out[i] = g*n + bt
+		}
+	}
+	if train {
+		b.xhat = xhat
+	}
+	return y
+}
+
+// Backward implements Layer (frozen-statistics gradient).
+func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.xhat == nil {
+		panic("nn: BatchNorm2D.Backward before training Forward")
+	}
+	h, w := grad.Dim(1), grad.Dim(2)
+	gx := tensor.New(b.c, h, w)
+	for c := 0; c < b.c; c++ {
+		inv := float32(1 / math.Sqrt(float64(b.vari.Data()[c]+b.eps)))
+		g := b.gamma.Data.Data()[c]
+		var dg, db float32
+		gIn := grad.Data()[c*h*w : (c+1)*h*w]
+		xh := b.xhat.Data()[c*h*w : (c+1)*h*w]
+		out := gx.Data()[c*h*w : (c+1)*h*w]
+		for i, gv := range gIn {
+			dg += gv * xh[i]
+			db += gv
+			out[i] = gv * g * inv
+		}
+		b.gamma.Grad.Data()[c] += dg
+		b.beta.Grad.Data()[c] += db
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.gamma, b.beta} }
+
+// OutShape implements Layer.
+func (b *BatchNorm2D) OutShape(in []int) []int { return in }
+
+// GlobalAvgPool2D averages [C,H,W] to [C].
+type GlobalAvgPool2D struct {
+	inH, inW int
+}
+
+// NewGlobalAvgPool2D creates the pooling layer.
+func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
+
+// Name implements Layer.
+func (g *GlobalAvgPool2D) Name() string { return "gap" }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		g.inH, g.inW = x.Dim(1), x.Dim(2)
+	}
+	return tensor.GlobalAvgPool(x)
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	c := grad.Len()
+	out := tensor.New(c, g.inH, g.inW)
+	inv := 1 / float32(g.inH*g.inW)
+	for ci := 0; ci < c; ci++ {
+		v := grad.Data()[ci] * inv
+		plane := out.Data()[ci*g.inH*g.inW : (ci+1)*g.inH*g.inW]
+		for i := range plane {
+			plane[i] = v
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// OutShape implements Layer.
+func (g *GlobalAvgPool2D) OutShape(in []int) []int { return []int{in[0]} }

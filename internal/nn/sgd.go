@@ -1,0 +1,60 @@
+package nn
+
+import "chameleon/internal/tensor"
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay, the optimizer the paper trains with (lr=0.001).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	// GradClip, when positive, rescales each parameter's gradient so its L2
+	// norm does not exceed this value. The paper attributes EWC++/LwF's
+	// collapse to gradient explosion; clipping is exposed so that behaviour
+	// can be studied.
+	GradClip float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD creates an optimizer with the given learning rate and no momentum.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr, velocity: map[*Param]*tensor.Tensor{}} }
+
+// Step applies one update to every parameter of the layer tree using the
+// gradients accumulated since the last ZeroGrads, then leaves the gradients
+// untouched (call ZeroGrads before the next accumulation).
+func (s *SGD) Step(model Layer) {
+	for _, p := range model.Params() {
+		s.StepParam(p)
+	}
+}
+
+// StepParam updates a single parameter.
+func (s *SGD) StepParam(p *Param) {
+	g := p.Grad
+	if s.GradClip > 0 {
+		if n := g.Norm2(); n > s.GradClip {
+			g = g.Clone()
+			g.Scale(float32(s.GradClip / n))
+		}
+	}
+	if s.WeightDecay != 0 {
+		// L2 penalty folded into the gradient.
+		g = g.Clone()
+		g.AddScaled(float32(s.WeightDecay), p.Data)
+	}
+	if s.Momentum != 0 {
+		if s.velocity == nil {
+			s.velocity = map[*Param]*tensor.Tensor{}
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Data.Shape()...)
+			s.velocity[p] = v
+		}
+		v.Scale(float32(s.Momentum))
+		v.AddScaled(1, g)
+		g = v
+	}
+	p.Data.AddScaled(float32(-s.LR), g)
+}

@@ -1,0 +1,31 @@
+package quant_test
+
+import (
+	"fmt"
+
+	"chameleon/internal/quant"
+	"chameleon/internal/tensor"
+)
+
+// fp16 is the ZCU102 accelerator's datatype; the encoder round-trips values
+// with half-precision accuracy.
+func ExampleFloat16FromFloat32() {
+	bits := quant.Float16FromFloat32(3.140625) // exactly representable
+	fmt.Printf("%#04x -> %v\n", bits, quant.Float32FromFloat16(bits))
+	// Output: 0x4248 -> 3.140625
+}
+
+// Block floating point (the EdgeTPU-class datatype) shrinks a paper-scale
+// latent well below fp16 at bounded error.
+func ExampleBFPConfig_BytesFor() {
+	cfg := quant.DefaultBFP()
+	latentScalars := 512 * 4 * 4
+	fmt.Printf("fp32: %d KiB, fp16: %d KiB, BFP8: %d KiB\n",
+		latentScalars*4/1024, latentScalars*2/1024, cfg.BytesFor(latentScalars)/1024)
+	z := tensor.Full(1.5, latentScalars)
+	_ = cfg.RoundTripBFP(z)
+	fmt.Printf("round-trip of a constant block is exact: %v\n", z.At(0) == 1.5)
+	// Output:
+	// fp32: 32 KiB, fp16: 16 KiB, BFP8: 8 KiB
+	// round-trip of a constant block is exact: true
+}

@@ -1,0 +1,181 @@
+// Package quant implements the reduced-precision datatypes the paper deploys
+// with: IEEE-754 half precision (the ZCU102 accelerator computes in fp16) and
+// block floating point (the EdgeTPU-style accelerator computes forward and
+// backward passes in BFP). The encoders are used to quantise replay payloads
+// and to measure the numeric error the deployment datatypes introduce, and
+// the byte counts feed the memory accounting.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"chameleon/internal/tensor"
+)
+
+// Float16FromFloat32 converts a float32 to IEEE-754 binary16 (round to
+// nearest even), returning the 16-bit pattern.
+func Float16FromFloat32(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xFF) - 127
+	mant := bits & 0x7FFFFF
+
+	switch {
+	case exp == 128: // Inf / NaN
+		if mant != 0 {
+			return sign | 0x7E00 // NaN
+		}
+		return sign | 0x7C00 // Inf
+	case exp > 15: // overflow -> Inf
+		return sign | 0x7C00
+	case exp >= -14: // normal
+		// Round mantissa from 23 to 10 bits (round half to even).
+		m := mant >> 13
+		round := mant & 0x1FFF
+		if round > 0x1000 || (round == 0x1000 && m&1 == 1) {
+			m++
+			if m == 0x400 { // mantissa overflow bumps the exponent
+				m = 0
+				exp++
+				if exp > 15 {
+					return sign | 0x7C00
+				}
+			}
+		}
+		return sign | uint16(exp+15)<<10 | uint16(m)
+	case exp >= -24: // subnormal
+		shift := uint32(-exp - 1) // 14..24 -> 13+(−14−exp) bits discarded
+		full := mant | 0x800000
+		m := full >> (shift + 10)
+		round := full & ((1 << (shift + 10)) - 1)
+		half := uint32(1) << (shift + 9)
+		if round > half || (round == half && m&1 == 1) {
+			m++
+		}
+		return sign | uint16(m)
+	default: // underflow -> zero
+		return sign
+	}
+}
+
+// Float32FromFloat16 converts a binary16 bit pattern back to float32.
+func Float32FromFloat16(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1F)
+	mant := uint32(h & 0x3FF)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalise.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1F:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7F800000)
+		}
+		return float32(math.NaN())
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// RoundTripFP16 quantises a tensor through fp16 and back, in place.
+func RoundTripFP16(t *tensor.Tensor) {
+	for i, v := range t.Data() {
+		t.Data()[i] = Float32FromFloat16(Float16FromFloat32(v))
+	}
+}
+
+// BFPConfig describes a block-floating-point format: a shared exponent per
+// block of BlockSize values with MantissaBits two's-complement mantissa bits
+// each (uSystolic's byte-crawling formats are BFP with small mantissas).
+type BFPConfig struct {
+	BlockSize    int
+	MantissaBits int
+}
+
+// DefaultBFP is an 8-bit-mantissa, 16-value-block format, the EdgeTPU-class
+// configuration the Table II model assumes.
+func DefaultBFP() BFPConfig { return BFPConfig{BlockSize: 16, MantissaBits: 8} }
+
+// Validate checks the configuration.
+func (c BFPConfig) Validate() error {
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("quant: block size %d must be positive", c.BlockSize)
+	}
+	if c.MantissaBits < 2 || c.MantissaBits > 24 {
+		return fmt.Errorf("quant: mantissa bits %d out of [2,24]", c.MantissaBits)
+	}
+	return nil
+}
+
+// BytesFor returns the encoded size of n values: one shared exponent byte
+// per block plus MantissaBits per value (rounded up to whole bytes total).
+func (c BFPConfig) BytesFor(n int) int64 {
+	blocks := (n + c.BlockSize - 1) / c.BlockSize
+	bits := int64(n)*int64(c.MantissaBits) + int64(blocks)*8
+	return (bits + 7) / 8
+}
+
+// RoundTripBFP quantises a tensor through the BFP format and back, in
+// place: each block shares the exponent of its largest magnitude, and
+// mantissas are rounded to MantissaBits (symmetric, round to nearest).
+func (c BFPConfig) RoundTripBFP(t *tensor.Tensor) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	data := t.Data()
+	// Max representable mantissa magnitude: 2^(bits-1) − 1.
+	maxMant := float64(int64(1)<<(c.MantissaBits-1) - 1)
+	for start := 0; start < len(data); start += c.BlockSize {
+		end := start + c.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		block := data[start:end]
+		var maxAbs float64
+		for _, v := range block {
+			if a := math.Abs(float64(v)); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		// Shared scale: the block's values map into [−maxMant, maxMant].
+		_, exp := math.Frexp(maxAbs)
+		scale := math.Ldexp(1, exp) / (maxMant + 1)
+		for i, v := range block {
+			q := math.Round(float64(v) / scale)
+			if q > maxMant {
+				q = maxMant
+			}
+			if q < -maxMant-1 {
+				q = -maxMant - 1
+			}
+			block[i] = float32(q * scale)
+		}
+	}
+	return nil
+}
+
+// QuantError returns the relative L2 error ‖x−q(x)‖/‖x‖ introduced by a
+// quantiser over a copy of t (t is not modified).
+func QuantError(t *tensor.Tensor, quantise func(*tensor.Tensor)) float64 {
+	q := t.Clone()
+	quantise(q)
+	diff := tensor.Sub(t, q)
+	denom := t.Norm2()
+	if denom == 0 {
+		return 0
+	}
+	return diff.Norm2() / denom
+}

@@ -1,0 +1,157 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/tensor"
+)
+
+func TestFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},                 // max normal fp16
+		{float32(math.Inf(1)), 0x7C00},  // +Inf
+		{float32(math.Inf(-1)), 0xFC00}, // −Inf
+		{5.9604645e-8, 0x0001},          // smallest subnormal
+		{6.1035156e-5, 0x0400},          // smallest normal
+	}
+	for _, c := range cases {
+		if got := Float16FromFloat32(c.f); got != c.bits {
+			t.Errorf("Float16(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		back := Float32FromFloat16(c.bits)
+		if back != c.f && !(math.IsInf(float64(c.f), 0) && math.IsInf(float64(back), 0)) {
+			t.Errorf("Float32(%#04x) = %v, want %v", c.bits, back, c.f)
+		}
+	}
+}
+
+func TestFloat16OverflowAndNaN(t *testing.T) {
+	if got := Float16FromFloat32(1e6); got != 0x7C00 {
+		t.Errorf("overflow should give +Inf, got %#04x", got)
+	}
+	if got := Float16FromFloat32(-1e6); got != 0xFC00 {
+		t.Errorf("overflow should give −Inf, got %#04x", got)
+	}
+	nan := Float16FromFloat32(float32(math.NaN()))
+	if nan&0x7C00 != 0x7C00 || nan&0x3FF == 0 {
+		t.Errorf("NaN encoding wrong: %#04x", nan)
+	}
+	if !math.IsNaN(float64(Float32FromFloat16(0x7E00))) {
+		t.Error("NaN did not decode to NaN")
+	}
+	if got := Float16FromFloat32(1e-9); got != 0 {
+		t.Errorf("underflow should give 0, got %#04x", got)
+	}
+}
+
+func TestFloat16RoundTripAccuracyProperty(t *testing.T) {
+	// For values in fp16's normal range, one round trip must be within
+	// 2^-11 relative error (half-precision unit roundoff).
+	f := func(raw uint16) bool {
+		v := float32(raw)/256 - 100 // spread across ±[0,156]
+		back := Float32FromFloat16(Float16FromFloat32(v))
+		if v == 0 {
+			return back == 0
+		}
+		return math.Abs(float64(back-v)) <= math.Abs(float64(v))/2048+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat16Idempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 10, 256)
+	RoundTripFP16(x)
+	y := x.Clone()
+	RoundTripFP16(y)
+	for i := range x.Data() {
+		if x.Data()[i] != y.Data()[i] {
+			t.Fatal("fp16 quantisation not idempotent")
+		}
+	}
+}
+
+func TestBFPValidate(t *testing.T) {
+	if err := (BFPConfig{BlockSize: 0, MantissaBits: 8}).Validate(); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if err := (BFPConfig{BlockSize: 8, MantissaBits: 1}).Validate(); err == nil {
+		t.Error("1-bit mantissa accepted")
+	}
+	if err := DefaultBFP().Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFPBytesFor(t *testing.T) {
+	c := BFPConfig{BlockSize: 16, MantissaBits: 8}
+	// 32 values: 32 bytes mantissa + 2 exponent bytes.
+	if got := c.BytesFor(32); got != 34 {
+		t.Fatalf("BytesFor(32) = %d, want 34", got)
+	}
+	// BFP8 must be smaller than fp16 for the same payload.
+	if c.BytesFor(8192) >= 2*8192 {
+		t.Fatal("BFP8 should beat fp16 bytes")
+	}
+}
+
+func TestBFPRoundTripErrorBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandNormal(rng, 1, 1024)
+	cfg := DefaultBFP()
+	relErr := QuantError(x, func(q *tensor.Tensor) {
+		if err := cfg.RoundTripBFP(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 8-bit mantissa with per-16 shared exponent: a few % relative error on
+	// Gaussian data.
+	if relErr > 0.05 {
+		t.Fatalf("BFP8 relative error = %v, too high", relErr)
+	}
+	if relErr == 0 {
+		t.Fatal("BFP quantisation was a no-op")
+	}
+	// Narrower mantissas must hurt more.
+	coarse := BFPConfig{BlockSize: 16, MantissaBits: 4}
+	coarseErr := QuantError(x, func(q *tensor.Tensor) { _ = coarse.RoundTripBFP(q) })
+	if coarseErr <= relErr {
+		t.Fatalf("4-bit error (%v) should exceed 8-bit error (%v)", coarseErr, relErr)
+	}
+}
+
+func TestBFPZeroBlockStaysZero(t *testing.T) {
+	x := tensor.New(32)
+	if err := DefaultBFP().RoundTripBFP(x); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("zero block changed")
+		}
+	}
+}
+
+func TestFP16BeatsBFP4OnAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandNormal(rng, 1, 512)
+	fp16Err := QuantError(x, RoundTripFP16)
+	bfp4 := BFPConfig{BlockSize: 16, MantissaBits: 4}
+	bfpErr := QuantError(x, func(q *tensor.Tensor) { _ = bfp4.RoundTripBFP(q) })
+	if fp16Err >= bfpErr {
+		t.Fatalf("fp16 err (%v) should be below BFP4 err (%v)", fp16Err, bfpErr)
+	}
+}

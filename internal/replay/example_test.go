@@ -1,0 +1,43 @@
+package replay_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"chameleon/internal/replay"
+)
+
+// A class-balanced buffer keeps every class represented even under a heavily
+// skewed stream — the property Chameleon's long-term store relies on.
+func ExampleClassBalanced() {
+	rng := rand.New(rand.NewSource(1))
+	buf := replay.NewClassBalanced(8, rng)
+	// 97% of insertions are class 0.
+	for i := 0; i < 1000; i++ {
+		label := 0
+		if i%33 == 0 {
+			label = 1 + (i/33)%3
+		}
+		buf.Insert(replay.Item{Label: label})
+	}
+	classes := buf.Classes()
+	sort.Ints(classes)
+	fmt.Println("classes present:", classes)
+	fmt.Println("fill:", buf.Len(), "/", buf.Cap())
+	// Output:
+	// classes present: [0 1 2 3]
+	// fill: 8 / 8
+}
+
+// A reservoir holds a uniform sample of everything it has seen.
+func ExampleReservoir() {
+	rng := rand.New(rand.NewSource(2))
+	buf := replay.NewReservoir(4, rng)
+	for i := 0; i < 100; i++ {
+		buf.Offer(replay.Item{Label: i})
+	}
+	fmt.Println("fill:", buf.Len(), "seen:", buf.Seen())
+	// Output:
+	// fill: 4 seen: 100
+}

@@ -1,0 +1,223 @@
+// Package replay provides the buffer primitives the continual-learning
+// methods are built from: a FIFO ring, a reservoir-sampling buffer (ER/DER),
+// and a class-balanced buffer (Chameleon's long-term store).
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chameleon/internal/tensor"
+)
+
+// Item is one stored replay record. Which payload fields are populated
+// depends on the method: every method stores a latent (or conceptually a raw
+// image — the distinction is pure memory accounting, see internal/memcost);
+// DER additionally stores logits; GSS stores a gradient sketch.
+type Item struct {
+	// Z is the latent activation payload.
+	Z *tensor.Tensor
+	// Label is the class index.
+	Label int
+	// Logits is the model response captured at insertion time (DER).
+	Logits *tensor.Tensor
+	// GradSketch is the gradient-direction sketch (GSS).
+	GradSketch *tensor.Tensor
+}
+
+// Reservoir is a fixed-capacity buffer maintaining a uniform sample of the
+// stream via reservoir sampling (the buffer used by ER and DER).
+type Reservoir struct {
+	cap   int
+	items []Item
+	seen  int
+	rng   *rand.Rand
+}
+
+// NewReservoir creates a reservoir with the given capacity.
+func NewReservoir(capacity int, rng *rand.Rand) *Reservoir {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("replay: reservoir capacity %d must be positive", capacity))
+	}
+	return &Reservoir{cap: capacity, rng: rng}
+}
+
+// Offer presents one stream item; it is stored with the reservoir
+// probability. Returns true if the item entered the buffer.
+func (r *Reservoir) Offer(it Item) bool {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, it)
+		return true
+	}
+	j := r.rng.Intn(r.seen)
+	if j < r.cap {
+		r.items[j] = it
+		return true
+	}
+	return false
+}
+
+// Sample returns n items drawn uniformly without replacement (fewer if the
+// buffer holds fewer).
+func (r *Reservoir) Sample(n int) []Item {
+	return sampleWithout(r.items, n, r.rng)
+}
+
+// Items returns the live contents (not a copy; callers must not mutate).
+func (r *Reservoir) Items() []Item { return r.items }
+
+// Len returns the current fill.
+func (r *Reservoir) Len() int { return len(r.items) }
+
+// Cap returns the capacity.
+func (r *Reservoir) Cap() int { return r.cap }
+
+// Seen returns how many items have been offered.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Ring is a fixed-capacity FIFO buffer.
+type Ring struct {
+	cap   int
+	items []Item
+	next  int
+	full  bool
+}
+
+// NewRing creates a FIFO buffer with the given capacity.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("replay: ring capacity %d must be positive", capacity))
+	}
+	return &Ring{cap: capacity, items: make([]Item, 0, capacity)}
+}
+
+// Push inserts an item, evicting the oldest when full.
+func (r *Ring) Push(it Item) {
+	if len(r.items) < r.cap {
+		r.items = append(r.items, it)
+		return
+	}
+	r.items[r.next] = it
+	r.next = (r.next + 1) % r.cap
+	r.full = true
+}
+
+// Items returns the live contents in arbitrary order.
+func (r *Ring) Items() []Item { return r.items }
+
+// Len returns the current fill.
+func (r *Ring) Len() int { return len(r.items) }
+
+// ClassBalanced keeps an equal per-class share of a global capacity. It
+// backs Chameleon's long-term store and any class-stratified baseline.
+type ClassBalanced struct {
+	cap     int
+	byClass map[int][]Item
+	total   int
+	rng     *rand.Rand
+}
+
+// NewClassBalanced creates a class-balanced buffer with global capacity.
+func NewClassBalanced(capacity int, rng *rand.Rand) *ClassBalanced {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("replay: class-balanced capacity %d must be positive", capacity))
+	}
+	return &ClassBalanced{cap: capacity, byClass: map[int][]Item{}, rng: rng}
+}
+
+// Len returns the current fill.
+func (b *ClassBalanced) Len() int { return b.total }
+
+// Cap returns the global capacity.
+func (b *ClassBalanced) Cap() int { return b.cap }
+
+// Classes returns the class indices currently present.
+func (b *ClassBalanced) Classes() []int {
+	out := make([]int, 0, len(b.byClass))
+	for c := range b.byClass {
+		out = append(out, c)
+	}
+	return out
+}
+
+// OfClass returns the live items of one class (not a copy).
+func (b *ClassBalanced) OfClass(c int) []Item { return b.byClass[c] }
+
+// Insert stores an item of its class, maintaining balance:
+//   - while the buffer has free space, the item is appended;
+//   - otherwise, if the item's class holds more than its fair share would
+//     after insertion, a random same-class item is replaced;
+//   - otherwise a random item of the largest class is evicted to make room,
+//     shifting capacity toward under-represented classes.
+//
+// Returns the evicted item's class, or -1 if nothing was evicted.
+func (b *ClassBalanced) Insert(it Item) int {
+	if b.total < b.cap {
+		b.byClass[it.Label] = append(b.byClass[it.Label], it)
+		b.total++
+		return -1
+	}
+	own := b.byClass[it.Label]
+	largest, largestN := -1, 0
+	for c, items := range b.byClass {
+		if len(items) > largestN || (len(items) == largestN && c < largest) {
+			largest, largestN = c, len(items)
+		}
+	}
+	if len(own) >= largestN {
+		// Replace within the item's own class.
+		own[b.rng.Intn(len(own))] = it
+		return it.Label
+	}
+	// Evict from the largest class, then append.
+	victims := b.byClass[largest]
+	vi := b.rng.Intn(len(victims))
+	victims[vi] = victims[len(victims)-1]
+	b.byClass[largest] = victims[:len(victims)-1]
+	b.byClass[it.Label] = append(b.byClass[it.Label], it)
+	return largest
+}
+
+// ReplaceRandomOfClass swaps a uniformly random same-class item for it,
+// returning false when the class is absent (callers then fall back to
+// Insert). This is the paper's long-term replacement primitive.
+func (b *ClassBalanced) ReplaceRandomOfClass(it Item) bool {
+	own := b.byClass[it.Label]
+	if len(own) == 0 {
+		return false
+	}
+	own[b.rng.Intn(len(own))] = it
+	return true
+}
+
+// Sample returns n items drawn uniformly (without replacement) from the
+// whole buffer.
+func (b *ClassBalanced) Sample(n int) []Item {
+	all := make([]Item, 0, b.total)
+	for _, items := range b.byClass {
+		all = append(all, items...)
+	}
+	return sampleWithout(all, n, b.rng)
+}
+
+// sampleWithout draws min(n, len(pool)) items without replacement via a
+// partial Fisher–Yates shuffle of an index view.
+func sampleWithout(pool []Item, n int, rng *rand.Rand) []Item {
+	if n >= len(pool) {
+		out := make([]Item, len(pool))
+		copy(out, pool)
+		return out
+	}
+	idx := make([]int, len(pool))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out = append(out, pool[idx[i]])
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package replay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func item(label int) Item { return Item{Label: label} }
+
+func TestReservoirFillsThenStaysAtCap(t *testing.T) {
+	r := NewReservoir(5, rand.New(rand.NewSource(1)))
+	for i := 0; i < 100; i++ {
+		r.Offer(item(i))
+		if r.Len() > 5 {
+			t.Fatal("reservoir exceeded capacity")
+		}
+	}
+	if r.Len() != 5 || r.Seen() != 100 || r.Cap() != 5 {
+		t.Fatalf("len=%d seen=%d", r.Len(), r.Seen())
+	}
+}
+
+func TestReservoirIsApproximatelyUniform(t *testing.T) {
+	// Offer 0..199 into a 20-slot reservoir many times; each element's
+	// inclusion frequency should be ≈ 10%.
+	counts := make([]int, 200)
+	for trial := 0; trial < 300; trial++ {
+		r := NewReservoir(20, rand.New(rand.NewSource(int64(trial))))
+		for i := 0; i < 200; i++ {
+			r.Offer(item(i))
+		}
+		for _, it := range r.Items() {
+			counts[it.Label]++
+		}
+	}
+	// Expected 30 per element; allow generous tolerance.
+	for i, c := range counts {
+		if c < 8 || c > 70 {
+			t.Fatalf("element %d kept %d/300 times; reservoir not uniform", i, c)
+		}
+	}
+}
+
+func TestReservoirSample(t *testing.T) {
+	r := NewReservoir(10, rand.New(rand.NewSource(2)))
+	for i := 0; i < 10; i++ {
+		r.Offer(item(i))
+	}
+	s := r.Sample(4)
+	if len(s) != 4 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, it := range s {
+		if seen[it.Label] {
+			t.Fatal("sample with replacement detected")
+		}
+		seen[it.Label] = true
+	}
+	if got := r.Sample(99); len(got) != 10 {
+		t.Fatalf("oversized sample returned %d", len(got))
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Push(item(i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	labels := map[int]bool{}
+	for _, it := range r.Items() {
+		labels[it.Label] = true
+	}
+	for _, want := range []int{2, 3, 4} {
+		if !labels[want] {
+			t.Fatalf("ring lost item %d; has %v", want, labels)
+		}
+	}
+}
+
+func TestClassBalancedStaysWithinCap(t *testing.T) {
+	b := NewClassBalanced(10, rand.New(rand.NewSource(3)))
+	for i := 0; i < 200; i++ {
+		b.Insert(item(i % 7))
+		if b.Len() > 10 {
+			t.Fatal("exceeded capacity")
+		}
+	}
+	if b.Len() != 10 {
+		t.Fatalf("len = %d", b.Len())
+	}
+}
+
+func TestClassBalancedBalancesSkewedStream(t *testing.T) {
+	// 90% of insertions are class 0, but the buffer must keep all classes
+	// with roughly equal shares.
+	rng := rand.New(rand.NewSource(4))
+	b := NewClassBalanced(20, rng)
+	for i := 0; i < 2000; i++ {
+		c := 0
+		if rng.Float64() > 0.9 {
+			c = 1 + rng.Intn(4)
+		}
+		b.Insert(item(c))
+	}
+	for c := 0; c < 5; c++ {
+		n := len(b.OfClass(c))
+		if n < 2 || n > 8 {
+			t.Fatalf("class %d holds %d of 20 slots; balance broken", c, n)
+		}
+	}
+}
+
+func TestClassBalancedQuotaProperty(t *testing.T) {
+	// Property: after any insertion sequence over k classes, max and min
+	// class shares differ by at most ... the fair share rounding plus
+	// transient skew; assert a loose invariant: no class exceeds
+	// 2*ceil(cap/k)+1 once every class has been inserted at least cap times.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const cap, k = 12, 4
+		b := NewClassBalanced(cap, rng)
+		for i := 0; i < cap*k*4; i++ {
+			b.Insert(item(rng.Intn(k)))
+		}
+		fair := int(math.Ceil(float64(cap) / k))
+		for c := 0; c < k; c++ {
+			if len(b.OfClass(c)) > 2*fair+1 {
+				return false
+			}
+		}
+		return b.Len() == cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceRandomOfClass(t *testing.T) {
+	b := NewClassBalanced(4, rand.New(rand.NewSource(5)))
+	b.Insert(Item{Label: 1})
+	b.Insert(Item{Label: 2})
+	replacement := Item{Label: 1, Logits: nil}
+	if !b.ReplaceRandomOfClass(replacement) {
+		t.Fatal("replace of present class failed")
+	}
+	if b.ReplaceRandomOfClass(Item{Label: 9}) {
+		t.Fatal("replace of absent class should report false")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("replace changed fill: %d", b.Len())
+	}
+}
+
+func TestClassBalancedSample(t *testing.T) {
+	b := NewClassBalanced(9, rand.New(rand.NewSource(6)))
+	for i := 0; i < 9; i++ {
+		b.Insert(item(i % 3))
+	}
+	s := b.Sample(5)
+	if len(s) != 5 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	if len(b.Sample(100)) != 9 {
+		t.Fatal("oversized sample should return everything")
+	}
+}
+
+func TestConstructorsPanicOnBadCapacity(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewReservoir(0, rand.New(rand.NewSource(1))) },
+		func() { NewRing(-1) },
+		func() { NewClassBalanced(0, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for non-positive capacity")
+				}
+			}()
+			f()
+		}()
+	}
+}

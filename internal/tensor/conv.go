@@ -1,0 +1,212 @@
+package tensor
+
+import "fmt"
+
+// ConvOut returns the output spatial size of a convolution with the given
+// input size, kernel, stride and symmetric padding.
+func ConvOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers a single-image [C,H,W] tensor into a [C*KH*KW, OH*OW] matrix
+// so a convolution becomes a GEMM with the [OC, C*KH*KW] weight matrix.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col on shape %v", x.shape))
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	out := New(c*kh*kw, oh*ow)
+	col := out.data
+	for ci := 0; ci < c; ci++ {
+		plane := x.data[ci*h*w : (ci+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				rowBase := ((ci*kh+ki)*kw + kj) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ki
+					if iy < 0 || iy >= h {
+						continue // leave zeros
+					}
+					src := plane[iy*w:]
+					dst := col[rowBase+oy*ow:]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kj
+						if ix >= 0 && ix < w {
+							dst[ox] = src[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a [C*KH*KW, OH*OW] column
+// matrix back into a [C,H,W] image, accumulating overlapping contributions.
+// It is the building block of convolution input gradients.
+func Col2Im(col *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	if len(col.shape) != 2 || col.shape[0] != c*kh*kw || col.shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match c=%d h=%d w=%d k=%dx%d s=%d p=%d",
+			col.shape, c, h, w, kh, kw, stride, pad))
+	}
+	out := New(c, h, w)
+	for ci := 0; ci < c; ci++ {
+		plane := out.data[ci*h*w : (ci+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				rowBase := ((ci*kh+ki)*kw + kj) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ki
+					if iy < 0 || iy >= h {
+						continue
+					}
+					src := col.data[rowBase+oy*ow:]
+					dst := plane[iy*w:]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kj
+						if ix >= 0 && ix < w {
+							dst[ix] += src[ox]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DepthwiseConv applies a per-channel [C,KH,KW] filter bank to a [C,H,W]
+// input with the given stride/padding, returning [C,OH,OW]. bias may be nil
+// or a [C] tensor.
+func DepthwiseConv(x, w, bias *Tensor, stride, pad int) *Tensor {
+	if len(x.shape) != 3 || len(w.shape) != 3 || x.shape[0] != w.shape[0] {
+		panic(fmt.Sprintf("tensor: DepthwiseConv shapes x=%v w=%v", x.shape, w.shape))
+	}
+	c, h, wd := x.shape[0], x.shape[1], x.shape[2]
+	kh, kw := w.shape[1], w.shape[2]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	out := New(c, oh, ow)
+	for ci := 0; ci < c; ci++ {
+		in := x.data[ci*h*wd : (ci+1)*h*wd]
+		ker := w.data[ci*kh*kw : (ci+1)*kh*kw]
+		dst := out.data[ci*oh*ow : (ci+1)*oh*ow]
+		var b float32
+		if bias != nil {
+			b = bias.data[ci]
+		}
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := b
+				for ki := 0; ki < kh; ki++ {
+					iy := oy*stride - pad + ki
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kj := 0; kj < kw; kj++ {
+						ix := ox*stride - pad + kj
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						s += in[iy*wd+ix] * ker[ki*kw+kj]
+					}
+				}
+				dst[oy*ow+ox] = s
+			}
+		}
+	}
+	return out
+}
+
+// DepthwiseConvGrads computes the input and weight gradients of DepthwiseConv
+// given the upstream gradient gy [C,OH,OW]. Returned gradients match the
+// shapes of x and w. The bias gradient (per-channel sum of gy) is returned
+// last.
+func DepthwiseConvGrads(x, w, gy *Tensor, stride, pad int) (gx, gw, gb *Tensor) {
+	c, h, wd := x.shape[0], x.shape[1], x.shape[2]
+	kh, kw := w.shape[1], w.shape[2]
+	oh, ow := gy.shape[1], gy.shape[2]
+	gx = New(c, h, wd)
+	gw = New(c, kh, kw)
+	gb = New(c)
+	for ci := 0; ci < c; ci++ {
+		in := x.data[ci*h*wd : (ci+1)*h*wd]
+		ker := w.data[ci*kh*kw : (ci+1)*kh*kw]
+		g := gy.data[ci*oh*ow : (ci+1)*oh*ow]
+		gin := gx.data[ci*h*wd : (ci+1)*h*wd]
+		gker := gw.data[ci*kh*kw : (ci+1)*kh*kw]
+		var bsum float32
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				gv := g[oy*ow+ox]
+				bsum += gv
+				if gv == 0 {
+					continue
+				}
+				for ki := 0; ki < kh; ki++ {
+					iy := oy*stride - pad + ki
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kj := 0; kj < kw; kj++ {
+						ix := ox*stride - pad + kj
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						gin[iy*wd+ix] += gv * ker[ki*kw+kj]
+						gker[ki*kw+kj] += gv * in[iy*wd+ix]
+					}
+				}
+			}
+		}
+		gb.data[ci] = bsum
+	}
+	return gx, gw, gb
+}
+
+// AvgPool performs average pooling over non-overlapping k×k windows of a
+// [C,H,W] tensor (stride = k). H and W must be divisible by k.
+func AvgPool(x *Tensor, k int) *Tensor {
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	if h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("tensor: AvgPool %v not divisible by %d", x.shape, k))
+	}
+	oh, ow := h/k, w/k
+	out := New(c, oh, ow)
+	inv := 1 / float32(k*k)
+	for ci := 0; ci < c; ci++ {
+		in := x.data[ci*h*w:]
+		dst := out.data[ci*oh*ow:]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var s float32
+				for ky := 0; ky < k; ky++ {
+					row := in[(oy*k+ky)*w+ox*k:]
+					for kx := 0; kx < k; kx++ {
+						s += row[kx]
+					}
+				}
+				dst[oy*ow+ox] = s * inv
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool averages each channel plane of a [C,H,W] tensor to a [C]
+// vector.
+func GlobalAvgPool(x *Tensor) *Tensor {
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	out := New(c)
+	inv := 1 / float32(h*w)
+	for ci := 0; ci < c; ci++ {
+		var s float32
+		for _, v := range x.data[ci*h*w : (ci+1)*h*w] {
+			s += v
+		}
+		out.data[ci] = s * inv
+	}
+	return out
+}

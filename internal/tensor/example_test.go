@@ -1,0 +1,38 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"chameleon/internal/tensor"
+)
+
+func ExampleMatMul() {
+	a := tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := tensor.FromSlice([]float32{5, 6, 7, 8}, 2, 2)
+	c := tensor.MatMul(a, b)
+	fmt.Println(c.Data())
+	// Output: [19 22 43 50]
+}
+
+func ExampleSoftmax() {
+	logits := tensor.FromSlice([]float32{0, 0, 0, 0}, 4)
+	p := tensor.Softmax(logits)
+	fmt.Printf("%.2f\n", p.Data())
+	// Output: [0.25 0.25 0.25 0.25]
+}
+
+func ExampleInverse() {
+	a := tensor.FromSlice([]float32{2, 0, 0, 4}, 2, 2)
+	inv, err := tensor.Inverse(a)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", inv.Data())
+	// Output: [0.50 0.00 0.00 0.25]
+}
+
+func ExampleKLDivergence() {
+	p := []float32{0.5, 0.5}
+	fmt.Printf("%.3f\n", tensor.KLDivergence(p, p))
+	// Output: 0.000
+}

@@ -1,0 +1,53 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// GobEncode implements gob.GobEncoder with a compact little-endian layout:
+// uint32 ndim, uint32 dims..., float32 data.
+func (t *Tensor) GobEncode() ([]byte, error) {
+	buf := make([]byte, 4+4*len(t.shape)+4*len(t.data))
+	binary.LittleEndian.PutUint32(buf, uint32(len(t.shape)))
+	off := 4
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(d))
+		off += 4
+	}
+	for _, v := range t.data {
+		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
+		off += 4
+	}
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tensor) GobDecode(buf []byte) error {
+	if len(buf) < 4 {
+		return fmt.Errorf("tensor: gob payload too short (%d bytes)", len(buf))
+	}
+	nd := int(binary.LittleEndian.Uint32(buf))
+	off := 4
+	if len(buf) < off+4*nd {
+		return fmt.Errorf("tensor: gob payload truncated in shape")
+	}
+	shape := make([]int, nd)
+	n := 1
+	for i := range shape {
+		shape[i] = int(binary.LittleEndian.Uint32(buf[off:]))
+		n *= shape[i]
+		off += 4
+	}
+	if len(buf) != off+4*n {
+		return fmt.Errorf("tensor: gob payload has %d bytes, want %d for shape %v", len(buf), off+4*n, shape)
+	}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	t.shape, t.data = shape, data
+	return nil
+}

@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	orig := RandNormal(rng, 2, 3, 4, 5)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	var back Tensor
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.SameShape(orig) {
+		t.Fatalf("shape changed: %v vs %v", back.Shape(), orig.Shape())
+	}
+	for i, v := range orig.Data() {
+		if back.Data()[i] != v {
+			t.Fatal("data corrupted")
+		}
+	}
+}
+
+func TestGobRoundTripProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			vals = []float32{0}
+		}
+		orig := FromSlice(vals, len(vals))
+		raw, err := orig.GobEncode()
+		if err != nil {
+			return false
+		}
+		var back Tensor
+		if back.GobDecode(raw) != nil {
+			return false
+		}
+		for i, v := range vals {
+			got := back.Data()[i]
+			// NaN compares unequal to itself; accept bit-identical NaN.
+			if got != v && !(got != got && v != v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGobDecodeRejectsGarbage(t *testing.T) {
+	var tt Tensor
+	if err := tt.GobDecode([]byte{1, 2}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	// Claims 1 dim of size 10 but carries no data.
+	if err := tt.GobDecode([]byte{1, 0, 0, 0, 10, 0, 0, 0}); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

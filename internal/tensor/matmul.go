@@ -1,0 +1,178 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a @ b for a [M,K] and b [K,N].
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul on shapes %v @ %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v @ %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matmulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// matmulInto computes dst[m,n] += a[m,k] @ b[k,n] with an ikj loop order so
+// the inner loop streams contiguously over b and dst. dst must be zeroed by
+// the caller if accumulation is not wanted.
+func matmulInto(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		di := dst[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT1 returns aᵀ @ b for a [K,M] and b [K,N], yielding [M,N].
+func MatMulT1(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT1 on shapes %v @ %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT1 inner dim mismatch %v @ %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.data[p*m : (p+1)*m]
+		bp := b.data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			di := out.data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 returns a @ bᵀ for a [M,K] and b [N,K], yielding [M,N].
+func MatMulT2(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT2 on shapes %v @ %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT2 inner dim mismatch %v @ %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		di := out.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				s += av * bj[p]
+			}
+			di[j] = s
+		}
+	}
+	return out
+}
+
+// MatVec returns a @ x for a [M,K] and x [K], yielding [M].
+func MatVec(a, x *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(x.shape) != 1 || a.shape[1] != x.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec on shapes %v @ %v", a.shape, x.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	out := New(m)
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		var s float32
+		for p, av := range ai {
+			s += av * x.data[p]
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// Inverse returns the inverse of a square matrix via Gauss–Jordan elimination
+// with partial pivoting, or an error if the matrix is singular. This is the
+// O(N³) kernel SLDA's streaming classifier depends on; its cost is what the
+// paper's EdgeTPU comparison (Table II) hinges on.
+func Inverse(a *Tensor) (*Tensor, error) {
+	if len(a.shape) != 2 || a.shape[0] != a.shape[1] {
+		return nil, fmt.Errorf("tensor: Inverse of non-square shape %v", a.shape)
+	}
+	n := a.shape[0]
+	// Augmented working copy in float64 for stability.
+	w := make([]float64, n*2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w[i*2*n+j] = float64(a.data[i*n+j])
+		}
+		w[i*2*n+n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv, pv := col, abs64(w[col*2*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := abs64(w[r*2*n+col]); v > pv {
+				piv, pv = r, v
+			}
+		}
+		if pv < 1e-12 {
+			return nil, fmt.Errorf("tensor: Inverse of singular matrix (pivot %g at column %d)", pv, col)
+		}
+		if piv != col {
+			ra, rb := w[col*2*n:(col+1)*2*n], w[piv*2*n:(piv+1)*2*n]
+			for j := range ra {
+				ra[j], rb[j] = rb[j], ra[j]
+			}
+		}
+		inv := 1 / w[col*2*n+col]
+		row := w[col*2*n : (col+1)*2*n]
+		for j := range row {
+			row[j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := w[r*2*n+col]
+			if f == 0 {
+				continue
+			}
+			rr := w[r*2*n : (r+1)*2*n]
+			for j := range rr {
+				rr[j] -= f * row[j]
+			}
+		}
+	}
+	out := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.data[i*n+j] = float32(w[i*2*n+n+j])
+		}
+	}
+	return out, nil
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

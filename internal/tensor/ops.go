@@ -1,0 +1,255 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + o elementwise as a new tensor.
+func Add(t, o *Tensor) *Tensor {
+	checkSame("Add", t, o)
+	out := t.Clone()
+	for i, v := range o.data {
+		out.data[i] += v
+	}
+	return out
+}
+
+// Sub returns t - o elementwise as a new tensor.
+func Sub(t, o *Tensor) *Tensor {
+	checkSame("Sub", t, o)
+	out := t.Clone()
+	for i, v := range o.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// Mul returns t * o elementwise as a new tensor.
+func Mul(t, o *Tensor) *Tensor {
+	checkSame("Mul", t, o)
+	out := t.Clone()
+	for i, v := range o.data {
+		out.data[i] *= v
+	}
+	return out
+}
+
+// AddInPlace adds o into t elementwise.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	checkSame("AddInPlace", t, o)
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+}
+
+// SubInPlace subtracts o from t elementwise.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	checkSame("SubInPlace", t, o)
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaled performs t += s*o (axpy).
+func (t *Tensor) AddScaled(s float32, o *Tensor) {
+	checkSame("AddScaled", t, o)
+	for i, v := range o.data {
+		t.data[i] += s * v
+	}
+}
+
+// Dot returns the inner product of two tensors of equal element count.
+func Dot(a, b *Tensor) float64 {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %v vs %v", a.shape, b.shape))
+	}
+	var s float64
+	for i, v := range a.data {
+		s += float64(v) * float64(b.data[i])
+	}
+	return s
+}
+
+// Norm2 returns the L2 norm of the tensor.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements in float64 precision.
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the mean of all elements, or 0 for an empty tensor.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// ArgMax returns the index of the maximum element of a 1-D tensor (or the
+// flattened tensor). Ties resolve to the lowest index.
+func (t *Tensor) ArgMax() int {
+	best, bi := float32(math.Inf(-1)), 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// ArgMaxRows returns, for a [N, C] tensor, the argmax of each row.
+func (t *Tensor) ArgMaxRows() []int {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: ArgMaxRows on shape %v", t.shape))
+	}
+	n, c := t.shape[0], t.shape[1]
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		row := t.data[i*c : (i+1)*c]
+		best, bi := float32(math.Inf(-1)), 0
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		out[i] = bi
+	}
+	return out
+}
+
+// Softmax returns softmax over the last dimension of a 1-D or 2-D tensor.
+func Softmax(t *Tensor) *Tensor {
+	switch len(t.shape) {
+	case 1:
+		out := New(t.shape...)
+		softmaxRow(out.data, t.data)
+		return out
+	case 2:
+		out := New(t.shape...)
+		c := t.shape[1]
+		for i := 0; i < t.shape[0]; i++ {
+			softmaxRow(out.data[i*c:(i+1)*c], t.data[i*c:(i+1)*c])
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("tensor: Softmax on shape %v", t.shape))
+	}
+}
+
+func softmaxRow(dst, src []float32) {
+	mx := float32(math.Inf(-1))
+	for _, v := range src {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for i, v := range src {
+		e := float32(math.Exp(float64(v - mx)))
+		dst[i] = e
+		sum += float64(e)
+	}
+	inv := float32(1 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// LogSoftmax returns log-softmax over the last dimension of a 1-D or 2-D
+// tensor, computed stably.
+func LogSoftmax(t *Tensor) *Tensor {
+	switch len(t.shape) {
+	case 1:
+		out := New(t.shape...)
+		logSoftmaxRow(out.data, t.data)
+		return out
+	case 2:
+		out := New(t.shape...)
+		c := t.shape[1]
+		for i := 0; i < t.shape[0]; i++ {
+			logSoftmaxRow(out.data[i*c:(i+1)*c], t.data[i*c:(i+1)*c])
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("tensor: LogSoftmax on shape %v", t.shape))
+	}
+}
+
+func logSoftmaxRow(dst, src []float32) {
+	mx := float32(math.Inf(-1))
+	for _, v := range src {
+		if v > mx {
+			mx = v
+		}
+	}
+	var sum float64
+	for _, v := range src {
+		sum += math.Exp(float64(v - mx))
+	}
+	lse := mx + float32(math.Log(sum))
+	for i, v := range src {
+		dst[i] = v - lse
+	}
+}
+
+// KLDivergence returns KL(p || q) for two probability vectors of equal
+// length. Probabilities below eps are clamped to keep the result finite.
+func KLDivergence(p, q []float32) float64 {
+	if len(p) != len(q) {
+		panic("tensor: KLDivergence length mismatch")
+	}
+	const eps = 1e-8
+	var kl float64
+	for i := range p {
+		pi := math.Max(float64(p[i]), eps)
+		qi := math.Max(float64(q[i]), eps)
+		kl += pi * math.Log(pi/qi)
+	}
+	if kl < 0 {
+		kl = 0 // numerical floor: KL is non-negative
+	}
+	return kl
+}
+
+// Concat stacks tensors along a new leading dimension. All inputs must share
+// a shape; the result has shape [len(ts), inputShape...].
+func Concat(ts []*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of zero tensors")
+	}
+	first := ts[0]
+	out := New(append([]int{len(ts)}, first.shape...)...)
+	sub := first.Len()
+	for i, t := range ts {
+		if !t.SameShape(first) {
+			panic(fmt.Sprintf("tensor: Concat shape mismatch %v vs %v", t.shape, first.shape))
+		}
+		copy(out.data[i*sub:(i+1)*sub], t.data)
+	}
+	return out
+}
+
+func checkSame(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}

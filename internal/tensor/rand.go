@@ -1,0 +1,41 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandNormal fills a new tensor of the given shape with N(0, std²) samples
+// drawn from rng.
+func RandNormal(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64() * std)
+	}
+	return t
+}
+
+// RandUniform fills a new tensor of the given shape with U(lo, hi) samples.
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+	return t
+}
+
+// HeNormal initialises a tensor with the He/Kaiming normal scheme,
+// std = sqrt(2/fanIn), the standard initialisation for ReLU networks.
+func HeNormal(rng *rand.Rand, fanIn int, shape ...int) *Tensor {
+	if fanIn <= 0 {
+		fanIn = 1
+	}
+	return RandNormal(rng, math.Sqrt(2/float64(fanIn)), shape...)
+}
+
+// XavierUniform initialises a tensor with the Glorot uniform scheme,
+// limit = sqrt(6/(fanIn+fanOut)).
+func XavierUniform(rng *rand.Rand, fanIn, fanOut int, shape ...int) *Tensor {
+	lim := math.Sqrt(6 / float64(fanIn+fanOut))
+	return RandUniform(rng, -lim, lim, shape...)
+}

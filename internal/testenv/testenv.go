@@ -1,0 +1,151 @@
+// Package testenv provides the shared test environment: a small synthetic
+// CORe50/OpenLORIS benchmark with a pretrained frozen backbone and extracted
+// latents, built once per process and cached on disk so every test package
+// and the benchmark suite reuse it. The first build takes ~30 s on one core;
+// afterwards loading is instant.
+//
+// The pipeline mirrors internal/exp's TestScale tier but is implemented
+// locally so low-level packages (baselines, core) can use it without
+// importing exp (which imports them back).
+package testenv
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+	"chameleon/internal/mobilenet"
+	"chameleon/internal/tensor"
+)
+
+// Params are the environment's learning knobs, matching exp.TestScale.
+type Params struct {
+	HeadLR      float64
+	JointLR     float64
+	JointEpochs int
+}
+
+// Scale returns the environment's learning parameters.
+func Scale() Params { return Params{HeadLR: 0.05, JointLR: 0.1, JointEpochs: 6} }
+
+var (
+	mu   sync.Mutex
+	sets = map[string]*cl.LatentSet{}
+)
+
+// Env returns the cached latent set for the dataset ("core50" or
+// "openloris"), building it on first use.
+func Env(tb testing.TB, dataset string) *cl.LatentSet {
+	tb.Helper()
+	set, err := Build(dataset)
+	if err != nil {
+		tb.Fatalf("testenv: %v", err)
+	}
+	return set
+}
+
+// Build returns the latent set without a testing handle (examples use this).
+func Build(dataset string) (*cl.LatentSet, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if set, ok := sets[dataset]; ok {
+		return set, nil
+	}
+	set, err := build(dataset)
+	if err != nil {
+		return nil, err
+	}
+	sets[dataset] = set
+	return set, nil
+}
+
+func datasetConfig(name string) (data.Config, error) {
+	switch name {
+	case "core50":
+		return data.Config{
+			Name: "core50", NumClasses: 10, NumDomains: 6, TestDomains: []int{2, 5},
+			Resolution: 32, SessionsPerClassDomain: 2, FramesPerSession: 8,
+			TestFramesPerClassDomain: 5, Severity: 0.9, Seed: 11,
+		}, nil
+	case "openloris":
+		return data.Config{
+			Name: "openloris", NumClasses: 10, NumDomains: 7, TestDomains: []int{3, 6},
+			Resolution: 32, SessionsPerClassDomain: 2, FramesPerSession: 10,
+			TestFramesPerClassDomain: 5, Severity: 0.5, Smooth: true, Seed: 12,
+		}, nil
+	default:
+		return data.Config{}, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func build(dataset string) (*cl.LatentSet, error) {
+	dcfg, err := datasetConfig(dataset)
+	if err != nil {
+		return nil, err
+	}
+	model := mobilenet.Config{
+		Width: 0.25, Resolution: 32, LatentLayer: 21,
+		Head: mobilenet.HeadMLP, HiddenDim: 64,
+		NumClasses: dcfg.NumClasses, Seed: 8,
+	}
+	key := sha256.Sum256([]byte(fmt.Sprintf("testenv-v2|%+v|%+v", dcfg, model)))
+	cachePath := filepath.Join(os.TempDir(), "chameleon-cache",
+		fmt.Sprintf("testenv-%s-%s.latents", dataset, hex.EncodeToString(key[:8])))
+	if set, err := cl.LoadLatentSet(cachePath); err == nil {
+		return set, nil
+	}
+
+	// Pretraining pool (disjoint classes).
+	pds, err := data.Generate(data.Config{
+		Name: "pretrain", NumClasses: 16, NumDomains: 5, TestDomains: []int{4},
+		Resolution: 32, SessionsPerClassDomain: 2, FramesPerSession: 4,
+		TestFramesPerClassDomain: 1, Severity: 1.0, Seed: 999,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pmCfg := model
+	pmCfg.NumClasses = 16
+	pmCfg.Seed = 7
+	pm, err := mobilenet.New(pmCfg)
+	if err != nil {
+		return nil, err
+	}
+	imgs := make([]*tensor.Tensor, pds.NumTrain())
+	labels := make([]int, pds.NumTrain())
+	for _, s := range pds.Train {
+		imgs[s.ID] = s.Image
+		labels[s.ID] = s.Label
+	}
+	if _, err := pm.Pretrain(imgs, labels, mobilenet.PretrainConfig{
+		Epochs: 18, LR: 0.01, Momentum: 0.8, BatchSize: 8, Seed: 1,
+	}); err != nil {
+		return nil, err
+	}
+
+	ds, err := data.Generate(dcfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mobilenet.New(model)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.CopyFeaturesFrom(pm); err != nil {
+		return nil, err
+	}
+	set, err := cl.NewLatentSet(m, ds)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(cachePath), 0o755); err == nil {
+		_ = cl.SaveLatentSet(cachePath, set) // best effort
+	}
+	return set, nil
+}
