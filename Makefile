@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is the gate CI runs.
+
+GO ?= go
+
+.PHONY: check test build vet bench bench-parallel
+
+check:
+	sh scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark suite (regenerates every exhibit; slow).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Just the parallel-kernel benchmarks: serial vs GOMAXPROCS workers.
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkMatMulParallel|BenchmarkLatentExtractParallel' .

@@ -11,7 +11,9 @@
 package chameleon
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"chameleon/internal/baselines"
@@ -22,6 +24,7 @@ import (
 	"chameleon/internal/hw"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/nn"
+	"chameleon/internal/parallel"
 	"chameleon/internal/quant"
 	"chameleon/internal/tensor"
 	"chameleon/internal/testenv"
@@ -208,6 +211,58 @@ func BenchmarkFeatureExtraction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.ExtractLatent(x)
+	}
+}
+
+// benchWorkerCounts returns the worker sweeps for the parallel benchmarks:
+// serial plus GOMAXPROCS (deduplicated on single-core machines).
+func benchWorkerCounts() []int {
+	n := runtime.GOMAXPROCS(0)
+	if n <= 1 {
+		return []int{1}
+	}
+	return []int{1, n}
+}
+
+// BenchmarkMatMulParallel measures the row-sharded GEMM at serial and full
+// worker counts; the workers=N/workers=1 ratio is the kernel-level speedup.
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := tensor.RandNormal(rng, 1, 256, 256)
+	y := tensor.RandNormal(rng, 1, 256, 256)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			parallel.SetWorkers(w)
+			defer parallel.SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkLatentExtractParallel measures batched frozen-backbone extraction
+// (the dominant pipeline-build cost) at serial and full worker counts.
+func BenchmarkLatentExtractParallel(b *testing.B) {
+	m, err := mobilenet.New(mobilenet.DefaultConfig(10, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	imgs := make([]*tensor.Tensor, 16)
+	for i := range imgs {
+		imgs[i] = tensor.RandNormal(rng, 1, 3, 32, 32)
+	}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			parallel.SetWorkers(w)
+			defer parallel.SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ExtractLatents(imgs)
+			}
+		})
 	}
 }
 

@@ -13,25 +13,32 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
 	"chameleon/internal/cl"
 	"chameleon/internal/exp"
+	"chameleon/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chameleon-bench: ")
 	var (
-		expName  = flag.String("exp", "all", "experiment: table1|table2|table3|fig2|ablations|tradeoff|all")
+		expName  = flag.String("exp", "all", "experiment: table1|table2|table3|fig2|ablations|tradeoff|perf|all")
 		scale    = flag.String("scale", "small", "scale tier: test|small")
 		cacheDir = flag.String("cache", exp.DefaultCacheDir(), "latent cache directory ('' disables)")
 		quiet    = flag.Bool("q", false, "suppress progress output")
+		workers  = flag.Int("workers", 0, "worker-pool size for parallel kernels and experiment fan-out (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of rendered tables")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	sc, err := scaleByName(*scale)
 	if err != nil {
@@ -42,7 +49,7 @@ func main() {
 		progress = func(string, ...any) {}
 	}
 
-	needAccuracy := *expName == "table1" || *expName == "fig2" || *expName == "ablations" || *expName == "tradeoff" || *expName == "all"
+	needAccuracy := *expName == "table1" || *expName == "fig2" || *expName == "ablations" || *expName == "tradeoff" || *expName == "perf" || *expName == "all"
 	var sets map[string]*cl.LatentSet
 	if needAccuracy {
 		sets = map[string]*cl.LatentSet{}
@@ -57,31 +64,46 @@ func main() {
 
 	switch *expName {
 	case "table1":
-		runTable1(sets, sc, progress)
+		runTable1(sets, sc, progress, *jsonOut)
 	case "fig2":
-		runFig2(sets["core50"], sc, progress)
+		runFig2(sets["core50"], sc, progress, *jsonOut)
 	case "table2":
-		runTable2()
+		runTable2(*jsonOut)
 	case "table3":
-		runTable3()
+		runTable3(*jsonOut)
 	case "ablations":
 		runAblations(sets["core50"], sc)
 	case "tradeoff":
 		runTradeoff(sets["core50"], sc)
+	case "perf":
+		runPerf(sets, sc, *workers, *jsonOut)
 	case "all":
-		runTable1(sets, sc, progress)
+		runTable1(sets, sc, progress, *jsonOut)
 		fmt.Println()
-		runFig2(sets["core50"], sc, progress)
+		runFig2(sets["core50"], sc, progress, *jsonOut)
 		fmt.Println()
-		runTable2()
+		runTable2(*jsonOut)
 		fmt.Println()
-		runTable3()
+		runTable3(*jsonOut)
 		fmt.Println()
 		runAblations(sets["core50"], sc)
 		fmt.Println()
 		runTradeoff(sets["core50"], sc)
 	default:
 		log.Fatalf("unknown experiment %q", *expName)
+	}
+}
+
+// emit renders res as indented JSON when jsonOut is set, else calls render.
+func emit(res any, jsonOut bool, render func()) {
+	if !jsonOut {
+		render()
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Fatalf("json: %v", err)
 	}
 }
 
@@ -96,32 +118,83 @@ func scaleByName(name string) (exp.Scale, error) {
 	}
 }
 
-func runTable1(sets map[string]*cl.LatentSet, sc exp.Scale, progress func(string, ...any)) {
+func runTable1(sets map[string]*cl.LatentSet, sc exp.Scale, progress func(string, ...any), jsonOut bool) {
 	res, err := exp.RunTable1(sets, sc, progress)
 	if err != nil {
 		log.Fatalf("table1: %v", err)
 	}
-	res.Render(os.Stdout)
+	emit(res, jsonOut, func() { res.Render(os.Stdout) })
 }
 
-func runFig2(set *cl.LatentSet, sc exp.Scale, progress func(string, ...any)) {
+func runFig2(set *cl.LatentSet, sc exp.Scale, progress func(string, ...any), jsonOut bool) {
 	res, err := exp.RunFig2(set, sc, progress)
 	if err != nil {
 		log.Fatalf("fig2: %v", err)
 	}
-	res.Render(os.Stdout)
+	emit(res, jsonOut, func() { res.Render(os.Stdout) })
 }
 
-func runTable2() {
+func runTable2(jsonOut bool) {
 	res, err := exp.RunTable2()
 	if err != nil {
 		log.Fatalf("table2: %v", err)
 	}
-	res.Render(os.Stdout)
+	emit(res, jsonOut, func() { res.Render(os.Stdout) })
 }
 
-func runTable3() {
-	exp.RunTable3().Render(os.Stdout)
+func runTable3(jsonOut bool) {
+	res := exp.RunTable3()
+	emit(res, jsonOut, func() { res.Render(os.Stdout) })
+}
+
+// perfResult is the -exp perf report: wall-clock of the Table I pipeline at
+// workers=1 vs the configured worker count, and whether the two rendered
+// tables came out byte-identical (the determinism contract).
+type perfResult struct {
+	Scale         string  `json:"scale"`
+	Workers       int     `json:"workers"`
+	SerialSec     float64 `json:"serial_sec"`
+	ParallelSec   float64 `json:"parallel_sec"`
+	Speedup       float64 `json:"speedup"`
+	Deterministic bool    `json:"deterministic"`
+}
+
+// runPerf times the full Table I grid serially and with the worker pool.
+// Latent sets are prebuilt, so the measurement isolates the experiment plane
+// (concurrent multi-seed runs) plus the parallel kernels beneath it.
+func runPerf(sets map[string]*cl.LatentSet, sc exp.Scale, workersFlag int, jsonOut bool) {
+	parallel.SetWorkers(workersFlag)
+	target := parallel.Workers()
+	run := func(w int) (string, time.Duration) {
+		parallel.SetWorkers(w)
+		start := time.Now()
+		res, err := exp.RunTable1(sets, sc, nil)
+		if err != nil {
+			log.Fatalf("perf: %v", err)
+		}
+		elapsed := time.Since(start)
+		var buf strings.Builder
+		res.Render(&buf)
+		return buf.String(), elapsed
+	}
+	serialTab, serialT := run(1)
+	parTab, parT := run(target)
+	parallel.SetWorkers(workersFlag)
+	pr := perfResult{
+		Scale:         sc.Name,
+		Workers:       target,
+		SerialSec:     serialT.Seconds(),
+		ParallelSec:   parT.Seconds(),
+		Speedup:       serialT.Seconds() / parT.Seconds(),
+		Deterministic: serialTab == parTab,
+	}
+	emit(pr, jsonOut, func() {
+		fmt.Printf("Table I pipeline wall-clock (%s scale, prebuilt latents)\n", pr.Scale)
+		fmt.Printf("  workers=1    %8.2fs\n", pr.SerialSec)
+		fmt.Printf("  workers=%-4d %8.2fs\n", pr.Workers, pr.ParallelSec)
+		fmt.Printf("  speedup      %8.2fx\n", pr.Speedup)
+		fmt.Printf("  deterministic: %v (rendered tables byte-identical across worker counts)\n", pr.Deterministic)
+	})
 }
 
 func runTradeoff(set *cl.LatentSet, sc exp.Scale) {

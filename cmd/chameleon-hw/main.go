@@ -15,6 +15,7 @@ import (
 
 	"chameleon/internal/hw"
 	"chameleon/internal/mobilenet"
+	"chameleon/internal/parallel"
 )
 
 func main() {
@@ -26,8 +27,10 @@ func main() {
 		accessRate = flag.Int("h", 10, "chameleon long-term access period")
 		resolution = flag.Int("res", 128, "input resolution of the costed backbone")
 		layers     = flag.Bool("layers", false, "print the per-layer systolic-array cycle breakdown")
+		workers    = flag.Int("workers", 0, "worker-pool size for parallel kernels (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	cfg := mobilenet.PaperConfig(50)
 	cfg.Resolution = *resolution

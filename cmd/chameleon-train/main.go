@@ -17,6 +17,7 @@ import (
 	"chameleon/internal/data"
 	"chameleon/internal/exp"
 	"chameleon/internal/hw"
+	"chameleon/internal/parallel"
 )
 
 func main() {
@@ -33,8 +34,10 @@ func main() {
 		userCentric = flag.Bool("user-centric", false, "use a preference-skewed (personalized) stream")
 		prefSkew    = flag.Float64("pref-skew", 1.2, "Zipf exponent of the user preference (with -user-centric)")
 		classIL     = flag.Bool("class-incremental", false, "stream classes incrementally (Class-IL) instead of domains (Domain-IL)")
+		workers     = flag.Int("workers", 0, "worker-pool size for parallel kernels and extraction (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	var sc exp.Scale
 	switch *scale {

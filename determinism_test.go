@@ -1,0 +1,40 @@
+package chameleon
+
+import (
+	"strings"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/exp"
+	"chameleon/internal/parallel"
+	"chameleon/internal/testenv"
+)
+
+// TestTable1DeterministicAcrossWorkers is the end-to-end determinism contract
+// of the parallel compute layer: the full Table I grid — every method
+// (including Chameleon's seeded dual-store replay) × multi-seed runs — must
+// render byte-identically on repeated runs and at any worker count. This is
+// also the regression test for the class-balanced buffer's map-iteration
+// nondeterminism (replay.ClassBalanced.Sample must draw from a sorted pool).
+func TestTable1DeterministicAcrossWorkers(t *testing.T) {
+	set := testenv.Env(t, "core50")
+	sc := exp.TestScale()
+	run := func(workers int) string {
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(0)
+		res, err := exp.RunTable1(map[string]*cl.LatentSet{"core50": set}, sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		res.Render(&b)
+		return b.String()
+	}
+	serial := run(1)
+	if again := run(1); again != serial {
+		t.Fatalf("serial Table1 not repeatable:\n--- run1\n%s\n--- run2\n%s", serial, again)
+	}
+	if par := run(8); par != serial {
+		t.Fatalf("Table1 differs at workers=8:\n--- serial\n%s\n--- parallel\n%s", serial, par)
+	}
+}

@@ -31,6 +31,7 @@ type SLDA struct {
 	cov       *tensor.Tensor // [dim, dim] streaming covariance (scatter/n)
 	n         float64
 	lambda    *tensor.Tensor // cached precision
+	wc        *tensor.Tensor // [dim] scratch for Λ μ_c, reused across Predicts
 	stale     bool
 	inversion int
 	sinceInv  int
@@ -47,6 +48,7 @@ func NewSLDA(dim, classes int, cfg Config) *SLDA {
 		means:          tensor.New(classes, dim),
 		counts:         make([]float64, classes),
 		cov:            tensor.New(dim, dim),
+		wc:             tensor.New(dim),
 	}
 	_ = cfg
 	return s
@@ -141,9 +143,10 @@ func (s *SLDA) Predict(z *tensor.Tensor) int {
 			continue
 		}
 		mu := s.means.Row(c)
-		// w_c = Λ μ_c ; score = w_cᵀ x − ½ μ_cᵀ w_c.
-		wc := tensor.MatVec(s.lambda, mu)
-		score := tensor.Dot(wc, x) - 0.5*tensor.Dot(mu, wc)
+		// w_c = Λ μ_c ; score = w_cᵀ x − ½ μ_cᵀ w_c. The scratch w_c vector is
+		// reused across classes and Predict calls (a learner serves one run).
+		tensor.MatVecInto(s.wc, s.lambda, mu)
+		score := tensor.Dot(s.wc, x) - 0.5*tensor.Dot(mu, s.wc)
 		if score > bestScore {
 			best, bestScore = c, score
 		}

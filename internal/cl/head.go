@@ -17,6 +17,10 @@ type Head struct {
 	Opt *nn.SGD
 	// Classes is the logit width.
 	Classes int
+	// gradScratch is the reusable logit-gradient buffer for the batched
+	// cross-entropy path; a Head belongs to exactly one learner (one run), so
+	// reuse is race-free.
+	gradScratch *tensor.Tensor
 }
 
 // HeadConfig controls head construction.
@@ -116,6 +120,8 @@ func (h *Head) Step(denom float64) {
 
 // TrainCEOn performs one complete SGD step of averaged cross-entropy over the
 // given samples. It is the common "interleave incoming and replay" update.
+// The whole batch shares one scratch logit-gradient tensor, so the hot online
+// loop allocates nothing per sample beyond the forward activations.
 func (h *Head) TrainCEOn(samples []LatentSample) float64 {
 	if len(samples) == 0 {
 		return 0
@@ -123,7 +129,12 @@ func (h *Head) TrainCEOn(samples []LatentSample) float64 {
 	h.ZeroGrad()
 	var loss float64
 	for _, s := range samples {
-		loss += h.AccumulateCE(s.Z, s.Label, 1)
+		logits := h.Net.Forward(s.Z, true)
+		if h.gradScratch == nil || h.gradScratch.Len() != logits.Len() {
+			h.gradScratch = tensor.New(logits.Len())
+		}
+		loss += nn.CrossEntropyInto(logits, s.Label, h.gradScratch)
+		h.Net.Backward(h.gradScratch)
 	}
 	h.Step(float64(len(samples)))
 	return loss / float64(len(samples))

@@ -10,6 +10,7 @@ import (
 
 	"chameleon/internal/data"
 	"chameleon/internal/mobilenet"
+	"chameleon/internal/parallel"
 	"chameleon/internal/tensor"
 )
 
@@ -75,15 +76,24 @@ func NewLatentSet(m *mobilenet.Model, ds *data.Dataset) (*LatentSet, error) {
 		return nil, fmt.Errorf("cl: backbone has %d classes, dataset needs %d", m.Cfg.NumClasses, ds.Cfg.NumClasses)
 	}
 	ls := &LatentSet{Backbone: m, Dataset: ds}
-	ls.Train = make([]LatentSample, len(ds.Train))
-	for _, sm := range ds.Train {
-		ls.Train[sm.ID] = LatentSample{Z: m.ExtractLatent(sm.Image), Label: sm.Label, Domain: sm.Domain, ID: sm.ID}
-	}
-	ls.Test = make([]LatentSample, len(ds.Test))
-	for _, sm := range ds.Test {
-		ls.Test[sm.ID] = LatentSample{Z: m.ExtractLatent(sm.Image), Label: sm.Label, Domain: sm.Domain, ID: sm.ID}
-	}
+	ls.Train = extractPool(m, ds.Train)
+	ls.Test = extractPool(m, ds.Test)
 	return ls, nil
+}
+
+// extractPool runs the frozen extractor over a sample pool, sharding samples
+// across the worker pool. The backbone is shared read-only: eval-mode Forward
+// allocates all activations locally and caches nothing (see nn's Layer
+// contract and TestConcurrentExtraction), and each sample writes only its own
+// output slot, so any worker count produces bit-identical latents.
+func extractPool(m *mobilenet.Model, pool []data.Sample) []LatentSample {
+	out := make([]LatentSample, len(pool))
+	parallel.For(len(pool), 1, func(lo, hi int) {
+		for _, sm := range pool[lo:hi] {
+			out[sm.ID] = LatentSample{Z: m.ExtractLatent(sm.Image), Label: sm.Label, Domain: sm.Domain, ID: sm.ID}
+		}
+	})
+	return out
 }
 
 // LatentStream adapts a data.Stream to emit cached latents.

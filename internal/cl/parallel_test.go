@@ -1,0 +1,68 @@
+package cl
+
+import (
+	"fmt"
+	"testing"
+
+	"chameleon/internal/data"
+	"chameleon/internal/parallel"
+)
+
+// withWorkers runs fn under a fixed worker budget, restoring the default.
+func withWorkers(n int, fn func()) {
+	parallel.SetWorkers(n)
+	defer parallel.SetWorkers(0)
+	fn()
+}
+
+// TestLatentExtractionParallelEquivalence asserts the sharded extraction data
+// plane produces bit-identical latents at workers=1 vs workers=8 over one
+// shared frozen backbone.
+func TestLatentExtractionParallelEquivalence(t *testing.T) {
+	var serial, par *LatentSet
+	withWorkers(1, func() { serial = testEnv(t) })
+	withWorkers(8, func() { par = testEnv(t) })
+	pools := [][2][]LatentSample{{serial.Train, par.Train}, {serial.Test, par.Test}}
+	for pi, pool := range pools {
+		if len(pool[0]) != len(pool[1]) {
+			t.Fatalf("pool %d size mismatch", pi)
+		}
+		for i := range pool[0] {
+			a, b := pool[0][i], pool[1][i]
+			if a.Label != b.Label || a.Domain != b.Domain || a.ID != b.ID {
+				t.Fatalf("pool %d sample %d metadata mismatch", pi, i)
+			}
+			for j, v := range a.Z.Data() {
+				if v != b.Z.Data()[j] {
+					t.Fatalf("pool %d sample %d latent differs at %d: %v vs %v", pi, i, j, v, b.Z.Data()[j])
+				}
+			}
+		}
+	}
+}
+
+// TestMultiSeedDeterministicAcrossWorkers asserts MultiSeed summaries are
+// byte-identical at any worker count: each seeded run owns its learner and
+// RNG streams, so only scheduling differs.
+func TestMultiSeedDeterministicAcrossWorkers(t *testing.T) {
+	set := testEnv(t)
+	run := func() Summary {
+		return MultiSeed(set, data.StreamOptions{BatchSize: 3}, func(seed int64) Learner {
+			return &headLearner{h: NewHead(set.Backbone, HeadConfig{LR: 0.05, Seed: seed})}
+		}, []int64{1, 2, 3, 4})
+	}
+	var s1, s4, s8 Summary
+	withWorkers(1, func() { s1 = run() })
+	withWorkers(4, func() { s4 = run() })
+	withWorkers(8, func() { s8 = run() })
+	b1, b4, b8 := fmt.Sprintf("%+v", s1), fmt.Sprintf("%+v", s4), fmt.Sprintf("%+v", s8)
+	if b1 != b4 {
+		t.Fatalf("MultiSeed differs workers=1 vs 4:\n%s\nvs\n%s", b1, b4)
+	}
+	if b1 != b8 {
+		t.Fatalf("MultiSeed differs workers=1 vs 8:\n%s\nvs\n%s", b1, b8)
+	}
+	if len(s1.Runs) != 4 || s1.MeanAcc != s4.MeanAcc || s1.StdAcc != s4.StdAcc {
+		t.Fatalf("summary fields differ: %+v vs %+v", s1, s4)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"chameleon/internal/data"
+	"chameleon/internal/parallel"
 )
 
 // Result is the outcome of one online run.
@@ -160,13 +161,22 @@ func (s Summary) String() string {
 // MultiSeed runs newLearner(seed) over the latent set once per seed and
 // summarises. Stream order and head initialisation both vary with the seed,
 // mirroring the paper's "mean and standard deviation across ten runs".
+//
+// Seeds run concurrently on the shared worker pool: each run owns its
+// learner, head and RNG streams and reads the latent set immutably, so runs
+// are independent by construction. Results land in seed order and the
+// summary is byte-identical at any worker count; newLearner must not touch
+// shared mutable state.
 func MultiSeed(set *LatentSet, opts data.StreamOptions, newLearner func(seed int64) Learner, seeds []int64) Summary {
 	runs := make([]Result, len(seeds))
-	for i, seed := range seeds {
-		l := newLearner(seed)
-		st := set.Stream(seed, opts)
-		runs[i] = RunOnline(l, st, set.Test)
-	}
+	parallel.For(len(seeds), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seed := seeds[i]
+			l := newLearner(seed)
+			st := set.Stream(seed, opts)
+			runs[i] = RunOnline(l, st, set.Test)
+		}
+	})
 	return Summarize(runs)
 }
 

@@ -6,9 +6,11 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"chameleon/internal/cl"
 	"chameleon/internal/data"
+	"chameleon/internal/parallel"
 )
 
 // Row is one Table I / Fig. 2 entry: a method instance's accuracy (mean ±
@@ -39,15 +41,27 @@ func RunTable1(sets map[string]*cl.LatentSet, sc Scale, progress func(format str
 	}
 	sort.Strings(datasets)
 	res := &Table1Result{Scale: sc.Name, Datasets: datasets}
-	for _, spec := range Table1Specs(sc) {
+
+	// Method-grid fan-out: every (method, dataset) cell is an independent
+	// multi-seed experiment over an immutable latent set, so cells run
+	// concurrently on the shared worker pool. Cells land in a pre-sized grid
+	// indexed by (spec, dataset), keeping the assembled table byte-identical
+	// to the serial loop at any worker count.
+	specs := Table1Specs(sc)
+	res.Rows = make([]Row, len(specs))
+	for si, spec := range specs {
 		mb, err := MemoryMB(spec)
 		if err != nil {
 			return nil, err
 		}
-		row := Row{Spec: spec, MemoryMB: mb, Acc: map[string]cl.Summary{}}
-		for _, dsName := range datasets {
+		res.Rows[si] = Row{Spec: spec, MemoryMB: mb, Acc: map[string]cl.Summary{}}
+	}
+	var progressMu sync.Mutex
+	cells := make([]cl.Summary, len(specs)*len(datasets))
+	parallel.For(len(cells), 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			spec, dsName := specs[ci/len(datasets)], datasets[ci%len(datasets)]
 			set := sets[dsName]
-			spec := spec
 			summary := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
 				l, err := NewLearner(spec, set, sc, seed)
 				if err != nil {
@@ -56,10 +70,14 @@ func RunTable1(sets map[string]*cl.LatentSet, sc Scale, progress func(format str
 				return l
 			}, sc.Seeds)
 			summary.Method = spec.Label()
-			row.Acc[dsName] = summary
+			cells[ci] = summary
+			progressMu.Lock()
 			progress("table1 %-18s %-10s %.2f%% ± %.2f", spec.Label(), dsName, 100*summary.MeanAcc, 100*summary.StdAcc)
+			progressMu.Unlock()
 		}
-		res.Rows = append(res.Rows, row)
+	})
+	for ci, summary := range cells {
+		res.Rows[ci/len(datasets)].Acc[datasets[ci%len(datasets)]] = summary
 	}
 	return res, nil
 }
@@ -110,23 +128,36 @@ func RunFig2(set *cl.LatentSet, sc Scale, progress func(format string, args ...a
 		progress = func(string, ...any) {}
 	}
 	res := &Fig2Result{Scale: sc.Name, Points: map[string][]Fig2Point{}}
-	for _, spec := range Fig2Specs(sc) {
+	specs := Fig2Specs(sc)
+	memMB := make([]float64, len(specs))
+	for i, spec := range specs {
 		mb, err := MemoryMB(spec)
 		if err != nil {
 			return nil, err
 		}
-		spec := spec
-		summary := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
-			l, err := NewLearner(spec, set, sc, seed)
-			if err != nil {
-				panic("exp: " + err.Error())
-			}
-			return l
-		}, sc.Seeds)
-		res.Points[spec.Name] = append(res.Points[spec.Name], Fig2Point{
-			Buffer: spec.Buffer, MemoryMB: mb, MeanAcc: summary.MeanAcc,
-		})
-		progress("fig2 %-18s %6.1f MB -> %.2f%%", spec.Label(), mb, 100*summary.MeanAcc)
+		memMB[i] = mb
+	}
+	// Same fan-out as RunTable1: independent cells, index-ordered results.
+	var progressMu sync.Mutex
+	points := make([]Fig2Point, len(specs))
+	parallel.For(len(specs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			spec := specs[i]
+			summary := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
+				l, err := NewLearner(spec, set, sc, seed)
+				if err != nil {
+					panic("exp: " + err.Error())
+				}
+				return l
+			}, sc.Seeds)
+			points[i] = Fig2Point{Buffer: spec.Buffer, MemoryMB: memMB[i], MeanAcc: summary.MeanAcc}
+			progressMu.Lock()
+			progress("fig2 %-18s %6.1f MB -> %.2f%%", spec.Label(), memMB[i], 100*summary.MeanAcc)
+			progressMu.Unlock()
+		}
+	})
+	for i, spec := range specs {
+		res.Points[spec.Name] = append(res.Points[spec.Name], points[i])
 	}
 	return res, nil
 }

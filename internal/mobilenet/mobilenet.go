@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"chameleon/internal/nn"
+	"chameleon/internal/parallel"
 	"chameleon/internal/tensor"
 )
 
@@ -265,8 +266,27 @@ func New(cfg Config) (*Model, error) {
 }
 
 // ExtractLatent runs the frozen feature extractor on a [3,R,R] image.
+//
+// Eval-mode Forward is mutation-free across every layer this backbone is
+// built from (conv, norm, activation layers cache intermediates only when
+// train=true), so ExtractLatent is safe to call concurrently on one shared
+// model — the property the parallel extraction data plane relies on.
 func (m *Model) ExtractLatent(x *tensor.Tensor) *tensor.Tensor {
 	return m.Features.Forward(x, false)
+}
+
+// ExtractLatents runs the frozen extractor over a batch of images, sharding
+// samples across the worker pool. Each output index is computed by an
+// independent eval-mode forward pass, so results are bit-identical to calling
+// ExtractLatent in a loop regardless of worker count.
+func (m *Model) ExtractLatents(imgs []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(imgs))
+	parallel.For(len(imgs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.Features.Forward(imgs[i], false)
+		}
+	})
+	return out
 }
 
 // Logits runs the trainable head on a latent tensor in eval mode.

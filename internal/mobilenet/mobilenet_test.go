@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"chameleon/internal/nn"
+	"chameleon/internal/parallel"
 	"chameleon/internal/tensor"
 )
 
@@ -200,6 +201,36 @@ func TestInventoryMACsPositiveAndStridesReduce(t *testing.T) {
 		}
 		if l.Stride == 2 && l.OutH*2 != l.InH && l.OutH*2 != l.InH+1 {
 			t.Fatalf("stride-2 layer %s: %d -> %d", l.Name, l.InH, l.OutH)
+		}
+	}
+}
+
+// TestExtractLatentsParallelEquivalence asserts the batched extractor is
+// bit-identical to a serial ExtractLatent loop at any worker count, over one
+// shared model (the eval-mode Forward mutation-freedom contract; run with
+// -race to verify the absence of writes).
+func TestExtractLatentsParallelEquivalence(t *testing.T) {
+	m, err := New(Config{Width: 0.25, Resolution: 16, NumClasses: 4, LatentLayer: 5, Head: HeadMLP, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	imgs := make([]*tensor.Tensor, 24)
+	for i := range imgs {
+		imgs[i] = tensor.RandNormal(rng, 1, 3, 16, 16)
+	}
+	var want []*tensor.Tensor
+	for _, x := range imgs {
+		want = append(want, m.ExtractLatent(x))
+	}
+	parallel.SetWorkers(8)
+	defer parallel.SetWorkers(0)
+	got := m.ExtractLatents(imgs)
+	for i := range imgs {
+		for j, v := range want[i].Data() {
+			if got[i].Data()[j] != v {
+				t.Fatalf("latent %d differs at %d: %v vs %v", i, j, got[i].Data()[j], v)
+			}
 		}
 	}
 }

@@ -18,6 +18,11 @@ type Conv2D struct {
 	b                *Param
 	col              *tensor.Tensor // cached im2col matrix (train mode)
 	inH, inW, oh, ow int
+	// gwScratch and dcolScratch are backward-pass work buffers, reused across
+	// steps. They are touched only in Backward, which runs on the learner's
+	// own goroutine; eval-mode Forward stays mutation-free so a frozen model
+	// can serve concurrent extraction workers.
+	gwScratch, dcolScratch *tensor.Tensor
 }
 
 // NewConv2D creates a Conv2D with He-normal weights.
@@ -67,8 +72,11 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	g := grad.Reshape(c.outC, c.oh*c.ow)
 	// dW = g @ colᵀ
-	gw := tensor.MatMulT2(g, c.col)
-	c.w.Grad.AddInPlace(gw)
+	if c.gwScratch == nil || !c.gwScratch.SameShape(c.w.Grad) {
+		c.gwScratch = tensor.New(c.w.Grad.Shape()...)
+	}
+	tensor.MatMulT2Into(c.gwScratch, g, c.col)
+	c.w.Grad.AddInPlace(c.gwScratch)
 	// db = row sums of g
 	for o := 0; o < c.outC; o++ {
 		var s float32
@@ -78,8 +86,11 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		c.b.Grad.Data()[o] += s
 	}
 	// dcol = Wᵀ @ g ; dX = col2im(dcol)
-	dcol := tensor.MatMulT1(c.w.Data, g)
-	return tensor.Col2Im(dcol, c.inC, c.inH, c.inW, c.kh, c.kw, c.stride, c.pad)
+	if c.dcolScratch == nil || !c.dcolScratch.SameShape(c.col) {
+		c.dcolScratch = tensor.New(c.col.Shape()...)
+	}
+	tensor.MatMulT1Into(c.dcolScratch, c.w.Data, g)
+	return tensor.Col2Im(c.dcolScratch, c.inC, c.inH, c.inW, c.kh, c.kw, c.stride, c.pad)
 }
 
 // Params implements Layer.

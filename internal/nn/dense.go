@@ -56,17 +56,20 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	out, in := d.Out(), d.inCap
 	gw, gb := d.w.Grad.Data(), d.b.Grad.Data()
+	gd, wd, xd := grad.Data(), d.w.Data.Data(), d.x.Data()
 	gx := tensor.New(in)
+	gxd := gx.Data()
 	for o := 0; o < out; o++ {
-		g := grad.Data()[o]
+		g := gd[o]
 		gb[o] += g
-		wRow := d.w.Data.Data()[o*in : (o+1)*in]
+		if g == 0 {
+			continue
+		}
+		wRow := wd[o*in : (o+1)*in]
 		gwRow := gw[o*in : (o+1)*in]
-		if g != 0 {
-			for i, xv := range d.x.Data() {
-				gwRow[i] += g * xv
-				gx.Data()[i] += g * wRow[i]
-			}
+		for i, xv := range xd {
+			gwRow[i] += g * xv
+			gxd[i] += g * wRow[i]
 		}
 	}
 	return gx

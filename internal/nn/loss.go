@@ -11,20 +11,32 @@ import (
 // softmax(logits) and the gradient of the loss with respect to the logits
 // (softmax − onehot).
 func CrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
+	grad = tensor.New(logits.Len())
+	loss = CrossEntropyInto(logits, label, grad)
+	return loss, grad
+}
+
+// CrossEntropyInto is CrossEntropy writing the gradient into a caller-owned
+// tensor (overwritten), so batched training loops can reuse one scratch
+// gradient instead of allocating per sample. grad must have logits.Len()
+// elements.
+func CrossEntropyInto(logits *tensor.Tensor, label int, grad *tensor.Tensor) (loss float64) {
 	if logits.NDim() != 1 {
 		panic(fmt.Sprintf("nn: CrossEntropy expects 1-D logits, got %v", logits.Shape()))
 	}
 	if label < 0 || label >= logits.Len() {
 		panic(fmt.Sprintf("nn: label %d out of range for %d classes", label, logits.Len()))
 	}
+	if grad.Len() != logits.Len() {
+		panic(fmt.Sprintf("nn: CrossEntropyInto grad size %d, want %d", grad.Len(), logits.Len()))
+	}
 	ls := tensor.LogSoftmax(logits)
 	loss = -float64(ls.Data()[label])
-	grad = tensor.New(logits.Len())
 	for i, v := range ls.Data() {
 		grad.Data()[i] = float32(math.Exp(float64(v)))
 	}
 	grad.Data()[label] -= 1
-	return loss, grad
+	return loss
 }
 
 // SoftCrossEntropy is the knowledge-distillation loss: the cross-entropy of

@@ -6,6 +6,7 @@ package replay
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"chameleon/internal/tensor"
 )
@@ -132,12 +133,16 @@ func (b *ClassBalanced) Len() int { return b.total }
 // Cap returns the global capacity.
 func (b *ClassBalanced) Cap() int { return b.cap }
 
-// Classes returns the class indices currently present.
+// Classes returns the class indices currently present, in ascending order.
+// The order is part of the determinism contract: anything that iterates the
+// buffer must not depend on Go's randomized map iteration, or seeded runs
+// stop being repeatable.
 func (b *ClassBalanced) Classes() []int {
 	out := make([]int, 0, len(b.byClass))
 	for c := range b.byClass {
 		out = append(out, c)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -192,11 +197,12 @@ func (b *ClassBalanced) ReplaceRandomOfClass(it Item) bool {
 }
 
 // Sample returns n items drawn uniformly (without replacement) from the
-// whole buffer.
+// whole buffer. The pool is assembled in ascending class order so a seeded
+// rng draws the same items on every run (map iteration order is randomized).
 func (b *ClassBalanced) Sample(n int) []Item {
 	all := make([]Item, 0, b.total)
-	for _, items := range b.byClass {
-		all = append(all, items...)
+	for _, c := range b.Classes() {
+		all = append(all, b.byClass[c]...)
 	}
 	return sampleWithout(all, n, b.rng)
 }

@@ -1,11 +1,30 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"chameleon/internal/parallel"
+)
 
 // ConvOut returns the output spatial size of a convolution with the given
 // input size, kernel, stride and symmetric padding.
 func ConvOut(in, kernel, stride, pad int) int {
 	return (in+2*pad-kernel)/stride + 1
+}
+
+// channelGrain returns the minimum channels per parallel chunk so each chunk
+// carries at least minParallelMACs of work; the conv kernels shard over
+// channels because every channel writes a disjoint region, keeping parallel
+// results bit-identical to the serial loop.
+func channelGrain(perChannel int) int {
+	if perChannel <= 0 {
+		return 1
+	}
+	g := minParallelMACs / perChannel
+	if g < 1 {
+		g = 1
+	}
+	return g
 }
 
 // Im2Col lowers a single-image [C,H,W] tensor into a [C*KH*KW, OH*OW] matrix
@@ -18,8 +37,17 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	out := New(c*kh*kw, oh*ow)
 	col := out.data
-	for ci := 0; ci < c; ci++ {
-		plane := x.data[ci*h*w : (ci+1)*h*w]
+	parallel.For(c, channelGrain(kh*kw*oh*ow), func(lo, hi int) {
+		im2colChannels(col, x.data, lo, hi, h, w, kh, kw, oh, ow, stride, pad)
+	})
+	return out
+}
+
+// im2colChannels lowers channels [lo,hi): each channel owns rows
+// [ci*kh*kw, (ci+1)*kh*kw) of the column matrix, so shards are disjoint.
+func im2colChannels(col, data []float32, lo, hi, h, w, kh, kw, oh, ow, stride, pad int) {
+	for ci := lo; ci < hi; ci++ {
+		plane := data[ci*h*w : (ci+1)*h*w]
 		for ki := 0; ki < kh; ki++ {
 			for kj := 0; kj < kw; kj++ {
 				rowBase := ((ci*kh+ki)*kw + kj) * oh * ow
@@ -40,7 +68,6 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters a [C*KH*KW, OH*OW] column
@@ -53,28 +80,33 @@ func Col2Im(col *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 			col.shape, c, h, w, kh, kw, stride, pad))
 	}
 	out := New(c, h, w)
-	for ci := 0; ci < c; ci++ {
-		plane := out.data[ci*h*w : (ci+1)*h*w]
-		for ki := 0; ki < kh; ki++ {
-			for kj := 0; kj < kw; kj++ {
-				rowBase := ((ci*kh+ki)*kw + kj) * oh * ow
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*stride - pad + ki
-					if iy < 0 || iy >= h {
-						continue
-					}
-					src := col.data[rowBase+oy*ow:]
-					dst := plane[iy*w:]
-					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride - pad + kj
-						if ix >= 0 && ix < w {
-							dst[ix] += src[ox]
+	// Each channel scatters only into its own [h,w] plane, so channel shards
+	// are disjoint and the accumulation order within a plane is the serial
+	// loop's order at any worker count.
+	parallel.For(c, channelGrain(kh*kw*oh*ow), func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			plane := out.data[ci*h*w : (ci+1)*h*w]
+			for ki := 0; ki < kh; ki++ {
+				for kj := 0; kj < kw; kj++ {
+					rowBase := ((ci*kh+ki)*kw + kj) * oh * ow
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*stride - pad + ki
+						if iy < 0 || iy >= h {
+							continue
+						}
+						src := col.data[rowBase+oy*ow:]
+						dst := plane[iy*w:]
+						for ox := 0; ox < ow; ox++ {
+							ix := ox*stride - pad + kj
+							if ix >= 0 && ix < w {
+								dst[ix] += src[ox]
+							}
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -89,7 +121,16 @@ func DepthwiseConv(x, w, bias *Tensor, stride, pad int) *Tensor {
 	kh, kw := w.shape[1], w.shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
 	out := New(c, oh, ow)
-	for ci := 0; ci < c; ci++ {
+	parallel.For(c, channelGrain(kh*kw*oh*ow), func(lo, hi int) {
+		depthwiseChannels(out, x, w, bias, lo, hi, h, wd, kh, kw, oh, ow, stride, pad)
+	})
+	return out
+}
+
+// depthwiseChannels convolves channels [lo,hi); each channel reads and writes
+// only its own planes, so shards are disjoint.
+func depthwiseChannels(out, x, w, bias *Tensor, lo, hi, h, wd, kh, kw, oh, ow, stride, pad int) {
+	for ci := lo; ci < hi; ci++ {
 		in := x.data[ci*h*wd : (ci+1)*h*wd]
 		ker := w.data[ci*kh*kw : (ci+1)*kh*kw]
 		dst := out.data[ci*oh*ow : (ci+1)*oh*ow]
@@ -117,7 +158,6 @@ func DepthwiseConv(x, w, bias *Tensor, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // DepthwiseConvGrads computes the input and weight gradients of DepthwiseConv
@@ -131,7 +171,17 @@ func DepthwiseConvGrads(x, w, gy *Tensor, stride, pad int) (gx, gw, gb *Tensor) 
 	gx = New(c, h, wd)
 	gw = New(c, kh, kw)
 	gb = New(c)
-	for ci := 0; ci < c; ci++ {
+	// All three gradients are per-channel, so channel shards write disjoint
+	// regions of gx, gw and gb.
+	parallel.For(c, channelGrain(2*kh*kw*oh*ow), func(lo, hi int) {
+		depthwiseGradChannels(gx, gw, gb, x, w, gy, lo, hi, h, wd, kh, kw, oh, ow, stride, pad)
+	})
+	return gx, gw, gb
+}
+
+// depthwiseGradChannels computes the depthwise gradients for channels [lo,hi).
+func depthwiseGradChannels(gx, gw, gb, x, w, gy *Tensor, lo, hi, h, wd, kh, kw, oh, ow, stride, pad int) {
+	for ci := lo; ci < hi; ci++ {
 		in := x.data[ci*h*wd : (ci+1)*h*wd]
 		ker := w.data[ci*kh*kw : (ci+1)*kh*kw]
 		g := gy.data[ci*oh*ow : (ci+1)*oh*ow]
@@ -163,7 +213,6 @@ func DepthwiseConvGrads(x, w, gy *Tensor, stride, pad int) (gx, gw, gb *Tensor) 
 		}
 		gb.data[ci] = bsum
 	}
-	return gx, gw, gb
 }
 
 // AvgPool performs average pooling over non-overlapping k×k windows of a

@@ -1,6 +1,30 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"chameleon/internal/parallel"
+)
+
+// minParallelMACs is the kernel-size threshold below which the GEMM/GEMV
+// kernels stay on the serial fast path: sharding a head-scale op (a few
+// thousand MACs) across goroutines costs more than the op itself. Sharding
+// never changes results — each output row is computed by the identical serial
+// loop — so the threshold is purely a performance knob.
+const minParallelMACs = 1 << 16
+
+// rowGrain returns the minimum number of output rows per parallel chunk so
+// each chunk carries at least minParallelMACs of work.
+func rowGrain(macsPerRow int) int {
+	if macsPerRow <= 0 {
+		return 1
+	}
+	g := minParallelMACs / macsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // MatMul returns a @ b for a [M,K] and b [K,N].
 func MatMul(a, b *Tensor) *Tensor {
@@ -13,81 +37,195 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v @ %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	matmulInto(out.data, a.data, b.data, m, k, n)
+	matmulSharded(out.data, a.data, b.data, m, k, n)
 	return out
 }
 
-// matmulInto computes dst[m,n] += a[m,k] @ b[k,n] with an ikj loop order so
-// the inner loop streams contiguously over b and dst. dst must be zeroed by
-// the caller if accumulation is not wanted.
+// MatMulInto computes dst = a @ b, overwriting dst's contents. dst must be a
+// [M,N] tensor; reusing one across calls avoids the per-call allocation of
+// MatMul (SLDA's precision refresh and the conv backward pass lean on this).
+func MatMulInto(dst, a, b *Tensor) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulInto on shapes %v @ %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dim mismatch %v @ %v", a.shape, b.shape))
+	}
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	matmulSharded(dst.data, a.data, b.data, m, k, n)
+}
+
+// matmulSharded accumulates a[m,k] @ b[k,n] into dst, sharding rows of a
+// across the worker pool for large problems. Each row is computed by the same
+// serial kernel regardless of worker count, so results are bit-identical to
+// the serial path.
+func matmulSharded(dst, a, b []float32, m, k, n int) {
+	if m*k*n < minParallelMACs {
+		matmulInto(dst, a, b, m, k, n)
+		return
+	}
+	parallel.For(m, rowGrain(k*n), func(lo, hi int) {
+		matmulInto(dst[lo*n:hi*n], a[lo*k:hi*k], b, hi-lo, k, n)
+	})
+}
+
+// matmulInto computes dst[m,n] += a[m,k] @ b[k,n]. The loop is k-blocked ikj:
+// a panel of b rows stays cache-resident across all rows of a, while the
+// inner loop streams contiguously over b and dst. Per output element the
+// accumulation order is ascending p exactly as in the unblocked loop, so
+// blocking does not perturb float32 results. dst must be zeroed by the caller
+// if accumulation is not wanted.
 func matmulInto(dst, a, b []float32, m, k, n int) {
-	for i := 0; i < m; i++ {
-		ai := a[i*k : (i+1)*k]
-		di := dst[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n : (p+1)*n]
-			for j, bv := range bp {
-				di[j] += av * bv
+	kb := panelRows(n)
+	for p0 := 0; p0 < k; p0 += kb {
+		p1 := p0 + kb
+		if p1 > k {
+			p1 = k
+		}
+		for i := 0; i < m; i++ {
+			ai := a[i*k : (i+1)*k]
+			di := dst[i*n : (i+1)*n]
+			for p := p0; p < p1; p++ {
+				av := ai[p]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					di[j] += av * bv
+				}
 			}
 		}
 	}
+}
+
+// panelRows sizes the k-blocking so one panel of b (rows × n float32) fits in
+// a 32 KiB L1 slice, with a floor of 8 rows.
+func panelRows(n int) int {
+	const l1Floats = 8 << 10 // 32 KiB / 4
+	if n <= 0 {
+		return 8
+	}
+	r := l1Floats / n
+	if r < 8 {
+		r = 8
+	}
+	return r
 }
 
 // MatMulT1 returns aᵀ @ b for a [K,M] and b [K,N], yielding [M,N].
 func MatMulT1(a, b *Tensor) *Tensor {
+	k, m := checkT1("MatMulT1", a, b)
+	out := New(m, b.shape[1])
+	matmulT1Sharded(out.data, a.data, b.data, m, k, b.shape[1])
+	return out
+}
+
+// MatMulT1Into computes dst = aᵀ @ b, overwriting dst ([M,N]).
+func MatMulT1Into(dst, a, b *Tensor) {
+	k, m := checkT1("MatMulT1Into", a, b)
+	n := b.shape[1]
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT1Into dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	matmulT1Sharded(dst.data, a.data, b.data, m, k, n)
+}
+
+func checkT1(op string, a, b *Tensor) (k, m int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulT1 on shapes %v @ %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s on shapes %v @ %v", op, a.shape, b.shape))
 	}
-	k, m := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT1 inner dim mismatch %v @ %v", a.shape, b.shape))
+	if a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: %s inner dim mismatch %v @ %v", op, a.shape, b.shape))
 	}
-	out := New(m, n)
-	for p := 0; p < k; p++ {
-		ap := a.data[p*m : (p+1)*m]
-		bp := b.data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
-			}
-			di := out.data[i*n : (i+1)*n]
-			for j, bv := range bp {
-				di[j] += av * bv
+	return a.shape[0], a.shape[1]
+}
+
+// matmulT1Sharded accumulates aᵀ @ b into dst, sharding output rows. Per
+// output element the p-loop ascends exactly as in the serial kernel.
+func matmulT1Sharded(dst, a, b []float32, m, k, n int) {
+	shard := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			di := dst[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a[p*m+i]
+				if av == 0 {
+					continue
+				}
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					di[j] += av * bv
+				}
 			}
 		}
 	}
-	return out
+	if m*k*n < minParallelMACs {
+		shard(0, m)
+		return
+	}
+	parallel.For(m, rowGrain(k*n), shard)
 }
 
 // MatMulT2 returns a @ bᵀ for a [M,K] and b [N,K], yielding [M,N].
 func MatMulT2(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulT2 on shapes %v @ %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	n, k2 := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT2 inner dim mismatch %v @ %v", a.shape, b.shape))
-	}
+	m, k, n := checkT2("MatMulT2", a, b)
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.data[i*k : (i+1)*k]
-		di := out.data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.data[j*k : (j+1)*k]
-			var s float32
-			for p, av := range ai {
-				s += av * bj[p]
+	matmulT2Sharded(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// MatMulT2Into computes dst = a @ bᵀ, overwriting dst ([M,N]).
+func MatMulT2Into(dst, a, b *Tensor) {
+	m, k, n := checkT2("MatMulT2Into", a, b)
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT2Into dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	matmulT2Sharded(dst.data, a.data, b.data, m, k, n)
+}
+
+func checkT2(op string, a, b *Tensor) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: %s on shapes %v @ %v", op, a.shape, b.shape))
+	}
+	if a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: %s inner dim mismatch %v @ %v", op, a.shape, b.shape))
+	}
+	return a.shape[0], a.shape[1], b.shape[0]
+}
+
+// matmulT2Sharded assigns a @ bᵀ into dst, sharding output rows. The dot
+// products skip zero elements of a — the same sparsity fast path as
+// matmulInto, which the ReLU-heavy activations this kernel sees (conv weight
+// gradients: g @ colᵀ) make worthwhile.
+func matmulT2Sharded(dst, a, b []float32, m, k, n int) {
+	shard := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a[i*k : (i+1)*k]
+			di := dst[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				var s float32
+				for p, av := range ai {
+					if av == 0 {
+						continue
+					}
+					s += av * bj[p]
+				}
+				di[j] = s
 			}
-			di[j] = s
 		}
 	}
-	return out
+	if m*k*n < minParallelMACs {
+		shard(0, m)
+		return
+	}
+	parallel.For(m, rowGrain(k*n), shard)
 }
 
 // MatVec returns a @ x for a [M,K] and x [K], yielding [M].
@@ -95,17 +233,44 @@ func MatVec(a, x *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(x.shape) != 1 || a.shape[1] != x.shape[0] {
 		panic(fmt.Sprintf("tensor: MatVec on shapes %v @ %v", a.shape, x.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
-	out := New(m)
-	for i := 0; i < m; i++ {
-		ai := a.data[i*k : (i+1)*k]
-		var s float32
-		for p, av := range ai {
-			s += av * x.data[p]
-		}
-		out.data[i] = s
-	}
+	out := New(a.shape[0])
+	matvecSharded(out.data, a.data, x.data, a.shape[0], a.shape[1])
 	return out
+}
+
+// MatVecInto computes dst = a @ x, overwriting dst ([M]). SLDA's per-class
+// scoring reuses one output vector through this.
+func MatVecInto(dst, a, x *Tensor) {
+	if len(a.shape) != 2 || len(x.shape) != 1 || a.shape[1] != x.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVecInto on shapes %v @ %v", a.shape, x.shape))
+	}
+	if len(dst.shape) != 1 || dst.shape[0] != a.shape[0] {
+		panic(fmt.Sprintf("tensor: MatVecInto dst shape %v, want [%d]", dst.shape, a.shape[0]))
+	}
+	matvecSharded(dst.data, a.data, x.data, a.shape[0], a.shape[1])
+}
+
+// matvecSharded assigns a @ x into dst, sharding rows and skipping zero
+// matrix entries (the same zero fast path as matmulInto).
+func matvecSharded(dst, a, x []float32, m, k int) {
+	shard := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a[i*k : (i+1)*k]
+			var s float32
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				s += av * x[p]
+			}
+			dst[i] = s
+		}
+	}
+	if m*k < minParallelMACs {
+		shard(0, m)
+		return
+	}
+	parallel.For(m, rowGrain(k), shard)
 }
 
 // Inverse returns the inverse of a square matrix via Gauss–Jordan elimination

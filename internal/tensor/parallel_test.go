@@ -1,0 +1,172 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/parallel"
+)
+
+// withWorkers runs fn under a fixed worker budget, restoring the default.
+func withWorkers(n int, fn func()) {
+	parallel.SetWorkers(n)
+	defer parallel.SetWorkers(0)
+	fn()
+}
+
+// bitEqual reports whether two tensors are bit-identical (NaN-safe: compares
+// float32 values with ==, which the deterministic kernels must satisfy; the
+// random inputs here contain no NaNs).
+func bitEqual(a, b *Tensor) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i, v := range a.Data() {
+		if v != b.Data()[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sparsify zeroes a fraction of elements so the zero-skip fast paths are
+// exercised on both the serial and parallel sides.
+func sparsify(rng *rand.Rand, t *Tensor, frac float64) {
+	for i := range t.Data() {
+		if rng.Float64() < frac {
+			t.Data()[i] = 0
+		}
+	}
+}
+
+// TestMatMulParallelEquivalence asserts every GEMM/GEMV variant is
+// bit-identical at workers=1 vs workers=8 across a sweep of shapes spanning
+// both sides of the parallel threshold.
+func TestMatMulParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {64, 48, 80}, {128, 128, 128}, {200, 64, 150}}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := RandNormal(rng, 1, m, k)
+		b := RandNormal(rng, 1, k, n)
+		at := RandNormal(rng, 1, k, m)
+		bt := RandNormal(rng, 1, n, k)
+		x := RandNormal(rng, 1, k)
+		sparsify(rng, a, 0.3)
+		sparsify(rng, at, 0.3)
+
+		var s1, s2, t1a, t1b, t2a, t2b, v1, v2 *Tensor
+		withWorkers(1, func() {
+			s1 = MatMul(a, b)
+			t1a = MatMulT1(at, b)
+			t2a = MatMulT2(a, bt)
+			v1 = MatVec(a, x)
+		})
+		withWorkers(8, func() {
+			s2 = MatMul(a, b)
+			t1b = MatMulT1(at, b)
+			t2b = MatMulT2(a, bt)
+			v2 = MatVec(a, x)
+		})
+		if !bitEqual(s1, s2) {
+			t.Errorf("MatMul %v not bit-identical across worker counts", sh)
+		}
+		if !bitEqual(t1a, t1b) {
+			t.Errorf("MatMulT1 %v not bit-identical across worker counts", sh)
+		}
+		if !bitEqual(t2a, t2b) {
+			t.Errorf("MatMulT2 %v not bit-identical across worker counts", sh)
+		}
+		if !bitEqual(v1, v2) {
+			t.Errorf("MatVec %v not bit-identical across worker counts", sh)
+		}
+	}
+}
+
+// TestMatMulIntoMatchesMatMul asserts the buffer-reusing variants equal their
+// allocating counterparts, including when dst holds stale garbage.
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, k, n := 33, 21, 17
+	a := RandNormal(rng, 1, m, k)
+	b := RandNormal(rng, 1, k, n)
+	at := RandNormal(rng, 1, k, m)
+	bt := RandNormal(rng, 1, n, k)
+	x := RandNormal(rng, 1, k)
+
+	dst := Full(99, m, n)
+	MatMulInto(dst, a, b)
+	if !bitEqual(dst, MatMul(a, b)) {
+		t.Error("MatMulInto != MatMul")
+	}
+	dst.Fill(-5)
+	MatMulT1Into(dst, at, b)
+	if !bitEqual(dst, MatMulT1(at, b)) {
+		t.Error("MatMulT1Into != MatMulT1")
+	}
+	dst.Fill(3)
+	MatMulT2Into(dst, a, bt)
+	if !bitEqual(dst, MatMulT2(a, bt)) {
+		t.Error("MatMulT2Into != MatMulT2")
+	}
+	v := Full(1, m)
+	MatVecInto(v, a, x)
+	if !bitEqual(v, MatVec(a, x)) {
+		t.Error("MatVecInto != MatVec")
+	}
+}
+
+// TestMatMulT2ZeroSkip asserts the sparsity fast path does not change dense
+// semantics: a row of exact zeros contributes exactly zero.
+func TestMatMulT2ZeroSkip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := RandNormal(rng, 1, 4, 6)
+	bt := RandNormal(rng, 1, 5, 6)
+	for i := 0; i < 6; i++ {
+		a.Set(0, 2, i) // zero out row 2
+	}
+	out := MatMulT2(a, bt)
+	for j := 0; j < 5; j++ {
+		if out.At(2, j) != 0 {
+			t.Fatalf("zero row produced %v at col %d", out.At(2, j), j)
+		}
+	}
+}
+
+// TestConvParallelEquivalence asserts the conv kernels are bit-identical at
+// workers=1 vs workers=8.
+func TestConvParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range []int{1, 3, 16, 64} {
+		x := RandNormal(rng, 1, c, 13, 13)
+		w := RandNormal(rng, 1, c, 3, 3)
+		bias := RandNormal(rng, 1, c)
+		col := Im2Col(x, 3, 3, 2, 1)
+		gy := RandNormal(rng, 1, c, ConvOut(13, 3, 2, 1), ConvOut(13, 3, 2, 1))
+
+		type outs struct{ col, im, dw, gx, gw, gb *Tensor }
+		run := func() outs {
+			var o outs
+			o.col = Im2Col(x, 3, 3, 2, 1)
+			o.im = Col2Im(col, c, 13, 13, 3, 3, 2, 1)
+			o.dw = DepthwiseConv(x, w, bias, 2, 1)
+			o.gx, o.gw, o.gb = DepthwiseConvGrads(x, w, gy, 2, 1)
+			return o
+		}
+		var serial, par outs
+		withWorkers(1, func() { serial = run() })
+		withWorkers(8, func() { par = run() })
+		for name, pair := range map[string][2]*Tensor{
+			"Im2Col":             {serial.col, par.col},
+			"Col2Im":             {serial.im, par.im},
+			"DepthwiseConv":      {serial.dw, par.dw},
+			"DepthwiseConvGx":    {serial.gx, par.gx},
+			"DepthwiseConvGw":    {serial.gw, par.gw},
+			"DepthwiseConvGbias": {serial.gb, par.gb},
+		} {
+			if !bitEqual(pair[0], pair[1]) {
+				t.Errorf("%s c=%d not bit-identical across worker counts", name, c)
+			}
+		}
+	}
+}

@@ -3,9 +3,11 @@
 // neural-network layers in internal/nn are built from.
 //
 // Tensors are row-major. Convolutional data uses the NCHW layout:
-// [batch, channels, height, width]. The package is deliberately free of
-// goroutines: the reproduction targets single-core edge-class hosts and the
-// experiment harness parallelises at the level of independent runs instead.
+// [batch, channels, height, width]. Large kernels shard their output across
+// the worker pool in internal/parallel (rows for GEMM, channels for conv);
+// each shard runs the identical serial loop over a disjoint output region, so
+// results are bit-identical at every worker count, and ops below the
+// size threshold stay on a goroutine-free serial fast path.
 package tensor
 
 import (

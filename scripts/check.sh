@@ -1,0 +1,14 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: static checks, build, and the
+# whole test suite with the race detector on (the parallel compute layer is
+# exercised at forced worker counts even on single-core machines).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '>> go vet ./...'
+go vet ./...
+echo '>> go build ./...'
+go build ./...
+echo '>> go test -race ./...'
+go test -race ./...
+echo 'check.sh: all green'
