@@ -36,6 +36,9 @@ func main() {
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		workers  = flag.Int("workers", 0, "worker-pool size for parallel kernels and experiment fan-out (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of rendered tables")
+		ckDir    = flag.String("checkpoint", "", "checkpoint directory for crash-safe table1/fig2 grids ('' disables)")
+		ckEvery  = flag.Int("checkpoint-every", 100, "batches between checkpoint saves (with -checkpoint)")
+		resume   = flag.Bool("resume", false, "resume grid cells from existing checkpoints in -checkpoint")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -62,11 +65,18 @@ func main() {
 		}
 	}
 
+	ck := exp.Checkpointing{Dir: *ckDir, Every: *ckEvery, Resume: *resume}
+	if ck.Dir != "" {
+		if err := os.MkdirAll(ck.Dir, 0o755); err != nil {
+			log.Fatalf("checkpoint dir: %v", err)
+		}
+	}
+
 	switch *expName {
 	case "table1":
-		runTable1(sets, sc, progress, *jsonOut)
+		runTable1(sets, sc, ck, progress, *jsonOut)
 	case "fig2":
-		runFig2(sets["core50"], sc, progress, *jsonOut)
+		runFig2(sets["core50"], sc, ck, progress, *jsonOut)
 	case "table2":
 		runTable2(*jsonOut)
 	case "table3":
@@ -78,9 +88,9 @@ func main() {
 	case "perf":
 		runPerf(sets, sc, *workers, *jsonOut)
 	case "all":
-		runTable1(sets, sc, progress, *jsonOut)
+		runTable1(sets, sc, ck, progress, *jsonOut)
 		fmt.Println()
-		runFig2(sets["core50"], sc, progress, *jsonOut)
+		runFig2(sets["core50"], sc, ck, progress, *jsonOut)
 		fmt.Println()
 		runTable2(*jsonOut)
 		fmt.Println()
@@ -118,16 +128,16 @@ func scaleByName(name string) (exp.Scale, error) {
 	}
 }
 
-func runTable1(sets map[string]*cl.LatentSet, sc exp.Scale, progress func(string, ...any), jsonOut bool) {
-	res, err := exp.RunTable1(sets, sc, progress)
+func runTable1(sets map[string]*cl.LatentSet, sc exp.Scale, ck exp.Checkpointing, progress func(string, ...any), jsonOut bool) {
+	res, err := exp.RunTable1Checkpointed(sets, sc, ck, progress)
 	if err != nil {
 		log.Fatalf("table1: %v", err)
 	}
 	emit(res, jsonOut, func() { res.Render(os.Stdout) })
 }
 
-func runFig2(set *cl.LatentSet, sc exp.Scale, progress func(string, ...any), jsonOut bool) {
-	res, err := exp.RunFig2(set, sc, progress)
+func runFig2(set *cl.LatentSet, sc exp.Scale, ck exp.Checkpointing, progress func(string, ...any), jsonOut bool) {
+	res, err := exp.RunFig2Checkpointed(set, sc, ck, progress)
 	if err != nil {
 		log.Fatalf("fig2: %v", err)
 	}
@@ -217,5 +227,5 @@ func runAblations(set *cl.LatentSet, sc exp.Scale) {
 	emit("Short-term insertion policy (Eq. 4)", exp.RunAblationSTPolicy(set, sc))
 	emit("Long-term promotion policy (Eq. 6)", exp.RunAblationLTPolicy(set, sc))
 	emit("Long-term access period h", exp.RunAblationAccessRate(set, sc, []int{1, 5, 10, 20}))
-	emit("Allocation exponent rho (user-centric stream)", exp.RunAblationRho(set, sc, []float64{0.2, 0.6, 1.0}))
+	emit("Allocation exponent rho (user-centric stream)", exp.RunAblationRho(set, sc, []float64{0, 0.2, 0.6, 1.0}))
 }

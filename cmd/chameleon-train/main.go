@@ -35,6 +35,9 @@ func main() {
 		prefSkew    = flag.Float64("pref-skew", 1.2, "Zipf exponent of the user preference (with -user-centric)")
 		classIL     = flag.Bool("class-incremental", false, "stream classes incrementally (Class-IL) instead of domains (Domain-IL)")
 		workers     = flag.Int("workers", 0, "worker-pool size for parallel kernels and extraction (0 = GOMAXPROCS)")
+		ckPath      = flag.String("checkpoint", "", "checkpoint file for crash-safe runs ('' disables)")
+		ckEvery     = flag.Int("checkpoint-every", 100, "batches between checkpoint saves (with -checkpoint)")
+		resume      = flag.Bool("resume", false, "resume from -checkpoint if the file exists")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -71,7 +74,12 @@ func main() {
 	}
 	stream := set.Stream(*seed, opts)
 	log.Printf("running %s on %s (%d samples, seed %d)...", spec.Label(), *dataset, stream.Total(), *seed)
-	res := cl.RunOnline(learner, stream, set.Test)
+	res, err := cl.RunOnlineCheckpointed(learner, stream, set.Test, cl.CheckpointPlan{
+		Path: *ckPath, Every: *ckEvery, Resume: *resume, Meter: meter,
+	})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
 
 	fmt.Printf("method:        %s\n", spec.Label())
 	fmt.Printf("dataset:       %s (%d train / %d test)\n", *dataset, set.Dataset.NumTrain(), set.Dataset.NumTest())

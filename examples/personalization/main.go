@@ -61,7 +61,7 @@ func main() {
 	run("chameleon (10+40)", func(seed int64) cl.Learner {
 		return core.New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: sc.HeadLR, Seed: seed}), core.Config{
 			STCap: 10, LTCap: 40, AccessRate: 5, PromoteEvery: 1,
-			Window: 150, TopK: 3, Rho: 0.6, Seed: seed,
+			Window: 150, TopK: 3, Rho: core.Float(0.6), Seed: seed,
 		})
 	})
 	run("er (50)", func(seed int64) cl.Learner {

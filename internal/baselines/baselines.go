@@ -16,6 +16,7 @@ package baselines
 import (
 	"math/rand"
 
+	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
 	"chameleon/internal/tensor"
 )
@@ -58,6 +59,12 @@ func (c Config) withDefaults() Config {
 
 func (c Config) rng(salt int64) *rand.Rand { return cl.RNG(c.Seed, salt) }
 
+// rngSource is rng with a checkpointable source (same bit stream); learners
+// that draw randomness keep the source so Snapshot can record its position.
+func (c Config) rngSource(salt int64) (*rand.Rand, *checkpoint.Source) {
+	return cl.RNGSource(c.Seed, salt)
+}
+
 // Finetune is the naive single-epoch lower bound: SGD on each incoming batch
 // with no memory of the past.
 type Finetune struct {
@@ -83,12 +90,14 @@ type Joint struct {
 	cfg  Config
 	pool []cl.LatentSample
 	rng  *rand.Rand
+	src  *checkpoint.Source
 }
 
 // NewJoint creates the upper-bound learner.
 func NewJoint(head *cl.Head, cfg Config) *Joint {
 	cfg = cfg.withDefaults()
-	return &Joint{head: head, cfg: cfg, rng: cfg.rng(1)}
+	rng, src := cfg.rngSource(1)
+	return &Joint{head: head, cfg: cfg, rng: rng, src: src}
 }
 
 // Name implements cl.Learner.

@@ -1,0 +1,112 @@
+package baselines
+
+import (
+	"bytes"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+	"chameleon/internal/testenv"
+)
+
+// headM builds a head with momentum so the velocity buffers — the state a
+// weights-only snapshot would lose — are exercised by every case.
+func headM(set *cl.LatentSet, seed int64) *cl.Head {
+	return cl.NewHead(set.Backbone, cl.HeadConfig{LR: testenv.Scale().HeadLR, Momentum: 0.5, Seed: seed})
+}
+
+// TestBaselineSnapshotResumeContinuity drives every baseline through the
+// crash contract: observe a prefix, snapshot, restore into a fresh instance,
+// feed both the identical tail (plus Finish where the method has one) and
+// require byte-identical final snapshots and predictions. Baseline states
+// contain no maps, so gob output is canonical and raw bytes are comparable.
+func TestBaselineSnapshotResumeContinuity(t *testing.T) {
+	set := env(t)
+	dim := set.Backbone.LatentShape[0]
+	classes := set.Dataset.Cfg.NumClasses
+	const seed = 17
+
+	cases := []struct {
+		name string
+		mk   func() cl.Learner
+	}{
+		{"finetune", func() cl.Learner { return NewFinetune(headM(set, seed)) }},
+		{"joint", func() cl.Learner { return NewJoint(headM(set, seed), Config{Epochs: 2, Seed: seed}) }},
+		{"er", func() cl.Learner { return NewER(headM(set, seed), Config{BufferSize: 20, Seed: seed}) }},
+		{"der", func() cl.Learner { return NewDER(headM(set, seed), Config{BufferSize: 15, Seed: seed}) }},
+		{"latent", func() cl.Learner { return NewLatentReplay(headM(set, seed), Config{BufferSize: 20, Seed: seed}) }},
+		{"gss", func() cl.Learner { return NewGSS(headM(set, seed), Config{BufferSize: 10, Seed: seed}) }},
+		{"slda", func() cl.Learner { return NewSLDA(dim, classes, Config{}) }},
+		{"ewcpp", func() cl.Learner { return NewEWCPP(headM(set, seed), Config{Lambda: 1, Seed: seed}) }},
+		{"lwf", func() cl.Learner { return NewLwF(headM(set, seed), Config{Lambda: 1, Seed: seed}) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const splitAt = 5
+			a := tc.mk()
+			snapA, ok := a.(cl.Snapshotter)
+			if !ok {
+				t.Fatalf("%s does not implement cl.Snapshotter", tc.name)
+			}
+			stream := set.Stream(seed, data.StreamOptions{BatchSize: 10})
+			var tail []cl.LatentBatch
+			for i := 0; ; i++ {
+				b, ok := stream.Next()
+				if !ok {
+					break
+				}
+				if i < splitAt {
+					a.Observe(b)
+				} else {
+					tail = append(tail, b)
+				}
+			}
+
+			state, err := snapA.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			b := tc.mk()
+			snapB := b.(cl.Snapshotter)
+			if err := snapB.Restore(state); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if err := snapB.Restore([]byte("definitely not a snapshot")); err == nil {
+				t.Fatal("garbage restore accepted")
+			}
+			// The failed restore must not have corrupted the learner: re-restore
+			// the good state so both instances continue from the same point.
+			if err := snapB.Restore(state); err != nil {
+				t.Fatalf("re-restore: %v", err)
+			}
+
+			for _, batch := range tail {
+				a.Observe(batch)
+				b.Observe(batch)
+			}
+			if f, ok := a.(cl.Finisher); ok {
+				f.Finish()
+				b.(cl.Finisher).Finish()
+			}
+
+			finalA, err := snapA.Snapshot()
+			if err != nil {
+				t.Fatalf("final snapshot a: %v", err)
+			}
+			finalB, err := snapB.Snapshot()
+			if err != nil {
+				t.Fatalf("final snapshot b: %v", err)
+			}
+			if !bytes.Equal(finalA, finalB) {
+				t.Fatalf("%s: resumed learner state diverged from original (%d vs %d bytes)",
+					tc.name, len(finalA), len(finalB))
+			}
+			for _, s := range set.Test {
+				if a.Predict(s.Z) != b.Predict(s.Z) {
+					t.Fatalf("%s: predictions diverged on test sample %d", tc.name, s.ID)
+				}
+			}
+		})
+	}
+}

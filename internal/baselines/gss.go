@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
 	"chameleon/internal/nn"
 	"chameleon/internal/replay"
@@ -21,6 +22,7 @@ type GSS struct {
 	cfg  Config
 	buf  []gssItem
 	rng  *rand.Rand
+	src  *checkpoint.Source
 	// SketchDim is the random-projection width of the stored gradient
 	// (the paper's implementation stores full gradients; the projection
 	// preserves cosine geometry at a fraction of the runtime cost, while
@@ -40,7 +42,8 @@ type gssItem struct {
 // NewGSS creates the GSS-Greedy learner.
 func NewGSS(head *cl.Head, cfg Config) *GSS {
 	cfg = cfg.withDefaults()
-	return &GSS{head: head, cfg: cfg, rng: cfg.rng(5), SketchDim: 128, SubsetSize: 10}
+	rng, src := cfg.rngSource(5)
+	return &GSS{head: head, cfg: cfg, rng: rng, src: src, SketchDim: 128, SubsetSize: 10}
 }
 
 // Name implements cl.Learner.

@@ -3,6 +3,7 @@ package baselines
 import (
 	"math/rand"
 
+	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
 	"chameleon/internal/replay"
 	"chameleon/internal/tensor"
@@ -17,12 +18,14 @@ type ER struct {
 	head *cl.Head
 	cfg  Config
 	buf  *replay.Reservoir
+	src  *checkpoint.Source
 }
 
 // NewER creates the ER learner.
 func NewER(head *cl.Head, cfg Config) *ER {
 	cfg = cfg.withDefaults()
-	return &ER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, cfg.rng(2))}
+	rng, src := cfg.rngSource(2)
+	return &ER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, rng), src: src}
 }
 
 // Name implements cl.Learner.
@@ -60,6 +63,7 @@ type DER struct {
 	head *cl.Head
 	cfg  Config
 	buf  *replay.Reservoir
+	src  *checkpoint.Source
 	// Alpha weighs the MSE logit term; Beta the replay CE term (DER++).
 	Alpha, Beta float64
 }
@@ -67,7 +71,8 @@ type DER struct {
 // NewDER creates the DER++ learner.
 func NewDER(head *cl.Head, cfg Config) *DER {
 	cfg = cfg.withDefaults()
-	return &DER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, cfg.rng(3)), Alpha: 0.5, Beta: 0.5}
+	rng, src := cfg.rngSource(3)
+	return &DER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, rng), src: src, Alpha: 0.5, Beta: 0.5}
 }
 
 // Name implements cl.Learner.
@@ -113,12 +118,14 @@ type LatentReplay struct {
 	items []replay.Item
 	seen  int
 	rng   *rand.Rand
+	src   *checkpoint.Source
 }
 
 // NewLatentReplay creates the Latent Replay learner.
 func NewLatentReplay(head *cl.Head, cfg Config) *LatentReplay {
 	cfg = cfg.withDefaults()
-	return &LatentReplay{head: head, cfg: cfg, rng: cfg.rng(4)}
+	rng, src := cfg.rngSource(4)
+	return &LatentReplay{head: head, cfg: cfg, rng: rng, src: src}
 }
 
 // Name implements cl.Learner.

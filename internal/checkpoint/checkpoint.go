@@ -1,0 +1,146 @@
+// Package checkpoint provides crash-safe persistence for learner state:
+// versioned, CRC-checked binary snapshot files written atomically (tmp file +
+// rename), plus a restorable pseudo-random source so a resumed run replays
+// the exact random stream of the uninterrupted one.
+//
+// File layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       8     magic "CHAMCKP1"
+//	8       4     uint32 format version (currently 1)
+//	12      2     uint16 kind length
+//	14      k     kind tag (ASCII, e.g. "cl.run")
+//	14+k    8     uint64 payload length
+//	22+k    n     gob-encoded payload
+//	22+k+n  4     uint32 CRC-32 (IEEE) over everything before this field
+//
+// The kind tag namespaces payload schemas so a file saved by one subsystem is
+// never silently decoded by another; the CRC makes any corruption — a flipped
+// bit, a truncated write, a stray append — a load error instead of a subtly
+// wrong learner.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+const (
+	magic   = "CHAMCKP1"
+	version = 1
+	// headerLen is the fixed-size prefix before the kind tag.
+	headerLen = len(magic) + 4 + 2
+	// maxKindLen bounds the kind tag so a corrupt length field cannot drive
+	// a huge slice bound.
+	maxKindLen = 255
+)
+
+// Encode gob-encodes v (shared by the learner state codecs).
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes data into v.
+func Decode(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// Save atomically writes payload as a checkpoint file of the given kind. The
+// frame is assembled in memory, written to a sibling tmp file, fsynced, and
+// renamed over path, so a crash mid-save leaves either the old file or the
+// new one — never a torn hybrid.
+func Save(path, kind string, payload any) error {
+	if len(kind) == 0 || len(kind) > maxKindLen {
+		return fmt.Errorf("checkpoint: kind %q must be 1..%d bytes", kind, maxKindLen)
+	}
+	body, err := Encode(payload)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode %s: %w", kind, err)
+	}
+	frame := make([]byte, 0, headerLen+len(kind)+8+len(body)+4)
+	frame = append(frame, magic...)
+	frame = binary.LittleEndian.AppendUint32(frame, version)
+	frame = binary.LittleEndian.AppendUint16(frame, uint16(len(kind)))
+	frame = append(frame, kind...)
+	frame = binary.LittleEndian.AppendUint64(frame, uint64(len(body)))
+	frame = append(frame, body...)
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.ChecksumIEEE(frame))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(frame); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint file, verifies framing, kind and CRC, and decodes
+// the payload into out. Every validation failure is an error; corrupt or
+// truncated files never panic and never half-populate out.
+func Load(path, kind string, out any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(raw) < headerLen+4 {
+		return fmt.Errorf("checkpoint: %s: file too short (%d bytes)", path, len(raw))
+	}
+	if string(raw[:len(magic)]) != magic {
+		return fmt.Errorf("checkpoint: %s: bad magic", path)
+	}
+	off := len(magic)
+	if v := binary.LittleEndian.Uint32(raw[off:]); v != version {
+		return fmt.Errorf("checkpoint: %s: format version %d, want %d", path, v, version)
+	}
+	off += 4
+	kindLen := int(binary.LittleEndian.Uint16(raw[off:]))
+	off += 2
+	if kindLen == 0 || kindLen > maxKindLen || len(raw) < off+kindLen+8+4 {
+		return fmt.Errorf("checkpoint: %s: truncated in kind tag", path)
+	}
+	gotKind := string(raw[off : off+kindLen])
+	off += kindLen
+	if gotKind != kind {
+		return fmt.Errorf("checkpoint: %s: kind %q, want %q", path, gotKind, kind)
+	}
+	bodyLen := binary.LittleEndian.Uint64(raw[off:])
+	off += 8
+	// The declared payload length must account for exactly the bytes present
+	// (minus the trailing CRC); this bounds every later slice access.
+	if uint64(len(raw)-off-4) != bodyLen {
+		return fmt.Errorf("checkpoint: %s: payload length %d does not match file size", path, bodyLen)
+	}
+	body := raw[off : off+int(bodyLen)]
+	stored := binary.LittleEndian.Uint32(raw[off+int(bodyLen):])
+	if sum := crc32.ChecksumIEEE(raw[:off+int(bodyLen)]); sum != stored {
+		return fmt.Errorf("checkpoint: %s: CRC mismatch (file %08x, computed %08x)", path, stored, sum)
+	}
+	if err := Decode(body, out); err != nil {
+		return fmt.Errorf("checkpoint: %s: decode %s: %w", path, kind, err)
+	}
+	return nil
+}

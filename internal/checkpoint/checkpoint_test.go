@@ -1,0 +1,225 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type demoState struct {
+	Name    string
+	Counts  map[int]int
+	Weights []float64
+	Step    int
+}
+
+func demo() demoState {
+	return demoState{
+		Name:    "demo",
+		Counts:  map[int]int{0: 3, 7: 1, 2: 9},
+		Weights: []float64{0.25, -1.5, 3.75, 0},
+		Step:    42,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	want := demo()
+	if err := Save(path, "test.demo", want); err != nil {
+		t.Fatal(err)
+	}
+	var got demoState
+	if err := Load(path, "test.demo", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || got.Step != want.Step || len(got.Counts) != len(want.Counts) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	for k, v := range want.Counts {
+		if got.Counts[k] != v {
+			t.Fatalf("count[%d] = %d, want %d", k, got.Counts[k], v)
+		}
+	}
+	for i, v := range want.Weights {
+		if got.Weights[i] != v {
+			t.Fatalf("weight[%d] = %v, want %v", i, got.Weights[i], v)
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Save(path, "test.demo", demo()); err != nil {
+		t.Fatal(err)
+	}
+	second := demo()
+	second.Step = 99
+	if err := Save(path, "test.demo", second); err != nil {
+		t.Fatal(err)
+	}
+	var got demoState
+	if err := Load(path, "test.demo", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 99 {
+		t.Fatalf("overwrite lost: step = %d", got.Step)
+	}
+	// No tmp debris may survive a successful save.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover tmp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadRejectsWrongKind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := Save(path, "test.demo", demo()); err != nil {
+		t.Fatal(err)
+	}
+	var got demoState
+	if err := Load(path, "test.other", &got); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestLoadRejectsMissingFile(t *testing.T) {
+	var got demoState
+	if err := Load(filepath.Join(t.TempDir(), "absent.ckpt"), "test.demo", &got); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestLoadRejectsEveryTruncation cuts the file at every possible length; all
+// prefixes must be rejected without panicking.
+func TestLoadRejectsEveryTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	if err := Save(path, "test.demo", demo()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.ckpt")
+	for n := 0; n < len(raw); n++ {
+		if err := os.WriteFile(cut, raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got demoState
+		if err := Load(cut, "test.demo", &got); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", n, len(raw))
+		}
+	}
+}
+
+// TestLoadRejectsEveryByteFlip corrupts each byte in turn; the CRC (or an
+// earlier framing check) must catch every single-byte error.
+func TestLoadRejectsEveryByteFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	if err := Save(path, "test.demo", demo()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.ckpt")
+	for i := range raw {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x5A
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got demoState
+		if err := Load(bad, "test.demo", &got); err == nil {
+			t.Fatalf("flipped byte %d accepted", i)
+		}
+	}
+}
+
+func TestLoadRejectsRandomGarbage(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(9))
+	path := filepath.Join(dir, "junk.ckpt")
+	for trial := 0; trial < 50; trial++ {
+		junk := make([]byte, rng.Intn(400))
+		rng.Read(junk)
+		if err := os.WriteFile(path, junk, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got demoState
+		if err := Load(path, "test.demo", &got); err == nil {
+			t.Fatalf("random garbage (%d bytes, trial %d) accepted", len(junk), trial)
+		}
+	}
+}
+
+// TestSourceRestoreReproducesStream is the RNG fast-forward contract: after
+// Restore, a source must emit exactly the values the original would have.
+func TestSourceRestoreReproducesStream(t *testing.T) {
+	src := NewSource(1234)
+	rng := rand.New(src)
+	for i := 0; i < 137; i++ {
+		rng.Float64()
+		rng.Intn(10)
+	}
+	st := src.State()
+	want := make([]float64, 20)
+	for i := range want {
+		want[i] = rng.Float64()
+	}
+
+	resumed := NewSource(0)
+	resumed.Restore(st)
+	rng2 := rand.New(resumed)
+	for i, w := range want {
+		if got := rng2.Float64(); got != w {
+			t.Fatalf("draw %d after restore = %v, want %v", i, got, w)
+		}
+	}
+	if resumed.State().Draws != src.State().Draws {
+		t.Fatalf("draw counters diverged: %d vs %d", resumed.State().Draws, src.State().Draws)
+	}
+}
+
+// TestSourceMatchesPlainSource pins that the wrapper does not perturb the
+// stdlib bit stream (all pre-existing seeded expectations stay valid).
+func TestSourceMatchesPlainSource(t *testing.T) {
+	a := rand.New(NewSource(77))
+	b := rand.New(rand.NewSource(77))
+	for i := 0; i < 100; i++ {
+		if x, y := a.Int63(), b.Int63(); x != y {
+			t.Fatalf("draw %d: wrapper %d != plain %d", i, x, y)
+		}
+	}
+}
+
+func TestSourceStateRoundTripThroughFile(t *testing.T) {
+	src := NewSource(5)
+	rng := rand.New(src)
+	for i := 0; i < 31; i++ {
+		rng.Uint64()
+	}
+	path := filepath.Join(t.TempDir(), "rng.ckpt")
+	if err := Save(path, "test.rng", src.State()); err != nil {
+		t.Fatal(err)
+	}
+	var st RandState
+	if err := Load(path, "test.rng", &st); err != nil {
+		t.Fatal(err)
+	}
+	resumed := NewSource(0)
+	resumed.Restore(st)
+	if got, want := rand.New(resumed).Uint64(), rng.Uint64(); got != want {
+		t.Fatalf("restored source diverged: %d vs %d", got, want)
+	}
+}

@@ -1,0 +1,59 @@
+package checkpoint
+
+import "math/rand"
+
+// Source is a rand.Source64 that counts how many values it has produced, so
+// its position in the stream can be serialized and reproduced. It wraps the
+// standard library source (every Int63/Uint64 call advances the generator by
+// exactly one step), which keeps the bit stream identical to a plain
+// rand.NewSource of the same seed — existing seeded expectations stay valid.
+type Source struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+// RandState is the serializable position of a Source: re-seeding with Seed
+// and discarding Draws values reproduces the generator exactly.
+type RandState struct {
+	Seed  int64
+	Draws uint64
+}
+
+// NewSource creates a counting source seeded like rand.NewSource(seed).
+func NewSource(seed int64) *Source {
+	return &Source{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source, resetting the draw counter.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// State captures the current stream position.
+func (s *Source) State() RandState { return RandState{Seed: s.seed, Draws: s.draws} }
+
+// Restore re-seeds and fast-forwards to the captured position. The underlying
+// generator advances one step per produced value regardless of which accessor
+// was used, so discarding Draws values lands on the exact stream position.
+func (s *Source) Restore(st RandState) {
+	s.Seed(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		s.src.Uint64()
+	}
+	s.draws = st.Draws
+}

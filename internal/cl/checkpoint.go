@@ -1,0 +1,217 @@
+package cl
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chameleon/internal/checkpoint"
+	"chameleon/internal/data"
+	"chameleon/internal/parallel"
+)
+
+// Snapshotter is the optional Learner extension for crash-safe runs: a method
+// serializes its complete mutable state (weights, optimizer state, buffers,
+// RNG positions, counters) and restores it into a freshly constructed
+// instance of the same configuration. A resumed learner must continue
+// bit-identically to the uninterrupted one.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+	Restore(state []byte) error
+}
+
+// ErrStopped reports a run that halted at CheckpointPlan.StopAfter after
+// saving its state — the caller simulated a crash (tests) or requested a
+// bounded slice of work, and resumes later.
+var ErrStopped = errors.New("cl: run stopped at checkpoint limit")
+
+// runKind tags run checkpoints in the file framing.
+const runKind = "cl.run"
+
+// CheckpointPlan configures crash-safe execution of one online run. The zero
+// value disables checkpointing entirely (RunOnline's behaviour).
+type CheckpointPlan struct {
+	// Path is the checkpoint file ("" disables checkpointing).
+	Path string
+	// Every is the save period in batches (default 100).
+	Every int
+	// Resume loads Path before running and fast-forwards the stream to the
+	// saved position. A missing file starts a fresh run (so a resumable grid's
+	// first invocation and its restarts share one code path).
+	Resume bool
+	// Meter, when non-nil, is the traffic meter wired into the learner; its
+	// counts are saved with each checkpoint and restored on resume so traffic
+	// accounting survives the crash too.
+	Meter *TrafficMeter
+	// StopAfter, when positive, halts the run after that many total batches
+	// (counted from stream start, resumed or not): the state is saved and
+	// ErrStopped returned. Used to simulate crashes at a chosen batch.
+	StopAfter int
+}
+
+// runCheckpoint is the persisted state of a partially completed online run.
+type runCheckpoint struct {
+	// Method guards against resuming a file saved by a different learner.
+	Method string
+	// Batches and Samples locate the stream position consumed so far.
+	Batches int
+	Samples int
+	// Finished marks that the learner's Finish hook already ran (JOINT's
+	// offline epochs must be neither skipped nor doubled after a crash).
+	Finished bool
+	// Meter carries the traffic counts by value.
+	Meter TrafficMeter
+	// Learner is the method's opaque Snapshot payload.
+	Learner []byte
+}
+
+// RunOnlineCheckpointed is RunOnline with periodic crash-safe snapshots: the
+// learner state (plus stream position and traffic counts) is saved to
+// plan.Path every plan.Every batches, and with plan.Resume a killed run picks
+// up from its last snapshot and finishes bit-identically to an uninterrupted
+// one — streams are deterministic per seed, so the skipped prefix is replayed
+// by position and verified by sample count.
+func RunOnlineCheckpointed(l Learner, stream *LatentStream, test []LatentSample, plan CheckpointPlan) (Result, error) {
+	var snap Snapshotter
+	if plan.Path != "" {
+		var ok bool
+		snap, ok = l.(Snapshotter)
+		if !ok {
+			return Result{}, fmt.Errorf("cl: method %q does not support checkpointing", l.Name())
+		}
+	}
+	every := plan.Every
+	if every <= 0 {
+		every = 100
+	}
+	batches, samples := 0, 0
+	finished := false
+
+	save := func(done bool) error {
+		if snap == nil {
+			return nil
+		}
+		state, err := snap.Snapshot()
+		if err != nil {
+			return fmt.Errorf("cl: snapshot %s at batch %d: %w", l.Name(), batches, err)
+		}
+		ck := runCheckpoint{Method: l.Name(), Batches: batches, Samples: samples, Finished: done, Learner: state}
+		if plan.Meter != nil {
+			ck.Meter = *plan.Meter
+		}
+		return checkpoint.Save(plan.Path, runKind, ck)
+	}
+
+	if plan.Resume && snap != nil {
+		if _, err := os.Stat(plan.Path); err == nil {
+			var ck runCheckpoint
+			if err := checkpoint.Load(plan.Path, runKind, &ck); err != nil {
+				return Result{}, err
+			}
+			if ck.Method != l.Name() {
+				return Result{}, fmt.Errorf("cl: checkpoint %s holds method %q, learner is %q", plan.Path, ck.Method, l.Name())
+			}
+			if err := snap.Restore(ck.Learner); err != nil {
+				return Result{}, fmt.Errorf("cl: restore %s from %s: %w", l.Name(), plan.Path, err)
+			}
+			if plan.Meter != nil {
+				*plan.Meter = ck.Meter
+			}
+			// Fast-forward the deterministic stream past the consumed prefix.
+			for batches < ck.Batches {
+				b, ok := stream.Next()
+				if !ok {
+					return Result{}, fmt.Errorf("cl: checkpoint %s at batch %d is beyond the stream end", plan.Path, ck.Batches)
+				}
+				batches++
+				samples += len(b.Samples)
+			}
+			if samples != ck.Samples {
+				return Result{}, fmt.Errorf("cl: stream replay yielded %d samples at batch %d, checkpoint %s recorded %d — different stream?",
+					samples, batches, plan.Path, ck.Samples)
+			}
+			finished = ck.Finished
+		}
+	}
+
+	if !finished {
+		for {
+			if plan.StopAfter > 0 && batches >= plan.StopAfter {
+				if err := save(false); err != nil {
+					return Result{}, err
+				}
+				return Result{}, ErrStopped
+			}
+			b, ok := stream.Next()
+			if !ok {
+				break
+			}
+			l.Observe(b)
+			batches++
+			samples += len(b.Samples)
+			if snap != nil && batches%every == 0 {
+				if err := save(false); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+		if f, ok := l.(Finisher); ok {
+			// Save immediately before Finish: a crash during the (possibly
+			// long) finishing phase resumes with pre-Finish state and re-runs
+			// it in full, rather than skipping or doubling it.
+			if err := save(false); err != nil {
+				return Result{}, err
+			}
+			f.Finish()
+		}
+		if err := save(true); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res := Evaluate(l, test)
+	res.SamplesSeen = samples
+	res.PreferredAcc = PreferredAccuracy(res.PerClass, test, stream.PreferredClasses())
+	return res, nil
+}
+
+// GridCheckpoint configures per-seed checkpointing of a multi-seed run. The
+// zero value disables it.
+type GridCheckpoint struct {
+	// Dir is the checkpoint directory ("" disables checkpointing).
+	Dir string
+	// Every is the save period in batches (default 100).
+	Every int
+	// Label prefixes the per-seed file names ("<label>-seed<N>.ckpt").
+	Label string
+	// Resume restarts every seed from its last snapshot where one exists.
+	Resume bool
+}
+
+// MultiSeedCheckpointed is MultiSeed with per-seed crash-safe snapshots: each
+// seed's run checkpoints independently under gc.Dir, so a killed grid resumes
+// with only the unfinished tails of its cells re-executed. Seeds still run
+// concurrently on the shared worker pool with results in seed order.
+func MultiSeedCheckpointed(set *LatentSet, opts data.StreamOptions, newLearner func(seed int64) Learner, seeds []int64, gc GridCheckpoint) (Summary, error) {
+	runs := make([]Result, len(seeds))
+	errs := make([]error, len(seeds))
+	parallel.For(len(seeds), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seed := seeds[i]
+			l := newLearner(seed)
+			st := set.Stream(seed, opts)
+			plan := CheckpointPlan{Every: gc.Every, Resume: gc.Resume}
+			if gc.Dir != "" {
+				plan.Path = filepath.Join(gc.Dir, fmt.Sprintf("%s-seed%d.ckpt", gc.Label, seed))
+			}
+			runs[i], errs[i] = RunOnlineCheckpointed(l, st, set.Test, plan)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return Summary{}, err
+		}
+	}
+	return Summarize(runs), nil
+}

@@ -1,8 +1,10 @@
 package cl
 
 import (
+	"fmt"
 	"math/rand"
 
+	"chameleon/internal/checkpoint"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/nn"
 	"chameleon/internal/tensor"
@@ -162,7 +164,53 @@ func (h *Head) Restore(snap []*tensor.Tensor) {
 	}
 }
 
+// HeadState is the complete trainable state of a Head: parameter values plus
+// the optimizer's momentum buffers (Velocity is nil when no momentum state
+// has accumulated). Both slices are ordered like Params, so the state is
+// positional and survives serialization.
+type HeadState struct {
+	Params   []*tensor.Tensor
+	Velocity []*tensor.Tensor
+}
+
+// State deep-copies the head's full trainable state for checkpointing.
+// Unlike Snapshot it includes the optimizer's momentum, which changes the
+// next update — resuming without it would diverge from the uninterrupted run.
+func (h *Head) State() HeadState {
+	return HeadState{Params: h.Snapshot(), Velocity: h.Opt.VelocitySnapshot(h.Net)}
+}
+
+// SetState restores state captured by State against an identically shaped
+// head. All shapes are validated before any parameter is touched.
+func (h *Head) SetState(st HeadState) error {
+	ps := h.Params()
+	if len(st.Params) != len(ps) {
+		return fmt.Errorf("cl: head state has %d param tensors, head has %d", len(st.Params), len(ps))
+	}
+	for i, p := range ps {
+		if st.Params[i] == nil || !st.Params[i].SameShape(p.Data) {
+			return fmt.Errorf("cl: head state param %d does not match shape %v", i, p.Data.Shape())
+		}
+	}
+	if err := h.Opt.SetVelocitySnapshot(h.Net, st.Velocity); err != nil {
+		return err
+	}
+	for i, p := range ps {
+		p.Data.CopyFrom(st.Params[i])
+	}
+	return nil
+}
+
 // RNG derives a deterministic RNG stream for learner-internal randomness.
 func RNG(seed int64, salt int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed*1_000_003 + salt))
+}
+
+// RNGSource is RNG with a checkpointable source: the returned rand.Rand draws
+// from the counting Source, whose position can be saved and fast-forwarded on
+// resume. The seed derivation (and therefore the bit stream) is identical to
+// RNG's.
+func RNGSource(seed int64, salt int64) (*rand.Rand, *checkpoint.Source) {
+	src := checkpoint.NewSource(seed*1_000_003 + salt)
+	return rand.New(src), src
 }

@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"chameleon/internal/data"
-	"chameleon/internal/parallel"
 )
 
 // Result is the outcome of one online run.
@@ -27,22 +26,14 @@ type Result struct {
 
 // RunOnline drives the learner over the stream (single pass), then evaluates
 // it on the test pool. It is the experiment kernel behind Table I and Fig. 2.
+// It is RunOnlineCheckpointed without persistence — one loop implementation
+// serves both, so checkpointed and plain runs cannot drift apart.
 func RunOnline(l Learner, stream *LatentStream, test []LatentSample) Result {
-	seen := 0
-	for {
-		b, ok := stream.Next()
-		if !ok {
-			break
-		}
-		l.Observe(b)
-		seen += len(b.Samples)
+	res, err := RunOnlineCheckpointed(l, stream, test, CheckpointPlan{})
+	if err != nil {
+		// With no checkpoint path configured there is no fallible step.
+		panic("cl: checkpoint-free run failed: " + err.Error())
 	}
-	if f, ok := l.(Finisher); ok {
-		f.Finish()
-	}
-	res := Evaluate(l, test)
-	res.SamplesSeen = seen
-	res.PreferredAcc = PreferredAccuracy(res.PerClass, test, stream.PreferredClasses())
 	return res
 }
 
@@ -168,16 +159,12 @@ func (s Summary) String() string {
 // summary is byte-identical at any worker count; newLearner must not touch
 // shared mutable state.
 func MultiSeed(set *LatentSet, opts data.StreamOptions, newLearner func(seed int64) Learner, seeds []int64) Summary {
-	runs := make([]Result, len(seeds))
-	parallel.For(len(seeds), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			seed := seeds[i]
-			l := newLearner(seed)
-			st := set.Stream(seed, opts)
-			runs[i] = RunOnline(l, st, set.Test)
-		}
-	})
-	return Summarize(runs)
+	s, err := MultiSeedCheckpointed(set, opts, newLearner, seeds, GridCheckpoint{})
+	if err != nil {
+		// With no checkpoint directory configured there is no fallible step.
+		panic("cl: checkpoint-free multi-seed run failed: " + err.Error())
+	}
+	return s
 }
 
 // SortedClasses returns the class indices present in a latent pool, sorted.

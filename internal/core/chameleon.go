@@ -3,12 +3,20 @@ package core
 import (
 	"math/rand"
 
+	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
 	"chameleon/internal/tensor"
 )
 
+// Float wraps a float64 hyper-parameter value for Config's optional fields,
+// where nil means "paper default" and an explicit pointer — including
+// Float(0) — is honoured as configured.
+func Float(v float64) *float64 { return &v }
+
 // Config collects Chameleon's hyper-parameters. Zero values select the
-// paper's defaults (adjusted for the laptop-scale streams).
+// paper's defaults (adjusted for the laptop-scale streams). Alpha, Beta and
+// Rho are pointers because 0 is a meaningful configured value for each (the
+// ablations sweep them to 0); nil selects the default.
 type Config struct {
 	// STCap is the short-term store capacity (paper: 10).
 	STCap int
@@ -26,10 +34,12 @@ type Config struct {
 	// LTSampleSize is |m̂_l|, the rehearsal mini-batch drawn from M_l
 	// (paper: iterative mini-batch concatenation at the stream batch size).
 	LTSampleSize int
-	// Alpha and Beta weight the allocation and uncertainty terms of Eq. 4.
-	Alpha, Beta float64
-	// Rho is the allocation exponent of Eq. 2.
-	Rho float64
+	// Alpha and Beta weight the allocation and uncertainty terms of Eq. 4
+	// (nil: both default to 1; α=β=0 yields the random-selection ablation).
+	Alpha, Beta *float64
+	// Rho is the allocation exponent of Eq. 2 (nil: 0.6; ρ=0 is the
+	// indifference ablation, Δ_k = 1/2).
+	Rho *float64
 	// TopK is the preferred-class count k (paper: 5).
 	TopK int
 	// Window is the preference learning window in samples (paper: ~1500).
@@ -65,11 +75,14 @@ func (c Config) withDefaults() Config {
 	if c.LTSampleSize <= 0 {
 		c.LTSampleSize = 10
 	}
-	if c.Alpha == 0 && c.Beta == 0 {
-		c.Alpha, c.Beta = 1, 1
+	if c.Alpha == nil {
+		c.Alpha = Float(1)
 	}
-	if c.Rho == 0 {
-		c.Rho = 0.6
+	if c.Beta == nil {
+		c.Beta = Float(1)
+	}
+	if c.Rho == nil {
+		c.Rho = Float(0.6)
 	}
 	if c.TopK <= 0 {
 		c.TopK = 5
@@ -82,26 +95,33 @@ func (c Config) withDefaults() Config {
 
 // Chameleon is the paper's dual-memory replay learner (Algorithm 1).
 type Chameleon struct {
-	cfg     Config
-	head    *cl.Head
-	tracker *PreferenceTracker
-	st      *ShortTermStore
-	lt      *LongTermStore
-	rng     *rand.Rand
+	cfg Config
+	// alpha and beta are the resolved Eq. 4 weights (cfg holds pointers).
+	alpha, beta float64
+	head        *cl.Head
+	tracker     *PreferenceTracker
+	st          *ShortTermStore
+	lt          *LongTermStore
+	rng         *rand.Rand
+	// src is rng's counting source, so the stream position checkpoints.
+	src     *checkpoint.Source
 	batches int
 }
 
 // New creates a Chameleon learner over a fresh trainable head.
 func New(head *cl.Head, cfg Config) *Chameleon {
 	cfg = cfg.withDefaults()
-	rng := cl.RNG(cfg.Seed, 0xC0FFEE)
+	rng, src := cl.RNGSource(cfg.Seed, 0xC0FFEE)
 	return &Chameleon{
 		cfg:     cfg,
+		alpha:   *cfg.Alpha,
+		beta:    *cfg.Beta,
 		head:    head,
-		tracker: NewPreferenceTracker(cfg.TopK, cfg.Rho, cfg.Window),
+		tracker: NewPreferenceTracker(cfg.TopK, *cfg.Rho, cfg.Window),
 		st:      NewShortTermStore(cfg.STCap, rng),
 		lt:      NewLongTermStore(cfg.LTCap, rng),
 		rng:     rng,
+		src:     src,
 	}
 }
 
@@ -168,7 +188,7 @@ func (c *Chameleon) Observe(b cl.LatentBatch) {
 	}
 
 	// ④ short-term refresh (Eq. 4).
-	probs := SelectionProbs(c.tracker, uncert, labels, c.cfg.Alpha, c.cfg.Beta)
+	probs := SelectionProbs(c.tracker, uncert, labels, c.alpha, c.beta)
 	if c.st.Update(b.Samples, probs) >= 0 {
 		c.cfg.Meter.AddOnChip(0, 1)
 	}

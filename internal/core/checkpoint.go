@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"chameleon/internal/checkpoint"
+	"chameleon/internal/cl"
+	"chameleon/internal/replay"
+)
+
+// chameleonState is the serialized form of a Chameleon learner: everything
+// Algorithm 1 mutates — head weights and SGD momentum, both replay stores,
+// the preference-tracker window statistics, the shared RNG position and the
+// batch counter. Hyper-parameters are NOT stored: a snapshot restores into a
+// learner constructed with the same Config, which the run driver guarantees
+// (same spec, same seed).
+type chameleonState struct {
+	Head     cl.HeadState
+	Tracker  trackerState
+	ST       []cl.LatentSample
+	LT       []replay.Item
+	LTCursor int
+	Rand     checkpoint.RandState
+	Batches  int
+}
+
+// trackerState serializes the PreferenceTracker's window statistics. Sets are
+// stored as sorted slices (gob's map encoding is order-randomized; sorted
+// slices keep snapshots canonical).
+type trackerState struct {
+	Counts    map[int]int
+	InWindow  int
+	Preferred []int
+	Delta     float64
+	EverSeen  []int
+}
+
+// state captures the tracker's mutable statistics.
+func (p *PreferenceTracker) state() trackerState {
+	st := trackerState{
+		Counts:    make(map[int]int, len(p.counts)),
+		InWindow:  p.inWindow,
+		Preferred: setToSorted(p.preferred),
+		Delta:     p.delta,
+		EverSeen:  setToSorted(p.everSeen),
+	}
+	for c, n := range p.counts {
+		st.Counts[c] = n
+	}
+	return st
+}
+
+// setState restores statistics captured by state.
+func (p *PreferenceTracker) setState(st trackerState) {
+	p.counts = make(map[int]int, len(st.Counts))
+	for c, n := range st.Counts {
+		p.counts[c] = n
+	}
+	p.inWindow = st.InWindow
+	p.preferred = sortedToSet(st.Preferred)
+	p.delta = st.Delta
+	p.everSeen = sortedToSet(st.EverSeen)
+}
+
+func setToSorted(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedToSet(vals []int) map[int]bool {
+	set := make(map[int]bool, len(vals))
+	for _, c := range vals {
+		set[c] = true
+	}
+	return set
+}
+
+// Snapshot implements cl.Snapshotter: the complete mutable learner state as
+// one opaque payload.
+func (c *Chameleon) Snapshot() ([]byte, error) {
+	return checkpoint.Encode(chameleonState{
+		Head:     c.head.State(),
+		Tracker:  c.tracker.state(),
+		ST:       append([]cl.LatentSample(nil), c.st.Items()...),
+		LT:       c.lt.buf.Export(),
+		LTCursor: c.lt.cursor,
+		Rand:     c.src.State(),
+		Batches:  c.batches,
+	})
+}
+
+// Restore implements cl.Snapshotter. Capacities and shapes are validated
+// against this learner's configuration before any state is replaced; a
+// corrupt or mismatched snapshot returns an error with the learner unusable
+// for resume but never panics.
+func (c *Chameleon) Restore(data []byte) error {
+	var st chameleonState
+	if err := checkpoint.Decode(data, &st); err != nil {
+		return fmt.Errorf("core: decode chameleon snapshot: %w", err)
+	}
+	if st.Batches < 0 {
+		return fmt.Errorf("core: snapshot batch counter %d is negative", st.Batches)
+	}
+	if err := c.head.SetState(st.Head); err != nil {
+		return err
+	}
+	if err := c.st.SetItems(st.ST); err != nil {
+		return err
+	}
+	if err := c.lt.SetState(st.LT, st.LTCursor); err != nil {
+		return err
+	}
+	c.tracker.setState(st.Tracker)
+	c.src.Restore(st.Rand)
+	c.batches = st.Batches
+	return nil
+}

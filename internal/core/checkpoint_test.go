@@ -1,0 +1,166 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chameleon/internal/checkpoint"
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+)
+
+// newTestChameleon builds a Chameleon with momentum (the optimizer state that
+// a naive weights-only snapshot would lose) over the shared tiny env.
+func newTestChameleon(set *cl.LatentSet, seed int64, meter *cl.TrafficMeter) *Chameleon {
+	return New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: 0.05, Momentum: 0.5, Seed: seed}),
+		Config{STCap: 5, LTCap: 10, AccessRate: 2, PromoteEvery: 1, Window: 20, Meter: meter, Seed: seed})
+}
+
+// decodeState unpacks a snapshot payload for semantic comparison. Raw
+// snapshot bytes are NOT comparable (gob randomizes map encoding order), so
+// equality checks must run on the decoded structs.
+func decodeState(t *testing.T, raw []byte) chameleonState {
+	t.Helper()
+	var st chameleonState
+	if err := checkpoint.Decode(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestChameleonSnapshotRestoreMidStream snapshots a learner mid-stream,
+// restores into a fresh instance, then drives both over the identical tail;
+// every piece of final state must match exactly.
+func TestChameleonSnapshotRestoreMidStream(t *testing.T) {
+	set := buildEnv(t)
+	const splitAt = 7
+
+	a := newTestChameleon(set, 21, nil)
+	stA := set.Stream(21, data.StreamOptions{BatchSize: 5})
+	var tail []cl.LatentBatch
+	for i := 0; ; i++ {
+		b, ok := stA.Next()
+		if !ok {
+			break
+		}
+		if i < splitAt {
+			a.Observe(b)
+		} else {
+			tail = append(tail, b)
+		}
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := newTestChameleon(set, 21, nil)
+	if err := b.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range tail {
+		a.Observe(batch)
+		b.Observe(batch)
+	}
+
+	rawA, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawB, err := b.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalA, finalB := decodeState(t, rawA), decodeState(t, rawB)
+	if !reflect.DeepEqual(finalA, finalB) {
+		t.Fatalf("restored learner diverged from original:\n%+v\nvs\n%+v", finalA, finalB)
+	}
+	for _, s := range set.Test {
+		if a.Predict(s.Z) != b.Predict(s.Z) {
+			t.Fatalf("predictions diverged on test sample %d", s.ID)
+		}
+	}
+}
+
+// TestChameleonKillAndResumeBitIdentical is the end-to-end crash contract: a
+// run killed at batch k and resumed from its checkpoint file must finish with
+// the same accuracy, buffer contents, RNG position and traffic counts as the
+// uninterrupted seeded run.
+func TestChameleonKillAndResumeBitIdentical(t *testing.T) {
+	set := buildEnv(t)
+	const seed = 33
+	opts := data.StreamOptions{BatchSize: 5}
+
+	// Uninterrupted reference run.
+	refMeter := &cl.TrafficMeter{}
+	ref := newTestChameleon(set, seed, refMeter)
+	refRes := cl.RunOnline(ref, set.Stream(seed, opts), set.Test)
+	refState := decodeState(t, mustSnapshot(t, ref))
+
+	for _, killAt := range []int{1, 5, 11} {
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		// Phase 1: crash at batch killAt (state saved, ErrStopped returned).
+		crashMeter := &cl.TrafficMeter{}
+		crashed := newTestChameleon(set, seed, crashMeter)
+		_, err := cl.RunOnlineCheckpointed(crashed, set.Stream(seed, opts), set.Test,
+			cl.CheckpointPlan{Path: path, Every: 1, Meter: crashMeter, StopAfter: killAt})
+		if err != cl.ErrStopped {
+			t.Fatalf("killAt=%d: expected ErrStopped, got %v", killAt, err)
+		}
+		// Phase 2: a fresh process resumes from the file.
+		resMeter := &cl.TrafficMeter{}
+		resumed := newTestChameleon(set, seed, resMeter)
+		res, err := cl.RunOnlineCheckpointed(resumed, set.Stream(seed, opts), set.Test,
+			cl.CheckpointPlan{Path: path, Every: 1, Resume: true, Meter: resMeter})
+		if err != nil {
+			t.Fatalf("killAt=%d: resume failed: %v", killAt, err)
+		}
+		if res.AccAll != refRes.AccAll {
+			t.Fatalf("killAt=%d: resumed accuracy %v != uninterrupted %v", killAt, res.AccAll, refRes.AccAll)
+		}
+		if res.SamplesSeen != refRes.SamplesSeen {
+			t.Fatalf("killAt=%d: samples %d != %d", killAt, res.SamplesSeen, refRes.SamplesSeen)
+		}
+		if *resMeter != *refMeter {
+			t.Fatalf("killAt=%d: traffic diverged:\nresumed %s\nref     %s", killAt, resMeter, refMeter)
+		}
+		if got := decodeState(t, mustSnapshot(t, resumed)); !reflect.DeepEqual(got, refState) {
+			t.Fatalf("killAt=%d: final learner state diverged from uninterrupted run", killAt)
+		}
+	}
+}
+
+func mustSnapshot(t *testing.T, c *Chameleon) []byte {
+	t.Helper()
+	raw, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestChameleonRestoreRejectsBadState: garbage bytes and capacity mismatches
+// must error, never panic or silently misload.
+func TestChameleonRestoreRejectsBadState(t *testing.T) {
+	set := buildEnv(t)
+	c := newTestChameleon(set, 40, nil)
+	st := set.Stream(40, data.StreamOptions{BatchSize: 5})
+	for i := 0; i < 6; i++ {
+		b, ok := st.Next()
+		if !ok {
+			break
+		}
+		c.Observe(b)
+	}
+	if err := c.Restore([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	snap := mustSnapshot(t, c)
+	// A learner with smaller stores cannot hold this state.
+	tiny := New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: 0.05, Seed: 40}),
+		Config{STCap: 1, LTCap: 2, AccessRate: 2, Window: 20, Seed: 40})
+	if err := tiny.Restore(snap); err == nil {
+		t.Fatal("snapshot restored into undersized stores")
+	}
+}

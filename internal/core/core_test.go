@@ -52,14 +52,21 @@ func TestPreferenceTrackerAdaptsToDrift(t *testing.T) {
 	}
 }
 
+// TestPreferenceTrackerRhoExtremes pins the Eq. 2 endpoints: ρ=0 must ignore
+// the counts entirely (Δ_k = 1/2, every class treated equally — the
+// documented indifference ablation), ρ=1 must allocate proportionally.
 func TestPreferenceTrackerRhoExtremes(t *testing.T) {
-	// ρ=0 ⇒ Δ = 1 regardless (n^0 / n^0), i.e. allocation ignores counts.
 	p0 := NewPreferenceTracker(1, 0, 4)
 	for _, y := range []int{0, 0, 0, 1} {
 		p0.Observe(y)
 	}
-	if math.Abs(p0.Delta()-1) > 1e-9 {
-		t.Fatalf("rho=0 delta = %v, want 1", p0.Delta())
+	if math.Abs(p0.Delta()-0.5) > 1e-9 {
+		t.Fatalf("rho=0 delta = %v, want 0.5 (indifference)", p0.Delta())
+	}
+	// At ρ=0 preferred and non-preferred classes get identical allocation
+	// weight — that is what "treats all classes equally" means operationally.
+	if w0, w1 := p0.AllocationWeight(0), p0.AllocationWeight(1); math.Abs(w0-w1) > 1e-9 {
+		t.Fatalf("rho=0 allocation weights differ: preferred %v vs rest %v", w0, w1)
 	}
 	// ρ=1 ⇒ Δ = n_k/(n_k+n_rest), proportional allocation.
 	p1 := NewPreferenceTracker(1, 1, 4)
@@ -69,6 +76,45 @@ func TestPreferenceTrackerRhoExtremes(t *testing.T) {
 	want := 3.0 / 4.0
 	if math.Abs(p1.Delta()-want) > 1e-9 {
 		t.Fatalf("rho=1 delta = %v, want %v", p1.Delta(), want)
+	}
+}
+
+// TestPreferenceTrackerRecalibrationBoundary exercises the exact window
+// boundary: recalibration must fire on the Window-th observation precisely
+// (not one early, not one late), and equal-count classes must tie-break
+// toward the smaller class index when filling the top-k.
+func TestPreferenceTrackerRecalibrationBoundary(t *testing.T) {
+	p := NewPreferenceTracker(2, 1, 6)
+	// Five observations: still inside the first window, nothing calibrated.
+	for _, y := range []int{4, 4, 9, 9, 2} {
+		p.Observe(y)
+		if len(p.Preferred()) != 0 || p.Delta() != 0.5 {
+			t.Fatalf("recalibrated before the window filled: preferred=%v delta=%v", p.Preferred(), p.Delta())
+		}
+	}
+	// The sixth observation fills the window exactly: counts 4:2, 9:2, 2:1,
+	// 7:1. Top-2 by count with ties broken toward the smaller class must pick
+	// {4, 9}; among the rest, 2 and 7 tie as well.
+	p.Observe(7)
+	got := p.Preferred()
+	if len(got) != 2 || got[0] != 4 || got[1] != 9 {
+		t.Fatalf("preferred after exact window = %v, want [4 9]", got)
+	}
+	// nK = 2, nRest = 1, ρ=1 ⇒ Δ = 2/3.
+	if want := 2.0 / 3.0; math.Abs(p.Delta()-want) > 1e-9 {
+		t.Fatalf("delta = %v, want %v", p.Delta(), want)
+	}
+	// Window statistics must have reset for the next window.
+	if p.NumSeen() != 4 {
+		t.Fatalf("NumSeen = %d, want 4", p.NumSeen())
+	}
+	// A full second window of a new class flips the preference, proving the
+	// first window's counts were cleared rather than carried over.
+	for i := 0; i < 6; i++ {
+		p.Observe(1)
+	}
+	if got := p.Preferred(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("second window preferred = %v, want [1]", got)
 	}
 }
 
@@ -261,9 +307,19 @@ func TestLongTermNextMinibatchCyclesWholeStore(t *testing.T) {
 			t.Fatalf("iterative minibatch repeated items before wrap: %v", seen)
 		}
 	}
-	// Wrap-around works.
-	if got := lt.NextMinibatch(7); len(got) != 7 {
-		t.Fatalf("wrap minibatch size %d", len(got))
+	// A request larger than the store is clamped: one rehearsal minibatch
+	// never contains the same sample twice (it would double-weight it in the
+	// SGD step).
+	got := lt.NextMinibatch(7)
+	if len(got) != 6 {
+		t.Fatalf("oversized minibatch size %d, want clamped to 6", len(got))
+	}
+	dup := map[float32]bool{}
+	for _, s := range got {
+		if dup[s.Z.Data()[0]] {
+			t.Fatalf("minibatch repeats an item: %v", got)
+		}
+		dup[s.Z.Data()[0]] = true
 	}
 }
 
@@ -288,13 +344,41 @@ func TestConfigDefaults(t *testing.T) {
 	if c.STCap != 10 || c.LTCap != 100 || c.AccessRate != 10 || c.TopK != 5 {
 		t.Fatalf("defaults wrong: %+v", c)
 	}
-	if c.Alpha != 1 || c.Beta != 1 || c.Rho != 0.6 || c.Window != 1500 {
+	if *c.Alpha != 1 || *c.Beta != 1 || *c.Rho != 0.6 || c.Window != 1500 {
 		t.Fatalf("defaults wrong: %+v", c)
 	}
 	// Explicit pure-uncertainty config must survive defaulting.
-	c2 := Config{Alpha: 0, Beta: 2}.withDefaults()
-	if c2.Alpha != 0 || c2.Beta != 2 {
+	c2 := Config{Alpha: Float(0), Beta: Float(2)}.withDefaults()
+	if *c2.Alpha != 0 || *c2.Beta != 2 {
 		t.Fatalf("explicit alpha/beta overridden: %+v", c2)
+	}
+	// Zero is a valid configured value for every optional float: ρ=0 (the
+	// indifference ablation) and α=β=0 (the random-selection ablation) must
+	// not be rewritten to the paper defaults.
+	c3 := Config{Alpha: Float(0), Beta: Float(0), Rho: Float(0)}.withDefaults()
+	if *c3.Alpha != 0 || *c3.Beta != 0 || *c3.Rho != 0 {
+		t.Fatalf("explicit zeros overridden: alpha=%v beta=%v rho=%v", *c3.Alpha, *c3.Beta, *c3.Rho)
+	}
+}
+
+// TestChameleonRhoZeroRunsEndToEnd is the regression test for the ρ=0
+// ablation: the configured zero must reach the tracker (not be rewritten to
+// the 0.6 default) and the learner must train normally under indifference.
+func TestChameleonRhoZeroRunsEndToEnd(t *testing.T) {
+	set := buildEnv(t)
+	ch := New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: 0.05, Seed: 9}),
+		Config{STCap: 5, LTCap: 10, AccessRate: 2, PromoteEvery: 1, Window: 20, Rho: Float(0), Seed: 9})
+	if ch.Tracker().Rho != 0 {
+		t.Fatalf("configured rho=0 rewritten to %v", ch.Tracker().Rho)
+	}
+	st := set.Stream(9, data.StreamOptions{BatchSize: 5})
+	res := cl.RunOnline(ch, st, set.Test)
+	if res.AccAll < 0.1 {
+		t.Fatalf("rho=0 chameleon collapsed: %v", res.AccAll)
+	}
+	// After at least one full window the tracker must sit at indifference.
+	if math.Abs(ch.Tracker().Delta()-0.5) > 1e-9 {
+		t.Fatalf("rho=0 delta = %v, want 0.5", ch.Tracker().Delta())
 	}
 }
 

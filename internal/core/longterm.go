@@ -1,9 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"chameleon/internal/cl"
 	"chameleon/internal/replay"
@@ -47,16 +47,17 @@ func (l *LongTermStore) Sample(n int) []cl.LatentSample {
 // NextMinibatch implements the paper's "iterative mini-batch concatenation
 // scheme": successive calls walk the store with a rotating cursor (class by
 // class), so over consecutive long-term accesses the whole buffer is
-// rehearsed rather than a random subset. Wraps around when exhausted.
+// rehearsed rather than a random subset, wrapping around between calls. One
+// minibatch never repeats an item: n is clamped to the store size, so a
+// request larger than the buffer rehearses each sample exactly once instead
+// of double-weighting the cursor's neighbourhood in the SGD step.
 func (l *LongTermStore) NextMinibatch(n int) []cl.LatentSample {
-	classes := l.buf.Classes()
-	if len(classes) == 0 || n <= 0 {
+	all := l.buf.Export() // class-ascending, the buffer's canonical order
+	if len(all) == 0 || n <= 0 {
 		return nil
 	}
-	sort.Ints(classes)
-	var all []replay.Item
-	for _, c := range classes {
-		all = append(all, l.buf.OfClass(c)...)
+	if n > len(all) {
+		n = len(all)
 	}
 	out := make([]cl.LatentSample, 0, n)
 	for i := 0; i < n; i++ {
@@ -66,6 +67,24 @@ func (l *LongTermStore) NextMinibatch(n int) []cl.LatentSample {
 	}
 	l.cursor %= len(all)
 	return out
+}
+
+// State copies the store contents (canonical class-ascending order) and the
+// rotating cursor for checkpointing.
+func (l *LongTermStore) State() ([]replay.Item, int) {
+	return l.buf.Export(), l.cursor
+}
+
+// SetState restores contents and cursor captured by State.
+func (l *LongTermStore) SetState(items []replay.Item, cursor int) error {
+	if cursor < 0 || (len(items) > 0 && cursor >= len(items)) || (len(items) == 0 && cursor != 0) {
+		return fmt.Errorf("core: long-term cursor %d out of range for %d items", cursor, len(items))
+	}
+	if err := l.buf.SetContents(items); err != nil {
+		return err
+	}
+	l.cursor = cursor
+	return nil
 }
 
 // Prototype computes P_c (Eq. 5): the mean latent of class c's stored

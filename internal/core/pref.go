@@ -18,7 +18,8 @@ type PreferenceTracker struct {
 	// TopK is the number of preferred classes (paper: k = 5).
 	TopK int
 	// Rho is the allocation exponent ρ ∈ [0,1] of Eq. 2: 0 treats all classes
-	// equally, 1 allocates proportionally to running frequencies.
+	// equally (Δ_k = 1/2, matching the pre-calibration indifference value),
+	// 1 allocates proportionally to running frequencies.
 	Rho float64
 	// Window is the learning-window length in samples (paper: ~1500 images).
 	Window int
@@ -104,9 +105,13 @@ func (p *PreferenceTracker) recalibrate() {
 		}
 		nRest /= float64(rest)
 	}
-	// Eq. 2: Δ_k = n_k^ρ / (n_k + n_{N−k})^ρ.
+	// Eq. 2: Δ_k = n_k^ρ / (n_k^ρ + n_{N−k}^ρ). The tempered-softmax form
+	// interpolates between indifference and proportional allocation: ρ=0
+	// gives Δ_k = 1/2 exactly (x^0 = 1 for both terms, so counts are
+	// ignored), ρ=1 gives Δ_k = n_k/(n_k+n_rest).
 	if nK+nRest > 0 {
-		p.delta = math.Pow(nK, p.Rho) / math.Pow(nK+nRest, p.Rho)
+		wK, wRest := math.Pow(nK, p.Rho), math.Pow(nRest, p.Rho)
+		p.delta = wK / (wK + wRest)
 	} else {
 		p.delta = 0.5
 	}

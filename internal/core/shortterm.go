@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -35,6 +36,15 @@ func (s *ShortTermStore) Cap() int { return s.cap }
 // Items returns the live contents (the "sweep the complete short-term
 // memory" training set). Callers must not mutate.
 func (s *ShortTermStore) Items() []cl.LatentSample { return s.items }
+
+// SetItems replaces the contents with a copy of items (checkpoint restore).
+func (s *ShortTermStore) SetItems(items []cl.LatentSample) error {
+	if len(items) > s.cap {
+		return fmt.Errorf("core: restoring %d items into capacity-%d short-term store", len(items), s.cap)
+	}
+	s.items = append(s.items[:0:0], items...)
+	return nil
+}
 
 // Uncertainty computes U_i (Eq. 3) for a sample: the absolute logit response
 // at the true class, |o(x_i)·y|. Low U_i means the model is uncertain, so

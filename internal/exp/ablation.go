@@ -52,7 +52,7 @@ func RunAblationSTPolicy(set *cl.LatentSet, sc Scale) []AblationResult {
 	var out []AblationResult
 	for _, v := range variants {
 		v := v
-		s := chameleonSummary(set, sc, func(c *core.Config) { c.Alpha, c.Beta = v.alpha, v.beta })
+		s := chameleonSummary(set, sc, func(c *core.Config) { c.Alpha, c.Beta = core.Float(v.alpha), core.Float(v.beta) })
 		out = append(out, AblationResult{Variant: v.name, MeanAcc: s.MeanAcc, StdAcc: s.StdAcc})
 	}
 	return out
@@ -96,7 +96,7 @@ func RunAblationRho(set *cl.LatentSet, sc Scale, rhos []float64) []AblationResul
 			return core.New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: sc.HeadLR, Seed: seed}), core.Config{
 				STCap: sc.ChameleonST, LTCap: defaultLT(sc),
 				AccessRate: sc.AccessRate, PromoteEvery: sc.PromoteEvery,
-				LTSampleSize: 10, Window: sc.Window, TopK: 3, Rho: rho, Seed: seed,
+				LTSampleSize: 10, Window: sc.Window, TopK: 3, Rho: core.Float(rho), Seed: seed,
 			})
 		}, sc.Seeds)
 		out = append(out, AblationResult{

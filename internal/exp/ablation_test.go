@@ -41,7 +41,9 @@ func TestAblationsRun(t *testing.T) {
 	check("st", RunAblationSTPolicy(set, sc), 3)
 	check("lt", RunAblationLTPolicy(set, sc), 2)
 	check("h", RunAblationAccessRate(set, sc, []int{1, 10}), 2)
-	check("rho", RunAblationRho(set, sc, []float64{0.2, 1.0}), 2)
+	// ρ=0 is the indifference ablation the ρ-sentinel fix made expressible;
+	// it must run end to end like any other exponent.
+	check("rho", RunAblationRho(set, sc, []float64{0, 1.0}), 2)
 }
 
 // TestTradeoffRun exercises the h trade-off sweep end to end (one seed).

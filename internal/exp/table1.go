@@ -29,9 +29,34 @@ type Table1Result struct {
 	Rows     []Row
 }
 
+// Checkpointing configures crash-safe grid execution: every (method, dataset,
+// seed) cell saves its learner state under Dir and a killed grid re-executes
+// only the unfinished tails on restart. The zero value disables it.
+type Checkpointing struct {
+	// Dir is the checkpoint directory ("" disables checkpointing).
+	Dir string
+	// Every is the save period in batches (default 100).
+	Every int
+	// Resume restarts each cell from its last snapshot where one exists.
+	Resume bool
+}
+
+// grid derives the per-cell plan, tagging files with the cell label.
+func (c Checkpointing) grid(label string) cl.GridCheckpoint {
+	if c.Dir == "" {
+		return cl.GridCheckpoint{}
+	}
+	return cl.GridCheckpoint{Dir: c.Dir, Every: c.Every, Label: label, Resume: c.Resume}
+}
+
 // RunTable1 regenerates Table I: every method × buffer size × dataset,
 // mean ± std over the scale's seeds.
 func RunTable1(sets map[string]*cl.LatentSet, sc Scale, progress func(format string, args ...any)) (*Table1Result, error) {
+	return RunTable1Checkpointed(sets, sc, Checkpointing{}, progress)
+}
+
+// RunTable1Checkpointed is RunTable1 with per-cell crash-safe snapshots.
+func RunTable1Checkpointed(sets map[string]*cl.LatentSet, sc Scale, ck Checkpointing, progress func(format string, args ...any)) (*Table1Result, error) {
 	if progress == nil {
 		progress = func(string, ...any) {}
 	}
@@ -58,17 +83,22 @@ func RunTable1(sets map[string]*cl.LatentSet, sc Scale, progress func(format str
 	}
 	var progressMu sync.Mutex
 	cells := make([]cl.Summary, len(specs)*len(datasets))
+	cellErrs := make([]error, len(cells))
 	parallel.For(len(cells), 1, func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			spec, dsName := specs[ci/len(datasets)], datasets[ci%len(datasets)]
 			set := sets[dsName]
-			summary := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
+			summary, err := cl.MultiSeedCheckpointed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
 				l, err := NewLearner(spec, set, sc, seed)
 				if err != nil {
 					panic("exp: " + err.Error()) // specs come from Table1Specs; cannot miss
 				}
 				return l
-			}, sc.Seeds)
+			}, sc.Seeds, ck.grid(fmt.Sprintf("table1-%s-%s", dsName, spec.Label())))
+			if err != nil {
+				cellErrs[ci] = fmt.Errorf("exp: table1 cell %s/%s: %w", spec.Label(), dsName, err)
+				continue
+			}
 			summary.Method = spec.Label()
 			cells[ci] = summary
 			progressMu.Lock()
@@ -76,6 +106,11 @@ func RunTable1(sets map[string]*cl.LatentSet, sc Scale, progress func(format str
 			progressMu.Unlock()
 		}
 	})
+	for _, err := range cellErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	for ci, summary := range cells {
 		res.Rows[ci/len(datasets)].Acc[datasets[ci%len(datasets)]] = summary
 	}
@@ -124,6 +159,11 @@ type Fig2Point struct {
 
 // RunFig2 regenerates Fig. 2 on the CORe50 set.
 func RunFig2(set *cl.LatentSet, sc Scale, progress func(format string, args ...any)) (*Fig2Result, error) {
+	return RunFig2Checkpointed(set, sc, Checkpointing{}, progress)
+}
+
+// RunFig2Checkpointed is RunFig2 with per-cell crash-safe snapshots.
+func RunFig2Checkpointed(set *cl.LatentSet, sc Scale, ck Checkpointing, progress func(format string, args ...any)) (*Fig2Result, error) {
 	if progress == nil {
 		progress = func(string, ...any) {}
 	}
@@ -140,22 +180,32 @@ func RunFig2(set *cl.LatentSet, sc Scale, progress func(format string, args ...a
 	// Same fan-out as RunTable1: independent cells, index-ordered results.
 	var progressMu sync.Mutex
 	points := make([]Fig2Point, len(specs))
+	cellErrs := make([]error, len(specs))
 	parallel.For(len(specs), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			spec := specs[i]
-			summary := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
+			summary, err := cl.MultiSeedCheckpointed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
 				l, err := NewLearner(spec, set, sc, seed)
 				if err != nil {
 					panic("exp: " + err.Error())
 				}
 				return l
-			}, sc.Seeds)
+			}, sc.Seeds, ck.grid(fmt.Sprintf("fig2-%s", spec.Label())))
+			if err != nil {
+				cellErrs[i] = fmt.Errorf("exp: fig2 cell %s: %w", spec.Label(), err)
+				continue
+			}
 			points[i] = Fig2Point{Buffer: spec.Buffer, MemoryMB: memMB[i], MeanAcc: summary.MeanAcc}
 			progressMu.Lock()
 			progress("fig2 %-18s %6.1f MB -> %.2f%%", spec.Label(), memMB[i], 100*summary.MeanAcc)
 			progressMu.Unlock()
 		}
 	})
+	for _, err := range cellErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	for i, spec := range specs {
 		res.Points[spec.Name] = append(res.Points[spec.Name], points[i])
 	}

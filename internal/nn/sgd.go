@@ -1,6 +1,10 @@
 package nn
 
-import "chameleon/internal/tensor"
+import (
+	"fmt"
+
+	"chameleon/internal/tensor"
+)
 
 // SGD is stochastic gradient descent with classical momentum and decoupled
 // L2 weight decay, the optimizer the paper trains with (lr=0.001).
@@ -57,4 +61,48 @@ func (s *SGD) StepParam(p *Param) {
 		g = v
 	}
 	p.Data.AddScaled(float32(-s.LR), g)
+}
+
+// VelocitySnapshot deep-copies the momentum state aligned with model.Params()
+// (zero tensors where a parameter has not been stepped yet). Returns nil when
+// the optimizer holds no momentum state at all — the velocity map is keyed by
+// parameter pointer, so checkpoints must serialize it positionally.
+func (s *SGD) VelocitySnapshot(model Layer) []*tensor.Tensor {
+	if len(s.velocity) == 0 {
+		return nil
+	}
+	ps := model.Params()
+	out := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		if v, ok := s.velocity[p]; ok {
+			out[i] = v.Clone()
+		} else {
+			out[i] = tensor.New(p.Data.Shape()...)
+		}
+	}
+	return out
+}
+
+// SetVelocitySnapshot restores momentum state captured by VelocitySnapshot
+// against the same architecture. A nil snapshot clears all momentum; shapes
+// are validated before any state is touched.
+func (s *SGD) SetVelocitySnapshot(model Layer, vs []*tensor.Tensor) error {
+	if vs == nil {
+		s.velocity = map[*Param]*tensor.Tensor{}
+		return nil
+	}
+	ps := model.Params()
+	if len(vs) != len(ps) {
+		return fmt.Errorf("nn: velocity snapshot has %d tensors, model has %d params", len(vs), len(ps))
+	}
+	for i, p := range ps {
+		if vs[i] == nil || !vs[i].SameShape(p.Data) {
+			return fmt.Errorf("nn: velocity snapshot %d does not match param shape %v", i, p.Data.Shape())
+		}
+	}
+	s.velocity = make(map[*Param]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		s.velocity[p] = vs[i].Clone()
+	}
+	return nil
 }

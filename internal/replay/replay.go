@@ -77,12 +77,30 @@ func (r *Reservoir) Cap() int { return r.cap }
 // Seen returns how many items have been offered.
 func (r *Reservoir) Seen() int { return r.seen }
 
+// State copies the reservoir's contents and offer count for checkpointing.
+func (r *Reservoir) State() ([]Item, int) {
+	return append([]Item(nil), r.items...), r.seen
+}
+
+// SetState restores contents captured by State. The items are copied; seen
+// must be at least len(items) (a reservoir can never hold more than it saw).
+func (r *Reservoir) SetState(items []Item, seen int) error {
+	if len(items) > r.cap {
+		return fmt.Errorf("replay: restoring %d items into capacity-%d reservoir", len(items), r.cap)
+	}
+	if seen < len(items) {
+		return fmt.Errorf("replay: reservoir seen %d < %d stored items", seen, len(items))
+	}
+	r.items = append(r.items[:0:0], items...)
+	r.seen = seen
+	return nil
+}
+
 // Ring is a fixed-capacity FIFO buffer.
 type Ring struct {
 	cap   int
 	items []Item
 	next  int
-	full  bool
 }
 
 // NewRing creates a FIFO buffer with the given capacity.
@@ -101,7 +119,6 @@ func (r *Ring) Push(it Item) {
 	}
 	r.items[r.next] = it
 	r.next = (r.next + 1) % r.cap
-	r.full = true
 }
 
 // Items returns the live contents in arbitrary order.
@@ -194,6 +211,34 @@ func (b *ClassBalanced) ReplaceRandomOfClass(it Item) bool {
 	}
 	own[b.rng.Intn(len(own))] = it
 	return true
+}
+
+// Export copies the contents in canonical order — ascending class, in-class
+// insertion order preserved — for checkpointing. Feeding the result to
+// SetContents on a fresh buffer reproduces the exact per-class layout, so
+// every later seeded eviction draw lands on the same victim.
+func (b *ClassBalanced) Export() []Item {
+	out := make([]Item, 0, b.total)
+	for _, c := range b.Classes() {
+		out = append(out, b.byClass[c]...)
+	}
+	return out
+}
+
+// SetContents replaces the buffer contents with items (grouped by their
+// labels, preserving order within each class). Fails when items exceed the
+// capacity; the buffer is untouched on error.
+func (b *ClassBalanced) SetContents(items []Item) error {
+	if len(items) > b.cap {
+		return fmt.Errorf("replay: restoring %d items into capacity-%d class-balanced buffer", len(items), b.cap)
+	}
+	byClass := map[int][]Item{}
+	for _, it := range items {
+		byClass[it.Label] = append(byClass[it.Label], it)
+	}
+	b.byClass = byClass
+	b.total = len(items)
+	return nil
 }
 
 // Sample returns n items drawn uniformly (without replacement) from the

@@ -43,6 +43,124 @@ func TestReservoirIsApproximatelyUniform(t *testing.T) {
 	}
 }
 
+func TestReservoirInsertionUniformityStatistical(t *testing.T) {
+	// Sharper statistical check than the smoke test above: over many
+	// independent trials, each stream element's inclusion count is
+	// Binomial(trials, cap/N). Assert every element stays within ±5σ of the
+	// mean — a uniform reservoir fails this with probability < 1e-4, while the
+	// classic off-by-one bugs (Intn(seen-1), skipping the first element,
+	// biasing the boundary slot) push early or late elements far outside.
+	const (
+		trials   = 400
+		n        = 120
+		capacity = 30
+	)
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(capacity, rand.New(rand.NewSource(int64(1000+trial))))
+		for i := 0; i < n; i++ {
+			r.Offer(item(i))
+		}
+		if r.Len() != capacity {
+			t.Fatalf("trial %d: fill %d", trial, r.Len())
+		}
+		for _, it := range r.Items() {
+			counts[it.Label]++
+		}
+	}
+	p := float64(capacity) / float64(n)
+	mean := trials * p
+	sigma := math.Sqrt(trials * p * (1 - p))
+	lo, hi := mean-5*sigma, mean+5*sigma
+	total := 0
+	for i, c := range counts {
+		if float64(c) < lo || float64(c) > hi {
+			t.Errorf("element %d kept %d/%d times, outside [%.1f, %.1f] (mean %.1f, σ %.1f)",
+				i, c, trials, lo, hi, mean, sigma)
+		}
+		total += c
+	}
+	if total != trials*capacity {
+		t.Fatalf("total inclusions %d != %d", total, trials*capacity)
+	}
+}
+
+func TestReservoirStateRoundTrip(t *testing.T) {
+	r := NewReservoir(8, rand.New(rand.NewSource(21)))
+	for i := 0; i < 50; i++ {
+		r.Offer(item(i))
+	}
+	items, seen := r.State()
+	if seen != 50 || len(items) != 8 {
+		t.Fatalf("state: %d items, seen %d", len(items), seen)
+	}
+	// State must be a copy: mutating it must not reach the live buffer.
+	items[0].Label = -99
+	if r.Items()[0].Label == -99 {
+		t.Fatal("State aliases the live buffer")
+	}
+	items[0] = r.Items()[0]
+
+	r2 := NewReservoir(8, rand.New(rand.NewSource(22)))
+	if err := r2.SetState(items, seen); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != 8 || r2.Seen() != 50 {
+		t.Fatalf("restored: len %d seen %d", r2.Len(), r2.Seen())
+	}
+	for i, it := range r2.Items() {
+		if it.Label != items[i].Label {
+			t.Fatalf("restored item %d = %d, want %d", i, it.Label, items[i].Label)
+		}
+	}
+
+	small := NewReservoir(4, rand.New(rand.NewSource(23)))
+	if err := small.SetState(items, seen); err == nil {
+		t.Fatal("overfull restore accepted")
+	}
+	if err := r2.SetState(items, 3); err == nil {
+		t.Fatal("seen < len(items) accepted")
+	}
+}
+
+func TestClassBalancedExportSetContentsRoundTrip(t *testing.T) {
+	b := NewClassBalanced(12, rand.New(rand.NewSource(31)))
+	for i := 0; i < 100; i++ {
+		b.Insert(item(i % 5))
+	}
+	exported := b.Export()
+	if len(exported) != 12 {
+		t.Fatalf("export size %d", len(exported))
+	}
+	for i := 1; i < len(exported); i++ {
+		if exported[i].Label < exported[i-1].Label {
+			t.Fatal("export not class-ascending")
+		}
+	}
+
+	b2 := NewClassBalanced(12, rand.New(rand.NewSource(32)))
+	if err := b2.SetContents(exported); err != nil {
+		t.Fatal(err)
+	}
+	if b2.Len() != 12 {
+		t.Fatalf("restored fill %d", b2.Len())
+	}
+	again := b2.Export()
+	for i := range exported {
+		if again[i].Label != exported[i].Label {
+			t.Fatalf("round trip changed item %d: %d vs %d", i, again[i].Label, exported[i].Label)
+		}
+	}
+
+	tiny := NewClassBalanced(3, rand.New(rand.NewSource(33)))
+	if err := tiny.SetContents(exported); err == nil {
+		t.Fatal("overfull SetContents accepted")
+	}
+	if tiny.Len() != 0 {
+		t.Fatal("failed SetContents mutated the buffer")
+	}
+}
+
 func TestReservoirSample(t *testing.T) {
 	r := NewReservoir(10, rand.New(rand.NewSource(2)))
 	for i := 0; i < 10; i++ {

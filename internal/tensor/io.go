@@ -23,22 +23,46 @@ func (t *Tensor) GobEncode() ([]byte, error) {
 	return buf, nil
 }
 
-// GobDecode implements gob.GobDecoder.
+// maxGobDims bounds the rank a decoded tensor may claim. Nothing in the
+// repository exceeds 4 dimensions; the slack guards against honest format
+// evolution while keeping a corrupt header from driving a huge allocation.
+const maxGobDims = 16
+
+// GobDecode implements gob.GobDecoder. The payload is untrusted (checkpoint
+// files cross process boundaries), so the claimed rank and shape are bounds-
+// checked against the bytes actually present before anything is allocated:
+// the element count can never exceed the payload length, and the product
+// accumulation cannot overflow.
 func (t *Tensor) GobDecode(buf []byte) error {
 	if len(buf) < 4 {
 		return fmt.Errorf("tensor: gob payload too short (%d bytes)", len(buf))
 	}
 	nd := int(binary.LittleEndian.Uint32(buf))
+	if nd > maxGobDims {
+		return fmt.Errorf("tensor: gob payload claims %d dims, max %d", nd, maxGobDims)
+	}
 	off := 4
 	if len(buf) < off+4*nd {
 		return fmt.Errorf("tensor: gob payload truncated in shape")
 	}
+	// The data section can hold at most this many float32 elements; any shape
+	// whose product exceeds it is inconsistent with the payload.
+	maxElems := (len(buf) - off - 4*nd) / 4
 	shape := make([]int, nd)
 	n := 1
 	for i := range shape {
-		shape[i] = int(binary.LittleEndian.Uint32(buf[off:]))
-		n *= shape[i]
+		d := int(binary.LittleEndian.Uint32(buf[off:]))
 		off += 4
+		if d == 0 {
+			n = 0
+			shape[i] = d
+			continue
+		}
+		if n > maxElems/d {
+			return fmt.Errorf("tensor: gob payload shape %v... exceeds %d-byte data section", shape[:i+1], 4*maxElems)
+		}
+		n *= d
+		shape[i] = d
 	}
 	if len(buf) != off+4*n {
 		return fmt.Errorf("tensor: gob payload has %d bytes, want %d for shape %v", len(buf), off+4*n, shape)

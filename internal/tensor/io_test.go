@@ -2,6 +2,7 @@ package tensor
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"math/rand"
 	"testing"
@@ -65,5 +66,88 @@ func TestGobDecodeRejectsGarbage(t *testing.T) {
 	// Claims 1 dim of size 10 but carries no data.
 	if err := tt.GobDecode([]byte{1, 0, 0, 0, 10, 0, 0, 0}); err == nil {
 		t.Fatal("truncated payload accepted")
+	}
+}
+
+// TestGobDecodeRejectsHostileHeaders covers the corrupt-checkpoint attack
+// surface: headers whose claimed rank or shape would overflow the element
+// product or demand a huge allocation must fail cleanly — before allocating.
+func TestGobDecodeRejectsHostileHeaders(t *testing.T) {
+	le := binary.LittleEndian
+	put := func(vals ...uint32) []byte {
+		out := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			le.PutUint32(out[4*i:], v)
+		}
+		return out
+	}
+	cases := map[string][]byte{
+		// Rank far beyond anything representable.
+		"huge ndim": put(1 << 30),
+		// One giant dim (≈4 GiB requested) with a 4-byte data section.
+		"huge dim": append(put(1, 0xFFFFFFFF), put(0)...),
+		// Two dims whose product overflows int64 if multiplied naively.
+		"overflow product": append(put(2, 0xFFFFFFFF, 0xFFFFFFFF), put(0)...),
+		// Shape consistent with itself but not with the data section.
+		"shape vs data mismatch": append(put(2, 3, 4), put(0, 0)...),
+		// Zero dim followed by a huge dim: product is zero, but the trailing
+		// bytes disagree with the zero-element claim.
+		"zero then huge": append(put(2, 0, 0xFFFFFFFF), put(0, 0, 0)...),
+	}
+	for name, buf := range cases {
+		var tt Tensor
+		if err := tt.GobDecode(buf); err == nil {
+			t.Errorf("%s: hostile header accepted", name)
+		}
+	}
+}
+
+func TestGobDecodeAcceptsZeroElementTensor(t *testing.T) {
+	orig := New(0)
+	raw, err := orig.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tensor
+	if err := back.GobDecode(raw); err != nil {
+		t.Fatalf("legit zero-element tensor rejected: %v", err)
+	}
+	if back.Len() != 0 {
+		t.Fatalf("len = %d", back.Len())
+	}
+}
+
+// TestGobDecodeCorruptionFuzz flips bytes and truncates real encodings; no
+// mutation may panic, and any accepted decode must be internally consistent.
+func TestGobDecodeCorruptionFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := RandNormal(rng, 1, 2, 3, 4)
+	raw, err := orig.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), raw...)
+		switch trial % 3 {
+		case 0:
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		case 1:
+			mut = mut[:rng.Intn(len(mut))]
+		default:
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+			mut = mut[:1+rng.Intn(len(mut)-1)]
+		}
+		var tt Tensor
+		if err := tt.GobDecode(mut); err == nil {
+			// A flip in the data section decodes fine — that is what the
+			// checkpoint CRC layer is for — but shape and data must agree.
+			n := 1
+			for _, d := range tt.Shape() {
+				n *= d
+			}
+			if n != tt.Len() {
+				t.Fatalf("trial %d: inconsistent decode: shape %v, %d elems", trial, tt.Shape(), tt.Len())
+			}
+		}
 	}
 }

@@ -1,0 +1,72 @@
+package chameleon
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/core"
+	"chameleon/internal/data"
+	"chameleon/internal/parallel"
+	"chameleon/internal/testenv"
+)
+
+// TestKillAndResumeAcrossWorkers is the end-to-end crash-safety contract on
+// top of the determinism contract: a multi-seed grid whose every cell is
+// killed mid-stream and resumed from its checkpoint files must produce
+// results bit-identical to the uninterrupted grid, at any worker count. The
+// learner uses SGD momentum so the test fails if checkpoints ever drop
+// optimizer state.
+func TestKillAndResumeAcrossWorkers(t *testing.T) {
+	set := testenv.Env(t, "core50")
+	seeds := []int64{1, 2, 3}
+	opts := data.StreamOptions{BatchSize: 10}
+	mk := func(seed int64) cl.Learner {
+		return core.New(cl.NewHead(set.Backbone, cl.HeadConfig{
+			LR: testenv.Scale().HeadLR, Momentum: 0.5, Seed: seed,
+		}), core.Config{
+			STCap: 10, LTCap: 40, AccessRate: 2, PromoteEvery: 1,
+			Window: 100, Seed: seed,
+		})
+	}
+
+	ref := cl.MultiSeed(set, opts, mk, seeds)
+
+	for _, workers := range []int{1, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(0)
+
+			dir := t.TempDir()
+			// Phase 1: every seed's run crashes at batch 4 with state on disk.
+			for _, seed := range seeds {
+				path := filepath.Join(dir, fmt.Sprintf("grid-seed%d.ckpt", seed))
+				_, err := cl.RunOnlineCheckpointed(mk(seed), set.Stream(seed, opts), set.Test,
+					cl.CheckpointPlan{Path: path, Every: 1, StopAfter: 4})
+				if err != cl.ErrStopped {
+					t.Fatalf("seed %d: expected ErrStopped, got %v", seed, err)
+				}
+			}
+			// Phase 2: the grid restarts and resumes each cell from its file.
+			got, err := cl.MultiSeedCheckpointed(set, opts, mk, seeds,
+				cl.GridCheckpoint{Dir: dir, Every: 1, Label: "grid", Resume: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.MeanAcc != ref.MeanAcc || got.StdAcc != ref.StdAcc {
+				t.Fatalf("resumed grid %v ± %v != uninterrupted %v ± %v",
+					got.MeanAcc, got.StdAcc, ref.MeanAcc, ref.StdAcc)
+			}
+			for i := range ref.Runs {
+				if got.Runs[i].AccAll != ref.Runs[i].AccAll ||
+					got.Runs[i].SamplesSeen != ref.Runs[i].SamplesSeen ||
+					!reflect.DeepEqual(got.Runs[i].PerClass, ref.Runs[i].PerClass) {
+					t.Fatalf("seed %d: resumed run diverged:\n%+v\nvs\n%+v", seeds[i], got.Runs[i], ref.Runs[i])
+				}
+			}
+		})
+	}
+}
