@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check test build vet bench bench-parallel
+.PHONY: check test build vet bench bench-parallel bench-json
 
 check:
 	sh scripts/check.sh
@@ -23,3 +23,8 @@ bench:
 # Just the parallel-kernel benchmarks: serial vs GOMAXPROCS workers.
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkMatMulParallel|BenchmarkLatentExtractParallel' .
+
+# Steady-state hot-path envelope as machine-readable JSON (BENCH_pr3.json):
+# train-step and eval-batch ns/op + allocs/op, serial vs batched eval speedup.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr3.json

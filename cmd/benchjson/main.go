@@ -1,0 +1,196 @@
+// Command benchjson measures the steady-state performance envelope of the
+// online-learning hot path and writes it as machine-readable JSON (the PR
+// regression artefact, BENCH_pr3.json by default):
+//
+//   - train_step: one TrainCEOn SGD step over a replay-sized batch
+//     (ns/op, B/op, allocs/op — allocs must be 0 after warm-up),
+//   - eval_batch: one cl.Evaluate pass over the full test pool,
+//   - serial vs batched full-pool classification and their speedup
+//     (the batched path must win by ≥2× and agree bit-for-bit),
+//   - accuracy of the trained head on the synthetic pool (sanity: the
+//     measured configuration actually learns).
+//
+// The data is synthetic — per-class Gaussian prototypes in latent space — so
+// the tool is self-contained and runs in seconds without the dataset
+// pipeline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"chameleon/internal/baselines"
+	"chameleon/internal/cl"
+	"chameleon/internal/mobilenet"
+	"chameleon/internal/nn"
+	"chameleon/internal/parallel"
+	"chameleon/internal/tensor"
+)
+
+// metric is one testing.Benchmark measurement.
+type metric struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+func measure(f func()) metric {
+	// Warm the workspace pools first so steady state is what gets measured.
+	f()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	return metric{NsPerOp: r.NsPerOp(), BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp()}
+}
+
+// report is the BENCH_pr3.json schema. SerialEval is the pre-workspace serial
+// Predict loop (a head without a workspace — the eval path as it existed
+// before pooling, one allocation-fresh Forward per sample); PooledSerialEval
+// is the same loop over the pooled head; BatchedEval is the PredictInto path.
+// EvalSpeedup is SerialEval/BatchedEval — the full win of this change over
+// the prior evaluation loop; PooledSpeedup isolates batching alone.
+type report struct {
+	GeneratedUnix    int64   `json:"generated_unix"`
+	Workers          int     `json:"workers"`
+	Classes          int     `json:"classes"`
+	PoolSize         int     `json:"pool_size"`
+	BatchSize        int     `json:"batch_size"`
+	TrainStep        metric  `json:"train_step"`
+	EvalBatch        metric  `json:"eval_batch"`
+	SerialEval       metric  `json:"serial_eval"`
+	PooledSerialEval metric  `json:"pooled_serial_eval"`
+	BatchedEval      metric  `json:"batched_eval"`
+	EvalSpeedup      float64 `json:"eval_speedup"`
+	PooledSpeedup    float64 `json:"pooled_speedup"`
+	PredictionsMatch bool    `json:"predictions_match"`
+	AccuracyPct      float64 `json:"accuracy_pct"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		out     = flag.String("out", "BENCH_pr3.json", "output JSON path")
+		classes = flag.Int("classes", 10, "synthetic class count")
+		pool    = flag.Int("pool", 400, "test-pool size")
+		batch   = flag.Int("batch", 11, "train-step batch size (incoming + replay)")
+		seed    = flag.Int64("seed", 7, "data and head seed")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	parallel.SetWorkers(*workers)
+
+	model, err := mobilenet.New(mobilenet.DefaultConfig(*classes, *seed))
+	if err != nil {
+		log.Fatalf("backbone: %v", err)
+	}
+	head := cl.NewHead(model, cl.HeadConfig{Seed: *seed})
+	learner := baselines.NewFinetune(head)
+
+	// Synthetic latents: one Gaussian prototype per class plus sample noise,
+	// shaped like the backbone's latent activations.
+	rng := rand.New(rand.NewSource(*seed))
+	protos := make([]*tensor.Tensor, *classes)
+	for c := range protos {
+		protos[c] = tensor.RandNormal(rng, 1.0, model.LatentShape...)
+	}
+	sample := func(c int) cl.LatentSample {
+		z := tensor.RandNormal(rng, 0.3, model.LatentShape...)
+		z.AddInPlace(protos[c])
+		return cl.LatentSample{Z: z, Label: c}
+	}
+	train := make([]cl.LatentSample, 4**pool)
+	for i := range train {
+		train[i] = sample(i % *classes)
+	}
+	test := make([]cl.LatentSample, *pool)
+	for i := range test {
+		test[i] = sample(i % *classes)
+	}
+
+	// Train to a plausible operating point before timing anything, so the
+	// measured steady state is the one real runs live in.
+	for start := 0; start < len(train); start += *batch {
+		end := start + *batch
+		if end > len(train) {
+			end = len(train)
+		}
+		head.TrainCEOn(train[start:end])
+	}
+	acc := cl.Evaluate(learner, test)
+
+	stepBatch := train[:*batch]
+	zs := make([]*tensor.Tensor, len(test))
+	for i, s := range test {
+		zs[i] = s.Z
+	}
+	serialPreds := make([]int, len(test))
+	pooledPreds := make([]int, len(test))
+	batchedPreds := make([]int, len(test))
+
+	// The pre-PR baseline: a hand-built head with no workspace, evaluating
+	// through the allocation-fresh serial path, with the trained weights
+	// copied in so all three paths classify the same function.
+	unpooled := &cl.Head{Net: model.Head, Opt: nn.NewSGD(0.01), Classes: *classes}
+	unpooled.Restore(head.Snapshot())
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		Workers:       parallel.Workers(),
+		Classes:       *classes,
+		PoolSize:      *pool,
+		BatchSize:     *batch,
+		AccuracyPct:   100 * acc.AccAll,
+	}
+	rep.TrainStep = measure(func() { head.TrainCEOn(stepBatch) })
+	rep.EvalBatch = measure(func() { cl.Evaluate(learner, test) })
+	rep.SerialEval = measure(func() {
+		for i, z := range zs {
+			serialPreds[i] = unpooled.Predict(z)
+		}
+	})
+	rep.PooledSerialEval = measure(func() {
+		for i, z := range zs {
+			pooledPreds[i] = learner.Predict(z)
+		}
+	})
+	rep.BatchedEval = measure(func() { cl.PredictInto(learner, zs, batchedPreds) })
+	rep.EvalSpeedup = float64(rep.SerialEval.NsPerOp) / float64(rep.BatchedEval.NsPerOp)
+	rep.PooledSpeedup = float64(rep.PooledSerialEval.NsPerOp) / float64(rep.BatchedEval.NsPerOp)
+	rep.PredictionsMatch = true
+	for i := range serialPreds {
+		if serialPreds[i] != batchedPreds[i] || pooledPreds[i] != batchedPreds[i] {
+			rep.PredictionsMatch = false
+			break
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("create %s: %v", *out, err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("encode: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+
+	fmt.Printf("train_step: %d ns/op, %d allocs/op\n", rep.TrainStep.NsPerOp, rep.TrainStep.AllocsPerOp)
+	fmt.Printf("eval_batch (pool=%d): %d ns/op, %d allocs/op\n", rep.PoolSize, rep.EvalBatch.NsPerOp, rep.EvalBatch.AllocsPerOp)
+	fmt.Printf("serial Predict loop: %d ns/op, %d allocs/op\n", rep.SerialEval.NsPerOp, rep.SerialEval.AllocsPerOp)
+	fmt.Printf("eval speedup (batched vs serial Predict loop): %.2fx (vs pooled serial: %.2fx), predictions match: %v\n",
+		rep.EvalSpeedup, rep.PooledSpeedup, rep.PredictionsMatch)
+	fmt.Printf("accuracy: %.1f%%  →  %s\n", rep.AccuracyPct, *out)
+}

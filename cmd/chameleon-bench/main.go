@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,9 +41,36 @@ func main() {
 		ckDir    = flag.String("checkpoint", "", "checkpoint directory for crash-safe table1/fig2 grids ('' disables)")
 		ckEvery  = flag.Int("checkpoint-every", 100, "batches between checkpoint saves (with -checkpoint)")
 		resume   = flag.Bool("resume", false, "resume grid cells from existing checkpoints in -checkpoint")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	sc, err := scaleByName(*scale)
 	if err != nil {

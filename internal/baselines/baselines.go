@@ -83,14 +83,18 @@ func (f *Finetune) Observe(b cl.LatentBatch) { f.head.TrainCEOn(b.Samples) }
 // Predict implements cl.Learner.
 func (f *Finetune) Predict(z *tensor.Tensor) int { return f.head.Predict(z) }
 
+// PredictBatch implements cl.BatchPredictor.
+func (f *Finetune) PredictBatch(zs []*tensor.Tensor, out []int) { f.head.PredictBatch(zs, out) }
+
 // Joint is the traditional multi-epoch upper bound: it accumulates the whole
 // stream and trains offline in Finish (paper: 4 epochs of joint training).
 type Joint struct {
-	head *cl.Head
-	cfg  Config
-	pool []cl.LatentSample
-	rng  *rand.Rand
-	src  *checkpoint.Source
+	head     *cl.Head
+	cfg      Config
+	pool     []cl.LatentSample
+	rng      *rand.Rand
+	src      *checkpoint.Source
+	batchBuf []cl.LatentSample // reusable minibatch assembly buffer
 }
 
 // NewJoint creates the upper-bound learner.
@@ -121,14 +125,17 @@ func (j *Joint) Finish() {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			batch := make([]cl.LatentSample, 0, end-start)
+			j.batchBuf = j.batchBuf[:0]
 			for _, i := range idx[start:end] {
-				batch = append(batch, j.pool[i])
+				j.batchBuf = append(j.batchBuf, j.pool[i])
 			}
-			j.head.TrainCEOn(batch)
+			j.head.TrainCEOn(j.batchBuf)
 		}
 	}
 }
 
 // Predict implements cl.Learner.
 func (j *Joint) Predict(z *tensor.Tensor) int { return j.head.Predict(z) }
+
+// PredictBatch implements cl.BatchPredictor.
+func (j *Joint) PredictBatch(zs []*tensor.Tensor, out []int) { j.head.PredictBatch(zs, out) }

@@ -276,7 +276,10 @@ func (s *SLDA) Restore(data []byte) error {
 	s.n = st.N
 	s.inversion = st.Inversions
 	s.sinceInv = st.SinceInv
+	// Λ and the per-class score cache are both derived state: drop them so the
+	// first prediction after resume rebuilds from the restored statistics.
 	s.lambda, s.stale = nil, true
+	s.w, s.scoresStale = nil, true
 	return nil
 }
 

@@ -31,6 +31,7 @@ type GSS struct {
 	proj      *tensor.Tensor // lazy [SketchDim, gradDim] projection
 	// SubsetSize is how many buffer items a candidate is compared against.
 	SubsetSize int
+	trainBuf   []cl.LatentSample // reusable incoming+replay assembly buffer
 }
 
 type gssItem struct {
@@ -51,6 +52,9 @@ func (g *GSS) Name() string { return "gss" }
 
 // Predict implements cl.Learner.
 func (g *GSS) Predict(z *tensor.Tensor) int { return g.head.Predict(z) }
+
+// PredictBatch implements cl.BatchPredictor.
+func (g *GSS) PredictBatch(zs []*tensor.Tensor, out []int) { g.head.PredictBatch(zs, out) }
 
 // gradSketch computes the random-projected gradient of the CE loss with
 // respect to the head's final parameter block for one sample.
@@ -90,11 +94,12 @@ func (g *GSS) Observe(b cl.LatentBatch) {
 	}
 	// Rehearse before measuring candidate gradients, like the reference
 	// implementation: train on incoming + buffer draw.
-	train := append([]cl.LatentSample{}, b.Samples...)
+	train := append(g.trainBuf[:0], b.Samples...)
 	for i := 0; i < g.cfg.ReplaySize && len(g.buf) > 0; i++ {
 		it := g.buf[g.rng.Intn(len(g.buf))].it
 		train = append(train, cl.LatentSample{Z: it.Z, Label: it.Label})
 	}
+	g.trainBuf = train
 	g.head.TrainCEOn(train)
 
 	for _, s := range b.Samples {

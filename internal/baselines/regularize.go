@@ -38,6 +38,9 @@ func (e *EWCPP) Name() string { return "ewcpp" }
 // Predict implements cl.Learner.
 func (e *EWCPP) Predict(z *tensor.Tensor) int { return e.head.Predict(z) }
 
+// PredictBatch implements cl.BatchPredictor.
+func (e *EWCPP) PredictBatch(zs []*tensor.Tensor, out []int) { e.head.PredictBatch(zs, out) }
+
 // Observe implements cl.Learner.
 func (e *EWCPP) Observe(b cl.LatentBatch) {
 	if len(b.Samples) == 0 {
@@ -95,6 +98,9 @@ func (l *LwF) Name() string { return "lwf" }
 
 // Predict implements cl.Learner.
 func (l *LwF) Predict(z *tensor.Tensor) int { return l.head.Predict(z) }
+
+// PredictBatch implements cl.BatchPredictor.
+func (l *LwF) PredictBatch(zs []*tensor.Tensor, out []int) { l.head.PredictBatch(zs, out) }
 
 // Observe implements cl.Learner.
 func (l *LwF) Observe(b cl.LatentBatch) {

@@ -15,10 +15,11 @@ import (
 // here (f is frozen), while memcost charges raw-image bytes and the hardware
 // models charge the re-extraction compute.
 type ER struct {
-	head *cl.Head
-	cfg  Config
-	buf  *replay.Reservoir
-	src  *checkpoint.Source
+	head     *cl.Head
+	cfg      Config
+	buf      *replay.Reservoir
+	src      *checkpoint.Source
+	trainBuf []cl.LatentSample // reusable incoming+replay assembly buffer
 }
 
 // NewER creates the ER learner.
@@ -34,17 +35,21 @@ func (e *ER) Name() string { return "er" }
 // Predict implements cl.Learner.
 func (e *ER) Predict(z *tensor.Tensor) int { return e.head.Predict(z) }
 
+// PredictBatch implements cl.BatchPredictor.
+func (e *ER) PredictBatch(zs []*tensor.Tensor, out []int) { e.head.PredictBatch(zs, out) }
+
 // Observe implements cl.Learner.
 func (e *ER) Observe(b cl.LatentBatch) {
 	if len(b.Samples) == 0 {
 		return
 	}
-	train := append([]cl.LatentSample{}, b.Samples...)
+	train := append(e.trainBuf[:0], b.Samples...)
 	drawn := e.buf.Sample(e.cfg.ReplaySize)
 	e.cfg.Meter.AddOffChip(int64(len(drawn)), 0)
 	for _, it := range drawn {
 		train = append(train, cl.LatentSample{Z: it.Z, Label: it.Label})
 	}
+	e.trainBuf = train
 	e.head.TrainCEOn(train)
 	for _, s := range b.Samples {
 		if e.buf.Offer(replay.Item{Z: s.Z, Label: s.Label}) {
@@ -81,6 +86,9 @@ func (d *DER) Name() string { return "der" }
 // Predict implements cl.Learner.
 func (d *DER) Predict(z *tensor.Tensor) int { return d.head.Predict(z) }
 
+// PredictBatch implements cl.BatchPredictor.
+func (d *DER) PredictBatch(zs []*tensor.Tensor, out []int) { d.head.PredictBatch(zs, out) }
+
 // Observe implements cl.Learner.
 func (d *DER) Observe(b cl.LatentBatch) {
 	if len(b.Samples) == 0 {
@@ -113,12 +121,13 @@ func (d *DER) Observe(b cl.LatentBatch) {
 // a fixed-size draw with every batch. It is Chameleon's closest relative —
 // same payload, single buffer, no hierarchy awareness.
 type LatentReplay struct {
-	head  *cl.Head
-	cfg   Config
-	items []replay.Item
-	seen  int
-	rng   *rand.Rand
-	src   *checkpoint.Source
+	head     *cl.Head
+	cfg      Config
+	items    []replay.Item
+	seen     int
+	rng      *rand.Rand
+	src      *checkpoint.Source
+	trainBuf []cl.LatentSample // reusable incoming+replay assembly buffer
 }
 
 // NewLatentReplay creates the Latent Replay learner.
@@ -134,12 +143,15 @@ func (l *LatentReplay) Name() string { return "latent" }
 // Predict implements cl.Learner.
 func (l *LatentReplay) Predict(z *tensor.Tensor) int { return l.head.Predict(z) }
 
+// PredictBatch implements cl.BatchPredictor.
+func (l *LatentReplay) PredictBatch(zs []*tensor.Tensor, out []int) { l.head.PredictBatch(zs, out) }
+
 // Observe implements cl.Learner.
 func (l *LatentReplay) Observe(b cl.LatentBatch) {
 	if len(b.Samples) == 0 {
 		return
 	}
-	train := append([]cl.LatentSample{}, b.Samples...)
+	train := append(l.trainBuf[:0], b.Samples...)
 	if len(l.items) > 0 {
 		n := l.cfg.ReplaySize
 		l.cfg.Meter.AddOffChip(int64(n), 0)
@@ -148,6 +160,7 @@ func (l *LatentReplay) Observe(b cl.LatentBatch) {
 			train = append(train, cl.LatentSample{Z: it.Z, Label: it.Label})
 		}
 	}
+	l.trainBuf = train
 	l.head.TrainCEOn(train)
 	for _, s := range b.Samples {
 		it := replay.Item{Z: s.Z, Label: s.Label}

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"chameleon/internal/cl"
+	"chameleon/internal/parallel"
 	"chameleon/internal/tensor"
 )
 
@@ -24,17 +25,26 @@ type SLDA struct {
 	// paper's per-image cost accounting.
 	RecomputeEvery int
 
-	dim       int
-	classes   int
-	means     *tensor.Tensor // [classes, dim]
-	counts    []float64
-	cov       *tensor.Tensor // [dim, dim] streaming covariance (scatter/n)
-	n         float64
-	lambda    *tensor.Tensor // cached precision
-	wc        *tensor.Tensor // [dim] scratch for Λ μ_c, reused across Predicts
-	stale     bool
-	inversion int
-	sinceInv  int
+	dim     int
+	classes int
+	means   *tensor.Tensor // [classes, dim]
+	counts  []float64
+	cov     *tensor.Tensor // [dim, dim] streaming covariance (scatter/n)
+	n       float64
+	lambda  *tensor.Tensor // cached precision
+	stale   bool
+	// w caches the per-class score weights w_c = Λ μ_c as rows of a
+	// [classes, dim] matrix, with bias_c = −½ μ_cᵀ w_c alongside; wRows holds
+	// per-class views into w so the prediction hot loop allocates nothing.
+	// The cache depends on the *current* means even when the Λ refresh is
+	// skipped (RecomputeEvery > 1), so scoresStale is raised on every Observe
+	// — and by checkpoint restore — not just on inversion.
+	w           *tensor.Tensor
+	wRows       []*tensor.Tensor
+	bias        []float64
+	scoresStale bool
+	inversion   int
+	sinceInv    int
 }
 
 // NewSLDA creates a streaming LDA over pooled latents of the given dimension
@@ -48,7 +58,6 @@ func NewSLDA(dim, classes int, cfg Config) *SLDA {
 		means:          tensor.New(classes, dim),
 		counts:         make([]float64, classes),
 		cov:            tensor.New(dim, dim),
-		wc:             tensor.New(dim),
 	}
 	_ = cfg
 	return s
@@ -95,6 +104,7 @@ func (s *SLDA) Observe(b cl.LatentBatch) {
 		}
 		s.counts[c]++
 		s.stale = true
+		s.scoresStale = true
 		s.sinceInv++
 	}
 }
@@ -133,25 +143,72 @@ func (s *SLDA) refresh() {
 	s.stale = false
 }
 
-// Predict implements cl.Learner.
-func (s *SLDA) Predict(z *tensor.Tensor) int {
+// ensureScores refreshes Λ if due, then rebuilds the cached per-class weight
+// rows and biases when anything they depend on moved. The expensive part of
+// the old per-Predict loop (w_c = Λ μ_c per class, per call) now runs once per
+// Observe→Predict transition instead of once per prediction; the resulting
+// scores are bit-identical because the same MatVecInto/Dot kernels produce the
+// same values, and IEEE a − 0.5b equals a + (−0.5·b) exactly.
+func (s *SLDA) ensureScores() {
 	s.refresh()
-	x := pool(z)
-	best, bestScore := 0, math.Inf(-1)
+	if !s.scoresStale && s.w != nil {
+		return
+	}
+	if s.w == nil {
+		s.w = tensor.New(s.classes, s.dim)
+		s.wRows = make([]*tensor.Tensor, s.classes)
+		for c := range s.wRows {
+			s.wRows[c] = s.w.Row(c)
+		}
+		s.bias = make([]float64, s.classes)
+	}
 	for c := 0; c < s.classes; c++ {
 		if s.counts[c] == 0 {
 			continue
 		}
 		mu := s.means.Row(c)
-		// w_c = Λ μ_c ; score = w_cᵀ x − ½ μ_cᵀ w_c. The scratch w_c vector is
-		// reused across classes and Predict calls (a learner serves one run).
-		tensor.MatVecInto(s.wc, s.lambda, mu)
-		score := tensor.Dot(s.wc, x) - 0.5*tensor.Dot(mu, s.wc)
+		tensor.MatVecInto(s.wRows[c], s.lambda, mu)
+		s.bias[c] = -0.5 * tensor.Dot(mu, s.wRows[c])
+	}
+	s.scoresStale = false
+}
+
+// classify scores one pooled feature against the cached weights.
+func (s *SLDA) classify(x *tensor.Tensor) int {
+	best, bestScore := 0, math.Inf(-1)
+	for c := 0; c < s.classes; c++ {
+		if s.counts[c] == 0 {
+			continue
+		}
+		// score = w_cᵀ x − ½ μ_cᵀ w_c, with the second term precomputed.
+		score := tensor.Dot(s.wRows[c], x) + s.bias[c]
 		if score > bestScore {
 			best, bestScore = c, score
 		}
 	}
 	return best
+}
+
+// Predict implements cl.Learner.
+func (s *SLDA) Predict(z *tensor.Tensor) int {
+	s.ensureScores()
+	return s.classify(pool(z))
+}
+
+// PredictBatch implements cl.BatchPredictor: one cache refresh, then the pool
+// shards over the worker pool — each sample writes only its own slot, and the
+// per-sample scoring is the exact Predict loop, so any worker count matches
+// the serial path bit for bit.
+func (s *SLDA) PredictBatch(zs []*tensor.Tensor, out []int) {
+	if len(zs) == 0 {
+		return
+	}
+	s.ensureScores()
+	parallel.For(len(zs), 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = s.classify(pool(zs[i]))
+		}
+	})
 }
 
 // InversionCount reports how many O(d³) inversions have run (hardware cost).

@@ -1,6 +1,10 @@
 package cl
 
-import "math"
+import (
+	"math"
+
+	"chameleon/internal/tensor"
+)
 
 // ForgettingProbe measures catastrophic forgetting during an online run: it
 // tracks, for every domain, the learner's peak accuracy on that domain's
@@ -13,6 +17,10 @@ type ForgettingProbe struct {
 	peak map[int]float64
 	// last maps domain -> most recent accuracy.
 	last map[int]float64
+	// zs and preds are reusable batching buffers for Measure, which runs at
+	// every domain boundary.
+	zs    []*tensor.Tensor
+	preds []int
 }
 
 // NewForgettingProbe builds a probe over per-domain pools drawn from the
@@ -26,13 +34,22 @@ func NewForgettingProbe(train []LatentSample) *ForgettingProbe {
 	return &ForgettingProbe{pools: pools, peak: map[int]float64{}, last: map[int]float64{}}
 }
 
-// Measure evaluates the learner on every domain pool and updates peaks.
-// Call it at domain boundaries (or any checkpoint cadence).
+// Measure evaluates the learner on every domain pool (batched) and updates
+// peaks. Call it at domain boundaries (or any checkpoint cadence).
 func (f *ForgettingProbe) Measure(l Learner) {
 	for d, pool := range f.pools {
+		if cap(f.zs) < len(pool) {
+			f.zs = make([]*tensor.Tensor, len(pool))
+			f.preds = make([]int, len(pool))
+		}
+		zs, preds := f.zs[:len(pool)], f.preds[:len(pool)]
+		for i, s := range pool {
+			zs[i] = s.Z
+		}
+		PredictInto(l, zs, preds)
 		hits := 0
-		for _, s := range pool {
-			if l.Predict(s.Z) == s.Label {
+		for i, s := range pool {
+			if preds[i] == s.Label {
 				hits++
 			}
 		}

@@ -21,8 +21,18 @@ type Head struct {
 	Classes int
 	// gradScratch is the reusable logit-gradient buffer for the batched
 	// cross-entropy path; a Head belongs to exactly one learner (one run), so
-	// reuse is race-free.
+	// reuse is race-free. softScratch additionally holds the softened teacher
+	// distribution for distillation losses.
 	gradScratch *tensor.Tensor
+	softScratch *tensor.Tensor
+	// ws is the head's private tensor pool, threaded through every layer and
+	// the optimizer by NewHead. It makes the steady-state train step and eval
+	// batch allocation-free; hand-built Heads (struct literals in tests) leave
+	// it nil and simply fall back to allocating paths.
+	ws *tensor.Workspace
+	// params caches Net.Params() — the walk allocates, and ZeroGrad/Step run
+	// once per online step.
+	params []*nn.Param
 }
 
 // HeadConfig controls head construction.
@@ -57,7 +67,23 @@ func NewHead(backbone *mobilenet.Model, cfg HeadConfig) *Head {
 	opt := nn.NewSGD(cfg.LR)
 	opt.Momentum = cfg.Momentum
 	opt.WeightDecay = cfg.WeightDecay
-	return &Head{Net: fresh.Head, Opt: opt, Classes: cfgM.NumClasses}
+	h := &Head{Net: fresh.Head, Opt: opt, Classes: cfgM.NumClasses, ws: tensor.NewWorkspace()}
+	nn.AttachWorkspace(h.Net, h.ws)
+	opt.SetWorkspace(h.ws)
+	h.params = h.Net.Params()
+	return h
+}
+
+// Workspace exposes the head's tensor pool (nil for hand-built heads). It is
+// single-owner: only the goroutine driving this head may touch it.
+func (h *Head) Workspace() *tensor.Workspace { return h.ws }
+
+// cachedParams returns the parameter list, walking the layer tree only once.
+func (h *Head) cachedParams() []*nn.Param {
+	if h.params == nil {
+		h.params = h.Net.Params()
+	}
+	return h.params
 }
 
 // Logits runs the head in eval mode.
@@ -69,14 +95,92 @@ func (h *Head) Predict(z *tensor.Tensor) int { return h.Logits(z).ArgMax() }
 // Probs returns softmax probabilities.
 func (h *Head) Probs(z *tensor.Tensor) *tensor.Tensor { return tensor.Softmax(h.Logits(z)) }
 
+// LogitsBatch runs the head in eval mode over a slice of latents at once,
+// returning an [N, Classes] logit matrix borrowed from the head's workspace
+// (PredictBatch puts it back; other callers should too). When every layer
+// supports the batched protocol the whole pool flows through one GEMM per
+// Dense layer; mixed chains (conv tails) fall back to per-sample Forwards
+// into the same matrix. Either way each row is bit-identical to Logits on
+// that sample: the batched kernels preserve the per-sample accumulation
+// order exactly.
+func (h *Head) LogitsBatch(zs []*tensor.Tensor) *tensor.Tensor {
+	n := len(zs)
+	layers := h.Net.Layers
+	var x *tensor.Tensor
+	start := 0
+	if len(layers) > 0 && n > 0 {
+		if _, ok := layers[0].(*nn.GlobalAvgPool2D); ok && zs[0].NDim() == 3 {
+			x = h.ws.Get(n, zs[0].Dim(0))
+			tensor.GlobalAvgPoolRowsInto(x, zs)
+			start = 1
+		}
+	}
+	if x == nil {
+		if n == 0 || zs[0].NDim() != 1 {
+			return h.logitsBatchFallback(zs)
+		}
+		d := zs[0].Len()
+		x = h.ws.Get(n, d)
+		xd := x.Data()
+		for i, z := range zs {
+			copy(xd[i*d:(i+1)*d], z.Data())
+		}
+	}
+	for _, l := range layers[start:] {
+		bl, ok := l.(nn.BatchLayer)
+		if !ok {
+			h.ws.Put(x)
+			return h.logitsBatchFallback(zs)
+		}
+		if y := bl.ForwardBatch(x, h.ws); y != x {
+			h.ws.Put(x)
+			x = y
+		}
+	}
+	return x
+}
+
+// logitsBatchFallback evaluates sample by sample into one output matrix.
+func (h *Head) logitsBatchFallback(zs []*tensor.Tensor) *tensor.Tensor {
+	out := h.ws.Get(len(zs), h.Classes)
+	od := out.Data()
+	for i, z := range zs {
+		copy(od[i*h.Classes:(i+1)*h.Classes], h.Logits(z).Data())
+	}
+	return out
+}
+
+// PredictBatch classifies zs into out[:len(zs)] via the batched eval path.
+func (h *Head) PredictBatch(zs []*tensor.Tensor, out []int) {
+	if len(zs) == 0 {
+		return
+	}
+	logits := h.LogitsBatch(zs)
+	logits.ArgMaxRowsInto(out[:len(zs)])
+	h.ws.Put(logits)
+}
+
 // ZeroGrad clears accumulated gradients.
-func (h *Head) ZeroGrad() { nn.ZeroGrads(h.Net) }
+func (h *Head) ZeroGrad() {
+	for _, p := range h.cachedParams() {
+		p.ZeroGrad()
+	}
+}
+
+// ensureGrad returns the shared logit-gradient scratch, sized to n.
+func (h *Head) ensureGrad(n int) *tensor.Tensor {
+	if h.gradScratch == nil || h.gradScratch.Len() != n {
+		h.gradScratch = tensor.New(n)
+	}
+	return h.gradScratch
+}
 
 // AccumulateCE adds the cross-entropy gradient of one (latent, label) pair,
 // scaled by weight, and returns the loss.
 func (h *Head) AccumulateCE(z *tensor.Tensor, label int, weight float64) float64 {
 	logits := h.Net.Forward(z, true)
-	loss, g := nn.CrossEntropy(logits, label)
+	g := h.ensureGrad(logits.Len())
+	loss := nn.CrossEntropyInto(logits, label, g)
 	if weight != 1 {
 		g.Scale(float32(weight))
 	}
@@ -89,7 +193,11 @@ func (h *Head) AccumulateCE(z *tensor.Tensor, label int, weight float64) float64
 // scaled loss.
 func (h *Head) AccumulateSoft(z, teacher *tensor.Tensor, temperature, weight float64) float64 {
 	logits := h.Net.Forward(z, true)
-	loss, g := nn.SoftCrossEntropy(logits, teacher, temperature)
+	g := h.ensureGrad(logits.Len())
+	if h.softScratch == nil || h.softScratch.Len() != logits.Len() {
+		h.softScratch = tensor.New(logits.Len())
+	}
+	loss := nn.SoftCrossEntropyInto(logits, teacher, temperature, g, h.softScratch)
 	s := weight * temperature * temperature
 	g.Scale(float32(s))
 	h.Net.Backward(g)
@@ -99,7 +207,8 @@ func (h *Head) AccumulateSoft(z, teacher *tensor.Tensor, temperature, weight flo
 // AccumulateMSE adds the DER logit-consistency gradient, scaled by weight.
 func (h *Head) AccumulateMSE(z, targetLogits *tensor.Tensor, weight float64) float64 {
 	logits := h.Net.Forward(z, true)
-	loss, g := nn.MSELogits(logits, targetLogits)
+	g := h.ensureGrad(logits.Len())
+	loss := nn.MSELogitsInto(logits, targetLogits, g)
 	if weight != 1 {
 		g.Scale(float32(weight))
 	}
@@ -110,13 +219,16 @@ func (h *Head) AccumulateMSE(z, targetLogits *tensor.Tensor, weight float64) flo
 // Step applies the optimizer with gradients scaled by 1/denom (denom ≤ 0 is
 // treated as 1), then clears them.
 func (h *Head) Step(denom float64) {
+	ps := h.cachedParams()
 	if denom > 0 && denom != 1 {
 		inv := float32(1 / denom)
-		for _, p := range h.Net.Params() {
+		for _, p := range ps {
 			p.Grad.Scale(inv)
 		}
 	}
-	h.Opt.Step(h.Net)
+	for _, p := range ps {
+		h.Opt.StepParam(p)
+	}
 	h.ZeroGrad()
 }
 
@@ -132,18 +244,16 @@ func (h *Head) TrainCEOn(samples []LatentSample) float64 {
 	var loss float64
 	for _, s := range samples {
 		logits := h.Net.Forward(s.Z, true)
-		if h.gradScratch == nil || h.gradScratch.Len() != logits.Len() {
-			h.gradScratch = tensor.New(logits.Len())
-		}
-		loss += nn.CrossEntropyInto(logits, s.Label, h.gradScratch)
-		h.Net.Backward(h.gradScratch)
+		g := h.ensureGrad(logits.Len())
+		loss += nn.CrossEntropyInto(logits, s.Label, g)
+		h.Net.Backward(g)
 	}
 	h.Step(float64(len(samples)))
 	return loss / float64(len(samples))
 }
 
 // Params returns the head's trainable parameters.
-func (h *Head) Params() []*nn.Param { return h.Net.Params() }
+func (h *Head) Params() []*nn.Param { return h.cachedParams() }
 
 // Snapshot deep-copies the current parameter values (for LwF teachers, EWC
 // anchors, ...). The returned tensors are ordered like Params.

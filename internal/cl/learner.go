@@ -57,6 +57,32 @@ type Finisher interface {
 	Finish()
 }
 
+// BatchPredictor is an optional Learner extension: classify a whole slice of
+// latents in one call, writing class indices into out[:len(zs)]. The batched
+// path must be bit-identical to calling Predict per sample; it exists so
+// evaluation can run as a handful of matrix kernels (which shard internally
+// over internal/parallel) instead of thousands of tiny forward passes.
+type BatchPredictor interface {
+	PredictBatch(zs []*tensor.Tensor, out []int)
+}
+
+// PredictInto classifies every latent in zs into out[:len(zs)], dispatching
+// to the learner's batched implementation when it has one. The serial loop is
+// the default adapter for legacy learners (and test doubles), which only need
+// to implement Predict.
+func PredictInto(l Learner, zs []*tensor.Tensor, out []int) {
+	if len(out) < len(zs) {
+		panic(fmt.Sprintf("cl: PredictInto out length %d, want at least %d", len(out), len(zs)))
+	}
+	if bp, ok := l.(BatchPredictor); ok {
+		bp.PredictBatch(zs, out)
+		return
+	}
+	for i, z := range zs {
+		out[i] = l.Predict(z)
+	}
+}
+
 // LatentSet caches the frozen-backbone features of a dataset so that every
 // method and seed shares one extraction pass (f is identical for all).
 type LatentSet struct {

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"chameleon/internal/data"
+	"chameleon/internal/tensor"
 )
 
 // Result is the outcome of one online run.
@@ -38,28 +39,34 @@ func RunOnline(l Learner, stream *LatentStream, test []LatentSample) Result {
 }
 
 // Evaluate computes Acc_all and per-class accuracy of a learner on a test
-// pool.
+// pool. The whole pool is classified through one PredictInto call (one pass:
+// batched learners run a handful of matrix kernels over the full pool), then
+// the tallies grow to whatever classes the pool actually contains; classes
+// below the max label with no test support report NaN, like before.
 func Evaluate(l Learner, test []LatentSample) Result {
 	if len(test) == 0 {
 		return Result{Method: l.Name(), AccAll: math.NaN(), PreferredAcc: math.NaN()}
 	}
-	maxClass := 0
-	for _, s := range test {
-		if s.Label > maxClass {
-			maxClass = s.Label
-		}
+	zs := make([]*tensor.Tensor, len(test))
+	for i, s := range test {
+		zs[i] = s.Z
 	}
-	correct := make([]int, maxClass+1)
-	total := make([]int, maxClass+1)
+	preds := make([]int, len(test))
+	PredictInto(l, zs, preds)
+	var correct, total []int
 	hits := 0
-	for _, s := range test {
+	for i, s := range test {
+		for s.Label >= len(total) {
+			total = append(total, 0)
+			correct = append(correct, 0)
+		}
 		total[s.Label]++
-		if l.Predict(s.Z) == s.Label {
+		if preds[i] == s.Label {
 			correct[s.Label]++
 			hits++
 		}
 	}
-	per := make([]float64, maxClass+1)
+	per := make([]float64, len(total))
 	for c := range per {
 		if total[c] > 0 {
 			per[c] = float64(correct[c]) / float64(total[c])

@@ -106,6 +106,11 @@ type Chameleon struct {
 	// src is rng's counting source, so the stream position checkpoints.
 	src     *checkpoint.Source
 	batches int
+	// stepBuf, uncertBuf and labelBuf are per-Observe assembly buffers,
+	// reused across batches (a learner serves one sequential run).
+	stepBuf   []cl.LatentSample
+	uncertBuf []float64
+	labelBuf  []int
 }
 
 // New creates a Chameleon learner over a fresh trainable head.
@@ -130,6 +135,9 @@ func (c *Chameleon) Name() string { return "chameleon" }
 
 // Predict implements cl.Learner.
 func (c *Chameleon) Predict(z *tensor.Tensor) int { return c.head.Predict(z) }
+
+// PredictBatch implements cl.BatchPredictor.
+func (c *Chameleon) PredictBatch(zs []*tensor.Tensor, out []int) { c.head.PredictBatch(zs, out) }
 
 // Head exposes the trainable head (hardware profiling reads its shape).
 func (c *Chameleon) Head() *cl.Head { return c.head }
@@ -160,8 +168,12 @@ func (c *Chameleon) Observe(b cl.LatentBatch) {
 	}
 	// Uncertainty scores need the *pre-update* logits; capture them first so
 	// the subsequent weight update does not bias selection (Eq. 3).
-	uncert := make([]float64, len(b.Samples))
-	labels := make([]int, len(b.Samples))
+	if cap(c.uncertBuf) < len(b.Samples) {
+		c.uncertBuf = make([]float64, len(b.Samples))
+		c.labelBuf = make([]int, len(b.Samples))
+	}
+	uncert := c.uncertBuf[:len(b.Samples)]
+	labels := c.labelBuf[:len(b.Samples)]
 	for i, s := range b.Samples {
 		uncert[i] = Uncertainty(c.head.Logits(s.Z), s.Label)
 		labels[i] = s.Label
@@ -172,7 +184,9 @@ func (c *Chameleon) Observe(b cl.LatentBatch) {
 	// with a sweep of the complete short-term memory. The long-term store
 	// contributes one extra rehearsal mini-batch every h cycles.
 	for _, s := range b.Samples {
-		step := append([]cl.LatentSample{s}, c.st.Items()...)
+		step := append(c.stepBuf[:0], s)
+		step = append(step, c.st.Items()...)
+		c.stepBuf = step
 		c.cfg.Meter.AddOnChip(int64(c.st.Len()), 0)
 		c.head.TrainCEOn(step)
 	}

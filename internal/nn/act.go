@@ -11,6 +11,11 @@ import (
 type ReLU struct {
 	Cap  float32 // 0 means unbounded
 	mask []bool  // true where the gradient passes
+	// y and gx are reusable output buffers: gx always (backward is train-only
+	// and single-owner), y on the train path always and on the eval path once
+	// a workspace is attached (workspace-free eval must stay mutation-free).
+	y, gx *tensor.Tensor
+	ws    *tensor.Workspace
 }
 
 // NewReLU returns an unbounded ReLU.
@@ -27,9 +32,22 @@ func (r *ReLU) Name() string {
 	return "relu"
 }
 
+// SetWorkspace implements WorkspaceUser.
+func (r *ReLU) SetWorkspace(ws *tensor.Workspace) { r.ws = ws }
+
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
+	var y *tensor.Tensor
+	if train || r.ws != nil {
+		if r.y == nil || !r.y.SameShape(x) {
+			r.ws.Put(r.y)
+			r.y = r.ws.Get(x.Shape()...)
+		}
+		y = r.y
+		y.CopyFrom(x)
+	} else {
+		y = x.Clone()
+	}
 	if train {
 		if cap(r.mask) < y.Len() {
 			r.mask = make([]bool, y.Len())
@@ -54,7 +72,12 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
+	if r.gx == nil || !r.gx.SameShape(grad) {
+		r.ws.Put(r.gx)
+		r.gx = r.ws.Get(grad.Shape()...)
+	}
+	g := r.gx
+	g.CopyFrom(grad)
 	for i := range g.Data() {
 		if !r.mask[i] {
 			g.Data()[i] = 0
@@ -75,6 +98,9 @@ type Dropout struct {
 	P    float64
 	rng  *rand.Rand
 	keep []float32
+	// y and gx are train-path output buffers, reused across steps (training is
+	// single-owner by the Layer contract; eval Forward returns x untouched).
+	y, gx *tensor.Tensor
 }
 
 // NewDropout creates a Dropout layer with its own deterministic RNG stream.
@@ -90,7 +116,11 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P <= 0 {
 		return x
 	}
-	y := x.Clone()
+	if d.y == nil || !d.y.SameShape(x) {
+		d.y = tensor.New(x.Shape()...)
+	}
+	y := d.y
+	y.CopyFrom(x)
 	if cap(d.keep) < y.Len() {
 		d.keep = make([]float32, y.Len())
 	}
@@ -113,7 +143,11 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.P <= 0 || len(d.keep) == 0 {
 		return grad
 	}
-	g := grad.Clone()
+	if d.gx == nil || !d.gx.SameShape(grad) {
+		d.gx = tensor.New(grad.Shape()...)
+	}
+	g := d.gx
+	g.CopyFrom(grad)
 	for i := range g.Data() {
 		g.Data()[i] *= d.keep[i]
 	}

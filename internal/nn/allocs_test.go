@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/parallel"
+	"chameleon/internal/race"
+	"chameleon/internal/tensor"
+)
+
+func TestDenseForwardIntoMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDense("fc", 12, 7, rng)
+	x := tensor.RandNormal(rng, 1, 12)
+	want := d.Forward(x, false)
+	dst := tensor.New(7)
+	dst.Data()[0] = 42 // dirty, must be overwritten
+	d.ForwardInto(dst, x, false)
+	for i, v := range dst.Data() {
+		if v != want.Data()[i] {
+			t.Fatalf("ForwardInto[%d] = %v, want %v", i, v, want.Data()[i])
+		}
+	}
+}
+
+func TestDenseBackwardIntoMatchesBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.RandNormal(rng, 1, 9)
+	g := tensor.RandNormal(rng, 1, 6)
+	g.Data()[2] = 0 // exercise the zero-skip branch
+
+	// Two identically seeded layers, one per code path.
+	d1 := NewDense("fc", 9, 6, rand.New(rand.NewSource(5)))
+	d2 := NewDense("fc", 9, 6, rand.New(rand.NewSource(5)))
+
+	d1.Forward(x, true)
+	gx1 := d1.Backward(g)
+
+	d2.Forward(x, true)
+	gx2 := tensor.New(9)
+	d2.BackwardInto(gx2, g)
+
+	for i, v := range gx2.Data() {
+		if v != gx1.Data()[i] {
+			t.Fatalf("BackwardInto gx[%d] = %v, want %v", i, v, gx1.Data()[i])
+		}
+	}
+	for i, v := range d2.w.Grad.Data() {
+		if v != d1.w.Grad.Data()[i] {
+			t.Fatalf("BackwardInto gw[%d] = %v, want %v", i, v, d1.w.Grad.Data()[i])
+		}
+	}
+}
+
+func TestAllocsDenseTrainLoop(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation pins are measured without -race instrumentation")
+	}
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	rng := rand.New(rand.NewSource(6))
+	d := NewDense("fc", 32, 16, rng)
+	ws := tensor.NewWorkspace()
+	d.SetWorkspace(ws)
+	x := tensor.RandNormal(rng, 1, 32)
+	g := tensor.RandNormal(rng, 1, 16)
+	step := func() {
+		d.Forward(x, true)
+		d.Backward(g)
+	}
+	step() // warm the layer's scratch
+	if got := testing.AllocsPerRun(100, step); got != 0 {
+		t.Fatalf("Dense forward+backward allocates %.0f times/op, want 0", got)
+	}
+}

@@ -23,6 +23,12 @@ type Conv2D struct {
 	// own goroutine; eval-mode Forward stays mutation-free so a frozen model
 	// can serve concurrent extraction workers.
 	gwScratch, dcolScratch *tensor.Tensor
+	// colBuf is the forward im2col scratch and y3/y2 one output buffer viewed
+	// as [outC,OH,OW] and [outC,OH*OW]; gxBuf holds the input gradient. All
+	// are reused on the train path always, and colBuf/y on the eval path once
+	// a workspace is attached.
+	colBuf, y2, y3, gxBuf *tensor.Tensor
+	ws                    *tensor.Workspace
 }
 
 // NewConv2D creates a Conv2D with He-normal weights.
@@ -38,6 +44,9 @@ func NewConv2D(label string, inC, outC, k, stride, pad int, rng *rand.Rand) *Con
 // Name implements Layer.
 func (c *Conv2D) Name() string { return c.label }
 
+// SetWorkspace implements WorkspaceUser.
+func (c *Conv2D) SetWorkspace(ws *tensor.Workspace) { c.ws = ws }
+
 // Forward implements Layer for a [inC,H,W] input, producing [outC,OH,OW].
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NDim() != 3 || x.Dim(0) != c.inC {
@@ -46,23 +55,46 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	h, w := x.Dim(1), x.Dim(2)
 	oh := tensor.ConvOut(h, c.kh, c.stride, c.pad)
 	ow := tensor.ConvOut(w, c.kw, c.stride, c.pad)
-	col := tensor.Im2Col(x, c.kh, c.kw, c.stride, c.pad)
+	var col *tensor.Tensor
+	if train || c.ws != nil {
+		kc := c.inC * c.kh * c.kw
+		if c.colBuf == nil || c.colBuf.Dim(0) != kc || c.colBuf.Dim(1) != oh*ow {
+			c.ws.Put(c.colBuf)
+			c.colBuf = c.ws.Get(kc, oh*ow)
+		}
+		tensor.Im2ColInto(c.colBuf, x, c.kh, c.kw, c.stride, c.pad)
+		col = c.colBuf
+	} else {
+		col = tensor.Im2Col(x, c.kh, c.kw, c.stride, c.pad)
+	}
 	if train {
 		c.col, c.inH, c.inW, c.oh, c.ow = col, h, w, oh, ow
 	}
-	y := tensor.MatMul(c.w.Data, col) // [outC, oh*ow]
+	var y2, y3 *tensor.Tensor
+	if train || c.ws != nil {
+		if c.y3 == nil || c.y3.Dim(1) != oh || c.y3.Dim(2) != ow {
+			c.ws.Put(c.y3)
+			c.y3 = c.ws.Get(c.outC, oh, ow)
+			c.y2 = c.y3.Reshape(c.outC, oh*ow)
+		}
+		y2, y3 = c.y2, c.y3
+	} else {
+		y3 = tensor.New(c.outC, oh, ow)
+		y2 = y3.Reshape(c.outC, oh*ow)
+	}
+	tensor.MatMulInto(y2, c.w.Data, col) // [outC, oh*ow]
 	// Add bias per output channel.
 	for o := 0; o < c.outC; o++ {
 		b := c.b.Data.Data()[o]
 		if b == 0 {
 			continue
 		}
-		row := y.Data()[o*oh*ow : (o+1)*oh*ow]
+		row := y2.Data()[o*oh*ow : (o+1)*oh*ow]
 		for i := range row {
 			row[i] += b
 		}
 	}
-	return y.Reshape(c.outC, oh, ow)
+	return y3
 }
 
 // Backward implements Layer.
@@ -78,9 +110,11 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	tensor.MatMulT2Into(c.gwScratch, g, c.col)
 	c.w.Grad.AddInPlace(c.gwScratch)
 	// db = row sums of g
+	ohw := c.oh * c.ow
+	gd := g.Data()
 	for o := 0; o < c.outC; o++ {
 		var s float32
-		for _, v := range g.Row(o).Data() {
+		for _, v := range gd[o*ohw : (o+1)*ohw] {
 			s += v
 		}
 		c.b.Grad.Data()[o] += s
@@ -90,7 +124,12 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		c.dcolScratch = tensor.New(c.col.Shape()...)
 	}
 	tensor.MatMulT1Into(c.dcolScratch, c.w.Data, g)
-	return tensor.Col2Im(c.dcolScratch, c.inC, c.inH, c.inW, c.kh, c.kw, c.stride, c.pad)
+	if c.gxBuf == nil || c.gxBuf.Len() != c.inC*c.inH*c.inW {
+		c.ws.Put(c.gxBuf)
+		c.gxBuf = c.ws.Get(c.inC, c.inH, c.inW)
+	}
+	tensor.Col2ImInto(c.gxBuf, c.dcolScratch, c.kh, c.kw, c.stride, c.pad)
+	return c.gxBuf
 }
 
 // Params implements Layer.
@@ -106,9 +145,13 @@ type DepthwiseConv2D struct {
 	label       string
 	c, k        int
 	stride, pad int
-	w           *Param // [C,K,K]
-	b           *Param // [C]
-	x           *tensor.Tensor
+	w           *Param         // [C,K,K]
+	b           *Param         // [C]
+	x           *tensor.Tensor // cached input (train mode), reused across steps
+	// y is the forward output buffer (train path always, eval path once a
+	// workspace is attached); gx/gw/gb are backward scratch, train-only.
+	y, gx, gw, gb *tensor.Tensor
+	ws            *tensor.Workspace
 }
 
 // NewDepthwiseConv2D creates a depthwise convolution with He-normal weights.
@@ -124,13 +167,29 @@ func NewDepthwiseConv2D(label string, channels, k, stride, pad int, rng *rand.Ra
 // Name implements Layer.
 func (d *DepthwiseConv2D) Name() string { return d.label }
 
+// SetWorkspace implements WorkspaceUser.
+func (d *DepthwiseConv2D) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
+
 // Forward implements Layer.
 func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NDim() != 3 || x.Dim(0) != d.c {
 		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", d.label, d.c, x.Shape()))
 	}
 	if train {
-		d.x = x.Clone()
+		if d.x == nil || !d.x.SameShape(x) {
+			d.x = tensor.New(x.Shape()...)
+		}
+		d.x.CopyFrom(x)
+	}
+	if train || d.ws != nil {
+		oh := tensor.ConvOut(x.Dim(1), d.k, d.stride, d.pad)
+		ow := tensor.ConvOut(x.Dim(2), d.k, d.stride, d.pad)
+		if d.y == nil || d.y.Dim(1) != oh || d.y.Dim(2) != ow {
+			d.ws.Put(d.y)
+			d.y = d.ws.Get(d.c, oh, ow)
+		}
+		tensor.DepthwiseConvInto(d.y, x, d.w.Data, d.b.Data, d.stride, d.pad)
+		return d.y
 	}
 	return tensor.DepthwiseConv(x, d.w.Data, d.b.Data, d.stride, d.pad)
 }
@@ -140,10 +199,17 @@ func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.x == nil {
 		panic("nn: DepthwiseConv2D.Backward before training Forward")
 	}
-	gx, gw, gb := tensor.DepthwiseConvGrads(d.x, d.w.Data, grad, d.stride, d.pad)
-	d.w.Grad.AddInPlace(gw)
-	d.b.Grad.AddInPlace(gb)
-	return gx
+	if d.gx == nil || !d.gx.SameShape(d.x) {
+		d.gx = tensor.New(d.x.Shape()...)
+	}
+	if d.gw == nil {
+		d.gw = tensor.New(d.w.Data.Shape()...)
+		d.gb = tensor.New(d.c)
+	}
+	tensor.DepthwiseConvGradsInto(d.gx, d.gw, d.gb, d.x, d.w.Data, grad, d.stride, d.pad)
+	d.w.Grad.AddInPlace(d.gw)
+	d.b.Grad.AddInPlace(d.gb)
+	return d.gx
 }
 
 // Params implements Layer.

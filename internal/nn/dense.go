@@ -13,7 +13,14 @@ type Dense struct {
 	w     *Param // [out, in]
 	b     *Param // [out]
 	inCap int
-	x     *tensor.Tensor // cached input (train mode)
+	x     *tensor.Tensor // cached input (train mode), reused across steps
+	// y and gx are reusable output/input-gradient buffers. gx (and x) serve
+	// only the training path, which is single-owner by the Layer contract, so
+	// they are recycled unconditionally; y is additionally reused on the eval
+	// path once a workspace is attached (eval without one must stay
+	// mutation-free for concurrent extraction).
+	y, gx *tensor.Tensor
+	ws    *tensor.Workspace
 }
 
 // NewDense creates a Dense layer with He-normal weights and zero bias.
@@ -35,30 +42,80 @@ func (d *Dense) In() int { return d.inCap }
 // Out returns the output width.
 func (d *Dense) Out() int { return d.w.Data.Dim(0) }
 
+// SetWorkspace implements WorkspaceUser.
+func (d *Dense) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
+
 // Forward implements Layer for a [in] input, producing [out].
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Len() != d.inCap {
 		panic(fmt.Sprintf("nn: %s expects %d inputs, got shape %v", d.label, d.inCap, x.Shape()))
 	}
-	flat := x.Reshape(d.inCap)
-	if train {
-		d.x = flat.Clone()
+	if train || d.ws != nil {
+		if d.y == nil {
+			d.y = d.ws.Get(d.Out())
+		}
+		d.ForwardInto(d.y, x, train)
+		return d.y
+	}
+	// Eval without a workspace: allocation-fresh and mutation-free, so a
+	// shared model can serve concurrent callers.
+	flat := x
+	if x.NDim() != 1 {
+		flat = x.Reshape(d.inCap)
 	}
 	y := tensor.MatVec(d.w.Data, flat)
 	y.AddInPlace(d.b.Data)
 	return y
 }
 
+// ForwardInto is Forward writing y = Wx + b into a caller-owned [out] tensor,
+// mirroring the tensor MatMul*Into API: the inner training loop reuses one
+// output buffer instead of allocating per call. train selects input caching
+// for the subsequent Backward.
+func (d *Dense) ForwardInto(dst, x *tensor.Tensor, train bool) {
+	if x.Len() != d.inCap {
+		panic(fmt.Sprintf("nn: %s expects %d inputs, got shape %v", d.label, d.inCap, x.Shape()))
+	}
+	if dst.Len() != d.Out() {
+		panic(fmt.Sprintf("nn: %s ForwardInto dst has %d elements, want %d", d.label, dst.Len(), d.Out()))
+	}
+	flat := x
+	if x.NDim() != 1 {
+		flat = x.Reshape(d.inCap)
+	}
+	if train {
+		if d.x == nil {
+			d.x = d.ws.Get(d.inCap)
+		}
+		d.x.CopyFrom(flat)
+	}
+	tensor.MatVecInto(dst, d.w.Data, flat)
+	dst.AddInPlace(d.b.Data)
+}
+
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.gx == nil {
+		d.gx = d.ws.Get(d.inCap)
+	}
+	d.BackwardInto(d.gx, grad)
+	return d.gx
+}
+
+// BackwardInto is Backward writing the input gradient into a caller-owned
+// [in] tensor (overwritten), accumulating parameter gradients as usual.
+func (d *Dense) BackwardInto(dst, grad *tensor.Tensor) {
 	if d.x == nil {
 		panic("nn: Dense.Backward before training Forward")
 	}
 	out, in := d.Out(), d.inCap
+	if grad.Len() != out || dst.Len() != in {
+		panic(fmt.Sprintf("nn: %s BackwardInto grad %d/dst %d, want %d/%d", d.label, grad.Len(), dst.Len(), out, in))
+	}
 	gw, gb := d.w.Grad.Data(), d.b.Grad.Data()
 	gd, wd, xd := grad.Data(), d.w.Data.Data(), d.x.Data()
-	gx := tensor.New(in)
-	gxd := gx.Data()
+	dst.Zero()
+	gxd := dst.Data()
 	for o := 0; o < out; o++ {
 		g := gd[o]
 		gb[o] += g
@@ -72,7 +129,6 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			gxd[i] += g * wRow[i]
 		}
 	}
-	return gx
 }
 
 // Params implements Layer.

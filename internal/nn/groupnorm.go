@@ -23,8 +23,14 @@ type GroupNorm2D struct {
 	gamma  *Param
 	beta   *Param
 	eps    float32
-	xhat   *tensor.Tensor
-	invStd []float32 // per group, cached in train mode
+	xhat   *tensor.Tensor // cached normalised input (train mode), reused across steps
+	invStd []float32      // per group, cached in train mode
+	// y and gx are reusable buffers: gx and the ghat scratch always (backward
+	// is train-only and single-owner), y on the train path always and on the
+	// eval path once a workspace is attached.
+	y, gx *tensor.Tensor
+	ghat  []float32
+	ws    *tensor.Workspace
 }
 
 // NewGroupNorm2D creates a GroupNorm layer. groups must divide channels.
@@ -43,6 +49,9 @@ func NewGroupNorm2D(label string, channels, groups int) *GroupNorm2D {
 // Name implements Layer.
 func (gn *GroupNorm2D) Name() string { return gn.label }
 
+// SetWorkspace implements WorkspaceUser.
+func (gn *GroupNorm2D) SetWorkspace(ws *tensor.Workspace) { gn.ws = ws }
+
 // Forward implements Layer.
 func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NDim() != 3 || x.Dim(0) != gn.c {
@@ -52,10 +61,22 @@ func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	plane := h * w
 	perG := gn.c / gn.g
 	gSize := perG * plane
-	y := tensor.New(gn.c, h, w)
+	var y *tensor.Tensor
+	if train || gn.ws != nil {
+		if gn.y == nil || !gn.y.SameShape(x) {
+			gn.ws.Put(gn.y)
+			gn.y = gn.ws.Get(x.Shape()...)
+		}
+		y = gn.y
+	} else {
+		y = tensor.New(gn.c, h, w)
+	}
 	var xhat *tensor.Tensor
 	if train {
-		xhat = tensor.New(gn.c, h, w)
+		if gn.xhat == nil || !gn.xhat.SameShape(x) {
+			gn.xhat = tensor.New(gn.c, h, w)
+		}
+		xhat = gn.xhat
 		if cap(gn.invStd) < gn.g {
 			gn.invStd = make([]float32, gn.g)
 		}
@@ -93,9 +114,6 @@ func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			}
 		}
 	}
-	if train {
-		gn.xhat = xhat
-	}
 	return y
 }
 
@@ -109,8 +127,15 @@ func (gn *GroupNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	plane := h * w
 	perG := gn.c / gn.g
 	gSize := perG * plane
-	gx := tensor.New(gn.c, h, w)
-	ghat := make([]float32, gSize)
+	if gn.gx == nil || !gn.gx.SameShape(grad) {
+		gn.ws.Put(gn.gx)
+		gn.gx = gn.ws.Get(gn.c, h, w)
+	}
+	gx := gn.gx
+	if cap(gn.ghat) < gSize {
+		gn.ghat = make([]float32, gSize)
+	}
+	ghat := gn.ghat[:gSize]
 	for gi := 0; gi < gn.g; gi++ {
 		var sumG, sumGX float64
 		for ci := 0; ci < perG; ci++ {

@@ -30,12 +30,15 @@ func CrossEntropyInto(logits *tensor.Tensor, label int, grad *tensor.Tensor) (lo
 	if grad.Len() != logits.Len() {
 		panic(fmt.Sprintf("nn: CrossEntropyInto grad size %d, want %d", grad.Len(), logits.Len()))
 	}
-	ls := tensor.LogSoftmax(logits)
-	loss = -float64(ls.Data()[label])
-	for i, v := range ls.Data() {
-		grad.Data()[i] = float32(math.Exp(float64(v)))
+	// The log-softmax lands directly in grad, which then exponentiates in
+	// place — the whole loss is alloc-free for the caller's reused scratch.
+	tensor.LogSoftmaxInto(grad, logits)
+	gd := grad.Data()
+	loss = -float64(gd[label])
+	for i, v := range gd {
+		gd[i] = float32(math.Exp(float64(v)))
 	}
-	grad.Data()[label] -= 1
+	gd[label] -= 1
 	return loss
 }
 
@@ -46,42 +49,65 @@ func CrossEntropyInto(logits *tensor.Tensor, label int, grad *tensor.Tensor) (lo
 // that want Hinton's conventional T² loss scaling (so soft and hard gradients
 // stay commensurate as T grows) should multiply the gradient by T².
 func SoftCrossEntropy(student, teacher *tensor.Tensor, temperature float64) (loss float64, grad *tensor.Tensor) {
+	grad = tensor.New(student.Len())
+	loss = SoftCrossEntropyInto(student, teacher, temperature, grad, tensor.New(teacher.Len()))
+	return loss, grad
+}
+
+// SoftCrossEntropyInto is SoftCrossEntropy writing the gradient into a
+// caller-owned tensor (overwritten). scratch must match teacher in size and
+// is clobbered with the softened teacher distribution; reusing both buffers
+// makes the distillation step alloc-free.
+func SoftCrossEntropyInto(student, teacher *tensor.Tensor, temperature float64, grad, scratch *tensor.Tensor) (loss float64) {
 	if student.Len() != teacher.Len() {
 		panic(fmt.Sprintf("nn: SoftCrossEntropy size mismatch %v vs %v", student.Shape(), teacher.Shape()))
+	}
+	n := student.Len()
+	if grad.Len() != n || scratch.Len() != n {
+		panic(fmt.Sprintf("nn: SoftCrossEntropyInto grad size %d, scratch size %d, want %d", grad.Len(), scratch.Len(), n))
 	}
 	if temperature <= 0 {
 		temperature = 1
 	}
-	n := student.Len()
-	sT := tensor.New(n)
-	tT := tensor.New(n)
 	invT := float32(1 / temperature)
+	gd, pd := grad.Data(), scratch.Data()
 	for i := 0; i < n; i++ {
-		sT.Data()[i] = student.Data()[i] * invT
-		tT.Data()[i] = teacher.Data()[i] * invT
+		gd[i] = student.Data()[i] * invT
+		pd[i] = teacher.Data()[i] * invT
 	}
-	logQ := tensor.LogSoftmax(sT)
-	p := tensor.Softmax(tT)
-	grad = tensor.New(n)
+	tensor.LogSoftmaxInto(grad, grad) // gd = logQ
+	tensor.SoftmaxInto(scratch, scratch)
 	for i := 0; i < n; i++ {
-		loss -= float64(p.Data()[i]) * float64(logQ.Data()[i])
-		grad.Data()[i] = (float32(math.Exp(float64(logQ.Data()[i]))) - p.Data()[i]) * invT
+		logQ := gd[i]
+		loss -= float64(pd[i]) * float64(logQ)
+		gd[i] = (float32(math.Exp(float64(logQ))) - pd[i]) * invT
 	}
-	return loss, grad
+	return loss
 }
 
 // MSELogits is the Dark Experience Replay consistency loss: mean squared
 // error between current logits and stored logits, with gradient.
 func MSELogits(logits, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
+	grad = tensor.New(logits.Len())
+	loss = MSELogitsInto(logits, target, grad)
+	return loss, grad
+}
+
+// MSELogitsInto is MSELogits writing the gradient into a caller-owned tensor
+// (overwritten), for alloc-free replay steps.
+func MSELogitsInto(logits, target, grad *tensor.Tensor) (loss float64) {
 	if logits.Len() != target.Len() {
 		panic(fmt.Sprintf("nn: MSELogits size mismatch %v vs %v", logits.Shape(), target.Shape()))
 	}
 	n := logits.Len()
-	grad = tensor.New(n)
+	if grad.Len() != n {
+		panic(fmt.Sprintf("nn: MSELogitsInto grad size %d, want %d", grad.Len(), n))
+	}
+	gd := grad.Data()
 	for i := 0; i < n; i++ {
 		d := logits.Data()[i] - target.Data()[i]
 		loss += float64(d) * float64(d)
-		grad.Data()[i] = 2 * d / float32(n)
+		gd[i] = 2 * d / float32(n)
 	}
-	return loss / float64(n), grad
+	return loss / float64(n)
 }

@@ -21,7 +21,11 @@ type BatchNorm2D struct {
 	beta       *Param
 	mean, vari *tensor.Tensor
 	eps        float32
-	xhat       *tensor.Tensor // cached normalised input (train mode)
+	xhat       *tensor.Tensor // cached normalised input (train mode), reused across steps
+	// y and gx are reusable buffers: gx always (backward is train-only), y on
+	// the train path always and on the eval path once a workspace is attached.
+	y, gx *tensor.Tensor
+	ws    *tensor.Workspace
 }
 
 // NewBatchNorm2D creates a frozen-statistics batch norm with μ=0, σ²=1,
@@ -54,16 +58,31 @@ func (b *BatchNorm2D) Stats() (mean, variance *tensor.Tensor) { return b.mean, b
 // Name implements Layer.
 func (b *BatchNorm2D) Name() string { return b.label }
 
+// SetWorkspace implements WorkspaceUser.
+func (b *BatchNorm2D) SetWorkspace(ws *tensor.Workspace) { b.ws = ws }
+
 // Forward implements Layer.
 func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NDim() != 3 || x.Dim(0) != b.c {
 		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", b.label, b.c, x.Shape()))
 	}
 	h, w := x.Dim(1), x.Dim(2)
-	y := tensor.New(b.c, h, w)
+	var y *tensor.Tensor
+	if train || b.ws != nil {
+		if b.y == nil || !b.y.SameShape(x) {
+			b.ws.Put(b.y)
+			b.y = b.ws.Get(x.Shape()...)
+		}
+		y = b.y
+	} else {
+		y = tensor.New(b.c, h, w)
+	}
 	var xhat *tensor.Tensor
 	if train {
-		xhat = tensor.New(b.c, h, w)
+		if b.xhat == nil || !b.xhat.SameShape(x) {
+			b.xhat = tensor.New(b.c, h, w)
+		}
+		xhat = b.xhat
 	}
 	for c := 0; c < b.c; c++ {
 		inv := float32(1 / math.Sqrt(float64(b.vari.Data()[c]+b.eps)))
@@ -80,9 +99,6 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			out[i] = g*n + bt
 		}
 	}
-	if train {
-		b.xhat = xhat
-	}
 	return y
 }
 
@@ -92,7 +108,11 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic("nn: BatchNorm2D.Backward before training Forward")
 	}
 	h, w := grad.Dim(1), grad.Dim(2)
-	gx := tensor.New(b.c, h, w)
+	if b.gx == nil || !b.gx.SameShape(grad) {
+		b.ws.Put(b.gx)
+		b.gx = b.ws.Get(b.c, h, w)
+	}
+	gx := b.gx
 	for c := 0; c < b.c; c++ {
 		inv := float32(1 / math.Sqrt(float64(b.vari.Data()[c]+b.eps)))
 		g := b.gamma.Data.Data()[c]
@@ -120,6 +140,10 @@ func (b *BatchNorm2D) OutShape(in []int) []int { return in }
 // GlobalAvgPool2D averages [C,H,W] to [C].
 type GlobalAvgPool2D struct {
 	inH, inW int
+	// y and gx are reusable buffers: gx always (backward is train-only), y on
+	// the train path always and on the eval path once a workspace is attached.
+	y, gx *tensor.Tensor
+	ws    *tensor.Workspace
 }
 
 // NewGlobalAvgPool2D creates the pooling layer.
@@ -128,10 +152,21 @@ func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
 // Name implements Layer.
 func (g *GlobalAvgPool2D) Name() string { return "gap" }
 
+// SetWorkspace implements WorkspaceUser.
+func (g *GlobalAvgPool2D) SetWorkspace(ws *tensor.Workspace) { g.ws = ws }
+
 // Forward implements Layer.
 func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		g.inH, g.inW = x.Dim(1), x.Dim(2)
+	}
+	if train || g.ws != nil {
+		if g.y == nil || g.y.Len() != x.Dim(0) {
+			g.ws.Put(g.y)
+			g.y = g.ws.Get(x.Dim(0))
+		}
+		tensor.GlobalAvgPoolInto(g.y, x)
+		return g.y
 	}
 	return tensor.GlobalAvgPool(x)
 }
@@ -139,7 +174,11 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (g *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	c := grad.Len()
-	out := tensor.New(c, g.inH, g.inW)
+	if g.gx == nil || g.gx.Len() != c*g.inH*g.inW {
+		g.ws.Put(g.gx)
+		g.gx = g.ws.Get(c, g.inH, g.inW)
+	}
+	out := g.gx
 	inv := 1 / float32(g.inH*g.inW)
 	for ci := 0; ci < c; ci++ {
 		v := grad.Data()[ci] * inv

@@ -19,7 +19,12 @@ type SGD struct {
 	GradClip float64
 
 	velocity map[*Param]*tensor.Tensor
+	ws       *tensor.Workspace
 }
+
+// SetWorkspace implements WorkspaceUser: clip/decay scratch is borrowed from
+// ws instead of cloning the gradient on every step.
+func (s *SGD) SetWorkspace(ws *tensor.Workspace) { s.ws = ws }
 
 // NewSGD creates an optimizer with the given learning rate and no momentum.
 func NewSGD(lr float64) *SGD { return &SGD{LR: lr, velocity: map[*Param]*tensor.Tensor{}} }
@@ -33,18 +38,27 @@ func (s *SGD) Step(model Layer) {
 	}
 }
 
-// StepParam updates a single parameter.
+// StepParam updates a single parameter. Clip and weight decay share one
+// scratch tensor borrowed from the workspace (a fresh clone when none is
+// attached), returned after the final in-place update.
 func (s *SGD) StepParam(p *Param) {
 	g := p.Grad
+	var scratch *tensor.Tensor
 	if s.GradClip > 0 {
 		if n := g.Norm2(); n > s.GradClip {
-			g = g.Clone()
-			g.Scale(float32(s.GradClip / n))
+			scratch = s.ws.Get(g.Shape()...)
+			scratch.CopyFrom(g)
+			scratch.Scale(float32(s.GradClip / n))
+			g = scratch
 		}
 	}
 	if s.WeightDecay != 0 {
 		// L2 penalty folded into the gradient.
-		g = g.Clone()
+		if scratch == nil {
+			scratch = s.ws.Get(g.Shape()...)
+			scratch.CopyFrom(g)
+			g = scratch
+		}
 		g.AddScaled(float32(s.WeightDecay), p.Data)
 	}
 	if s.Momentum != 0 {
@@ -61,6 +75,7 @@ func (s *SGD) StepParam(p *Param) {
 		g = v
 	}
 	p.Data.AddScaled(float32(-s.LR), g)
+	s.ws.Put(scratch)
 }
 
 // VelocitySnapshot deep-copies the momentum state aligned with model.Params()

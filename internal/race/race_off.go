@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package race reports whether the race detector instruments this build.
+// The strict AllocsPerRun == 0 regression tests skip under -race: the
+// instrumentation itself allocates, which would make the pin flaky without
+// telling us anything about the production hot path (check.sh runs the
+// allocation gate in a separate non-race pass).
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -36,11 +36,38 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	out := New(c*kh*kw, oh*ow)
-	col := out.data
-	parallel.For(c, channelGrain(kh*kw*oh*ow), func(lo, hi int) {
-		im2colChannels(col, x.data, lo, hi, h, w, kh, kw, oh, ow, stride, pad)
-	})
+	im2colSharded(out.data, x.data, c, h, w, kh, kw, oh, ow, stride, pad)
 	return out
+}
+
+// Im2ColInto is Im2Col writing into a caller-owned [C*KH*KW, OH*OW] matrix
+// (overwritten, including the zero padding border), so convolution layers can
+// reuse one lowering buffer across steps.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
+	if len(x.shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2ColInto on shape %v", x.shape))
+	}
+	c, h, w := x.shape[0], x.shape[1], x.shape[2]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	if len(dst.shape) != 2 || dst.shape[0] != c*kh*kw || dst.shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v, want [%d %d]", dst.shape, c*kh*kw, oh*ow))
+	}
+	// The lowering kernel skips out-of-bounds taps ("leave zeros"), so the
+	// padding border must be re-zeroed when the buffer is reused.
+	dst.Zero()
+	im2colSharded(dst.data, x.data, c, h, w, kh, kw, oh, ow, stride, pad)
+}
+
+func im2colSharded(col, data []float32, c, h, w, kh, kw, oh, ow, stride, pad int) {
+	// Small lowerings skip parallel.For entirely: even constructing the
+	// escaping closure costs a heap allocation the steady-state loops avoid.
+	if c*kh*kw*oh*ow < minParallelMACs || parallel.Workers() <= 1 {
+		im2colChannels(col, data, 0, c, h, w, kh, kw, oh, ow, stride, pad)
+		return
+	}
+	parallel.For(c, channelGrain(kh*kw*oh*ow), func(lo, hi int) {
+		im2colChannels(col, data, lo, hi, h, w, kh, kw, oh, ow, stride, pad)
+	})
 }
 
 // im2colChannels lowers channels [lo,hi): each channel owns rows
@@ -74,40 +101,61 @@ func im2colChannels(col, data []float32, lo, hi, h, w, kh, kw, oh, ow, stride, p
 // matrix back into a [C,H,W] image, accumulating overlapping contributions.
 // It is the building block of convolution input gradients.
 func Col2Im(col *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	out := New(c, h, w)
+	Col2ImInto(out, col, kh, kw, stride, pad)
+	return out
+}
+
+// Col2ImInto is Col2Im scattering into a caller-owned [C,H,W] tensor. dst is
+// zeroed first (the scatter accumulates), so one gradient buffer can be
+// reused across backward passes.
+func Col2ImInto(dst, col *Tensor, kh, kw, stride, pad int) {
+	if len(dst.shape) != 3 {
+		panic(fmt.Sprintf("tensor: Col2ImInto dst shape %v", dst.shape))
+	}
+	c, h, w := dst.shape[0], dst.shape[1], dst.shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	if len(col.shape) != 2 || col.shape[0] != c*kh*kw || col.shape[1] != oh*ow {
-		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match c=%d h=%d w=%d k=%dx%d s=%d p=%d",
+		panic(fmt.Sprintf("tensor: Col2ImInto shape %v does not match c=%d h=%d w=%d k=%dx%d s=%d p=%d",
 			col.shape, c, h, w, kh, kw, stride, pad))
 	}
-	out := New(c, h, w)
+	dst.Zero()
 	// Each channel scatters only into its own [h,w] plane, so channel shards
 	// are disjoint and the accumulation order within a plane is the serial
 	// loop's order at any worker count.
+	if c*kh*kw*oh*ow < minParallelMACs || parallel.Workers() <= 1 {
+		col2imChannels(dst.data, col.data, 0, c, h, w, kh, kw, oh, ow, stride, pad)
+		return
+	}
 	parallel.For(c, channelGrain(kh*kw*oh*ow), func(lo, hi int) {
-		for ci := lo; ci < hi; ci++ {
-			plane := out.data[ci*h*w : (ci+1)*h*w]
-			for ki := 0; ki < kh; ki++ {
-				for kj := 0; kj < kw; kj++ {
-					rowBase := ((ci*kh+ki)*kw + kj) * oh * ow
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*stride - pad + ki
-						if iy < 0 || iy >= h {
-							continue
-						}
-						src := col.data[rowBase+oy*ow:]
-						dst := plane[iy*w:]
-						for ox := 0; ox < ow; ox++ {
-							ix := ox*stride - pad + kj
-							if ix >= 0 && ix < w {
-								dst[ix] += src[ox]
-							}
+		col2imChannels(dst.data, col.data, lo, hi, h, w, kh, kw, oh, ow, stride, pad)
+	})
+}
+
+// col2imChannels scatters channels [lo,hi) back into the image planes.
+func col2imChannels(out, col []float32, lo, hi, h, w, kh, kw, oh, ow, stride, pad int) {
+	for ci := lo; ci < hi; ci++ {
+		plane := out[ci*h*w : (ci+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				rowBase := ((ci*kh+ki)*kw + kj) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride - pad + ki
+					if iy < 0 || iy >= h {
+						continue
+					}
+					src := col[rowBase+oy*ow:]
+					dst := plane[iy*w:]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride - pad + kj
+						if ix >= 0 && ix < w {
+							dst[ix] += src[ox]
 						}
 					}
 				}
 			}
 		}
-	})
-	return out
+	}
 }
 
 // DepthwiseConv applies a per-channel [C,KH,KW] filter bank to a [C,H,W]
@@ -121,10 +169,29 @@ func DepthwiseConv(x, w, bias *Tensor, stride, pad int) *Tensor {
 	kh, kw := w.shape[1], w.shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
 	out := New(c, oh, ow)
-	parallel.For(c, channelGrain(kh*kw*oh*ow), func(lo, hi int) {
-		depthwiseChannels(out, x, w, bias, lo, hi, h, wd, kh, kw, oh, ow, stride, pad)
-	})
+	DepthwiseConvInto(out, x, w, bias, stride, pad)
 	return out
+}
+
+// DepthwiseConvInto is DepthwiseConv writing into a caller-owned [C,OH,OW]
+// tensor (every element assigned, no zeroing needed).
+func DepthwiseConvInto(dst, x, w, bias *Tensor, stride, pad int) {
+	if len(x.shape) != 3 || len(w.shape) != 3 || x.shape[0] != w.shape[0] {
+		panic(fmt.Sprintf("tensor: DepthwiseConvInto shapes x=%v w=%v", x.shape, w.shape))
+	}
+	c, h, wd := x.shape[0], x.shape[1], x.shape[2]
+	kh, kw := w.shape[1], w.shape[2]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	if len(dst.shape) != 3 || dst.shape[0] != c || dst.shape[1] != oh || dst.shape[2] != ow {
+		panic(fmt.Sprintf("tensor: DepthwiseConvInto dst shape %v, want [%d %d %d]", dst.shape, c, oh, ow))
+	}
+	if c*kh*kw*oh*ow < minParallelMACs || parallel.Workers() <= 1 {
+		depthwiseChannels(dst, x, w, bias, 0, c, h, wd, kh, kw, oh, ow, stride, pad)
+		return
+	}
+	parallel.For(c, channelGrain(kh*kw*oh*ow), func(lo, hi int) {
+		depthwiseChannels(dst, x, w, bias, lo, hi, h, wd, kh, kw, oh, ow, stride, pad)
+	})
 }
 
 // depthwiseChannels convolves channels [lo,hi); each channel reads and writes
@@ -167,16 +234,34 @@ func depthwiseChannels(out, x, w, bias *Tensor, lo, hi, h, wd, kh, kw, oh, ow, s
 func DepthwiseConvGrads(x, w, gy *Tensor, stride, pad int) (gx, gw, gb *Tensor) {
 	c, h, wd := x.shape[0], x.shape[1], x.shape[2]
 	kh, kw := w.shape[1], w.shape[2]
-	oh, ow := gy.shape[1], gy.shape[2]
 	gx = New(c, h, wd)
 	gw = New(c, kh, kw)
 	gb = New(c)
+	DepthwiseConvGradsInto(gx, gw, gb, x, w, gy, stride, pad)
+	return gx, gw, gb
+}
+
+// DepthwiseConvGradsInto is DepthwiseConvGrads accumulating into caller-owned
+// gradient tensors. gx and gw are zeroed first (the kernel accumulates into
+// them); gb is fully assigned. Shapes must match x, w and [C].
+func DepthwiseConvGradsInto(gx, gw, gb, x, w, gy *Tensor, stride, pad int) {
+	c, h, wd := x.shape[0], x.shape[1], x.shape[2]
+	kh, kw := w.shape[1], w.shape[2]
+	oh, ow := gy.shape[1], gy.shape[2]
+	if !gx.SameShape(x) || !gw.SameShape(w) || gb.Len() != c {
+		panic(fmt.Sprintf("tensor: DepthwiseConvGradsInto gradient shapes gx=%v gw=%v gb=%v", gx.shape, gw.shape, gb.shape))
+	}
+	gx.Zero()
+	gw.Zero()
 	// All three gradients are per-channel, so channel shards write disjoint
 	// regions of gx, gw and gb.
+	if 2*c*kh*kw*oh*ow < minParallelMACs || parallel.Workers() <= 1 {
+		depthwiseGradChannels(gx, gw, gb, x, w, gy, 0, c, h, wd, kh, kw, oh, ow, stride, pad)
+		return
+	}
 	parallel.For(c, channelGrain(2*kh*kw*oh*ow), func(lo, hi int) {
 		depthwiseGradChannels(gx, gw, gb, x, w, gy, lo, hi, h, wd, kh, kw, oh, ow, stride, pad)
 	})
-	return gx, gw, gb
 }
 
 // depthwiseGradChannels computes the depthwise gradients for channels [lo,hi).
@@ -247,15 +332,66 @@ func AvgPool(x *Tensor, k int) *Tensor {
 // GlobalAvgPool averages each channel plane of a [C,H,W] tensor to a [C]
 // vector.
 func GlobalAvgPool(x *Tensor) *Tensor {
+	out := New(x.shape[0])
+	GlobalAvgPoolInto(out, x)
+	return out
+}
+
+// GlobalAvgPoolInto is GlobalAvgPool writing into a caller-owned [C] vector.
+func GlobalAvgPoolInto(dst, x *Tensor) {
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
-	out := New(c)
+	if dst.Len() != c {
+		panic(fmt.Sprintf("tensor: GlobalAvgPoolInto dst shape %v, want [%d]", dst.shape, c))
+	}
 	inv := 1 / float32(h*w)
 	for ci := 0; ci < c; ci++ {
 		var s float32
 		for _, v := range x.data[ci*h*w : (ci+1)*h*w] {
 			s += v
 		}
-		out.data[ci] = s * inv
+		dst.data[ci] = s * inv
 	}
-	return out
+}
+
+// GlobalAvgPoolRowsInto pools each [C,H,W] tensor of xs into the matching row
+// of dst ([len(xs), C]), sharding samples across the worker pool. Every
+// sample writes only its own row with the exact serial-pool loop, so results
+// are bit-identical to per-sample GlobalAvgPool at any worker count. It is
+// the batched-evaluation entry point of the MLP head.
+func GlobalAvgPoolRowsInto(dst *Tensor, xs []*Tensor) {
+	if len(dst.shape) != 2 || dst.shape[0] != len(xs) {
+		panic(fmt.Sprintf("tensor: GlobalAvgPoolRowsInto dst shape %v for %d samples", dst.shape, len(xs)))
+	}
+	if len(xs) == 0 {
+		return
+	}
+	c := dst.shape[1]
+	per := xs[0].Len()
+	if len(xs)*per < minParallelMACs || parallel.Workers() <= 1 {
+		gapRows(dst, xs, c, 0, len(xs))
+		return
+	}
+	parallel.For(len(xs), rowGrain(per), func(lo, hi int) {
+		gapRows(dst, xs, c, lo, hi)
+	})
+}
+
+// gapRows pools samples [lo,hi) into their rows of dst.
+func gapRows(dst *Tensor, xs []*Tensor, c, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		x := xs[i]
+		if len(x.shape) != 3 || x.shape[0] != c {
+			panic(fmt.Sprintf("tensor: GlobalAvgPoolRowsInto sample %d shape %v, want [%d,H,W]", i, x.shape, c))
+		}
+		h, w := x.shape[1], x.shape[2]
+		inv := 1 / float32(h*w)
+		row := dst.data[i*c : (i+1)*c]
+		for ci := 0; ci < c; ci++ {
+			var s float32
+			for _, v := range x.data[ci*h*w : (ci+1)*h*w] {
+				s += v
+			}
+			row[ci] = s * inv
+		}
+	}
 }

@@ -65,7 +65,7 @@ func MatMulInto(dst, a, b *Tensor) {
 // serial kernel regardless of worker count, so results are bit-identical to
 // the serial path.
 func matmulSharded(dst, a, b []float32, m, k, n int) {
-	if m*k*n < minParallelMACs {
+	if m*k*n < minParallelMACs || parallel.Workers() <= 1 {
 		matmulInto(dst, a, b, m, k, n)
 		return
 	}
@@ -148,28 +148,34 @@ func checkT1(op string, a, b *Tensor) (k, m int) {
 }
 
 // matmulT1Sharded accumulates aᵀ @ b into dst, sharding output rows. Per
-// output element the p-loop ascends exactly as in the serial kernel.
+// output element the p-loop ascends exactly as in the serial kernel. The
+// shard body is a named function so the small-kernel fast path never
+// materialises a closure (a per-call heap allocation the steady-state
+// training loop must not pay).
 func matmulT1Sharded(dst, a, b []float32, m, k, n int) {
-	shard := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			di := dst[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a[p*m+i]
-				if av == 0 {
-					continue
-				}
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
-					di[j] += av * bv
-				}
+	if m*k*n < minParallelMACs || parallel.Workers() <= 1 {
+		matmulT1Range(dst, a, b, m, k, n, 0, m)
+		return
+	}
+	parallel.For(m, rowGrain(k*n), func(lo, hi int) {
+		matmulT1Range(dst, a, b, m, k, n, lo, hi)
+	})
+}
+
+func matmulT1Range(dst, a, b []float32, m, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		di := dst[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
 			}
 		}
 	}
-	if m*k*n < minParallelMACs {
-		shard(0, m)
-		return
-	}
-	parallel.For(m, rowGrain(k*n), shard)
 }
 
 // MatMulT2 returns a @ bᵀ for a [M,K] and b [N,K], yielding [M,N].
@@ -204,28 +210,31 @@ func checkT2(op string, a, b *Tensor) (m, k, n int) {
 // matmulInto, which the ReLU-heavy activations this kernel sees (conv weight
 // gradients: g @ colᵀ) make worthwhile.
 func matmulT2Sharded(dst, a, b []float32, m, k, n int) {
-	shard := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a[i*k : (i+1)*k]
-			di := dst[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := b[j*k : (j+1)*k]
-				var s float32
-				for p, av := range ai {
-					if av == 0 {
-						continue
-					}
-					s += av * bj[p]
-				}
-				di[j] = s
-			}
-		}
-	}
-	if m*k*n < minParallelMACs {
-		shard(0, m)
+	if m*k*n < minParallelMACs || parallel.Workers() <= 1 {
+		matmulT2Range(dst, a, b, k, n, 0, m)
 		return
 	}
-	parallel.For(m, rowGrain(k*n), shard)
+	parallel.For(m, rowGrain(k*n), func(lo, hi int) {
+		matmulT2Range(dst, a, b, k, n, lo, hi)
+	})
+}
+
+func matmulT2Range(dst, a, b []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		di := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				s += av * bj[p]
+			}
+			di[j] = s
+		}
+	}
 }
 
 // MatVec returns a @ x for a [M,K] and x [K], yielding [M].
@@ -253,24 +262,27 @@ func MatVecInto(dst, a, x *Tensor) {
 // matvecSharded assigns a @ x into dst, sharding rows and skipping zero
 // matrix entries (the same zero fast path as matmulInto).
 func matvecSharded(dst, a, x []float32, m, k int) {
-	shard := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a[i*k : (i+1)*k]
-			var s float32
-			for p, av := range ai {
-				if av == 0 {
-					continue
-				}
-				s += av * x[p]
-			}
-			dst[i] = s
-		}
-	}
-	if m*k < minParallelMACs {
-		shard(0, m)
+	if m*k < minParallelMACs || parallel.Workers() <= 1 {
+		matvecRange(dst, a, x, k, 0, m)
 		return
 	}
-	parallel.For(m, rowGrain(k), shard)
+	parallel.For(m, rowGrain(k), func(lo, hi int) {
+		matvecRange(dst, a, x, k, lo, hi)
+	})
+}
+
+func matvecRange(dst, a, x []float32, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		var s float32
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			s += av * x[p]
+		}
+		dst[i] = s
+	}
 }
 
 // Inverse returns the inverse of a square matrix via Gauss–Jordan elimination

@@ -118,11 +118,22 @@ func (t *Tensor) ArgMax() int {
 
 // ArgMaxRows returns, for a [N, C] tensor, the argmax of each row.
 func (t *Tensor) ArgMaxRows() []int {
+	out := make([]int, t.shape[0])
+	t.ArgMaxRowsInto(out)
+	return out
+}
+
+// ArgMaxRowsInto writes the per-row argmax of a [N, C] tensor into out, which
+// must have exactly N elements. It is the allocation-free sibling of
+// ArgMaxRows for batched prediction loops.
+func (t *Tensor) ArgMaxRowsInto(out []int) {
 	if len(t.shape) != 2 {
-		panic(fmt.Sprintf("tensor: ArgMaxRows on shape %v", t.shape))
+		panic(fmt.Sprintf("tensor: ArgMaxRowsInto on shape %v", t.shape))
 	}
 	n, c := t.shape[0], t.shape[1]
-	out := make([]int, n)
+	if len(out) != n {
+		panic(fmt.Sprintf("tensor: ArgMaxRowsInto out length %d, want %d", len(out), n))
+	}
 	for i := 0; i < n; i++ {
 		row := t.data[i*c : (i+1)*c]
 		best, bi := float32(math.Inf(-1)), 0
@@ -133,25 +144,31 @@ func (t *Tensor) ArgMaxRows() []int {
 		}
 		out[i] = bi
 	}
-	return out
 }
 
 // Softmax returns softmax over the last dimension of a 1-D or 2-D tensor.
 func Softmax(t *Tensor) *Tensor {
+	out := New(t.shape...)
+	SoftmaxInto(out, t)
+	return out
+}
+
+// SoftmaxInto computes softmax over the last dimension of a 1-D or 2-D tensor
+// into dst, which must have t's element count. dst == t is allowed (in-place).
+func SoftmaxInto(dst, t *Tensor) {
+	if len(dst.data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: SoftmaxInto dst size %v, want %v", dst.shape, t.shape))
+	}
 	switch len(t.shape) {
 	case 1:
-		out := New(t.shape...)
-		softmaxRow(out.data, t.data)
-		return out
+		softmaxRow(dst.data, t.data)
 	case 2:
-		out := New(t.shape...)
 		c := t.shape[1]
 		for i := 0; i < t.shape[0]; i++ {
-			softmaxRow(out.data[i*c:(i+1)*c], t.data[i*c:(i+1)*c])
+			softmaxRow(dst.data[i*c:(i+1)*c], t.data[i*c:(i+1)*c])
 		}
-		return out
 	default:
-		panic(fmt.Sprintf("tensor: Softmax on shape %v", t.shape))
+		panic(fmt.Sprintf("tensor: SoftmaxInto on shape %v", t.shape))
 	}
 }
 
@@ -177,20 +194,28 @@ func softmaxRow(dst, src []float32) {
 // LogSoftmax returns log-softmax over the last dimension of a 1-D or 2-D
 // tensor, computed stably.
 func LogSoftmax(t *Tensor) *Tensor {
+	out := New(t.shape...)
+	LogSoftmaxInto(out, t)
+	return out
+}
+
+// LogSoftmaxInto computes log-softmax over the last dimension of a 1-D or 2-D
+// tensor into dst, which must have t's element count. dst == t is allowed:
+// both row kernels read src element-wise before the matching write.
+func LogSoftmaxInto(dst, t *Tensor) {
+	if len(dst.data) != len(t.data) {
+		panic(fmt.Sprintf("tensor: LogSoftmaxInto dst size %v, want %v", dst.shape, t.shape))
+	}
 	switch len(t.shape) {
 	case 1:
-		out := New(t.shape...)
-		logSoftmaxRow(out.data, t.data)
-		return out
+		logSoftmaxRow(dst.data, t.data)
 	case 2:
-		out := New(t.shape...)
 		c := t.shape[1]
 		for i := 0; i < t.shape[0]; i++ {
-			logSoftmaxRow(out.data[i*c:(i+1)*c], t.data[i*c:(i+1)*c])
+			logSoftmaxRow(dst.data[i*c:(i+1)*c], t.data[i*c:(i+1)*c])
 		}
-		return out
 	default:
-		panic(fmt.Sprintf("tensor: LogSoftmax on shape %v", t.shape))
+		panic(fmt.Sprintf("tensor: LogSoftmaxInto on shape %v", t.shape))
 	}
 }
 

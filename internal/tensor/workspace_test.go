@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/parallel"
+	"chameleon/internal/race"
+)
+
+func TestWorkspaceRecyclesByElementCount(t *testing.T) {
+	ws := NewWorkspace()
+	a := ws.Get(2, 3)
+	ad := a.Data()
+	for i := range ad {
+		ad[i] = float32(i + 1)
+	}
+	ws.Put(a)
+	// Same element count, different shape: must reuse the same storage.
+	b := ws.Get(6)
+	if &b.Data()[0] != &ad[0] {
+		t.Fatal("Get after Put did not recycle the buffer")
+	}
+	if b.NDim() != 1 || b.Dim(0) != 6 {
+		t.Fatalf("recycled tensor shape = %v, want [6]", b.Shape())
+	}
+	// Contents are unspecified after Get — GetZeroed must clear them.
+	ws.Put(b)
+	c := ws.GetZeroed(3, 2)
+	for _, v := range c.Data() {
+		if v != 0 {
+			t.Fatal("GetZeroed returned dirty buffer")
+		}
+	}
+}
+
+func TestWorkspaceDistinctSizesDoNotAlias(t *testing.T) {
+	ws := NewWorkspace()
+	a, b := ws.Get(4), ws.Get(8)
+	ws.Put(a)
+	ws.Put(b)
+	if got := ws.Get(8); &got.Data()[0] != &b.Data()[0] {
+		t.Fatal("size-8 Get should come from the size-8 bucket")
+	}
+}
+
+func TestWorkspaceNilIsNoPooling(t *testing.T) {
+	var ws *Workspace
+	a := ws.Get(3)
+	if a.Len() != 3 {
+		t.Fatalf("nil-workspace Get gave %v", a.Shape())
+	}
+	ws.Put(a) // must not panic
+	b := ws.Get(3)
+	if &b.Data()[0] == &a.Data()[0] {
+		t.Fatal("nil workspace must not pool")
+	}
+}
+
+func TestAllocsWorkspaceGetPut(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation pins are measured without -race instrumentation")
+	}
+	ws := NewWorkspace()
+	ws.Put(ws.Get(16, 4)) // warm the bucket
+	got := testing.AllocsPerRun(100, func() {
+		x := ws.Get(4, 16)
+		ws.Put(x)
+	})
+	if got != 0 {
+		t.Fatalf("Get/Put cycle allocates %.0f times, want 0", got)
+	}
+}
+
+func TestSoftmaxIntoMatchesSoftmax(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := RandNormal(rng, 2, 17)
+	want := Softmax(x)
+	dst := New(17)
+	dst.Data()[3] = 42 // dirty, must be overwritten
+	SoftmaxInto(dst, x)
+	for i, v := range dst.Data() {
+		if v != want.Data()[i] {
+			t.Fatalf("SoftmaxInto[%d] = %v, want %v", i, v, want.Data()[i])
+		}
+	}
+	lw := LogSoftmax(x)
+	ldst := New(17)
+	LogSoftmaxInto(ldst, x)
+	for i, v := range ldst.Data() {
+		if v != lw.Data()[i] {
+			t.Fatalf("LogSoftmaxInto[%d] = %v, want %v", i, v, lw.Data()[i])
+		}
+	}
+}
+
+// TestIm2ColCol2ImScratchReuseFuzz drives the lowering kernels through a
+// workspace-recycled (dirty) destination across randomized shapes, strides,
+// pads and worker counts, asserting bit-identity with the allocation-fresh
+// forms. This is the contract that lets conv layers keep one scratch buffer
+// alive across training steps.
+func TestIm2ColCol2ImScratchReuseFuzz(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	rng := rand.New(rand.NewSource(23))
+	ws := NewWorkspace()
+	for iter := 0; iter < 60; iter++ {
+		kh := 1 + rng.Intn(3)
+		kw := 1 + rng.Intn(3)
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(3)
+		c := 1 + rng.Intn(4)
+		h := kh + rng.Intn(7)
+		w := kw + rng.Intn(7)
+		parallel.SetWorkers(1 + rng.Intn(4))
+
+		x := RandNormal(rng, 1, c, h, w)
+		fresh := Im2Col(x, kh, kw, stride, pad)
+		dst := ws.Get(fresh.Dim(0), fresh.Dim(1))
+		for i := range dst.Data() {
+			dst.Data()[i] = -999 // poison: Into must fully overwrite, pad included
+		}
+		Im2ColInto(dst, x, kh, kw, stride, pad)
+		for i, v := range dst.Data() {
+			if v != fresh.Data()[i] {
+				t.Fatalf("iter %d (c=%d h=%d w=%d k=%dx%d s=%d p=%d): Im2ColInto[%d] = %v, want %v",
+					iter, c, h, w, kh, kw, stride, pad, i, v, fresh.Data()[i])
+			}
+		}
+
+		col := RandNormal(rng, 1, fresh.Dim(0), fresh.Dim(1))
+		freshIm := Col2Im(col, c, h, w, kh, kw, stride, pad)
+		dim := ws.Get(c, h, w)
+		for i := range dim.Data() {
+			dim.Data()[i] = 999
+		}
+		Col2ImInto(dim, col, kh, kw, stride, pad)
+		for i, v := range dim.Data() {
+			if v != freshIm.Data()[i] {
+				t.Fatalf("iter %d (c=%d h=%d w=%d k=%dx%d s=%d p=%d): Col2ImInto[%d] = %v, want %v",
+					iter, c, h, w, kh, kw, stride, pad, i, v, freshIm.Data()[i])
+			}
+		}
+		ws.Put(dst)
+		ws.Put(dim)
+	}
+}

@@ -11,4 +11,9 @@ echo '>> go build ./...'
 go build ./...
 echo '>> go test -race ./...'
 go test -race ./...
+# The allocation-regression gate runs in a separate non-race pass: the strict
+# AllocsPerRun == 0 pins skip under -race because the instrumentation itself
+# allocates (see internal/race).
+echo '>> go test -run TestAllocs -count=1 ./... (allocation gate, no race)'
+go test -run TestAllocs -count=1 ./...
 echo 'check.sh: all green'
