@@ -24,7 +24,8 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkMatMulParallel|BenchmarkLatentExtractParallel' .
 
-# Steady-state hot-path envelope as machine-readable JSON (BENCH_pr3.json):
-# train-step and eval-batch ns/op + allocs/op, serial vs batched eval speedup.
+# Steady-state hot-path envelope as machine-readable JSON (BENCH_pr4.json):
+# train-step and eval-batch ns/op + allocs/op, serial vs batched eval speedup,
+# checkpoint save/restore latency, and the full end-of-run metrics report.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr4.json

@@ -8,7 +8,11 @@
 //   - serial vs batched full-pool classification and their speedup
 //     (the batched path must win by ≥2× and agree bit-for-bit),
 //   - accuracy of the trained head on the synthetic pool (sanity: the
-//     measured configuration actually learns).
+//     measured configuration actually learns),
+//   - checkpoint: save/restore latency and frame size of a mid-stream
+//     Chameleon snapshot, taken from the checkpoint package's own metrics,
+//   - metrics: the full end-of-run observability report (every counter,
+//     gauge and histogram the instrumented run produced).
 //
 // The data is synthetic — per-class Gaussian prototypes in latent space — so
 // the tool is self-contained and runs in seconds without the dataset
@@ -26,9 +30,12 @@ import (
 	"time"
 
 	"chameleon/internal/baselines"
+	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
+	"chameleon/internal/core"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/nn"
+	"chameleon/internal/obs"
 	"chameleon/internal/parallel"
 	"chameleon/internal/tensor"
 )
@@ -73,13 +80,74 @@ type report struct {
 	PooledSpeedup    float64 `json:"pooled_speedup"`
 	PredictionsMatch bool    `json:"predictions_match"`
 	AccuracyPct      float64 `json:"accuracy_pct"`
+	// Checkpoint durability cost of a mid-stream Chameleon snapshot, averaged
+	// over checkpointRounds save/load round-trips; the numbers come from the
+	// checkpoint package's own save/restore instrumentation, so this also
+	// exercises the metrics plumbing end to end.
+	CheckpointSaveMs    float64 `json:"checkpoint_save_ms"`
+	CheckpointRestoreMs float64 `json:"checkpoint_restore_ms"`
+	CheckpointSaves     int64   `json:"checkpoint_saves"`
+	CheckpointRestores  int64   `json:"checkpoint_restores"`
+	CheckpointFrameKB   float64 `json:"checkpoint_frame_kb"`
+	// Metrics is the structured end-of-run report of the default registry.
+	Metrics obs.Report `json:"metrics"`
+}
+
+// checkpointRounds is how many save/load round-trips feed the checkpoint
+// latency averages.
+const checkpointRounds = 20
+
+// benchCheckpoint drives a Chameleon learner over a short synthetic stream,
+// then round-trips its snapshot through checkpoint.Save/Load; the registry's
+// checkpoint_* metrics pick up the latency and frame size.
+func benchCheckpoint(rep *report, model *mobilenet.Model, train []cl.LatentSample, batch int, seed int64) {
+	head := cl.NewHead(model, cl.HeadConfig{Seed: seed + 1})
+	learner := core.New(head, core.Config{STCap: 10, LTCap: 100, AccessRate: 5, Seed: seed})
+	for start := 0; start+batch <= len(train) && start < 20*batch; start += batch {
+		learner.Observe(cl.LatentBatch{Samples: train[start : start+batch]})
+	}
+	snap, err := learner.Snapshot()
+	if err != nil {
+		log.Fatalf("checkpoint bench: snapshot: %v", err)
+	}
+	dir, err := os.MkdirTemp("", "benchjson-ckpt")
+	if err != nil {
+		log.Fatalf("checkpoint bench: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/bench.ckpt"
+	before := obs.Default().Report()
+	for i := 0; i < checkpointRounds; i++ {
+		if err := checkpoint.Save(path, "bench.chameleon", snap); err != nil {
+			log.Fatalf("checkpoint bench: save: %v", err)
+		}
+		var restored []byte
+		if err := checkpoint.Load(path, "bench.chameleon", &restored); err != nil {
+			log.Fatalf("checkpoint bench: load: %v", err)
+		}
+	}
+	after := obs.Default().Report()
+	saveH, loadH := after.Histograms["checkpoint_save_seconds"], after.Histograms["checkpoint_restore_seconds"]
+	saveB, loadB := before.Histograms["checkpoint_save_seconds"], before.Histograms["checkpoint_restore_seconds"]
+	rep.CheckpointSaves = saveH.Count - saveB.Count
+	rep.CheckpointRestores = loadH.Count - loadB.Count
+	if rep.CheckpointSaves > 0 {
+		rep.CheckpointSaveMs = 1e3 * (saveH.Sum - saveB.Sum) / float64(rep.CheckpointSaves)
+	}
+	if rep.CheckpointRestores > 0 {
+		rep.CheckpointRestoreMs = 1e3 * (loadH.Sum - loadB.Sum) / float64(rep.CheckpointRestores)
+	}
+	bytes := after.Counters["checkpoint_save_bytes_total"] - before.Counters["checkpoint_save_bytes_total"]
+	if rep.CheckpointSaves > 0 {
+		rep.CheckpointFrameKB = float64(bytes) / float64(rep.CheckpointSaves) / 1024
+	}
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var (
-		out     = flag.String("out", "BENCH_pr3.json", "output JSON path")
+		out     = flag.String("out", "BENCH_pr4.json", "output JSON path")
 		classes = flag.Int("classes", 10, "synthetic class count")
 		pool    = flag.Int("pool", 400, "test-pool size")
 		batch   = flag.Int("batch", 11, "train-step batch size (incoming + replay)")
@@ -173,6 +241,10 @@ func main() {
 			break
 		}
 	}
+	benchCheckpoint(&rep, model, train, *batch, *seed)
+	// Snapshot last so the report carries everything the run produced: trainer
+	// phase histograms, replay-store counters, pool utilisation, head timings.
+	rep.Metrics = obs.Default().Report()
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -192,5 +264,7 @@ func main() {
 	fmt.Printf("serial Predict loop: %d ns/op, %d allocs/op\n", rep.SerialEval.NsPerOp, rep.SerialEval.AllocsPerOp)
 	fmt.Printf("eval speedup (batched vs serial Predict loop): %.2fx (vs pooled serial: %.2fx), predictions match: %v\n",
 		rep.EvalSpeedup, rep.PooledSpeedup, rep.PredictionsMatch)
+	fmt.Printf("checkpoint: save %.2f ms, restore %.2f ms, frame %.0f KB (%d round-trips)\n",
+		rep.CheckpointSaveMs, rep.CheckpointRestoreMs, rep.CheckpointFrameKB, rep.CheckpointSaves)
 	fmt.Printf("accuracy: %.1f%%  →  %s\n", rep.AccuracyPct, *out)
 }

@@ -25,6 +25,7 @@ import (
 
 	"chameleon/internal/cl"
 	"chameleon/internal/exp"
+	"chameleon/internal/obs"
 	"chameleon/internal/parallel"
 )
 
@@ -43,9 +44,18 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume grid cells from existing checkpoints in -checkpoint")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		metrics  = flag.String("metrics-addr", "", "serve live metrics on this address: Prometheus text on /metrics, expvar JSON on /vars and /debug/vars ('' disables)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	if *metrics != "" {
+		srv, err := obs.Default().Serve(*metrics)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("metrics: http://%s/metrics (Prometheus), /vars (JSON)", srv.Addr())
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

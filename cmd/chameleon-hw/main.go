@@ -15,6 +15,7 @@ import (
 
 	"chameleon/internal/hw"
 	"chameleon/internal/mobilenet"
+	"chameleon/internal/obs"
 	"chameleon/internal/parallel"
 )
 
@@ -28,9 +29,18 @@ func main() {
 		resolution = flag.Int("res", 128, "input resolution of the costed backbone")
 		layers     = flag.Bool("layers", false, "print the per-layer systolic-array cycle breakdown")
 		workers    = flag.Int("workers", 0, "worker-pool size for parallel kernels (0 = GOMAXPROCS)")
+		metrics    = flag.String("metrics-addr", "", "serve live metrics on this address: Prometheus text on /metrics, expvar JSON on /vars and /debug/vars ('' disables)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	if *metrics != "" {
+		srv, err := obs.Default().Serve(*metrics)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("metrics: http://%s/metrics (Prometheus), /vars (JSON)", srv.Addr())
+	}
 
 	cfg := mobilenet.PaperConfig(50)
 	cfg.Resolution = *resolution

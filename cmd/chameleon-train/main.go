@@ -17,6 +17,7 @@ import (
 	"chameleon/internal/data"
 	"chameleon/internal/exp"
 	"chameleon/internal/hw"
+	"chameleon/internal/obs"
 	"chameleon/internal/parallel"
 )
 
@@ -38,9 +39,18 @@ func main() {
 		ckPath      = flag.String("checkpoint", "", "checkpoint file for crash-safe runs ('' disables)")
 		ckEvery     = flag.Int("checkpoint-every", 100, "batches between checkpoint saves (with -checkpoint)")
 		resume      = flag.Bool("resume", false, "resume from -checkpoint if the file exists")
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address: Prometheus text on /metrics, expvar JSON on /vars and /debug/vars ('' disables)")
 	)
 	flag.Parse()
 	parallel.SetWorkers(*workers)
+	if *metricsAddr != "" {
+		srv, err := obs.Default().Serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("metrics: http://%s/metrics (Prometheus), /vars (JSON)", srv.Addr())
+	}
 
 	var sc exp.Scale
 	switch *scale {
@@ -59,6 +69,7 @@ func main() {
 
 	spec := exp.MethodSpec{Name: *method, Buffer: *buffer, ST: *st}
 	meter := &cl.TrafficMeter{}
+	meter.Bind(obs.Default())
 	learner, err := exp.NewLearnerMetered(spec, set, sc, *seed, meter)
 	if err != nil {
 		log.Fatal(err)

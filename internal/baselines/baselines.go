@@ -15,6 +15,7 @@ package baselines
 
 import (
 	"math/rand"
+	"time"
 
 	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
@@ -69,16 +70,22 @@ func (c Config) rngSource(salt int64) (*rand.Rand, *checkpoint.Source) {
 // with no memory of the past.
 type Finetune struct {
 	head *cl.Head
+	met  observeTimer
 }
 
 // NewFinetune creates the lower-bound learner.
-func NewFinetune(head *cl.Head) *Finetune { return &Finetune{head: head} }
+func NewFinetune(head *cl.Head) *Finetune {
+	return &Finetune{head: head, met: newObserveTimer("finetune")}
+}
 
 // Name implements cl.Learner.
 func (f *Finetune) Name() string { return "finetune" }
 
 // Observe implements cl.Learner.
-func (f *Finetune) Observe(b cl.LatentBatch) { f.head.TrainCEOn(b.Samples) }
+func (f *Finetune) Observe(b cl.LatentBatch) {
+	defer f.met.observe(time.Now(), len(b.Samples))
+	f.head.TrainCEOn(b.Samples)
+}
 
 // Predict implements cl.Learner.
 func (f *Finetune) Predict(z *tensor.Tensor) int { return f.head.Predict(z) }
@@ -95,13 +102,14 @@ type Joint struct {
 	rng      *rand.Rand
 	src      *checkpoint.Source
 	batchBuf []cl.LatentSample // reusable minibatch assembly buffer
+	met      observeTimer
 }
 
 // NewJoint creates the upper-bound learner.
 func NewJoint(head *cl.Head, cfg Config) *Joint {
 	cfg = cfg.withDefaults()
 	rng, src := cfg.rngSource(1)
-	return &Joint{head: head, cfg: cfg, rng: rng, src: src}
+	return &Joint{head: head, cfg: cfg, rng: rng, src: src, met: newObserveTimer("joint")}
 }
 
 // Name implements cl.Learner.
@@ -109,7 +117,10 @@ func (j *Joint) Name() string { return "joint" }
 
 // Observe implements cl.Learner: JOINT violates the streaming constraint by
 // design — it keeps everything.
-func (j *Joint) Observe(b cl.LatentBatch) { j.pool = append(j.pool, b.Samples...) }
+func (j *Joint) Observe(b cl.LatentBatch) {
+	defer j.met.observe(time.Now(), len(b.Samples))
+	j.pool = append(j.pool, b.Samples...)
+}
 
 // Finish implements cl.Finisher: offline multi-epoch training.
 func (j *Joint) Finish() {

@@ -1,0 +1,32 @@
+package baselines
+
+import (
+	"time"
+
+	"chameleon/internal/obs"
+)
+
+// observeTimer is the per-method step instrumentation: each learner resolves
+// its own name-suffixed handles at construction (the registry has no label
+// dimension, so the method name is baked into the metric name), and Observe
+// pays only a clock read plus three atomic updates.
+type observeTimer struct {
+	seconds *obs.Histogram
+	batches *obs.Counter
+	samples *obs.Counter
+}
+
+func newObserveTimer(name string) observeTimer {
+	r := obs.Default()
+	return observeTimer{
+		seconds: r.Histogram("baseline_observe_seconds_" + name),
+		batches: r.Counter("baseline_observe_batches_total_" + name),
+		samples: r.Counter("baseline_observe_samples_total_" + name),
+	}
+}
+
+func (t observeTimer) observe(t0 time.Time, samples int) {
+	t.batches.Add(1)
+	t.samples.Add(int64(samples))
+	t.seconds.ObserveSince(t0)
+}

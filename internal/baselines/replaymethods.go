@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"math/rand"
+	"time"
 
 	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
@@ -20,13 +21,15 @@ type ER struct {
 	buf      *replay.Reservoir
 	src      *checkpoint.Source
 	trainBuf []cl.LatentSample // reusable incoming+replay assembly buffer
+	met      observeTimer
 }
 
 // NewER creates the ER learner.
 func NewER(head *cl.Head, cfg Config) *ER {
 	cfg = cfg.withDefaults()
 	rng, src := cfg.rngSource(2)
-	return &ER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, rng), src: src}
+	return &ER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, rng), src: src,
+		met: newObserveTimer("er")}
 }
 
 // Name implements cl.Learner.
@@ -43,6 +46,7 @@ func (e *ER) Observe(b cl.LatentBatch) {
 	if len(b.Samples) == 0 {
 		return
 	}
+	defer e.met.observe(time.Now(), len(b.Samples))
 	train := append(e.trainBuf[:0], b.Samples...)
 	drawn := e.buf.Sample(e.cfg.ReplaySize)
 	e.cfg.Meter.AddOffChip(int64(len(drawn)), 0)
@@ -69,6 +73,7 @@ type DER struct {
 	cfg  Config
 	buf  *replay.Reservoir
 	src  *checkpoint.Source
+	met  observeTimer
 	// Alpha weighs the MSE logit term; Beta the replay CE term (DER++).
 	Alpha, Beta float64
 }
@@ -77,7 +82,8 @@ type DER struct {
 func NewDER(head *cl.Head, cfg Config) *DER {
 	cfg = cfg.withDefaults()
 	rng, src := cfg.rngSource(3)
-	return &DER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, rng), src: src, Alpha: 0.5, Beta: 0.5}
+	return &DER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, rng), src: src,
+		met: newObserveTimer("der"), Alpha: 0.5, Beta: 0.5}
 }
 
 // Name implements cl.Learner.
@@ -94,6 +100,7 @@ func (d *DER) Observe(b cl.LatentBatch) {
 	if len(b.Samples) == 0 {
 		return
 	}
+	defer d.met.observe(time.Now(), len(b.Samples))
 	d.head.ZeroGrad()
 	count := 0
 	for _, s := range b.Samples {
@@ -128,13 +135,14 @@ type LatentReplay struct {
 	rng      *rand.Rand
 	src      *checkpoint.Source
 	trainBuf []cl.LatentSample // reusable incoming+replay assembly buffer
+	met      observeTimer
 }
 
 // NewLatentReplay creates the Latent Replay learner.
 func NewLatentReplay(head *cl.Head, cfg Config) *LatentReplay {
 	cfg = cfg.withDefaults()
 	rng, src := cfg.rngSource(4)
-	return &LatentReplay{head: head, cfg: cfg, rng: rng, src: src}
+	return &LatentReplay{head: head, cfg: cfg, rng: rng, src: src, met: newObserveTimer("latent")}
 }
 
 // Name implements cl.Learner.
@@ -151,6 +159,7 @@ func (l *LatentReplay) Observe(b cl.LatentBatch) {
 	if len(b.Samples) == 0 {
 		return
 	}
+	defer l.met.observe(time.Now(), len(b.Samples))
 	train := append(l.trainBuf[:0], b.Samples...)
 	if len(l.items) > 0 {
 		n := l.cfg.ReplaySize

@@ -28,6 +28,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 const (
@@ -59,12 +60,20 @@ func Decode(data []byte, v any) error {
 // renamed over path, so a crash mid-save leaves either the old file or the
 // new one — never a torn hybrid.
 func Save(path, kind string, payload any) error {
+	t0 := time.Now()
+	n, err := save(path, kind, payload)
+	observeSave(t0, n, err)
+	return err
+}
+
+// save implements Save and reports the frame size for the byte counters.
+func save(path, kind string, payload any) (int, error) {
 	if len(kind) == 0 || len(kind) > maxKindLen {
-		return fmt.Errorf("checkpoint: kind %q must be 1..%d bytes", kind, maxKindLen)
+		return 0, fmt.Errorf("checkpoint: kind %q must be 1..%d bytes", kind, maxKindLen)
 	}
 	body, err := Encode(payload)
 	if err != nil {
-		return fmt.Errorf("checkpoint: encode %s: %w", kind, err)
+		return 0, fmt.Errorf("checkpoint: encode %s: %w", kind, err)
 	}
 	frame := make([]byte, 0, headerLen+len(kind)+8+len(body)+4)
 	frame = append(frame, magic...)
@@ -78,69 +87,77 @@ func Save(path, kind string, payload any) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
 	if _, err := tmp.Write(frame); err != nil {
 		tmp.Close()
-		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
+		return 0, fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
+		return 0, fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
+		return 0, fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
-	return nil
+	return len(frame), nil
 }
 
 // Load reads a checkpoint file, verifies framing, kind and CRC, and decodes
 // the payload into out. Every validation failure is an error; corrupt or
 // truncated files never panic and never half-populate out.
 func Load(path, kind string, out any) error {
+	t0 := time.Now()
+	n, err := load(path, kind, out)
+	observeLoad(t0, n, err)
+	return err
+}
+
+// load implements Load and reports the frame size for the byte counters.
+func load(path, kind string, out any) (int, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+		return 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	if len(raw) < headerLen+4 {
-		return fmt.Errorf("checkpoint: %s: file too short (%d bytes)", path, len(raw))
+		return 0, fmt.Errorf("checkpoint: %s: file too short (%d bytes)", path, len(raw))
 	}
 	if string(raw[:len(magic)]) != magic {
-		return fmt.Errorf("checkpoint: %s: bad magic", path)
+		return 0, fmt.Errorf("checkpoint: %s: bad magic", path)
 	}
 	off := len(magic)
 	if v := binary.LittleEndian.Uint32(raw[off:]); v != version {
-		return fmt.Errorf("checkpoint: %s: format version %d, want %d", path, v, version)
+		return 0, fmt.Errorf("checkpoint: %s: format version %d, want %d", path, v, version)
 	}
 	off += 4
 	kindLen := int(binary.LittleEndian.Uint16(raw[off:]))
 	off += 2
 	if kindLen == 0 || kindLen > maxKindLen || len(raw) < off+kindLen+8+4 {
-		return fmt.Errorf("checkpoint: %s: truncated in kind tag", path)
+		return 0, fmt.Errorf("checkpoint: %s: truncated in kind tag", path)
 	}
 	gotKind := string(raw[off : off+kindLen])
 	off += kindLen
 	if gotKind != kind {
-		return fmt.Errorf("checkpoint: %s: kind %q, want %q", path, gotKind, kind)
+		return 0, fmt.Errorf("checkpoint: %s: kind %q, want %q", path, gotKind, kind)
 	}
 	bodyLen := binary.LittleEndian.Uint64(raw[off:])
 	off += 8
 	// The declared payload length must account for exactly the bytes present
 	// (minus the trailing CRC); this bounds every later slice access.
 	if uint64(len(raw)-off-4) != bodyLen {
-		return fmt.Errorf("checkpoint: %s: payload length %d does not match file size", path, bodyLen)
+		return 0, fmt.Errorf("checkpoint: %s: payload length %d does not match file size", path, bodyLen)
 	}
 	body := raw[off : off+int(bodyLen)]
 	stored := binary.LittleEndian.Uint32(raw[off+int(bodyLen):])
 	if sum := crc32.ChecksumIEEE(raw[:off+int(bodyLen)]); sum != stored {
-		return fmt.Errorf("checkpoint: %s: CRC mismatch (file %08x, computed %08x)", path, stored, sum)
+		return 0, fmt.Errorf("checkpoint: %s: CRC mismatch (file %08x, computed %08x)", path, stored, sum)
 	}
 	if err := Decode(body, out); err != nil {
-		return fmt.Errorf("checkpoint: %s: decode %s: %w", path, kind, err)
+		return 0, fmt.Errorf("checkpoint: %s: decode %s: %w", path, kind, err)
 	}
-	return nil
+	return len(raw), nil
 }

@@ -1,0 +1,41 @@
+package checkpoint
+
+import (
+	"time"
+
+	"chameleon/internal/obs"
+)
+
+// Checkpoint I/O observability: save/restore latency distributions (the save
+// path sits inside the online loop when CheckpointPlan.Every is small, so its
+// cost is worth watching), outcome counters, and bytes moved through frames.
+var (
+	saves       = obs.Default().Counter("checkpoint_saves_total")
+	saveErrors  = obs.Default().Counter("checkpoint_save_errors_total")
+	saveSeconds = obs.Default().Histogram("checkpoint_save_seconds")
+	saveBytes   = obs.Default().Counter("checkpoint_save_bytes_total")
+	loads       = obs.Default().Counter("checkpoint_restores_total")
+	loadErrors  = obs.Default().Counter("checkpoint_restore_errors_total")
+	loadSeconds = obs.Default().Histogram("checkpoint_restore_seconds")
+	loadBytes   = obs.Default().Counter("checkpoint_restore_bytes_total")
+)
+
+func observeSave(t0 time.Time, frameBytes int, err error) {
+	if err != nil {
+		saveErrors.Add(1)
+		return
+	}
+	saves.Add(1)
+	saveBytes.Add(int64(frameBytes))
+	saveSeconds.ObserveSince(t0)
+}
+
+func observeLoad(t0 time.Time, frameBytes int, err error) {
+	if err != nil {
+		loadErrors.Add(1)
+		return
+	}
+	loads.Add(1)
+	loadBytes.Add(int64(frameBytes))
+	loadSeconds.ObserveSince(t0)
+}

@@ -60,8 +60,9 @@ type runCheckpoint struct {
 	// Finished marks that the learner's Finish hook already ran (JOINT's
 	// offline epochs must be neither skipped nor doubled after a crash).
 	Finished bool
-	// Meter carries the traffic counts by value.
-	Meter TrafficMeter
+	// Meter carries the traffic counts by value (the snapshot's field names
+	// match the meter's former struct layout, so old files still decode).
+	Meter TrafficCounts
 	// Learner is the method's opaque Snapshot payload.
 	Learner []byte
 }
@@ -97,9 +98,7 @@ func RunOnlineCheckpointed(l Learner, stream *LatentStream, test []LatentSample,
 			return fmt.Errorf("cl: snapshot %s at batch %d: %w", l.Name(), batches, err)
 		}
 		ck := runCheckpoint{Method: l.Name(), Batches: batches, Samples: samples, Finished: done, Learner: state}
-		if plan.Meter != nil {
-			ck.Meter = *plan.Meter
-		}
+		ck.Meter = plan.Meter.Counts() // nil-safe: zero counts when unmetered
 		return checkpoint.Save(plan.Path, runKind, ck)
 	}
 
@@ -115,9 +114,7 @@ func RunOnlineCheckpointed(l Learner, stream *LatentStream, test []LatentSample,
 			if err := snap.Restore(ck.Learner); err != nil {
 				return Result{}, fmt.Errorf("cl: restore %s from %s: %w", l.Name(), plan.Path, err)
 			}
-			if plan.Meter != nil {
-				*plan.Meter = ck.Meter
-			}
+			plan.Meter.SetCounts(ck.Meter)
 			// Fast-forward the deterministic stream past the consumed prefix.
 			for batches < ck.Batches {
 				b, ok := stream.Next()

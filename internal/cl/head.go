@@ -3,6 +3,7 @@ package cl
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"chameleon/internal/checkpoint"
 	"chameleon/internal/mobilenet"
@@ -155,6 +156,7 @@ func (h *Head) PredictBatch(zs []*tensor.Tensor, out []int) {
 	if len(zs) == 0 {
 		return
 	}
+	defer headPredictBatch.ObserveSince(time.Now())
 	logits := h.LogitsBatch(zs)
 	logits.ArgMaxRowsInto(out[:len(zs)])
 	h.ws.Put(logits)
@@ -240,6 +242,7 @@ func (h *Head) TrainCEOn(samples []LatentSample) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
+	defer observeTrainStep(time.Now(), len(samples))
 	h.ZeroGrad()
 	var loss float64
 	for _, s := range samples {

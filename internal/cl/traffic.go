@@ -1,6 +1,11 @@
 package cl
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"chameleon/internal/obs"
+)
 
 // TrafficMeter counts replay-buffer item movements during a simulated run,
 // split by the memory level the buffer is mapped to. Learners increment it
@@ -11,7 +16,22 @@ import "fmt"
 // This is the dynamic counterpart of internal/hw's static step profiles: the
 // profiles predict traffic analytically, the meter measures it from the
 // actual execution, buffer fills and access schedules included.
+//
+// The counters are atomic, so one meter may be shared by concurrent runs
+// (the tradeoff sweep aggregates all seeds of an h setting into one meter)
+// and scraped by a metrics listener while a run mutates it. Every method —
+// writes and reads alike — is safe on a nil receiver: a nil meter is a
+// disabled meter.
 type TrafficMeter struct {
+	onChipReads, onChipWrites   atomic.Int64
+	offChipReads, offChipWrites atomic.Int64
+}
+
+// TrafficCounts is a plain-value snapshot of a meter (checkpoint payloads,
+// result tables). The field names mirror the meter's former exported fields,
+// so gob-encoded run checkpoints written before the meter became atomic still
+// decode.
+type TrafficCounts struct {
 	// OnChipReads/Writes count items moved to/from the on-chip store
 	// (Chameleon's short-term memory).
 	OnChipReads, OnChipWrites int64
@@ -25,8 +45,8 @@ func (m *TrafficMeter) AddOnChip(reads, writes int64) {
 	if m == nil {
 		return
 	}
-	m.OnChipReads += reads
-	m.OnChipWrites += writes
+	m.onChipReads.Add(reads)
+	m.onChipWrites.Add(writes)
 }
 
 // AddOffChip records off-chip item movements.
@@ -34,15 +54,49 @@ func (m *TrafficMeter) AddOffChip(reads, writes int64) {
 	if m == nil {
 		return
 	}
-	m.OffChipReads += reads
-	m.OffChipWrites += writes
+	m.offChipReads.Add(reads)
+	m.offChipWrites.Add(writes)
+}
+
+// Counts returns a point-in-time snapshot of all four counters.
+func (m *TrafficMeter) Counts() TrafficCounts {
+	if m == nil {
+		return TrafficCounts{}
+	}
+	return TrafficCounts{
+		OnChipReads:   m.onChipReads.Load(),
+		OnChipWrites:  m.onChipWrites.Load(),
+		OffChipReads:  m.offChipReads.Load(),
+		OffChipWrites: m.offChipWrites.Load(),
+	}
+}
+
+// SetCounts overwrites the counters from a snapshot (checkpoint resume).
+func (m *TrafficMeter) SetCounts(c TrafficCounts) {
+	if m == nil {
+		return
+	}
+	m.onChipReads.Store(c.OnChipReads)
+	m.onChipWrites.Store(c.OnChipWrites)
+	m.offChipReads.Store(c.OffChipReads)
+	m.offChipWrites.Store(c.OffChipWrites)
 }
 
 // OnChipItems returns total on-chip movements.
-func (m *TrafficMeter) OnChipItems() int64 { return m.OnChipReads + m.OnChipWrites }
+func (m *TrafficMeter) OnChipItems() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.onChipReads.Load() + m.onChipWrites.Load()
+}
 
 // OffChipItems returns total off-chip movements.
-func (m *TrafficMeter) OffChipItems() int64 { return m.OffChipReads + m.OffChipWrites }
+func (m *TrafficMeter) OffChipItems() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.offChipReads.Load() + m.offChipWrites.Load()
+}
 
 // Bytes converts the counts to bytes given a per-item payload size.
 func (m *TrafficMeter) Bytes(perItem int64) (onChip, offChip int64) {
@@ -51,6 +105,18 @@ func (m *TrafficMeter) Bytes(perItem int64) (onChip, offChip int64) {
 
 // String summarises the meter.
 func (m *TrafficMeter) String() string {
+	c := m.Counts()
 	return fmt.Sprintf("on-chip %d reads / %d writes, off-chip %d reads / %d writes",
-		m.OnChipReads, m.OnChipWrites, m.OffChipReads, m.OffChipWrites)
+		c.OnChipReads, c.OnChipWrites, c.OffChipReads, c.OffChipWrites)
+}
+
+// Bind exports the meter through a metrics registry as computed gauges, so
+// traffic shares the export path (Prometheus, expvar JSON, end-of-run report)
+// with the per-stage timers and energy accounting. Re-binding replaces any
+// previously bound meter under the same names.
+func (m *TrafficMeter) Bind(r *obs.Registry) {
+	r.GaugeFunc("traffic_onchip_read_items", func() float64 { return float64(m.Counts().OnChipReads) })
+	r.GaugeFunc("traffic_onchip_write_items", func() float64 { return float64(m.Counts().OnChipWrites) })
+	r.GaugeFunc("traffic_offchip_read_items", func() float64 { return float64(m.Counts().OffChipReads) })
+	r.GaugeFunc("traffic_offchip_write_items", func() float64 { return float64(m.Counts().OffChipWrites) })
 }

@@ -1,0 +1,94 @@
+package cl
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"chameleon/internal/obs"
+)
+
+// TestTrafficMeterNilSafe is the regression test for the nil-receiver
+// asymmetry: AddOnChip/AddOffChip were always nil-safe, but OnChipItems,
+// OffChipItems, Bytes and String panicked on a nil meter, so any code path
+// that metered optionally could write but never report. Every method must be
+// a no-op / zero on nil.
+func TestTrafficMeterNilSafe(t *testing.T) {
+	var m *TrafficMeter
+	m.AddOnChip(1, 2)
+	m.AddOffChip(3, 4)
+	m.SetCounts(TrafficCounts{OnChipReads: 9})
+	if got := m.OnChipItems(); got != 0 {
+		t.Fatalf("nil OnChipItems = %d, want 0", got)
+	}
+	if got := m.OffChipItems(); got != 0 {
+		t.Fatalf("nil OffChipItems = %d, want 0", got)
+	}
+	if on, off := m.Bytes(1024); on != 0 || off != 0 {
+		t.Fatalf("nil Bytes = %d, %d, want 0, 0", on, off)
+	}
+	if s := m.String(); !strings.Contains(s, "0 reads") {
+		t.Fatalf("nil String = %q", s)
+	}
+	if c := m.Counts(); c != (TrafficCounts{}) {
+		t.Fatalf("nil Counts = %+v, want zero", c)
+	}
+}
+
+func TestTrafficMeterCountsRoundTrip(t *testing.T) {
+	m := &TrafficMeter{}
+	m.AddOnChip(5, 1)
+	m.AddOffChip(2, 3)
+	c := m.Counts()
+	want := TrafficCounts{OnChipReads: 5, OnChipWrites: 1, OffChipReads: 2, OffChipWrites: 3}
+	if c != want {
+		t.Fatalf("Counts = %+v, want %+v", c, want)
+	}
+	if m.OnChipItems() != 6 || m.OffChipItems() != 5 {
+		t.Fatalf("items = %d on / %d off", m.OnChipItems(), m.OffChipItems())
+	}
+	on, off := m.Bytes(10)
+	if on != 60 || off != 50 {
+		t.Fatalf("Bytes = %d, %d", on, off)
+	}
+	other := &TrafficMeter{}
+	other.SetCounts(c)
+	if other.Counts() != want {
+		t.Fatalf("SetCounts round-trip = %+v", other.Counts())
+	}
+}
+
+// TestTrafficMeterConcurrent exercises the atomic counters from several
+// goroutines while a registry-bound scrape reads them (the multi-seed
+// tradeoff sweep shares one meter across concurrent runs).
+func TestTrafficMeterConcurrent(t *testing.T) {
+	m := &TrafficMeter{}
+	r := obs.NewRegistry()
+	m.Bind(r)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.AddOnChip(1, 1)
+				m.AddOffChip(1, 1)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	want := TrafficCounts{OnChipReads: 4000, OnChipWrites: 4000, OffChipReads: 4000, OffChipWrites: 4000}
+	if got := m.Counts(); got != want {
+		t.Fatalf("Counts = %+v, want %+v", got, want)
+	}
+	rep := r.Report()
+	if rep.Gauges["traffic_onchip_read_items"] != 4000 {
+		t.Fatalf("bound gauge = %v, want 4000", rep.Gauges["traffic_onchip_read_items"])
+	}
+}

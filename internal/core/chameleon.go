@@ -2,9 +2,11 @@ package core
 
 import (
 	"math/rand"
+	"time"
 
 	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
+	"chameleon/internal/obs"
 	"chameleon/internal/tensor"
 )
 
@@ -54,6 +56,9 @@ type Config struct {
 	// Meter, when non-nil, counts the replay-buffer traffic of the run
 	// (short-term = on-chip, long-term = off-chip).
 	Meter *cl.TrafficMeter
+	// Obs is the metrics registry receiving the per-stage step
+	// instrumentation; nil selects the process default registry.
+	Obs *obs.Registry
 	// Seed drives the learner's internal randomness.
 	Seed int64
 }
@@ -90,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
 		c.Window = 1500
 	}
+	if c.Obs == nil {
+		c.Obs = obs.Default()
+	}
 	return c
 }
 
@@ -111,6 +119,8 @@ type Chameleon struct {
 	stepBuf   []cl.LatentSample
 	uncertBuf []float64
 	labelBuf  []int
+	// met holds the pre-resolved per-stage metric handles.
+	met stepMetrics
 }
 
 // New creates a Chameleon learner over a fresh trainable head.
@@ -127,6 +137,7 @@ func New(head *cl.Head, cfg Config) *Chameleon {
 		lt:      NewLongTermStore(cfg.LTCap, rng),
 		rng:     rng,
 		src:     src,
+		met:     newStepMetrics(cfg.Obs),
 	}
 }
 
@@ -162,6 +173,7 @@ func (c *Chameleon) Observe(b cl.LatentBatch) {
 	if len(b.Samples) == 0 {
 		return
 	}
+	t0 := time.Now()
 	// ① preference estimation.
 	for _, s := range b.Samples {
 		c.tracker.Observe(s.Label)
@@ -174,47 +186,78 @@ func (c *Chameleon) Observe(b cl.LatentBatch) {
 	}
 	uncert := c.uncertBuf[:len(b.Samples)]
 	labels := c.labelBuf[:len(b.Samples)]
+	tExtract := time.Now()
 	for i, s := range b.Samples {
 		uncert[i] = Uncertainty(c.head.Logits(s.Z), s.Label)
 		labels[i] = s.Label
 	}
+	c.met.extract.ObserveSince(tExtract)
 
 	// ③ weight update. The paper trains with batch size one and ten replay
 	// elements per incoming input: each new sample takes one SGD step jointly
 	// with a sweep of the complete short-term memory. The long-term store
-	// contributes one extra rehearsal mini-batch every h cycles.
+	// contributes one extra rehearsal mini-batch every h cycles. Concat
+	// (batch assembly) and SGD time accumulate across the per-sample loop and
+	// are observed once per Observe so histogram counts stay per-batch.
+	var concatNS, sgdNS time.Duration
 	for _, s := range b.Samples {
+		tc := time.Now()
 		step := append(c.stepBuf[:0], s)
 		step = append(step, c.st.Items()...)
 		c.stepBuf = step
 		c.cfg.Meter.AddOnChip(int64(c.st.Len()), 0)
+		ts := time.Now()
+		concatNS += ts.Sub(tc)
 		c.head.TrainCEOn(step)
+		sgdNS += time.Since(ts)
 	}
 	if c.batches%c.cfg.AccessRate == 0 && c.lt.Len() > 0 {
 		var mb []cl.LatentSample
+		tc := time.Now()
 		if c.cfg.IterativeLT {
 			mb = c.lt.NextMinibatch(c.cfg.LTSampleSize)
 		} else {
 			mb = c.lt.Sample(c.cfg.LTSampleSize)
 		}
 		c.cfg.Meter.AddOffChip(int64(len(mb)), 0)
+		ts := time.Now()
+		concatNS += ts.Sub(tc)
 		c.head.TrainCEOn(mb)
+		sgdNS += time.Since(ts)
+		c.met.mlRehearse.Add(1)
 	}
+	c.met.concat.Observe(concatNS.Seconds())
+	c.met.sgd.Observe(sgdNS.Seconds())
 
 	// ④ short-term refresh (Eq. 4).
+	tMs := time.Now()
 	probs := SelectionProbs(c.tracker, uncert, labels, c.alpha, c.beta)
+	filling := c.st.Len() < c.st.Cap()
 	if c.st.Update(b.Samples, probs) >= 0 {
 		c.cfg.Meter.AddOnChip(0, 1)
+		if filling {
+			c.met.msFills.Add(1)
+		} else {
+			c.met.msEvicts.Add(1)
+		}
 	}
+	c.met.msUpdate.ObserveSince(tMs)
 
 	// ⑤ long-term promotion every PromoteEvery cycles (Eq. 5–6).
 	if c.batches%c.cfg.PromoteEvery == 0 && c.st.Len() > 0 {
+		tMl := time.Now()
 		if c.cfg.RandomPromotion {
 			c.lt.PromoteIndex(c.st.Items(), c.rng.Intn(c.st.Len()))
 		} else {
 			c.lt.Promote(c.st.Items(), c.head.Probs)
 		}
 		c.cfg.Meter.AddOffChip(0, 1)
+		c.met.mlPromotes.Add(1)
+		c.met.mlPromote.ObserveSince(tMl)
 	}
 	c.batches++
+	c.met.msSize.Set(float64(c.st.Len()))
+	c.met.mlSize.Set(float64(c.lt.Len()))
+	c.met.steps.Add(1)
+	c.met.stepTotal.ObserveSince(t0)
 }

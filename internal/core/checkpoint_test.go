@@ -122,7 +122,7 @@ func TestChameleonKillAndResumeBitIdentical(t *testing.T) {
 		if res.SamplesSeen != refRes.SamplesSeen {
 			t.Fatalf("killAt=%d: samples %d != %d", killAt, res.SamplesSeen, refRes.SamplesSeen)
 		}
-		if *resMeter != *refMeter {
+		if resMeter.Counts() != refMeter.Counts() {
 			t.Fatalf("killAt=%d: traffic diverged:\nresumed %s\nref     %s", killAt, resMeter, refMeter)
 		}
 		if got := decodeState(t, mustSnapshot(t, resumed)); !reflect.DeepEqual(got, refState) {

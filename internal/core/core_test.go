@@ -475,20 +475,21 @@ func TestChameleonTrafficMeter(t *testing.T) {
 		ch.Observe(b)
 		batches++
 	}
-	if meter.OnChipReads == 0 || meter.OnChipWrites == 0 {
+	counts := meter.Counts()
+	if counts.OnChipReads == 0 || counts.OnChipWrites == 0 {
 		t.Fatalf("short-term traffic not counted: %s", meter)
 	}
-	if meter.OffChipReads == 0 || meter.OffChipWrites == 0 {
+	if counts.OffChipReads == 0 || counts.OffChipWrites == 0 {
 		t.Fatalf("long-term traffic not counted: %s", meter)
 	}
 	// One ST write per batch; one LT write per batch (PromoteEvery=1).
-	if meter.OnChipWrites != int64(batches) || meter.OffChipWrites != int64(batches) {
+	if counts.OnChipWrites != int64(batches) || counts.OffChipWrites != int64(batches) {
 		t.Fatalf("write counts: %s over %d batches", meter, batches)
 	}
 	// LT reads happen only every h batches, so off-chip reads must be far
 	// below on-chip reads (the paper's whole point).
-	if meter.OffChipReads*2 > meter.OnChipReads {
-		t.Fatalf("off-chip reads (%d) not amortised vs on-chip (%d)", meter.OffChipReads, meter.OnChipReads)
+	if counts.OffChipReads*2 > counts.OnChipReads {
+		t.Fatalf("off-chip reads (%d) not amortised vs on-chip (%d)", counts.OffChipReads, counts.OnChipReads)
 	}
 }
 

@@ -1,0 +1,49 @@
+package core
+
+import "chameleon/internal/obs"
+
+// stepMetrics bundles the per-stage instrumentation of Algorithm 1. Handles
+// are resolved once per learner at construction (get-or-create on the
+// registry), so Observe's hot path only touches atomics — the instrumented
+// step stays allocation-free (DESIGN.md §12).
+//
+// Phase histograms follow the step's data path:
+//
+//	chameleon_step_extract_seconds    pre-update logit capture (Eq. 3 scores)
+//	chameleon_step_concat_seconds     incoming ∪ M_s (∪ m̂_l) batch assembly
+//	chameleon_step_sgd_seconds        the joint SGD updates
+//	chameleon_step_ms_update_seconds  Eq. 4 short-term refresh
+//	chameleon_step_ml_promote_seconds Eq. 5–6 long-term promotion
+type stepMetrics struct {
+	steps      *obs.Counter
+	stepTotal  *obs.Histogram
+	extract    *obs.Histogram
+	concat     *obs.Histogram
+	sgd        *obs.Histogram
+	msUpdate   *obs.Histogram
+	mlPromote  *obs.Histogram
+	msSize     *obs.Gauge
+	mlSize     *obs.Gauge
+	msFills    *obs.Counter
+	msEvicts   *obs.Counter
+	mlRehearse *obs.Counter
+	mlPromotes *obs.Counter
+}
+
+func newStepMetrics(r *obs.Registry) stepMetrics {
+	return stepMetrics{
+		steps:      r.Counter("chameleon_steps_total"),
+		stepTotal:  r.Histogram("chameleon_step_seconds"),
+		extract:    r.Histogram("chameleon_step_extract_seconds"),
+		concat:     r.Histogram("chameleon_step_concat_seconds"),
+		sgd:        r.Histogram("chameleon_step_sgd_seconds"),
+		msUpdate:   r.Histogram("chameleon_step_ms_update_seconds"),
+		mlPromote:  r.Histogram("chameleon_step_ml_promote_seconds"),
+		msSize:     r.Gauge("chameleon_ms_size"),
+		mlSize:     r.Gauge("chameleon_ml_size"),
+		msFills:    r.Counter("chameleon_ms_fills_total"),
+		msEvicts:   r.Counter("chameleon_ms_evictions_total"),
+		mlRehearse: r.Counter("chameleon_ml_rehearsal_batches_total"),
+		mlPromotes: r.Counter("chameleon_ml_promotions_total"),
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+	"chameleon/internal/obs"
+	"chameleon/internal/parallel"
+)
+
+// TestMetricsScrapeDuringTraining hammers every export surface — the HTTP
+// /metrics and /vars endpoints plus direct Report/WritePrometheus calls —
+// while a learner trains with an 8-worker pool. Run under -race (check.sh
+// does) this is the proof that live scraping is safe against concurrent
+// mutation from the training loop, the pool's spawned shards, and the bound
+// traffic meter.
+func TestMetricsScrapeDuringTraining(t *testing.T) {
+	set := buildEnv(t)
+	parallel.SetWorkers(8)
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+
+	srv, err := obs.Default().Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	scrape := func(url string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(url)
+			if err != nil {
+				continue // listener teardown races the last loop turn
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && len(body) == 0 {
+				t.Error("empty scrape response")
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go scrape("http://" + srv.Addr() + "/metrics")
+	go scrape("http://" + srv.Addr() + "/vars")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := obs.Default().WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			_ = obs.Default().Report()
+		}
+	}()
+
+	meter := &cl.TrafficMeter{}
+	meter.Bind(obs.Default())
+	learner := newTestChameleon(set, 51, meter)
+	res := cl.RunOnline(learner, set.Stream(51, data.StreamOptions{BatchSize: 5}), set.Test)
+	close(stop)
+	wg.Wait()
+
+	if res.SamplesSeen == 0 {
+		t.Fatal("run processed no samples")
+	}
+	rep := obs.Default().Report()
+	if rep.Counters["chameleon_steps_total"] == 0 {
+		t.Fatal("no trainer steps recorded")
+	}
+	if rep.Histograms["chameleon_step_sgd_seconds"].Count == 0 {
+		t.Fatal("no SGD phase observations recorded")
+	}
+	if rep.Gauges["traffic_onchip_read_items"] == 0 {
+		t.Fatal("bound traffic meter not visible in scrape")
+	}
+}
+
+// TestInstrumentationEquivalence proves the observability layer is pure
+// measurement: a run with 8 workers and a scraper hammering the registry must
+// finish with bit-identical learner state, predictions and traffic counts to
+// a serial, unscraped run of the same seed.
+func TestInstrumentationEquivalence(t *testing.T) {
+	set := buildEnv(t)
+	opts := data.StreamOptions{BatchSize: 5}
+	const seed = 77
+
+	run := func(workers int, scraped bool) (cl.Result, chameleonState, cl.TrafficCounts) {
+		parallel.SetWorkers(workers)
+		t.Cleanup(func() { parallel.SetWorkers(0) })
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if scraped {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var sb strings.Builder
+					_ = obs.Default().WritePrometheus(&sb)
+				}
+			}()
+		}
+		meter := &cl.TrafficMeter{}
+		learner := newTestChameleon(set, seed, meter)
+		res := cl.RunOnline(learner, set.Stream(seed, opts), set.Test)
+		close(stop)
+		wg.Wait()
+		return res, decodeState(t, mustSnapshot(t, learner)), meter.Counts()
+	}
+
+	refRes, refState, refCounts := run(1, false)
+	gotRes, gotState, gotCounts := run(8, true)
+
+	if gotRes.AccAll != refRes.AccAll || gotRes.SamplesSeen != refRes.SamplesSeen {
+		t.Fatalf("results diverged: %+v vs %+v", gotRes, refRes)
+	}
+	if !reflect.DeepEqual(gotRes.PerClass, refRes.PerClass) {
+		t.Fatalf("per-class accuracy diverged:\n%v\nvs\n%v", gotRes.PerClass, refRes.PerClass)
+	}
+	if gotCounts != refCounts {
+		t.Fatalf("traffic diverged: %+v vs %+v", gotCounts, refCounts)
+	}
+	if !reflect.DeepEqual(gotState, refState) {
+		t.Fatal("final learner state diverged between workers=1 and workers=8+scrape")
+	}
+}

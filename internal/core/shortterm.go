@@ -71,15 +71,26 @@ func SelectionProbs(tracker *PreferenceTracker, uncertainties []float64, labels 
 		alloc[i] = tracker.AllocationWeight(y)
 		allocZ += alloc[i]
 	}
-	// Normalised inverse-uncertainty term, clamped to keep U⁻¹ finite.
+	// Normalised inverse-uncertainty term, clamped to keep U⁻¹ finite. A
+	// non-finite uncertainty must not reach the normalizer: a single NaN
+	// logit would make invZ NaN, silently dropping (or poisoning) the whole
+	// Eq. 4 uncertainty term — and a NaN in the returned distribution makes
+	// the CDF walk in sampleIndex deterministically pick the last batch
+	// element. A NaN response carries no uncertainty signal, so the sample is
+	// excluded from this term; +Inf (a saturated logit means maximal
+	// certainty) contributes 1/Inf = 0 naturally.
 	const minU = 1e-3
 	invU := make([]float64, n)
 	var invZ float64
 	for i, u := range uncertainties {
-		if u < minU {
-			u = minU
+		switch {
+		case math.IsNaN(u):
+			invU[i] = 0
+		case u < minU: // Uncertainty is |logit| ≥ 0, but clamp defensively.
+			invU[i] = 1 / minU
+		default:
+			invU[i] = 1 / u
 		}
-		invU[i] = 1 / u
 		invZ += invU[i]
 	}
 	var z float64
@@ -94,8 +105,8 @@ func SelectionProbs(tracker *PreferenceTracker, uncertainties []float64, labels 
 		probs[i] = p
 		z += p
 	}
-	if z <= 0 {
-		// Degenerate weights: fall back to uniform.
+	// Degenerate or non-finite weights (α/β abuse, overflow): uniform.
+	if !(z > 0) || math.IsInf(z, 0) {
 		for i := range probs {
 			probs[i] = 1 / float64(n)
 		}
@@ -134,21 +145,35 @@ func (s *ShortTermStore) Remove(i int) {
 }
 
 // sampleIndex draws an index from a (possibly unnormalised) distribution.
+// Non-finite or negative weights are treated as zero mass: a NaN entry used
+// to make the normalizer NaN, so `z <= 0` evaluated false, r = rng·NaN was
+// NaN, every `r < acc` comparison failed, and the walk deterministically
+// returned the last index — silently biasing Eq. 4 selection toward the last
+// batch element. When no usable mass remains the draw falls back to uniform.
 func sampleIndex(probs []float64, rng *rand.Rand) int {
+	usable := func(p float64) bool { return p > 0 && !math.IsInf(p, 1) }
 	var z float64
 	for _, p := range probs {
-		z += p
+		if usable(p) {
+			z += p
+		}
 	}
-	if z <= 0 {
+	if !(z > 0) || math.IsInf(z, 1) {
 		return rng.Intn(len(probs))
 	}
 	r := rng.Float64() * z
 	acc := 0.0
+	last := len(probs) - 1
 	for i, p := range probs {
+		if !usable(p) {
+			continue
+		}
 		acc += p
+		last = i
 		if r < acc {
 			return i
 		}
 	}
-	return len(probs) - 1
+	// Floating-point round-off: return the last index that carried mass.
+	return last
 }

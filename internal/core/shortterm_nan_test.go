@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/tensor"
+)
+
+// nanBatch builds a batch of n latents whose labels are their indices.
+func nanBatch(n int) []cl.LatentSample {
+	out := make([]cl.LatentSample, n)
+	for i := range out {
+		z := tensor.New(4)
+		z.Data()[0] = float32(i)
+		out[i] = cl.LatentSample{Z: z, Label: i % 3}
+	}
+	return out
+}
+
+// TestSelectionProbsNonFiniteUncertainty feeds NaN and Inf logit responses
+// (what Uncertainty produces from a diverged head) through Eq. 4 and requires
+// a finite, normalised distribution back.
+func TestSelectionProbsNonFiniteUncertainty(t *testing.T) {
+	tracker := NewPreferenceTracker(2, 0.6, 100)
+	for _, labels := range [][]int{{0, 1, 2, 0}, {1, 1, 1, 1}} {
+		for _, uncert := range [][]float64{
+			{math.NaN(), 1, 2, 3},
+			{math.Inf(1), 1, 2, 3},
+			{math.NaN(), math.NaN(), math.NaN(), math.NaN()},
+			{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)},
+			{math.NaN(), math.Inf(1), 0, 5},
+		} {
+			probs := SelectionProbs(tracker, uncert, labels, 1, 1)
+			sum := 0.0
+			for i, p := range probs {
+				if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+					t.Fatalf("uncert %v labels %v: probs[%d] = %v", uncert, labels, i, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("uncert %v labels %v: probs sum to %v, want 1", uncert, labels, sum)
+			}
+		}
+	}
+	// α=β=0 (the random-selection ablation) with NaN uncertainty must still
+	// come back uniform, not NaN.
+	probs := SelectionProbs(tracker, []float64{math.NaN(), 1}, []int{0, 1}, 0, 0)
+	if probs[0] != 0.5 || probs[1] != 0.5 {
+		t.Fatalf("degenerate weights: %v, want uniform", probs)
+	}
+}
+
+// TestShortTermUpdateNaNNotBiasedToLast is the regression test for the CDF
+// walk bug: with a NaN anywhere in the weight vector, sampleIndex's
+// normalizer went NaN, `z <= 0` evaluated false, every `r < acc` comparison
+// failed, and Update deterministically selected the LAST batch element. The
+// fix falls back to a uniform draw, so over many trials every index must be
+// chosen and the last must not dominate.
+func TestShortTermUpdateNaNNotBiasedToLast(t *testing.T) {
+	const n, trials = 4, 400
+	for _, probs := range [][]float64{
+		{math.NaN(), 0.2, 0.3, 0.5},
+		{math.NaN(), math.NaN(), math.NaN(), math.NaN()},
+		{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)},
+		{0.1, math.NaN(), math.Inf(1), 0.2},
+	} {
+		st := NewShortTermStore(1, rand.New(rand.NewSource(42)))
+		batch := nanBatch(n)
+		counts := make([]int, n)
+		for i := 0; i < trials; i++ {
+			chosen := st.Update(batch, probs)
+			if chosen < 0 || chosen >= n {
+				t.Fatalf("probs %v: chosen = %d out of range", probs, chosen)
+			}
+			counts[chosen]++
+		}
+		if counts[n-1] == trials {
+			t.Fatalf("probs %v: selection pinned to last index (the pre-fix bias): %v", probs, counts)
+		}
+		// Indices with usable mass (or all, under the uniform fallback) must
+		// actually be reachable.
+		if counts[n-1] > trials*3/4 {
+			t.Fatalf("probs %v: last index still dominates: %v", probs, counts)
+		}
+	}
+}
+
+// TestShortTermUpdateNaNLogitsEndToEnd drives the full Eq. 3 → Eq. 4 path —
+// NaN/Inf logits scored by Uncertainty, mixed by SelectionProbs, drawn by
+// Update — and checks selection stays usable.
+func TestShortTermUpdateNaNLogitsEndToEnd(t *testing.T) {
+	tracker := NewPreferenceTracker(2, 0.6, 100)
+	rng := rand.New(rand.NewSource(7))
+	st := NewShortTermStore(2, rng)
+	batch := nanBatch(5)
+	logits := [][]float32{
+		{float32(math.NaN()), 1, 0},
+		{2, float32(math.Inf(1)), 0},
+		{0.5, 0.5, 0.5},
+		{1, 2, 3},
+		{0, 0, float32(math.NaN())},
+	}
+	counts := make([]int, len(batch))
+	for trial := 0; trial < 300; trial++ {
+		uncert := make([]float64, len(batch))
+		labels := make([]int, len(batch))
+		for i, s := range batch {
+			lt := tensor.New(3)
+			copy(lt.Data(), logits[i])
+			uncert[i] = Uncertainty(lt, s.Label)
+			labels[i] = s.Label
+			tracker.Observe(s.Label)
+		}
+		probs := SelectionProbs(tracker, uncert, labels, 1, 1)
+		chosen := st.Update(batch, probs)
+		if chosen < 0 || chosen >= len(batch) {
+			t.Fatalf("trial %d: chosen = %d", trial, chosen)
+		}
+		counts[chosen]++
+	}
+	if counts[len(batch)-1] == 300 {
+		t.Fatalf("selection pinned to last batch element: %v", counts)
+	}
+	if st.Len() == 0 {
+		t.Fatal("store never filled")
+	}
+}

@@ -18,7 +18,7 @@ type TradeoffPoint struct {
 	H             int
 	MeanAcc       float64
 	StdAcc        float64
-	Meter         cl.TrafficMeter
+	Meter         cl.TrafficCounts
 	FPGAStep      hw.Cost
 	OffChipMBRun  float64
 	MemoryEnergyJ float64
@@ -56,7 +56,7 @@ func RunTradeoff(set *cl.LatentSet, sc Scale, hs []int) ([]TradeoffPoint, error)
 		energy := float64(on)*hw.Horowitz45nm.SRAMPerByte + float64(off)*hw.Horowitz45nm.DRAMPerByte
 		out = append(out, TradeoffPoint{
 			H: h, MeanAcc: summary.MeanAcc, StdAcc: summary.StdAcc,
-			Meter:         *meter,
+			Meter:         meter.Counts(),
 			FPGAStep:      fpga.Step(profile),
 			OffChipMBRun:  float64(off) / (1 << 20),
 			MemoryEnergyJ: energy,

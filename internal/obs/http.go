@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler exporting the registry three ways:
+//
+//	/metrics     Prometheus text exposition
+//	/vars        this registry as one expvar-compatible JSON object
+//	/debug/vars  the standard expvar handler (the registry appears there
+//	             once PublishExpvar has run; Serve does this automatically)
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// Server is a running metrics listener (see Registry.Serve).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP listener on addr exporting the registry via Handler.
+// The registry is also published into expvar under "chameleon" (best effort:
+// a second registry claiming the name just skips expvar publication). The
+// caller owns the returned Server and should Close it on exit.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	_ = r.PublishExpvar("chameleon")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

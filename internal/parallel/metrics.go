@@ -1,0 +1,27 @@
+package parallel
+
+import "chameleon/internal/obs"
+
+// Pool observability. The gauges are functions so a scrape reads the live
+// pool state (queue depth = free tokens); the counters separate chunks that
+// ran on borrowed goroutines from chunks the caller absorbed inline, which
+// together measure shard utilisation: spawned/(spawned+inline) ≈ how often
+// the pool actually fans out versus degrading to the serial loop.
+var (
+	forCalls      = obs.Default().Counter("parallel_for_calls_total")
+	chunksSpawned = obs.Default().Counter("parallel_chunks_spawned_total")
+	chunksInline  = obs.Default().Counter("parallel_chunks_inline_total")
+)
+
+func init() {
+	obs.Default().GaugeFunc("parallel_workers", func() float64 {
+		return float64(Workers())
+	})
+	obs.Default().GaugeFunc("parallel_tokens_free", func() float64 {
+		s := current.Load()
+		if s == nil || s.tokens == nil {
+			return 0
+		}
+		return float64(len(s.tokens))
+	})
+}

@@ -73,8 +73,10 @@ func For(n, grain int, body func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
+	forCalls.Add(1)
 	s := current.Load()
 	if s.workers <= 1 || n <= grain {
+		chunksInline.Add(1)
 		body(0, n)
 		return
 	}
@@ -93,11 +95,13 @@ func For(n, grain int, body func(lo, hi int)) {
 		if hi == n {
 			// Always run the final chunk inline: the caller participates, and
 			// a fully-contended pool degrades to the plain serial loop.
+			chunksInline.Add(1)
 			body(lo, hi)
 			break
 		}
 		select {
 		case <-s.tokens:
+			chunksSpawned.Add(1)
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
@@ -105,6 +109,7 @@ func For(n, grain int, body func(lo, hi int)) {
 				body(lo, hi)
 			}(lo, hi)
 		default:
+			chunksInline.Add(1)
 			body(lo, hi)
 		}
 	}

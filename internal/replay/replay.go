@@ -46,23 +46,29 @@ func NewReservoir(capacity int, rng *rand.Rand) *Reservoir {
 // Offer presents one stream item; it is stored with the reservoir
 // probability. Returns true if the item entered the buffer.
 func (r *Reservoir) Offer(it Item) bool {
+	reservoirOffers.Add(1)
 	r.seen++
 	if len(r.items) < r.cap {
 		r.items = append(r.items, it)
+		reservoirFills.Add(1)
 		return true
 	}
 	j := r.rng.Intn(r.seen)
 	if j < r.cap {
 		r.items[j] = it
+		reservoirHits.Add(1)
 		return true
 	}
+	reservoirSkips.Add(1)
 	return false
 }
 
 // Sample returns n items drawn uniformly without replacement (fewer if the
 // buffer holds fewer).
 func (r *Reservoir) Sample(n int) []Item {
-	return sampleWithout(r.items, n, r.rng)
+	out := sampleWithout(r.items, n, r.rng)
+	samplesDrawn.Add(int64(len(out)))
+	return out
 }
 
 // Items returns the live contents (not a copy; callers must not mutate).
@@ -113,12 +119,14 @@ func NewRing(capacity int) *Ring {
 
 // Push inserts an item, evicting the oldest when full.
 func (r *Ring) Push(it Item) {
+	ringPushes.Add(1)
 	if len(r.items) < r.cap {
 		r.items = append(r.items, it)
 		return
 	}
 	r.items[r.next] = it
 	r.next = (r.next + 1) % r.cap
+	ringEvicts.Add(1)
 }
 
 // Items returns the live contents in arbitrary order.
@@ -178,6 +186,7 @@ func (b *ClassBalanced) Insert(it Item) int {
 	if b.total < b.cap {
 		b.byClass[it.Label] = append(b.byClass[it.Label], it)
 		b.total++
+		balancedFills.Add(1)
 		return -1
 	}
 	own := b.byClass[it.Label]
@@ -190,6 +199,7 @@ func (b *ClassBalanced) Insert(it Item) int {
 	if len(own) >= largestN {
 		// Replace within the item's own class.
 		own[b.rng.Intn(len(own))] = it
+		balancedHits.Add(1)
 		return it.Label
 	}
 	// Evict from the largest class, then append.
@@ -198,6 +208,7 @@ func (b *ClassBalanced) Insert(it Item) int {
 	victims[vi] = victims[len(victims)-1]
 	b.byClass[largest] = victims[:len(victims)-1]
 	b.byClass[it.Label] = append(b.byClass[it.Label], it)
+	balancedEvicts.Add(1)
 	return largest
 }
 
@@ -210,6 +221,7 @@ func (b *ClassBalanced) ReplaceRandomOfClass(it Item) bool {
 		return false
 	}
 	own[b.rng.Intn(len(own))] = it
+	balancedHits.Add(1)
 	return true
 }
 
@@ -249,7 +261,9 @@ func (b *ClassBalanced) Sample(n int) []Item {
 	for _, c := range b.Classes() {
 		all = append(all, b.byClass[c]...)
 	}
-	return sampleWithout(all, n, b.rng)
+	out := sampleWithout(all, n, b.rng)
+	samplesDrawn.Add(int64(len(out)))
+	return out
 }
 
 // sampleWithout draws min(n, len(pool)) items without replacement via a

@@ -5,15 +5,30 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo '>> gofmt'
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 echo '>> go vet ./...'
 go vet ./...
 echo '>> go build ./...'
 go build ./...
 echo '>> go test -race ./...'
 go test -race ./...
+# Concurrent-scrape gate: every metrics export surface is read while an
+# 8-worker training run mutates the registry (redundant with the full -race
+# pass above, but named here so a failure points straight at the metrics
+# layer).
+echo '>> go test -race -run "TestMetricsScrapeDuringTraining|TestInstrumentationEquivalence" -count=1 ./internal/core/ (scrape-under-race gate)'
+go test -race -run 'TestMetricsScrapeDuringTraining|TestInstrumentationEquivalence' -count=1 ./internal/core/
 # The allocation-regression gate runs in a separate non-race pass: the strict
-# AllocsPerRun == 0 pins skip under -race because the instrumentation itself
-# allocates (see internal/race).
+# AllocsPerRun == 0 pins skip under -race because the race instrumentation
+# itself allocates (see internal/race). TestAllocsTrainStep covers the
+# *instrumented* trainer step — the per-stage timers and counters added by
+# internal/obs must not cost a single allocation.
 echo '>> go test -run TestAllocs -count=1 ./... (allocation gate, no race)'
 go test -run TestAllocs -count=1 ./...
 echo 'check.sh: all green'
