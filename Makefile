@@ -24,8 +24,10 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkMatMulParallel|BenchmarkLatentExtractParallel' .
 
-# Steady-state hot-path envelope as machine-readable JSON (BENCH_pr4.json):
+# Steady-state hot-path envelope as machine-readable JSON (BENCH_pr5.json):
 # train-step and eval-batch ns/op + allocs/op, serial vs batched eval speedup,
-# checkpoint save/restore latency, and the full end-of-run metrics report.
+# checkpoint save/restore latency, the serving layer under 32-client
+# closed-loop load (throughput + p50/p95/p99), and the full end-of-run
+# metrics report.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr5.json

@@ -1,6 +1,6 @@
 // Command benchjson measures the steady-state performance envelope of the
 // online-learning hot path and writes it as machine-readable JSON (the PR
-// regression artefact, BENCH_pr3.json by default):
+// regression artefact, BENCH_pr5.json by default):
 //
 //   - train_step: one TrainCEOn SGD step over a replay-sized batch
 //     (ns/op, B/op, allocs/op — allocs must be 0 after warm-up),
@@ -11,6 +11,9 @@
 //     measured configuration actually learns),
 //   - checkpoint: save/restore latency and frame size of a mid-stream
 //     Chameleon snapshot, taken from the checkpoint package's own metrics,
+//   - serve: a closed-loop load run (32 concurrent predict clients plus a
+//     live observe stream) against an in-process serving instance, with
+//     sustained throughput and p50/p95/p99 latency,
 //   - metrics: the full end-of-run observability report (every counter,
 //     gauge and histogram the instrumented run produced).
 //
@@ -20,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,11 +36,13 @@ import (
 	"chameleon/internal/baselines"
 	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
+	"chameleon/internal/cli"
 	"chameleon/internal/core"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/nn"
 	"chameleon/internal/obs"
 	"chameleon/internal/parallel"
+	"chameleon/internal/serve"
 	"chameleon/internal/tensor"
 )
 
@@ -89,6 +95,10 @@ type report struct {
 	CheckpointSaves     int64   `json:"checkpoint_saves"`
 	CheckpointRestores  int64   `json:"checkpoint_restores"`
 	CheckpointFrameKB   float64 `json:"checkpoint_frame_kb"`
+	// Serve is the closed-loop load run against an in-process serving
+	// instance: 32 concurrent predict clients plus one live observe stream,
+	// reported as sustained throughput and p50/p95/p99 latency.
+	Serve serve.LoadReport `json:"serve"`
 	// Metrics is the structured end-of-run report of the default registry.
 	Metrics obs.Report `json:"metrics"`
 }
@@ -143,19 +153,54 @@ func benchCheckpoint(rep *report, model *mobilenet.Model, train []cl.LatentSampl
 	}
 }
 
+// benchServe stands up a full serving instance around a fresh Chameleon
+// learner and drives it with the load generator: 32 concurrent closed-loop
+// predict clients (the PR's acceptance floor) plus a live observe stream.
+func benchServe(model *mobilenet.Model, classes int, seed int64) serve.LoadReport {
+	head := cl.NewHead(model, cl.HeadConfig{Seed: seed + 2})
+	learner := core.New(head, core.Config{STCap: 10, LTCap: 100, AccessRate: 5, Seed: seed})
+	srv, err := serve.New(learner, serve.Config{LatentShape: model.LatentShape, Classes: classes})
+	if err != nil {
+		log.Fatalf("serve bench: %v", err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatalf("serve bench: %v", err)
+	}
+	rep, err := serve.RunLoad("http://"+srv.Addr(), serve.LoadOptions{
+		Clients:        32,
+		Duration:       2 * time.Second,
+		ObserveBatches: 20,
+		Seed:           seed,
+	})
+	if err != nil {
+		log.Fatalf("serve bench: load: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("serve bench: shutdown: %v", err)
+	}
+	return rep
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	var perf cli.Perf
+	perf.Bind(flag.CommandLine)
 	var (
-		out     = flag.String("out", "BENCH_pr4.json", "output JSON path")
+		out     = flag.String("out", "BENCH_pr5.json", "output JSON path")
 		classes = flag.Int("classes", 10, "synthetic class count")
 		pool    = flag.Int("pool", 400, "test-pool size")
 		batch   = flag.Int("batch", 11, "train-step batch size (incoming + replay)")
 		seed    = flag.Int64("seed", 7, "data and head seed")
-		workers = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	parallel.SetWorkers(*workers)
+	stop, err := perf.Start(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
 
 	model, err := mobilenet.New(mobilenet.DefaultConfig(*classes, *seed))
 	if err != nil {
@@ -231,7 +276,11 @@ func main() {
 			pooledPreds[i] = learner.Predict(z)
 		}
 	})
-	rep.BatchedEval = measure(func() { cl.PredictInto(learner, zs, batchedPreds) })
+	rep.BatchedEval = measure(func() {
+		if err := cl.PredictInto(learner, zs, batchedPreds); err != nil {
+			log.Fatalf("batched eval: %v", err)
+		}
+	})
 	rep.EvalSpeedup = float64(rep.SerialEval.NsPerOp) / float64(rep.BatchedEval.NsPerOp)
 	rep.PooledSpeedup = float64(rep.PooledSerialEval.NsPerOp) / float64(rep.BatchedEval.NsPerOp)
 	rep.PredictionsMatch = true
@@ -242,8 +291,11 @@ func main() {
 		}
 	}
 	benchCheckpoint(&rep, model, train, *batch, *seed)
+	benchServe(model, *classes, *seed) // warm-up run: JIT-free, but settles pools/conn reuse
+	rep.Serve = benchServe(model, *classes, *seed)
 	// Snapshot last so the report carries everything the run produced: trainer
-	// phase histograms, replay-store counters, pool utilisation, head timings.
+	// phase histograms, replay-store counters, pool utilisation, head timings,
+	// and the serving layer's queue/batch/shed instrumentation.
 	rep.Metrics = obs.Default().Report()
 
 	f, err := os.Create(*out)
@@ -266,5 +318,7 @@ func main() {
 		rep.EvalSpeedup, rep.PooledSpeedup, rep.PredictionsMatch)
 	fmt.Printf("checkpoint: save %.2f ms, restore %.2f ms, frame %.0f KB (%d round-trips)\n",
 		rep.CheckpointSaveMs, rep.CheckpointRestoreMs, rep.CheckpointFrameKB, rep.CheckpointSaves)
+	fmt.Printf("serve (%d clients): %.0f req/s, p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, shed %d\n",
+		rep.Serve.Clients, rep.Serve.ThroughputRPS, rep.Serve.P50Ms, rep.Serve.P95Ms, rep.Serve.P99Ms, rep.Serve.Shed)
 	fmt.Printf("accuracy: %.1f%%  →  %s\n", rep.AccuracyPct, *out)
 }

@@ -24,8 +24,8 @@ import (
 	"time"
 
 	"chameleon/internal/cl"
+	"chameleon/internal/cli"
 	"chameleon/internal/exp"
-	"chameleon/internal/obs"
 	"chameleon/internal/parallel"
 )
 
@@ -33,29 +33,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chameleon-bench: ")
 	var (
-		expName  = flag.String("exp", "all", "experiment: table1|table2|table3|fig2|ablations|tradeoff|perf|all")
-		scale    = flag.String("scale", "small", "scale tier: test|small")
-		cacheDir = flag.String("cache", exp.DefaultCacheDir(), "latent cache directory ('' disables)")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-		workers  = flag.Int("workers", 0, "worker-pool size for parallel kernels and experiment fan-out (0 = GOMAXPROCS)")
-		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of rendered tables")
-		ckDir    = flag.String("checkpoint", "", "checkpoint directory for crash-safe table1/fig2 grids ('' disables)")
-		ckEvery  = flag.Int("checkpoint-every", 100, "batches between checkpoint saves (with -checkpoint)")
-		resume   = flag.Bool("resume", false, "resume grid cells from existing checkpoints in -checkpoint")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
-		metrics  = flag.String("metrics-addr", "", "serve live metrics on this address: Prometheus text on /metrics, expvar JSON on /vars and /debug/vars ('' disables)")
+		perf     cli.Perf
+		pipeline cli.Pipeline
+		ckpt     cli.Checkpoint
+	)
+	perf.Bind(flag.CommandLine)
+	pipeline.Bind(flag.CommandLine, "small")
+	ckpt.Bind(flag.CommandLine, "checkpoint directory for crash-safe table1/fig2 grids ('' disables)")
+	var (
+		expName = flag.String("exp", "all", "experiment: table1|table2|table3|fig2|ablations|tradeoff|perf|all")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		jsonOut = flag.Bool("json", false, "emit results as JSON instead of rendered tables")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	parallel.SetWorkers(*workers)
-	if *metrics != "" {
-		srv, err := obs.Default().Serve(*metrics)
+	for _, err := range []error{pipeline.Validate(), ckpt.Validate()} {
 		if err != nil {
-			log.Fatalf("metrics: %v", err)
+			log.Fatal(err)
 		}
-		defer srv.Close()
-		log.Printf("metrics: http://%s/metrics (Prometheus), /vars (JSON)", srv.Addr())
 	}
+	stop, err := perf.Start(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -82,7 +84,7 @@ func main() {
 		}()
 	}
 
-	sc, err := scaleByName(*scale)
+	sc, err := pipeline.Scale()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,8 +97,8 @@ func main() {
 	var sets map[string]*cl.LatentSet
 	if needAccuracy {
 		sets = map[string]*cl.LatentSet{}
-		for _, ds := range []string{"core50", "openloris"} {
-			set, err := exp.BuildLatentSet(ds, sc, *cacheDir, progress)
+		for _, ds := range cli.Datasets() {
+			set, err := exp.BuildLatentSet(ds, sc, pipeline.CacheDir, progress)
 			if err != nil {
 				log.Fatalf("build %s pipeline: %v", ds, err)
 			}
@@ -104,11 +106,9 @@ func main() {
 		}
 	}
 
-	ck := exp.Checkpointing{Dir: *ckDir, Every: *ckEvery, Resume: *resume}
-	if ck.Dir != "" {
-		if err := os.MkdirAll(ck.Dir, 0o755); err != nil {
-			log.Fatalf("checkpoint dir: %v", err)
-		}
+	ck, err := ckpt.Grid()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	switch *expName {
@@ -125,7 +125,7 @@ func main() {
 	case "tradeoff":
 		runTradeoff(sets["core50"], sc)
 	case "perf":
-		runPerf(sets, sc, *workers, *jsonOut)
+		runPerf(sets, sc, perf.Workers, *jsonOut)
 	case "all":
 		runTable1(sets, sc, ck, progress, *jsonOut)
 		fmt.Println()
@@ -153,17 +153,6 @@ func emit(res any, jsonOut bool, render func()) {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(res); err != nil {
 		log.Fatalf("json: %v", err)
-	}
-}
-
-func scaleByName(name string) (exp.Scale, error) {
-	switch name {
-	case "test":
-		return exp.TestScale(), nil
-	case "small":
-		return exp.SmallScale(), nil
-	default:
-		return exp.Scale{}, fmt.Errorf("unknown scale %q (want test or small)", name)
 	}
 }
 

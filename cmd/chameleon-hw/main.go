@@ -13,34 +13,29 @@ import (
 	"log"
 	"strings"
 
+	"chameleon/internal/cli"
 	"chameleon/internal/hw"
 	"chameleon/internal/mobilenet"
-	"chameleon/internal/obs"
-	"chameleon/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chameleon-hw: ")
+	var perf cli.Perf
+	perf.Bind(flag.CommandLine)
 	var (
 		method     = flag.String("method", "", "restrict to one method (chameleon|latent|slda|er|der|finetune)")
 		replay     = flag.Int("replay", 10, "replay elements per incoming sample (R)")
 		accessRate = flag.Int("h", 10, "chameleon long-term access period")
 		resolution = flag.Int("res", 128, "input resolution of the costed backbone")
 		layers     = flag.Bool("layers", false, "print the per-layer systolic-array cycle breakdown")
-		workers    = flag.Int("workers", 0, "worker-pool size for parallel kernels (0 = GOMAXPROCS)")
-		metrics    = flag.String("metrics-addr", "", "serve live metrics on this address: Prometheus text on /metrics, expvar JSON on /vars and /debug/vars ('' disables)")
 	)
 	flag.Parse()
-	parallel.SetWorkers(*workers)
-	if *metrics != "" {
-		srv, err := obs.Default().Serve(*metrics)
-		if err != nil {
-			log.Fatalf("metrics: %v", err)
-		}
-		defer srv.Close()
-		log.Printf("metrics: http://%s/metrics (Prometheus), /vars (JSON)", srv.Addr())
+	stop, err := perf.Start(log.Printf)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer stop()
 
 	cfg := mobilenet.PaperConfig(50)
 	cfg.Resolution = *resolution

@@ -1,0 +1,59 @@
+// Command chameleon-loadgen is the closed-loop load generator for
+// chameleon-serve: N concurrent clients issue predict requests back-to-back
+// (optionally alongside one sequential observe stream) and the tool reports
+// sustained throughput with p50/p95/p99 latency, shed (429) counts and
+// errors. It self-configures from the server's /v1/stats, so the only
+// required argument is the address:
+//
+//	chameleon-loadgen -url http://127.0.0.1:8080
+//	chameleon-loadgen -clients 32 -duration 10s -observe 50
+//	chameleon-loadgen -clients 32 -n 200 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"chameleon/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chameleon-loadgen: ")
+	var (
+		url          = flag.String("url", "http://127.0.0.1:8080", "base URL of a running chameleon-serve")
+		clients      = flag.Int("clients", 32, "concurrent closed-loop predict clients")
+		perClient    = flag.Int("n", 0, "requests per client (0 = run for -duration)")
+		duration     = flag.Duration("duration", 5*time.Second, "run length when -n is 0")
+		observe      = flag.Int("observe", 0, "labelled batches the sequential observer feeds during the run (0 disables)")
+		observeBatch = flag.Int("observe-batch", 10, "samples per observe batch")
+		seed         = flag.Int64("seed", 1, "payload seed")
+		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	rep, err := serve.RunLoad(*url, serve.LoadOptions{
+		Clients:           *clients,
+		RequestsPerClient: *perClient,
+		Duration:          *duration,
+		ObserveBatches:    *observe,
+		ObserveBatchSize:  *observeBatch,
+		Seed:              *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatalf("json: %v", err)
+		}
+		return
+	}
+	fmt.Println(rep)
+}

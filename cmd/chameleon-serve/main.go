@@ -1,0 +1,131 @@
+// Command chameleon-serve exposes one continual learner over HTTP: predict
+// requests are micro-batched through the learner's batched eval path, observe
+// requests train it online in arrival order, and SIGTERM drains in-flight
+// work and writes a checkpoint the next start can resume bit-identically.
+//
+//	chameleon-serve -dataset synthetic -method chameleon        # no pipeline build, starts in seconds
+//	chameleon-serve -dataset core50 -method chameleon -scale test
+//	chameleon-serve -dataset synthetic -checkpoint serve.ckpt -resume
+//
+// Endpoints: POST /v1/predict, POST /v1/observe, GET /v1/stats, GET /metrics
+// (the full internal/obs registry), GET /healthz. See DESIGN.md §13 and the
+// README "Serving" section; cmd/chameleon-loadgen drives it under load.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/cli"
+	"chameleon/internal/exp"
+	"chameleon/internal/mobilenet"
+	"chameleon/internal/obs"
+	"chameleon/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chameleon-serve: ")
+	var cfg cli.RunConfig
+	cfg.Stream.ExtraDatasets = []string{"synthetic"}
+	cfg.Bind(flag.CommandLine)
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		classes      = flag.Int("classes", 10, "label-space width for -dataset synthetic")
+		batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "predict micro-batch coalescing window")
+		maxBatch     = flag.Int("max-batch", 64, "max predict requests answered by one PredictBatch call")
+		queueDepth   = flag.Int("queue", 256, "bounded depth of the predict and observe queues (full queues shed with 429)")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "max time a request may wait for the engine before 504")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight work on shutdown")
+	)
+	flag.Parse()
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	stop, err := cfg.Perf.Start(log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stop()
+	sc, err := cfg.Scale()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Assemble the learner: a synthetic backbone (self-contained, starts in
+	// seconds) or the full cached benchmark pipeline.
+	var backbone *mobilenet.Model
+	nClasses := *classes
+	if cfg.Dataset == "synthetic" {
+		backbone, err = mobilenet.New(mobilenet.DefaultConfig(nClasses, cfg.Seed))
+		if err != nil {
+			log.Fatalf("backbone: %v", err)
+		}
+	} else {
+		set, err := exp.BuildLatentSet(cfg.Dataset, sc, cfg.CacheDir, func(f string, a ...any) { log.Printf(f, a...) })
+		if err != nil {
+			log.Fatalf("pipeline: %v", err)
+		}
+		backbone = set.Backbone
+		nClasses = set.Dataset.Cfg.NumClasses
+	}
+	meter := &cl.TrafficMeter{}
+	meter.Bind(obs.Default())
+	learner, err := exp.NewLearnerOn(cfg.Spec(), backbone, nClasses, sc, cfg.Seed, meter)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srvCfg := serve.Config{
+		LatentShape:     backbone.LatentShape,
+		Classes:         nClasses,
+		Backbone:        backbone,
+		BatchWindow:     *batchWindow,
+		MaxBatch:        *maxBatch,
+		QueueDepth:      *queueDepth,
+		RequestTimeout:  *reqTimeout,
+		CheckpointPath:  cfg.Checkpoint.Path,
+		CheckpointEvery: cfg.Checkpoint.Every,
+	}
+	if cfg.Checkpoint.Resume && cfg.Checkpoint.Path != "" {
+		if _, err := os.Stat(cfg.Checkpoint.Path); err == nil {
+			st, err := serve.Resume(cfg.Checkpoint.Path, learner)
+			if err != nil {
+				log.Fatalf("resume: %v", err)
+			}
+			srvCfg.StartBatches, srvCfg.StartSamples = st.Batches, st.Samples
+			log.Printf("resumed %s from %s (batch %d, %d samples)", learner.Name(), cfg.Checkpoint.Path, st.Batches, st.Samples)
+		}
+	}
+
+	srv, err := serve.New(learner, srvCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(*addr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s on http://%s (latent %v, %d classes; POST /v1/predict, /v1/observe, GET /v1/stats, /metrics)",
+		learner.Name(), srv.Addr(), backbone.LatentShape, nClasses)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	<-ctx.Done()
+	log.Printf("shutting down: draining in-flight work (up to %s)...", *drainTimeout)
+	t0 := time.Now()
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer drainCancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("drained in %s: %d batches / %d samples observed", time.Since(t0).Round(time.Millisecond), srv.Batches(), srv.Samples())
+	if cfg.Checkpoint.Path != "" {
+		log.Printf("checkpoint written: %s (restart with -resume to continue bit-identically)", cfg.Checkpoint.Path)
+	}
+}

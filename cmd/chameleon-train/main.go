@@ -14,63 +14,46 @@ import (
 	"math"
 
 	"chameleon/internal/cl"
+	"chameleon/internal/cli"
 	"chameleon/internal/data"
 	"chameleon/internal/exp"
 	"chameleon/internal/hw"
 	"chameleon/internal/obs"
-	"chameleon/internal/parallel"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("chameleon-train: ")
+	var cfg cli.RunConfig
+	cfg.Bind(flag.CommandLine)
 	var (
-		method      = flag.String("method", "chameleon", "method: chameleon|finetune|joint|ewcpp|lwf|slda|gss|er|der|latent")
-		dataset     = flag.String("dataset", "core50", "dataset: core50|openloris")
-		buffer      = flag.Int("buffer", 100, "replay buffer size in samples (long-term size for chameleon)")
-		st          = flag.Int("st", 10, "chameleon short-term size")
-		seed        = flag.Int64("seed", 1, "run seed (stream order + head init)")
-		scale       = flag.String("scale", "test", "scale tier: test|small")
-		cacheDir    = flag.String("cache", exp.DefaultCacheDir(), "latent cache directory ('' disables)")
 		userCentric = flag.Bool("user-centric", false, "use a preference-skewed (personalized) stream")
 		prefSkew    = flag.Float64("pref-skew", 1.2, "Zipf exponent of the user preference (with -user-centric)")
 		classIL     = flag.Bool("class-incremental", false, "stream classes incrementally (Class-IL) instead of domains (Domain-IL)")
-		workers     = flag.Int("workers", 0, "worker-pool size for parallel kernels and extraction (0 = GOMAXPROCS)")
-		ckPath      = flag.String("checkpoint", "", "checkpoint file for crash-safe runs ('' disables)")
-		ckEvery     = flag.Int("checkpoint-every", 100, "batches between checkpoint saves (with -checkpoint)")
-		resume      = flag.Bool("resume", false, "resume from -checkpoint if the file exists")
-		metricsAddr = flag.String("metrics-addr", "", "serve live metrics on this address: Prometheus text on /metrics, expvar JSON on /vars and /debug/vars ('' disables)")
 	)
 	flag.Parse()
-	parallel.SetWorkers(*workers)
-	if *metricsAddr != "" {
-		srv, err := obs.Default().Serve(*metricsAddr)
-		if err != nil {
-			log.Fatalf("metrics: %v", err)
-		}
-		defer srv.Close()
-		log.Printf("metrics: http://%s/metrics (Prometheus), /vars (JSON)", srv.Addr())
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
 	}
-
-	var sc exp.Scale
-	switch *scale {
-	case "test":
-		sc = exp.TestScale()
-	case "small":
-		sc = exp.SmallScale()
-	default:
-		log.Fatalf("unknown scale %q", *scale)
+	stop, err := cfg.Perf.Start(log.Printf)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer stop()
 
-	set, err := exp.BuildLatentSet(*dataset, sc, *cacheDir, func(f string, a ...any) { log.Printf(f, a...) })
+	sc, err := cfg.Scale()
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, err := exp.BuildLatentSet(cfg.Dataset, sc, cfg.CacheDir, func(f string, a ...any) { log.Printf(f, a...) })
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
 	}
 
-	spec := exp.MethodSpec{Name: *method, Buffer: *buffer, ST: *st}
+	spec := cfg.Spec()
 	meter := &cl.TrafficMeter{}
 	meter.Bind(obs.Default())
-	learner, err := exp.NewLearnerMetered(spec, set, sc, *seed, meter)
+	learner, err := exp.NewLearnerMetered(spec, set, sc, cfg.Seed, meter)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,17 +66,15 @@ func main() {
 		opts.PrefSkew = *prefSkew
 		opts.DriftEveryBatches = 0
 	}
-	stream := set.Stream(*seed, opts)
-	log.Printf("running %s on %s (%d samples, seed %d)...", spec.Label(), *dataset, stream.Total(), *seed)
-	res, err := cl.RunOnlineCheckpointed(learner, stream, set.Test, cl.CheckpointPlan{
-		Path: *ckPath, Every: *ckEvery, Resume: *resume, Meter: meter,
-	})
+	stream := set.Stream(cfg.Seed, opts)
+	log.Printf("running %s on %s (%d samples, seed %d)...", spec.Label(), cfg.Dataset, stream.Total(), cfg.Seed)
+	res, err := cl.RunOnlineCheckpointed(learner, stream, set.Test, cfg.Checkpoint.Plan(meter))
 	if err != nil {
 		log.Fatalf("run: %v", err)
 	}
 
 	fmt.Printf("method:        %s\n", spec.Label())
-	fmt.Printf("dataset:       %s (%d train / %d test)\n", *dataset, set.Dataset.NumTrain(), set.Dataset.NumTest())
+	fmt.Printf("dataset:       %s (%d train / %d test)\n", cfg.Dataset, set.Dataset.NumTrain(), set.Dataset.NumTest())
 	fmt.Printf("Acc_all:       %.2f%%\n", 100*res.AccAll)
 	if !math.IsNaN(res.PreferredAcc) {
 		fmt.Printf("preferred-acc: %.2f%% (classes %v)\n", 100*res.PreferredAcc, stream.PreferredClasses())

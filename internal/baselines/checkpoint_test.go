@@ -45,8 +45,8 @@ func TestBaselineSnapshotResumeContinuity(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			const splitAt = 5
 			a := tc.mk()
-			snapA, ok := a.(cl.Snapshotter)
-			if !ok {
+			snapA := cl.Caps(a).Snapshotter
+			if snapA == nil {
 				t.Fatalf("%s does not implement cl.Snapshotter", tc.name)
 			}
 			stream := set.Stream(seed, data.StreamOptions{BatchSize: 10})
@@ -68,7 +68,7 @@ func TestBaselineSnapshotResumeContinuity(t *testing.T) {
 				t.Fatalf("snapshot: %v", err)
 			}
 			b := tc.mk()
-			snapB := b.(cl.Snapshotter)
+			snapB := cl.Caps(b).Snapshotter
 			if err := snapB.Restore(state); err != nil {
 				t.Fatalf("restore: %v", err)
 			}
@@ -85,9 +85,9 @@ func TestBaselineSnapshotResumeContinuity(t *testing.T) {
 				a.Observe(batch)
 				b.Observe(batch)
 			}
-			if f, ok := a.(cl.Finisher); ok {
+			if f := cl.Caps(a).Finisher; f != nil {
 				f.Finish()
-				b.(cl.Finisher).Finish()
+				cl.Caps(b).Finisher.Finish()
 			}
 
 			finalA, err := snapA.Snapshot()

@@ -26,8 +26,8 @@ func observeSome(set *cl.LatentSet, l cl.Learner, seed int64, n int) {
 // over the whole test pool must agree exactly with per-sample Predict.
 func assertBatchMatchesSerial(t *testing.T, l cl.Learner, test []cl.LatentSample) {
 	t.Helper()
-	bp, ok := l.(cl.BatchPredictor)
-	if !ok {
+	bp := cl.Caps(l).BatchPredictor
+	if bp == nil {
 		t.Fatalf("%s does not implement cl.BatchPredictor", l.Name())
 	}
 	zs := make([]*tensor.Tensor, len(test))

@@ -38,7 +38,9 @@ func TestPredictIntoMatchesSerialAcrossWorkers(t *testing.T) {
 			serial[i] = h.Predict(z)
 		}
 		batched := make([]int, len(zs))
-		PredictInto(batchHeadLearner{h}, zs, batched)
+		if err := PredictInto(batchHeadLearner{h}, zs, batched); err != nil {
+			t.Fatal(err)
+		}
 		for i := range zs {
 			if serial[i] != batched[i] {
 				t.Fatalf("workers=%d: sample %d serial=%d batched=%d", w, i, serial[i], batched[i])
@@ -91,7 +93,9 @@ func TestPredictBatchStableAcrossResume(t *testing.T) {
 func TestPredictIntoFallback(t *testing.T) {
 	zs := []*tensor.Tensor{tensor.New(2), tensor.New(2), tensor.New(2)}
 	out := make([]int, 3)
-	PredictInto(constLearner{class: 2}, zs, out)
+	if err := PredictInto(constLearner{class: 2}, zs, out); err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range out {
 		if v != 2 {
 			t.Fatalf("out[%d] = %d, want 2", i, v)
@@ -99,13 +103,10 @@ func TestPredictIntoFallback(t *testing.T) {
 	}
 }
 
-func TestPredictIntoPanicsOnShortOut(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for short out slice")
-		}
-	}()
-	PredictInto(constLearner{}, make([]*tensor.Tensor, 2), make([]int, 1))
+func TestPredictIntoErrorOnShortOut(t *testing.T) {
+	if err := PredictInto(constLearner{}, make([]*tensor.Tensor, 2), make([]int, 1)); err == nil {
+		t.Fatal("expected error for short out slice")
+	}
 }
 
 // TestEvaluatePerClassGapNaN pins the one-pass Evaluate's per-class

@@ -1,0 +1,40 @@
+package cl
+
+import (
+	"testing"
+
+	"chameleon/internal/tensor"
+)
+
+// fullLearner implements every optional extension.
+type fullLearner struct{ constLearner }
+
+func (fullLearner) Finish()                                   {}
+func (fullLearner) PredictBatch(zs []*tensor.Tensor, o []int) {}
+func (fullLearner) Snapshot() ([]byte, error)                 { return nil, nil }
+func (fullLearner) Restore([]byte) error                      { return nil }
+
+// TestCaps pins the capability-discovery contract: a bare Learner reports no
+// extensions, a full learner reports all three, and each field is the same
+// value a direct type assert would produce.
+func TestCaps(t *testing.T) {
+	bare := Caps(constLearner{})
+	if bare.Finisher != nil || bare.BatchPredictor != nil || bare.Snapshotter != nil {
+		t.Fatalf("bare learner reported capabilities: %+v", bare)
+	}
+
+	l := fullLearner{}
+	c := Caps(l)
+	if c.Finisher == nil || c.BatchPredictor == nil || c.Snapshotter == nil {
+		t.Fatalf("full learner missing capabilities: %+v", c)
+	}
+	if f, _ := Learner(l).(Finisher); f != c.Finisher {
+		t.Fatal("Caps Finisher differs from direct assert")
+	}
+	if bp, _ := Learner(l).(BatchPredictor); bp != c.BatchPredictor {
+		t.Fatal("Caps BatchPredictor differs from direct assert")
+	}
+	if s, _ := Learner(l).(Snapshotter); s != c.Snapshotter {
+		t.Fatal("Caps Snapshotter differs from direct assert")
+	}
+}

@@ -76,9 +76,7 @@ type runCheckpoint struct {
 func RunOnlineCheckpointed(l Learner, stream *LatentStream, test []LatentSample, plan CheckpointPlan) (Result, error) {
 	var snap Snapshotter
 	if plan.Path != "" {
-		var ok bool
-		snap, ok = l.(Snapshotter)
-		if !ok {
+		if snap = Caps(l).Snapshotter; snap == nil {
 			return Result{}, fmt.Errorf("cl: method %q does not support checkpointing", l.Name())
 		}
 	}
@@ -153,7 +151,7 @@ func RunOnlineCheckpointed(l Learner, stream *LatentStream, test []LatentSample,
 				}
 			}
 		}
-		if f, ok := l.(Finisher); ok {
+		if f := Caps(l).Finisher; f != nil {
 			// Save immediately before Finish: a crash during the (possibly
 			// long) finishing phase resumes with pre-Finish state and re-runs
 			// it in full, rather than skipping or doubling it.

@@ -46,7 +46,10 @@ func (f *ForgettingProbe) Measure(l Learner) {
 		for i, s := range pool {
 			zs[i] = s.Z
 		}
-		PredictInto(l, zs, preds)
+		if err := PredictInto(l, zs, preds); err != nil {
+			// preds is sized to zs above; a failure here is a programming error.
+			panic(err)
+		}
 		hits := 0
 		for i, s := range pool {
 			if preds[i] == s.Label {
@@ -105,7 +108,7 @@ func RunOnlineWithForgetting(l Learner, stream *LatentStream, test []LatentSampl
 		l.Observe(b)
 		seen += len(b.Samples)
 	}
-	if f, ok := l.(Finisher); ok {
+	if f := Caps(l).Finisher; f != nil {
 		f.Finish()
 	}
 	probe.Measure(l)

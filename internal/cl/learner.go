@@ -66,21 +66,49 @@ type BatchPredictor interface {
 	PredictBatch(zs []*tensor.Tensor, out []int)
 }
 
+// Capabilities is the one-stop view of a Learner's optional extensions. Each
+// field is nil when the learner does not implement the extension, so call
+// sites branch on a field instead of repeating interface type asserts. Caps
+// is the only sanctioned way to discover optional behaviour; new extensions
+// get a field here rather than a fourth scattered assert.
+type Capabilities struct {
+	// Finisher runs the learner's post-stream hook (nil: nothing to finish).
+	Finisher Finisher
+	// BatchPredictor classifies latent slices in one call (nil: serial
+	// Predict only).
+	BatchPredictor BatchPredictor
+	// Snapshotter saves/restores complete mutable state for crash-safe and
+	// drain-to-checkpoint runs (nil: the learner cannot be checkpointed).
+	Snapshotter Snapshotter
+}
+
+// Caps reports which optional extensions l implements.
+func Caps(l Learner) Capabilities {
+	var c Capabilities
+	c.Finisher, _ = l.(Finisher)
+	c.BatchPredictor, _ = l.(BatchPredictor)
+	c.Snapshotter, _ = l.(Snapshotter)
+	return c
+}
+
 // PredictInto classifies every latent in zs into out[:len(zs)], dispatching
 // to the learner's batched implementation when it has one. The serial loop is
 // the default adapter for legacy learners (and test doubles), which only need
-// to implement Predict.
-func PredictInto(l Learner, zs []*tensor.Tensor, out []int) {
+// to implement Predict. A too-short out is reported as an error (serve-path
+// entry points feed client-controlled sizes here, so the length check must
+// not panic).
+func PredictInto(l Learner, zs []*tensor.Tensor, out []int) error {
 	if len(out) < len(zs) {
-		panic(fmt.Sprintf("cl: PredictInto out length %d, want at least %d", len(out), len(zs)))
+		return fmt.Errorf("cl: PredictInto out length %d, want at least %d", len(out), len(zs))
 	}
-	if bp, ok := l.(BatchPredictor); ok {
+	if bp := Caps(l).BatchPredictor; bp != nil {
 		bp.PredictBatch(zs, out)
-		return
+		return nil
 	}
 	for i, z := range zs {
 		out[i] = l.Predict(z)
 	}
+	return nil
 }
 
 // LatentSet caches the frozen-backbone features of a dataset so that every

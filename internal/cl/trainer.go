@@ -52,7 +52,10 @@ func Evaluate(l Learner, test []LatentSample) Result {
 		zs[i] = s.Z
 	}
 	preds := make([]int, len(test))
-	PredictInto(l, zs, preds)
+	if err := PredictInto(l, zs, preds); err != nil {
+		// preds is sized to zs above; a failure here is a programming error.
+		panic(err)
+	}
 	var correct, total []int
 	hits := 0
 	for i, s := range test {

@@ -1,0 +1,232 @@
+// Package cli is the shared flag/config surface of the cmd binaries. Before
+// it existed every main.go re-declared its own -workers, -metrics-addr,
+// -checkpoint*, -seed and dataset/method flags, and the spellings (and
+// validation gaps) drifted between them; now each flag is declared exactly
+// once here, grouped by concern, and every binary binds the groups it needs:
+//
+//	Perf        -workers, -metrics-addr      worker pool + metrics listener
+//	Pipeline    -scale, -cache              latent-set construction tier
+//	Method      -method, -buffer, -st       learner selection and sizing
+//	Stream      -dataset, -seed             benchmark stream selection
+//	Checkpoint  -checkpoint, -checkpoint-every, -resume
+//
+// RunConfig composes all five into the full "drive one learner over one
+// stream" configuration used by chameleon-train and chameleon-serve; the
+// narrower binaries (chameleon-bench, chameleon-hw, benchjson) bind subsets.
+// Validate must be called after flag.Parse and before any group is used —
+// every accepted value is checked against the canonical sets exported by
+// internal/exp, so a typo fails fast with the allowed spellings instead of
+// deep inside the pipeline.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/exp"
+	"chameleon/internal/obs"
+	"chameleon/internal/parallel"
+)
+
+// Perf is the performance/observability group shared by every binary.
+type Perf struct {
+	// Workers sizes the shared worker pool (0 = GOMAXPROCS).
+	Workers int
+	// MetricsAddr serves live metrics when non-empty.
+	MetricsAddr string
+}
+
+// Bind registers the group's flags on fs.
+func (p *Perf) Bind(fs *flag.FlagSet) {
+	fs.IntVar(&p.Workers, "workers", 0, "worker-pool size for parallel kernels and experiment fan-out (0 = GOMAXPROCS)")
+	fs.StringVar(&p.MetricsAddr, "metrics-addr", "", "serve live metrics on this address: Prometheus text on /metrics, expvar JSON on /vars and /debug/vars ('' disables)")
+}
+
+// Start applies the group: it sizes the worker pool and, when MetricsAddr is
+// set, starts the metrics listener (announced via logf when non-nil). The
+// returned stop function closes the listener and is always non-nil.
+func (p Perf) Start(logf func(string, ...any)) (stop func(), err error) {
+	parallel.SetWorkers(p.Workers)
+	if p.MetricsAddr == "" {
+		return func() {}, nil
+	}
+	srv, err := obs.Default().Serve(p.MetricsAddr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: %w", err)
+	}
+	if logf != nil {
+		logf("metrics: http://%s/metrics (Prometheus), /vars (JSON)", srv.Addr())
+	}
+	return func() { _ = srv.Close() }, nil
+}
+
+// Pipeline selects the latent-set construction tier.
+type Pipeline struct {
+	// ScaleName is the reproduction tier ("test" or "small").
+	ScaleName string
+	// CacheDir caches backbones and latents ("" disables).
+	CacheDir string
+}
+
+// Bind registers the group's flags on fs; defScale is the binary's default
+// tier ("test" for interactive binaries, "small" for the benchmark suite).
+func (p *Pipeline) Bind(fs *flag.FlagSet, defScale string) {
+	fs.StringVar(&p.ScaleName, "scale", defScale, "scale tier: test|small")
+	fs.StringVar(&p.CacheDir, "cache", exp.DefaultCacheDir(), "latent cache directory ('' disables)")
+}
+
+// Validate checks the tier name.
+func (p Pipeline) Validate() error {
+	_, err := exp.ScaleByName(p.ScaleName)
+	return err
+}
+
+// Scale resolves the tier (call Validate first; unknown names error here
+// too).
+func (p Pipeline) Scale() (exp.Scale, error) { return exp.ScaleByName(p.ScaleName) }
+
+// Method selects and sizes one continual learner.
+type Method struct {
+	// Name is the method family.
+	Name string
+	// Buffer is the replay-buffer size (long-term size for chameleon).
+	Buffer int
+	// ST is chameleon's short-term size.
+	ST int
+}
+
+// Bind registers the group's flags on fs.
+func (m *Method) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&m.Name, "method", "chameleon", "method: "+strings.Join(exp.Methods(), "|"))
+	fs.IntVar(&m.Buffer, "buffer", 100, "replay buffer size in samples (long-term size for chameleon)")
+	fs.IntVar(&m.ST, "st", 10, "chameleon short-term size")
+}
+
+// Validate checks the method family and sizing.
+func (m Method) Validate() error {
+	if !exp.ValidMethod(m.Name) {
+		return fmt.Errorf("unknown method %q (want one of %s)", m.Name, strings.Join(exp.Methods(), ", "))
+	}
+	if m.Buffer < 0 {
+		return fmt.Errorf("-buffer must be >= 0, got %d", m.Buffer)
+	}
+	if m.ST < 0 {
+		return fmt.Errorf("-st must be >= 0, got %d", m.ST)
+	}
+	return nil
+}
+
+// Spec converts the group to an experiment method spec.
+func (m Method) Spec() exp.MethodSpec {
+	return exp.MethodSpec{Name: m.Name, Buffer: m.Buffer, ST: m.ST}
+}
+
+// Datasets lists the benchmark streams the pipeline can build.
+func Datasets() []string { return []string{"core50", "openloris"} }
+
+// Stream selects the benchmark stream.
+type Stream struct {
+	// Dataset is the benchmark name.
+	Dataset string
+	// Seed drives stream order and head initialisation.
+	Seed int64
+	// ExtraDatasets extends the accepted -dataset values for binaries with
+	// additional sources (chameleon-serve's "synthetic"). Set before Validate.
+	ExtraDatasets []string
+}
+
+// Bind registers the group's flags on fs.
+func (s *Stream) Bind(fs *flag.FlagSet) {
+	usage := "dataset: " + strings.Join(append(Datasets(), s.ExtraDatasets...), "|")
+	fs.StringVar(&s.Dataset, "dataset", "core50", usage)
+	fs.Int64Var(&s.Seed, "seed", 1, "run seed (stream order + head init)")
+}
+
+// Validate checks the dataset name.
+func (s Stream) Validate() error {
+	for _, d := range append(Datasets(), s.ExtraDatasets...) {
+		if s.Dataset == d {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown dataset %q (want one of %s)",
+		s.Dataset, strings.Join(append(Datasets(), s.ExtraDatasets...), ", "))
+}
+
+// Checkpoint configures crash-safe persistence.
+type Checkpoint struct {
+	// Path is the checkpoint file or directory ("" disables).
+	Path string
+	// Every is the save period in batches.
+	Every int
+	// Resume restarts from an existing checkpoint.
+	Resume bool
+}
+
+// Bind registers the group's flags on fs; pathUsage describes what Path means
+// for this binary (file for single runs, directory for grids).
+func (c *Checkpoint) Bind(fs *flag.FlagSet, pathUsage string) {
+	fs.StringVar(&c.Path, "checkpoint", "", pathUsage)
+	fs.IntVar(&c.Every, "checkpoint-every", 100, "batches between checkpoint saves (with -checkpoint)")
+	fs.BoolVar(&c.Resume, "resume", false, "resume from -checkpoint if it exists")
+}
+
+// Validate checks the save period.
+func (c Checkpoint) Validate() error {
+	if c.Path != "" && c.Every <= 0 {
+		return fmt.Errorf("-checkpoint-every must be > 0, got %d", c.Every)
+	}
+	return nil
+}
+
+// Plan converts the group to a single-run checkpoint plan.
+func (c Checkpoint) Plan(meter *cl.TrafficMeter) cl.CheckpointPlan {
+	return cl.CheckpointPlan{Path: c.Path, Every: c.Every, Resume: c.Resume, Meter: meter}
+}
+
+// Grid converts the group to a grid checkpoint config, creating the
+// directory when set.
+func (c Checkpoint) Grid() (exp.Checkpointing, error) {
+	ck := exp.Checkpointing{Dir: c.Path, Every: c.Every, Resume: c.Resume}
+	if ck.Dir != "" {
+		if err := os.MkdirAll(ck.Dir, 0o755); err != nil {
+			return exp.Checkpointing{}, fmt.Errorf("checkpoint dir: %w", err)
+		}
+	}
+	return ck, nil
+}
+
+// RunConfig is the full "drive one learner over one benchmark stream"
+// configuration: chameleon-train and chameleon-serve bind it whole, so the
+// two binaries expose one identical flag surface for everything they share.
+type RunConfig struct {
+	Perf
+	Pipeline
+	Method
+	Stream
+	Checkpoint
+}
+
+// Bind registers every group's flags on fs.
+func (c *RunConfig) Bind(fs *flag.FlagSet) {
+	c.Perf.Bind(fs)
+	c.Pipeline.Bind(fs, "test")
+	c.Method.Bind(fs)
+	c.Stream.Bind(fs)
+	c.Checkpoint.Bind(fs, "checkpoint file for crash-safe runs ('' disables)")
+}
+
+// Validate checks every group, reporting the first problem.
+func (c RunConfig) Validate() error {
+	for _, err := range []error{
+		c.Pipeline.Validate(), c.Method.Validate(), c.Stream.Validate(), c.Checkpoint.Validate(),
+	} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package cli
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// parse binds a RunConfig on a throwaway FlagSet and parses args.
+func parse(t *testing.T, args ...string) (RunConfig, error) {
+	t.Helper()
+	var cfg RunConfig
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg.Bind(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return cfg, cfg.Validate()
+}
+
+func TestRunConfigDefaultsAreValid(t *testing.T) {
+	cfg, err := parse(t)
+	if err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.Method.Name != "chameleon" || cfg.Dataset != "core50" || cfg.ScaleName != "test" {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	spec := cfg.Spec()
+	if spec.Name != "chameleon" || spec.Buffer != 100 || spec.ST != 10 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if _, err := cfg.Scale(); err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+}
+
+func TestValidateRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-method", "sgd"}, "unknown method"},
+		{[]string{"-buffer", "-1"}, "-buffer"},
+		{[]string{"-st", "-2"}, "-st"},
+		{[]string{"-dataset", "imagenet"}, "unknown dataset"},
+		{[]string{"-scale", "huge"}, "unknown scale"},
+		{[]string{"-checkpoint", "x.ckpt", "-checkpoint-every", "0"}, "-checkpoint-every"},
+	}
+	for _, tc := range cases {
+		if _, err := parse(t, tc.args...); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("args %v: err = %v, want mention of %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestValidateListsAllowedSpellings(t *testing.T) {
+	_, err := parse(t, "-method", "nope")
+	if err == nil || !strings.Contains(err.Error(), "chameleon") || !strings.Contains(err.Error(), "slda") {
+		t.Fatalf("method error should list the canonical set, got: %v", err)
+	}
+	_, err = parse(t, "-dataset", "nope")
+	if err == nil || !strings.Contains(err.Error(), "openloris") {
+		t.Fatalf("dataset error should list the canonical set, got: %v", err)
+	}
+}
+
+func TestStreamExtraDatasets(t *testing.T) {
+	var cfg RunConfig
+	cfg.Stream.ExtraDatasets = []string{"synthetic"}
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg.Bind(fs)
+	if err := fs.Parse([]string{"-dataset", "synthetic"}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("synthetic rejected despite ExtraDatasets: %v", err)
+	}
+	// Without the extension the same value must fail.
+	var plain RunConfig
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	plain.Bind(fs2)
+	if err := fs2.Parse([]string{"-dataset", "synthetic"}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := plain.Validate(); err == nil {
+		t.Fatal("synthetic accepted without ExtraDatasets")
+	}
+}
+
+func TestCheckpointPlanAndGrid(t *testing.T) {
+	var ck Checkpoint
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	ck.Bind(fs, "path")
+	dir := t.TempDir() + "/grid"
+	if err := fs.Parse([]string{"-checkpoint", dir, "-checkpoint-every", "7", "-resume"}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	plan := ck.Plan(nil)
+	if plan.Path != dir || plan.Every != 7 || !plan.Resume {
+		t.Fatalf("plan = %+v", plan)
+	}
+	grid, err := ck.Grid()
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	if grid.Dir != dir || grid.Every != 7 || !grid.Resume {
+		t.Fatalf("grid = %+v", grid)
+	}
+}
+
+// TestFlagSurface pins the shared flag names: every binary binding these
+// groups exposes identical spellings.
+func TestFlagSurface(t *testing.T) {
+	var cfg RunConfig
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg.Bind(fs)
+	for _, name := range []string{
+		"workers", "metrics-addr", "scale", "cache",
+		"method", "buffer", "st", "dataset", "seed",
+		"checkpoint", "checkpoint-every", "resume",
+	} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("RunConfig.Bind did not register -%s", name)
+		}
+	}
+}

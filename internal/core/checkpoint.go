@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 
 	"chameleon/internal/checkpoint"
@@ -92,6 +93,21 @@ func (c *Chameleon) Snapshot() ([]byte, error) {
 		Rand:     c.src.State(),
 		Batches:  c.batches,
 	})
+}
+
+// SnapshotsEqual reports whether two Snapshot payloads describe the same
+// learner state. Raw payload bytes are NOT comparable — gob randomizes map
+// encoding order — so callers outside the package (e.g. the serving layer's
+// replay-identity tests) must compare decoded state, which this wraps.
+func SnapshotsEqual(a, b []byte) (bool, error) {
+	var sa, sb chameleonState
+	if err := checkpoint.Decode(a, &sa); err != nil {
+		return false, fmt.Errorf("core: decode first snapshot: %w", err)
+	}
+	if err := checkpoint.Decode(b, &sb); err != nil {
+		return false, fmt.Errorf("core: decode second snapshot: %w", err)
+	}
+	return reflect.DeepEqual(sa, sb), nil
 }
 
 // Restore implements cl.Snapshotter. Capacities and shapes are validated

@@ -7,6 +7,7 @@ import (
 	"chameleon/internal/cl"
 	"chameleon/internal/core"
 	"chameleon/internal/memcost"
+	"chameleon/internal/mobilenet"
 )
 
 // MethodSpec names a method instance for a table row: the method family plus
@@ -33,6 +34,23 @@ func (m MethodSpec) Label() string {
 	return fmt.Sprintf("%s-%d", m.Name, m.Buffer)
 }
 
+// Methods lists the method families NewLearner accepts, in Table I order. It
+// is the canonical spelling set for -method flags (internal/cli validates
+// against it), so the flag surface and the constructor switch cannot drift.
+func Methods() []string {
+	return []string{"joint", "finetune", "ewcpp", "lwf", "slda", "gss", "er", "der", "latent", "chameleon"}
+}
+
+// ValidMethod reports whether name is a known method family.
+func ValidMethod(name string) bool {
+	for _, m := range Methods() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
 // NewLearner instantiates the method over a fresh head for one run.
 func NewLearner(spec MethodSpec, set *cl.LatentSet, sc Scale, seed int64) (cl.Learner, error) {
 	return NewLearnerMetered(spec, set, sc, seed, nil)
@@ -41,33 +59,44 @@ func NewLearner(spec MethodSpec, set *cl.LatentSet, sc Scale, seed int64) (cl.Le
 // NewLearnerMetered is NewLearner with an optional traffic meter wired into
 // the method's replay buffers (nil disables metering).
 func NewLearnerMetered(spec MethodSpec, set *cl.LatentSet, sc Scale, seed int64, meter *cl.TrafficMeter) (cl.Learner, error) {
+	if !ValidMethod(spec.Name) {
+		return nil, fmt.Errorf("exp: unknown method %q", spec.Name)
+	}
+	return NewLearnerOn(spec, set.Backbone, set.Dataset.Cfg.NumClasses, sc, seed, meter)
+}
+
+// NewLearnerOn instantiates the method over a bare backbone — the variant
+// for callers without a benchmark dataset, such as chameleon-serve's
+// synthetic mode. classes is the label-space width (SLDA sizes its
+// statistics with it; the head's width comes from the backbone config).
+func NewLearnerOn(spec MethodSpec, backbone *mobilenet.Model, classes int, sc Scale, seed int64, meter *cl.TrafficMeter) (cl.Learner, error) {
 	hc := cl.HeadConfig{LR: sc.HeadLR, Momentum: sc.HeadMomentum, Seed: seed}
 	bc := baselines.Config{BufferSize: spec.Buffer, ReplaySize: 10, Meter: meter, Seed: seed}
 	switch spec.Name {
 	case "finetune":
-		return baselines.NewFinetune(cl.NewHead(set.Backbone, hc)), nil
+		return baselines.NewFinetune(cl.NewHead(backbone, hc)), nil
 	case "joint":
 		jc := hc
 		jc.LR = sc.JointLR
 		cfg := bc
 		cfg.Epochs = sc.JointEpochs
-		return baselines.NewJoint(cl.NewHead(set.Backbone, jc), cfg), nil
+		return baselines.NewJoint(cl.NewHead(backbone, jc), cfg), nil
 	case "ewcpp":
-		return baselines.NewEWCPP(cl.NewHead(set.Backbone, hc), bc), nil
+		return baselines.NewEWCPP(cl.NewHead(backbone, hc), bc), nil
 	case "lwf":
-		return baselines.NewLwF(cl.NewHead(set.Backbone, hc), bc), nil
+		return baselines.NewLwF(cl.NewHead(backbone, hc), bc), nil
 	case "slda":
-		return baselines.NewSLDA(set.Backbone.LatentShape[0], set.Dataset.Cfg.NumClasses, bc), nil
+		return baselines.NewSLDA(backbone.LatentShape[0], classes, bc), nil
 	case "gss":
-		return baselines.NewGSS(cl.NewHead(set.Backbone, hc), bc), nil
+		return baselines.NewGSS(cl.NewHead(backbone, hc), bc), nil
 	case "er":
-		return baselines.NewER(cl.NewHead(set.Backbone, hc), bc), nil
+		return baselines.NewER(cl.NewHead(backbone, hc), bc), nil
 	case "der":
-		return baselines.NewDER(cl.NewHead(set.Backbone, hc), bc), nil
+		return baselines.NewDER(cl.NewHead(backbone, hc), bc), nil
 	case "latent":
-		return baselines.NewLatentReplay(cl.NewHead(set.Backbone, hc), bc), nil
+		return baselines.NewLatentReplay(cl.NewHead(backbone, hc), bc), nil
 	case "chameleon":
-		return core.New(cl.NewHead(set.Backbone, hc), core.Config{
+		return core.New(cl.NewHead(backbone, hc), core.Config{
 			STCap: spec.ST, LTCap: spec.Buffer,
 			AccessRate: sc.AccessRate, PromoteEvery: sc.PromoteEvery, LTSampleSize: 10,
 			Window: sc.Window, Meter: meter, Seed: seed,

@@ -7,6 +7,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"chameleon/internal/data"
 	"chameleon/internal/mobilenet"
 )
@@ -53,6 +55,19 @@ type Scale struct {
 	PromoteEvery int
 	// Window is Chameleon's preference learning window in samples.
 	Window int
+}
+
+// ScaleByName resolves a tier by its flag spelling. It is the single place
+// binaries translate -scale values, so the accepted set cannot drift.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "test":
+		return TestScale(), nil
+	case "small":
+		return SmallScale(), nil
+	default:
+		return Scale{}, fmt.Errorf("exp: unknown scale %q (want test or small)", name)
+	}
 }
 
 // TestScale is the tier used by unit/integration tests and `go test -bench`:

@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/tensor"
+)
+
+// maxBodyBytes bounds request bodies before JSON decoding: the largest legal
+// payload is an observe batch of MaxObserveBatch latents, and 16 MiB clears
+// that for every supported backbone while keeping hostile bodies cheap.
+const maxBodyBytes = 16 << 20
+
+// PredictRequest is the wire form of POST /v1/predict. Exactly one of Latent
+// (a flattened tensor matching the server's latent shape) or Image (a
+// flattened [3,R,R] frame; only with a configured backbone) must be set.
+type PredictRequest struct {
+	Latent []float32 `json:"latent,omitempty"`
+	Image  []float32 `json:"image,omitempty"`
+}
+
+// PredictResponse is the wire form of a classified request.
+type PredictResponse struct {
+	// Class is the predicted class index.
+	Class int `json:"class"`
+}
+
+// ObserveSample is one labelled latent (or image) inside an observe batch.
+type ObserveSample struct {
+	Latent []float32 `json:"latent,omitempty"`
+	Image  []float32 `json:"image,omitempty"`
+	Label  int       `json:"label"`
+}
+
+// ObserveRequest is the wire form of POST /v1/observe: one stream mini-batch.
+type ObserveRequest struct {
+	Samples []ObserveSample `json:"samples"`
+	// Domain tags the batch's acquisition condition (optional).
+	Domain int `json:"domain,omitempty"`
+}
+
+// ObserveResponse acknowledges an applied batch.
+type ObserveResponse struct {
+	// Batch is the stream index the server assigned — the client's position
+	// in the total observe order, usable to resume after a drain.
+	Batch int `json:"batch"`
+	// SamplesTotal is the cumulative sample count after this batch.
+	SamplesTotal int `json:"samples_total"`
+}
+
+// Stats is the wire form of GET /v1/stats. LatentShape and Classes let load
+// generators self-configure without out-of-band knowledge.
+type Stats struct {
+	Method          string  `json:"method"`
+	LatentShape     []int   `json:"latent_shape"`
+	Classes         int     `json:"classes"`
+	AcceptsImages   bool    `json:"accepts_images"`
+	Batches         int     `json:"batches_observed"`
+	Samples         int     `json:"samples_observed"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	PredictRequests int64   `json:"predict_requests"`
+	ObserveRequests int64   `json:"observe_requests"`
+	PredictShed     int64   `json:"predict_shed"`
+	ObserveShed     int64   `json:"observe_shed"`
+	QueuePredict    int     `json:"queue_predict"`
+	QueueObserve    int     `json:"queue_observe"`
+	Draining        bool    `json:"draining"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /v1/predict   latent or image → class (micro-batched)
+//	POST /v1/observe   labelled mini-batch → online update (serialized)
+//	GET  /v1/stats     serving counters + model facts
+//	GET  /metrics      the obs registry (Prometheus text)
+//	GET  /vars         the obs registry (expvar JSON)
+//	GET  /healthz      liveness
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.recovered(s.handlePredict))
+	mux.HandleFunc("/v1/observe", s.recovered(s.handleObserve))
+	mux.HandleFunc("/v1/stats", s.recovered(s.handleStats))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	// The process metrics registry rides on the serving mux so one listener
+	// covers both the request path and the training internals.
+	mux.Handle("/metrics", s.cfg.Registry.Handler())
+	mux.Handle("/vars", s.cfg.Registry.Handler())
+	return mux
+}
+
+// recovered converts handler panics into 500s so one hostile request cannot
+// take the listener down.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.m.panics.Inc()
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// decodeBody strictly decodes the JSON body into v (unknown fields and
+// trailing garbage are errors — shape problems must fail loudly, not train
+// on half-parsed data).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// latentFrom validates and materialises one request latent: either a
+// flattened latent of exactly the configured shape, or (with a backbone) a
+// raw image run through the frozen extractor. Validation happens entirely
+// before the learner is involved.
+func (s *Server) latentFrom(latent, image []float32) (*tensor.Tensor, error) {
+	switch {
+	case len(latent) > 0 && len(image) > 0:
+		return nil, fmt.Errorf("exactly one of latent or image must be set, got both")
+	case len(latent) > 0:
+		want := 1
+		for _, d := range s.cfg.LatentShape {
+			want *= d
+		}
+		if len(latent) != want {
+			return nil, fmt.Errorf("latent has %d elements, want %d (shape %v)", len(latent), want, s.cfg.LatentShape)
+		}
+		return tensor.FromSlice(latent, s.cfg.LatentShape...), nil
+	case len(image) > 0:
+		if s.cfg.Backbone == nil {
+			return nil, fmt.Errorf("this server accepts latents only (no backbone configured)")
+		}
+		res := s.cfg.Backbone.Cfg.Resolution
+		if want := 3 * res * res; len(image) != want {
+			return nil, fmt.Errorf("image has %d elements, want %d (shape [3,%d,%d])", len(image), want, res, res)
+		}
+		// Eval-mode extraction allocates locally and caches nothing, so
+		// running it on the handler goroutine is safe and keeps the heavy
+		// convolution work off the serialized engine.
+		return s.cfg.Backbone.ExtractLatent(tensor.FromSlice(image, 3, res, res)), nil
+	default:
+		return nil, fmt.Errorf("one of latent or image must be set")
+	}
+}
+
+// enqueue reserves a queue slot under the drain guard. It reports
+// (accepted, draining); !accepted && !draining means the queue was full.
+func enqueue[T any](s *Server, q chan T, v T) (bool, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return false, true
+	}
+	select {
+	case q <- v:
+		return true, false
+	default:
+		return false, false
+	}
+}
+
+// shed answers an over-capacity or draining request.
+func (s *Server) shed(w http.ResponseWriter, draining bool) {
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req PredictRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.m.rejected.Inc()
+		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	z, err := s.latentFrom(req.Latent, req.Image)
+	if err != nil {
+		s.m.rejected.Inc()
+		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	t0 := time.Now()
+	pr := &predictReq{z: z, ctx: r.Context(), resp: make(chan predictResp, 1)}
+	if ok, draining := enqueue(s, s.predictQ, pr); !ok {
+		s.m.predictShed.Inc()
+		s.shed(w, draining)
+		return
+	}
+	s.m.predictRequests.Inc()
+	select {
+	case resp := <-pr.resp:
+		s.m.predictLatency.ObserveSince(t0)
+		if resp.err != nil {
+			writeError(w, http.StatusInternalServerError, resp.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{Class: resp.class})
+	case <-r.Context().Done():
+		s.m.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "client gave up while queued")
+	case <-time.After(s.cfg.RequestTimeout):
+		s.m.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "request timed out in queue")
+	}
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ObserveRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.m.rejected.Inc()
+		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		return
+	}
+	if len(req.Samples) == 0 || len(req.Samples) > s.cfg.MaxObserveBatch {
+		s.m.rejected.Inc()
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad request: batch must hold 1..%d samples, got %d", s.cfg.MaxObserveBatch, len(req.Samples)))
+		return
+	}
+	samples := make([]cl.LatentSample, len(req.Samples))
+	for i, sm := range req.Samples {
+		if sm.Label < 0 || sm.Label >= s.cfg.Classes {
+			s.m.rejected.Inc()
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad request: sample %d label %d out of range [0,%d)", i, sm.Label, s.cfg.Classes))
+			return
+		}
+		z, err := s.latentFrom(sm.Latent, sm.Image)
+		if err != nil {
+			s.m.rejected.Inc()
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: sample %d: %v", i, err))
+			return
+		}
+		samples[i] = cl.LatentSample{Z: z, Label: sm.Label, Domain: req.Domain}
+	}
+	t0 := time.Now()
+	or := &observeReq{samples: samples, domain: req.Domain, resp: make(chan observeResp, 1)}
+	if ok, draining := enqueue(s, s.observeQ, or); !ok {
+		s.m.observeShed.Inc()
+		s.shed(w, draining)
+		return
+	}
+	s.m.observeRequests.Inc()
+	select {
+	case resp := <-or.resp:
+		s.m.observeLatency.ObserveSince(t0)
+		if resp.err != nil {
+			writeError(w, http.StatusInternalServerError, resp.err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, ObserveResponse{Batch: resp.batch, SamplesTotal: resp.samples})
+	case <-r.Context().Done():
+		s.m.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "client gave up while queued")
+	case <-time.After(s.cfg.RequestTimeout):
+		s.m.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "request timed out in queue")
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, Stats{
+		Method:          s.l.Name(),
+		LatentShape:     s.cfg.LatentShape,
+		Classes:         s.cfg.Classes,
+		AcceptsImages:   s.cfg.Backbone != nil,
+		Batches:         int(s.batches.Load()),
+		Samples:         int(s.samples.Load()),
+		UptimeSeconds:   time.Since(s.start).Seconds(),
+		PredictRequests: s.m.predictRequests.Value(),
+		ObserveRequests: s.m.observeRequests.Value(),
+		PredictShed:     s.m.predictShed.Value(),
+		ObserveShed:     s.m.observeShed.Value(),
+		QueuePredict:    len(s.predictQ),
+		QueueObserve:    len(s.observeQ),
+		Draining:        draining,
+	})
+}

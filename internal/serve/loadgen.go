@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadOptions configures one closed-loop load run: Clients goroutines each
+// issue predict requests back-to-back (next request only after the previous
+// response), while one optional sequential observer feeds labelled batches —
+// the live-traffic shape the serving path is built for.
+type LoadOptions struct {
+	// Clients is the number of concurrent predict clients (default 8).
+	Clients int
+	// RequestsPerClient stops each client after that many completed
+	// requests; 0 means run until Duration elapses.
+	RequestsPerClient int
+	// Duration bounds the run when RequestsPerClient is 0 (default 2s).
+	Duration time.Duration
+	// ObserveBatches is how many labelled batches the sequential observer
+	// sends during the run (0 disables the observer).
+	ObserveBatches int
+	// ObserveBatchSize is samples per observe batch (default 10).
+	ObserveBatchSize int
+	// Seed drives the synthetic latent payloads.
+	Seed int64
+	// Timeout is the per-request client timeout (default 30s).
+	Timeout time.Duration
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.ObserveBatchSize <= 0 {
+		o.ObserveBatchSize = 10
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// LoadReport is the outcome of one load run.
+type LoadReport struct {
+	Clients        int     `json:"clients"`
+	Requests       int64   `json:"predict_requests"`
+	Shed           int64   `json:"predict_shed"`
+	Errors         int64   `json:"errors"`
+	ObserveBatches int64   `json:"observe_batches"`
+	DurationSec    float64 `json:"duration_sec"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	MeanMs         float64 `json:"latency_mean_ms"`
+	P50Ms          float64 `json:"latency_p50_ms"`
+	P95Ms          float64 `json:"latency_p95_ms"`
+	P99Ms          float64 `json:"latency_p99_ms"`
+}
+
+// String renders the report the way cmd/chameleon-loadgen prints it.
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"clients %d  predicts %d (%.0f req/s)  shed %d  errors %d  observes %d\n"+
+			"latency: mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (%.2fs run)",
+		r.Clients, r.Requests, r.ThroughputRPS, r.Shed, r.Errors, r.ObserveBatches,
+		r.MeanMs, r.P50Ms, r.P95Ms, r.P99Ms, r.DurationSec)
+}
+
+// RunLoad drives a closed-loop load test against a running server at
+// baseURL (e.g. "http://127.0.0.1:8080"). It self-configures from
+// /v1/stats — latent shape and class count come from the server, so the
+// generator needs no out-of-band model knowledge.
+func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
+	opt = opt.withDefaults()
+	client := &http.Client{Timeout: opt.Timeout}
+
+	stats, err := fetchStats(client, baseURL)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	latentLen := 1
+	for _, d := range stats.LatentShape {
+		latentLen *= d
+	}
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []float64
+		requests  int64
+		shed      int64
+		errCount  int64
+		observes  int64
+	)
+	deadline := time.Now().Add(opt.Duration)
+	start := time.Now()
+
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed*7919 + int64(c)))
+			lats := make([]float64, 0, 1024)
+			var done, sheds, errs int64
+			for {
+				if opt.RequestsPerClient > 0 {
+					if done >= int64(opt.RequestsPerClient) {
+						break
+					}
+				} else if time.Now().After(deadline) {
+					break
+				}
+				body := predictBody(rng, latentLen)
+				t0 := time.Now()
+				status, err := post(client, baseURL+"/v1/predict", body)
+				switch {
+				case err != nil:
+					errs++
+				case status == http.StatusTooManyRequests:
+					sheds++
+					// Closed-loop backoff: honour the shed, but cap the
+					// pause so the generator keeps pressure on the queue.
+					time.Sleep(5 * time.Millisecond)
+				case status == http.StatusOK:
+					lats = append(lats, time.Since(t0).Seconds())
+					done++
+				default:
+					errs++
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			requests += done
+			shed += sheds
+			errCount += errs
+			mu.Unlock()
+		}(c)
+	}
+
+	if opt.ObserveBatches > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed * 104729))
+			var sent int64
+			for i := 0; i < opt.ObserveBatches; i++ {
+				body := observeBody(rng, latentLen, stats.Classes, opt.ObserveBatchSize)
+				status, err := post(client, baseURL+"/v1/observe", body)
+				if err == nil && status == http.StatusOK {
+					sent++
+				} else if status == http.StatusTooManyRequests {
+					time.Sleep(5 * time.Millisecond)
+					i-- // the stream must arrive in full; retry the batch
+				}
+			}
+			mu.Lock()
+			observes += sent
+			mu.Unlock()
+		}()
+	}
+
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	rep := LoadReport{
+		Clients:        opt.Clients,
+		Requests:       requests,
+		Shed:           shed,
+		Errors:         errCount,
+		ObserveBatches: observes,
+		DurationSec:    elapsed,
+	}
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(requests) / elapsed
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		rep.MeanMs = 1e3 * sum / float64(len(latencies))
+		rep.P50Ms = 1e3 * percentile(latencies, 0.50)
+		rep.P95Ms = 1e3 * percentile(latencies, 0.95)
+		rep.P99Ms = 1e3 * percentile(latencies, 0.99)
+	}
+	return rep, nil
+}
+
+// fetchStats self-configures the generator from the server.
+func fetchStats(client *http.Client, baseURL string) (Stats, error) {
+	resp, err := client.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return Stats{}, fmt.Errorf("loadgen: stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("loadgen: stats: HTTP %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, fmt.Errorf("loadgen: stats: %w", err)
+	}
+	if len(st.LatentShape) == 0 || st.Classes <= 0 {
+		return Stats{}, fmt.Errorf("loadgen: stats reported no model facts: %+v", st)
+	}
+	return st, nil
+}
+
+// percentile reads the q-quantile of a sorted sample (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// predictBody builds one synthetic predict payload.
+func predictBody(rng *rand.Rand, latentLen int) []byte {
+	lat := make([]float32, latentLen)
+	for i := range lat {
+		lat[i] = float32(rng.NormFloat64())
+	}
+	b, _ := json.Marshal(PredictRequest{Latent: lat})
+	return b
+}
+
+// observeBody builds one synthetic labelled batch.
+func observeBody(rng *rand.Rand, latentLen, classes, batch int) []byte {
+	req := ObserveRequest{Samples: make([]ObserveSample, batch)}
+	for i := range req.Samples {
+		lat := make([]float32, latentLen)
+		for j := range lat {
+			lat[j] = float32(rng.NormFloat64())
+		}
+		req.Samples[i] = ObserveSample{Latent: lat, Label: rng.Intn(classes)}
+	}
+	b, _ := json.Marshal(req)
+	return b
+}
+
+// post issues one JSON POST and fully drains the response body so the
+// connection is reused.
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"chameleon/internal/obs"
+)
+
+// batchSizeBuckets are the upper bounds of the predict micro-batch size
+// histogram (powers of two up to the default MaxBatch and beyond).
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// metrics bundles the serving-path handles on one registry. All handles are
+// resolved at construction, so the request path only touches atomics
+// (DESIGN.md §12 discipline).
+type metrics struct {
+	predictRequests *obs.Counter // accepted into the queue
+	observeRequests *obs.Counter
+	predictShed     *obs.Counter // refused with 429
+	observeShed     *obs.Counter
+	rejected        *obs.Counter // malformed payloads (400s)
+	timeouts        *obs.Counter // handler gave up waiting (504)
+	panics          *obs.Counter // learner panics converted to 500s
+
+	batchSize      *obs.Histogram // coalesced predict batch sizes
+	predictLatency *obs.Histogram // enqueue → response, seconds
+	observeLatency *obs.Histogram
+	observeApply   *obs.Histogram // learner Observe call alone
+	drainSeconds   *obs.Histogram
+
+	checkpointErrors *obs.Counter
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		predictRequests:  r.Counter("serve_predict_requests_total"),
+		observeRequests:  r.Counter("serve_observe_requests_total"),
+		predictShed:      r.Counter("serve_predict_shed_total"),
+		observeShed:      r.Counter("serve_observe_shed_total"),
+		rejected:         r.Counter("serve_rejected_total"),
+		timeouts:         r.Counter("serve_timeouts_total"),
+		panics:           r.Counter("serve_panics_total"),
+		batchSize:        r.Histogram("serve_predict_batch_size", batchSizeBuckets...),
+		predictLatency:   r.Histogram("serve_predict_latency_seconds"),
+		observeLatency:   r.Histogram("serve_observe_latency_seconds"),
+		observeApply:     r.Histogram("serve_observe_apply_seconds"),
+		drainSeconds:     r.Histogram("serve_drain_seconds"),
+		checkpointErrors: r.Counter("serve_checkpoint_errors_total"),
+	}
+}
+
+// bindQueues publishes the live queue depths as computed gauges. chan len is
+// safe from any goroutine, so scrape-time evaluation needs no coordination.
+func (m *metrics) bindQueues(s *Server) {
+	reg := s.cfg.Registry
+	reg.GaugeFunc("serve_queue_depth_predict", func() float64 { return float64(len(s.predictQ)) })
+	reg.GaugeFunc("serve_queue_depth_observe", func() float64 { return float64(len(s.observeQ)) })
+	reg.GaugeFunc("serve_batches_observed", func() float64 { return float64(s.batches.Load()) })
+}

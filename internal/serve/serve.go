@@ -1,0 +1,463 @@
+// Package serve is the online serving subsystem: a stdlib-only net/http
+// front end that exposes a single cl.Learner to concurrent network clients
+// while preserving Algorithm 1's single-pass, single-writer semantics.
+//
+// Architecture (DESIGN.md §13):
+//
+//   - One engine goroutine owns the learner. Every Observe and Predict the
+//     process performs happens on that goroutine, so the learner never sees
+//     concurrent calls and the observe order is a total order — a resumed or
+//     replayed run that feeds the same batches in the same order is
+//     bit-identical.
+//   - Predict requests are micro-batched: the engine coalesces queued
+//     requests for up to Config.BatchWindow (or Config.MaxBatch, whichever
+//     comes first) and answers them with one PredictBatch call. The batched
+//     path is bit-identical to per-sample Predict (the BatchPredictor
+//     contract), so coalescing is invisible to clients.
+//   - Queues are bounded. A full queue sheds the request with 429 +
+//     Retry-After instead of growing without bound; memory stays constant
+//     under overload.
+//   - Shutdown drains: new requests are refused with 503, everything already
+//     queued is processed, and the learner state is written as an
+//     internal/checkpoint snapshot so a restarted server resumes
+//     bit-identically.
+//
+// Every stage is instrumented on the internal/obs registry (queue depths,
+// batch-size histogram, shed counts, drain latency), so the serving path
+// shows up on the same /metrics surface as the training internals.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chameleon/internal/checkpoint"
+	"chameleon/internal/cl"
+	"chameleon/internal/mobilenet"
+	"chameleon/internal/obs"
+	"chameleon/internal/tensor"
+)
+
+// stateKind tags drain checkpoints in the internal/checkpoint file framing.
+const stateKind = "serve.state"
+
+// Config sizes the serving subsystem. The zero value of every optional field
+// selects a sensible default; LatentShape and Classes are required (they
+// bound payload validation before anything touches the learner).
+type Config struct {
+	// LatentShape is the expected shape of request latents.
+	LatentShape []int
+	// Classes bounds observe labels: 0 <= label < Classes.
+	Classes int
+	// Backbone, when non-nil, enables the image form of /v1/predict and
+	// /v1/observe: raw [3,R,R] frames are run through the frozen extractor
+	// (safe concurrently — eval-mode forwards allocate locally) before they
+	// reach the queue.
+	Backbone *mobilenet.Model
+	// BatchWindow is how long the engine waits to coalesce predict requests
+	// into one PredictBatch call (default 2ms; 0 still coalesces whatever is
+	// already queued, without waiting).
+	BatchWindow time.Duration
+	// MaxBatch caps one coalesced predict batch (default 64).
+	MaxBatch int
+	// QueueDepth bounds the predict and observe queues each (default 256).
+	// A full queue sheds with 429.
+	QueueDepth int
+	// RequestTimeout bounds how long a handler waits for the engine before
+	// answering 504 (default 10s). The queued work still completes; only the
+	// response is abandoned.
+	RequestTimeout time.Duration
+	// MaxObserveBatch caps samples per observe request (default 64).
+	MaxObserveBatch int
+	// CheckpointPath, when set, is where drain (and the periodic saver)
+	// writes the learner snapshot. Requires the learner to implement
+	// cl.Snapshotter.
+	CheckpointPath string
+	// CheckpointEvery saves a snapshot every that many observed batches
+	// while serving (default 100; only with CheckpointPath). Drain always
+	// saves regardless.
+	CheckpointEvery int
+	// StartBatches/StartSamples seed the stream position counters when the
+	// learner was restored from a drain checkpoint (see Resume).
+	StartBatches int
+	StartSamples int
+	// Registry receives the serve metrics (nil: the process default).
+	Registry *obs.Registry
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	} else if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxObserveBatch <= 0 {
+		c.MaxObserveBatch = 64
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 100
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	return c
+}
+
+// predictReq is one client latent waiting for the engine.
+type predictReq struct {
+	z    *tensor.Tensor
+	ctx  context.Context
+	resp chan predictResp // buffered (cap 1): the engine never blocks on it
+}
+
+type predictResp struct {
+	class int
+	err   error
+}
+
+// observeReq is one labelled mini-batch waiting for the engine.
+type observeReq struct {
+	samples []cl.LatentSample
+	domain  int
+	resp    chan observeResp // buffered (cap 1)
+}
+
+type observeResp struct {
+	batch   int // stream index the engine assigned
+	samples int // total samples observed after this batch
+	err     error
+}
+
+// Server fronts one learner. Construct with New, start with Start (or drive
+// Handler directly in tests), and always stop with Shutdown or Close.
+type Server struct {
+	cfg  Config
+	l    cl.Learner
+	caps cl.Capabilities
+	m    *metrics
+
+	predictQ chan *predictReq
+	observeQ chan *observeReq
+
+	// mu guards the draining flag against handler enqueues: handlers hold
+	// the read side across the check-then-enqueue window, Shutdown takes the
+	// write side before draining, so no request can slip into a queue after
+	// the drain loop has emptied it.
+	mu       sync.RWMutex
+	draining bool
+
+	stopOnce   sync.Once
+	stopCh     chan struct{}
+	engineDone chan struct{}
+
+	// batches/samples mirror the engine's stream position for /v1/stats.
+	batches atomic.Int64
+	samples atomic.Int64
+	start   time.Time
+
+	mux  *http.ServeMux
+	ln   net.Listener
+	hsrv *http.Server
+}
+
+// New validates the config and starts the engine goroutine. The caller must
+// eventually call Shutdown (or Close) even if Start is never called.
+func New(l cl.Learner, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.LatentShape) == 0 {
+		return nil, errors.New("serve: Config.LatentShape is required")
+	}
+	n := 1
+	for _, d := range cfg.LatentShape {
+		if d <= 0 {
+			return nil, fmt.Errorf("serve: invalid latent shape %v", cfg.LatentShape)
+		}
+		n *= d
+	}
+	if cfg.Classes <= 0 {
+		return nil, fmt.Errorf("serve: Config.Classes must be > 0, got %d", cfg.Classes)
+	}
+	s := &Server{
+		cfg:        cfg,
+		l:          l,
+		caps:       cl.Caps(l),
+		m:          newMetrics(cfg.Registry),
+		predictQ:   make(chan *predictReq, cfg.QueueDepth),
+		observeQ:   make(chan *observeReq, cfg.QueueDepth),
+		stopCh:     make(chan struct{}),
+		engineDone: make(chan struct{}),
+		start:      time.Now(),
+	}
+	if cfg.CheckpointPath != "" && s.caps.Snapshotter == nil {
+		return nil, fmt.Errorf("serve: method %q does not support checkpointing", l.Name())
+	}
+	s.batches.Store(int64(cfg.StartBatches))
+	s.samples.Store(int64(cfg.StartSamples))
+	s.m.bindQueues(s)
+	s.mux = s.buildMux()
+	go s.engine()
+	return s, nil
+}
+
+// Start listens on addr and serves in the background.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.hsrv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// engine is the single goroutine that owns the learner.
+func (s *Server) engine() {
+	defer close(s.engineDone)
+	for {
+		select {
+		case <-s.stopCh:
+			s.drain()
+			return
+		case r := <-s.observeQ:
+			s.doObserve(r)
+		case r := <-s.predictQ:
+			s.doPredictBatch(r, true)
+		}
+	}
+}
+
+// doPredictBatch answers one coalesced micro-batch. With wait set it
+// collects more requests for up to BatchWindow; during drain it only takes
+// what is already queued.
+func (s *Server) doPredictBatch(first *predictReq, wait bool) {
+	reqs := make([]*predictReq, 1, s.cfg.MaxBatch)
+	reqs[0] = first
+	if wait && s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 {
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	collect:
+		for len(reqs) < s.cfg.MaxBatch {
+			select {
+			case r := <-s.predictQ:
+				reqs = append(reqs, r)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+	} else {
+	drainQ:
+		for len(reqs) < s.cfg.MaxBatch {
+			select {
+			case r := <-s.predictQ:
+				reqs = append(reqs, r)
+			default:
+				break drainQ
+			}
+		}
+	}
+	s.m.batchSize.Observe(float64(len(reqs)))
+
+	zs := make([]*tensor.Tensor, len(reqs))
+	for i, r := range reqs {
+		zs[i] = r.z
+	}
+	out := make([]int, len(reqs))
+	err := s.safePredict(zs, out)
+	for i, r := range reqs {
+		r.resp <- predictResp{class: out[i], err: err}
+	}
+}
+
+// safePredict converts a learner panic into an error so the engine survives
+// hostile or buggy inputs.
+func (s *Server) safePredict(zs []*tensor.Tensor, out []int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.m.panics.Inc()
+			err = fmt.Errorf("serve: predict panicked: %v", p)
+		}
+	}()
+	return cl.PredictInto(s.l, zs, out)
+}
+
+// doObserve feeds one batch to the learner, assigning the next stream index.
+func (s *Server) doObserve(r *observeReq) {
+	idx := int(s.batches.Load())
+	err := s.safeObserve(cl.LatentBatch{Samples: r.samples, Index: idx, Domain: r.domain})
+	if err != nil {
+		r.resp <- observeResp{err: err}
+		return
+	}
+	b := s.batches.Add(1)
+	n := s.samples.Add(int64(len(r.samples)))
+	if s.cfg.CheckpointPath != "" && b%int64(s.cfg.CheckpointEvery) == 0 {
+		// Periodic crash protection; drain still writes the authoritative
+		// final snapshot. Failures surface in the error counter, not to the
+		// client whose observe already succeeded.
+		if err := s.saveState(); err != nil {
+			s.m.checkpointErrors.Inc()
+		}
+	}
+	r.resp <- observeResp{batch: idx, samples: int(n)}
+}
+
+// safeObserve converts a learner panic into an error.
+func (s *Server) safeObserve(b cl.LatentBatch) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.m.panics.Inc()
+			err = fmt.Errorf("serve: observe panicked: %v", p)
+		}
+	}()
+	t0 := time.Now()
+	s.l.Observe(b)
+	s.m.observeApply.ObserveSince(t0)
+	return nil
+}
+
+// drain empties both queues (no handler can enqueue anymore: Shutdown flips
+// the draining flag under the write lock first), then persists the learner.
+func (s *Server) drain() {
+	t0 := time.Now()
+	for {
+		select {
+		case r := <-s.observeQ:
+			s.doObserve(r)
+			continue
+		default:
+		}
+		select {
+		case r := <-s.predictQ:
+			s.doPredictBatch(r, false)
+			continue
+		default:
+		}
+		break
+	}
+	if s.cfg.CheckpointPath != "" {
+		if err := s.saveState(); err != nil {
+			s.m.checkpointErrors.Inc()
+		}
+	}
+	s.m.drainSeconds.ObserveSince(t0)
+}
+
+// State is the drain-checkpoint payload: the learner's opaque snapshot plus
+// the stream position the server had assigned. A restarted server restores
+// the learner and continues numbering batches from Batches, so the combined
+// observe sequence across restarts is one uninterrupted stream.
+type State struct {
+	// Method guards against restoring a snapshot into a different learner.
+	Method string
+	// Batches and Samples are the stream position at save time.
+	Batches int
+	Samples int
+	// Learner is the method's cl.Snapshotter payload.
+	Learner []byte
+}
+
+// saveState snapshots the learner and writes the drain checkpoint. Engine
+// goroutine only.
+func (s *Server) saveState() error {
+	state, err := s.caps.Snapshotter.Snapshot()
+	if err != nil {
+		return fmt.Errorf("serve: snapshot %s: %w", s.l.Name(), err)
+	}
+	st := State{
+		Method:  s.l.Name(),
+		Batches: int(s.batches.Load()),
+		Samples: int(s.samples.Load()),
+		Learner: state,
+	}
+	return checkpoint.Save(s.cfg.CheckpointPath, stateKind, st)
+}
+
+// LoadState reads a drain checkpoint without touching any learner.
+func LoadState(path string) (State, error) {
+	var st State
+	if err := checkpoint.Load(path, stateKind, &st); err != nil {
+		return State{}, err
+	}
+	return st, nil
+}
+
+// Resume restores a drain checkpoint into a freshly constructed learner of
+// the same method and returns the saved stream position (wire it into
+// Config.StartBatches/StartSamples). The learner must implement
+// cl.Snapshotter.
+func Resume(path string, l cl.Learner) (State, error) {
+	st, err := LoadState(path)
+	if err != nil {
+		return State{}, err
+	}
+	if st.Method != l.Name() {
+		return State{}, fmt.Errorf("serve: checkpoint %s holds method %q, learner is %q", path, st.Method, l.Name())
+	}
+	snap := cl.Caps(l).Snapshotter
+	if snap == nil {
+		return State{}, fmt.Errorf("serve: method %q does not support checkpointing", l.Name())
+	}
+	if err := snap.Restore(st.Learner); err != nil {
+		return State{}, fmt.Errorf("serve: restore %s from %s: %w", l.Name(), path, err)
+	}
+	return st, nil
+}
+
+// Shutdown gracefully stops the server: it refuses new work (503), lets the
+// engine drain everything already queued, writes the drain checkpoint, and
+// then closes the HTTP listener, waiting up to ctx for the pieces. It is
+// idempotent; only the first call drains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+
+	select {
+	case <-s.engineDone:
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+	if s.hsrv != nil {
+		return s.hsrv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// Close is Shutdown with a short grace period, for defer use in tests.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Batches returns the number of observe batches applied so far.
+func (s *Server) Batches() int { return int(s.batches.Load()) }
+
+// Samples returns the number of labelled samples applied so far.
+func (s *Server) Samples() int { return int(s.samples.Load()) }

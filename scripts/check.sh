@@ -31,4 +31,30 @@ go test -race -run 'TestMetricsScrapeDuringTraining|TestInstrumentationEquivalen
 # internal/obs must not cost a single allocation.
 echo '>> go test -run TestAllocs -count=1 ./... (allocation gate, no race)'
 go test -run TestAllocs -count=1 ./...
+# Serving smoke gate: the real chameleon-serve binary (synthetic backbone)
+# answers the load generator end to end, then drains cleanly on SIGTERM and
+# leaves a resumable checkpoint behind.
+echo '>> serve smoke: chameleon-serve + chameleon-loadgen end to end'
+smokedir=$(mktemp -d)
+trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$smokedir"' EXIT
+go build -o "$smokedir/chameleon-serve" ./cmd/chameleon-serve
+go build -o "$smokedir/chameleon-loadgen" ./cmd/chameleon-loadgen
+"$smokedir/chameleon-serve" -dataset synthetic -method chameleon \
+	-addr 127.0.0.1:18423 -checkpoint "$smokedir/serve.ckpt" \
+	>"$smokedir/serve.log" 2>&1 &
+serve_pid=$!
+for i in $(seq 1 100); do
+	if curl -fsS http://127.0.0.1:18423/healthz >/dev/null 2>&1; then break; fi
+	if ! kill -0 "$serve_pid" 2>/dev/null; then
+		echo 'serve smoke: server died during startup' >&2
+		cat "$smokedir/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+"$smokedir/chameleon-loadgen" -url http://127.0.0.1:18423 \
+	-clients 8 -duration 1s -observe 5 -observe-batch 4
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo 'serve smoke: non-zero exit on SIGTERM' >&2; cat "$smokedir/serve.log" >&2; exit 1; }
+[ -f "$smokedir/serve.ckpt" ] || { echo 'serve smoke: drain wrote no checkpoint' >&2; exit 1; }
 echo 'check.sh: all green'
