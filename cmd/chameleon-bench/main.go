@@ -48,10 +48,13 @@ func main() {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
-	for _, err := range []error{pipeline.Validate(), ckpt.Validate()} {
+	for _, err := range []error{perf.Validate(), pipeline.Validate(), ckpt.Validate()} {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	if perf.Precision == cli.PrecisionFP64 {
+		log.Fatal("-precision fp64 is supported by chameleon-train only; the benchmark grids run the fast fp32 tier")
 	}
 	stop, err := perf.Start(log.Printf)
 	if err != nil {
@@ -98,7 +101,7 @@ func main() {
 	if needAccuracy {
 		sets = map[string]*cl.LatentSet{}
 		for _, ds := range cli.Datasets() {
-			set, err := exp.BuildLatentSet(ds, sc, pipeline.CacheDir, progress)
+			set, err := exp.BuildLatentSetOpts(ds, sc, pipeline.CacheDir, progress, pipeline.Options())
 			if err != nil {
 				log.Fatalf("build %s pipeline: %v", ds, err)
 			}

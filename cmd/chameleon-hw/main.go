@@ -31,6 +31,12 @@ func main() {
 		layers     = flag.Bool("layers", false, "print the per-layer systolic-array cycle breakdown")
 	)
 	flag.Parse()
+	if err := perf.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if perf.Precision == cli.PrecisionFP64 {
+		log.Fatal("-precision fp64 is supported by chameleon-train only; hardware costing is precision-independent")
+	}
 	stop, err := perf.Start(log.Printf)
 	if err != nil {
 		log.Fatal(err)

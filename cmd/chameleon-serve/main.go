@@ -48,6 +48,9 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	if cfg.Precision == cli.PrecisionFP64 {
+		log.Fatal("-precision fp64 is a training reference tier; the serving path runs the fast fp32 tier only")
+	}
 	stop, err := cfg.Perf.Start(log.Printf)
 	if err != nil {
 		log.Fatal(err)
@@ -68,7 +71,7 @@ func main() {
 			log.Fatalf("backbone: %v", err)
 		}
 	} else {
-		set, err := exp.BuildLatentSet(cfg.Dataset, sc, cfg.CacheDir, func(f string, a ...any) { log.Printf(f, a...) })
+		set, err := exp.BuildLatentSetOpts(cfg.Dataset, sc, cfg.CacheDir, func(f string, a ...any) { log.Printf(f, a...) }, cfg.Options())
 		if err != nil {
 			log.Fatalf("pipeline: %v", err)
 		}

@@ -45,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	set, err := exp.BuildLatentSet(cfg.Dataset, sc, cfg.CacheDir, func(f string, a ...any) { log.Printf(f, a...) })
+	set, err := exp.BuildLatentSetOpts(cfg.Dataset, sc, cfg.CacheDir, func(f string, a ...any) { log.Printf(f, a...) }, cfg.Options())
 	if err != nil {
 		log.Fatalf("pipeline: %v", err)
 	}
@@ -53,7 +53,12 @@ func main() {
 	spec := cfg.Spec()
 	meter := &cl.TrafficMeter{}
 	meter.Bind(obs.Default())
-	learner, err := exp.NewLearnerMetered(spec, set, sc, cfg.Seed, meter)
+	var learner cl.Learner
+	if cfg.Precision == cli.PrecisionFP64 {
+		learner, err = exp.NewRef64Learner(spec, set, sc, cfg.Seed)
+	} else {
+		learner, err = exp.NewLearnerMetered(spec, set, sc, cfg.Seed, meter)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -219,9 +219,21 @@ func (h *Head) AccumulateMSE(z, targetLogits *tensor.Tensor, weight float64) flo
 }
 
 // Step applies the optimizer with gradients scaled by 1/denom (denom ≤ 0 is
-// treated as 1), then clears them.
+// treated as 1), then clears them. With a fused-capable optimizer (NewSGD
+// default, no grad clipping) the scale/update/zero triple runs as one sweep
+// per parameter; results are bit-identical to the split sequence.
 func (h *Head) Step(denom float64) {
 	ps := h.cachedParams()
+	if h.Opt.Fused && h.Opt.GradClip == 0 {
+		inv := float32(1)
+		if denom > 0 && denom != 1 {
+			inv = float32(1 / denom)
+		}
+		for _, p := range ps {
+			h.Opt.FusedStepParam(p, inv)
+		}
+		return
+	}
 	if denom > 0 && denom != 1 {
 		inv := float32(1 / denom)
 		for _, p := range ps {
@@ -245,14 +257,29 @@ func (h *Head) TrainCEOn(samples []LatentSample) float64 {
 	defer observeTrainStep(time.Now(), len(samples))
 	h.ZeroGrad()
 	var loss float64
-	for _, s := range samples {
+	n := len(samples)
+	fused := h.Opt.Fused && h.Opt.GradClip == 0
+	for i, s := range samples {
 		logits := h.Net.Forward(s.Z, true)
 		g := h.ensureGrad(logits.Len())
 		loss += nn.CrossEntropyInto(logits, s.Label, g)
-		h.Net.Backward(g)
+		if fused && i == n-1 {
+			// The last sample's backward carries the optimizer update with
+			// it: earlier samples accumulated into the grads as usual, the
+			// final contribution flows straight through the fused kernels.
+			inv := float32(1)
+			if n > 1 {
+				inv = float32(1 / float64(n))
+			}
+			h.Net.BackwardSGD(g, h.Opt, inv)
+		} else {
+			h.Net.Backward(g)
+		}
 	}
-	h.Step(float64(len(samples)))
-	return loss / float64(len(samples))
+	if !fused {
+		h.Step(float64(n))
+	}
+	return loss / float64(n)
 }
 
 // Params returns the head's trainable parameters.

@@ -31,18 +31,38 @@ import (
 	"chameleon/internal/parallel"
 )
 
+// Precision tier names accepted by -precision.
+const (
+	PrecisionFP32 = "fp32"
+	PrecisionFP64 = "fp64"
+)
+
 // Perf is the performance/observability group shared by every binary.
 type Perf struct {
 	// Workers sizes the shared worker pool (0 = GOMAXPROCS).
 	Workers int
 	// MetricsAddr serves live metrics when non-empty.
 	MetricsAddr string
+	// Precision selects the kernel tier: "fp32" is the fast tier every hot
+	// path uses; "fp64" is the reference tier (double-precision training to
+	// bound fp32 rounding error; finetune only, see cl.Ref64).
+	Precision string
 }
 
 // Bind registers the group's flags on fs.
 func (p *Perf) Bind(fs *flag.FlagSet) {
 	fs.IntVar(&p.Workers, "workers", 0, "worker-pool size for parallel kernels and experiment fan-out (0 = GOMAXPROCS)")
 	fs.StringVar(&p.MetricsAddr, "metrics-addr", "", "serve live metrics on this address: Prometheus text on /metrics, expvar JSON on /vars and /debug/vars ('' disables)")
+	fs.StringVar(&p.Precision, "precision", PrecisionFP32, "kernel precision tier: fp32 (fast, default) | fp64 (reference; finetune only)")
+}
+
+// Validate checks the precision tier name.
+func (p Perf) Validate() error {
+	switch p.Precision {
+	case "", PrecisionFP32, PrecisionFP64:
+		return nil
+	}
+	return fmt.Errorf("unknown precision %q (want %s or %s)", p.Precision, PrecisionFP32, PrecisionFP64)
 }
 
 // Start applies the group: it sizes the worker pool and, when MetricsAddr is
@@ -69,6 +89,14 @@ type Pipeline struct {
 	ScaleName string
 	// CacheDir caches backbones and latents ("" disables).
 	CacheDir string
+	// BackboneInt8 extracts latents through the integer backbone path
+	// (per-channel int8 weights, per-tensor int8 activations, int32 GEMM).
+	BackboneInt8 bool
+}
+
+// Options returns the exp pipeline options this group selects.
+func (p Pipeline) Options() exp.PipelineOptions {
+	return exp.PipelineOptions{Int8Backbone: p.BackboneInt8}
 }
 
 // Bind registers the group's flags on fs; defScale is the binary's default
@@ -76,6 +104,7 @@ type Pipeline struct {
 func (p *Pipeline) Bind(fs *flag.FlagSet, defScale string) {
 	fs.StringVar(&p.ScaleName, "scale", defScale, "scale tier: test|small")
 	fs.StringVar(&p.CacheDir, "cache", exp.DefaultCacheDir(), "latent cache directory ('' disables)")
+	fs.BoolVar(&p.BackboneInt8, "backbone-int8", false, "quantise the frozen backbone's im2col convolutions to int8 for latent extraction")
 }
 
 // Validate checks the tier name.
@@ -222,7 +251,7 @@ func (c *RunConfig) Bind(fs *flag.FlagSet) {
 // Validate checks every group, reporting the first problem.
 func (c RunConfig) Validate() error {
 	for _, err := range []error{
-		c.Pipeline.Validate(), c.Method.Validate(), c.Stream.Validate(), c.Checkpoint.Validate(),
+		c.Perf.Validate(), c.Pipeline.Validate(), c.Method.Validate(), c.Stream.Validate(), c.Checkpoint.Validate(),
 	} {
 		if err != nil {
 			return err

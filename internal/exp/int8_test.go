@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+)
+
+// TestInt8BackboneAccuracy runs the finetune learner on latents extracted
+// through the integer backbone path and pins the deployment cost: accuracy
+// on the Table-I test config must stay within 5 points of the fp32
+// extraction. It also pins that the two pipelines produce distinct cache
+// entries (the "-int8" key suffix) by simply building both in one process.
+func TestInt8BackboneAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("int8 backbone parity builds two pipelines; run without -short")
+	}
+	sc := TestScale()
+	fp32Set, err := BuildLatentSet("core50", sc, DefaultCacheDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8Set, err := BuildLatentSetOpts("core50", sc, DefaultCacheDir(), nil, PipelineOptions{Int8Backbone: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MethodSpec{Name: "finetune"}
+	opts := data.StreamOptions{BatchSize: 10}
+	var accs [2]float64
+	for i, set := range []*cl.LatentSet{fp32Set, int8Set} {
+		learner, err := NewLearner(spec, set, sc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		accs[i] = cl.RunOnline(learner, set.Stream(0, opts), set.Test).AccAll
+	}
+	diff := math.Abs(accs[0] - accs[1])
+	t.Logf("fp32 %.4f, int8 %.4f (|Δ| %.4f)", accs[0], accs[1], diff)
+	if diff > 0.05 {
+		t.Errorf("int8 backbone moved finetune accuracy by %.1f points (> 5)", 100*diff)
+	}
+}

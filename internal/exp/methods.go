@@ -106,6 +106,18 @@ func NewLearnerOn(spec MethodSpec, backbone *mobilenet.Model, classes int, sc Sc
 	}
 }
 
+// NewRef64Learner instantiates the float64 reference tier: a finetune head
+// widened to double precision (cl.Ref64). Only the finetune family is
+// supported — the reference tier exists to bound fp32 rounding error in the
+// shared train-step kernels, and one method suffices for that.
+func NewRef64Learner(spec MethodSpec, set *cl.LatentSet, sc Scale, seed int64) (cl.Learner, error) {
+	if spec.Name != "finetune" {
+		return nil, fmt.Errorf("exp: precision fp64 supports -method finetune only, got %q", spec.Name)
+	}
+	hc := cl.HeadConfig{LR: sc.HeadLR, Momentum: sc.HeadMomentum, Seed: seed}
+	return cl.NewRef64(cl.NewHead(set.Backbone, hc))
+}
+
 // MemoryMB prices a spec's replay overhead at paper scale (the Table I
 // convention: the MB column always refers to the paper-scale backbone).
 func MemoryMB(spec MethodSpec) (float64, error) {

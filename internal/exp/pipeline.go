@@ -24,6 +24,19 @@ import (
 // configs), because every method and seed shares the same frozen features.
 // Pass cacheDir = "" to disable caching.
 func BuildLatentSet(datasetName string, sc Scale, cacheDir string, verbose func(format string, args ...any)) (*cl.LatentSet, error) {
+	return BuildLatentSetOpts(datasetName, sc, cacheDir, verbose, PipelineOptions{})
+}
+
+// PipelineOptions selects pipeline variants that change the produced latents
+// (and therefore the cache key).
+type PipelineOptions struct {
+	// Int8Backbone extracts latents through the integer backbone path
+	// (mobilenet.Int8Extractor) instead of the fp32 extractor.
+	Int8Backbone bool
+}
+
+// BuildLatentSetOpts is BuildLatentSet with explicit pipeline options.
+func BuildLatentSetOpts(datasetName string, sc Scale, cacheDir string, verbose func(format string, args ...any), opts PipelineOptions) (*cl.LatentSet, error) {
 	if verbose == nil {
 		verbose = func(string, ...any) {}
 	}
@@ -31,12 +44,17 @@ func BuildLatentSet(datasetName string, sc Scale, cacheDir string, verbose func(
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown dataset %q (want core50 or openloris)", datasetName)
 	}
+	key := cacheKey(datasetName, sc)
+	if opts.Int8Backbone {
+		// Distinct cache entries: int8 latents are numerically different.
+		key += "-int8"
+	}
 	cachePath := ""
 	if cacheDir != "" {
 		if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 			return nil, fmt.Errorf("exp: cache dir: %w", err)
 		}
-		cachePath = filepath.Join(cacheDir, cacheKey(datasetName, sc)+".latents")
+		cachePath = filepath.Join(cacheDir, key+".latents")
 		if set, err := cl.LoadLatentSet(cachePath); err == nil {
 			verbose("loaded cached latents: %s", cachePath)
 			return set, nil
@@ -69,7 +87,13 @@ func BuildLatentSet(datasetName string, sc Scale, cacheDir string, verbose func(
 
 	// 4. Extraction.
 	verbose("extracting latents for %d train + %d test frames...", ds.NumTrain(), ds.NumTest())
-	set, err := cl.NewLatentSet(m, ds)
+	var set *cl.LatentSet
+	if opts.Int8Backbone {
+		verbose("backbone convolutions quantised to int8 (per-channel weights, per-tensor activations)")
+		set, err = cl.NewLatentSetInt8(m, ds)
+	} else {
+		set, err = cl.NewLatentSet(m, ds)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("exp: extract: %w", err)
 	}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+)
+
+// TestPrecisionParityFinetune pins the fast tier to the reference tier: the
+// fp32 finetune learner and the widened fp64 Ref64 learner run the same
+// Table-I-config streams (seeds 0–2) and must land within ±0.5 accuracy
+// points of each other. A wider gap means the fp32 train-step kernels are
+// accumulating rounding error that changes decisions, not just ulps.
+func TestPrecisionParityFinetune(t *testing.T) {
+	if testing.Short() {
+		t.Skip("precision parity runs full streams; run without -short")
+	}
+	sc := TestScale()
+	set, err := BuildLatentSet("core50", sc, DefaultCacheDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MethodSpec{Name: "finetune"}
+	for _, seed := range []int64{0, 1, 2} {
+		fast, err := NewLearner(spec, set, sc, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := NewRef64Learner(spec, set, sc, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := data.StreamOptions{BatchSize: 10}
+		fastRes := cl.RunOnline(fast, set.Stream(seed, opts), set.Test)
+		refRes := cl.RunOnline(ref, set.Stream(seed, opts), set.Test)
+		diff := math.Abs(fastRes.AccAll - refRes.AccAll)
+		t.Logf("seed %d: fp32 %.4f, fp64 %.4f (|Δ| %.4f)", seed, fastRes.AccAll, refRes.AccAll, diff)
+		if diff > 0.005 {
+			t.Errorf("seed %d: fp32 accuracy %.4f vs fp64 %.4f differ by %.4f (> 0.5 pt)",
+				seed, fastRes.AccAll, refRes.AccAll, diff)
+		}
+	}
+}
+
+// TestNewRef64LearnerRejectsOtherMethods pins the reference tier's scope.
+func TestNewRef64LearnerRejectsOtherMethods(t *testing.T) {
+	if _, err := NewRef64Learner(MethodSpec{Name: "chameleon"}, nil, TestScale(), 1); err == nil {
+		t.Fatal("expected an error for a non-finetune fp64 method")
+	}
+}

@@ -1,0 +1,66 @@
+package mobilenet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/tensor"
+)
+
+// TestInt8ExtractorCloseToFP32 bounds the integer extraction path's error:
+// over a batch of random images the int8 latents must stay within a few
+// percent relative L2 of the fp32 latents — per-channel weight scales and
+// per-tensor activation scales keep the layerwise quantisation error from
+// compounding into something that would move downstream head accuracy.
+func TestInt8ExtractorCloseToFP32(t *testing.T) {
+	m, err := New(DefaultConfig(10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.NewInt8Extractor()
+	rng := rand.New(rand.NewSource(11))
+	var worst float64
+	for s := 0; s < 4; s++ {
+		img := tensor.RandUniform(rng, 0, 1, 3, m.Cfg.Resolution, m.Cfg.Resolution)
+		zf := m.ExtractLatent(img)
+		zq := e.ExtractLatent(img)
+		if zq.Len() != zf.Len() {
+			t.Fatalf("int8 latent length %d, want %d", zq.Len(), zf.Len())
+		}
+		var num, den float64
+		for i, v := range zf.Data() {
+			d := float64(zq.Data()[i]) - float64(v)
+			num += d * d
+			den += float64(v) * float64(v)
+		}
+		rel := math.Sqrt(num / (den + 1e-12))
+		if rel > worst {
+			worst = rel
+		}
+	}
+	t.Logf("worst relative L2 error over 4 images: %.4f", worst)
+	if worst > 0.10 {
+		t.Fatalf("int8 latents diverge from fp32 by %.1f%% relative L2 (> 10%%)", 100*worst)
+	}
+}
+
+// TestInt8ExtractorDeterministic pins that repeated integer extraction of
+// the same image is bit-identical (the quantised weights are fixed at
+// construction and activations quantise deterministically), which the latent
+// cache depends on.
+func TestInt8ExtractorDeterministic(t *testing.T) {
+	m, err := New(DefaultConfig(10, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.NewInt8Extractor()
+	rng := rand.New(rand.NewSource(13))
+	img := tensor.RandUniform(rng, 0, 1, 3, m.Cfg.Resolution, m.Cfg.Resolution)
+	a, b := e.ExtractLatent(img), e.ExtractLatent(img)
+	for i, v := range a.Data() {
+		if b.Data()[i] != v {
+			t.Fatalf("element %d differs across identical extractions: %g vs %g", i, v, b.Data()[i])
+		}
+	}
+}

@@ -6,26 +6,29 @@ import (
 	"chameleon/internal/tensor"
 )
 
-// ReLU applies max(0, x). With a positive Cap it becomes ReLU-N (e.g. ReLU6,
-// MobileNet's activation).
-type ReLU struct {
-	Cap  float32 // 0 means unbounded
-	mask []bool  // true where the gradient passes
+// ReLUOf applies max(0, x). With a positive Cap it becomes ReLU-N (e.g.
+// ReLU6, MobileNet's activation).
+type ReLUOf[T tensor.Float] struct {
+	Cap  T      // 0 means unbounded
+	mask []bool // true where the gradient passes
 	// y and gx are reusable output buffers: gx always (backward is train-only
 	// and single-owner), y on the train path always and on the eval path once
 	// a workspace is attached (workspace-free eval must stay mutation-free).
-	y, gx *tensor.Tensor
-	ws    *tensor.Workspace
+	y, gx *tensor.Of[T]
+	ws    *tensor.WorkspaceOf[T]
 }
 
-// NewReLU returns an unbounded ReLU.
+// ReLU is the fast-tier activation.
+type ReLU = ReLUOf[float32]
+
+// NewReLU returns an unbounded fast-tier ReLU.
 func NewReLU() *ReLU { return &ReLU{} }
 
 // NewReLU6 returns the ReLU6 activation used by MobileNet.
 func NewReLU6() *ReLU { return &ReLU{Cap: 6} }
 
 // Name implements Layer.
-func (r *ReLU) Name() string {
+func (r *ReLUOf[T]) Name() string {
 	if r.Cap > 0 {
 		return "relu6"
 	}
@@ -33,11 +36,11 @@ func (r *ReLU) Name() string {
 }
 
 // SetWorkspace implements WorkspaceUser.
-func (r *ReLU) SetWorkspace(ws *tensor.Workspace) { r.ws = ws }
+func (r *ReLUOf[T]) SetWorkspace(ws *tensor.WorkspaceOf[T]) { r.ws = ws }
 
 // Forward implements Layer.
-func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	var y *tensor.Tensor
+func (r *ReLUOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
+	var y *tensor.Of[T]
 	if train || r.ws != nil {
 		if r.y == nil || !r.y.SameShape(x) {
 			r.ws.Put(r.y)
@@ -71,7 +74,7 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (r *ReLUOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
 	if r.gx == nil || !r.gx.SameShape(grad) {
 		r.ws.Put(r.gx)
 		r.gx = r.ws.Get(grad.Shape()...)
@@ -87,45 +90,49 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (r *ReLU) Params() []*Param { return nil }
+func (r *ReLUOf[T]) Params() []*ParamOf[T] { return nil }
 
 // OutShape implements Layer.
-func (r *ReLU) OutShape(in []int) []int { return in }
+func (r *ReLUOf[T]) OutShape(in []int) []int { return in }
 
-// Dropout zeroes activations with probability P during training and scales
+// DropoutOf zeroes activations with probability P during training and scales
 // survivors by 1/(1-P) (inverted dropout). In eval mode it is the identity.
-type Dropout struct {
+type DropoutOf[T tensor.Float] struct {
 	P    float64
 	rng  *rand.Rand
-	keep []float32
+	keep []T
 	// y and gx are train-path output buffers, reused across steps (training is
 	// single-owner by the Layer contract; eval Forward returns x untouched).
-	y, gx *tensor.Tensor
+	y, gx *tensor.Of[T]
 }
 
-// NewDropout creates a Dropout layer with its own deterministic RNG stream.
+// Dropout is the fast-tier dropout layer.
+type Dropout = DropoutOf[float32]
+
+// NewDropout creates a fast-tier Dropout layer with its own deterministic RNG
+// stream.
 func NewDropout(p float64, seed int64) *Dropout {
 	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Name implements Layer.
-func (d *Dropout) Name() string { return "dropout" }
+func (d *DropoutOf[T]) Name() string { return "dropout" }
 
 // Forward implements Layer.
-func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *DropoutOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	if !train || d.P <= 0 {
 		return x
 	}
 	if d.y == nil || !d.y.SameShape(x) {
-		d.y = tensor.New(x.Shape()...)
+		d.y = tensor.NewOf[T](x.Shape()...)
 	}
 	y := d.y
 	y.CopyFrom(x)
 	if cap(d.keep) < y.Len() {
-		d.keep = make([]float32, y.Len())
+		d.keep = make([]T, y.Len())
 	}
 	d.keep = d.keep[:y.Len()]
-	scale := float32(1 / (1 - d.P))
+	scale := T(1 / (1 - d.P))
 	for i := range y.Data() {
 		if d.rng.Float64() < d.P {
 			d.keep[i] = 0
@@ -139,12 +146,12 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (d *DropoutOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
 	if d.P <= 0 || len(d.keep) == 0 {
 		return grad
 	}
 	if d.gx == nil || !d.gx.SameShape(grad) {
-		d.gx = tensor.New(grad.Shape()...)
+		d.gx = tensor.NewOf[T](grad.Shape()...)
 	}
 	g := d.gx
 	g.CopyFrom(grad)
@@ -155,7 +162,7 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (d *Dropout) Params() []*Param { return nil }
+func (d *DropoutOf[T]) Params() []*ParamOf[T] { return nil }
 
 // OutShape implements Layer.
-func (d *Dropout) OutShape(in []int) []int { return in }
+func (d *DropoutOf[T]) OutShape(in []int) []int { return in }

@@ -6,44 +6,54 @@ import (
 	"chameleon/internal/tensor"
 )
 
-// WorkspaceUser is implemented by layers (and the optimizer) that can recycle
-// their scratch tensors through a tensor.Workspace. Attaching a workspace
-// opts the layer into buffer reuse on the *eval* path too; without one, eval
-// Forward stays allocation-fresh and mutation-free so a frozen model can
-// serve concurrent extraction workers (the Layer contract). Train-path
-// scratch is reused either way — training is single-owner by contract.
-type WorkspaceUser interface {
-	SetWorkspace(ws *tensor.Workspace)
+// WorkspaceUserOf is implemented by layers (and the optimizer) that can
+// recycle their scratch tensors through a tensor workspace. Attaching a
+// workspace opts the layer into buffer reuse on the *eval* path too; without
+// one, eval Forward stays allocation-fresh and mutation-free so a frozen
+// model can serve concurrent extraction workers (the Layer contract).
+// Train-path scratch is reused either way — training is single-owner by
+// contract.
+type WorkspaceUserOf[T tensor.Float] interface {
+	SetWorkspace(ws *tensor.WorkspaceOf[T])
 }
 
-// AttachWorkspace walks a layer tree and installs ws on every layer that can
-// use one. The workspace must be owned by the same single goroutine that
-// drives the model (see tensor.Workspace); cl.NewHead attaches one to each
-// learner's private head, while shared backbones are never given one.
-func AttachWorkspace(l Layer, ws *tensor.Workspace) {
+// WorkspaceUser is the fast-tier workspace hook.
+type WorkspaceUser = WorkspaceUserOf[float32]
+
+// AttachWorkspace walks a fast-tier layer tree and installs ws on every layer
+// that can use one. The workspace must be owned by the same single goroutine
+// that drives the model (see tensor.Workspace); cl.NewHead attaches one to
+// each learner's private head, while shared backbones are never given one.
+func AttachWorkspace(l Layer, ws *tensor.Workspace) { AttachWorkspaceOf[float32](l, ws) }
+
+// AttachWorkspaceOf is AttachWorkspace for either precision tier.
+func AttachWorkspaceOf[T tensor.Float](l LayerOf[T], ws *tensor.WorkspaceOf[T]) {
 	switch v := l.(type) {
-	case *Sequential:
+	case *SequentialOf[T]:
 		for _, inner := range v.Layers {
-			AttachWorkspace(inner, ws)
+			AttachWorkspaceOf(inner, ws)
 		}
-	case *Frozen:
-		AttachWorkspace(v.Inner, ws)
+	case *FrozenOf[T]:
+		AttachWorkspaceOf(v.Inner, ws)
 	default:
-		if u, ok := l.(WorkspaceUser); ok {
+		if u, ok := l.(WorkspaceUserOf[T]); ok {
 			u.SetWorkspace(ws)
 		}
 	}
 }
 
-// BatchLayer is an optional Layer extension for batched evaluation: the layer
-// transforms a whole [N, ...] matrix of samples at once, in eval mode. The
-// input tensor is owned by the caller's workspace chain; implementations may
-// transform it in place and return it, or Get a fresh output from ws (the
+// BatchLayerOf is an optional Layer extension for batched evaluation: the
+// layer transforms a whole [N, ...] matrix of samples at once, in eval mode.
+// The input tensor is owned by the caller's workspace chain; implementations
+// may transform it in place and return it, or Get a fresh output from ws (the
 // caller Puts the input back when the returned tensor differs). Results must
 // be bit-identical to N single-sample eval Forwards.
-type BatchLayer interface {
-	ForwardBatch(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor
+type BatchLayerOf[T tensor.Float] interface {
+	ForwardBatch(x *tensor.Of[T], ws *tensor.WorkspaceOf[T]) *tensor.Of[T]
 }
+
+// BatchLayer is the fast-tier batched-evaluation extension.
+type BatchLayer = BatchLayerOf[float32]
 
 // ForwardBatch implements BatchLayer: one GEMM over the whole sample matrix.
 // The weight matrix is transposed into workspace scratch first so the product
@@ -54,7 +64,7 @@ type BatchLayer interface {
 // MatVec path, so every logit equals that path's result (the two kernels skip
 // zero factors on opposite sides of the product, which can only flip the sign
 // of a floating-point zero — invisible to argmax, ReLU and ==).
-func (d *Dense) ForwardBatch(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+func (d *DenseOf[T]) ForwardBatch(x *tensor.Of[T], ws *tensor.WorkspaceOf[T]) *tensor.Of[T] {
 	if x.NDim() != 2 || x.Dim(1) != d.inCap {
 		panic(fmt.Sprintf("nn: %s ForwardBatch expects [N,%d], got %v", d.label, d.inCap, x.Shape()))
 	}
@@ -83,7 +93,7 @@ func (d *Dense) ForwardBatch(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Ten
 // ForwardBatch implements BatchLayer: the clamp runs in place on the batch
 // matrix, with the same branch structure as the per-sample eval Forward so
 // results (including signed zeros) are bit-identical.
-func (r *ReLU) ForwardBatch(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+func (r *ReLUOf[T]) ForwardBatch(x *tensor.Of[T], ws *tensor.WorkspaceOf[T]) *tensor.Of[T] {
 	data := x.Data()
 	for i, v := range data {
 		if v < 0 {
@@ -97,6 +107,6 @@ func (r *ReLU) ForwardBatch(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tens
 }
 
 // ForwardBatch implements BatchLayer: dropout is the identity in eval mode.
-func (d *Dropout) ForwardBatch(x *tensor.Tensor, ws *tensor.Workspace) *tensor.Tensor {
+func (d *DropoutOf[T]) ForwardBatch(x *tensor.Of[T], ws *tensor.WorkspaceOf[T]) *tensor.Of[T] {
 	return x
 }

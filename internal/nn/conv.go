@@ -7,31 +7,35 @@ import (
 	"chameleon/internal/tensor"
 )
 
-// Conv2D is a standard 2-D convolution on [C,H,W] single-sample inputs,
+// Conv2DOf is a standard 2-D convolution on [C,H,W] single-sample inputs,
 // implemented as im2col + GEMM. Weights are stored as [outC, inC*KH*KW].
-type Conv2D struct {
+type Conv2DOf[T tensor.Float] struct {
 	label            string
 	inC, outC        int
 	kh, kw, stride   int
 	pad              int
-	w                *Param
-	b                *Param
-	col              *tensor.Tensor // cached im2col matrix (train mode)
+	w                *ParamOf[T]
+	b                *ParamOf[T]
+	col              *tensor.Of[T] // cached im2col matrix (train mode)
 	inH, inW, oh, ow int
 	// gwScratch and dcolScratch are backward-pass work buffers, reused across
-	// steps. They are touched only in Backward, which runs on the learner's
-	// own goroutine; eval-mode Forward stays mutation-free so a frozen model
-	// can serve concurrent extraction workers.
-	gwScratch, dcolScratch *tensor.Tensor
+	// steps. gbScratch holds the per-channel bias-gradient row sums on the
+	// fused backward path. They are touched only in Backward, which runs on
+	// the learner's own goroutine; eval-mode Forward stays mutation-free so a
+	// frozen model can serve concurrent extraction workers.
+	gwScratch, dcolScratch, gbScratch *tensor.Of[T]
 	// colBuf is the forward im2col scratch and y3/y2 one output buffer viewed
 	// as [outC,OH,OW] and [outC,OH*OW]; gxBuf holds the input gradient. All
 	// are reused on the train path always, and colBuf/y on the eval path once
 	// a workspace is attached.
-	colBuf, y2, y3, gxBuf *tensor.Tensor
-	ws                    *tensor.Workspace
+	colBuf, y2, y3, gxBuf *tensor.Of[T]
+	ws                    *tensor.WorkspaceOf[T]
 }
 
-// NewConv2D creates a Conv2D with He-normal weights.
+// Conv2D is the fast-tier convolution layer.
+type Conv2D = Conv2DOf[float32]
+
+// NewConv2D creates a fast-tier Conv2D with He-normal weights.
 func NewConv2D(label string, inC, outC, k, stride, pad int, rng *rand.Rand) *Conv2D {
 	fanIn := inC * k * k
 	return &Conv2D{
@@ -42,20 +46,30 @@ func NewConv2D(label string, inC, outC, k, stride, pad int, rng *rand.Rand) *Con
 }
 
 // Name implements Layer.
-func (c *Conv2D) Name() string { return c.label }
+func (c *Conv2DOf[T]) Name() string { return c.label }
 
 // SetWorkspace implements WorkspaceUser.
-func (c *Conv2D) SetWorkspace(ws *tensor.Workspace) { c.ws = ws }
+func (c *Conv2DOf[T]) SetWorkspace(ws *tensor.WorkspaceOf[T]) { c.ws = ws }
+
+// Weights exposes the [outC, inC*KH*KW] weight matrix and [outC] bias (live
+// tensors; read-only for callers). The int8 extraction path quantizes these.
+func (c *Conv2DOf[T]) Weights() (w, b *tensor.Of[T]) { return c.w.Data, c.b.Data }
+
+// Geometry returns the convolution hyperparameters (inC, outC, k, stride,
+// pad); kernels are square by construction.
+func (c *Conv2DOf[T]) Geometry() (inC, outC, k, stride, pad int) {
+	return c.inC, c.outC, c.kh, c.stride, c.pad
+}
 
 // Forward implements Layer for a [inC,H,W] input, producing [outC,OH,OW].
-func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (c *Conv2DOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	if x.NDim() != 3 || x.Dim(0) != c.inC {
 		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", c.label, c.inC, x.Shape()))
 	}
 	h, w := x.Dim(1), x.Dim(2)
 	oh := tensor.ConvOut(h, c.kh, c.stride, c.pad)
 	ow := tensor.ConvOut(w, c.kw, c.stride, c.pad)
-	var col *tensor.Tensor
+	var col *tensor.Of[T]
 	if train || c.ws != nil {
 		kc := c.inC * c.kh * c.kw
 		if c.colBuf == nil || c.colBuf.Dim(0) != kc || c.colBuf.Dim(1) != oh*ow {
@@ -70,7 +84,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		c.col, c.inH, c.inW, c.oh, c.ow = col, h, w, oh, ow
 	}
-	var y2, y3 *tensor.Tensor
+	var y2, y3 *tensor.Of[T]
 	if train || c.ws != nil {
 		if c.y3 == nil || c.y3.Dim(1) != oh || c.y3.Dim(2) != ow {
 			c.ws.Put(c.y3)
@@ -79,7 +93,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		y2, y3 = c.y2, c.y3
 	} else {
-		y3 = tensor.New(c.outC, oh, ow)
+		y3 = tensor.NewOf[T](c.outC, oh, ow)
 		y2 = y3.Reshape(c.outC, oh*ow)
 	}
 	tensor.MatMulInto(y2, c.w.Data, col) // [outC, oh*ow]
@@ -98,30 +112,39 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (c *Conv2DOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
+	g := c.backwardShared(grad)
+	c.w.Grad.AddInPlace(c.gwScratch)
+	// db = row sums of g
+	ohw := c.oh * c.ow
+	gd := g.Data()
+	for o := 0; o < c.outC; o++ {
+		var s T
+		for _, v := range gd[o*ohw : (o+1)*ohw] {
+			s += v
+		}
+		c.b.Grad.Data()[o] += s
+	}
+	return c.gxBuf
+}
+
+// backwardShared runs the parts of the backward pass common to the split and
+// fused paths: the weight-gradient GEMM into gwScratch and the input gradient
+// into gxBuf (which reads the pre-update weights). It returns the reshaped
+// upstream gradient.
+func (c *Conv2DOf[T]) backwardShared(grad *tensor.Of[T]) *tensor.Of[T] {
 	if c.col == nil {
 		panic("nn: Conv2D.Backward before training Forward")
 	}
 	g := grad.Reshape(c.outC, c.oh*c.ow)
 	// dW = g @ colᵀ
 	if c.gwScratch == nil || !c.gwScratch.SameShape(c.w.Grad) {
-		c.gwScratch = tensor.New(c.w.Grad.Shape()...)
+		c.gwScratch = tensor.NewOf[T](c.w.Grad.Shape()...)
 	}
 	tensor.MatMulT2Into(c.gwScratch, g, c.col)
-	c.w.Grad.AddInPlace(c.gwScratch)
-	// db = row sums of g
-	ohw := c.oh * c.ow
-	gd := g.Data()
-	for o := 0; o < c.outC; o++ {
-		var s float32
-		for _, v := range gd[o*ohw : (o+1)*ohw] {
-			s += v
-		}
-		c.b.Grad.Data()[o] += s
-	}
 	// dcol = Wᵀ @ g ; dX = col2im(dcol)
 	if c.dcolScratch == nil || !c.dcolScratch.SameShape(c.col) {
-		c.dcolScratch = tensor.New(c.col.Shape()...)
+		c.dcolScratch = tensor.NewOf[T](c.col.Shape()...)
 	}
 	tensor.MatMulT1Into(c.dcolScratch, c.w.Data, g)
 	if c.gxBuf == nil || c.gxBuf.Len() != c.inC*c.inH*c.inW {
@@ -129,32 +152,62 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		c.gxBuf = c.ws.Get(c.inC, c.inH, c.inW)
 	}
 	tensor.Col2ImInto(c.gxBuf, c.dcolScratch, c.kh, c.kw, c.stride, c.pad)
+	return g
+}
+
+// BackwardSGD implements FusedLayer: the backward pass followed by an
+// immediate in-place optimizer update, consuming the weight gradient in the
+// same sweep that reads it instead of materialising it into w.Grad and
+// re-traversing. Bit-identical to Backward + Step (see SGDOf.FusedStepDelta).
+func (c *Conv2DOf[T]) BackwardSGD(grad *tensor.Of[T], opt *SGDOf[T], invScale T) *tensor.Of[T] {
+	g := c.backwardShared(grad)
+	// Bias row sums land in scratch so the fused update sees the complete
+	// gradient exactly as the split path's b.Grad accumulation would.
+	if c.gbScratch == nil || c.gbScratch.Len() != c.outC {
+		c.gbScratch = tensor.NewOf[T](c.outC)
+	}
+	ohw := c.oh * c.ow
+	gd := g.Data()
+	gbd := c.gbScratch.Data()
+	for o := 0; o < c.outC; o++ {
+		var s T
+		for _, v := range gd[o*ohw : (o+1)*ohw] {
+			s += v
+		}
+		gbd[o] = s
+	}
+	opt.FusedStepDelta(c.w, c.gwScratch.Data(), invScale)
+	opt.FusedStepDelta(c.b, gbd, invScale)
 	return c.gxBuf
 }
 
 // Params implements Layer.
-func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+func (c *Conv2DOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{c.w, c.b} }
 
 // OutShape implements Layer.
-func (c *Conv2D) OutShape(in []int) []int {
+func (c *Conv2DOf[T]) OutShape(in []int) []int {
 	return []int{c.outC, tensor.ConvOut(in[1], c.kh, c.stride, c.pad), tensor.ConvOut(in[2], c.kw, c.stride, c.pad)}
 }
 
-// DepthwiseConv2D applies one k×k filter per input channel.
-type DepthwiseConv2D struct {
+// DepthwiseConv2DOf applies one k×k filter per input channel.
+type DepthwiseConv2DOf[T tensor.Float] struct {
 	label       string
 	c, k        int
 	stride, pad int
-	w           *Param         // [C,K,K]
-	b           *Param         // [C]
-	x           *tensor.Tensor // cached input (train mode), reused across steps
+	w           *ParamOf[T]   // [C,K,K]
+	b           *ParamOf[T]   // [C]
+	x           *tensor.Of[T] // cached input (train mode), reused across steps
 	// y is the forward output buffer (train path always, eval path once a
 	// workspace is attached); gx/gw/gb are backward scratch, train-only.
-	y, gx, gw, gb *tensor.Tensor
-	ws            *tensor.Workspace
+	y, gx, gw, gb *tensor.Of[T]
+	ws            *tensor.WorkspaceOf[T]
 }
 
-// NewDepthwiseConv2D creates a depthwise convolution with He-normal weights.
+// DepthwiseConv2D is the fast-tier depthwise convolution layer.
+type DepthwiseConv2D = DepthwiseConv2DOf[float32]
+
+// NewDepthwiseConv2D creates a fast-tier depthwise convolution with He-normal
+// weights.
 func NewDepthwiseConv2D(label string, channels, k, stride, pad int, rng *rand.Rand) *DepthwiseConv2D {
 	fanIn := k * k
 	return &DepthwiseConv2D{
@@ -165,19 +218,19 @@ func NewDepthwiseConv2D(label string, channels, k, stride, pad int, rng *rand.Ra
 }
 
 // Name implements Layer.
-func (d *DepthwiseConv2D) Name() string { return d.label }
+func (d *DepthwiseConv2DOf[T]) Name() string { return d.label }
 
 // SetWorkspace implements WorkspaceUser.
-func (d *DepthwiseConv2D) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
+func (d *DepthwiseConv2DOf[T]) SetWorkspace(ws *tensor.WorkspaceOf[T]) { d.ws = ws }
 
 // Forward implements Layer.
-func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *DepthwiseConv2DOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	if x.NDim() != 3 || x.Dim(0) != d.c {
 		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", d.label, d.c, x.Shape()))
 	}
 	if train {
 		if d.x == nil || !d.x.SameShape(x) {
-			d.x = tensor.New(x.Shape()...)
+			d.x = tensor.NewOf[T](x.Shape()...)
 		}
 		d.x.CopyFrom(x)
 	}
@@ -194,28 +247,44 @@ func (d *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return tensor.DepthwiseConv(x, d.w.Data, d.b.Data, d.stride, d.pad)
 }
 
-// Backward implements Layer.
-func (d *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+// backwardShared computes the depthwise gradients into the gx/gw/gb scratch
+// buffers (gx reads the pre-update weights).
+func (d *DepthwiseConv2DOf[T]) backwardShared(grad *tensor.Of[T]) {
 	if d.x == nil {
 		panic("nn: DepthwiseConv2D.Backward before training Forward")
 	}
 	if d.gx == nil || !d.gx.SameShape(d.x) {
-		d.gx = tensor.New(d.x.Shape()...)
+		d.gx = tensor.NewOf[T](d.x.Shape()...)
 	}
 	if d.gw == nil {
-		d.gw = tensor.New(d.w.Data.Shape()...)
-		d.gb = tensor.New(d.c)
+		d.gw = tensor.NewOf[T](d.w.Data.Shape()...)
+		d.gb = tensor.NewOf[T](d.c)
 	}
 	tensor.DepthwiseConvGradsInto(d.gx, d.gw, d.gb, d.x, d.w.Data, grad, d.stride, d.pad)
+}
+
+// Backward implements Layer.
+func (d *DepthwiseConv2DOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
+	d.backwardShared(grad)
 	d.w.Grad.AddInPlace(d.gw)
 	d.b.Grad.AddInPlace(d.gb)
 	return d.gx
 }
 
+// BackwardSGD implements FusedLayer, mirroring Conv2D: gradients are consumed
+// by the optimizer update in one pass instead of accumulating into w.Grad and
+// re-traversing.
+func (d *DepthwiseConv2DOf[T]) BackwardSGD(grad *tensor.Of[T], opt *SGDOf[T], invScale T) *tensor.Of[T] {
+	d.backwardShared(grad)
+	opt.FusedStepDelta(d.w, d.gw.Data(), invScale)
+	opt.FusedStepDelta(d.b, d.gb.Data(), invScale)
+	return d.gx
+}
+
 // Params implements Layer.
-func (d *DepthwiseConv2D) Params() []*Param { return []*Param{d.w, d.b} }
+func (d *DepthwiseConv2DOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{d.w, d.b} }
 
 // OutShape implements Layer.
-func (d *DepthwiseConv2D) OutShape(in []int) []int {
+func (d *DepthwiseConv2DOf[T]) OutShape(in []int) []int {
 	return []int{d.c, tensor.ConvOut(in[1], d.k, d.stride, d.pad), tensor.ConvOut(in[2], d.k, d.stride, d.pad)}
 }

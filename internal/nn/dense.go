@@ -7,23 +7,27 @@ import (
 	"chameleon/internal/tensor"
 )
 
-// Dense is a fully connected layer y = Wx + b on 1-D inputs.
-type Dense struct {
+// DenseOf is a fully connected layer y = Wx + b on 1-D inputs.
+type DenseOf[T tensor.Float] struct {
 	label string
-	w     *Param // [out, in]
-	b     *Param // [out]
+	w     *ParamOf[T] // [out, in]
+	b     *ParamOf[T] // [out]
 	inCap int
-	x     *tensor.Tensor // cached input (train mode), reused across steps
+	x     *tensor.Of[T] // cached input (train mode), reused across steps
 	// y and gx are reusable output/input-gradient buffers. gx (and x) serve
 	// only the training path, which is single-owner by the Layer contract, so
 	// they are recycled unconditionally; y is additionally reused on the eval
 	// path once a workspace is attached (eval without one must stay
 	// mutation-free for concurrent extraction).
-	y, gx *tensor.Tensor
-	ws    *tensor.Workspace
+	y, gx *tensor.Of[T]
+	ws    *tensor.WorkspaceOf[T]
 }
 
-// NewDense creates a Dense layer with He-normal weights and zero bias.
+// Dense is the fast-tier fully connected layer.
+type Dense = DenseOf[float32]
+
+// NewDense creates a fast-tier Dense layer with He-normal weights and zero
+// bias.
 func NewDense(label string, in, out int, rng *rand.Rand) *Dense {
 	return &Dense{
 		label: label,
@@ -34,19 +38,19 @@ func NewDense(label string, in, out int, rng *rand.Rand) *Dense {
 }
 
 // Name implements Layer.
-func (d *Dense) Name() string { return d.label }
+func (d *DenseOf[T]) Name() string { return d.label }
 
 // In returns the input width.
-func (d *Dense) In() int { return d.inCap }
+func (d *DenseOf[T]) In() int { return d.inCap }
 
 // Out returns the output width.
-func (d *Dense) Out() int { return d.w.Data.Dim(0) }
+func (d *DenseOf[T]) Out() int { return d.w.Data.Dim(0) }
 
 // SetWorkspace implements WorkspaceUser.
-func (d *Dense) SetWorkspace(ws *tensor.Workspace) { d.ws = ws }
+func (d *DenseOf[T]) SetWorkspace(ws *tensor.WorkspaceOf[T]) { d.ws = ws }
 
 // Forward implements Layer for a [in] input, producing [out].
-func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *DenseOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	if x.Len() != d.inCap {
 		panic(fmt.Sprintf("nn: %s expects %d inputs, got shape %v", d.label, d.inCap, x.Shape()))
 	}
@@ -72,7 +76,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // mirroring the tensor MatMul*Into API: the inner training loop reuses one
 // output buffer instead of allocating per call. train selects input caching
 // for the subsequent Backward.
-func (d *Dense) ForwardInto(dst, x *tensor.Tensor, train bool) {
+func (d *DenseOf[T]) ForwardInto(dst, x *tensor.Of[T], train bool) {
 	if x.Len() != d.inCap {
 		panic(fmt.Sprintf("nn: %s expects %d inputs, got shape %v", d.label, d.inCap, x.Shape()))
 	}
@@ -94,7 +98,7 @@ func (d *Dense) ForwardInto(dst, x *tensor.Tensor, train bool) {
 }
 
 // Backward implements Layer.
-func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (d *DenseOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
 	if d.gx == nil {
 		d.gx = d.ws.Get(d.inCap)
 	}
@@ -104,7 +108,7 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // BackwardInto is Backward writing the input gradient into a caller-owned
 // [in] tensor (overwritten), accumulating parameter gradients as usual.
-func (d *Dense) BackwardInto(dst, grad *tensor.Tensor) {
+func (d *DenseOf[T]) BackwardInto(dst, grad *tensor.Of[T]) {
 	if d.x == nil {
 		panic("nn: Dense.Backward before training Forward")
 	}
@@ -124,6 +128,13 @@ func (d *Dense) BackwardInto(dst, grad *tensor.Tensor) {
 		}
 		wRow := wd[o*in : (o+1)*in]
 		gwRow := gw[o*in : (o+1)*in]
+		// Fast-tier dispatch (resolved at instantiation time): float32 rows
+		// go through the unrolled kernel, which computes the same per-element
+		// expressions and is therefore bit-identical to the generic loop.
+		if gw32, ok := any(gwRow).([]float32); ok {
+			tensor.DenseBackwardRow32(gw32, any(gxd).([]float32), any(wRow).([]float32), any(xd).([]float32), any(g).(float32))
+			continue
+		}
 		for i, xv := range xd {
 			gwRow[i] += g * xv
 			gxd[i] += g * wRow[i]
@@ -132,24 +143,27 @@ func (d *Dense) BackwardInto(dst, grad *tensor.Tensor) {
 }
 
 // Params implements Layer.
-func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+func (d *DenseOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{d.w, d.b} }
 
 // OutShape implements Layer.
-func (d *Dense) OutShape(in []int) []int { return []int{d.Out()} }
+func (d *DenseOf[T]) OutShape(in []int) []int { return []int{d.Out()} }
 
-// Flatten reshapes any input to 1-D. It has no parameters.
-type Flatten struct {
+// FlattenOf reshapes any input to 1-D. It has no parameters.
+type FlattenOf[T tensor.Float] struct {
 	inShape []int
 }
 
-// NewFlatten creates a Flatten layer.
+// Flatten is the fast-tier reshape layer.
+type Flatten = FlattenOf[float32]
+
+// NewFlatten creates a fast-tier Flatten layer.
 func NewFlatten() *Flatten { return &Flatten{} }
 
 // Name implements Layer.
-func (f *Flatten) Name() string { return "flatten" }
+func (f *FlattenOf[T]) Name() string { return "flatten" }
 
 // Forward implements Layer.
-func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (f *FlattenOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	if train {
 		f.inShape = append(f.inShape[:0], x.Shape()...)
 	}
@@ -157,15 +171,15 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (f *FlattenOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
 	return grad.Reshape(f.inShape...)
 }
 
 // Params implements Layer.
-func (f *Flatten) Params() []*Param { return nil }
+func (f *FlattenOf[T]) Params() []*ParamOf[T] { return nil }
 
 // OutShape implements Layer.
-func (f *Flatten) OutShape(in []int) []int {
+func (f *FlattenOf[T]) OutShape(in []int) []int {
 	n := 1
 	for _, d := range in {
 		n *= d

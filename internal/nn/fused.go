@@ -1,0 +1,263 @@
+package nn
+
+import (
+	"fmt"
+
+	"chameleon/internal/tensor"
+)
+
+// FusedLayer is the optional Layer extension behind the raw-speed training
+// tier: BackwardSGD computes the layer's backward pass and applies the SGD
+// update to its parameters in the same sweep, returning the input gradient
+// exactly like Backward. The fused pass must be bit-identical to
+//
+//	gx := l.Backward(grad)
+//	for _, p := range l.Params() { scale by invScale; opt.StepParam(p); zero }
+//
+// for the same optimizer state: per element the operation sequence is
+// add-delta, scale, weight decay, momentum, update, zero — the same FP
+// expressions in the same order as the split path, just without the extra
+// memory round-trips through the gradient tensors. invScale is the 1/denom
+// batch normalisation the split path applies via Grad.Scale (pass 1 to skip,
+// matching Head.Step's denom==1 fast path).
+//
+// Callers must check opt.Fused && opt.GradClip == 0 before taking this path;
+// the FusedStep* helpers fall back to the split kernels otherwise, so the
+// result is correct either way, merely not fused.
+type FusedLayer[T tensor.Float] interface {
+	BackwardSGD(grad *tensor.Of[T], opt *SGDOf[T], invScale T) *tensor.Of[T]
+}
+
+// FusedStepParam is the single-pass update kernel for one parameter: in one
+// sweep over the weights it scales the accumulated gradient by invScale,
+// folds in weight decay, advances momentum, applies the learning-rate update
+// and zeroes the gradient for the next accumulation. Bit-identical to
+// Grad.Scale(invScale) + StepParam(p) + Grad.Zero().
+func (s *SGDOf[T]) FusedStepParam(p *ParamOf[T], invScale T) {
+	s.FusedStepDelta(p, nil, invScale)
+}
+
+// FusedStepDelta is FusedStepParam with a final gradient contribution that
+// never touched p.Grad: the effective gradient element is p.Grad[i] +
+// delta[i], exactly the value the split path would hold after its last
+// accumulation. Conv layers pass their backward GEMM scratch here so the
+// final sample's gradient flows straight into the update without a store/load
+// round-trip through p.Grad. delta may be nil (plain fused step) and is left
+// untouched; p.Grad is zeroed.
+//
+// GradClip > 0 (or Fused unset) falls back to the split kernels — clipping
+// needs the full gradient's global norm before any element updates.
+func (s *SGDOf[T]) FusedStepDelta(p *ParamOf[T], delta []T, invScale T) {
+	gd := p.Grad.Data()
+	if delta != nil && len(delta) != len(gd) {
+		panic(fmt.Sprintf("nn: FusedStepDelta delta size %d, want %d", len(delta), len(gd)))
+	}
+	if s.GradClip > 0 || !s.Fused {
+		if delta != nil {
+			for i, dv := range delta {
+				gd[i] += dv
+			}
+		}
+		if invScale != 1 {
+			p.Grad.Scale(invScale)
+		}
+		s.StepParam(p)
+		p.Grad.Zero()
+		return
+	}
+	w := p.Data.Data()
+	wdec := T(s.WeightDecay)
+	m := T(s.Momentum)
+	lrNeg := T(-s.LR)
+	var vd []T
+	if s.Momentum != 0 {
+		vd = s.velocityFor(p).Data()
+	}
+	for i := range w {
+		g := gd[i]
+		if delta != nil {
+			g += delta[i]
+		}
+		if invScale != 1 {
+			g *= invScale
+		}
+		if wdec != 0 {
+			g += wdec * w[i]
+		}
+		if vd != nil {
+			v := vd[i]
+			v *= m
+			v += g
+			vd[i] = v
+			g = v
+		}
+		w[i] += lrNeg * g
+		gd[i] = 0
+	}
+}
+
+// BackwardSGD implements FusedLayer by folding the update into the backward
+// walk: each layer's parameters are stepped the moment its backward completes.
+// Layers without a fused kernel fall back to Backward + FusedStepParam, which
+// preserves bit-identity (every layer's backward reads only its own, not yet
+// updated, weights).
+func (s *SequentialOf[T]) BackwardSGD(grad *tensor.Of[T], opt *SGDOf[T], invScale T) *tensor.Of[T] {
+	g := grad
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		l := s.Layers[i]
+		if fl, ok := l.(FusedLayer[T]); ok {
+			g = fl.BackwardSGD(g, opt, invScale)
+			continue
+		}
+		g = l.Backward(g)
+		for _, p := range l.Params() {
+			opt.FusedStepDelta(p, nil, invScale)
+		}
+	}
+	return g
+}
+
+// BackwardSGD implements FusedLayer with the backward pass and the weight
+// update truly folded: one sweep per weight row computes the input gradient
+// from the pre-update weights, forms the effective gradient (accumulated +
+// this sample's outer-product term), and applies scale/decay/momentum/update
+// in place — W is read and written exactly once instead of the split path's
+// three passes (backward accumulate, scale, step).
+func (d *DenseOf[T]) BackwardSGD(grad *tensor.Of[T], opt *SGDOf[T], invScale T) *tensor.Of[T] {
+	if d.gx == nil {
+		d.gx = d.ws.Get(d.inCap)
+	}
+	if opt.GradClip > 0 || !opt.Fused {
+		d.BackwardInto(d.gx, grad)
+		opt.FusedStepDelta(d.w, nil, invScale)
+		opt.FusedStepDelta(d.b, nil, invScale)
+		return d.gx
+	}
+	if d.x == nil {
+		panic("nn: Dense.BackwardSGD before training Forward")
+	}
+	out, in := d.Out(), d.inCap
+	if grad.Len() != out {
+		panic(fmt.Sprintf("nn: %s BackwardSGD grad %d, want %d", d.label, grad.Len(), out))
+	}
+	gw, gb := d.w.Grad.Data(), d.b.Grad.Data()
+	gd, wd, xd := grad.Data(), d.w.Data.Data(), d.x.Data()
+	bd := d.b.Data.Data()
+	wdec := T(opt.WeightDecay)
+	m := T(opt.Momentum)
+	lrNeg := T(-opt.LR)
+	var vw, vb []T
+	if opt.Momentum != 0 {
+		vw = opt.velocityFor(d.w).Data()
+		vb = opt.velocityFor(d.b).Data()
+	}
+	d.gx.Zero()
+	gxd := d.gx.Data()
+	for o := 0; o < out; o++ {
+		g := gd[o]
+		gB := gb[o] + g
+		if invScale != 1 {
+			gB *= invScale
+		}
+		if wdec != 0 {
+			gB += wdec * bd[o]
+		}
+		if vb != nil {
+			v := vb[o]
+			v *= m
+			v += gB
+			vb[o] = v
+			gB = v
+		}
+		bd[o] += lrNeg * gB
+		gb[o] = 0
+		wRow := wd[o*in : (o+1)*in]
+		gwRow := gw[o*in : (o+1)*in]
+		var vRow []T
+		if vw != nil {
+			vRow = vw[o*in : (o+1)*in]
+		}
+		// Fast-tier dispatch (resolved at instantiation time): float32 rows
+		// run the specialised fold kernels, which execute the same
+		// per-element expression sequence as the generic loops below and are
+		// therefore bit-identical to them — and to the split path.
+		if g32, ok := any(g).(float32); ok {
+			var v32 []float32
+			if vRow != nil {
+				v32 = any(vRow).([]float32)
+			}
+			w32, gw32 := any(wRow).([]float32), any(gwRow).([]float32)
+			inv32, wdec32 := any(invScale).(float32), any(wdec).(float32)
+			m32, lr32 := any(m).(float32), any(lrNeg).(float32)
+			if g != 0 {
+				tensor.FusedDenseRow32(any(gxd).([]float32), w32, gw32, v32, any(xd).([]float32), g32, inv32, wdec32, m32, lr32)
+			} else {
+				tensor.FusedUpdateRow32(w32, gw32, v32, inv32, wdec32, m32, lr32)
+			}
+			continue
+		}
+		if g != 0 {
+			for i, xv := range xd {
+				wv := wRow[i]
+				gxd[i] += g * wv
+				ge := gwRow[i] + g*xv
+				if invScale != 1 {
+					ge *= invScale
+				}
+				if wdec != 0 {
+					ge += wdec * wv
+				}
+				if vRow != nil {
+					v := vRow[i]
+					v *= m
+					v += ge
+					vRow[i] = v
+					ge = v
+				}
+				wRow[i] = wv + lrNeg*ge
+				gwRow[i] = 0
+			}
+		} else {
+			// The split path skips the outer-product and input-gradient terms
+			// for a zero output gradient, but the update must still run: gwRow
+			// may hold earlier samples' accumulation and momentum decays every
+			// step regardless.
+			for i := range wRow {
+				wv := wRow[i]
+				ge := gwRow[i]
+				if invScale != 1 {
+					ge *= invScale
+				}
+				if wdec != 0 {
+					ge += wdec * wv
+				}
+				if vRow != nil {
+					v := vRow[i]
+					v *= m
+					v += ge
+					vRow[i] = v
+					ge = v
+				}
+				wRow[i] = wv + lrNeg*ge
+				gwRow[i] = 0
+			}
+		}
+	}
+	return d.gx
+}
+
+// BackwardSGD implements FusedLayer: the reshape has no parameters, so this
+// is just Backward.
+func (f *FlattenOf[T]) BackwardSGD(grad *tensor.Of[T], opt *SGDOf[T], invScale T) *tensor.Of[T] {
+	return f.Backward(grad)
+}
+
+// BackwardSGD implements FusedLayer: no parameters, just the masked gradient.
+func (r *ReLUOf[T]) BackwardSGD(grad *tensor.Of[T], opt *SGDOf[T], invScale T) *tensor.Of[T] {
+	return r.Backward(grad)
+}
+
+// BackwardSGD implements FusedLayer: no parameters, just the kept-mask scale.
+func (d *DropoutOf[T]) BackwardSGD(grad *tensor.Of[T], opt *SGDOf[T], invScale T) *tensor.Of[T] {
+	return d.Backward(grad)
+}

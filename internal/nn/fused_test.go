@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/tensor"
+)
+
+// fusedTestNet builds a small model covering every fused kernel: Conv2D and
+// DepthwiseConv2D (FusedStepDelta with a scratch delta), GroupNorm (fallback
+// Backward + FusedStepParam), and Dense (the fully folded row kernel).
+func fusedTestNet(seed int64) *Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSequential("fused-test",
+		NewConv2D("c1", 2, 4, 3, 1, 1, rng),
+		NewReLU6(),
+		NewDepthwiseConv2D("dw", 4, 3, 1, 1, rng),
+		NewGroupNorm2D("gn", 4, 2),
+		NewGlobalAvgPool2D(),
+		NewDense("fc", 4, 3, rng),
+	)
+}
+
+// fusedTestInputs returns a deterministic two-sample batch.
+func fusedTestInputs[T tensor.Float]() (xs []*tensor.Of[T], labels []int) {
+	rng := rand.New(rand.NewSource(99))
+	for s := 0; s < 2; s++ {
+		x := tensor.NewOf[T](2, 6, 6)
+		for i := range x.Data() {
+			x.Data()[i] = T(rng.NormFloat64())
+		}
+		xs = append(xs, x)
+		labels = append(labels, s%3)
+	}
+	return xs, labels
+}
+
+// runTrainSteps drives `steps` two-sample cross-entropy steps, either through
+// the split Backward + Scale + StepParam + ZeroGrad sequence or the fused
+// BackwardSGD path, mirroring exactly what cl.Head.TrainCEOn does.
+func runTrainSteps[T tensor.Float](t *testing.T, net *SequentialOf[T], opt *SGDOf[T], fused bool, steps int) {
+	t.Helper()
+	ws := tensor.NewWorkspaceOf[T]()
+	AttachWorkspaceOf(net, ws)
+	opt.SetWorkspace(ws)
+	xs, labels := fusedTestInputs[T]()
+	grad := tensor.NewOf[T](3)
+	inv := T(1) / T(len(xs))
+	for s := 0; s < steps; s++ {
+		ZeroGradsOf[T](net)
+		for j, x := range xs {
+			y := net.Forward(x, true)
+			CrossEntropyInto(y, labels[j], grad)
+			if fused && j == len(xs)-1 {
+				net.BackwardSGD(grad, opt, inv)
+			} else {
+				net.Backward(grad)
+			}
+		}
+		if !fused {
+			for _, p := range net.Params() {
+				p.Grad.Scale(inv)
+				opt.StepParam(p)
+				p.ZeroGrad()
+			}
+		}
+	}
+}
+
+// requireParamsEqual asserts bitwise equality of every weight.
+func requireParamsEqual[T tensor.Float](t *testing.T, split, fused *SequentialOf[T]) {
+	t.Helper()
+	sp, fp := split.Params(), fused.Params()
+	if len(sp) != len(fp) {
+		t.Fatalf("param count mismatch: %d vs %d", len(sp), len(fp))
+	}
+	for i := range sp {
+		sd, fd := sp[i].Data.Data(), fp[i].Data.Data()
+		for j := range sd {
+			if sd[j] != fd[j] {
+				t.Fatalf("param %s[%d]: split %v, fused %v (not bit-identical)",
+					sp[i].Name, j, sd[j], fd[j])
+			}
+		}
+	}
+}
+
+// TestFusedStepBitIdentityF32 checks that the fused backward+update path
+// produces bit-identical weights to the split path on the fast tier, across
+// optimizer configurations that exercise every branch of the fused kernel.
+func TestFusedStepBitIdentityF32(t *testing.T) {
+	for _, cfg := range []struct {
+		name            string
+		momentum, decay float64
+	}{
+		{"plain", 0, 0},
+		{"momentum", 0.9, 0},
+		{"momentum+decay", 0.9, 1e-4},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			split, fusedNet := fusedTestNet(7), fusedTestNet(7)
+			mkOpt := func() *SGD {
+				o := NewSGD(0.05)
+				o.Momentum = cfg.momentum
+				o.WeightDecay = cfg.decay
+				return o
+			}
+			runTrainSteps(t, split, mkOpt(), false, 5)
+			runTrainSteps(t, fusedNet, mkOpt(), true, 5)
+			requireParamsEqual(t, split, fusedNet)
+		})
+	}
+}
+
+// TestFusedStepBitIdentityF64 is the same check on the reference tier, with
+// the nets built by widening identically seeded fast-tier models (which also
+// exercises WidenLayer).
+func TestFusedStepBitIdentityF64(t *testing.T) {
+	widen := func() *SequentialOf[float64] {
+		w, err := WidenLayer(fusedTestNet(7))
+		if err != nil {
+			t.Fatalf("WidenLayer: %v", err)
+		}
+		return w.(*SequentialOf[float64])
+	}
+	split, fusedNet := widen(), widen()
+	mkOpt := func() *SGDOf[float64] {
+		o := NewSGDOf[float64](0.05)
+		o.Momentum = 0.9
+		o.WeightDecay = 1e-4
+		return o
+	}
+	runTrainSteps(t, split, mkOpt(), false, 5)
+	runTrainSteps(t, fusedNet, mkOpt(), true, 5)
+	requireParamsEqual(t, split, fusedNet)
+}
+
+// TestFusedGradClipFallback checks that a clipping optimizer routed through
+// the fused entry points still matches the split path (the kernels must fall
+// back — clipping needs a global norm).
+func TestFusedGradClipFallback(t *testing.T) {
+	split, fusedNet := fusedTestNet(3), fusedTestNet(3)
+	mkOpt := func() *SGD {
+		o := NewSGD(0.5) // large LR so clipping actually triggers
+		o.Momentum = 0.9
+		o.GradClip = 1e-3
+		return o
+	}
+	runTrainSteps(t, split, mkOpt(), false, 4)
+	runTrainSteps(t, fusedNet, mkOpt(), true, 4)
+	requireParamsEqual(t, split, fusedNet)
+}
+
+// benchStepNet is a head-sized model for the step benchmark (latent width 256
+// into 100 classes, matching the CIFAR-100 head shape).
+func benchStepNet(seed int64) *Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return NewSequential("bench", NewDense("fc", 256, 100, rng))
+}
+
+// BenchmarkFusedVsSplitStep measures one single-sample cross-entropy train
+// step (forward + backward + SGD update) through the split and fused paths.
+func BenchmarkFusedVsSplitStep(b *testing.B) {
+	for _, fused := range []bool{false, true} {
+		name := "split"
+		if fused {
+			name = "fused"
+		}
+		b.Run(name, func(b *testing.B) {
+			net := benchStepNet(1)
+			ws := tensor.NewWorkspace()
+			AttachWorkspace(net, ws)
+			opt := NewSGD(0.01)
+			opt.Momentum = 0.9
+			opt.SetWorkspace(ws)
+			x := tensor.New(256)
+			rng := rand.New(rand.NewSource(2))
+			for i := range x.Data() {
+				x.Data()[i] = float32(rng.NormFloat64())
+			}
+			grad := tensor.New(100)
+			params := net.Params()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				y := net.Forward(x, true)
+				CrossEntropyInto(y, i%100, grad)
+				if fused {
+					net.BackwardSGD(grad, opt, 1)
+				} else {
+					net.Backward(grad)
+					for _, p := range params {
+						opt.StepParam(p)
+						p.ZeroGrad()
+					}
+				}
+			}
+		})
+	}
+}

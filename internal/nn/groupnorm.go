@@ -7,7 +7,7 @@ import (
 	"chameleon/internal/tensor"
 )
 
-// GroupNorm2D normalises each sample over channel groups (Wu & He, 2018):
+// GroupNorm2DOf normalises each sample over channel groups (Wu & He, 2018):
 // for each of G groups of C/G channels, activations are standardised over
 // (C/G)·H·W positions, then scaled/shifted by per-channel γ/β.
 //
@@ -17,23 +17,27 @@ import (
 // backbone (frozen-statistics BN cannot train a 27-layer plain CNN; GN can).
 // The backward pass is exact, including the gradient through the
 // normalisation statistics.
-type GroupNorm2D struct {
+type GroupNorm2DOf[T tensor.Float] struct {
 	label  string
 	c, g   int
-	gamma  *Param
-	beta   *Param
-	eps    float32
-	xhat   *tensor.Tensor // cached normalised input (train mode), reused across steps
-	invStd []float32      // per group, cached in train mode
+	gamma  *ParamOf[T]
+	beta   *ParamOf[T]
+	eps    T
+	xhat   *tensor.Of[T] // cached normalised input (train mode), reused across steps
+	invStd []T           // per group, cached in train mode
 	// y and gx are reusable buffers: gx and the ghat scratch always (backward
 	// is train-only and single-owner), y on the train path always and on the
 	// eval path once a workspace is attached.
-	y, gx *tensor.Tensor
-	ghat  []float32
-	ws    *tensor.Workspace
+	y, gx *tensor.Of[T]
+	ghat  []T
+	ws    *tensor.WorkspaceOf[T]
 }
 
-// NewGroupNorm2D creates a GroupNorm layer. groups must divide channels.
+// GroupNorm2D is the fast-tier group norm.
+type GroupNorm2D = GroupNorm2DOf[float32]
+
+// NewGroupNorm2D creates a fast-tier GroupNorm layer. groups must divide
+// channels.
 func NewGroupNorm2D(label string, channels, groups int) *GroupNorm2D {
 	if groups <= 0 || channels%groups != 0 {
 		panic(fmt.Sprintf("nn: %s groups %d must divide channels %d", label, groups, channels))
@@ -47,13 +51,13 @@ func NewGroupNorm2D(label string, channels, groups int) *GroupNorm2D {
 }
 
 // Name implements Layer.
-func (gn *GroupNorm2D) Name() string { return gn.label }
+func (gn *GroupNorm2DOf[T]) Name() string { return gn.label }
 
 // SetWorkspace implements WorkspaceUser.
-func (gn *GroupNorm2D) SetWorkspace(ws *tensor.Workspace) { gn.ws = ws }
+func (gn *GroupNorm2DOf[T]) SetWorkspace(ws *tensor.WorkspaceOf[T]) { gn.ws = ws }
 
 // Forward implements Layer.
-func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (gn *GroupNorm2DOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	if x.NDim() != 3 || x.Dim(0) != gn.c {
 		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", gn.label, gn.c, x.Shape()))
 	}
@@ -61,7 +65,7 @@ func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	plane := h * w
 	perG := gn.c / gn.g
 	gSize := perG * plane
-	var y *tensor.Tensor
+	var y *tensor.Of[T]
 	if train || gn.ws != nil {
 		if gn.y == nil || !gn.y.SameShape(x) {
 			gn.ws.Put(gn.y)
@@ -69,16 +73,16 @@ func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		y = gn.y
 	} else {
-		y = tensor.New(gn.c, h, w)
+		y = tensor.NewOf[T](gn.c, h, w)
 	}
-	var xhat *tensor.Tensor
+	var xhat *tensor.Of[T]
 	if train {
 		if gn.xhat == nil || !gn.xhat.SameShape(x) {
-			gn.xhat = tensor.New(gn.c, h, w)
+			gn.xhat = tensor.NewOf[T](gn.c, h, w)
 		}
 		xhat = gn.xhat
 		if cap(gn.invStd) < gn.g {
-			gn.invStd = make([]float32, gn.g)
+			gn.invStd = make([]T, gn.g)
 		}
 		gn.invStd = gn.invStd[:gn.g]
 	}
@@ -95,7 +99,7 @@ func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		if variance < 0 {
 			variance = 0
 		}
-		inv := float32(1 / math.Sqrt(variance+float64(gn.eps)))
+		inv := T(1 / math.Sqrt(variance+float64(gn.eps)))
 		if train {
 			gn.invStd[gi] = inv
 		}
@@ -106,7 +110,7 @@ func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			in := x.Data()[c*plane : (c+1)*plane]
 			out := y.Data()[c*plane : (c+1)*plane]
 			for i, v := range in {
-				xh := (v - float32(mu)) * inv
+				xh := (v - T(mu)) * inv
 				if train {
 					xhat.Data()[c*plane+i] = xh
 				}
@@ -119,7 +123,7 @@ func (gn *GroupNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer with the exact GroupNorm gradient:
 // dx = invStd · (ĝ − mean(ĝ) − x̂·mean(ĝ·x̂)) per group, where ĝ = dy·γ.
-func (gn *GroupNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (gn *GroupNorm2DOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
 	if gn.xhat == nil {
 		panic("nn: GroupNorm2D.Backward before training Forward")
 	}
@@ -133,7 +137,7 @@ func (gn *GroupNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	gx := gn.gx
 	if cap(gn.ghat) < gSize {
-		gn.ghat = make([]float32, gSize)
+		gn.ghat = make([]T, gSize)
 	}
 	ghat := gn.ghat[:gSize]
 	for gi := 0; gi < gn.g; gi++ {
@@ -143,7 +147,7 @@ func (gn *GroupNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			gamma := gn.gamma.Data.Data()[c]
 			gIn := grad.Data()[c*plane : (c+1)*plane]
 			xh := gn.xhat.Data()[c*plane : (c+1)*plane]
-			var dg, db float32
+			var dg, db T
 			for i, gv := range gIn {
 				gh := gv * gamma
 				ghat[ci*plane+i] = gh
@@ -156,8 +160,8 @@ func (gn *GroupNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			gn.beta.Grad.Data()[c] += db
 		}
 		n := float64(gSize)
-		meanG := float32(sumG / n)
-		meanGX := float32(sumGX / n)
+		meanG := T(sumG / n)
+		meanGX := T(sumGX / n)
 		inv := gn.invStd[gi]
 		for ci := 0; ci < perG; ci++ {
 			c := gi*perG + ci
@@ -172,7 +176,7 @@ func (gn *GroupNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (gn *GroupNorm2D) Params() []*Param { return []*Param{gn.gamma, gn.beta} }
+func (gn *GroupNorm2DOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{gn.gamma, gn.beta} }
 
 // OutShape implements Layer.
-func (gn *GroupNorm2D) OutShape(in []int) []int { return in }
+func (gn *GroupNorm2DOf[T]) OutShape(in []int) []int { return in }

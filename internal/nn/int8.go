@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+
+	"chameleon/internal/quant"
+	"chameleon/internal/tensor"
+)
+
+// Int8Conv2D is the integer inference form of a Conv2D: weights quantised
+// once per output channel at construction (symmetric int8), activations
+// quantised per tensor at each call (affine uint8 — conv inputs are post-ReLU
+// and non-negative, so the affine scheme keeps the full 8-bit resolution),
+// and the im2col GEMM accumulated in int32 with the zero-point term folded
+// into precomputed weight row sums (see quant.Int8GEMMZPInto). It serves the
+// optional -backbone-int8 extraction path
+// and is eval-only — it has no gradients and never mutates itself, so like
+// the fp32 eval path a single instance may serve concurrent extraction
+// workers (every call is allocation-fresh).
+type Int8Conv2D struct {
+	label                     string
+	inC, outC, k, stride, pad int
+	wq                        []int8    // [outC, inC*k*k] quantised weights
+	wScale                    []float32 // per-output-channel weight scales
+	wRowSum                   []int32   // per-row code sums (zero-point term)
+	bias                      []float32
+}
+
+// NewInt8Conv2D quantises a fast-tier Conv2D's weights. The source layer is
+// read once and not retained.
+func NewInt8Conv2D(c *Conv2D) *Int8Conv2D {
+	w, b := c.Weights()
+	inC, outC, k, stride, pad := c.Geometry()
+	kc := inC * k * k
+	q := &Int8Conv2D{
+		label: c.Name() + ".int8",
+		inC:   inC, outC: outC, k: k, stride: stride, pad: pad,
+		wq:   make([]int8, outC*kc),
+		bias: append([]float32(nil), b.Data()...),
+	}
+	q.wScale = quant.QuantizeInt8Rows(q.wq, w.Data(), outC, kc)
+	q.wRowSum = quant.Int8RowSums(q.wq, outC, kc)
+	return q
+}
+
+// Name returns the source layer's name with an ".int8" suffix.
+func (c *Int8Conv2D) Name() string { return c.label }
+
+// Forward runs the integer convolution on a [inC,H,W] input, producing
+// [outC,OH,OW] float32 activations: y = (wq @ (colq−z)) · wScale·colScale + b.
+func (c *Int8Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.NDim() != 3 || x.Dim(0) != c.inC {
+		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", c.label, c.inC, x.Shape()))
+	}
+	h, w := x.Dim(1), x.Dim(2)
+	oh := tensor.ConvOut(h, c.k, c.stride, c.pad)
+	ow := tensor.ConvOut(w, c.k, c.stride, c.pad)
+	kc := c.inC * c.k * c.k
+	ohw := oh * ow
+
+	col := tensor.Im2Col(x, c.k, c.k, c.stride, c.pad) // [kc, ohw]
+	colq := make([]uint8, kc*ohw)
+	colScale, colZero := quant.QuantizeUint8Affine(colq, col.Data())
+
+	acc := make([]int32, c.outC*ohw)
+	quant.Int8GEMMZPInto(acc, c.wq, colq, c.wRowSum, c.outC, kc, ohw, colZero)
+
+	y := tensor.New(c.outC, oh, ow)
+	yd := y.Data()
+	for o := 0; o < c.outC; o++ {
+		s := c.wScale[o] * colScale
+		bo := c.bias[o]
+		accRow := acc[o*ohw : (o+1)*ohw]
+		row := yd[o*ohw : (o+1)*ohw]
+		for j, a := range accRow {
+			row[j] = float32(a)*s + bo
+		}
+	}
+	return y
+}

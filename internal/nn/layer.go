@@ -7,6 +7,11 @@
 // layers cache what their backward pass needs, and a Sequential chains them.
 // Batch processing is done one sample at a time internally (NCHW without the
 // N), matching the paper's online single-sample training regime.
+//
+// Every layer is generic over tensor.Float. The float32 instantiations carry
+// their historical names (Dense = DenseOf[float32], ...) and are the fast
+// tier all hot paths use; float64 instantiations form the reference tier,
+// built by widening a float32 net with WidenLayer (see convert.go).
 package nn
 
 import (
@@ -15,77 +20,89 @@ import (
 	"chameleon/internal/tensor"
 )
 
-// Param is a trainable parameter with its accumulated gradient.
-type Param struct {
+// ParamOf is a trainable parameter with its accumulated gradient.
+type ParamOf[T tensor.Float] struct {
 	Name string
-	Data *tensor.Tensor
-	Grad *tensor.Tensor
+	Data *tensor.Of[T]
+	Grad *tensor.Of[T]
 }
 
+// Param is the fast-tier parameter type.
+type Param = ParamOf[float32]
+
 // ZeroGrad clears the accumulated gradient.
-func (p *Param) ZeroGrad() { p.Grad.Zero() }
+func (p *ParamOf[T]) ZeroGrad() { p.Grad.Zero() }
 
 // Numel returns the number of scalar weights in the parameter.
-func (p *Param) Numel() int { return p.Data.Len() }
+func (p *ParamOf[T]) Numel() int { return p.Data.Len() }
 
-// Layer is one differentiable stage. Forward consumes a single-sample input
+// LayerOf is one differentiable stage. Forward consumes a single-sample input
 // and returns the output; Backward consumes the gradient of the loss with
 // respect to the output and returns the gradient with respect to the input,
 // accumulating parameter gradients along the way. Backward must be called
 // only after a Forward in train mode, whose intermediate values the layer
 // caches.
-type Layer interface {
+type LayerOf[T tensor.Float] interface {
 	// Name returns a short human-readable identifier.
 	Name() string
 	// Forward runs the layer. train selects training behaviour (caching of
 	// intermediates; dropout etc. if applicable).
-	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Forward(x *tensor.Of[T], train bool) *tensor.Of[T]
 	// Backward back-propagates grad through the most recent training Forward.
-	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Backward(grad *tensor.Of[T]) *tensor.Of[T]
 	// Params returns the trainable parameters (possibly none).
-	Params() []*Param
+	Params() []*ParamOf[T]
 	// OutShape returns the output shape for a given input shape.
 	OutShape(in []int) []int
 }
 
-// Frozen wraps a layer so its parameters are hidden from optimizers and its
+// Layer is the fast-tier layer interface.
+type Layer = LayerOf[float32]
+
+// FrozenOf wraps a layer so its parameters are hidden from optimizers and its
 // backward pass still propagates input gradients (needed when frozen layers
 // sit between trainable ones).
-type Frozen struct{ Inner Layer }
+type FrozenOf[T tensor.Float] struct{ Inner LayerOf[T] }
+
+// Frozen is the fast-tier frozen wrapper.
+type Frozen = FrozenOf[float32]
 
 // Name implements Layer.
-func (f *Frozen) Name() string { return "frozen(" + f.Inner.Name() + ")" }
+func (f *FrozenOf[T]) Name() string { return "frozen(" + f.Inner.Name() + ")" }
 
 // Forward implements Layer.
-func (f *Frozen) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (f *FrozenOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	return f.Inner.Forward(x, train)
 }
 
 // Backward implements Layer.
-func (f *Frozen) Backward(grad *tensor.Tensor) *tensor.Tensor { return f.Inner.Backward(grad) }
+func (f *FrozenOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] { return f.Inner.Backward(grad) }
 
 // Params implements Layer: a frozen layer exposes no trainable parameters.
-func (f *Frozen) Params() []*Param { return nil }
+func (f *FrozenOf[T]) Params() []*ParamOf[T] { return nil }
 
 // OutShape implements Layer.
-func (f *Frozen) OutShape(in []int) []int { return f.Inner.OutShape(in) }
+func (f *FrozenOf[T]) OutShape(in []int) []int { return f.Inner.OutShape(in) }
 
-// Sequential chains layers. It is itself a Layer.
-type Sequential struct {
+// SequentialOf chains layers. It is itself a layer.
+type SequentialOf[T tensor.Float] struct {
 	Label  string
-	Layers []Layer
+	Layers []LayerOf[T]
 }
 
-// NewSequential builds a Sequential with the given label and layers.
+// Sequential is the fast-tier layer chain.
+type Sequential = SequentialOf[float32]
+
+// NewSequential builds a fast-tier Sequential with the given label and layers.
 func NewSequential(label string, layers ...Layer) *Sequential {
 	return &Sequential{Label: label, Layers: layers}
 }
 
 // Name implements Layer.
-func (s *Sequential) Name() string { return s.Label }
+func (s *SequentialOf[T]) Name() string { return s.Label }
 
 // Forward implements Layer.
-func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (s *SequentialOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	for _, l := range s.Layers {
 		x = l.Forward(x, train)
 	}
@@ -93,7 +110,7 @@ func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (s *SequentialOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
 	for i := len(s.Layers) - 1; i >= 0; i-- {
 		grad = s.Layers[i].Backward(grad)
 	}
@@ -101,8 +118,8 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (s *Sequential) Params() []*Param {
-	var ps []*Param
+func (s *SequentialOf[T]) Params() []*ParamOf[T] {
+	var ps []*ParamOf[T]
 	for _, l := range s.Layers {
 		ps = append(ps, l.Params()...)
 	}
@@ -110,7 +127,7 @@ func (s *Sequential) Params() []*Param {
 }
 
 // OutShape implements Layer.
-func (s *Sequential) OutShape(in []int) []int {
+func (s *SequentialOf[T]) OutShape(in []int) []int {
 	for _, l := range s.Layers {
 		in = l.OutShape(in)
 	}
@@ -118,10 +135,13 @@ func (s *Sequential) OutShape(in []int) []int {
 }
 
 // Append adds layers to the end of the chain.
-func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
+func (s *SequentialOf[T]) Append(layers ...LayerOf[T]) { s.Layers = append(s.Layers, layers...) }
 
 // NumParams returns the total scalar parameter count.
-func NumParams(l Layer) int {
+func NumParams(l Layer) int { return NumParamsOf(l) }
+
+// NumParamsOf is NumParams for any precision tier.
+func NumParamsOf[T tensor.Float](l LayerOf[T]) int {
 	n := 0
 	for _, p := range l.Params() {
 		n += p.Numel()
@@ -130,7 +150,10 @@ func NumParams(l Layer) int {
 }
 
 // ZeroGrads clears all parameter gradients of a layer tree.
-func ZeroGrads(l Layer) {
+func ZeroGrads(l Layer) { ZeroGradsOf(l) }
+
+// ZeroGradsOf is ZeroGrads for any precision tier.
+func ZeroGradsOf[T tensor.Float](l LayerOf[T]) {
 	for _, p := range l.Params() {
 		p.ZeroGrad()
 	}
@@ -138,7 +161,10 @@ func ZeroGrads(l Layer) {
 
 // CopyParams copies parameter data from src to dst. The two layer trees must
 // have identical parameter structure.
-func CopyParams(dst, src Layer) error {
+func CopyParams(dst, src Layer) error { return CopyParamsOf(dst, src) }
+
+// CopyParamsOf is CopyParams for any precision tier.
+func CopyParamsOf[T tensor.Float](dst, src LayerOf[T]) error {
 	dp, sp := dst.Params(), src.Params()
 	if len(dp) != len(sp) {
 		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(dp), len(sp))

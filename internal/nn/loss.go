@@ -10,8 +10,8 @@ import (
 // CrossEntropy returns the negative log-likelihood of label under
 // softmax(logits) and the gradient of the loss with respect to the logits
 // (softmax − onehot).
-func CrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.Tensor) {
-	grad = tensor.New(logits.Len())
+func CrossEntropy[T tensor.Float](logits *tensor.Of[T], label int) (loss float64, grad *tensor.Of[T]) {
+	grad = tensor.NewOf[T](logits.Len())
 	loss = CrossEntropyInto(logits, label, grad)
 	return loss, grad
 }
@@ -20,7 +20,7 @@ func CrossEntropy(logits *tensor.Tensor, label int) (loss float64, grad *tensor.
 // tensor (overwritten), so batched training loops can reuse one scratch
 // gradient instead of allocating per sample. grad must have logits.Len()
 // elements.
-func CrossEntropyInto(logits *tensor.Tensor, label int, grad *tensor.Tensor) (loss float64) {
+func CrossEntropyInto[T tensor.Float](logits *tensor.Of[T], label int, grad *tensor.Of[T]) (loss float64) {
 	if logits.NDim() != 1 {
 		panic(fmt.Sprintf("nn: CrossEntropy expects 1-D logits, got %v", logits.Shape()))
 	}
@@ -36,7 +36,7 @@ func CrossEntropyInto(logits *tensor.Tensor, label int, grad *tensor.Tensor) (lo
 	gd := grad.Data()
 	loss = -float64(gd[label])
 	for i, v := range gd {
-		gd[i] = float32(math.Exp(float64(v)))
+		gd[i] = T(math.Exp(float64(v)))
 	}
 	gd[label] -= 1
 	return loss
@@ -48,9 +48,9 @@ func CrossEntropyInto(logits *tensor.Tensor, label int, grad *tensor.Tensor) (lo
 // its exact gradient with respect to the student logits, (q−p)/T. Callers
 // that want Hinton's conventional T² loss scaling (so soft and hard gradients
 // stay commensurate as T grows) should multiply the gradient by T².
-func SoftCrossEntropy(student, teacher *tensor.Tensor, temperature float64) (loss float64, grad *tensor.Tensor) {
-	grad = tensor.New(student.Len())
-	loss = SoftCrossEntropyInto(student, teacher, temperature, grad, tensor.New(teacher.Len()))
+func SoftCrossEntropy[T tensor.Float](student, teacher *tensor.Of[T], temperature float64) (loss float64, grad *tensor.Of[T]) {
+	grad = tensor.NewOf[T](student.Len())
+	loss = SoftCrossEntropyInto(student, teacher, temperature, grad, tensor.NewOf[T](teacher.Len()))
 	return loss, grad
 }
 
@@ -58,7 +58,7 @@ func SoftCrossEntropy(student, teacher *tensor.Tensor, temperature float64) (los
 // caller-owned tensor (overwritten). scratch must match teacher in size and
 // is clobbered with the softened teacher distribution; reusing both buffers
 // makes the distillation step alloc-free.
-func SoftCrossEntropyInto(student, teacher *tensor.Tensor, temperature float64, grad, scratch *tensor.Tensor) (loss float64) {
+func SoftCrossEntropyInto[T tensor.Float](student, teacher *tensor.Of[T], temperature float64, grad, scratch *tensor.Of[T]) (loss float64) {
 	if student.Len() != teacher.Len() {
 		panic(fmt.Sprintf("nn: SoftCrossEntropy size mismatch %v vs %v", student.Shape(), teacher.Shape()))
 	}
@@ -69,7 +69,7 @@ func SoftCrossEntropyInto(student, teacher *tensor.Tensor, temperature float64, 
 	if temperature <= 0 {
 		temperature = 1
 	}
-	invT := float32(1 / temperature)
+	invT := T(1 / temperature)
 	gd, pd := grad.Data(), scratch.Data()
 	for i := 0; i < n; i++ {
 		gd[i] = student.Data()[i] * invT
@@ -80,22 +80,22 @@ func SoftCrossEntropyInto(student, teacher *tensor.Tensor, temperature float64, 
 	for i := 0; i < n; i++ {
 		logQ := gd[i]
 		loss -= float64(pd[i]) * float64(logQ)
-		gd[i] = (float32(math.Exp(float64(logQ))) - pd[i]) * invT
+		gd[i] = (T(math.Exp(float64(logQ))) - pd[i]) * invT
 	}
 	return loss
 }
 
 // MSELogits is the Dark Experience Replay consistency loss: mean squared
 // error between current logits and stored logits, with gradient.
-func MSELogits(logits, target *tensor.Tensor) (loss float64, grad *tensor.Tensor) {
-	grad = tensor.New(logits.Len())
+func MSELogits[T tensor.Float](logits, target *tensor.Of[T]) (loss float64, grad *tensor.Of[T]) {
+	grad = tensor.NewOf[T](logits.Len())
 	loss = MSELogitsInto(logits, target, grad)
 	return loss, grad
 }
 
 // MSELogitsInto is MSELogits writing the gradient into a caller-owned tensor
 // (overwritten), for alloc-free replay steps.
-func MSELogitsInto(logits, target, grad *tensor.Tensor) (loss float64) {
+func MSELogitsInto[T tensor.Float](logits, target, grad *tensor.Of[T]) (loss float64) {
 	if logits.Len() != target.Len() {
 		panic(fmt.Sprintf("nn: MSELogits size mismatch %v vs %v", logits.Shape(), target.Shape()))
 	}
@@ -107,7 +107,7 @@ func MSELogitsInto(logits, target, grad *tensor.Tensor) (loss float64) {
 	for i := 0; i < n; i++ {
 		d := logits.Data()[i] - target.Data()[i]
 		loss += float64(d) * float64(d)
-		gd[i] = 2 * d / float32(n)
+		gd[i] = 2 * d / T(n)
 	}
 	return loss / float64(n)
 }

@@ -7,29 +7,32 @@ import (
 	"chameleon/internal/tensor"
 )
 
-// BatchNorm2D is per-channel normalisation y = γ·(x−μ)/√(σ²+ε) + β on
+// BatchNorm2DOf is per-channel normalisation y = γ·(x−μ)/√(σ²+ε) + β on
 // [C,H,W] inputs. In this framework it always runs in *inference* form
 // against fixed running statistics — mirroring the paper's setup, where the
 // ImageNet-pretrained MobileNetV1 backbone keeps its BN statistics frozen
 // during on-device single-pass training. γ/β are still Params so trailing
 // trainable blocks may fine-tune them; the backward pass treats μ/σ² as
 // constants (the standard "frozen BN" gradient).
-type BatchNorm2D struct {
+type BatchNorm2DOf[T tensor.Float] struct {
 	label      string
 	c          int
-	gamma      *Param
-	beta       *Param
-	mean, vari *tensor.Tensor
-	eps        float32
-	xhat       *tensor.Tensor // cached normalised input (train mode), reused across steps
+	gamma      *ParamOf[T]
+	beta       *ParamOf[T]
+	mean, vari *tensor.Of[T]
+	eps        T
+	xhat       *tensor.Of[T] // cached normalised input (train mode), reused across steps
 	// y and gx are reusable buffers: gx always (backward is train-only), y on
 	// the train path always and on the eval path once a workspace is attached.
-	y, gx *tensor.Tensor
-	ws    *tensor.Workspace
+	y, gx *tensor.Of[T]
+	ws    *tensor.WorkspaceOf[T]
 }
 
-// NewBatchNorm2D creates a frozen-statistics batch norm with μ=0, σ²=1,
-// γ=1, β=0. Use SetStats to install pretrained running statistics.
+// BatchNorm2D is the fast-tier frozen-statistics batch norm.
+type BatchNorm2D = BatchNorm2DOf[float32]
+
+// NewBatchNorm2D creates a fast-tier frozen-statistics batch norm with μ=0,
+// σ²=1, γ=1, β=0. Use SetStats to install pretrained running statistics.
 func NewBatchNorm2D(label string, channels int) *BatchNorm2D {
 	return &BatchNorm2D{
 		label: label,
@@ -43,7 +46,7 @@ func NewBatchNorm2D(label string, channels int) *BatchNorm2D {
 }
 
 // SetStats installs running mean and variance (copied).
-func (b *BatchNorm2D) SetStats(mean, variance *tensor.Tensor) {
+func (b *BatchNorm2DOf[T]) SetStats(mean, variance *tensor.Of[T]) {
 	if mean.Len() != b.c || variance.Len() != b.c {
 		panic(fmt.Sprintf("nn: %s SetStats wants %d channels", b.label, b.c))
 	}
@@ -53,21 +56,21 @@ func (b *BatchNorm2D) SetStats(mean, variance *tensor.Tensor) {
 
 // Stats returns the current running mean and variance (live tensors; callers
 // must treat them as read-only).
-func (b *BatchNorm2D) Stats() (mean, variance *tensor.Tensor) { return b.mean, b.vari }
+func (b *BatchNorm2DOf[T]) Stats() (mean, variance *tensor.Of[T]) { return b.mean, b.vari }
 
 // Name implements Layer.
-func (b *BatchNorm2D) Name() string { return b.label }
+func (b *BatchNorm2DOf[T]) Name() string { return b.label }
 
 // SetWorkspace implements WorkspaceUser.
-func (b *BatchNorm2D) SetWorkspace(ws *tensor.Workspace) { b.ws = ws }
+func (b *BatchNorm2DOf[T]) SetWorkspace(ws *tensor.WorkspaceOf[T]) { b.ws = ws }
 
 // Forward implements Layer.
-func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (b *BatchNorm2DOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	if x.NDim() != 3 || x.Dim(0) != b.c {
 		panic(fmt.Sprintf("nn: %s expects [%d,H,W], got %v", b.label, b.c, x.Shape()))
 	}
 	h, w := x.Dim(1), x.Dim(2)
-	var y *tensor.Tensor
+	var y *tensor.Of[T]
 	if train || b.ws != nil {
 		if b.y == nil || !b.y.SameShape(x) {
 			b.ws.Put(b.y)
@@ -75,17 +78,17 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		y = b.y
 	} else {
-		y = tensor.New(b.c, h, w)
+		y = tensor.NewOf[T](b.c, h, w)
 	}
-	var xhat *tensor.Tensor
+	var xhat *tensor.Of[T]
 	if train {
 		if b.xhat == nil || !b.xhat.SameShape(x) {
-			b.xhat = tensor.New(b.c, h, w)
+			b.xhat = tensor.NewOf[T](b.c, h, w)
 		}
 		xhat = b.xhat
 	}
 	for c := 0; c < b.c; c++ {
-		inv := float32(1 / math.Sqrt(float64(b.vari.Data()[c]+b.eps)))
+		inv := T(1 / math.Sqrt(float64(b.vari.Data()[c]+b.eps)))
 		mu := b.mean.Data()[c]
 		g := b.gamma.Data.Data()[c]
 		bt := b.beta.Data.Data()[c]
@@ -103,7 +106,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer (frozen-statistics gradient).
-func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (b *BatchNorm2DOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
 	if b.xhat == nil {
 		panic("nn: BatchNorm2D.Backward before training Forward")
 	}
@@ -114,9 +117,9 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	gx := b.gx
 	for c := 0; c < b.c; c++ {
-		inv := float32(1 / math.Sqrt(float64(b.vari.Data()[c]+b.eps)))
+		inv := T(1 / math.Sqrt(float64(b.vari.Data()[c]+b.eps)))
 		g := b.gamma.Data.Data()[c]
-		var dg, db float32
+		var dg, db T
 		gIn := grad.Data()[c*h*w : (c+1)*h*w]
 		xh := b.xhat.Data()[c*h*w : (c+1)*h*w]
 		out := gx.Data()[c*h*w : (c+1)*h*w]
@@ -132,31 +135,34 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (b *BatchNorm2D) Params() []*Param { return []*Param{b.gamma, b.beta} }
+func (b *BatchNorm2DOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{b.gamma, b.beta} }
 
 // OutShape implements Layer.
-func (b *BatchNorm2D) OutShape(in []int) []int { return in }
+func (b *BatchNorm2DOf[T]) OutShape(in []int) []int { return in }
 
-// GlobalAvgPool2D averages [C,H,W] to [C].
-type GlobalAvgPool2D struct {
+// GlobalAvgPool2DOf averages [C,H,W] to [C].
+type GlobalAvgPool2DOf[T tensor.Float] struct {
 	inH, inW int
 	// y and gx are reusable buffers: gx always (backward is train-only), y on
 	// the train path always and on the eval path once a workspace is attached.
-	y, gx *tensor.Tensor
-	ws    *tensor.Workspace
+	y, gx *tensor.Of[T]
+	ws    *tensor.WorkspaceOf[T]
 }
 
-// NewGlobalAvgPool2D creates the pooling layer.
+// GlobalAvgPool2D is the fast-tier pooling layer.
+type GlobalAvgPool2D = GlobalAvgPool2DOf[float32]
+
+// NewGlobalAvgPool2D creates the fast-tier pooling layer.
 func NewGlobalAvgPool2D() *GlobalAvgPool2D { return &GlobalAvgPool2D{} }
 
 // Name implements Layer.
-func (g *GlobalAvgPool2D) Name() string { return "gap" }
+func (g *GlobalAvgPool2DOf[T]) Name() string { return "gap" }
 
 // SetWorkspace implements WorkspaceUser.
-func (g *GlobalAvgPool2D) SetWorkspace(ws *tensor.Workspace) { g.ws = ws }
+func (g *GlobalAvgPool2DOf[T]) SetWorkspace(ws *tensor.WorkspaceOf[T]) { g.ws = ws }
 
 // Forward implements Layer.
-func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (g *GlobalAvgPool2DOf[T]) Forward(x *tensor.Of[T], train bool) *tensor.Of[T] {
 	if train {
 		g.inH, g.inW = x.Dim(1), x.Dim(2)
 	}
@@ -172,14 +178,14 @@ func (g *GlobalAvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
-func (g *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (g *GlobalAvgPool2DOf[T]) Backward(grad *tensor.Of[T]) *tensor.Of[T] {
 	c := grad.Len()
 	if g.gx == nil || g.gx.Len() != c*g.inH*g.inW {
 		g.ws.Put(g.gx)
 		g.gx = g.ws.Get(c, g.inH, g.inW)
 	}
 	out := g.gx
-	inv := 1 / float32(g.inH*g.inW)
+	inv := 1 / T(g.inH*g.inW)
 	for ci := 0; ci < c; ci++ {
 		v := grad.Data()[ci] * inv
 		plane := out.Data()[ci*g.inH*g.inW : (ci+1)*g.inH*g.inW]
@@ -191,7 +197,7 @@ func (g *GlobalAvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+func (g *GlobalAvgPool2DOf[T]) Params() []*ParamOf[T] { return nil }
 
 // OutShape implements Layer.
-func (g *GlobalAvgPool2D) OutShape(in []int) []int { return []int{in[0]} }
+func (g *GlobalAvgPool2DOf[T]) OutShape(in []int) []int { return []int{in[0]} }

@@ -6,9 +6,9 @@ import (
 	"chameleon/internal/tensor"
 )
 
-// SGD is stochastic gradient descent with classical momentum and decoupled
+// SGDOf is stochastic gradient descent with classical momentum and decoupled
 // L2 weight decay, the optimizer the paper trains with (lr=0.001).
-type SGD struct {
+type SGDOf[T tensor.Float] struct {
 	LR          float64
 	Momentum    float64
 	WeightDecay float64
@@ -17,38 +17,68 @@ type SGD struct {
 	// collapse to gradient explosion; clipping is exposed so that behaviour
 	// can be studied.
 	GradClip float64
+	// Fused opts the optimizer into the single-pass fused update kernels
+	// (FusedStepParam / layer BackwardSGD): scale, weight decay, momentum,
+	// weight update and gradient zeroing happen in one sweep per parameter,
+	// bit-identical to the split Scale+StepParam+ZeroGrad sequence. NewSGD
+	// enables it; zero-value SGD literals keep the split path. GradClip > 0
+	// always falls back to the split path (clipping needs a global norm).
+	Fused bool
 
-	velocity map[*Param]*tensor.Tensor
-	ws       *tensor.Workspace
+	velocity map[*ParamOf[T]]*tensor.Of[T]
+	ws       *tensor.WorkspaceOf[T]
 }
+
+// SGD is the fast-tier optimizer.
+type SGD = SGDOf[float32]
 
 // SetWorkspace implements WorkspaceUser: clip/decay scratch is borrowed from
 // ws instead of cloning the gradient on every step.
-func (s *SGD) SetWorkspace(ws *tensor.Workspace) { s.ws = ws }
+func (s *SGDOf[T]) SetWorkspace(ws *tensor.WorkspaceOf[T]) { s.ws = ws }
 
-// NewSGD creates an optimizer with the given learning rate and no momentum.
-func NewSGD(lr float64) *SGD { return &SGD{LR: lr, velocity: map[*Param]*tensor.Tensor{}} }
+// NewSGD creates a fast-tier optimizer with the given learning rate, no
+// momentum, and the fused update kernels enabled.
+func NewSGD(lr float64) *SGD { return NewSGDOf[float32](lr) }
+
+// NewSGDOf creates an optimizer for either precision tier with the given
+// learning rate, no momentum, and the fused update kernels enabled.
+func NewSGDOf[T tensor.Float](lr float64) *SGDOf[T] {
+	return &SGDOf[T]{LR: lr, Fused: true, velocity: map[*ParamOf[T]]*tensor.Of[T]{}}
+}
 
 // Step applies one update to every parameter of the layer tree using the
 // gradients accumulated since the last ZeroGrads, then leaves the gradients
 // untouched (call ZeroGrads before the next accumulation).
-func (s *SGD) Step(model Layer) {
+func (s *SGDOf[T]) Step(model LayerOf[T]) {
 	for _, p := range model.Params() {
 		s.StepParam(p)
 	}
 }
 
+// velocityFor returns the momentum buffer for p, creating it on first use.
+func (s *SGDOf[T]) velocityFor(p *ParamOf[T]) *tensor.Of[T] {
+	if s.velocity == nil {
+		s.velocity = map[*ParamOf[T]]*tensor.Of[T]{}
+	}
+	v, ok := s.velocity[p]
+	if !ok {
+		v = tensor.NewOf[T](p.Data.Shape()...)
+		s.velocity[p] = v
+	}
+	return v
+}
+
 // StepParam updates a single parameter. Clip and weight decay share one
 // scratch tensor borrowed from the workspace (a fresh clone when none is
 // attached), returned after the final in-place update.
-func (s *SGD) StepParam(p *Param) {
+func (s *SGDOf[T]) StepParam(p *ParamOf[T]) {
 	g := p.Grad
-	var scratch *tensor.Tensor
+	var scratch *tensor.Of[T]
 	if s.GradClip > 0 {
 		if n := g.Norm2(); n > s.GradClip {
 			scratch = s.ws.Get(g.Shape()...)
 			scratch.CopyFrom(g)
-			scratch.Scale(float32(s.GradClip / n))
+			scratch.Scale(T(s.GradClip / n))
 			g = scratch
 		}
 	}
@@ -59,22 +89,15 @@ func (s *SGD) StepParam(p *Param) {
 			scratch.CopyFrom(g)
 			g = scratch
 		}
-		g.AddScaled(float32(s.WeightDecay), p.Data)
+		g.AddScaled(T(s.WeightDecay), p.Data)
 	}
 	if s.Momentum != 0 {
-		if s.velocity == nil {
-			s.velocity = map[*Param]*tensor.Tensor{}
-		}
-		v, ok := s.velocity[p]
-		if !ok {
-			v = tensor.New(p.Data.Shape()...)
-			s.velocity[p] = v
-		}
-		v.Scale(float32(s.Momentum))
+		v := s.velocityFor(p)
+		v.Scale(T(s.Momentum))
 		v.AddScaled(1, g)
 		g = v
 	}
-	p.Data.AddScaled(float32(-s.LR), g)
+	p.Data.AddScaled(T(-s.LR), g)
 	s.ws.Put(scratch)
 }
 
@@ -82,17 +105,17 @@ func (s *SGD) StepParam(p *Param) {
 // (zero tensors where a parameter has not been stepped yet). Returns nil when
 // the optimizer holds no momentum state at all — the velocity map is keyed by
 // parameter pointer, so checkpoints must serialize it positionally.
-func (s *SGD) VelocitySnapshot(model Layer) []*tensor.Tensor {
+func (s *SGDOf[T]) VelocitySnapshot(model LayerOf[T]) []*tensor.Of[T] {
 	if len(s.velocity) == 0 {
 		return nil
 	}
 	ps := model.Params()
-	out := make([]*tensor.Tensor, len(ps))
+	out := make([]*tensor.Of[T], len(ps))
 	for i, p := range ps {
 		if v, ok := s.velocity[p]; ok {
 			out[i] = v.Clone()
 		} else {
-			out[i] = tensor.New(p.Data.Shape()...)
+			out[i] = tensor.NewOf[T](p.Data.Shape()...)
 		}
 	}
 	return out
@@ -101,9 +124,9 @@ func (s *SGD) VelocitySnapshot(model Layer) []*tensor.Tensor {
 // SetVelocitySnapshot restores momentum state captured by VelocitySnapshot
 // against the same architecture. A nil snapshot clears all momentum; shapes
 // are validated before any state is touched.
-func (s *SGD) SetVelocitySnapshot(model Layer, vs []*tensor.Tensor) error {
+func (s *SGDOf[T]) SetVelocitySnapshot(model LayerOf[T], vs []*tensor.Of[T]) error {
 	if vs == nil {
-		s.velocity = map[*Param]*tensor.Tensor{}
+		s.velocity = map[*ParamOf[T]]*tensor.Of[T]{}
 		return nil
 	}
 	ps := model.Params()
@@ -115,7 +138,7 @@ func (s *SGD) SetVelocitySnapshot(model Layer, vs []*tensor.Tensor) error {
 			return fmt.Errorf("nn: velocity snapshot %d does not match param shape %v", i, p.Data.Shape())
 		}
 	}
-	s.velocity = make(map[*Param]*tensor.Tensor, len(ps))
+	s.velocity = make(map[*ParamOf[T]]*tensor.Of[T], len(ps))
 	for i, p := range ps {
 		s.velocity[p] = vs[i].Clone()
 	}

@@ -29,13 +29,13 @@ func channelGrain(perChannel int) int {
 
 // Im2Col lowers a single-image [C,H,W] tensor into a [C*KH*KW, OH*OW] matrix
 // so a convolution becomes a GEMM with the [OC, C*KH*KW] weight matrix.
-func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+func Im2Col[T Float](x *Of[T], kh, kw, stride, pad int) *Of[T] {
 	if len(x.shape) != 3 {
 		panic(fmt.Sprintf("tensor: Im2Col on shape %v", x.shape))
 	}
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
-	out := New(c*kh*kw, oh*ow)
+	out := NewOf[T](c*kh*kw, oh*ow)
 	im2colSharded(out.data, x.data, c, h, w, kh, kw, oh, ow, stride, pad)
 	return out
 }
@@ -43,7 +43,7 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 // Im2ColInto is Im2Col writing into a caller-owned [C*KH*KW, OH*OW] matrix
 // (overwritten, including the zero padding border), so convolution layers can
 // reuse one lowering buffer across steps.
-func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
+func Im2ColInto[T Float](dst, x *Of[T], kh, kw, stride, pad int) {
 	if len(x.shape) != 3 {
 		panic(fmt.Sprintf("tensor: Im2ColInto on shape %v", x.shape))
 	}
@@ -58,7 +58,7 @@ func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
 	im2colSharded(dst.data, x.data, c, h, w, kh, kw, oh, ow, stride, pad)
 }
 
-func im2colSharded(col, data []float32, c, h, w, kh, kw, oh, ow, stride, pad int) {
+func im2colSharded[T Float](col, data []T, c, h, w, kh, kw, oh, ow, stride, pad int) {
 	// Small lowerings skip parallel.For entirely: even constructing the
 	// escaping closure costs a heap allocation the steady-state loops avoid.
 	if c*kh*kw*oh*ow < minParallelMACs || parallel.Workers() <= 1 {
@@ -72,7 +72,7 @@ func im2colSharded(col, data []float32, c, h, w, kh, kw, oh, ow, stride, pad int
 
 // im2colChannels lowers channels [lo,hi): each channel owns rows
 // [ci*kh*kw, (ci+1)*kh*kw) of the column matrix, so shards are disjoint.
-func im2colChannels(col, data []float32, lo, hi, h, w, kh, kw, oh, ow, stride, pad int) {
+func im2colChannels[T Float](col, data []T, lo, hi, h, w, kh, kw, oh, ow, stride, pad int) {
 	for ci := lo; ci < hi; ci++ {
 		plane := data[ci*h*w : (ci+1)*h*w]
 		for ki := 0; ki < kh; ki++ {
@@ -100,8 +100,8 @@ func im2colChannels(col, data []float32, lo, hi, h, w, kh, kw, oh, ow, stride, p
 // Col2Im is the adjoint of Im2Col: it scatters a [C*KH*KW, OH*OW] column
 // matrix back into a [C,H,W] image, accumulating overlapping contributions.
 // It is the building block of convolution input gradients.
-func Col2Im(col *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
-	out := New(c, h, w)
+func Col2Im[T Float](col *Of[T], c, h, w, kh, kw, stride, pad int) *Of[T] {
+	out := NewOf[T](c, h, w)
 	Col2ImInto(out, col, kh, kw, stride, pad)
 	return out
 }
@@ -109,7 +109,7 @@ func Col2Im(col *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 // Col2ImInto is Col2Im scattering into a caller-owned [C,H,W] tensor. dst is
 // zeroed first (the scatter accumulates), so one gradient buffer can be
 // reused across backward passes.
-func Col2ImInto(dst, col *Tensor, kh, kw, stride, pad int) {
+func Col2ImInto[T Float](dst, col *Of[T], kh, kw, stride, pad int) {
 	if len(dst.shape) != 3 {
 		panic(fmt.Sprintf("tensor: Col2ImInto dst shape %v", dst.shape))
 	}
@@ -133,7 +133,7 @@ func Col2ImInto(dst, col *Tensor, kh, kw, stride, pad int) {
 }
 
 // col2imChannels scatters channels [lo,hi) back into the image planes.
-func col2imChannels(out, col []float32, lo, hi, h, w, kh, kw, oh, ow, stride, pad int) {
+func col2imChannels[T Float](out, col []T, lo, hi, h, w, kh, kw, oh, ow, stride, pad int) {
 	for ci := lo; ci < hi; ci++ {
 		plane := out[ci*h*w : (ci+1)*h*w]
 		for ki := 0; ki < kh; ki++ {
@@ -161,21 +161,21 @@ func col2imChannels(out, col []float32, lo, hi, h, w, kh, kw, oh, ow, stride, pa
 // DepthwiseConv applies a per-channel [C,KH,KW] filter bank to a [C,H,W]
 // input with the given stride/padding, returning [C,OH,OW]. bias may be nil
 // or a [C] tensor.
-func DepthwiseConv(x, w, bias *Tensor, stride, pad int) *Tensor {
+func DepthwiseConv[T Float](x, w, bias *Of[T], stride, pad int) *Of[T] {
 	if len(x.shape) != 3 || len(w.shape) != 3 || x.shape[0] != w.shape[0] {
 		panic(fmt.Sprintf("tensor: DepthwiseConv shapes x=%v w=%v", x.shape, w.shape))
 	}
 	c, h, wd := x.shape[0], x.shape[1], x.shape[2]
 	kh, kw := w.shape[1], w.shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
-	out := New(c, oh, ow)
+	out := NewOf[T](c, oh, ow)
 	DepthwiseConvInto(out, x, w, bias, stride, pad)
 	return out
 }
 
 // DepthwiseConvInto is DepthwiseConv writing into a caller-owned [C,OH,OW]
 // tensor (every element assigned, no zeroing needed).
-func DepthwiseConvInto(dst, x, w, bias *Tensor, stride, pad int) {
+func DepthwiseConvInto[T Float](dst, x, w, bias *Of[T], stride, pad int) {
 	if len(x.shape) != 3 || len(w.shape) != 3 || x.shape[0] != w.shape[0] {
 		panic(fmt.Sprintf("tensor: DepthwiseConvInto shapes x=%v w=%v", x.shape, w.shape))
 	}
@@ -196,12 +196,12 @@ func DepthwiseConvInto(dst, x, w, bias *Tensor, stride, pad int) {
 
 // depthwiseChannels convolves channels [lo,hi); each channel reads and writes
 // only its own planes, so shards are disjoint.
-func depthwiseChannels(out, x, w, bias *Tensor, lo, hi, h, wd, kh, kw, oh, ow, stride, pad int) {
+func depthwiseChannels[T Float](out, x, w, bias *Of[T], lo, hi, h, wd, kh, kw, oh, ow, stride, pad int) {
 	for ci := lo; ci < hi; ci++ {
 		in := x.data[ci*h*wd : (ci+1)*h*wd]
 		ker := w.data[ci*kh*kw : (ci+1)*kh*kw]
 		dst := out.data[ci*oh*ow : (ci+1)*oh*ow]
-		var b float32
+		var b T
 		if bias != nil {
 			b = bias.data[ci]
 		}
@@ -231,12 +231,12 @@ func depthwiseChannels(out, x, w, bias *Tensor, lo, hi, h, wd, kh, kw, oh, ow, s
 // given the upstream gradient gy [C,OH,OW]. Returned gradients match the
 // shapes of x and w. The bias gradient (per-channel sum of gy) is returned
 // last.
-func DepthwiseConvGrads(x, w, gy *Tensor, stride, pad int) (gx, gw, gb *Tensor) {
+func DepthwiseConvGrads[T Float](x, w, gy *Of[T], stride, pad int) (gx, gw, gb *Of[T]) {
 	c, h, wd := x.shape[0], x.shape[1], x.shape[2]
 	kh, kw := w.shape[1], w.shape[2]
-	gx = New(c, h, wd)
-	gw = New(c, kh, kw)
-	gb = New(c)
+	gx = NewOf[T](c, h, wd)
+	gw = NewOf[T](c, kh, kw)
+	gb = NewOf[T](c)
 	DepthwiseConvGradsInto(gx, gw, gb, x, w, gy, stride, pad)
 	return gx, gw, gb
 }
@@ -244,7 +244,7 @@ func DepthwiseConvGrads(x, w, gy *Tensor, stride, pad int) (gx, gw, gb *Tensor) 
 // DepthwiseConvGradsInto is DepthwiseConvGrads accumulating into caller-owned
 // gradient tensors. gx and gw are zeroed first (the kernel accumulates into
 // them); gb is fully assigned. Shapes must match x, w and [C].
-func DepthwiseConvGradsInto(gx, gw, gb, x, w, gy *Tensor, stride, pad int) {
+func DepthwiseConvGradsInto[T Float](gx, gw, gb, x, w, gy *Of[T], stride, pad int) {
 	c, h, wd := x.shape[0], x.shape[1], x.shape[2]
 	kh, kw := w.shape[1], w.shape[2]
 	oh, ow := gy.shape[1], gy.shape[2]
@@ -265,14 +265,14 @@ func DepthwiseConvGradsInto(gx, gw, gb, x, w, gy *Tensor, stride, pad int) {
 }
 
 // depthwiseGradChannels computes the depthwise gradients for channels [lo,hi).
-func depthwiseGradChannels(gx, gw, gb, x, w, gy *Tensor, lo, hi, h, wd, kh, kw, oh, ow, stride, pad int) {
+func depthwiseGradChannels[T Float](gx, gw, gb, x, w, gy *Of[T], lo, hi, h, wd, kh, kw, oh, ow, stride, pad int) {
 	for ci := lo; ci < hi; ci++ {
 		in := x.data[ci*h*wd : (ci+1)*h*wd]
 		ker := w.data[ci*kh*kw : (ci+1)*kh*kw]
 		g := gy.data[ci*oh*ow : (ci+1)*oh*ow]
 		gin := gx.data[ci*h*wd : (ci+1)*h*wd]
 		gker := gw.data[ci*kh*kw : (ci+1)*kh*kw]
-		var bsum float32
+		var bsum T
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				gv := g[oy*ow+ox]
@@ -302,20 +302,20 @@ func depthwiseGradChannels(gx, gw, gb, x, w, gy *Tensor, lo, hi, h, wd, kh, kw, 
 
 // AvgPool performs average pooling over non-overlapping k×k windows of a
 // [C,H,W] tensor (stride = k). H and W must be divisible by k.
-func AvgPool(x *Tensor, k int) *Tensor {
+func AvgPool[T Float](x *Of[T], k int) *Of[T] {
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
 	if h%k != 0 || w%k != 0 {
 		panic(fmt.Sprintf("tensor: AvgPool %v not divisible by %d", x.shape, k))
 	}
 	oh, ow := h/k, w/k
-	out := New(c, oh, ow)
-	inv := 1 / float32(k*k)
+	out := NewOf[T](c, oh, ow)
+	inv := 1 / T(k*k)
 	for ci := 0; ci < c; ci++ {
 		in := x.data[ci*h*w:]
 		dst := out.data[ci*oh*ow:]
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
-				var s float32
+				var s T
 				for ky := 0; ky < k; ky++ {
 					row := in[(oy*k+ky)*w+ox*k:]
 					for kx := 0; kx < k; kx++ {
@@ -331,21 +331,21 @@ func AvgPool(x *Tensor, k int) *Tensor {
 
 // GlobalAvgPool averages each channel plane of a [C,H,W] tensor to a [C]
 // vector.
-func GlobalAvgPool(x *Tensor) *Tensor {
-	out := New(x.shape[0])
+func GlobalAvgPool[T Float](x *Of[T]) *Of[T] {
+	out := NewOf[T](x.shape[0])
 	GlobalAvgPoolInto(out, x)
 	return out
 }
 
 // GlobalAvgPoolInto is GlobalAvgPool writing into a caller-owned [C] vector.
-func GlobalAvgPoolInto(dst, x *Tensor) {
+func GlobalAvgPoolInto[T Float](dst, x *Of[T]) {
 	c, h, w := x.shape[0], x.shape[1], x.shape[2]
 	if dst.Len() != c {
 		panic(fmt.Sprintf("tensor: GlobalAvgPoolInto dst shape %v, want [%d]", dst.shape, c))
 	}
-	inv := 1 / float32(h*w)
+	inv := 1 / T(h*w)
 	for ci := 0; ci < c; ci++ {
-		var s float32
+		var s T
 		for _, v := range x.data[ci*h*w : (ci+1)*h*w] {
 			s += v
 		}
@@ -358,7 +358,7 @@ func GlobalAvgPoolInto(dst, x *Tensor) {
 // sample writes only its own row with the exact serial-pool loop, so results
 // are bit-identical to per-sample GlobalAvgPool at any worker count. It is
 // the batched-evaluation entry point of the MLP head.
-func GlobalAvgPoolRowsInto(dst *Tensor, xs []*Tensor) {
+func GlobalAvgPoolRowsInto[T Float](dst *Of[T], xs []*Of[T]) {
 	if len(dst.shape) != 2 || dst.shape[0] != len(xs) {
 		panic(fmt.Sprintf("tensor: GlobalAvgPoolRowsInto dst shape %v for %d samples", dst.shape, len(xs)))
 	}
@@ -377,17 +377,17 @@ func GlobalAvgPoolRowsInto(dst *Tensor, xs []*Tensor) {
 }
 
 // gapRows pools samples [lo,hi) into their rows of dst.
-func gapRows(dst *Tensor, xs []*Tensor, c, lo, hi int) {
+func gapRows[T Float](dst *Of[T], xs []*Of[T], c, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		x := xs[i]
 		if len(x.shape) != 3 || x.shape[0] != c {
 			panic(fmt.Sprintf("tensor: GlobalAvgPoolRowsInto sample %d shape %v, want [%d,H,W]", i, x.shape, c))
 		}
 		h, w := x.shape[1], x.shape[2]
-		inv := 1 / float32(h*w)
+		inv := 1 / T(h*w)
 		row := dst.data[i*c : (i+1)*c]
 		for ci := 0; ci < c; ci++ {
-			var s float32
+			var s T
 			for _, v := range x.data[ci*h*w : (ci+1)*h*w] {
 				s += v
 			}

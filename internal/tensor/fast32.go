@@ -1,0 +1,210 @@
+package tensor
+
+// Fast-tier float32 kernels. The generic GEMM/GEMV loops accumulate through a
+// single serial chain in ascending index order — auditable, and what the
+// float64 reference tier runs — but on a scalar core that chain is bound by
+// FP-add latency (~4 cycles per element), not by arithmetic throughput or
+// memory bandwidth. The float32 tier is the product's hot path, so it trades
+// the strict serial order for speed: four independent accumulators retire one
+// multiply-add per cycle, and the generic kernel's zero-skip branch is
+// dropped (dense weight matrices never take it; it only pays on ReLU-sparse
+// operands, which stay on the generic path).
+//
+// The reassociated sum (s0+s1)+(s2+s3) differs from the serial chain by
+// rounding only. This is the fast tier's documented accumulation-order
+// caveat (DESIGN.md "Precision tiers"): fp32 results are deterministic
+// run-to-run — the unroll pattern is fixed — but are not bit-comparable to a
+// strictly-serial evaluation of the same dot product. The float64 reference
+// tier keeps the serial kernels precisely so there is an auditable baseline
+// to bound the fast tier against.
+
+// dot32 returns the dot product of a and x[:len(a)] with four-way unrolled
+// accumulation.
+func dot32(a, x []float32) float32 {
+	n := len(a)
+	x = x[:n]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * x[i]
+		s1 += a[i+1] * x[i+1]
+		s2 += a[i+2] * x[i+2]
+		s3 += a[i+3] * x[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * x[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// matvec32 is the fast-tier GEMV row kernel: one unrolled dot product per
+// output row.
+func matvec32(dst, a, x []float32, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst[i] = dot32(a[i*k:(i+1)*k], x)
+	}
+}
+
+// FusedDenseRow32 is the fast-tier row kernel of the fused dense
+// backward+SGD fold: for one output row with gradient g it accumulates the
+// input gradient gx[i] += g*w[i] (against the pre-update weights), folds the
+// last sample's outer-product term into the accumulated weight gradient,
+// applies inverse-batch scaling, weight decay and momentum, steps the weights
+// and re-zeroes the gradient — one pass over five streams. The loop-invariant
+// conditions (momentum on/off, invScale, weight decay) are hoisted into
+// specialised loops; each variant executes exactly the per-element operation
+// sequence of the generic fold in internal/nn, so the fast tier stays
+// bit-identical to it (amd64 does not contract a*b+c into FMA, so regrouped
+// expressions are bitwise safe). v may be nil (no momentum).
+func FusedDenseRow32(gx, w, gw, v, x []float32, g, invScale, wdec, m, lrNeg float32) {
+	n := len(x)
+	gx, w, gw = gx[:n], w[:n], gw[:n]
+	if wdec == 0 && v == nil {
+		if invScale != 1 {
+			for i, xv := range x {
+				wv := w[i]
+				gx[i] += g * wv
+				ge := (gw[i] + g*xv) * invScale
+				w[i] = wv + lrNeg*ge
+				gw[i] = 0
+			}
+		} else {
+			for i, xv := range x {
+				wv := w[i]
+				gx[i] += g * wv
+				ge := gw[i] + g*xv
+				w[i] = wv + lrNeg*ge
+				gw[i] = 0
+			}
+		}
+		return
+	}
+	if wdec == 0 && v != nil {
+		v = v[:n]
+		if invScale != 1 {
+			for i, xv := range x {
+				wv := w[i]
+				gx[i] += g * wv
+				ge := (gw[i] + g*xv) * invScale
+				vv := v[i]*m + ge
+				v[i] = vv
+				w[i] = wv + lrNeg*vv
+				gw[i] = 0
+			}
+		} else {
+			for i, xv := range x {
+				wv := w[i]
+				gx[i] += g * wv
+				ge := gw[i] + g*xv
+				vv := v[i]*m + ge
+				v[i] = vv
+				w[i] = wv + lrNeg*vv
+				gw[i] = 0
+			}
+		}
+		return
+	}
+	// Weight decay configured: rare for the online head, keep one general
+	// loop with the same expression sequence as the generic fold.
+	for i, xv := range x {
+		wv := w[i]
+		gx[i] += g * wv
+		ge := gw[i] + g*xv
+		if invScale != 1 {
+			ge *= invScale
+		}
+		ge += wdec * wv
+		if v != nil {
+			vv := v[i]*m + ge
+			v[i] = vv
+			ge = vv
+		}
+		w[i] = wv + lrNeg*ge
+		gw[i] = 0
+	}
+}
+
+// FusedUpdateRow32 is FusedDenseRow32 for a row whose output gradient is
+// zero: the outer-product and input-gradient terms vanish, but the
+// accumulated gradient still steps the weights (earlier samples contributed
+// to it) and momentum still decays.
+func FusedUpdateRow32(w, gw, v []float32, invScale, wdec, m, lrNeg float32) {
+	n := len(w)
+	gw = gw[:n]
+	if wdec == 0 && v == nil {
+		if invScale != 1 {
+			for i, wv := range w {
+				ge := gw[i] * invScale
+				w[i] = wv + lrNeg*ge
+				gw[i] = 0
+			}
+		} else {
+			for i, wv := range w {
+				w[i] = wv + lrNeg*gw[i]
+				gw[i] = 0
+			}
+		}
+		return
+	}
+	if wdec == 0 && v != nil {
+		v = v[:n]
+		if invScale != 1 {
+			for i, wv := range w {
+				ge := gw[i] * invScale
+				vv := v[i]*m + ge
+				v[i] = vv
+				w[i] = wv + lrNeg*vv
+				gw[i] = 0
+			}
+		} else {
+			for i, wv := range w {
+				vv := v[i]*m + gw[i]
+				v[i] = vv
+				w[i] = wv + lrNeg*vv
+				gw[i] = 0
+			}
+		}
+		return
+	}
+	for i, wv := range w {
+		ge := gw[i]
+		if invScale != 1 {
+			ge *= invScale
+		}
+		ge += wdec * wv
+		if v != nil {
+			vv := v[i]*m + ge
+			v[i] = vv
+			ge = vv
+		}
+		w[i] = wv + lrNeg*ge
+		gw[i] = 0
+	}
+}
+
+// DenseBackwardRow32 is the fast-tier dense-layer backward row kernel:
+// gw[i] += g*x[i] and gx[i] += g*w[i] in one pass. Unlike dot32 every output
+// element is independent — there is no accumulation chain to reassociate —
+// so the unrolled loop is bit-identical to the naive one; it exists only to
+// amortise loop control across four elements. Exported for internal/nn's
+// dense backward and fused-step kernels, which must stay bit-identical to
+// each other.
+func DenseBackwardRow32(gw, gx, w, x []float32, g float32) {
+	n := len(x)
+	gw, gx, w = gw[:n], gx[:n], w[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		gw[i] += g * x[i]
+		gx[i] += g * w[i]
+		gw[i+1] += g * x[i+1]
+		gx[i+1] += g * w[i+1]
+		gw[i+2] += g * x[i+2]
+		gx[i+2] += g * w[i+2]
+		gw[i+3] += g * x[i+3]
+		gx[i+3] += g * w[i+3]
+	}
+	for ; i < n; i++ {
+		gw[i] += g * x[i]
+		gx[i] += g * w[i]
+	}
+}

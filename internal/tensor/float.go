@@ -1,0 +1,13 @@
+package tensor
+
+// Float is the element-type constraint for the generic tensor core. The set
+// is deliberately exact (no ~approximation): the gob codec and the dtype tags
+// in checkpoint headers identify elements by concrete type, so named types
+// with a float underlying type are excluded on purpose.
+//
+// float32 is the fast tier — the training hot path's default, half the memory
+// bandwidth of float64 on every kernel. float64 is the reference tier used to
+// cross-check the fast tier's numerics (see DESIGN.md "Precision tiers").
+type Float interface {
+	float32 | float64
+}

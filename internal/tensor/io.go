@@ -6,48 +6,118 @@ import (
 	"math"
 )
 
-// GobEncode implements gob.GobEncoder with a compact little-endian layout:
-// uint32 ndim, uint32 dims..., float32 data.
-func (t *Tensor) GobEncode() ([]byte, error) {
-	buf := make([]byte, 4+4*len(t.shape)+4*len(t.data))
-	binary.LittleEndian.PutUint32(buf, uint32(len(t.shape)))
-	off := 4
-	for _, d := range t.shape {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(d))
-		off += 4
-	}
-	for _, v := range t.data {
-		binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(v))
-		off += 4
-	}
-	return buf, nil
-}
+// The gob wire format is dtype-tagged so a payload written by one precision
+// tier cannot be silently reinterpreted by the other:
+//
+//	uint32 magic (dtype tag), uint32 ndim, uint32 dims..., elements
+//
+// Elements are little-endian IEEE-754 bit patterns, 4 bytes for the float32
+// tier and 8 for the float64 tier. Payloads written before the tag existed
+// (PR ≤ 5 checkpoints and latent caches) start directly with ndim; they are
+// recognised by the first word being ≤ maxGobDims — far below either magic —
+// and decode as float32, the only element type that existed then.
+const (
+	gobMagicF32 = 0xC4A2F032
+	gobMagicF64 = 0xC4A2F064
+)
 
 // maxGobDims bounds the rank a decoded tensor may claim. Nothing in the
 // repository exceeds 4 dimensions; the slack guards against honest format
 // evolution while keeping a corrupt header from driving a huge allocation.
 const maxGobDims = 16
 
+// gobMagic returns the dtype tag for the tier's element type.
+func gobMagic[T Float]() uint32 {
+	if elemSize[T]() == 4 {
+		return gobMagicF32
+	}
+	return gobMagicF64
+}
+
+func dtypeName(magic uint32) string {
+	switch magic {
+	case gobMagicF32:
+		return "float32"
+	case gobMagicF64:
+		return "float64"
+	}
+	return fmt.Sprintf("unknown(%#x)", magic)
+}
+
+// GobEncode implements gob.GobEncoder with the tagged little-endian layout
+// described above.
+func (t *Of[T]) GobEncode() ([]byte, error) {
+	es := elemSize[T]()
+	buf := make([]byte, 8+4*len(t.shape)+es*len(t.data))
+	binary.LittleEndian.PutUint32(buf, gobMagic[T]())
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(t.shape)))
+	off := 8
+	for _, d := range t.shape {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(d))
+		off += 4
+	}
+	if es == 4 {
+		for _, v := range t.data {
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(v)))
+			off += 4
+		}
+	} else {
+		for _, v := range t.data {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(float64(v)))
+			off += 8
+		}
+	}
+	return buf, nil
+}
+
 // GobDecode implements gob.GobDecoder. The payload is untrusted (checkpoint
 // files cross process boundaries), so the claimed rank and shape are bounds-
 // checked against the bytes actually present before anything is allocated:
 // the element count can never exceed the payload length, and the product
-// accumulation cannot overflow.
-func (t *Tensor) GobDecode(buf []byte) error {
+// accumulation cannot overflow. A payload tagged with the other tier's dtype
+// is rejected with a clear error rather than reinterpreted.
+func (t *Of[T]) GobDecode(buf []byte) error {
 	if len(buf) < 4 {
 		return fmt.Errorf("tensor: gob payload too short (%d bytes)", len(buf))
 	}
-	nd := int(binary.LittleEndian.Uint32(buf))
+	head := binary.LittleEndian.Uint32(buf)
+	want := gobMagic[T]()
+	var (
+		off      int
+		nd       int
+		srcMagic uint32
+	)
+	switch {
+	case head == gobMagicF32 || head == gobMagicF64:
+		srcMagic = head
+		if len(buf) < 8 {
+			return fmt.Errorf("tensor: gob payload truncated after dtype tag")
+		}
+		nd = int(binary.LittleEndian.Uint32(buf[4:]))
+		off = 8
+	case head <= maxGobDims:
+		// Legacy untagged payload: always float32 (the only tier that existed
+		// before the dtype tag).
+		srcMagic = gobMagicF32
+		nd = int(head)
+		off = 4
+	default:
+		return fmt.Errorf("tensor: gob payload claims %d dims, max %d", head, maxGobDims)
+	}
+	if srcMagic != want {
+		return fmt.Errorf("tensor: gob payload holds %s elements, cannot restore into %s tensor (precision tiers are not interchangeable)",
+			dtypeName(srcMagic), dtypeName(want))
+	}
 	if nd > maxGobDims {
 		return fmt.Errorf("tensor: gob payload claims %d dims, max %d", nd, maxGobDims)
 	}
-	off := 4
 	if len(buf) < off+4*nd {
 		return fmt.Errorf("tensor: gob payload truncated in shape")
 	}
-	// The data section can hold at most this many float32 elements; any shape
-	// whose product exceeds it is inconsistent with the payload.
-	maxElems := (len(buf) - off - 4*nd) / 4
+	es := elemSize[T]()
+	// The data section can hold at most this many elements; any shape whose
+	// product exceeds it is inconsistent with the payload.
+	maxElems := (len(buf) - off - 4*nd) / es
 	shape := make([]int, nd)
 	n := 1
 	for i := range shape {
@@ -59,18 +129,25 @@ func (t *Tensor) GobDecode(buf []byte) error {
 			continue
 		}
 		if n > maxElems/d {
-			return fmt.Errorf("tensor: gob payload shape %v... exceeds %d-byte data section", shape[:i+1], 4*maxElems)
+			return fmt.Errorf("tensor: gob payload shape %v... exceeds %d-byte data section", shape[:i+1], es*maxElems)
 		}
 		n *= d
 		shape[i] = d
 	}
-	if len(buf) != off+4*n {
-		return fmt.Errorf("tensor: gob payload has %d bytes, want %d for shape %v", len(buf), off+4*n, shape)
+	if len(buf) != off+es*n {
+		return fmt.Errorf("tensor: gob payload has %d bytes, want %d for shape %v", len(buf), off+es*n, shape)
 	}
-	data := make([]float32, n)
-	for i := range data {
-		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
-		off += 4
+	data := make([]T, n)
+	if es == 4 {
+		for i := range data {
+			data[i] = T(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])))
+			off += 4
+		}
+	} else {
+		for i := range data {
+			data[i] = T(math.Float64frombits(binary.LittleEndian.Uint64(buf[off:])))
+			off += 8
+		}
 	}
 	t.shape, t.data = shape, data
 	return nil

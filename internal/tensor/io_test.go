@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -55,6 +57,73 @@ func TestGobRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestGobDtypeTagging pins the precision-tier wire contract: each tier
+// round-trips under its own tag, and a payload written by one tier is
+// rejected — not silently reinterpreted — by the other.
+func TestGobDtypeTagging(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	t32 := RandNormal(rng, 3, 4)
+	raw32, err := t32.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t64 := FromSlice([]float64{1.5, -2.25, 1e-300}, 3)
+	raw64, err := t64.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var back64 Tensor64
+	if err := back64.GobDecode(raw64); err != nil {
+		t.Fatalf("fp64 round trip: %v", err)
+	}
+	for i, v := range t64.Data() {
+		if back64.Data()[i] != v {
+			t.Fatalf("fp64 element %d corrupted: %g vs %g", i, back64.Data()[i], v)
+		}
+	}
+
+	var wrong32 Tensor
+	err = wrong32.GobDecode(raw64)
+	if err == nil {
+		t.Fatal("fp64 payload accepted by fp32 decode")
+	}
+	if !strings.Contains(err.Error(), "float64") || !strings.Contains(err.Error(), "not interchangeable") {
+		t.Fatalf("cross-tier error does not name the dtypes: %v", err)
+	}
+	var wrong64 Tensor64
+	if err := wrong64.GobDecode(raw32); err == nil {
+		t.Fatal("fp32 payload accepted by fp64 decode")
+	}
+}
+
+// TestGobDecodeLegacyUntagged pins backward compatibility: payloads written
+// before the dtype tag existed (PR ≤ 5 checkpoints and latent caches) start
+// directly with ndim and must decode as float32 — and only float32.
+func TestGobDecodeLegacyUntagged(t *testing.T) {
+	le := binary.LittleEndian
+	vals := []float32{0.5, -3, 42}
+	legacy := make([]byte, 4+4+4*len(vals))
+	le.PutUint32(legacy, 1) // ndim, no magic
+	le.PutUint32(legacy[4:], uint32(len(vals)))
+	for i, v := range vals {
+		le.PutUint32(legacy[8+4*i:], math.Float32bits(v))
+	}
+	var back Tensor
+	if err := back.GobDecode(legacy); err != nil {
+		t.Fatalf("legacy fp32 payload rejected: %v", err)
+	}
+	for i, v := range vals {
+		if back.Data()[i] != v {
+			t.Fatalf("legacy element %d: %g, want %g", i, back.Data()[i], v)
+		}
+	}
+	var t64 Tensor64
+	if err := t64.GobDecode(legacy); err == nil {
+		t.Fatal("legacy fp32 payload accepted by fp64 decode")
 	}
 }
 

@@ -26,8 +26,18 @@ func rowGrain(macsPerRow int) int {
 	return g
 }
 
+// elemSize returns the byte width of the tier's element type (4 for the fast
+// float32 tier, 8 for the float64 reference tier).
+func elemSize[T Float]() int {
+	var z T
+	if _, ok := any(z).(float32); ok {
+		return 4
+	}
+	return 8
+}
+
 // MatMul returns a @ b for a [M,K] and b [K,N].
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul[T Float](a, b *Of[T]) *Of[T] {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul on shapes %v @ %v", a.shape, b.shape))
 	}
@@ -36,7 +46,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %v @ %v", a.shape, b.shape))
 	}
-	out := New(m, n)
+	out := NewOf[T](m, n)
 	matmulSharded(out.data, a.data, b.data, m, k, n)
 	return out
 }
@@ -44,7 +54,7 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes dst = a @ b, overwriting dst's contents. dst must be a
 // [M,N] tensor; reusing one across calls avoids the per-call allocation of
 // MatMul (SLDA's precision refresh and the conv backward pass lean on this).
-func MatMulInto(dst, a, b *Tensor) {
+func MatMulInto[T Float](dst, a, b *Of[T]) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMulInto on shapes %v @ %v", a.shape, b.shape))
 	}
@@ -64,7 +74,7 @@ func MatMulInto(dst, a, b *Tensor) {
 // across the worker pool for large problems. Each row is computed by the same
 // serial kernel regardless of worker count, so results are bit-identical to
 // the serial path.
-func matmulSharded(dst, a, b []float32, m, k, n int) {
+func matmulSharded[T Float](dst, a, b []T, m, k, n int) {
 	if m*k*n < minParallelMACs || parallel.Workers() <= 1 {
 		matmulInto(dst, a, b, m, k, n)
 		return
@@ -78,10 +88,10 @@ func matmulSharded(dst, a, b []float32, m, k, n int) {
 // a panel of b rows stays cache-resident across all rows of a, while the
 // inner loop streams contiguously over b and dst. Per output element the
 // accumulation order is ascending p exactly as in the unblocked loop, so
-// blocking does not perturb float32 results. dst must be zeroed by the caller
+// blocking does not perturb float results. dst must be zeroed by the caller
 // if accumulation is not wanted.
-func matmulInto(dst, a, b []float32, m, k, n int) {
-	kb := panelRows(n)
+func matmulInto[T Float](dst, a, b []T, m, k, n int) {
+	kb := panelRows[T](n)
 	for p0 := 0; p0 < k; p0 += kb {
 		p1 := p0 + kb
 		if p1 > k {
@@ -104,14 +114,16 @@ func matmulInto(dst, a, b []float32, m, k, n int) {
 	}
 }
 
-// panelRows sizes the k-blocking so one panel of b (rows × n float32) fits in
-// a 32 KiB L1 slice, with a floor of 8 rows.
-func panelRows(n int) int {
-	const l1Floats = 8 << 10 // 32 KiB / 4
+// panelRows sizes the k-blocking so one panel of b (rows × n elements) fits
+// in a 32 KiB L1 slice, with a floor of 8 rows. Blocking only affects the
+// traversal order across output elements, never the per-element accumulation
+// order, so the tier-dependent panel height cannot perturb results.
+func panelRows[T Float](n int) int {
+	l1Elems := (32 << 10) / elemSize[T]()
 	if n <= 0 {
 		return 8
 	}
-	r := l1Floats / n
+	r := l1Elems / n
 	if r < 8 {
 		r = 8
 	}
@@ -119,15 +131,15 @@ func panelRows(n int) int {
 }
 
 // MatMulT1 returns aᵀ @ b for a [K,M] and b [K,N], yielding [M,N].
-func MatMulT1(a, b *Tensor) *Tensor {
+func MatMulT1[T Float](a, b *Of[T]) *Of[T] {
 	k, m := checkT1("MatMulT1", a, b)
-	out := New(m, b.shape[1])
+	out := NewOf[T](m, b.shape[1])
 	matmulT1Sharded(out.data, a.data, b.data, m, k, b.shape[1])
 	return out
 }
 
 // MatMulT1Into computes dst = aᵀ @ b, overwriting dst ([M,N]).
-func MatMulT1Into(dst, a, b *Tensor) {
+func MatMulT1Into[T Float](dst, a, b *Of[T]) {
 	k, m := checkT1("MatMulT1Into", a, b)
 	n := b.shape[1]
 	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
@@ -137,7 +149,7 @@ func MatMulT1Into(dst, a, b *Tensor) {
 	matmulT1Sharded(dst.data, a.data, b.data, m, k, n)
 }
 
-func checkT1(op string, a, b *Tensor) (k, m int) {
+func checkT1[T Float](op string, a, b *Of[T]) (k, m int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: %s on shapes %v @ %v", op, a.shape, b.shape))
 	}
@@ -152,7 +164,7 @@ func checkT1(op string, a, b *Tensor) (k, m int) {
 // shard body is a named function so the small-kernel fast path never
 // materialises a closure (a per-call heap allocation the steady-state
 // training loop must not pay).
-func matmulT1Sharded(dst, a, b []float32, m, k, n int) {
+func matmulT1Sharded[T Float](dst, a, b []T, m, k, n int) {
 	if m*k*n < minParallelMACs || parallel.Workers() <= 1 {
 		matmulT1Range(dst, a, b, m, k, n, 0, m)
 		return
@@ -162,7 +174,7 @@ func matmulT1Sharded(dst, a, b []float32, m, k, n int) {
 	})
 }
 
-func matmulT1Range(dst, a, b []float32, m, k, n, lo, hi int) {
+func matmulT1Range[T Float](dst, a, b []T, m, k, n, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		di := dst[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
@@ -179,15 +191,15 @@ func matmulT1Range(dst, a, b []float32, m, k, n, lo, hi int) {
 }
 
 // MatMulT2 returns a @ bᵀ for a [M,K] and b [N,K], yielding [M,N].
-func MatMulT2(a, b *Tensor) *Tensor {
+func MatMulT2[T Float](a, b *Of[T]) *Of[T] {
 	m, k, n := checkT2("MatMulT2", a, b)
-	out := New(m, n)
+	out := NewOf[T](m, n)
 	matmulT2Sharded(out.data, a.data, b.data, m, k, n)
 	return out
 }
 
 // MatMulT2Into computes dst = a @ bᵀ, overwriting dst ([M,N]).
-func MatMulT2Into(dst, a, b *Tensor) {
+func MatMulT2Into[T Float](dst, a, b *Of[T]) {
 	m, k, n := checkT2("MatMulT2Into", a, b)
 	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulT2Into dst shape %v, want [%d %d]", dst.shape, m, n))
@@ -195,7 +207,7 @@ func MatMulT2Into(dst, a, b *Tensor) {
 	matmulT2Sharded(dst.data, a.data, b.data, m, k, n)
 }
 
-func checkT2(op string, a, b *Tensor) (m, k, n int) {
+func checkT2[T Float](op string, a, b *Of[T]) (m, k, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: %s on shapes %v @ %v", op, a.shape, b.shape))
 	}
@@ -209,7 +221,7 @@ func checkT2(op string, a, b *Tensor) (m, k, n int) {
 // products skip zero elements of a — the same sparsity fast path as
 // matmulInto, which the ReLU-heavy activations this kernel sees (conv weight
 // gradients: g @ colᵀ) make worthwhile.
-func matmulT2Sharded(dst, a, b []float32, m, k, n int) {
+func matmulT2Sharded[T Float](dst, a, b []T, m, k, n int) {
 	if m*k*n < minParallelMACs || parallel.Workers() <= 1 {
 		matmulT2Range(dst, a, b, k, n, 0, m)
 		return
@@ -219,13 +231,13 @@ func matmulT2Sharded(dst, a, b []float32, m, k, n int) {
 	})
 }
 
-func matmulT2Range(dst, a, b []float32, k, n, lo, hi int) {
+func matmulT2Range[T Float](dst, a, b []T, k, n, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		ai := a[i*k : (i+1)*k]
 		di := dst[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			bj := b[j*k : (j+1)*k]
-			var s float32
+			var s T
 			for p, av := range ai {
 				if av == 0 {
 					continue
@@ -238,18 +250,18 @@ func matmulT2Range(dst, a, b []float32, k, n, lo, hi int) {
 }
 
 // MatVec returns a @ x for a [M,K] and x [K], yielding [M].
-func MatVec(a, x *Tensor) *Tensor {
+func MatVec[T Float](a, x *Of[T]) *Of[T] {
 	if len(a.shape) != 2 || len(x.shape) != 1 || a.shape[1] != x.shape[0] {
 		panic(fmt.Sprintf("tensor: MatVec on shapes %v @ %v", a.shape, x.shape))
 	}
-	out := New(a.shape[0])
+	out := NewOf[T](a.shape[0])
 	matvecSharded(out.data, a.data, x.data, a.shape[0], a.shape[1])
 	return out
 }
 
 // MatVecInto computes dst = a @ x, overwriting dst ([M]). SLDA's per-class
 // scoring reuses one output vector through this.
-func MatVecInto(dst, a, x *Tensor) {
+func MatVecInto[T Float](dst, a, x *Of[T]) {
 	if len(a.shape) != 2 || len(x.shape) != 1 || a.shape[1] != x.shape[0] {
 		panic(fmt.Sprintf("tensor: MatVecInto on shapes %v @ %v", a.shape, x.shape))
 	}
@@ -261,7 +273,7 @@ func MatVecInto(dst, a, x *Tensor) {
 
 // matvecSharded assigns a @ x into dst, sharding rows and skipping zero
 // matrix entries (the same zero fast path as matmulInto).
-func matvecSharded(dst, a, x []float32, m, k int) {
+func matvecSharded[T Float](dst, a, x []T, m, k int) {
 	if m*k < minParallelMACs || parallel.Workers() <= 1 {
 		matvecRange(dst, a, x, k, 0, m)
 		return
@@ -271,10 +283,18 @@ func matvecSharded(dst, a, x []float32, m, k int) {
 	})
 }
 
-func matvecRange(dst, a, x []float32, k, lo, hi int) {
+func matvecRange[T Float](dst, a, x []T, k, lo, hi int) {
+	// Fast-tier dispatch: float32 rows go through the unrolled branch-free
+	// dot kernel (see fast32.go). The type switch resolves at instantiation
+	// time — float32 and float64 compile to separate bodies — so the generic
+	// (reference-tier) loop below carries no dispatch cost.
+	if d32, ok := any(dst).([]float32); ok {
+		matvec32(d32, any(a).([]float32), any(x).([]float32), k, lo, hi)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		ai := a[i*k : (i+1)*k]
-		var s float32
+		var s T
 		for p, av := range ai {
 			if av == 0 {
 				continue
@@ -288,8 +308,9 @@ func matvecRange(dst, a, x []float32, k, lo, hi int) {
 // Inverse returns the inverse of a square matrix via Gauss–Jordan elimination
 // with partial pivoting, or an error if the matrix is singular. This is the
 // O(N³) kernel SLDA's streaming classifier depends on; its cost is what the
-// paper's EdgeTPU comparison (Table II) hinges on.
-func Inverse(a *Tensor) (*Tensor, error) {
+// paper's EdgeTPU comparison (Table II) hinges on. Elimination runs in
+// float64 regardless of tier, so both tiers see the same pivoting decisions.
+func Inverse[T Float](a *Of[T]) (*Of[T], error) {
 	if len(a.shape) != 2 || a.shape[0] != a.shape[1] {
 		return nil, fmt.Errorf("tensor: Inverse of non-square shape %v", a.shape)
 	}
@@ -338,10 +359,10 @@ func Inverse(a *Tensor) (*Tensor, error) {
 			}
 		}
 	}
-	out := New(n, n)
+	out := NewOf[T](n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			out.data[i*n+j] = float32(w[i*2*n+n+j])
+			out.data[i*n+j] = T(w[i*2*n+n+j])
 		}
 	}
 	return out, nil

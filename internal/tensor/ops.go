@@ -6,7 +6,7 @@ import (
 )
 
 // Add returns t + o elementwise as a new tensor.
-func Add(t, o *Tensor) *Tensor {
+func Add[T Float](t, o *Of[T]) *Of[T] {
 	checkSame("Add", t, o)
 	out := t.Clone()
 	for i, v := range o.data {
@@ -16,7 +16,7 @@ func Add(t, o *Tensor) *Tensor {
 }
 
 // Sub returns t - o elementwise as a new tensor.
-func Sub(t, o *Tensor) *Tensor {
+func Sub[T Float](t, o *Of[T]) *Of[T] {
 	checkSame("Sub", t, o)
 	out := t.Clone()
 	for i, v := range o.data {
@@ -26,7 +26,7 @@ func Sub(t, o *Tensor) *Tensor {
 }
 
 // Mul returns t * o elementwise as a new tensor.
-func Mul(t, o *Tensor) *Tensor {
+func Mul[T Float](t, o *Of[T]) *Of[T] {
 	checkSame("Mul", t, o)
 	out := t.Clone()
 	for i, v := range o.data {
@@ -36,7 +36,7 @@ func Mul(t, o *Tensor) *Tensor {
 }
 
 // AddInPlace adds o into t elementwise.
-func (t *Tensor) AddInPlace(o *Tensor) {
+func (t *Of[T]) AddInPlace(o *Of[T]) {
 	checkSame("AddInPlace", t, o)
 	for i, v := range o.data {
 		t.data[i] += v
@@ -44,7 +44,7 @@ func (t *Tensor) AddInPlace(o *Tensor) {
 }
 
 // SubInPlace subtracts o from t elementwise.
-func (t *Tensor) SubInPlace(o *Tensor) {
+func (t *Of[T]) SubInPlace(o *Of[T]) {
 	checkSame("SubInPlace", t, o)
 	for i, v := range o.data {
 		t.data[i] -= v
@@ -52,14 +52,14 @@ func (t *Tensor) SubInPlace(o *Tensor) {
 }
 
 // Scale multiplies every element by s in place.
-func (t *Tensor) Scale(s float32) {
+func (t *Of[T]) Scale(s T) {
 	for i := range t.data {
 		t.data[i] *= s
 	}
 }
 
 // AddScaled performs t += s*o (axpy).
-func (t *Tensor) AddScaled(s float32, o *Tensor) {
+func (t *Of[T]) AddScaled(s T, o *Of[T]) {
 	checkSame("AddScaled", t, o)
 	for i, v := range o.data {
 		t.data[i] += s * v
@@ -67,7 +67,7 @@ func (t *Tensor) AddScaled(s float32, o *Tensor) {
 }
 
 // Dot returns the inner product of two tensors of equal element count.
-func Dot(a, b *Tensor) float64 {
+func Dot[T Float](a, b *Of[T]) float64 {
 	if len(a.data) != len(b.data) {
 		panic(fmt.Sprintf("tensor: Dot size mismatch %v vs %v", a.shape, b.shape))
 	}
@@ -79,7 +79,7 @@ func Dot(a, b *Tensor) float64 {
 }
 
 // Norm2 returns the L2 norm of the tensor.
-func (t *Tensor) Norm2() float64 {
+func (t *Of[T]) Norm2() float64 {
 	var s float64
 	for _, v := range t.data {
 		s += float64(v) * float64(v)
@@ -88,7 +88,7 @@ func (t *Tensor) Norm2() float64 {
 }
 
 // Sum returns the sum of all elements in float64 precision.
-func (t *Tensor) Sum() float64 {
+func (t *Of[T]) Sum() float64 {
 	var s float64
 	for _, v := range t.data {
 		s += float64(v)
@@ -97,7 +97,7 @@ func (t *Tensor) Sum() float64 {
 }
 
 // Mean returns the mean of all elements, or 0 for an empty tensor.
-func (t *Tensor) Mean() float64 {
+func (t *Of[T]) Mean() float64 {
 	if len(t.data) == 0 {
 		return 0
 	}
@@ -106,8 +106,8 @@ func (t *Tensor) Mean() float64 {
 
 // ArgMax returns the index of the maximum element of a 1-D tensor (or the
 // flattened tensor). Ties resolve to the lowest index.
-func (t *Tensor) ArgMax() int {
-	best, bi := float32(math.Inf(-1)), 0
+func (t *Of[T]) ArgMax() int {
+	best, bi := T(math.Inf(-1)), 0
 	for i, v := range t.data {
 		if v > best {
 			best, bi = v, i
@@ -117,7 +117,7 @@ func (t *Tensor) ArgMax() int {
 }
 
 // ArgMaxRows returns, for a [N, C] tensor, the argmax of each row.
-func (t *Tensor) ArgMaxRows() []int {
+func (t *Of[T]) ArgMaxRows() []int {
 	out := make([]int, t.shape[0])
 	t.ArgMaxRowsInto(out)
 	return out
@@ -126,7 +126,7 @@ func (t *Tensor) ArgMaxRows() []int {
 // ArgMaxRowsInto writes the per-row argmax of a [N, C] tensor into out, which
 // must have exactly N elements. It is the allocation-free sibling of
 // ArgMaxRows for batched prediction loops.
-func (t *Tensor) ArgMaxRowsInto(out []int) {
+func (t *Of[T]) ArgMaxRowsInto(out []int) {
 	if len(t.shape) != 2 {
 		panic(fmt.Sprintf("tensor: ArgMaxRowsInto on shape %v", t.shape))
 	}
@@ -136,7 +136,7 @@ func (t *Tensor) ArgMaxRowsInto(out []int) {
 	}
 	for i := 0; i < n; i++ {
 		row := t.data[i*c : (i+1)*c]
-		best, bi := float32(math.Inf(-1)), 0
+		best, bi := T(math.Inf(-1)), 0
 		for j, v := range row {
 			if v > best {
 				best, bi = v, j
@@ -147,15 +147,15 @@ func (t *Tensor) ArgMaxRowsInto(out []int) {
 }
 
 // Softmax returns softmax over the last dimension of a 1-D or 2-D tensor.
-func Softmax(t *Tensor) *Tensor {
-	out := New(t.shape...)
+func Softmax[T Float](t *Of[T]) *Of[T] {
+	out := NewOf[T](t.shape...)
 	SoftmaxInto(out, t)
 	return out
 }
 
 // SoftmaxInto computes softmax over the last dimension of a 1-D or 2-D tensor
 // into dst, which must have t's element count. dst == t is allowed (in-place).
-func SoftmaxInto(dst, t *Tensor) {
+func SoftmaxInto[T Float](dst, t *Of[T]) {
 	if len(dst.data) != len(t.data) {
 		panic(fmt.Sprintf("tensor: SoftmaxInto dst size %v, want %v", dst.shape, t.shape))
 	}
@@ -172,8 +172,8 @@ func SoftmaxInto(dst, t *Tensor) {
 	}
 }
 
-func softmaxRow(dst, src []float32) {
-	mx := float32(math.Inf(-1))
+func softmaxRow[T Float](dst, src []T) {
+	mx := T(math.Inf(-1))
 	for _, v := range src {
 		if v > mx {
 			mx = v
@@ -181,11 +181,11 @@ func softmaxRow(dst, src []float32) {
 	}
 	var sum float64
 	for i, v := range src {
-		e := float32(math.Exp(float64(v - mx)))
+		e := T(math.Exp(float64(v - mx)))
 		dst[i] = e
 		sum += float64(e)
 	}
-	inv := float32(1 / sum)
+	inv := T(1 / sum)
 	for i := range dst {
 		dst[i] *= inv
 	}
@@ -193,8 +193,8 @@ func softmaxRow(dst, src []float32) {
 
 // LogSoftmax returns log-softmax over the last dimension of a 1-D or 2-D
 // tensor, computed stably.
-func LogSoftmax(t *Tensor) *Tensor {
-	out := New(t.shape...)
+func LogSoftmax[T Float](t *Of[T]) *Of[T] {
+	out := NewOf[T](t.shape...)
 	LogSoftmaxInto(out, t)
 	return out
 }
@@ -202,7 +202,7 @@ func LogSoftmax(t *Tensor) *Tensor {
 // LogSoftmaxInto computes log-softmax over the last dimension of a 1-D or 2-D
 // tensor into dst, which must have t's element count. dst == t is allowed:
 // both row kernels read src element-wise before the matching write.
-func LogSoftmaxInto(dst, t *Tensor) {
+func LogSoftmaxInto[T Float](dst, t *Of[T]) {
 	if len(dst.data) != len(t.data) {
 		panic(fmt.Sprintf("tensor: LogSoftmaxInto dst size %v, want %v", dst.shape, t.shape))
 	}
@@ -219,8 +219,8 @@ func LogSoftmaxInto(dst, t *Tensor) {
 	}
 }
 
-func logSoftmaxRow(dst, src []float32) {
-	mx := float32(math.Inf(-1))
+func logSoftmaxRow[T Float](dst, src []T) {
+	mx := T(math.Inf(-1))
 	for _, v := range src {
 		if v > mx {
 			mx = v
@@ -230,7 +230,7 @@ func logSoftmaxRow(dst, src []float32) {
 	for _, v := range src {
 		sum += math.Exp(float64(v - mx))
 	}
-	lse := mx + float32(math.Log(sum))
+	lse := mx + T(math.Log(sum))
 	for i, v := range src {
 		dst[i] = v - lse
 	}
@@ -238,7 +238,7 @@ func logSoftmaxRow(dst, src []float32) {
 
 // KLDivergence returns KL(p || q) for two probability vectors of equal
 // length. Probabilities below eps are clamped to keep the result finite.
-func KLDivergence(p, q []float32) float64 {
+func KLDivergence[T Float](p, q []T) float64 {
 	if len(p) != len(q) {
 		panic("tensor: KLDivergence length mismatch")
 	}
@@ -257,12 +257,12 @@ func KLDivergence(p, q []float32) float64 {
 
 // Concat stacks tensors along a new leading dimension. All inputs must share
 // a shape; the result has shape [len(ts), inputShape...].
-func Concat(ts []*Tensor) *Tensor {
+func Concat[T Float](ts []*Of[T]) *Of[T] {
 	if len(ts) == 0 {
 		panic("tensor: Concat of zero tensors")
 	}
 	first := ts[0]
-	out := New(append([]int{len(ts)}, first.shape...)...)
+	out := NewOf[T](append([]int{len(ts)}, first.shape...)...)
 	sub := first.Len()
 	for i, t := range ts {
 		if !t.SameShape(first) {
@@ -273,7 +273,7 @@ func Concat(ts []*Tensor) *Tensor {
 	return out
 }
 
-func checkSame(op string, a, b *Tensor) {
+func checkSame[T Float](op string, a, b *Of[T]) {
 	if !a.SameShape(b) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
 	}

@@ -1,0 +1,143 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The reference-tier kernel suite: the same GEMM/GEMV/reduction kernels the
+// fp32 tests cover, instantiated at float64 and checked against naive
+// references at double-precision tolerance. The fp64 tier is the measuring
+// stick for the fast tier (see internal/cl.Ref64), so its kernels get direct
+// coverage rather than riding on the fp32 instantiation — the generic body is
+// shared, but the fp64 gcshape skips every fast32 dispatch and must be
+// correct on its own. check.sh names this file's tests in the precision gate.
+
+func randOf64(rng *rand.Rand, shape ...int) *Tensor64 {
+	t := NewOf[float64](shape...)
+	for i := range t.Data() {
+		t.Data()[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func TestMatMul64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const m, k, n = 9, 31, 13
+	a, b := randOf64(rng, m, k), randOf64(rng, k, n)
+	got := MatMul(a, b)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for p := 0; p < k; p++ {
+				want += a.At(i, p) * b.At(p, j)
+			}
+			if d := got.At(i, j) - want; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("[%d,%d] = %g, want %g", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMatMulT64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const m, k, n = 7, 19, 11
+	a, b := randOf64(rng, m, k), randOf64(rng, k, n)
+	at, bt := randOf64(rng, k, m), randOf64(rng, n, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < m; j++ {
+			at.Set(a.At(j, i), i, j)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			bt.Set(b.At(j, i), i, j)
+		}
+	}
+	ref := MatMul(a, b)
+	t1 := MatMulT1(at, b)
+	t2 := MatMulT2(a, bt)
+	for i := range ref.Data() {
+		if d := t1.Data()[i] - ref.Data()[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("T1 element %d: %g vs %g", i, t1.Data()[i], ref.Data()[i])
+		}
+		if d := t2.Data()[i] - ref.Data()[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("T2 element %d: %g vs %g", i, t2.Data()[i], ref.Data()[i])
+		}
+	}
+}
+
+func TestMatVec64MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const m, k = 17, 29
+	a, x := randOf64(rng, m, k), randOf64(rng, k)
+	got := MatVec(a, x)
+	for i := 0; i < m; i++ {
+		var want float64
+		for p := 0; p < k; p++ {
+			want += a.At(i, p) * x.At(p)
+		}
+		if d := got.At(i) - want; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("[%d] = %g, want %g", i, got.At(i), want)
+		}
+	}
+}
+
+func TestReductions64(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	a, b := randOf64(rng, 40), randOf64(rng, 40)
+	var dot, sum, sq float64
+	for i, v := range a.Data() {
+		dot += v * b.Data()[i]
+		sum += v
+		sq += v * v
+	}
+	if d := Dot(a, b) - dot; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("Dot = %g, want %g", Dot(a, b), dot)
+	}
+	if d := a.Sum() - sum; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("Sum = %g, want %g", a.Sum(), sum)
+	}
+	if got := a.Norm2() * a.Norm2(); got-sq > 1e-10 || got-sq < -1e-10 {
+		t.Fatalf("Norm2² = %g, want %g", got, sq)
+	}
+}
+
+func TestSoftmax64RowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	s := Softmax(randOf64(rng, 6, 10))
+	for r := 0; r < 6; r++ {
+		var sum float64
+		for j := 0; j < 10; j++ {
+			sum += s.At(r, j)
+		}
+		if sum-1 > 1e-12 || sum-1 < -1e-12 {
+			t.Fatalf("row %d sums to %g", r, sum)
+		}
+	}
+}
+
+func TestInverse64(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	const n = 6
+	a := randOf64(rng, n, n)
+	for i := 0; i < n; i++ { // diagonal dominance keeps it well-conditioned
+		a.Set(a.At(i, i)+float64(n), i, i)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := MatMul(a, inv)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if d := prod.At(i, j) - want; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("A·A⁻¹[%d,%d] = %g", i, j, prod.At(i, j))
+			}
+		}
+	}
+}

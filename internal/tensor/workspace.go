@@ -1,31 +1,40 @@
 package tensor
 
-// Workspace recycles tensors through size-bucketed free lists so steady-state
-// training and evaluation loops stop allocating. Buckets are keyed by element
-// count: a returned tensor can be handed back out under any shape with the
-// same number of elements, which is exactly what the layer scratch buffers
-// need (an [N,C] eval matrix one call, an [N*C] flat buffer the next).
+// WorkspaceOf recycles tensors through size-bucketed free lists so
+// steady-state training and evaluation loops stop allocating. Buckets are
+// keyed by element count: a returned tensor can be handed back out under any
+// shape with the same number of elements, which is exactly what the layer
+// scratch buffers need (an [N,C] eval matrix one call, an [N*C] flat buffer
+// the next).
 //
-// A Workspace is deliberately unsynchronised. It is owned by exactly one
+// A workspace is deliberately unsynchronised. It is owned by exactly one
 // learner (one goroutine) — the single-owner rule of DESIGN.md §11 — so the
-// hot path pays no atomic operations. Do not share one Workspace across
+// hot path pays no atomic operations. Do not share one workspace across
 // goroutines; give each worker its own.
 //
-// The nil Workspace is valid and means "no pooling": Get falls back to a
+// The nil workspace is valid and means "no pooling": Get falls back to a
 // fresh allocation and Put is a no-op, so layers can thread an optional
 // workspace without branching at every call site.
-type Workspace struct {
-	free map[int][]*Tensor
+type WorkspaceOf[T Float] struct {
+	free map[int][]*Of[T]
 }
 
-// NewWorkspace returns an empty workspace.
-func NewWorkspace() *Workspace { return &Workspace{free: map[int][]*Tensor{}} }
+// Workspace is the fast-tier (float32) workspace every hot path uses.
+type Workspace = WorkspaceOf[float32]
+
+// NewWorkspace returns an empty fast-tier workspace.
+func NewWorkspace() *Workspace { return NewWorkspaceOf[float32]() }
+
+// NewWorkspaceOf returns an empty workspace for the given tier.
+func NewWorkspaceOf[T Float]() *WorkspaceOf[T] {
+	return &WorkspaceOf[T]{free: map[int][]*Of[T]{}}
+}
 
 // Get returns a tensor of the given shape, reusing a pooled tensor of the
 // same element count when one is available. The contents are unspecified —
 // callers that need zeros must call Zero (or GetZeroed). After warm-up a
 // Get/Put cycle performs no heap allocations.
-func (w *Workspace) Get(shape ...int) *Tensor {
+func (w *WorkspaceOf[T]) Get(shape ...int) *Of[T] {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
@@ -33,7 +42,7 @@ func (w *Workspace) Get(shape ...int) *Tensor {
 		}
 		n *= d
 	}
-	var t *Tensor
+	var t *Of[T]
 	if w != nil {
 		if list := w.free[n]; len(list) > 0 {
 			t = list[len(list)-1]
@@ -42,16 +51,16 @@ func (w *Workspace) Get(shape ...int) *Tensor {
 		}
 	}
 	if t == nil {
-		// Deliberately not New(shape...): referencing the variadic slice from
+		// Deliberately not NewOf(shape...): referencing the variadic slice from
 		// an escaping call would force every Get to heap-allocate its argument.
-		t = &Tensor{shape: make([]int, 0, len(shape)), data: make([]float32, n)}
+		t = &Of[T]{shape: make([]int, 0, len(shape)), data: make([]T, n)}
 	}
 	t.shape = append(t.shape[:0], shape...)
 	return t
 }
 
 // GetZeroed is Get followed by Zero.
-func (w *Workspace) GetZeroed(shape ...int) *Tensor {
+func (w *WorkspaceOf[T]) GetZeroed(shape ...int) *Of[T] {
 	t := w.Get(shape...)
 	t.Zero()
 	return t
@@ -61,7 +70,7 @@ func (w *Workspace) GetZeroed(shape ...int) *Tensor {
 // count. The caller must not use t (or any view sharing its storage) after
 // Put — the single-owner rule. Putting nil, or putting into a nil workspace,
 // is a no-op.
-func (w *Workspace) Put(t *Tensor) {
+func (w *WorkspaceOf[T]) Put(t *Of[T]) {
 	if w == nil || t == nil {
 		return
 	}

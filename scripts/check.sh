@@ -31,12 +31,29 @@ go test -race -run 'TestMetricsScrapeDuringTraining|TestInstrumentationEquivalen
 # internal/obs must not cost a single allocation.
 echo '>> go test -run TestAllocs -count=1 ./... (allocation gate, no race)'
 go test -run TestAllocs -count=1 ./...
+# Precision-tier gate: one named pass over the fp32/fp64 contract — the
+# float64 kernel suite behind the Ref64 measuring stick, bit-identity of the
+# fused fold at both element widths, the dtype-tagged checkpoint wire format,
+# and the fp32-vs-fp64 finetune accuracy parity (full streams).
+echo '>> go test -run "Test.*64|TestGobDtype|TestFusedStepBitIdentity|TestPrecisionParity" -count=1 ./internal/tensor/ ./internal/nn/ ./internal/exp/ (precision-tier gate)'
+go test -run 'Test.*64|TestGobDtype|TestFusedStepBitIdentity|TestPrecisionParity' -count=1 \
+	./internal/tensor/ ./internal/nn/ ./internal/exp/
+# ns/op regression gate: the fp32 fused train step must hold its lead over
+# the fp64 reference step (≥1.5×), stay within 5% of the split step, and run
+# allocation-free. Ratios are within-run (interleaved min-of-N), so the gate
+# is machine-independent; the JSON lands in a scratch dir — the published
+# BENCH_pr6.json comes from `make bench-json`, not from here.
+gatedir=$(mktemp -d)
+trap 'rm -rf "$gatedir"' EXIT
+echo '>> go run ./cmd/benchjson -quick -check (ns/op regression gate)'
+# (the serve smoke below replaces this trap; it removes $gatedir too)
+go run ./cmd/benchjson -quick -check -out "$gatedir/bench-gate.json"
 # Serving smoke gate: the real chameleon-serve binary (synthetic backbone)
 # answers the load generator end to end, then drains cleanly on SIGTERM and
 # leaves a resumable checkpoint behind.
 echo '>> serve smoke: chameleon-serve + chameleon-loadgen end to end'
 smokedir=$(mktemp -d)
-trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$smokedir"' EXIT
+trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$smokedir" "$gatedir"' EXIT
 go build -o "$smokedir/chameleon-serve" ./cmd/chameleon-serve
 go build -o "$smokedir/chameleon-loadgen" ./cmd/chameleon-loadgen
 "$smokedir/chameleon-serve" -dataset synthetic -method chameleon \
