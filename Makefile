@@ -24,12 +24,14 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkMatMulParallel|BenchmarkLatentExtractParallel' .
 
-# Steady-state hot-path envelope as machine-readable JSON (BENCH_pr6.json):
+# Steady-state hot-path envelope as machine-readable JSON (BENCH_pr7.json):
 # the precision-tier section (fp32 fused vs split vs fp64 reference train
 # step, raw GEMM/GEMV at both widths, interleaved min-of-N) with its
 # regression gates applied, plus train-step and eval-batch ns/op + allocs/op,
 # serial vs batched eval speedup, checkpoint save/restore latency, the
 # serving layer under 32-client closed-loop load (throughput + p50/p95/p99),
-# and the full end-of-run metrics report.
+# the multi-tenant fleet under 10k-user Zipf load (throughput, eviction and
+# fault-in counts, fault-in p50/p99, resident heap per 10k users), and the
+# full end-of-run metrics report.
 bench-json:
-	$(GO) run ./cmd/benchjson -check -out BENCH_pr6.json
+	$(GO) run ./cmd/benchjson -check -out BENCH_pr7.json

@@ -1,6 +1,6 @@
 // Command benchjson measures the steady-state performance envelope of the
 // online-learning hot path and writes it as machine-readable JSON (the PR
-// regression artefact, BENCH_pr6.json by default):
+// regression artefact, BENCH_pr7.json by default):
 //
 //   - train_step: one TrainCEOn SGD step over a replay-sized batch
 //     (ns/op, B/op, allocs/op — allocs must be 0 after warm-up),
@@ -22,6 +22,10 @@
 //   - serve: a closed-loop load run (32 concurrent predict clients plus a
 //     live observe stream) against an in-process serving instance, with
 //     sustained throughput and p50/p95/p99 latency,
+//   - fleet: a Zipf-user load run against an in-process multi-tenant fleet
+//     server (10k-user id space, bounded hot-set), with sustained
+//     throughput, eviction/fault-in counts, fault-in p50/p99 latency and
+//     resident heap per 10k known users,
 //   - metrics: the full end-of-run observability report (every counter,
 //     gauge and histogram the instrumented run produced).
 //
@@ -38,6 +42,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -46,6 +51,7 @@ import (
 	"chameleon/internal/cl"
 	"chameleon/internal/cli"
 	"chameleon/internal/core"
+	"chameleon/internal/fleet"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/nn"
 	"chameleon/internal/obs"
@@ -132,6 +138,10 @@ type report struct {
 	// instance: 32 concurrent predict clients plus one live observe stream,
 	// reported as sustained throughput and p50/p95/p99 latency.
 	Serve serve.LoadReport `json:"serve"`
+	// Fleet is the multi-tenant serving run: Zipf-popular users against an
+	// in-process fleet server with a bounded hot-set, so the numbers cover
+	// the eviction/fault-in path, not just steady-state residents.
+	Fleet fleetReport `json:"fleet"`
 	// Metrics is the structured end-of-run report of the default registry.
 	Metrics obs.Report `json:"metrics"`
 }
@@ -307,13 +317,128 @@ func benchServe(model *mobilenet.Model, classes int, seed int64) serve.LoadRepor
 	return rep
 }
 
+// fleetReport is the multi-tenant section of the PR artefact: one Zipf-user
+// load run against an in-process fleet server whose hot-set is far smaller
+// than the user population, so a meaningful fraction of requests pays the
+// evict/fault-in path and the latency histogram actually covers it.
+type fleetReport struct {
+	Users  int `json:"users"`
+	HotSet int `json:"hot_set"`
+	Shards int `json:"shards"`
+	// Load is the same closed-loop load report the single-learner serve
+	// section uses, here with per-request user ids drawn Zipf(s=1.2).
+	Load serve.LoadReport `json:"load"`
+	// UsersKnown / Resident / Evictions / FaultIns come from fleet.Stats()
+	// at the end of the run (before drain).
+	UsersKnown int64 `json:"users_known"`
+	Resident   int64 `json:"resident_learners"`
+	Evictions  int64 `json:"evictions_total"`
+	FaultIns   int64 `json:"fault_ins_total"`
+	// Fault-in latency quantiles from the fleet_fault_in_seconds histogram
+	// (bucket-interpolated, so coarse but machine-independent in shape).
+	FaultInP50Ms float64 `json:"fault_in_p50_ms"`
+	FaultInP99Ms float64 `json:"fault_in_p99_ms"`
+	// HeapMB is the live-heap growth attributable to the fleet run (GC'd
+	// before/after measurement); HeapMBPer10kUsers normalises it to the
+	// paper-scale question "what does 10k known users cost resident?" —
+	// with a bounded hot-set the answer must stay near the hot-set cost,
+	// not scale with the user count.
+	HeapMB            float64 `json:"heap_mb"`
+	HeapMBPer10kUsers float64 `json:"heap_mb_per_10k_users"`
+}
+
+// benchFleet stands up a fleet server (10k-user id space, 32-slot hot-set,
+// 4 shards) around per-user Chameleon learners and drives it with the Zipf
+// load generator.
+func benchFleet(model *mobilenet.Model, classes int, seed int64) fleetReport {
+	const users, hotSet, shards = 10000, 32, 4
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	dir, err := os.MkdirTemp("", "benchjson-fleet")
+	if err != nil {
+		log.Fatalf("fleet bench: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	fl, err := fleet.New(fleet.Config{
+		New: func(user string) (cl.Learner, error) {
+			s := fleet.UserSeed(seed+3, user)
+			head := cl.NewHead(model, cl.HeadConfig{Seed: s})
+			return core.New(head, core.Config{STCap: 10, LTCap: 100, AccessRate: 5, Seed: s}), nil
+		},
+		Dir:        dir,
+		MaxUsers:   users,
+		HotSet:     hotSet,
+		Shards:     shards,
+		QueueDepth: 256,
+	})
+	if err != nil {
+		log.Fatalf("fleet bench: %v", err)
+	}
+	srv, err := serve.New(nil, serve.Config{LatentShape: model.LatentShape, Classes: classes, Fleet: fl})
+	if err != nil {
+		log.Fatalf("fleet bench: %v", err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatalf("fleet bench: %v", err)
+	}
+	before := obs.Default().Report()
+	load, err := serve.RunLoad("http://"+srv.Addr(), serve.LoadOptions{
+		Clients:        16,
+		Duration:       2 * time.Second,
+		ObserveBatches: 40,
+		Users:          users,
+		Seed:           seed,
+	})
+	if err != nil {
+		log.Fatalf("fleet bench: load: %v", err)
+	}
+	st := fl.Stats()
+
+	// Resident cost: measure while the hot-set is still populated, before the
+	// drain evicts everything back to disk.
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("fleet bench: shutdown: %v", err)
+	}
+
+	rep := fleetReport{
+		Users:      users,
+		HotSet:     hotSet,
+		Shards:     shards,
+		Load:       load,
+		UsersKnown: st.UsersKnown,
+		Resident:   st.Resident,
+		Evictions:  st.Evictions,
+		FaultIns:   st.FaultIns,
+	}
+	if h, ok := obs.Default().Report().Histograms["fleet_fault_in_seconds"]; ok && h.Count > before.Histograms["fleet_fault_in_seconds"].Count {
+		rep.FaultInP50Ms = 1e3 * h.Quantile(0.50)
+		rep.FaultInP99Ms = 1e3 * h.Quantile(0.99)
+	}
+	if m1.HeapAlloc > m0.HeapAlloc {
+		rep.HeapMB = float64(m1.HeapAlloc-m0.HeapAlloc) / (1 << 20)
+	}
+	if st.UsersKnown > 0 {
+		rep.HeapMBPer10kUsers = rep.HeapMB * 1e4 / float64(st.UsersKnown)
+	}
+	return rep
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	var perf cli.Perf
 	perf.Bind(flag.CommandLine)
 	var (
-		out     = flag.String("out", "BENCH_pr6.json", "output JSON path")
+		out     = flag.String("out", "BENCH_pr7.json", "output JSON path")
 		classes = flag.Int("classes", 10, "synthetic class count")
 		pool    = flag.Int("pool", 400, "test-pool size")
 		batch   = flag.Int("batch", 11, "train-step batch size (incoming + replay)")
@@ -322,6 +447,9 @@ func main() {
 		check   = flag.Bool("check", false, "apply the regression gates and exit non-zero on violation")
 	)
 	flag.Parse()
+	if err := perf.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	stop, err := perf.Start(log.Printf)
 	if err != nil {
 		log.Fatal(err)
@@ -422,6 +550,7 @@ func main() {
 		benchCheckpoint(&rep, model, train, *batch, *seed)
 		benchServe(model, *classes, *seed) // warm-up run: JIT-free, but settles pools/conn reuse
 		rep.Serve = benchServe(model, *classes, *seed)
+		rep.Fleet = benchFleet(model, *classes, *seed)
 	}
 	// Snapshot last so the report carries everything the run produced: trainer
 	// phase histograms, replay-store counters, pool utilisation, head timings,
@@ -456,6 +585,10 @@ func main() {
 			rep.CheckpointSaveMs, rep.CheckpointRestoreMs, rep.CheckpointFrameKB, rep.CheckpointSaves)
 		fmt.Printf("serve (%d clients): %.0f req/s, p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, shed %d\n",
 			rep.Serve.Clients, rep.Serve.ThroughputRPS, rep.Serve.P50Ms, rep.Serve.P95Ms, rep.Serve.P99Ms, rep.Serve.Shed)
+		fmt.Printf("fleet (%d users zipf, hot %d): %.0f req/s, users_known %d, evictions %d, fault-ins %d, fault-in p99 %.2f ms, heap %.1f MB/10k users\n",
+			rep.Fleet.Users, rep.Fleet.HotSet, rep.Fleet.Load.ThroughputRPS,
+			rep.Fleet.UsersKnown, rep.Fleet.Evictions, rep.Fleet.FaultIns,
+			rep.Fleet.FaultInP99Ms, rep.Fleet.HeapMBPer10kUsers)
 	}
 	fmt.Printf("accuracy: %.1f%%  →  %s\n", rep.AccuracyPct, *out)
 	if *check {

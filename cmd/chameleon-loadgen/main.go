@@ -31,6 +31,8 @@ func main() {
 		duration     = flag.Duration("duration", 5*time.Second, "run length when -n is 0")
 		observe      = flag.Int("observe", 0, "labelled batches the sequential observer feeds during the run (0 disables)")
 		observeBatch = flag.Int("observe-batch", 10, "samples per observe batch")
+		users        = flag.Int("users", 0, "distinct Zipf-popular user ids to tag requests with (0 auto-selects 256 against a fleet server)")
+		zipfS        = flag.Float64("zipf-s", 1.2, "Zipf exponent for user popularity (must be > 1)")
 		seed         = flag.Int64("seed", 1, "payload seed")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
 	)
@@ -42,6 +44,8 @@ func main() {
 		Duration:          *duration,
 		ObserveBatches:    *observe,
 		ObserveBatchSize:  *observeBatch,
+		Users:             *users,
+		ZipfS:             *zipfS,
 		Seed:              *seed,
 	})
 	if err != nil {

@@ -6,6 +6,13 @@
 //	chameleon-serve -dataset synthetic -method chameleon        # no pipeline build, starts in seconds
 //	chameleon-serve -dataset core50 -method chameleon -scale test
 //	chameleon-serve -dataset synthetic -checkpoint serve.ckpt -resume
+//	chameleon-serve -dataset synthetic -fleet-users 10000 -fleet-hot 256 -fleet-dir fleet/
+//
+// With -fleet-users the server hosts a multi-tenant fleet instead of one
+// learner: every request carries a "user" field, users are consistent-hashed
+// onto single-writer shards, and only -fleet-hot learners stay resident —
+// colder users are LRU-evicted to per-user checkpoints under -fleet-dir and
+// faulted back bit-identically on their next request (internal/fleet).
 //
 // Endpoints: POST /v1/predict, POST /v1/observe, GET /v1/stats, GET /metrics
 // (the full internal/obs registry), GET /healthz. See DESIGN.md §13 and the
@@ -15,6 +22,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -24,6 +32,7 @@ import (
 	"chameleon/internal/cl"
 	"chameleon/internal/cli"
 	"chameleon/internal/exp"
+	"chameleon/internal/fleet"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/obs"
 	"chameleon/internal/serve"
@@ -35,6 +44,8 @@ func main() {
 	var cfg cli.RunConfig
 	cfg.Stream.ExtraDatasets = []string{"synthetic"}
 	cfg.Bind(flag.CommandLine)
+	var fleetCfg cli.Fleet
+	fleetCfg.Bind(flag.CommandLine)
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 		classes      = flag.Int("classes", 10, "label-space width for -dataset synthetic")
@@ -48,8 +59,14 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	if err := fleetCfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	if cfg.Precision == cli.PrecisionFP64 {
 		log.Fatal("-precision fp64 is a training reference tier; the serving path runs the fast fp32 tier only")
+	}
+	if fleetCfg.Enabled() && cfg.Checkpoint.Path != "" {
+		log.Fatal("-checkpoint is the single-learner drain target; fleet mode persists per user under -fleet-dir instead")
 	}
 	stop, err := cfg.Perf.Start(log.Printf)
 	if err != nil {
@@ -80,31 +97,60 @@ func main() {
 	}
 	meter := &cl.TrafficMeter{}
 	meter.Bind(obs.Default())
-	learner, err := exp.NewLearnerOn(cfg.Spec(), backbone, nClasses, sc, cfg.Seed, meter)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	srvCfg := serve.Config{
-		LatentShape:     backbone.LatentShape,
-		Classes:         nClasses,
-		Backbone:        backbone,
-		BatchWindow:     *batchWindow,
-		MaxBatch:        *maxBatch,
-		QueueDepth:      *queueDepth,
-		RequestTimeout:  *reqTimeout,
-		CheckpointPath:  cfg.Checkpoint.Path,
-		CheckpointEvery: cfg.Checkpoint.Every,
+		LatentShape:    backbone.LatentShape,
+		Classes:        nClasses,
+		Backbone:       backbone,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *maxBatch,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
 	}
-	if cfg.Checkpoint.Resume && cfg.Checkpoint.Path != "" {
-		if _, err := os.Stat(cfg.Checkpoint.Path); err == nil {
-			st, err := serve.Resume(cfg.Checkpoint.Path, learner)
-			if err != nil {
-				log.Fatalf("resume: %v", err)
-			}
-			srvCfg.StartBatches, srvCfg.StartSamples = st.Batches, st.Samples
-			log.Printf("resumed %s from %s (batch %d, %d samples)", learner.Name(), cfg.Checkpoint.Path, st.Batches, st.Samples)
+
+	// Single-learner mode hosts one learner behind the engine goroutine;
+	// fleet mode hosts up to -fleet-users learners behind sharded engines,
+	// each user isolated under its own deterministic seed, with cold users
+	// LRU-evicted to per-user checkpoints in -fleet-dir and faulted back
+	// bit-identically on their next request.
+	var learner cl.Learner
+	serving := ""
+	if fleetCfg.Enabled() {
+		fl, err := fleet.New(fleet.Config{
+			New: func(user string) (cl.Learner, error) {
+				return exp.NewLearnerOn(cfg.Spec(), backbone, nClasses, sc, fleet.UserSeed(cfg.Seed, user), meter)
+			},
+			Dir:        fleetCfg.Dir,
+			MaxUsers:   fleetCfg.Users,
+			HotSet:     fleetCfg.Hot,
+			Shards:     fleetCfg.Shards,
+			QueueDepth: fleetCfg.QueueDepth,
+		})
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
 		}
+		srvCfg.Fleet = fl
+		st := fl.Stats()
+		serving = fmt.Sprintf("fleet of %s learners (max %d users, hot-set %d across %d shards → %s)",
+			cfg.Method.Name, fleetCfg.Users, st.HotSet, st.Shards, fleetCfg.Dir)
+	} else {
+		learner, err = exp.NewLearnerOn(cfg.Spec(), backbone, nClasses, sc, cfg.Seed, meter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srvCfg.CheckpointPath = cfg.Checkpoint.Path
+		srvCfg.CheckpointEvery = cfg.Checkpoint.Every
+		if cfg.Checkpoint.Resume && cfg.Checkpoint.Path != "" {
+			if _, err := os.Stat(cfg.Checkpoint.Path); err == nil {
+				st, err := serve.Resume(cfg.Checkpoint.Path, learner)
+				if err != nil {
+					log.Fatalf("resume: %v", err)
+				}
+				srvCfg.StartBatches, srvCfg.StartSamples = st.Batches, st.Samples
+				log.Printf("resumed %s from %s (batch %d, %d samples)", learner.Name(), cfg.Checkpoint.Path, st.Batches, st.Samples)
+			}
+		}
+		serving = learner.Name()
 	}
 
 	srv, err := serve.New(learner, srvCfg)
@@ -115,7 +161,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("serving %s on http://%s (latent %v, %d classes; POST /v1/predict, /v1/observe, GET /v1/stats, /metrics)",
-		learner.Name(), srv.Addr(), backbone.LatentShape, nClasses)
+		serving, srv.Addr(), backbone.LatentShape, nClasses)
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -130,5 +176,8 @@ func main() {
 	log.Printf("drained in %s: %d batches / %d samples observed", time.Since(t0).Round(time.Millisecond), srv.Batches(), srv.Samples())
 	if cfg.Checkpoint.Path != "" {
 		log.Printf("checkpoint written: %s (restart with -resume to continue bit-identically)", cfg.Checkpoint.Path)
+	}
+	if fleetCfg.Enabled() {
+		log.Printf("fleet drained: every resident learner checkpointed under %s (restart continues each user bit-identically)", fleetCfg.Dir)
 	}
 }

@@ -9,6 +9,7 @@
 //	Method      -method, -buffer, -st       learner selection and sizing
 //	Stream      -dataset, -seed             benchmark stream selection
 //	Checkpoint  -checkpoint, -checkpoint-every, -resume
+//	Fleet       -fleet-users, -fleet-hot, -fleet-dir, -fleet-shards, -fleet-queue
 //
 // RunConfig composes all five into the full "drive one learner over one
 // stream" configuration used by chameleon-train and chameleon-serve; the
@@ -226,6 +227,64 @@ func (c Checkpoint) Grid() (exp.Checkpointing, error) {
 		}
 	}
 	return ck, nil
+}
+
+// Fleet configures multi-tenant serving: per-user learners behind one HTTP
+// surface, with a bounded hot-set and LRU eviction to per-user checkpoints
+// (see internal/fleet). Bound by chameleon-serve only; the zero value means
+// single-learner mode.
+type Fleet struct {
+	// Users caps the distinct user ids admitted (0 = single-learner mode).
+	Users int
+	// Hot bounds learners resident in memory across all shards (0 = default).
+	Hot int
+	// Dir is where evicted and drained learners checkpoint to.
+	Dir string
+	// Shards is the number of single-writer engine goroutines (0 = default).
+	Shards int
+	// QueueDepth bounds each shard's request queue (0 = default).
+	QueueDepth int
+}
+
+// Bind registers the group's flags on fs.
+func (f *Fleet) Bind(fs *flag.FlagSet) {
+	fs.IntVar(&f.Users, "fleet-users", 0, "serve a fleet of per-user learners, admitting up to this many distinct user ids (0 = single-learner mode)")
+	fs.IntVar(&f.Hot, "fleet-hot", 0, "max learners resident in memory across the fleet; colder users are LRU-evicted to -fleet-dir (0 = default 256)")
+	fs.StringVar(&f.Dir, "fleet-dir", "", "directory for evicted and drained per-user checkpoints (required with -fleet-users)")
+	fs.IntVar(&f.Shards, "fleet-shards", 0, "single-writer engine goroutines users are consistent-hashed onto (0 = default 4)")
+	fs.IntVar(&f.QueueDepth, "fleet-queue", 0, "bounded per-shard request queue depth; full queues shed with 429 (0 = default 256)")
+}
+
+// Enabled reports whether any fleet flag was set.
+func (f Fleet) Enabled() bool {
+	return f.Users > 0 || f.Hot != 0 || f.Dir != "" || f.Shards != 0 || f.QueueDepth != 0
+}
+
+// Validate fails fast on a partial or inconsistent fleet spec, so a typo'd
+// or half-configured fleet never silently falls back to single-learner mode.
+func (f Fleet) Validate() error {
+	if !f.Enabled() {
+		return nil
+	}
+	if f.Users <= 0 {
+		return fmt.Errorf("fleet flags set but -fleet-users is %d; fleet mode requires -fleet-users > 0", f.Users)
+	}
+	if f.Dir == "" {
+		return fmt.Errorf("-fleet-users %d requires -fleet-dir (evicted learners checkpoint there)", f.Users)
+	}
+	if f.Hot < 0 {
+		return fmt.Errorf("-fleet-hot must be >= 0, got %d", f.Hot)
+	}
+	if f.Shards < 0 {
+		return fmt.Errorf("-fleet-shards must be >= 0, got %d", f.Shards)
+	}
+	if f.QueueDepth < 0 {
+		return fmt.Errorf("-fleet-queue must be >= 0, got %d", f.QueueDepth)
+	}
+	if f.Hot > 0 && f.Hot > f.Users {
+		return fmt.Errorf("-fleet-hot %d exceeds -fleet-users %d (the hot-set cannot outgrow the fleet)", f.Hot, f.Users)
+	}
+	return nil
 }
 
 // RunConfig is the full "drive one learner over one benchmark stream"

@@ -125,3 +125,70 @@ func TestFlagSurface(t *testing.T) {
 		}
 	}
 }
+
+// TestPrecisionValidation pins the fail-fast contract: a typo'd -precision
+// must be rejected with the valid spellings, never silently treated as fp32.
+func TestPrecisionValidation(t *testing.T) {
+	for _, ok := range []string{"", PrecisionFP32, PrecisionFP64} {
+		p := Perf{Precision: ok}
+		if err := p.Validate(); err != nil {
+			t.Errorf("precision %q rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"fp16", "FP32", "float32", "double"} {
+		p := Perf{Precision: bad}
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("precision %q accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), PrecisionFP32) || !strings.Contains(err.Error(), PrecisionFP64) {
+			t.Errorf("precision error does not name the valid spellings: %v", err)
+		}
+	}
+}
+
+// TestFleetValidation: partial or inconsistent fleet flag combinations must
+// fail fast instead of silently falling back to single-learner mode.
+func TestFleetValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Fleet
+		ok   bool
+	}{
+		{"zero value is single-learner mode", Fleet{}, true},
+		{"full spec", Fleet{Users: 100, Hot: 10, Dir: "d", Shards: 2, QueueDepth: 64}, true},
+		{"users + dir only", Fleet{Users: 100, Dir: "d"}, true},
+		{"hot without users", Fleet{Hot: 10}, false},
+		{"dir without users", Fleet{Dir: "d"}, false},
+		{"shards without users", Fleet{Shards: 2}, false},
+		{"users without dir", Fleet{Users: 100}, false},
+		{"negative hot", Fleet{Users: 100, Dir: "d", Hot: -1}, false},
+		{"negative shards", Fleet{Users: 100, Dir: "d", Shards: -1}, false},
+		{"negative queue", Fleet{Users: 100, Dir: "d", QueueDepth: -1}, false},
+		{"hot exceeds users", Fleet{Users: 4, Dir: "d", Hot: 8}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+// TestFleetFlagSurface pins the fleet flag spellings.
+func TestFleetFlagSurface(t *testing.T) {
+	var f Fleet
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Bind(fs)
+	for _, name := range []string{"fleet-users", "fleet-hot", "fleet-dir", "fleet-shards", "fleet-queue"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("Fleet.Bind did not register -%s", name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"chameleon/internal/checkpoint"
+	"chameleon/internal/cl"
+	"chameleon/internal/core"
+	"chameleon/internal/mobilenet"
+	"chameleon/internal/obs"
+	"chameleon/internal/parallel"
+	"chameleon/internal/tensor"
+)
+
+// TestEvictionBitIdentity is the fleet's core correctness contract: a learner
+// that is repeatedly evicted to disk and faulted back in must end up in
+// exactly the state of a never-evicted control fed the identical stream. The
+// fleet runs a real Chameleon learner on a 1-slot hot-set, so every
+// interleaved request for another user demotes the target between batches;
+// concurrent predicts for the evicting user race the evictions (run this
+// under -race). The check runs at worker-pool sizes 1 and 8 because the
+// training kernels fan out across the pool and bit-identity must not depend
+// on the parallel schedule.
+func TestEvictionBitIdentity(t *testing.T) {
+	const seed = 9
+	model, err := mobilenet.New(mobilenet.DefaultConfig(4, seed))
+	if err != nil {
+		t.Fatalf("backbone: %v", err)
+	}
+	newLearner := func(user string) (cl.Learner, error) {
+		head := cl.NewHead(model, cl.HeadConfig{LR: 0.1, Momentum: 0.5, Seed: UserSeed(seed, user)})
+		return core.New(head, core.Config{STCap: 4, LTCap: 16, AccessRate: 2, Seed: UserSeed(seed, user)}), nil
+	}
+
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			parallel.SetWorkers(workers)
+			t.Cleanup(func() { parallel.SetWorkers(0) })
+
+			// One deterministic stream, shared verbatim by fleet and control.
+			const nBatches, batchSize = 6, 3
+			rng := rand.New(rand.NewSource(seed))
+			batches := make([][]cl.LatentSample, nBatches)
+			for b := range batches {
+				batches[b] = make([]cl.LatentSample, batchSize)
+				for i := range batches[b] {
+					batches[b][i] = cl.LatentSample{
+						Z:     tensor.RandNormal(rng, 1, model.LatentShape...),
+						Label: (b*batchSize + i) % 4,
+					}
+				}
+			}
+
+			f, err := New(Config{
+				New: newLearner, Dir: t.TempDir(),
+				Shards: 1, HotSet: 1, QueueDepth: 1024,
+				Registry: obs.NewRegistry(),
+			})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+
+			// Concurrent predicts for the evicting user, racing every
+			// demotion and fault-in for the whole run.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				z := tensor.RandNormal(rand.New(rand.NewSource(seed+1)), 1, model.LatentShape...)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, err := f.Predict(context.Background(), "alice", z); err != nil {
+						t.Errorf("concurrent predict: %v", err)
+						return
+					}
+				}
+			}()
+
+			control, err := newLearner("alice")
+			if err != nil {
+				t.Fatalf("control: %v", err)
+			}
+			for b, samples := range batches {
+				if idx, _, err := f.Observe(context.Background(), "alice", samples, 0); err != nil {
+					t.Fatalf("fleet observe %d: %v", b, err)
+				} else if idx != b {
+					t.Fatalf("fleet numbered batch %d as %d", b, idx)
+				}
+				control.Observe(cl.LatentBatch{Samples: samples, Index: b})
+				// Touch two other users so alice is the LRU victim before
+				// her next batch — she must fault in from disk every time.
+				for _, other := range []string{"bob", "carol"} {
+					if _, _, err := f.Observe(context.Background(), other, batches[0], 0); err != nil {
+						t.Fatalf("observe %s: %v", other, err)
+					}
+				}
+			}
+			close(stop)
+			wg.Wait()
+
+			if st := f.Stats(); st.FaultIns < nBatches-1 {
+				t.Fatalf("fault-ins = %d; the hot-set never actually evicted alice", st.FaultIns)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := f.Shutdown(ctx); err != nil {
+				t.Fatalf("Shutdown: %v", err)
+			}
+
+			var drained userState
+			if err := checkpoint.Load(f.userPath("alice"), userKind, &drained); err != nil {
+				t.Fatalf("load drained alice: %v", err)
+			}
+			if drained.Batches != nBatches || drained.Samples != nBatches*batchSize {
+				t.Fatalf("drained stream position %d/%d, want %d/%d",
+					drained.Batches, drained.Samples, nBatches, nBatches*batchSize)
+			}
+			want, err := cl.Caps(control).Snapshotter.Snapshot()
+			if err != nil {
+				t.Fatalf("control snapshot: %v", err)
+			}
+			equal, err := core.SnapshotsEqual(drained.Learner, want)
+			if err != nil {
+				t.Fatalf("compare snapshots: %v", err)
+			}
+			if !equal {
+				t.Fatal("evicted+faulted learner diverged from the never-evicted control")
+			}
+		})
+	}
+}

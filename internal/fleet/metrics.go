@@ -1,0 +1,54 @@
+package fleet
+
+import (
+	"chameleon/internal/obs"
+)
+
+// metrics bundles the fleet's handles on one registry. Handles are resolved
+// at construction; the request path touches only atomics (DESIGN.md §12).
+type metrics struct {
+	predicts       *obs.Counter // requests accepted into Predict
+	observes       *obs.Counter
+	shed           *obs.Counter // refused on a full shard queue
+	panics         *obs.Counter // learner panics converted to errors
+	evictions      *obs.Counter
+	evictionErrors *obs.Counter
+	faultIns       *obs.Counter
+
+	evictionSeconds *obs.Histogram // snapshot + checkpoint write
+	faultInSeconds  *obs.Histogram // checkpoint read + restore
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		predicts:        r.Counter("fleet_predict_requests_total"),
+		observes:        r.Counter("fleet_observe_requests_total"),
+		shed:            r.Counter("fleet_shed_total"),
+		panics:          r.Counter("fleet_panics_total"),
+		evictions:       r.Counter("fleet_evictions_total"),
+		evictionErrors:  r.Counter("fleet_eviction_errors_total"),
+		faultIns:        r.Counter("fleet_fault_ins_total"),
+		evictionSeconds: r.Histogram("fleet_eviction_seconds"),
+		faultInSeconds:  r.Histogram("fleet_fault_in_seconds"),
+	}
+}
+
+// bind publishes the scrape-time gauges: resident learners (the hot-set
+// occupancy — the number the LRU policy exists to bound) and known users.
+// Shard counts are mirrored into atomics, so scraping needs no coordination
+// with the engine goroutines.
+func (m *metrics) bind(f *Fleet) {
+	f.cfg.Registry.GaugeFunc("fleet_resident_learners", func() float64 {
+		var n int64
+		for _, sh := range f.shards {
+			n += sh.nResident.Load()
+		}
+		return float64(n)
+	})
+	f.cfg.Registry.GaugeFunc("fleet_users_known", func() float64 {
+		return float64(f.usersKnown.Load())
+	})
+	f.cfg.Registry.GaugeFunc("fleet_batches_observed", func() float64 {
+		return float64(f.batches.Load())
+	})
+}

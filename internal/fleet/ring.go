@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// hashRing maps user ids to shards by consistent hashing: every shard owns
+// vnodesPerShard points on a 64-bit ring, and a user lands on the shard
+// owning the first point at or after the user's hash. The assignment is a
+// pure function of (user, shard count, vnode count), so a restarted server
+// routes every user to the same shard — which is what lets a shard find the
+// user's eviction checkpoint again — and adding shards in a future resize
+// moves only ~1/n of the users instead of rehashing everyone.
+type hashRing struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// vnodesPerShard is the virtual-node count per shard. 64 points per shard
+// keeps the worst shard within a few percent of the mean occupancy for the
+// shard counts this package runs at (1..64).
+const vnodesPerShard = 64
+
+// hashKey is the ring's hash function (FNV-64a: stdlib, stable across
+// processes and architectures — routing must never depend on process state).
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// mix64 is the MurmurHash3 64-bit finalizer. FNV-64a of short similar
+// strings (the vnode labels, "u<N>" user ids) leaves the high bits badly
+// dispersed, and the ring orders points by the full 64-bit value — without
+// this avalanche pass the shard arcs come out up to ~6× uneven.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ringPos places a key on the ring.
+func ringPos(key string) uint64 { return mix64(hashKey(key)) }
+
+// newRing builds the ring for a shard count.
+func newRing(shards int) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, shards*vnodesPerShard)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  ringPos(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (vanishingly rare at 64-bit) break deterministically by shard.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// lookup returns the shard owning key.
+func (r *hashRing) lookup(key string) int {
+	h := ringPos(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point, the ring starts over
+	}
+	return r.points[i].shard
+}
+
+// UserSeed derives a per-user learner seed from a base seed: deterministic
+// across restarts (fresh construction before a checkpoint restore must build
+// the same structure every time) while giving distinct users distinct RNG
+// streams.
+func UserSeed(base int64, user string) int64 {
+	return base ^ int64(hashKey(user))
+}

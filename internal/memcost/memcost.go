@@ -31,6 +31,42 @@ const (
 	bytesFloat    = 4 // fp32 activations/weights
 )
 
+// Dtype identifies the element type a latent store persists. The accounting
+// used to charge every latent store 4 bytes/element unconditionally, which
+// overstates the int8 backbone path (-backbone-int8) 4×: its latents are
+// int8 elements plus one fp32 per-tensor scale.
+type Dtype string
+
+// Latent store datatypes.
+const (
+	// DtypeFP32 is the default fp32 latent store (4 bytes/element). The
+	// zero value "" means fp32 so existing cost models are unchanged.
+	DtypeFP32 Dtype = "fp32"
+	// DtypeInt8 is the quantised latent store: 1 byte/element plus one
+	// fp32 per-tensor quantisation scale.
+	DtypeInt8 Dtype = "int8"
+)
+
+// ScalarBytes returns d's per-element stored size.
+func (d Dtype) ScalarBytes() (int64, error) {
+	switch d {
+	case "", DtypeFP32:
+		return bytesFloat, nil
+	case DtypeInt8:
+		return 1, nil
+	}
+	return 0, fmt.Errorf("memcost: unknown dtype %q (want %s or %s)", d, DtypeFP32, DtypeInt8)
+}
+
+// tensorOverheadBytes is the fixed per-tensor cost on top of the elements
+// (int8 tensors carry one fp32 quantisation scale).
+func (d Dtype) tensorOverheadBytes() int64 {
+	if d == DtypeInt8 {
+		return bytesFloat
+	}
+	return 0
+}
+
 // MB converts bytes to the paper's MB (10⁶ bytes would differ by <5%; the
 // paper's round numbers match MiB best for latents, so MiB is used).
 func MB(bytes int64) float64 { return float64(bytes) / (1024 * 1024) }
@@ -48,6 +84,10 @@ type Model struct {
 	// samples) without specifying the gradient format; the default of
 	// 115,200 fp32 scalars (≈0.44 MB/sample) reproduces that figure.
 	GradSketchScalars int64
+	// LatentDtype is the element type of latent stores (Latent Replay and
+	// Chameleon buffers). The zero value prices fp32; set DtypeInt8 when
+	// the latents come through the quantised backbone path.
+	LatentDtype Dtype
 }
 
 // New derives a cost model from a backbone config. rawSide of 0 defaults to
@@ -69,8 +109,16 @@ func (m *Model) RawImageBytes() int64 {
 	return int64(m.RawImageSide) * int64(m.RawImageSide) * 3 * bytesRawPixel
 }
 
-// LatentBytes is the stored size of one latent activation.
-func (m *Model) LatentBytes() int64 { return m.sum.LatentScalars * bytesFloat }
+// LatentBytes is the stored size of one latent activation under LatentDtype:
+// 4 bytes/element fp32, or 1 byte/element int8 plus one fp32 per-tensor
+// scale. An unknown dtype prices as fp32 here; Overhead rejects it first.
+func (m *Model) LatentBytes() int64 {
+	per, err := m.LatentDtype.ScalarBytes()
+	if err != nil {
+		per = bytesFloat
+	}
+	return m.sum.LatentScalars*per + m.LatentDtype.tensorOverheadBytes()
+}
 
 // LogitBytes is the stored size of one logit vector.
 func (m *Model) LogitBytes() int64 { return int64(m.sum.NumClasses) * bytesFloat }
@@ -104,6 +152,9 @@ const (
 // Chameleon, bufSamples is the long-term size and stSamples the short-term
 // size; other methods ignore stSamples.
 func (m *Model) Overhead(method Method, bufSamples, stSamples int) (int64, error) {
+	if _, err := m.LatentDtype.ScalarBytes(); err != nil {
+		return 0, err
+	}
 	n := int64(bufSamples)
 	switch method {
 	case Finetune, Joint:

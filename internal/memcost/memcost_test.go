@@ -131,3 +131,60 @@ func smallCfg() (cfg mobilenet.Config) {
 	cfg.LatentLayer = 21
 	return cfg
 }
+
+// TestLatentDtypeAccounting is the regression test for the byte-accounting
+// fix: latent stores used to be priced at 4 bytes/element no matter what the
+// backbone emits. fp32 stays 4 bytes/element; int8 is 1 byte/element plus one
+// fp32 per-tensor scale; unknown dtypes fail fast instead of pricing wrong.
+func TestLatentDtypeAccounting(t *testing.T) {
+	scalars := PaperModel().sum.LatentScalars
+	cases := []struct {
+		name      string
+		dtype     Dtype
+		wantBytes int64
+		wantErr   bool
+	}{
+		{"zero-value defaults to fp32", Dtype(""), scalars * 4, false},
+		{"fp32", DtypeFP32, scalars * 4, false},
+		{"int8 with per-tensor scale", DtypeInt8, scalars*1 + 4, false},
+		{"unknown dtype fails fast", Dtype("fp16"), 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := PaperModel()
+			m.LatentDtype = tc.dtype
+			b, err := m.Overhead(Latent, 1, 0)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Overhead accepted dtype %q", tc.dtype)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b != tc.wantBytes {
+				t.Fatalf("latent overhead for 1 sample = %d bytes, want %d", b, tc.wantBytes)
+			}
+			// Chameleon's dual store prices both tiers at the same dtype.
+			c, err := m.Overhead(Chameleon, 3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c != 5*tc.wantBytes {
+				t.Fatalf("chameleon overhead = %d bytes, want %d", c, 5*tc.wantBytes)
+			}
+		})
+	}
+
+	// Raw-image methods are dtype-independent: frames are uint8 regardless.
+	fp32, int8 := PaperModel(), PaperModel()
+	int8.LatentDtype = DtypeInt8
+	for _, method := range []Method{ER, DER, GSS} {
+		a, _ := fp32.Overhead(method, 100, 0)
+		b, _ := int8.Overhead(method, 100, 0)
+		if a != b {
+			t.Errorf("%s overhead changed with latent dtype: %d vs %d", method, a, b)
+		}
+	}
+}

@@ -71,8 +71,11 @@ func (r *Reservoir) Sample(n int) []Item {
 	return out
 }
 
-// Items returns the live contents (not a copy; callers must not mutate).
-func (r *Reservoir) Items() []Item { return r.items }
+// Items returns a copy of the current contents. It used to return the live
+// backing slice, which let callers overwrite stored records behind the
+// reservoir's back — silently corrupting the uniform-sample invariant the
+// RNG maintains. Mutating the returned slice is now harmless.
+func (r *Reservoir) Items() []Item { return append([]Item(nil), r.items...) }
 
 // Len returns the current fill.
 func (r *Reservoir) Len() int { return len(r.items) }
@@ -129,8 +132,10 @@ func (r *Ring) Push(it Item) {
 	ringEvicts.Add(1)
 }
 
-// Items returns the live contents in arbitrary order.
-func (r *Ring) Items() []Item { return r.items }
+// Items returns a copy of the current contents in arbitrary order. Like
+// Reservoir.Items, this used to alias the live backing slice; a copy keeps
+// caller-side mutation from rewriting the FIFO's history.
+func (r *Ring) Items() []Item { return append([]Item(nil), r.items...) }
 
 // Len returns the current fill.
 func (r *Ring) Len() int { return len(r.items) }

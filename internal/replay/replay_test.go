@@ -305,3 +305,47 @@ func TestConstructorsPanicOnBadCapacity(t *testing.T) {
 		}()
 	}
 }
+
+// TestItemsReturnCopies is the regression test for the slice-aliasing fix:
+// Reservoir.Items and Ring.Items used to return the live backing slice, so a
+// caller writing through the result rewrote store contents behind the RNG's
+// back. Mutating what Items hands out must leave the buffers untouched.
+func TestItemsReturnCopies(t *testing.T) {
+	res := NewReservoir(4, rand.New(rand.NewSource(41)))
+	for i := 0; i < 10; i++ {
+		res.Offer(item(i))
+	}
+	want := res.Items()
+	got := res.Items()
+	for i := range got {
+		got[i].Label = -1
+	}
+	for i, it := range res.Items() {
+		if it.Label != want[i].Label {
+			t.Fatalf("reservoir item %d mutated through Items(): label %d, want %d", i, it.Label, want[i].Label)
+		}
+	}
+
+	ring := NewRing(4)
+	for i := 0; i < 10; i++ {
+		ring.Push(item(i))
+	}
+	wantRing := ring.Items()
+	gotRing := ring.Items()
+	for i := range gotRing {
+		gotRing[i].Label = -1
+	}
+	for i, it := range ring.Items() {
+		if it.Label != wantRing[i].Label {
+			t.Fatalf("ring item %d mutated through Items(): label %d, want %d", i, it.Label, wantRing[i].Label)
+		}
+	}
+
+	// State's copy contract (also exercised by the round-trip test): writes to
+	// the returned slice must not reach the live reservoir either.
+	st, _ := res.State()
+	st[0].Label = -7
+	if res.Items()[0].Label == -7 {
+		t.Fatal("State aliases the live buffer")
+	}
+}

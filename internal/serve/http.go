@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
 	"chameleon/internal/cl"
+	"chameleon/internal/fleet"
+	"chameleon/internal/obs"
 	"chameleon/internal/tensor"
 )
 
@@ -18,7 +22,10 @@ const maxBodyBytes = 16 << 20
 // PredictRequest is the wire form of POST /v1/predict. Exactly one of Latent
 // (a flattened tensor matching the server's latent shape) or Image (a
 // flattened [3,R,R] frame; only with a configured backbone) must be set.
+// User selects the per-user learner on a fleet server (required there,
+// rejected on a single-learner server).
 type PredictRequest struct {
+	User   string    `json:"user,omitempty"`
 	Latent []float32 `json:"latent,omitempty"`
 	Image  []float32 `json:"image,omitempty"`
 }
@@ -38,6 +45,10 @@ type ObserveSample struct {
 
 // ObserveRequest is the wire form of POST /v1/observe: one stream mini-batch.
 type ObserveRequest struct {
+	// User selects the per-user learner on a fleet server (required there,
+	// rejected on a single-learner server). Each user's observe stream is
+	// numbered independently.
+	User    string          `json:"user,omitempty"`
 	Samples []ObserveSample `json:"samples"`
 	// Domain tags the batch's acquisition condition (optional).
 	Domain int `json:"domain,omitempty"`
@@ -69,6 +80,10 @@ type Stats struct {
 	QueuePredict    int     `json:"queue_predict"`
 	QueueObserve    int     `json:"queue_observe"`
 	Draining        bool    `json:"draining"`
+	// Fleet carries the multi-tenant counters when the server fronts a
+	// learner fleet (nil on single-learner servers). Load generators use it
+	// to decide whether to tag requests with user ids.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -202,6 +217,44 @@ func (s *Server) shed(w http.ResponseWriter, draining bool) {
 	writeError(w, http.StatusTooManyRequests, "queue full, retry later")
 }
 
+// checkUserField validates the request's user id against the server's mode:
+// fleet servers require it, single-learner servers reject it. Reports
+// whether the request may proceed (the 400 is already written otherwise).
+func (s *Server) checkUserField(w http.ResponseWriter, user string) bool {
+	if s.cfg.Fleet != nil && user == "" {
+		s.m.rejected.Inc()
+		writeError(w, http.StatusBadRequest, "bad request: this server hosts a learner fleet; a user id is required")
+		return false
+	}
+	if s.cfg.Fleet == nil && user != "" {
+		s.m.rejected.Inc()
+		writeError(w, http.StatusBadRequest, "bad request: this server hosts a single learner; the user field is not supported")
+		return false
+	}
+	return true
+}
+
+// writeFleetError maps the fleet's sentinel errors onto the same statuses the
+// single-learner queues use: full queue → 429, draining → 503, context end →
+// 504, anything else → 500. shed is the endpoint's shed counter.
+func (s *Server) writeFleetError(w http.ResponseWriter, err error, shed *obs.Counter) {
+	switch {
+	case errors.Is(err, fleet.ErrQueueFull):
+		shed.Inc()
+		s.shed(w, false)
+	case errors.Is(err, fleet.ErrDraining):
+		s.shed(w, true)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.m.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "request timed out in queue")
+	case errors.Is(err, fleet.ErrTooManyUsers):
+		s.m.rejected.Inc()
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -213,6 +266,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
+	if !s.checkUserField(w, req.User) {
+		return
+	}
 	z, err := s.latentFrom(req.Latent, req.Image)
 	if err != nil {
 		s.m.rejected.Inc()
@@ -220,6 +276,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t0 := time.Now()
+	if s.cfg.Fleet != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		class, err := s.cfg.Fleet.Predict(ctx, req.User, z)
+		if err != nil {
+			s.writeFleetError(w, err, s.m.predictShed)
+			return
+		}
+		s.m.predictRequests.Inc()
+		s.m.predictLatency.ObserveSince(t0)
+		writeJSON(w, http.StatusOK, PredictResponse{Class: class})
+		return
+	}
 	pr := &predictReq{z: z, ctx: r.Context(), resp: make(chan predictResp, 1)}
 	if ok, draining := enqueue(s, s.predictQ, pr); !ok {
 		s.m.predictShed.Inc()
@@ -255,6 +324,9 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
 		return
 	}
+	if !s.checkUserField(w, req.User) {
+		return
+	}
 	if len(req.Samples) == 0 || len(req.Samples) > s.cfg.MaxObserveBatch {
 		s.m.rejected.Inc()
 		writeError(w, http.StatusBadRequest,
@@ -278,6 +350,21 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		samples[i] = cl.LatentSample{Z: z, Label: sm.Label, Domain: req.Domain}
 	}
 	t0 := time.Now()
+	if s.cfg.Fleet != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		batch, total, err := s.cfg.Fleet.Observe(ctx, req.User, samples, req.Domain)
+		if err != nil {
+			s.writeFleetError(w, err, s.m.observeShed)
+			return
+		}
+		s.m.observeRequests.Inc()
+		s.m.observeLatency.ObserveSince(t0)
+		// Batch and SamplesTotal are the *user's* stream position: each
+		// fleet user is numbered independently.
+		writeJSON(w, http.StatusOK, ObserveResponse{Batch: batch, SamplesTotal: total})
+		return
+	}
 	or := &observeReq{samples: samples, domain: req.Domain, resp: make(chan observeResp, 1)}
 	if ok, draining := enqueue(s, s.observeQ, or); !ok {
 		s.m.observeShed.Inc()
@@ -310,13 +397,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	draining := s.draining
 	s.mu.RUnlock()
+	method := "fleet"
+	var fs *fleet.Stats
+	if s.cfg.Fleet != nil {
+		st := s.cfg.Fleet.Stats()
+		fs = &st
+	} else {
+		method = s.l.Name()
+	}
 	writeJSON(w, http.StatusOK, Stats{
-		Method:          s.l.Name(),
+		Method:          method,
+		Fleet:           fs,
 		LatentShape:     s.cfg.LatentShape,
 		Classes:         s.cfg.Classes,
 		AcceptsImages:   s.cfg.Backbone != nil,
-		Batches:         int(s.batches.Load()),
-		Samples:         int(s.samples.Load()),
+		Batches:         s.Batches(),
+		Samples:         s.Samples(),
 		UptimeSeconds:   time.Since(s.start).Seconds(),
 		PredictRequests: s.m.predictRequests.Value(),
 		ObserveRequests: s.m.observeRequests.Value(),

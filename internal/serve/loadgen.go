@@ -33,6 +33,16 @@ type LoadOptions struct {
 	Seed int64
 	// Timeout is the per-request client timeout (default 30s).
 	Timeout time.Duration
+	// Users tags every request with a user id drawn from a Zipf popularity
+	// distribution over that many distinct users ("u0" is the most popular).
+	// Required shape for exercising a fleet server's hot-set/LRU policy: a
+	// few users stay hot, the long tail forces evictions and fault-ins.
+	// 0 auto-selects 256 against a fleet server and disables user tagging
+	// otherwise.
+	Users int
+	// ZipfS is the Zipf exponent (must be > 1; default 1.2 — a mild skew
+	// that still leaves a heavy tail of cold users).
+	ZipfS float64
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -48,12 +58,35 @@ func (o LoadOptions) withDefaults() LoadOptions {
 	if o.Timeout <= 0 {
 		o.Timeout = 30 * time.Second
 	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
 	return o
+}
+
+// userPicker draws Zipf-popular user ids; the zero value (disabled) draws "".
+type userPicker struct {
+	zipf *rand.Zipf
+}
+
+func newUserPicker(rng *rand.Rand, users int, s float64) userPicker {
+	if users <= 0 {
+		return userPicker{}
+	}
+	return userPicker{zipf: rand.NewZipf(rng, s, 1, uint64(users-1))}
+}
+
+func (p userPicker) pick() string {
+	if p.zipf == nil {
+		return ""
+	}
+	return fmt.Sprintf("u%d", p.zipf.Uint64())
 }
 
 // LoadReport is the outcome of one load run.
 type LoadReport struct {
 	Clients        int     `json:"clients"`
+	Users          int     `json:"users,omitempty"`
 	Requests       int64   `json:"predict_requests"`
 	Shed           int64   `json:"predict_shed"`
 	Errors         int64   `json:"errors"`
@@ -91,6 +124,14 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 	for _, d := range stats.LatentShape {
 		latentLen *= d
 	}
+	// Self-configure the tenancy mode from the server: fleet servers require
+	// user ids, single-learner servers reject them.
+	if stats.Fleet != nil && opt.Users <= 0 {
+		opt.Users = 256
+	}
+	if stats.Fleet == nil && opt.Users > 0 {
+		return LoadReport{}, fmt.Errorf("loadgen: -users %d set, but the server hosts a single learner (no fleet)", opt.Users)
+	}
 
 	var (
 		wg        sync.WaitGroup
@@ -109,6 +150,7 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 		go func(c int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(opt.Seed*7919 + int64(c)))
+			users := newUserPicker(rng, opt.Users, opt.ZipfS)
 			lats := make([]float64, 0, 1024)
 			var done, sheds, errs int64
 			for {
@@ -119,7 +161,7 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 				} else if time.Now().After(deadline) {
 					break
 				}
-				body := predictBody(rng, latentLen)
+				body := predictBody(rng, latentLen, users.pick())
 				t0 := time.Now()
 				status, err := post(client, baseURL+"/v1/predict", body)
 				switch {
@@ -151,9 +193,10 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 		go func() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(opt.Seed * 104729))
+			users := newUserPicker(rng, opt.Users, opt.ZipfS)
 			var sent int64
 			for i := 0; i < opt.ObserveBatches; i++ {
-				body := observeBody(rng, latentLen, stats.Classes, opt.ObserveBatchSize)
+				body := observeBody(rng, latentLen, stats.Classes, opt.ObserveBatchSize, users.pick())
 				status, err := post(client, baseURL+"/v1/observe", body)
 				if err == nil && status == http.StatusOK {
 					sent++
@@ -173,6 +216,7 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 
 	rep := LoadReport{
 		Clients:        opt.Clients,
+		Users:          opt.Users,
 		Requests:       requests,
 		Shed:           shed,
 		Errors:         errCount,
@@ -225,19 +269,19 @@ func percentile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
-// predictBody builds one synthetic predict payload.
-func predictBody(rng *rand.Rand, latentLen int) []byte {
+// predictBody builds one synthetic predict payload (user "" omits the field).
+func predictBody(rng *rand.Rand, latentLen int, user string) []byte {
 	lat := make([]float32, latentLen)
 	for i := range lat {
 		lat[i] = float32(rng.NormFloat64())
 	}
-	b, _ := json.Marshal(PredictRequest{Latent: lat})
+	b, _ := json.Marshal(PredictRequest{User: user, Latent: lat})
 	return b
 }
 
 // observeBody builds one synthetic labelled batch.
-func observeBody(rng *rand.Rand, latentLen, classes, batch int) []byte {
-	req := ObserveRequest{Samples: make([]ObserveSample, batch)}
+func observeBody(rng *rand.Rand, latentLen, classes, batch int, user string) []byte {
+	req := ObserveRequest{User: user, Samples: make([]ObserveSample, batch)}
 	for i := range req.Samples {
 		lat := make([]float32, latentLen)
 		for j := range lat {

@@ -39,6 +39,7 @@ import (
 
 	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
+	"chameleon/internal/fleet"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/obs"
 	"chameleon/internal/tensor"
@@ -87,6 +88,13 @@ type Config struct {
 	// learner was restored from a drain checkpoint (see Resume).
 	StartBatches int
 	StartSamples int
+	// Fleet, when non-nil, switches the server into multi-tenant mode: the
+	// learner argument to New must be nil, every /v1/predict and /v1/observe
+	// must carry a user id, and requests are routed to the fleet's per-user
+	// learners instead of the single-learner engine. Fleet checkpointing is
+	// the fleet's own eviction/drain machinery, so CheckpointPath must be
+	// empty in this mode.
+	Fleet *fleet.Fleet
 	// Registry receives the serve metrics (nil: the process default).
 	Registry *obs.Registry
 }
@@ -176,8 +184,10 @@ type Server struct {
 	hsrv *http.Server
 }
 
-// New validates the config and starts the engine goroutine. The caller must
-// eventually call Shutdown (or Close) even if Start is never called.
+// New validates the config and starts the engine goroutine. In fleet mode
+// (Config.Fleet set) l must be nil — the fleet owns every learner — and no
+// single-learner engine is started. The caller must eventually call Shutdown
+// (or Close) even if Start is never called.
 func New(l cl.Learner, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.LatentShape) == 0 {
@@ -193,16 +203,28 @@ func New(l cl.Learner, cfg Config) (*Server, error) {
 	if cfg.Classes <= 0 {
 		return nil, fmt.Errorf("serve: Config.Classes must be > 0, got %d", cfg.Classes)
 	}
+	if cfg.Fleet != nil {
+		if l != nil {
+			return nil, errors.New("serve: fleet mode takes no single learner (pass nil)")
+		}
+		if cfg.CheckpointPath != "" {
+			return nil, errors.New("serve: fleet mode persists per user via the fleet's eviction dir; CheckpointPath must be empty")
+		}
+	} else if l == nil {
+		return nil, errors.New("serve: a learner is required outside fleet mode")
+	}
 	s := &Server{
 		cfg:        cfg,
 		l:          l,
-		caps:       cl.Caps(l),
 		m:          newMetrics(cfg.Registry),
 		predictQ:   make(chan *predictReq, cfg.QueueDepth),
 		observeQ:   make(chan *observeReq, cfg.QueueDepth),
 		stopCh:     make(chan struct{}),
 		engineDone: make(chan struct{}),
 		start:      time.Now(),
+	}
+	if l != nil {
+		s.caps = cl.Caps(l)
 	}
 	if cfg.CheckpointPath != "" && s.caps.Snapshotter == nil {
 		return nil, fmt.Errorf("serve: method %q does not support checkpointing", l.Name())
@@ -211,7 +233,13 @@ func New(l cl.Learner, cfg Config) (*Server, error) {
 	s.samples.Store(int64(cfg.StartSamples))
 	s.m.bindQueues(s)
 	s.mux = s.buildMux()
-	go s.engine()
+	if cfg.Fleet != nil {
+		// The fleet's shard engines replace the single-learner loop; nothing
+		// ever reaches this server's queues.
+		close(s.engineDone)
+	} else {
+		go s.engine()
+	}
 	return s, nil
 }
 
@@ -443,6 +471,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
 	}
+	if s.cfg.Fleet != nil {
+		// Fleet mode: drain every shard and demote all resident learners to
+		// their per-user checkpoint files.
+		if err := s.cfg.Fleet.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
 	if s.hsrv != nil {
 		return s.hsrv.Shutdown(ctx)
 	}
@@ -456,8 +491,20 @@ func (s *Server) Close() error {
 	return s.Shutdown(ctx)
 }
 
-// Batches returns the number of observe batches applied so far.
-func (s *Server) Batches() int { return int(s.batches.Load()) }
+// Batches returns the number of observe batches applied so far (fleet mode:
+// summed across all users).
+func (s *Server) Batches() int {
+	if s.cfg.Fleet != nil {
+		return int(s.cfg.Fleet.Stats().Batches)
+	}
+	return int(s.batches.Load())
+}
 
-// Samples returns the number of labelled samples applied so far.
-func (s *Server) Samples() int { return int(s.samples.Load()) }
+// Samples returns the number of labelled samples applied so far (fleet mode:
+// summed across all users).
+func (s *Server) Samples() int {
+	if s.cfg.Fleet != nil {
+		return int(s.cfg.Fleet.Stats().Samples)
+	}
+	return int(s.samples.Load())
+}

@@ -74,4 +74,52 @@ done
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo 'serve smoke: non-zero exit on SIGTERM' >&2; cat "$smokedir/serve.log" >&2; exit 1; }
 [ -f "$smokedir/serve.ckpt" ] || { echo 'serve smoke: drain wrote no checkpoint' >&2; exit 1; }
+# Fleet smoke gate: the multi-tenant path end to end. A Zipf user burst over
+# a hot-set far smaller than the user population must force real evictions
+# and fault-ins, serve every request without errors, and a SIGTERM drain must
+# leave every resident learner as a checkpoint file in the fleet directory.
+echo '>> fleet smoke: chameleon-serve -fleet-* + Zipf loadgen end to end'
+"$smokedir/chameleon-serve" -dataset synthetic -method chameleon \
+	-addr 127.0.0.1:18424 \
+	-fleet-users 64 -fleet-hot 8 -fleet-shards 2 -fleet-dir "$smokedir/fleet" \
+	>"$smokedir/fleet.log" 2>&1 &
+fleet_pid=$!
+trap 'kill "$serve_pid" "$fleet_pid" 2>/dev/null; rm -rf "$smokedir" "$gatedir"' EXIT
+for i in $(seq 1 100); do
+	if curl -fsS http://127.0.0.1:18424/healthz >/dev/null 2>&1; then break; fi
+	if ! kill -0 "$fleet_pid" 2>/dev/null; then
+		echo 'fleet smoke: server died during startup' >&2
+		cat "$smokedir/fleet.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+"$smokedir/chameleon-loadgen" -url http://127.0.0.1:18424 \
+	-clients 8 -duration 1s -observe 8 -observe-batch 4 -users 64 -json \
+	>"$smokedir/fleet-load.json"
+grep -q '"errors": 0' "$smokedir/fleet-load.json" || {
+	echo 'fleet smoke: load run reported request errors' >&2
+	cat "$smokedir/fleet-load.json" >&2
+	exit 1
+}
+metrics=$(curl -fsS http://127.0.0.1:18424/metrics)
+echo "$metrics" | grep -q '^fleet_evictions_total [1-9]' || {
+	echo 'fleet smoke: no evictions — the hot-set never overflowed' >&2
+	echo "$metrics" | grep '^fleet_' >&2
+	exit 1
+}
+echo "$metrics" | grep -q '^fleet_fault_ins_total [1-9]' || {
+	echo 'fleet smoke: no fault-ins — evicted users never came back' >&2
+	echo "$metrics" | grep '^fleet_' >&2
+	exit 1
+}
+kill -TERM "$fleet_pid"
+wait "$fleet_pid" || { echo 'fleet smoke: non-zero exit on SIGTERM' >&2; cat "$smokedir/fleet.log" >&2; exit 1; }
+drained=$(ls "$smokedir/fleet"/*.ckpt 2>/dev/null | wc -l)
+if [ "$drained" -lt 1 ]; then
+	echo 'fleet smoke: drain left no user checkpoints' >&2
+	cat "$smokedir/fleet.log" >&2
+	exit 1
+fi
+echo "fleet smoke: drained $drained user checkpoint(s)"
 echo 'check.sh: all green'
