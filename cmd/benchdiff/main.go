@@ -1,0 +1,146 @@
+// Command benchdiff compares two benchjson reports (BENCH_pr*.json) and turns
+// the perf trajectory between PRs into a machine-checked diff instead of an
+// eyeballed one. It flattens both files into dotted series names, compares
+// every ns_per_op series present in both, and flags a regression when the new
+// value is slower than the old by more than -threshold percent, or when any
+// allocs_per_op series grew at all (allocation counts are machine-independent,
+// so there is no noise budget for them).
+//
+//	benchdiff BENCH_pr6.json BENCH_pr8.json
+//	benchdiff -threshold 15 -warn-only old.json new.json
+//
+// Exit status is 1 when regressions were found and -warn-only is not set.
+// Absolute ns/op across two checked-in files reflects two different runs —
+// possibly on different machines — so check.sh wires this in with -warn-only:
+// the hard within-run gates live in benchjson -check, and benchdiff reports
+// the cross-PR drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	series := map[string]float64{}
+	flatten("", doc, series)
+	return series, nil
+}
+
+// flatten walks nested JSON objects and records every numeric leaf under its
+// dotted path ("precision.train_step_fp32_fused.ns_per_op").
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 25, "regression threshold in percent for ns_per_op series")
+	warnOnly := flag.Bool("warn-only", false, "report regressions but always exit 0")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldS, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newS, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	var names []string
+	for name := range oldS {
+		if strings.HasSuffix(name, ".ns_per_op") || strings.HasSuffix(name, ".allocs_per_op") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(tw, "series\t%s\t%s\tdelta\t\n", flag.Arg(0), flag.Arg(1))
+	regressions := 0
+	var onlyOld, onlyNew []string
+	for _, name := range names {
+		ov := oldS[name]
+		nv, ok := newS[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, ".ns_per_op"):
+			pct := 0.0
+			if ov != 0 {
+				pct = (nv - ov) / ov * 100
+			}
+			mark := ""
+			if pct > *threshold {
+				mark = fmt.Sprintf("  REGRESSION (> %.0f%%)", *threshold)
+				regressions++
+			}
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%%s\t\n", name, ov, nv, pct, mark)
+		case strings.HasSuffix(name, ".allocs_per_op"):
+			if nv > ov {
+				fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t+%.0f allocs  REGRESSION\t\n", name, ov, nv, nv-ov)
+				regressions++
+			}
+		}
+	}
+	for name := range newS {
+		if !strings.HasSuffix(name, ".ns_per_op") {
+			continue
+		}
+		if _, ok := oldS[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	tw.Flush()
+	sort.Strings(onlyNew)
+	if len(onlyOld) > 0 {
+		fmt.Printf("series only in %s: %s\n", flag.Arg(0), strings.Join(onlyOld, ", "))
+	}
+	if len(onlyNew) > 0 {
+		fmt.Printf("series only in %s: %s\n", flag.Arg(1), strings.Join(onlyNew, ", "))
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%\n", regressions, *threshold)
+		if !*warnOnly {
+			os.Exit(1)
+		}
+		fmt.Println("benchdiff: -warn-only set, exiting 0")
+		return
+	}
+	fmt.Println("benchdiff: no regressions")
+}

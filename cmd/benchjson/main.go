@@ -1,9 +1,13 @@
 // Command benchjson measures the steady-state performance envelope of the
 // online-learning hot path and writes it as machine-readable JSON (the PR
-// regression artefact, BENCH_pr7.json by default):
+// regression artefact, BENCH_pr8.json by default):
 //
 //   - train_step: one TrainCEOn SGD step over a replay-sized batch
 //     (ns/op, B/op, allocs/op — allocs must be 0 after warm-up),
+//   - train_batched: the batch-first training path against the per-sample
+//     reference path at B=32 — one GEMM per Dense over the whole batch
+//     versus N GEMV round-trips. With -check the batched arm must hold a
+//     ≥1.5× lead and stay at 0 allocs/op,
 //   - precision: the kernel-tier comparison — the fp32 fused train step
 //     against the split-update fp32 step and the float64 reference tier,
 //     plus raw MatMul/MatVec ns/op at both precisions. With -check the
@@ -114,17 +118,18 @@ type report struct {
 	BatchSize     int   `json:"batch_size"`
 	// Quick marks a gate-only run (-quick): the serve and checkpoint
 	// sections are skipped and zeroed.
-	Quick            bool            `json:"quick"`
-	TrainStep        metric          `json:"train_step"`
-	Precision        precisionReport `json:"precision"`
-	EvalBatch        metric          `json:"eval_batch"`
-	SerialEval       metric          `json:"serial_eval"`
-	PooledSerialEval metric          `json:"pooled_serial_eval"`
-	BatchedEval      metric          `json:"batched_eval"`
-	EvalSpeedup      float64         `json:"eval_speedup"`
-	PooledSpeedup    float64         `json:"pooled_speedup"`
-	PredictionsMatch bool            `json:"predictions_match"`
-	AccuracyPct      float64         `json:"accuracy_pct"`
+	Quick            bool               `json:"quick"`
+	TrainStep        metric             `json:"train_step"`
+	TrainBatched     trainBatchedReport `json:"train_batched"`
+	Precision        precisionReport    `json:"precision"`
+	EvalBatch        metric             `json:"eval_batch"`
+	SerialEval       metric             `json:"serial_eval"`
+	PooledSerialEval metric             `json:"pooled_serial_eval"`
+	BatchedEval      metric             `json:"batched_eval"`
+	EvalSpeedup      float64            `json:"eval_speedup"`
+	PooledSpeedup    float64            `json:"pooled_speedup"`
+	PredictionsMatch bool               `json:"predictions_match"`
+	AccuracyPct      float64            `json:"accuracy_pct"`
 	// Checkpoint durability cost of a mid-stream Chameleon snapshot, averaged
 	// over checkpointRounds save/load round-trips; the numbers come from the
 	// checkpoint package's own save/restore instrumentation, so this also
@@ -169,6 +174,40 @@ type precisionReport struct {
 // precisionRounds is how many interleaved testing.Benchmark rounds feed each
 // gated precision measurement (the per-arm minimum is reported).
 const precisionRounds = 5
+
+// trainBatchedReport is the batch-first training section: one TrainCEOn step
+// over a replay-batch-sized sample set through the batched path (pack → one
+// GEMM per Dense → row-wise CE → batched fused backward) and through the
+// per-sample reference loop. Both heads start from the same seed and train on
+// the same batch, so the arms differ only in kernel dispatch.
+type trainBatchedReport struct {
+	// BatchSize is B for this section (32 — the gate's operating point, wider
+	// than the online replay batch so the GEMM has real work to amortise).
+	BatchSize int    `json:"batch_size"`
+	Batched   metric `json:"batched"`
+	PerSample metric `json:"per_sample"`
+	// Speedup is per-sample ns / batched ns (gate: ≥ 1.5 at B=32).
+	Speedup float64 `json:"speedup"`
+}
+
+// trainBatchedB is the batch size the train_batched gate is measured at.
+const trainBatchedB = 32
+
+// benchTrainBatched measures the batch-first section.
+func benchTrainBatched(model *mobilenet.Model, train []cl.LatentSample, seed int64) trainBatchedReport {
+	headCfg := cl.HeadConfig{LR: 0.1, Momentum: 0.5, Seed: seed}
+	batchedHead := cl.NewHead(model, headCfg)
+	perSampleHead := cl.NewHead(model, headCfg)
+	batchedHead.BatchTrain, perSampleHead.BatchTrain = true, false
+	stepBatch := train[:trainBatchedB]
+	arms := measureInterleaved(precisionRounds,
+		func() { batchedHead.TrainCEOn(stepBatch) },
+		func() { perSampleHead.TrainCEOn(stepBatch) },
+	)
+	rep := trainBatchedReport{BatchSize: trainBatchedB, Batched: arms[0], PerSample: arms[1]}
+	rep.Speedup = float64(rep.PerSample.NsPerOp) / float64(rep.Batched.NsPerOp)
+	return rep
+}
 
 // benchPrecision measures the kernel-tier section. Every path trains a
 // freshly initialised head over the same batch, so the three train-step
@@ -233,6 +272,13 @@ func checkGates(rep *report) []string {
 	}
 	if !rep.PredictionsMatch {
 		fails = append(fails, "serial, pooled and batched eval predictions diverge")
+	}
+	if rep.TrainBatched.Batched.AllocsPerOp != 0 {
+		fails = append(fails, fmt.Sprintf("batched train step allocs/op = %d, want 0", rep.TrainBatched.Batched.AllocsPerOp))
+	}
+	if rep.TrainBatched.Speedup < 1.5 {
+		fails = append(fails, fmt.Sprintf("batched/per-sample train-step speedup = %.2f at B=%d, want >= 1.5 (batch-first path lost its lead)",
+			rep.TrainBatched.Speedup, rep.TrainBatched.BatchSize))
 	}
 	return fails
 }
@@ -438,7 +484,7 @@ func main() {
 	var perf cli.Perf
 	perf.Bind(flag.CommandLine)
 	var (
-		out     = flag.String("out", "BENCH_pr7.json", "output JSON path")
+		out     = flag.String("out", "BENCH_pr8.json", "output JSON path")
 		classes = flag.Int("classes", 10, "synthetic class count")
 		pool    = flag.Int("pool", 400, "test-pool size")
 		batch   = flag.Int("batch", 11, "train-step batch size (incoming + replay)")
@@ -544,6 +590,7 @@ func main() {
 			break
 		}
 	}
+	rep.TrainBatched = benchTrainBatched(model, train, *seed)
 	rep.Precision = benchPrecision(model, stepBatch, *seed)
 	rep.Quick = *quick
 	if !*quick {
@@ -575,6 +622,9 @@ func main() {
 	fmt.Printf("serial Predict loop: %d ns/op, %d allocs/op\n", rep.SerialEval.NsPerOp, rep.SerialEval.AllocsPerOp)
 	fmt.Printf("eval speedup (batched vs serial Predict loop): %.2fx (vs pooled serial: %.2fx), predictions match: %v\n",
 		rep.EvalSpeedup, rep.PooledSpeedup, rep.PredictionsMatch)
+	fmt.Printf("train_batched (B=%d): batched %d ns/op (%d allocs), per-sample %d ns/op, speedup %.2fx (gate >= 1.5)\n",
+		rep.TrainBatched.BatchSize, rep.TrainBatched.Batched.NsPerOp, rep.TrainBatched.Batched.AllocsPerOp,
+		rep.TrainBatched.PerSample.NsPerOp, rep.TrainBatched.Speedup)
 	fmt.Printf("precision: fused %d ns/op (%d allocs), split %d ns/op, fp64 ref %d ns/op\n",
 		rep.Precision.TrainStepFP32Fused.NsPerOp, rep.Precision.TrainStepFP32Fused.AllocsPerOp,
 		rep.Precision.TrainStepFP32Split.NsPerOp, rep.Precision.TrainStepFP64Ref.NsPerOp)

@@ -21,6 +21,7 @@ type ER struct {
 	buf      *replay.Reservoir
 	src      *checkpoint.Source
 	trainBuf []cl.LatentSample // reusable incoming+replay assembly buffer
+	drawBuf  []replay.Item     // reusable buffer-draw scratch
 	met      observeTimer
 }
 
@@ -48,7 +49,8 @@ func (e *ER) Observe(b cl.LatentBatch) {
 	}
 	defer e.met.observe(time.Now(), len(b.Samples))
 	train := append(e.trainBuf[:0], b.Samples...)
-	drawn := e.buf.Sample(e.cfg.ReplaySize)
+	drawn := e.buf.SampleInto(e.drawBuf[:0], e.cfg.ReplaySize)
+	e.drawBuf = drawn
 	e.cfg.Meter.AddOffChip(int64(len(drawn)), 0)
 	for _, it := range drawn {
 		train = append(train, cl.LatentSample{Z: it.Z, Label: it.Label})
@@ -74,6 +76,8 @@ type DER struct {
 	buf  *replay.Reservoir
 	src  *checkpoint.Source
 	met  observeTimer
+	// drawBuf is the reusable buffer-draw scratch for both replay terms.
+	drawBuf []replay.Item
 	// Alpha weighs the MSE logit term; Beta the replay CE term (DER++).
 	Alpha, Beta float64
 }
@@ -107,11 +111,13 @@ func (d *DER) Observe(b cl.LatentBatch) {
 		d.head.AccumulateCE(s.Z, s.Label, 1)
 		count++
 	}
-	for _, it := range d.buf.Sample(d.cfg.ReplaySize) {
+	d.drawBuf = d.buf.SampleInto(d.drawBuf[:0], d.cfg.ReplaySize)
+	for _, it := range d.drawBuf {
 		d.head.AccumulateMSE(it.Z, it.Logits, d.Alpha)
 		count++
 	}
-	for _, it := range d.buf.Sample(d.cfg.ReplaySize) {
+	d.drawBuf = d.buf.SampleInto(d.drawBuf[:0], d.cfg.ReplaySize)
+	for _, it := range d.drawBuf {
 		d.head.AccumulateCE(it.Z, it.Label, d.Beta)
 		count++
 	}

@@ -44,6 +44,37 @@ func TestAllocsTrainStep(t *testing.T) {
 	}
 }
 
+// TestAllocsTrainBatched pins the batched training path explicitly: with
+// BatchTrain forced on, the steady-state step — GAP pack, one GEMM per Dense
+// forward, row-wise cross-entropy, batched backward with the fused update —
+// performs zero heap allocations, and the step really does take the batched
+// path (the counter advances).
+func TestAllocsTrainBatched(t *testing.T) {
+	h, batch, _ := allocEnv(t)
+	h.BatchTrain = true
+	h.TrainCEOn(batch) // warm the batched-path scratch (label/zs buffers, batch matrix)
+	before := trainStepBatched.Value()
+	got := testing.AllocsPerRun(50, func() { h.TrainCEOn(batch) })
+	if trainStepBatched.Value() == before {
+		t.Fatal("batched path never engaged")
+	}
+	if got != 0 {
+		t.Fatalf("batched TrainCEOn allocates %.0f times/op, want 0", got)
+	}
+}
+
+// TestAllocsTrainPerSample pins the per-sample reference path at the same
+// standard: the fallback must stay allocation-free too.
+func TestAllocsTrainPerSample(t *testing.T) {
+	h, batch, _ := allocEnv(t)
+	h.BatchTrain = false
+	h.TrainCEOn(batch)
+	got := testing.AllocsPerRun(50, func() { h.TrainCEOn(batch) })
+	if got != 0 {
+		t.Fatalf("per-sample TrainCEOn allocates %.0f times/op, want 0", got)
+	}
+}
+
 // TestAllocsEvalBatch pins the batched-evaluation half: classifying the whole
 // test pool through PredictBatch allocates nothing after warm-up.
 func TestAllocsEvalBatch(t *testing.T) {

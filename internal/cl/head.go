@@ -34,6 +34,16 @@ type Head struct {
 	// params caches Net.Params() — the walk allocates, and ZeroGrad/Step run
 	// once per online step.
 	params []*nn.Param
+	// BatchTrain selects the batched training path in TrainCEOn: samples pack
+	// into one [N, D] workspace matrix and each Dense layer runs one GEMM per
+	// pass instead of N GEMV round-trips. NewHead sets it from the package
+	// default (on; see SetBatchTrainDefault); hand-built heads leave it false
+	// and train per sample. Chains the batched protocol cannot express (conv
+	// tails, ragged latents) fall back per sample regardless.
+	BatchTrain bool
+	// labelBuf and zsBuf are reusable packing scratch for the batched path.
+	labelBuf []int
+	zsBuf    []*tensor.Tensor
 }
 
 // HeadConfig controls head construction.
@@ -68,7 +78,7 @@ func NewHead(backbone *mobilenet.Model, cfg HeadConfig) *Head {
 	opt := nn.NewSGD(cfg.LR)
 	opt.Momentum = cfg.Momentum
 	opt.WeightDecay = cfg.WeightDecay
-	h := &Head{Net: fresh.Head, Opt: opt, Classes: cfgM.NumClasses, ws: tensor.NewWorkspace()}
+	h := &Head{Net: fresh.Head, Opt: opt, Classes: cfgM.NumClasses, ws: tensor.NewWorkspace(), BatchTrain: BatchTrainDefault()}
 	nn.AttachWorkspace(h.Net, h.ws)
 	opt.SetWorkspace(h.ws)
 	h.params = h.Net.Params()
@@ -256,9 +266,20 @@ func (h *Head) TrainCEOn(samples []LatentSample) float64 {
 	}
 	defer observeTrainStep(time.Now(), len(samples))
 	h.ZeroGrad()
+	if h.BatchTrain && len(samples) > 1 {
+		if loss, ok := h.trainCEBatched(samples); ok {
+			trainStepBatched.Add(1)
+			return loss
+		}
+	}
 	var loss float64
 	n := len(samples)
 	fused := h.Opt.Fused && h.Opt.GradClip == 0
+	if fused {
+		trainStepFused.Add(1)
+	} else {
+		trainStepSplit.Add(1)
+	}
 	for i, s := range samples {
 		logits := h.Net.Forward(s.Z, true)
 		g := h.ensureGrad(logits.Len())

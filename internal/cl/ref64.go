@@ -22,6 +22,14 @@ type Ref64 struct {
 	zBuf    *tensor.Tensor64 // widened-latent scratch
 	grad    *tensor.Tensor64 // logit-gradient scratch
 	params  []*nn.ParamOf[float64]
+	// Batched opts the reference tier into the batched training path through
+	// the same serial float64 kernels. Off by default — the per-sample loop is
+	// the auditable reference — and when on, every step is bit-identical to
+	// the per-sample run: each parameter-gradient element accumulates over
+	// samples in ascending stream order either way.
+	Batched bool
+	// labelBuf is reusable packing scratch for the batched path.
+	labelBuf []int
 }
 
 // NewRef64 widens a fast-tier head into an independent float64 learner. The
@@ -80,6 +88,9 @@ func (r *Ref64) Observe(b LatentBatch) {
 	}
 	for _, p := range r.params {
 		p.ZeroGrad()
+	}
+	if r.Batched && n > 1 && r.observeBatched(b.Samples) {
+		return
 	}
 	fused := r.Opt.Fused && r.Opt.GradClip == 0
 	inv := float64(1)

@@ -1,0 +1,296 @@
+package cl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"chameleon/internal/nn"
+	"chameleon/internal/parallel"
+	"chameleon/internal/tensor"
+)
+
+// trainChunks slices samples into batches of size b (last one may be short).
+func trainChunks(samples []LatentSample, b int) [][]LatentSample {
+	var out [][]LatentSample
+	for lo := 0; lo < len(samples); lo += b {
+		hi := lo + b
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		out = append(out, samples[lo:hi])
+	}
+	return out
+}
+
+// maxParamDiff returns the largest absolute element-wise parameter difference
+// between two heads.
+func maxParamDiff(a, b *Head) float64 {
+	pa, pb := a.Params(), b.Params()
+	var max float64
+	for i := range pa {
+		da, db := pa[i].Data.Data(), pb[i].Data.Data()
+		for j := range da {
+			if d := math.Abs(float64(da[j]) - float64(db[j])); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// paramsEqual reports bit-exact parameter equality between two heads.
+func paramsEqual(a, b *Head) bool {
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		da, db := pa[i].Data.Data(), pb[i].Data.Data()
+		for j := range da {
+			if da[j] != db[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestTrainBatchedMatchesPerSampleFP32 is the fast-tier equivalence contract:
+// the batched training path must track the per-sample reference path within
+// fp32 rounding tolerance (the batched forward GEMM accumulates through a
+// strictly serial chain while the per-sample GEMV reassociates four-way, so
+// bit-identity is not expected — closeness and matching decisions are), across
+// optimizer configurations and worker counts.
+func TestTrainBatchedMatchesPerSampleFP32(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	set := testEnv(t)
+	configs := []struct {
+		name     string
+		cfg      HeadConfig
+		gradClip float64
+	}{
+		{name: "plain", cfg: HeadConfig{Seed: 3}},
+		{name: "momentum", cfg: HeadConfig{Seed: 3, Momentum: 0.9}},
+		{name: "weight-decay", cfg: HeadConfig{Seed: 3, WeightDecay: 1e-4}},
+		{name: "grad-clip-split", cfg: HeadConfig{Seed: 3}, gradClip: 1},
+	}
+	for _, w := range []int{1, 8} {
+		parallel.SetWorkers(w)
+		for _, tc := range configs {
+			hb := NewHead(set.Backbone, tc.cfg)
+			hs := NewHead(set.Backbone, tc.cfg)
+			hb.BatchTrain, hs.BatchTrain = true, false
+			hb.Opt.GradClip = tc.gradClip
+			hs.Opt.GradClip = tc.gradClip
+			before := trainStepBatched.Value()
+			for step, batch := range trainChunks(set.Train, 8) {
+				lb := hb.TrainCEOn(batch)
+				ls := hs.TrainCEOn(batch)
+				if d := math.Abs(lb - ls); d > 1e-3 {
+					t.Fatalf("workers=%d %s step %d: batched loss %.6f vs per-sample %.6f (|Δ| %.2e)",
+						w, tc.name, step, lb, ls, d)
+				}
+			}
+			if trainStepBatched.Value() == before {
+				t.Fatalf("workers=%d %s: batched path never engaged", w, tc.name)
+			}
+			if d := maxParamDiff(hb, hs); d > 5e-3 {
+				t.Errorf("workers=%d %s: max param diff %.2e after training", w, tc.name, d)
+			}
+			flips := 0
+			for _, s := range set.Test {
+				if hb.Predict(s.Z) != hs.Predict(s.Z) {
+					flips++
+				}
+			}
+			if flips > 1 {
+				t.Errorf("workers=%d %s: %d/%d test predictions differ between paths",
+					w, tc.name, flips, len(set.Test))
+			}
+		}
+	}
+}
+
+// TestTrainBatchedSingleSampleBitIdentical pins the B=1 contract: a one-sample
+// step always takes the per-sample path, so a batched head and a per-sample
+// head stay bit-identical through it.
+func TestTrainBatchedSingleSampleBitIdentical(t *testing.T) {
+	set := testEnv(t)
+	hb := NewHead(set.Backbone, HeadConfig{Seed: 4})
+	hs := NewHead(set.Backbone, HeadConfig{Seed: 4})
+	hb.BatchTrain, hs.BatchTrain = true, false
+	before := trainStepBatched.Value()
+	for _, s := range set.Train[:8] {
+		one := []LatentSample{s}
+		if lb, ls := hb.TrainCEOn(one), hs.TrainCEOn(one); lb != ls {
+			t.Fatalf("B=1 losses diverge: %v vs %v", lb, ls)
+		}
+	}
+	if trainStepBatched.Value() != before {
+		t.Fatal("B=1 steps took the batched path")
+	}
+	if !paramsEqual(hb, hs) {
+		t.Fatal("B=1 training diverged bitwise between batched and per-sample heads")
+	}
+}
+
+// TestTrainBatchedEmptyAndRagged covers the remaining packing edge cases:
+// empty batches are no-ops, and latents whose spatial extents differ (same
+// channel count) still pack through the pooling kernel.
+func TestTrainBatchedEmptyAndRagged(t *testing.T) {
+	set := testEnv(t)
+	hb := NewHead(set.Backbone, HeadConfig{Seed: 6})
+	hs := NewHead(set.Backbone, HeadConfig{Seed: 6})
+	hb.BatchTrain, hs.BatchTrain = true, false
+	if loss := hb.TrainCEOn(nil); loss != 0 {
+		t.Fatalf("empty batch loss = %v, want 0", loss)
+	}
+	if loss := hb.TrainCEOn([]LatentSample{}); loss != 0 {
+		t.Fatalf("empty batch loss = %v, want 0", loss)
+	}
+	// Reshape alternate latents from [C,H,W] to [C,H*W,1]: the same data pools
+	// to the same mean, but the batch is now spatially ragged.
+	ragged := make([]LatentSample, 8)
+	for i, s := range set.Train[:8] {
+		ragged[i] = s
+		if i%2 == 1 {
+			c, h, w := s.Z.Dim(0), s.Z.Dim(1), s.Z.Dim(2)
+			z := tensor.New(c, h*w, 1)
+			copy(z.Data(), s.Z.Data())
+			ragged[i].Z = z
+		}
+	}
+	before := trainStepBatched.Value()
+	lb := hb.TrainCEOn(ragged)
+	ls := hs.TrainCEOn(ragged)
+	if trainStepBatched.Value() == before {
+		t.Fatal("ragged-spatial batch did not take the batched path")
+	}
+	if d := math.Abs(lb - ls); d > 1e-3 {
+		t.Fatalf("ragged batch losses diverge: %.6f vs %.6f", lb, ls)
+	}
+	if d := maxParamDiff(hb, hs); d > 5e-3 {
+		t.Errorf("ragged batch: max param diff %.2e", d)
+	}
+}
+
+// TestTrainBatchedHandBuiltHeadFallsBack pins the nil-workspace fallback: a
+// struct-literal head has no tensor pool, so the batched path must decline and
+// the per-sample loop must produce bit-identical results to an explicit
+// per-sample twin.
+func TestTrainBatchedHandBuiltHeadFallsBack(t *testing.T) {
+	build := func() *Head {
+		rng := rand.New(rand.NewSource(42))
+		net := nn.NewSequential("head",
+			nn.NewDense("fc1", 6, 8, rng), nn.NewReLU(), nn.NewDense("fc2", 8, 3, rng))
+		return &Head{Net: net, Opt: nn.NewSGD(0.1), Classes: 3}
+	}
+	hb, hs := build(), build()
+	hb.BatchTrain, hs.BatchTrain = true, false
+	rng := rand.New(rand.NewSource(7))
+	var samples []LatentSample
+	for i := 0; i < 12; i++ {
+		z := tensor.New(6)
+		for j := range z.Data() {
+			z.Data()[j] = rng.Float32()
+		}
+		samples = append(samples, LatentSample{Z: z, Label: i % 3})
+	}
+	before := trainStepBatched.Value()
+	for _, batch := range trainChunks(samples, 4) {
+		if lb, ls := hb.TrainCEOn(batch), hs.TrainCEOn(batch); lb != ls {
+			t.Fatalf("hand-built head losses diverge: %v vs %v", lb, ls)
+		}
+	}
+	if trainStepBatched.Value() != before {
+		t.Fatal("workspace-less head took the batched path")
+	}
+	if !paramsEqual(hb, hs) {
+		t.Fatal("hand-built fallback diverged from the per-sample head")
+	}
+}
+
+// TestTrainBatchedCheckpointResume pins determinism across a mid-run
+// State/SetState round trip: resuming a batched run and continuing must land
+// bit-identical to the uninterrupted run.
+func TestTrainBatchedCheckpointResume(t *testing.T) {
+	set := testEnv(t)
+	a := NewHead(set.Backbone, HeadConfig{Seed: 17, Momentum: 0.5})
+	a.BatchTrain = true
+	batches := trainChunks(set.Train, 8)
+	for _, b := range batches[:2] {
+		a.TrainCEOn(b)
+	}
+	snap := a.State()
+	for _, b := range batches[2:] {
+		a.TrainCEOn(b)
+	}
+	resumed := NewHead(set.Backbone, HeadConfig{Seed: 17, Momentum: 0.5})
+	resumed.BatchTrain = true
+	if err := resumed.SetState(snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[2:] {
+		resumed.TrainCEOn(b)
+	}
+	if !paramsEqual(a, resumed) {
+		t.Fatal("resumed batched run diverged from the uninterrupted run")
+	}
+	for _, s := range set.Test {
+		if a.Predict(s.Z) != resumed.Predict(s.Z) {
+			t.Fatal("resumed batched run predicts differently")
+		}
+	}
+}
+
+// ref64ParamsEqual compares two reference-tier learners bit for bit.
+func ref64ParamsEqual(a, b *Ref64) bool {
+	pa, pb := a.Net.Params(), b.Net.Params()
+	for i := range pa {
+		da, db := pa[i].Data.Data(), pb[i].Data.Data()
+		for j := range da {
+			if da[j] != db[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRef64BatchedBitIdentity is the reference-tier contract: the fp64 batched
+// path accumulates every parameter-gradient element over samples in the same
+// ascending stream order as the per-sample loop, so a batched Ref64 must stay
+// bit-identical to a per-sample Ref64 — at every worker count, with and
+// without momentum.
+func TestRef64BatchedBitIdentity(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	set := testEnv(t)
+	for _, w := range []int{1, 8} {
+		for _, mom := range []float64{0, 0.9} {
+			parallel.SetWorkers(w)
+			h := NewHead(set.Backbone, HeadConfig{Seed: 7, Momentum: mom})
+			serial, err := NewRef64(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched, err := NewRef64(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batched.Batched = true
+			if !batched.Net.SupportsBatchTrain(1) {
+				t.Fatal("widened test head does not support the batched protocol")
+			}
+			for step, b := range trainChunks(set.Train, 8) {
+				serial.Observe(LatentBatch{Samples: b})
+				batched.Observe(LatentBatch{Samples: b})
+				if !ref64ParamsEqual(serial, batched) {
+					t.Fatalf("workers=%d momentum=%v: fp64 params diverge after step %d", w, mom, step)
+				}
+			}
+			for i, s := range set.Test {
+				if serial.Predict(s.Z) != batched.Predict(s.Z) {
+					t.Fatalf("workers=%d momentum=%v: fp64 prediction %d diverges", w, mom, i)
+				}
+			}
+		}
+	}
+}

@@ -114,9 +114,10 @@ type Chameleon struct {
 	// src is rng's counting source, so the stream position checkpoints.
 	src     *checkpoint.Source
 	batches int
-	// stepBuf, uncertBuf and labelBuf are per-Observe assembly buffers,
-	// reused across batches (a learner serves one sequential run).
+	// stepBuf, mbBuf, uncertBuf and labelBuf are per-Observe assembly
+	// buffers, reused across batches (a learner serves one sequential run).
 	stepBuf   []cl.LatentSample
+	mbBuf     []cl.LatentSample
 	uncertBuf []float64
 	labelBuf  []int
 	// met holds the pre-resolved per-stage metric handles.
@@ -215,10 +216,11 @@ func (c *Chameleon) Observe(b cl.LatentBatch) {
 		var mb []cl.LatentSample
 		tc := time.Now()
 		if c.cfg.IterativeLT {
-			mb = c.lt.NextMinibatch(c.cfg.LTSampleSize)
+			mb = c.lt.NextMinibatchInto(c.mbBuf[:0], c.cfg.LTSampleSize)
 		} else {
-			mb = c.lt.Sample(c.cfg.LTSampleSize)
+			mb = c.lt.SampleInto(c.mbBuf[:0], c.cfg.LTSampleSize)
 		}
+		c.mbBuf = mb
 		c.cfg.Meter.AddOffChip(int64(len(mb)), 0)
 		ts := time.Now()
 		concatNS += ts.Sub(tc)

@@ -18,6 +18,9 @@ type LongTermStore struct {
 	buf    *replay.ClassBalanced
 	rng    *rand.Rand
 	cursor int
+	// itemBuf is the Into variants' reusable draw scratch (never
+	// checkpointed; State/SetState go through Export/SetContents).
+	itemBuf []replay.Item
 }
 
 // NewLongTermStore creates an M_l with the given capacity.
@@ -44,6 +47,18 @@ func (l *LongTermStore) Sample(n int) []cl.LatentSample {
 	return out
 }
 
+// SampleInto is Sample appending to dst and returning it — the
+// allocation-free variant for the hot rehearsal loop (callers keep the
+// returned slice as reusable scratch). The underlying RNG draw sequence is
+// identical to Sample's.
+func (l *LongTermStore) SampleInto(dst []cl.LatentSample, n int) []cl.LatentSample {
+	l.itemBuf = l.buf.SampleInto(l.itemBuf[:0], n)
+	for _, it := range l.itemBuf {
+		dst = append(dst, cl.LatentSample{Z: it.Z, Label: it.Label})
+	}
+	return dst
+}
+
 // NextMinibatch implements the paper's "iterative mini-batch concatenation
 // scheme": successive calls walk the store with a rotating cursor (class by
 // class), so over consecutive long-term accesses the whole buffer is
@@ -52,21 +67,30 @@ func (l *LongTermStore) Sample(n int) []cl.LatentSample {
 // request larger than the buffer rehearses each sample exactly once instead
 // of double-weighting the cursor's neighbourhood in the SGD step.
 func (l *LongTermStore) NextMinibatch(n int) []cl.LatentSample {
-	all := l.buf.Export() // class-ascending, the buffer's canonical order
+	return l.NextMinibatchInto(nil, n)
+}
+
+// NextMinibatchInto is NextMinibatch appending to dst and returning it: the
+// cursor walk is identical, but the buffer export lands in reusable internal
+// scratch and the minibatch in caller-owned scratch, so the steady-state
+// rehearsal step allocates nothing.
+func (l *LongTermStore) NextMinibatchInto(dst []cl.LatentSample, n int) []cl.LatentSample {
+	// Class-ascending, the buffer's canonical order.
+	l.itemBuf = l.buf.ExportInto(l.itemBuf[:0])
+	all := l.itemBuf
 	if len(all) == 0 || n <= 0 {
-		return nil
+		return dst
 	}
 	if n > len(all) {
 		n = len(all)
 	}
-	out := make([]cl.LatentSample, 0, n)
 	for i := 0; i < n; i++ {
 		it := all[l.cursor%len(all)]
-		out = append(out, cl.LatentSample{Z: it.Z, Label: it.Label})
+		dst = append(dst, cl.LatentSample{Z: it.Z, Label: it.Label})
 		l.cursor++
 	}
 	l.cursor %= len(all)
-	return out
+	return dst
 }
 
 // State copies the store contents (canonical class-ascending order) and the

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+	"chameleon/internal/parallel"
+)
+
+// TestBatchTrainAccuracyParityAllMethods is the end-to-end acceptance gate for
+// the batched training path: every method family — core Chameleon plus the
+// nine baselines — must land within ±0.5 accuracy points of its per-sample
+// twin on a full Table-I-config stream, at worker counts 1 and 8. The fp32
+// batched forward reassociates differently from the per-sample GEMV, so exact
+// equality is not expected; decision-level parity is.
+func TestBatchTrainAccuracyParityAllMethods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("batch-train parity runs full streams per method; run without -short")
+	}
+	sc := TestScale()
+	set, err := BuildLatentSet("core50", sc, DefaultCacheDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.SetBatchTrainDefault(true)
+	defer parallel.SetWorkers(0)
+	opts := data.StreamOptions{BatchSize: 10}
+	for _, method := range Methods() {
+		spec := MethodSpec{Name: method, Buffer: 40, ST: sc.ChameleonST}
+		for _, w := range []int{1, 8} {
+			parallel.SetWorkers(w)
+			accs := map[bool]float64{}
+			for _, batched := range []bool{true, false} {
+				cl.SetBatchTrainDefault(batched)
+				l, err := NewLearner(spec, set, sc, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				accs[batched] = cl.RunOnline(l, set.Stream(1, opts), set.Test).AccAll
+			}
+			diff := math.Abs(accs[true] - accs[false])
+			t.Logf("%s workers=%d: batched %.4f, per-sample %.4f (|Δ| %.4f)",
+				method, w, accs[true], accs[false], diff)
+			if diff > 0.005 {
+				t.Errorf("%s workers=%d: batched accuracy %.4f vs per-sample %.4f differ by %.4f (> 0.5 pt)",
+					method, w, accs[true], accs[false], diff)
+			}
+		}
+	}
+}
+
+// TestRef64BatchedFullStreamBitIdentity is the reference-tier acceptance gate:
+// the fp64 batched path must be bit-identical to the fp64 per-sample path over
+// a complete Table-I-config stream — same final weights, same accuracy.
+func TestRef64BatchedFullStreamBitIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fp64 bit-identity runs full streams; run without -short")
+	}
+	sc := TestScale()
+	set, err := BuildLatentSet("core50", sc, DefaultCacheDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MethodSpec{Name: "finetune"}
+	opts := data.StreamOptions{BatchSize: 10}
+	run := func(batched bool) (*cl.Ref64, float64) {
+		l, err := NewRef64Learner(spec, set, sc, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := l.(*cl.Ref64)
+		ref.Batched = batched
+		return ref, cl.RunOnline(ref, set.Stream(1, opts), set.Test).AccAll
+	}
+	serial, accSerial := run(false)
+	batched, accBatched := run(true)
+	if accSerial != accBatched {
+		t.Errorf("fp64 accuracies diverge: per-sample %.6f vs batched %.6f", accSerial, accBatched)
+	}
+	ps, pb := serial.Net.Params(), batched.Net.Params()
+	for i := range ps {
+		ds, db := ps[i].Data.Data(), pb[i].Data.Data()
+		for j := range ds {
+			if ds[j] != db[j] {
+				t.Fatalf("fp64 param %q[%d] diverges: %v vs %v", ps[i].Name, j, ds[j], db[j])
+			}
+		}
+	}
+}

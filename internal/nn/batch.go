@@ -68,6 +68,13 @@ func (d *DenseOf[T]) ForwardBatch(x *tensor.Of[T], ws *tensor.WorkspaceOf[T]) *t
 	if x.NDim() != 2 || x.Dim(1) != d.inCap {
 		panic(fmt.Sprintf("nn: %s ForwardBatch expects [N,%d], got %v", d.label, d.inCap, x.Shape()))
 	}
+	return d.forwardBatchGEMM(x, ws)
+}
+
+// forwardBatchGEMM is the shared GEMM+bias body of the eval and train batched
+// forwards (the two must stay bit-identical; factoring the kernel out makes
+// that structural).
+func (d *DenseOf[T]) forwardBatchGEMM(x *tensor.Of[T], ws *tensor.WorkspaceOf[T]) *tensor.Of[T] {
 	n, in, out := x.Dim(0), d.inCap, d.Out()
 	wt := ws.Get(in, out)
 	wtd, wd := wt.Data(), d.w.Data.Data()

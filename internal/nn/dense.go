@@ -14,6 +14,7 @@ type DenseOf[T tensor.Float] struct {
 	b     *ParamOf[T] // [out]
 	inCap int
 	x     *tensor.Of[T] // cached input (train mode), reused across steps
+	xB    *tensor.Of[T] // cached [N,in] input matrix (batched train mode)
 	// y and gx are reusable output/input-gradient buffers. gx (and x) serve
 	// only the training path, which is single-owner by the Layer contract, so
 	// they are recycled unconditionally; y is additionally reused on the eval

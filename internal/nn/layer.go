@@ -88,6 +88,11 @@ func (f *FrozenOf[T]) OutShape(in []int) []int { return f.Inner.OutShape(in) }
 type SequentialOf[T tensor.Float] struct {
 	Label  string
 	Layers []LayerOf[T]
+
+	// bwStop caches the bottom-most parameterized layer index for
+	// BackwardSGDBatchFrom (Params() allocates, so the scan must not run every
+	// step). bwStopKey holds start+1; the zero value means "not yet computed".
+	bwStopKey, bwStop int
 }
 
 // Sequential is the fast-tier layer chain.

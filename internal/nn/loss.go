@@ -42,6 +42,44 @@ func CrossEntropyInto[T tensor.Float](logits *tensor.Of[T], label int, grad *ten
 	return loss
 }
 
+// CrossEntropyRowsInto is CrossEntropyInto over a [N, C] logit matrix: row r
+// is scored against labels[r], the per-row gradients (softmax − onehot) land
+// in the matching rows of grad, and the returned loss is the sum over rows.
+// grad must have logits' element count; grad == logits is allowed (the
+// batched training path reuses the logit matrix as its gradient buffer). The
+// per-row math is the 1-D kernel's exactly — same log-softmax, same exp —
+// and the loss sum accumulates in ascending row order, so the result is
+// bit-identical to N per-sample CrossEntropyInto calls summed in stream
+// order.
+func CrossEntropyRowsInto[T tensor.Float](logits *tensor.Of[T], labels []int, grad *tensor.Of[T]) (loss float64) {
+	if logits.NDim() != 2 {
+		panic(fmt.Sprintf("nn: CrossEntropyRows expects 2-D logits, got %v", logits.Shape()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: CrossEntropyRows got %d labels for %d rows", len(labels), n))
+	}
+	if grad.Len() != logits.Len() {
+		panic(fmt.Sprintf("nn: CrossEntropyRowsInto grad size %d, want %d", grad.Len(), logits.Len()))
+	}
+	for r, label := range labels {
+		if label < 0 || label >= c {
+			panic(fmt.Sprintf("nn: label %d out of range for %d classes (row %d)", label, c, r))
+		}
+	}
+	tensor.LogSoftmaxInto(grad, logits)
+	gd := grad.Data()
+	for r, label := range labels {
+		row := gd[r*c : (r+1)*c]
+		loss -= float64(row[label])
+		for i, v := range row {
+			row[i] = T(math.Exp(float64(v)))
+		}
+		row[label] -= 1
+	}
+	return loss
+}
+
 // SoftCrossEntropy is the knowledge-distillation loss: the cross-entropy of
 // the temperature-softened teacher distribution p = softmax(teacher/T) under
 // the student distribution q = softmax(student/T). It returns the loss and

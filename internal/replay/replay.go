@@ -6,7 +6,6 @@ package replay
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"chameleon/internal/tensor"
 )
@@ -33,6 +32,10 @@ type Reservoir struct {
 	items []Item
 	seen  int
 	rng   *rand.Rand
+	// idxBuf is SampleInto's index scratch. Deliberately unexported and
+	// rebuilt on demand: checkpointing goes through State/SetState, which
+	// never see it.
+	idxBuf []int
 }
 
 // NewReservoir creates a reservoir with the given capacity.
@@ -69,6 +72,18 @@ func (r *Reservoir) Sample(n int) []Item {
 	out := sampleWithout(r.items, n, r.rng)
 	samplesDrawn.Add(int64(len(out)))
 	return out
+}
+
+// SampleInto is Sample appending the drawn items to dst and returning it —
+// the allocation-free variant for hot training loops (callers keep the
+// returned slice as their reusable scratch). The RNG draw sequence is
+// identical to Sample's, so swapping a call site between the two never moves
+// a seeded run's random stream.
+func (r *Reservoir) SampleInto(dst []Item, n int) []Item {
+	before := len(dst)
+	dst, r.idxBuf = sampleWithoutInto(dst, r.idxBuf, r.items, n, r.rng)
+	samplesDrawn.Add(int64(len(dst) - before))
+	return dst
 }
 
 // Items returns a copy of the current contents. It used to return the live
@@ -147,6 +162,11 @@ type ClassBalanced struct {
 	byClass map[int][]Item
 	total   int
 	rng     *rand.Rand
+	// Scratch for the Into sampling variants (unexported; invisible to
+	// Export/SetContents checkpointing).
+	classBuf []int
+	poolBuf  []Item
+	idxBuf   []int
 }
 
 // NewClassBalanced creates a class-balanced buffer with global capacity.
@@ -168,12 +188,22 @@ func (b *ClassBalanced) Cap() int { return b.cap }
 // buffer must not depend on Go's randomized map iteration, or seeded runs
 // stop being repeatable.
 func (b *ClassBalanced) Classes() []int {
-	out := make([]int, 0, len(b.byClass))
+	return b.classesInto(make([]int, 0, len(b.byClass)))
+}
+
+// classesInto is Classes appending into dst. The sort is an insertion sort:
+// class counts are small (tens), and unlike the sort package it is guaranteed
+// allocation-free, which the Into sampling variants pin in tests.
+func (b *ClassBalanced) classesInto(dst []int) []int {
 	for c := range b.byClass {
-		out = append(out, c)
+		dst = append(dst, c)
 	}
-	sort.Ints(out)
-	return out
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j] < dst[j-1]; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
 }
 
 // OfClass returns the live items of one class (not a copy).
@@ -271,6 +301,34 @@ func (b *ClassBalanced) Sample(n int) []Item {
 	return out
 }
 
+// SampleInto is Sample appending the drawn items to dst and returning it,
+// with the pool assembly and index shuffle running on reusable internal
+// scratch — allocation-free once warm. The pool order and RNG draw sequence
+// are identical to Sample's.
+func (b *ClassBalanced) SampleInto(dst []Item, n int) []Item {
+	b.classBuf = b.classesInto(b.classBuf[:0])
+	pool := b.poolBuf[:0]
+	for _, c := range b.classBuf {
+		pool = append(pool, b.byClass[c]...)
+	}
+	b.poolBuf = pool
+	before := len(dst)
+	dst, b.idxBuf = sampleWithoutInto(dst, b.idxBuf, pool, n, b.rng)
+	samplesDrawn.Add(int64(len(dst) - before))
+	return dst
+}
+
+// ExportInto is Export appending into dst (same canonical ascending-class
+// order), for callers that re-export every few steps and want the copy
+// allocation-free.
+func (b *ClassBalanced) ExportInto(dst []Item) []Item {
+	b.classBuf = b.classesInto(b.classBuf[:0])
+	for _, c := range b.classBuf {
+		dst = append(dst, b.byClass[c]...)
+	}
+	return dst
+}
+
 // sampleWithout draws min(n, len(pool)) items without replacement via a
 // partial Fisher–Yates shuffle of an index view.
 func sampleWithout(pool []Item, n int, rng *rand.Rand) []Item {
@@ -290,4 +348,24 @@ func sampleWithout(pool []Item, n int, rng *rand.Rand) []Item {
 		out = append(out, pool[idx[i]])
 	}
 	return out
+}
+
+// sampleWithoutInto is sampleWithout appending to dst, with the index view on
+// caller-provided scratch (returned grown). The branch structure and draw
+// sequence mirror sampleWithout exactly: the n >= len(pool) full-copy case
+// consumes no RNG draws in either variant.
+func sampleWithoutInto(dst []Item, idx []int, pool []Item, n int, rng *rand.Rand) ([]Item, []int) {
+	if n >= len(pool) {
+		return append(dst, pool...), idx
+	}
+	idx = idx[:0]
+	for i := range pool {
+		idx = append(idx, i)
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		dst = append(dst, pool[idx[i]])
+	}
+	return dst, idx
 }

@@ -91,6 +91,14 @@ func matmulSharded[T Float](dst, a, b []T, m, k, n int) {
 // blocking does not perturb float results. dst must be zeroed by the caller
 // if accumulation is not wanted.
 func matmulInto[T Float](dst, a, b []T, m, k, n int) {
+	// Fast-tier dispatch (resolved at instantiation time): float32 goes
+	// through the four-row grouped saxpy kernel, which accumulates each output
+	// element through the identical ascending-p chain and is therefore
+	// bit-identical to the generic loop below (see fast32.go).
+	if d32, ok := any(dst).([]float32); ok {
+		matmul32(d32, any(a).([]float32), any(b).([]float32), m, k, n)
+		return
+	}
 	kb := panelRows[T](n)
 	for p0 := 0; p0 < k; p0 += kb {
 		p1 := p0 + kb
@@ -149,6 +157,22 @@ func MatMulT1Into[T Float](dst, a, b *Of[T]) {
 	matmulT1Sharded(dst.data, a.data, b.data, m, k, n)
 }
 
+// MatMulT1AccInto accumulates dst += aᵀ @ b without zeroing dst first. This
+// is the batched dense backward's weight-gradient kernel (dW += Gᵀ·X): the
+// parameter gradient may already hold contributions from earlier accumulate
+// calls in the same optimizer step, exactly like the per-sample
+// Backward/BackwardInto path. Per output element the p-loop ascends over
+// samples in stream order, so the accumulation chain matches the per-sample
+// loop's bit for bit.
+func MatMulT1AccInto[T Float](dst, a, b *Of[T]) {
+	k, m := checkT1("MatMulT1AccInto", a, b)
+	n := b.shape[1]
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulT1AccInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	matmulT1Sharded(dst.data, a.data, b.data, m, k, n)
+}
+
 func checkT1[T Float](op string, a, b *Of[T]) (k, m int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: %s on shapes %v @ %v", op, a.shape, b.shape))
@@ -175,6 +199,13 @@ func matmulT1Sharded[T Float](dst, a, b []T, m, k, n int) {
 }
 
 func matmulT1Range[T Float](dst, a, b []T, m, k, n, lo, hi int) {
+	// Fast-tier dispatch: float32 goes through the grouped-saxpy kernel in
+	// fast32.go, bit-identical to the generic loop below (same ascending-p
+	// chain; zero products are exact no-ops).
+	if d32, ok := any(dst).([]float32); ok {
+		matmulT132(d32, any(a).([]float32), any(b).([]float32), m, k, n, lo, hi)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		di := dst[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {

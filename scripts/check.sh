@@ -42,18 +42,26 @@ go test -run 'Test.*64|TestGobDtype|TestFusedStepBitIdentity|TestPrecisionParity
 # the fp64 reference step (≥1.5×), stay within 5% of the split step, and run
 # allocation-free. Ratios are within-run (interleaved min-of-N), so the gate
 # is machine-independent; the JSON lands in a scratch dir — the published
-# BENCH_pr6.json comes from `make bench-json`, not from here.
+# BENCH_pr8.json comes from `make bench-json`, not from here.
 gatedir=$(mktemp -d)
 trap 'rm -rf "$gatedir"' EXIT
 echo '>> go run ./cmd/benchjson -quick -check (ns/op regression gate)'
 # (the serve smoke below replaces this trap; it removes $gatedir too)
 go run ./cmd/benchjson -quick -check -out "$gatedir/bench-gate.json"
+# Cross-PR perf drift (informational): diff the two published bench exhibits
+# series by series. Absolute ns/op in checked-in files comes from different
+# runs on possibly different machines, so this warns instead of failing —
+# `make bench-diff` is the hard-mode variant for same-machine comparisons.
+if [ -f BENCH_pr6.json ] && [ -f BENCH_pr8.json ]; then
+	echo '>> go run ./cmd/benchdiff BENCH_pr6.json BENCH_pr8.json (cross-PR drift, informational)'
+	go run ./cmd/benchdiff -warn-only BENCH_pr6.json BENCH_pr8.json
+fi
 # Serving smoke gate: the real chameleon-serve binary (synthetic backbone)
 # answers the load generator end to end, then drains cleanly on SIGTERM and
 # leaves a resumable checkpoint behind.
 echo '>> serve smoke: chameleon-serve + chameleon-loadgen end to end'
 smokedir=$(mktemp -d)
-trap 'kill "$serve_pid" 2>/dev/null; rm -rf "$smokedir" "$gatedir"' EXIT
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$smokedir" "$gatedir"' EXIT
 go build -o "$smokedir/chameleon-serve" ./cmd/chameleon-serve
 go build -o "$smokedir/chameleon-loadgen" ./cmd/chameleon-loadgen
 "$smokedir/chameleon-serve" -dataset synthetic -method chameleon \
@@ -84,7 +92,7 @@ echo '>> fleet smoke: chameleon-serve -fleet-* + Zipf loadgen end to end'
 	-fleet-users 64 -fleet-hot 8 -fleet-shards 2 -fleet-dir "$smokedir/fleet" \
 	>"$smokedir/fleet.log" 2>&1 &
 fleet_pid=$!
-trap 'kill "$serve_pid" "$fleet_pid" 2>/dev/null; rm -rf "$smokedir" "$gatedir"' EXIT
+trap 'kill "$serve_pid" "$fleet_pid" 2>/dev/null || true; rm -rf "$smokedir" "$gatedir"' EXIT
 for i in $(seq 1 100); do
 	if curl -fsS http://127.0.0.1:18424/healthz >/dev/null 2>&1; then break; fi
 	if ! kill -0 "$fleet_pid" 2>/dev/null; then
