@@ -1,6 +1,6 @@
 // Command benchjson measures the steady-state performance envelope of the
 // online-learning hot path and writes it as machine-readable JSON (the PR
-// regression artefact, BENCH_pr8.json by default):
+// regression artefact, BENCH_pr9.json by default):
 //
 //   - train_step: one TrainCEOn SGD step over a replay-sized batch
 //     (ns/op, B/op, allocs/op — allocs must be 0 after warm-up),
@@ -30,12 +30,19 @@
 //     server (10k-user id space, bounded hot-set), with sustained
 //     throughput, eviction/fault-in counts, fault-in p50/p99 latency and
 //     resident heap per 10k known users,
+//   - frontier: the fp32-vs-int8 equal-bytes memory–accuracy frontier —
+//     latent and Chameleon stores at the same byte budget, int8 arms holding
+//     ~4–5× the samples, run over both Domain-IL streams at test scale. With
+//     -check the Chameleon pairs must hold a ≥4× sample ratio and the int8
+//     arm must stay within 1.0 accuracy point of fp32 on every dataset,
 //   - metrics: the full end-of-run observability report (every counter,
 //     gauge and histogram the instrumented run produced).
 //
-// The data is synthetic — per-class Gaussian prototypes in latent space — so
-// the tool is self-contained and runs in seconds without the dataset
-// pipeline.
+// The perf sections use synthetic data — per-class Gaussian prototypes in
+// latent space — so the gate-only -quick run is self-contained and finishes
+// in seconds. The frontier section (full runs only) builds the real dataset
+// pipeline at test scale; latents are cached, so only the first run per
+// machine pays the extraction cost.
 package main
 
 import (
@@ -55,6 +62,7 @@ import (
 	"chameleon/internal/cl"
 	"chameleon/internal/cli"
 	"chameleon/internal/core"
+	"chameleon/internal/exp"
 	"chameleon/internal/fleet"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/nn"
@@ -147,6 +155,9 @@ type report struct {
 	// in-process fleet server with a bounded hot-set, so the numbers cover
 	// the eviction/fault-in path, not just steady-state residents.
 	Fleet fleetReport `json:"fleet"`
+	// Frontier is the equal-bytes fp32-vs-int8 store comparison (full runs
+	// only; nil under -quick).
+	Frontier *exp.FrontierResult `json:"frontier,omitempty"`
 	// Metrics is the structured end-of-run report of the default registry.
 	Metrics obs.Report `json:"metrics"`
 }
@@ -280,7 +291,53 @@ func checkGates(rep *report) []string {
 		fails = append(fails, fmt.Sprintf("batched/per-sample train-step speedup = %.2f at B=%d, want >= 1.5 (batch-first path lost its lead)",
 			rep.TrainBatched.Speedup, rep.TrainBatched.BatchSize))
 	}
+	// Equal-bytes frontier gates (full runs only): the int8 Chameleon store
+	// must actually convert its byte budget into ≥4× the samples, and those
+	// samples must not cost accuracy — within 1.0 point of fp32 everywhere.
+	if rep.Frontier != nil {
+		for _, p := range rep.Frontier.Pairs {
+			if p.Method != "chameleon" {
+				continue
+			}
+			if p.SampleRatio < 4 {
+				fails = append(fails, fmt.Sprintf("frontier chameleon-%d: int8/fp32 sample ratio = %.2f, want >= 4", p.Budget, p.SampleRatio))
+			}
+			for _, ds := range rep.Frontier.Datasets {
+				if p.DeltaPts[ds] < -1.0 {
+					fails = append(fails, fmt.Sprintf("frontier chameleon-%d on %s: int8 arm %.2f pts below fp32, want >= -1.0", p.Budget, ds, p.DeltaPts[ds]))
+				}
+			}
+		}
+	}
 	return fails
+}
+
+// benchFrontier builds both Domain-IL latent sets at test scale (cached
+// after the first run per machine) and runs the equal-bytes fp32-vs-int8
+// frontier. Budgets sit below the Fig. 2 grid deliberately: the test-scale
+// stream promotes at most ~64 samples into the long-term store, so both
+// arms' capacities must stay inside what the stream can fill — a store
+// bigger than the promotion count retains stale early-domain samples that
+// class-balanced eviction would have flushed, which degrades *both* dtypes
+// equally (measured: fp32 and int8 drop in lockstep at cap 109+) and would
+// measure a stream-length artefact instead of the representation. At
+// budgets 4 and 8 the int8 arms (45/61 and 15/31 samples) are exercised in
+// full, which is also the edge-memory regime the frontier is about.
+func benchFrontier() *exp.FrontierResult {
+	sc := exp.TestScale()
+	sets := map[string]*cl.LatentSet{}
+	for _, name := range []string{"core50", "openloris"} {
+		set, err := exp.BuildLatentSet(name, sc, exp.DefaultCacheDir(), log.Printf)
+		if err != nil {
+			log.Fatalf("frontier: build %s: %v", name, err)
+		}
+		sets[name] = set
+	}
+	res, err := exp.RunFrontier(sets, sc, []int{4, 8}, log.Printf)
+	if err != nil {
+		log.Fatalf("frontier: %v", err)
+	}
+	return res
 }
 
 // checkpointRounds is how many save/load round-trips feed the checkpoint
@@ -484,7 +541,7 @@ func main() {
 	var perf cli.Perf
 	perf.Bind(flag.CommandLine)
 	var (
-		out     = flag.String("out", "BENCH_pr8.json", "output JSON path")
+		out     = flag.String("out", "BENCH_pr9.json", "output JSON path")
 		classes = flag.Int("classes", 10, "synthetic class count")
 		pool    = flag.Int("pool", 400, "test-pool size")
 		batch   = flag.Int("batch", 11, "train-step batch size (incoming + replay)")
@@ -598,6 +655,7 @@ func main() {
 		benchServe(model, *classes, *seed) // warm-up run: JIT-free, but settles pools/conn reuse
 		rep.Serve = benchServe(model, *classes, *seed)
 		rep.Fleet = benchFleet(model, *classes, *seed)
+		rep.Frontier = benchFrontier()
 	}
 	// Snapshot last so the report carries everything the run produced: trainer
 	// phase histograms, replay-store counters, pool utilisation, head timings,
@@ -639,6 +697,7 @@ func main() {
 			rep.Fleet.Users, rep.Fleet.HotSet, rep.Fleet.Load.ThroughputRPS,
 			rep.Fleet.UsersKnown, rep.Fleet.Evictions, rep.Fleet.FaultIns,
 			rep.Fleet.FaultInP99Ms, rep.Fleet.HeapMBPer10kUsers)
+		rep.Frontier.Render(os.Stdout)
 	}
 	fmt.Printf("accuracy: %.1f%%  →  %s\n", rep.AccuracyPct, *out)
 	if *check {

@@ -34,6 +34,7 @@ func main() {
 		users        = flag.Int("users", 0, "distinct Zipf-popular user ids to tag requests with (0 auto-selects 256 against a fleet server)")
 		zipfS        = flag.Float64("zipf-s", 1.2, "Zipf exponent for user popularity (must be > 1)")
 		seed         = flag.Int64("seed", 1, "payload seed")
+		int8Wire     = flag.Bool("int8", false, "send latents in the quantized wire encoding (latent_int8 + scale, ~4x smaller bodies)")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 		Users:             *users,
 		ZipfS:             *zipfS,
 		Seed:              *seed,
+		Int8:              *int8Wire,
 	})
 	if err != nil {
 		log.Fatal(err)

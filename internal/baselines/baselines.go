@@ -35,6 +35,12 @@ type Config struct {
 	Temperature float64
 	// Epochs is JOINT's offline epoch count (paper: 4).
 	Epochs int
+	// ReplayInt8 stores replay payloads as int8 latents with a symmetric
+	// per-tensor scale (quantize on insert, dequantize on draw). It applies
+	// to every buffered method — ER, DER, GSS, Latent Replay — so the whole
+	// Table I grid can run quantized; the regularisation methods and SLDA
+	// keep no replay payloads and ignore it.
+	ReplayInt8 bool
 	// Meter, when non-nil, counts replay-buffer traffic (single unified
 	// buffers live off-chip).
 	Meter *cl.TrafficMeter

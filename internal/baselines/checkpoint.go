@@ -167,6 +167,9 @@ func (l *LatentReplay) Restore(data []byte) error {
 	if st.Seen < len(st.Items) {
 		return fmt.Errorf("baselines: latent buffer seen %d < stored %d", st.Seen, len(st.Items))
 	}
+	if err := replay.CheckDtype(st.Items, l.codec != nil, "latent buffer"); err != nil {
+		return err
+	}
 	if err := l.head.SetState(st.Head); err != nil {
 		return err
 	}
@@ -216,6 +219,9 @@ func (g *GSS) Restore(data []byte) error {
 		if it.GradSketch == nil || it.GradSketch.Len() != g.SketchDim {
 			return fmt.Errorf("baselines: gss item %d sketch does not match SketchDim %d", i, g.SketchDim)
 		}
+	}
+	if err := replay.CheckDtype(st.Items, g.codec != nil, "gss buffer"); err != nil {
+		return err
 	}
 	if err := g.head.SetState(st.Head); err != nil {
 		return err

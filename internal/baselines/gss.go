@@ -31,7 +31,11 @@ type GSS struct {
 	proj      *tensor.Tensor // lazy [SketchDim, gradDim] projection
 	// SubsetSize is how many buffer items a candidate is compared against.
 	SubsetSize int
-	trainBuf   []cl.LatentSample // reusable incoming+replay assembly buffer
+	// codec, when non-nil (Config.ReplayInt8), quantizes buffered latents;
+	// the gradient sketches stay fp32 — they are scoring state, not replay
+	// payload, and memcost already charges them separately.
+	codec    *replay.Int8Codec
+	trainBuf []cl.LatentSample // reusable incoming+replay assembly buffer
 }
 
 type gssItem struct {
@@ -44,7 +48,11 @@ type gssItem struct {
 func NewGSS(head *cl.Head, cfg Config) *GSS {
 	cfg = cfg.withDefaults()
 	rng, src := cfg.rngSource(5)
-	return &GSS{head: head, cfg: cfg, rng: rng, src: src, SketchDim: 128, SubsetSize: 10}
+	g := &GSS{head: head, cfg: cfg, rng: rng, src: src, SketchDim: 128, SubsetSize: 10}
+	if cfg.ReplayInt8 {
+		g.codec = replay.NewInt8Codec()
+	}
+	return g
 }
 
 // Name implements cl.Learner.
@@ -97,6 +105,9 @@ func (g *GSS) Observe(b cl.LatentBatch) {
 	train := append(g.trainBuf[:0], b.Samples...)
 	for i := 0; i < g.cfg.ReplaySize && len(g.buf) > 0; i++ {
 		it := g.buf[g.rng.Intn(len(g.buf))].it
+		if g.codec != nil {
+			it = g.codec.Decode(it, i)
+		}
 		train = append(train, cl.LatentSample{Z: it.Z, Label: it.Label})
 	}
 	g.trainBuf = train
@@ -107,6 +118,9 @@ func (g *GSS) Observe(b cl.LatentBatch) {
 		item := gssItem{it: replay.Item{Z: s.Z, Label: s.Label, GradSketch: sk}, sketch: sk}
 		if len(g.buf) < g.cfg.BufferSize {
 			item.score = g.maxSimilarity(sk)
+			if g.codec != nil {
+				item.it = g.codec.Encode(item.it, nil)
+			}
 			g.buf = append(g.buf, item)
 			continue
 		}
@@ -116,6 +130,9 @@ func (g *GSS) Observe(b cl.LatentBatch) {
 		vi := g.weightedVictim()
 		if c+1 < g.buf[vi].score+1 {
 			item.score = c
+			if g.codec != nil {
+				item.it = g.codec.Encode(item.it, g.buf[vi].it.QZ)
+			}
 			g.buf[vi] = item
 		}
 	}

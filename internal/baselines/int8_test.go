@@ -1,0 +1,183 @@
+package baselines
+
+import (
+	"bytes"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+)
+
+// int8Cfg mirrors the fp32 resume-continuity configs with quantized buffers.
+func int8Cfg(bufferSize int, seed int64) Config {
+	return Config{BufferSize: bufferSize, Seed: seed, ReplayInt8: true}
+}
+
+// TestQuantizedBaselineSnapshotResumeContinuity is the crash contract for the
+// buffered baselines running with -replay-int8: observe a prefix, snapshot,
+// restore into a fresh quantized instance, feed both the identical tail and
+// require byte-identical final snapshots and predictions. Because the buffers
+// checkpoint their canonical (QZ, Scale) records, the round trip is bit-exact
+// and because victims are drawn before encoding, the RNG stream matches a
+// never-interrupted quantized run.
+func TestQuantizedBaselineSnapshotResumeContinuity(t *testing.T) {
+	set := env(t)
+	const seed = 17
+
+	cases := []struct {
+		name string
+		mk   func() cl.Learner
+	}{
+		{"er", func() cl.Learner { return NewER(headM(set, seed), int8Cfg(20, seed)) }},
+		{"der", func() cl.Learner { return NewDER(headM(set, seed), int8Cfg(15, seed)) }},
+		{"latent", func() cl.Learner { return NewLatentReplay(headM(set, seed), int8Cfg(20, seed)) }},
+		{"gss", func() cl.Learner { return NewGSS(headM(set, seed), int8Cfg(10, seed)) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			const splitAt = 5
+			a := tc.mk()
+			snapA := cl.Caps(a).Snapshotter
+			stream := set.Stream(seed, data.StreamOptions{BatchSize: 10})
+			var tail []cl.LatentBatch
+			for i := 0; ; i++ {
+				b, ok := stream.Next()
+				if !ok {
+					break
+				}
+				if i < splitAt {
+					a.Observe(b)
+				} else {
+					tail = append(tail, b)
+				}
+			}
+
+			state, err := snapA.Snapshot()
+			if err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			b := tc.mk()
+			snapB := cl.Caps(b).Snapshotter
+			if err := snapB.Restore(state); err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+
+			for _, batch := range tail {
+				a.Observe(batch)
+				b.Observe(batch)
+			}
+			finalA, err := snapA.Snapshot()
+			if err != nil {
+				t.Fatalf("final snapshot a: %v", err)
+			}
+			finalB, err := snapB.Snapshot()
+			if err != nil {
+				t.Fatalf("final snapshot b: %v", err)
+			}
+			if !bytes.Equal(finalA, finalB) {
+				t.Fatalf("%s: resumed quantized learner diverged (%d vs %d bytes)",
+					tc.name, len(finalA), len(finalB))
+			}
+			for _, s := range set.Test {
+				if a.Predict(s.Z) != b.Predict(s.Z) {
+					t.Fatalf("%s: predictions diverged on test sample %d", tc.name, s.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizedBaselineCrossDtypeRestoreErrors pins the dtype tag for every
+// buffered baseline: an fp32 snapshot cannot restore into a quantized learner
+// and vice versa.
+func TestQuantizedBaselineCrossDtypeRestoreErrors(t *testing.T) {
+	set := env(t)
+	const seed = 29
+
+	type pair struct {
+		name string
+		fp32 func() cl.Learner
+		int8 func() cl.Learner
+	}
+	cases := []pair{
+		{"er",
+			func() cl.Learner { return NewER(headM(set, seed), Config{BufferSize: 10, Seed: seed}) },
+			func() cl.Learner { return NewER(headM(set, seed), int8Cfg(10, seed)) }},
+		{"der",
+			func() cl.Learner { return NewDER(headM(set, seed), Config{BufferSize: 10, Seed: seed}) },
+			func() cl.Learner { return NewDER(headM(set, seed), int8Cfg(10, seed)) }},
+		{"latent",
+			func() cl.Learner { return NewLatentReplay(headM(set, seed), Config{BufferSize: 10, Seed: seed}) },
+			func() cl.Learner { return NewLatentReplay(headM(set, seed), int8Cfg(10, seed)) }},
+		{"gss",
+			func() cl.Learner { return NewGSS(headM(set, seed), Config{BufferSize: 8, Seed: seed}) },
+			func() cl.Learner { return NewGSS(headM(set, seed), int8Cfg(8, seed)) }},
+	}
+	drive := func(l cl.Learner) {
+		st := set.Stream(seed, data.StreamOptions{BatchSize: 10})
+		for i := 0; i < 4; i++ {
+			b, ok := st.Next()
+			if !ok {
+				break
+			}
+			l.Observe(b)
+		}
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f, q := tc.fp32(), tc.int8()
+			drive(f)
+			drive(q)
+			fSnap, err := cl.Caps(f).Snapshotter.Snapshot()
+			if err != nil {
+				t.Fatalf("fp32 snapshot: %v", err)
+			}
+			qSnap, err := cl.Caps(q).Snapshotter.Snapshot()
+			if err != nil {
+				t.Fatalf("int8 snapshot: %v", err)
+			}
+			if err := cl.Caps(tc.int8()).Snapshotter.Restore(fSnap); err == nil {
+				t.Fatal("fp32 snapshot restored into int8 learner")
+			}
+			if err := cl.Caps(tc.fp32()).Snapshotter.Restore(qSnap); err == nil {
+				t.Fatal("int8 snapshot restored into fp32 learner")
+			}
+			// Matching dtypes keep working.
+			if err := cl.Caps(tc.int8()).Snapshotter.Restore(qSnap); err != nil {
+				t.Fatalf("int8→int8 restore failed: %v", err)
+			}
+			if err := cl.Caps(tc.fp32()).Snapshotter.Restore(fSnap); err != nil {
+				t.Fatalf("fp32→fp32 restore failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestQuantizedDERKeepsLogitsFP32 pins DER's split representation: buffered
+// latents are quantized, the distillation logits ride along in fp32.
+func TestQuantizedDERKeepsLogitsFP32(t *testing.T) {
+	set := env(t)
+	d := NewDER(headM(set, 7), int8Cfg(10, 7))
+	st := set.Stream(7, data.StreamOptions{BatchSize: 10})
+	for i := 0; i < 3; i++ {
+		b, ok := st.Next()
+		if !ok {
+			break
+		}
+		d.Observe(b)
+	}
+	items, _ := d.buf.State()
+	if len(items) == 0 {
+		t.Fatal("buffer empty after 3 batches")
+	}
+	for i, it := range items {
+		if !it.Quantized() {
+			t.Fatalf("item %d latent not quantized", i)
+		}
+		if it.Logits == nil {
+			t.Fatalf("item %d lost its fp32 logits", i)
+		}
+	}
+}

@@ -29,7 +29,14 @@ type ER struct {
 func NewER(head *cl.Head, cfg Config) *ER {
 	cfg = cfg.withDefaults()
 	rng, src := cfg.rngSource(2)
-	return &ER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, rng), src: src,
+	buf := replay.NewReservoir(cfg.BufferSize, rng)
+	if cfg.ReplayInt8 {
+		// The buffer is freshly constructed and empty: enabling cannot fail.
+		if err := buf.EnableInt8(); err != nil {
+			panic(err)
+		}
+	}
+	return &ER{head: head, cfg: cfg, buf: buf, src: src,
 		met: newObserveTimer("er")}
 }
 
@@ -82,11 +89,19 @@ type DER struct {
 	Alpha, Beta float64
 }
 
-// NewDER creates the DER++ learner.
+// NewDER creates the DER++ learner. With Config.ReplayInt8 the latents are
+// quantized in the reservoir while the stored teacher logits stay fp32 (they
+// are the distillation target, tiny next to the latent payload).
 func NewDER(head *cl.Head, cfg Config) *DER {
 	cfg = cfg.withDefaults()
 	rng, src := cfg.rngSource(3)
-	return &DER{head: head, cfg: cfg, buf: replay.NewReservoir(cfg.BufferSize, rng), src: src,
+	buf := replay.NewReservoir(cfg.BufferSize, rng)
+	if cfg.ReplayInt8 {
+		if err := buf.EnableInt8(); err != nil {
+			panic(err)
+		}
+	}
+	return &DER{head: head, cfg: cfg, buf: buf, src: src,
 		met: newObserveTimer("der"), Alpha: 0.5, Beta: 0.5}
 }
 
@@ -134,12 +149,16 @@ func (d *DER) Observe(b cl.LatentBatch) {
 // a fixed-size draw with every batch. It is Chameleon's closest relative —
 // same payload, single buffer, no hierarchy awareness.
 type LatentReplay struct {
-	head     *cl.Head
-	cfg      Config
-	items    []replay.Item
-	seen     int
-	rng      *rand.Rand
-	src      *checkpoint.Source
+	head  *cl.Head
+	cfg   Config
+	items []replay.Item
+	seen  int
+	rng   *rand.Rand
+	src   *checkpoint.Source
+	// codec, when non-nil (Config.ReplayInt8), quantizes items on insertion
+	// and decodes draws into per-position scratch — this is the method the
+	// quantized-latent-replay literature actually describes (Ravaglia et al.).
+	codec    *replay.Int8Codec
 	trainBuf []cl.LatentSample // reusable incoming+replay assembly buffer
 	met      observeTimer
 }
@@ -148,7 +167,11 @@ type LatentReplay struct {
 func NewLatentReplay(head *cl.Head, cfg Config) *LatentReplay {
 	cfg = cfg.withDefaults()
 	rng, src := cfg.rngSource(4)
-	return &LatentReplay{head: head, cfg: cfg, rng: rng, src: src, met: newObserveTimer("latent")}
+	l := &LatentReplay{head: head, cfg: cfg, rng: rng, src: src, met: newObserveTimer("latent")}
+	if cfg.ReplayInt8 {
+		l.codec = replay.NewInt8Codec()
+	}
+	return l
 }
 
 // Name implements cl.Learner.
@@ -172,6 +195,11 @@ func (l *LatentReplay) Observe(b cl.LatentBatch) {
 		l.cfg.Meter.AddOffChip(int64(n), 0)
 		for i := 0; i < n; i++ {
 			it := l.items[l.rng.Intn(len(l.items))]
+			if l.codec != nil {
+				// Slot = position in this draw; the decode is consumed by
+				// TrainCEOn before the next draw reuses the scratch.
+				it = l.codec.Decode(it, i)
+			}
 			train = append(train, cl.LatentSample{Z: it.Z, Label: it.Label})
 		}
 	}
@@ -180,9 +208,18 @@ func (l *LatentReplay) Observe(b cl.LatentBatch) {
 	for _, s := range b.Samples {
 		it := replay.Item{Z: s.Z, Label: s.Label}
 		if len(l.items) < l.cfg.BufferSize {
+			if l.codec != nil {
+				it = l.codec.Encode(it, nil)
+			}
 			l.items = append(l.items, it)
 		} else {
-			l.items[l.rng.Intn(len(l.items))] = it
+			// Draw the victim before encoding so the RNG stream matches the
+			// fp32 path exactly (encoding consumes no randomness).
+			vi := l.rng.Intn(len(l.items))
+			if l.codec != nil {
+				it = l.codec.Encode(it, l.items[vi].QZ)
+			}
+			l.items[vi] = it
 		}
 		l.cfg.Meter.AddOffChip(0, 1)
 		l.seen++

@@ -53,6 +53,11 @@ type Config struct {
 	// long-term rehearsal (a rotating cursor covering the whole store over
 	// successive accesses) instead of uniform sampling.
 	IterativeLT bool
+	// ReplayInt8 stores both replay memories as int8 latents with a
+	// symmetric per-tensor scale (quantize on insert, dequantize on
+	// rehearsal): ~4× the samples per byte at the same budget, following
+	// Ravaglia et al.'s quantized latent replay.
+	ReplayInt8 bool
 	// Meter, when non-nil, counts the replay-buffer traffic of the run
 	// (short-term = on-chip, long-term = off-chip).
 	Meter *cl.TrafficMeter
@@ -128,14 +133,25 @@ type Chameleon struct {
 func New(head *cl.Head, cfg Config) *Chameleon {
 	cfg = cfg.withDefaults()
 	rng, src := cl.RNGSource(cfg.Seed, 0xC0FFEE)
+	st := NewShortTermStore(cfg.STCap, rng)
+	lt := NewLongTermStore(cfg.LTCap, rng)
+	if cfg.ReplayInt8 {
+		// Both stores are empty here, so enabling cannot fail.
+		if err := st.EnableInt8(); err != nil {
+			panic(err)
+		}
+		if err := lt.EnableInt8(); err != nil {
+			panic(err)
+		}
+	}
 	return &Chameleon{
 		cfg:     cfg,
 		alpha:   *cfg.Alpha,
 		beta:    *cfg.Beta,
 		head:    head,
 		tracker: NewPreferenceTracker(cfg.TopK, *cfg.Rho, cfg.Window),
-		st:      NewShortTermStore(cfg.STCap, rng),
-		lt:      NewLongTermStore(cfg.LTCap, rng),
+		st:      st,
+		lt:      lt,
 		rng:     rng,
 		src:     src,
 		met:     newStepMetrics(cfg.Obs),

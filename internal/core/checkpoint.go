@@ -16,10 +16,16 @@ import (
 // batch counter. Hyper-parameters are NOT stored: a snapshot restores into a
 // learner constructed with the same Config, which the run driver guarantees
 // (same spec, same seed).
+// The replay stores are dtype-tagged: an fp32 learner fills ST and carries
+// plain items in LT, an int8 learner fills STQ (ST nil) and carries
+// quantized items in LT. gob leaves absent fields zero, so a legacy payload
+// decodes with STQ nil and QZ-less LT items — i.e. as fp32 — and the
+// restore paths reject cross-dtype combinations.
 type chameleonState struct {
 	Head     cl.HeadState
 	Tracker  trackerState
 	ST       []cl.LatentSample
+	STQ      []QuantSample
 	LT       []replay.Item
 	LTCursor int
 	Rand     checkpoint.RandState
@@ -84,15 +90,20 @@ func sortedToSet(vals []int) map[int]bool {
 // Snapshot implements cl.Snapshotter: the complete mutable learner state as
 // one opaque payload.
 func (c *Chameleon) Snapshot() ([]byte, error) {
-	return checkpoint.Encode(chameleonState{
+	st := chameleonState{
 		Head:     c.head.State(),
 		Tracker:  c.tracker.state(),
-		ST:       append([]cl.LatentSample(nil), c.st.Items()...),
 		LT:       c.lt.buf.Export(),
 		LTCursor: c.lt.cursor,
 		Rand:     c.src.State(),
 		Batches:  c.batches,
-	})
+	}
+	if c.st.Quantized() {
+		st.STQ = c.st.QuantState()
+	} else {
+		st.ST = append([]cl.LatentSample(nil), c.st.Items()...)
+	}
+	return checkpoint.Encode(st)
 }
 
 // SnapshotsEqual reports whether two Snapshot payloads describe the same
@@ -122,10 +133,17 @@ func (c *Chameleon) Restore(data []byte) error {
 	if st.Batches < 0 {
 		return fmt.Errorf("core: snapshot batch counter %d is negative", st.Batches)
 	}
+	if len(st.ST) > 0 && len(st.STQ) > 0 {
+		return fmt.Errorf("core: snapshot carries both fp32 and int8 short-term state")
+	}
 	if err := c.head.SetState(st.Head); err != nil {
 		return err
 	}
-	if err := c.st.SetItems(st.ST); err != nil {
+	if len(st.STQ) > 0 {
+		if err := c.st.SetQuantState(st.STQ); err != nil {
+			return err
+		}
+	} else if err := c.st.SetItems(st.ST); err != nil {
 		return err
 	}
 	if err := c.lt.SetState(st.LT, st.LTCursor); err != nil {

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+	"chameleon/internal/parallel"
+	"chameleon/internal/race"
+)
+
+// newTestChameleonInt8 is newTestChameleon with both replay stores quantized.
+func newTestChameleonInt8(set *cl.LatentSet, seed int64, meter *cl.TrafficMeter) *Chameleon {
+	return New(cl.NewHead(set.Backbone, cl.HeadConfig{LR: 0.05, Momentum: 0.5, Seed: seed}),
+		Config{STCap: 5, LTCap: 10, AccessRate: 2, PromoteEvery: 1, Window: 20, Meter: meter, Seed: seed, ReplayInt8: true})
+}
+
+// TestQuantizedChameleonKillAndResumeBitIdentical is the crash contract for
+// an int8-store learner: a run killed at batch k and resumed from its
+// checkpoint must finish with the same accuracy, raw int8 buffer contents,
+// RNG position and traffic counts as the uninterrupted run. Because the
+// stores checkpoint their canonical (QZ, Scale) records — never re-quantized
+// fp32 — the quantize/dequantize round trip is bit-exact across save/restore.
+func TestQuantizedChameleonKillAndResumeBitIdentical(t *testing.T) {
+	set := buildEnv(t)
+	const seed = 33
+	opts := data.StreamOptions{BatchSize: 5}
+
+	refMeter := &cl.TrafficMeter{}
+	ref := newTestChameleonInt8(set, seed, refMeter)
+	refRes := cl.RunOnline(ref, set.Stream(seed, opts), set.Test)
+	refState := decodeState(t, mustSnapshot(t, ref))
+	if len(refState.STQ) == 0 || len(refState.ST) != 0 {
+		t.Fatalf("int8 learner snapshot not dtype-tagged: ST=%d STQ=%d", len(refState.ST), len(refState.STQ))
+	}
+	for i, it := range refState.LT {
+		if !it.Quantized() {
+			t.Fatalf("long-term snapshot item %d not quantized", i)
+		}
+	}
+
+	for _, killAt := range []int{1, 5, 11} {
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		crashMeter := &cl.TrafficMeter{}
+		crashed := newTestChameleonInt8(set, seed, crashMeter)
+		_, err := cl.RunOnlineCheckpointed(crashed, set.Stream(seed, opts), set.Test,
+			cl.CheckpointPlan{Path: path, Every: 1, Meter: crashMeter, StopAfter: killAt})
+		if err != cl.ErrStopped {
+			t.Fatalf("killAt=%d: expected ErrStopped, got %v", killAt, err)
+		}
+		resMeter := &cl.TrafficMeter{}
+		resumed := newTestChameleonInt8(set, seed, resMeter)
+		res, err := cl.RunOnlineCheckpointed(resumed, set.Stream(seed, opts), set.Test,
+			cl.CheckpointPlan{Path: path, Every: 1, Resume: true, Meter: resMeter})
+		if err != nil {
+			t.Fatalf("killAt=%d: resume failed: %v", killAt, err)
+		}
+		if res.AccAll != refRes.AccAll {
+			t.Fatalf("killAt=%d: resumed accuracy %v != uninterrupted %v", killAt, res.AccAll, refRes.AccAll)
+		}
+		if res.SamplesSeen != refRes.SamplesSeen {
+			t.Fatalf("killAt=%d: samples %d != %d", killAt, res.SamplesSeen, refRes.SamplesSeen)
+		}
+		if resMeter.Counts() != refMeter.Counts() {
+			t.Fatalf("killAt=%d: traffic diverged:\nresumed %s\nref     %s", killAt, resMeter, refMeter)
+		}
+		if got := decodeState(t, mustSnapshot(t, resumed)); !reflect.DeepEqual(got, refState) {
+			t.Fatalf("killAt=%d: final learner state diverged from uninterrupted run", killAt)
+		}
+	}
+}
+
+// TestQuantizedChameleonCrossDtypeRestoreErrors pins the dtype tag at the
+// learner level: an fp32 snapshot cannot restore into an int8 learner and
+// vice versa — either direction must error rather than silently mix
+// representations.
+func TestQuantizedChameleonCrossDtypeRestoreErrors(t *testing.T) {
+	set := buildEnv(t)
+	drive := func(c *Chameleon) {
+		st := set.Stream(52, data.StreamOptions{BatchSize: 5})
+		for i := 0; i < 8; i++ {
+			b, ok := st.Next()
+			if !ok {
+				break
+			}
+			c.Observe(b)
+		}
+	}
+	fp32 := newTestChameleon(set, 52, nil)
+	int8L := newTestChameleonInt8(set, 52, nil)
+	drive(fp32)
+	drive(int8L)
+
+	fp32Snap := mustSnapshot(t, fp32)
+	int8Snap := mustSnapshot(t, int8L)
+
+	if err := newTestChameleonInt8(set, 52, nil).Restore(fp32Snap); err == nil {
+		t.Fatal("fp32 snapshot restored into int8 learner")
+	}
+	if err := newTestChameleon(set, 52, nil).Restore(int8Snap); err == nil {
+		t.Fatal("int8 snapshot restored into fp32 learner")
+	}
+	// Matching dtypes keep working.
+	if err := newTestChameleonInt8(set, 52, nil).Restore(int8Snap); err != nil {
+		t.Fatalf("int8→int8 restore failed: %v", err)
+	}
+	if err := newTestChameleon(set, 52, nil).Restore(fp32Snap); err != nil {
+		t.Fatalf("fp32→fp32 restore failed: %v", err)
+	}
+}
+
+// TestQuantizedShortTermTrainsOnDecodedValues pins the quantization point:
+// what an int8 learner rehearses from M_s is the decode of the stored int8
+// payload — identical to what a checkpoint round trip reproduces — not the
+// raw fp32 values that arrived on the stream.
+func TestQuantizedShortTermTrainsOnDecodedValues(t *testing.T) {
+	set := buildEnv(t)
+	c := newTestChameleonInt8(set, 61, nil)
+	st := set.Stream(61, data.StreamOptions{BatchSize: 5})
+	for i := 0; i < 6; i++ {
+		b, ok := st.Next()
+		if !ok {
+			break
+		}
+		c.Observe(b)
+	}
+	items := c.ShortTerm().Items()
+	qs := c.ShortTerm().QuantState()
+	if len(items) == 0 || len(items) != len(qs) {
+		t.Fatalf("items %d vs quant state %d", len(items), len(qs))
+	}
+	for i, it := range items {
+		for j, v := range it.Z.Data() {
+			want := float32(qs[i].QZ[j]) * qs[i].Scale
+			if math.Float32bits(v) != math.Float32bits(want) {
+				t.Fatalf("slot %d element %d: live value %x != decode %x", i, j, math.Float32bits(v), math.Float32bits(want))
+			}
+		}
+	}
+}
+
+// TestAllocsQuantizedTrainStep pins the acceptance criterion: the int8-store
+// training step — sweep the quantized short-term store with the incoming
+// sample, rehearse a dequantized long-term minibatch, refresh M_s
+// (re-quantizing a slot in place) — performs zero heap allocations once warm.
+// SelectionProbs is fed from a caller-held slice exactly as Observe holds its
+// own; the full Observe additionally allocates in Promote's prototype math,
+// which is outside the train step and unchanged by this PR.
+func TestAllocsQuantizedTrainStep(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation pins are measured without -race instrumentation")
+	}
+	parallel.SetWorkers(1)
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+	set := buildEnv(t)
+	c := newTestChameleonInt8(set, 71, nil)
+	st := set.Stream(71, data.StreamOptions{BatchSize: 5})
+	var batch cl.LatentBatch
+	for i := 0; i < 12; i++ { // past both fill phases: ST cap 5, LT cap 10
+		b, ok := st.Next()
+		if !ok {
+			break
+		}
+		c.Observe(b)
+		batch = b
+	}
+	if c.ShortTerm().Len() < c.ShortTerm().Cap() || c.LongTerm().Len() == 0 {
+		t.Fatal("stores not warm")
+	}
+	probs := SelectionProbs(c.Tracker(), []float64{1, 1, 1, 1, 1}[:len(batch.Samples)], batchLabels(batch), 1, 1)
+	var stepBuf, mbBuf []cl.LatentSample
+	// Warm-up: size the scratch buffers and decode slots.
+	step := func() {
+		stepBuf = append(stepBuf[:0], batch.Samples[0])
+		stepBuf = append(stepBuf, c.ShortTerm().Items()...)
+		c.Head().TrainCEOn(stepBuf)
+		mbBuf = c.LongTerm().SampleInto(mbBuf[:0], 5)
+		c.Head().TrainCEOn(mbBuf)
+		c.ShortTerm().Update(batch.Samples, probs)
+	}
+	step()
+	got := testing.AllocsPerRun(50, step)
+	if got != 0 {
+		t.Fatalf("quantized train step allocates %.1f times/op, want 0", got)
+	}
+}
+
+func batchLabels(b cl.LatentBatch) []int {
+	out := make([]int, len(b.Samples))
+	for i, s := range b.Samples {
+		out[i] = s.Label
+	}
+	return out
+}

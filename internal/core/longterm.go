@@ -28,6 +28,13 @@ func NewLongTermStore(capacity int, rng *rand.Rand) *LongTermStore {
 	return &LongTermStore{buf: replay.NewClassBalanced(capacity, rng), rng: rng}
 }
 
+// EnableInt8 switches the backing class-balanced buffer to quantized
+// storage; it must be called while the store is still empty.
+func (l *LongTermStore) EnableInt8() error { return l.buf.EnableInt8() }
+
+// Quantized reports whether the store holds int8 latents.
+func (l *LongTermStore) Quantized() bool { return l.buf.Quantized() }
+
 // Len returns the current fill.
 func (l *LongTermStore) Len() int { return l.buf.Len() }
 
@@ -85,7 +92,10 @@ func (l *LongTermStore) NextMinibatchInto(dst []cl.LatentSample, n int) []cl.Lat
 		n = len(all)
 	}
 	for i := 0; i < n; i++ {
-		it := all[l.cursor%len(all)]
+		// Dequantized is the identity on fp32 stores; on int8 stores it
+		// decodes the drawn record into per-position scratch, so only the
+		// minibatch is materialised — never the whole buffer.
+		it := l.buf.Dequantized(all[l.cursor%len(all)], i)
 		dst = append(dst, cl.LatentSample{Z: it.Z, Label: it.Label})
 		l.cursor++
 	}
@@ -119,9 +129,13 @@ func (l *LongTermStore) Prototype(class int) *tensor.Tensor {
 	if len(items) == 0 {
 		return nil
 	}
-	proto := tensor.New(items[0].Z.Shape()...)
-	for _, it := range items {
-		proto.AddInPlace(it.Z)
+	// Decode each record through slot 0 and fold it into the accumulator
+	// immediately — the prototype never needs two decoded records at once.
+	first := l.buf.Dequantized(items[0], 0)
+	proto := tensor.New(first.Z.Shape()...)
+	proto.AddInPlace(first.Z)
+	for _, it := range items[1:] {
+		proto.AddInPlace(l.buf.Dequantized(it, 0).Z)
 	}
 	proto.Scale(1 / float32(len(items)))
 	return proto

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"chameleon/internal/cl"
+	"chameleon/internal/quant"
 	"chameleon/internal/tensor"
 )
 
@@ -17,7 +18,43 @@ type ShortTermStore struct {
 	cap   int
 	items []cl.LatentSample
 	rng   *rand.Rand
+	// Quantized mode (EnableInt8): qz/scales hold each slot's canonical int8
+	// representation — the bytes that exist at rest and in checkpoints —
+	// while items[i].Z points at a persistent per-slot tensor carrying the
+	// dequantized values. Training therefore still sweeps Items() as a free
+	// live slice, and a slot refresh re-quantizes in place: zero steady-state
+	// allocations either way.
+	quantized bool
+	qz        [][]int8
+	scales    []float32
 }
+
+// QuantSample is the checkpoint representation of one quantized short-term
+// sample: the int8 payload, its symmetric per-tensor scale and latent shape,
+// plus the sample metadata. The fp32 values a restored learner trains on are
+// a pure function of (QZ, Scale), which is what makes the save/restore cycle
+// bit-exact.
+type QuantSample struct {
+	QZ     []int8
+	Scale  float32
+	ZShape []int
+	Label  int
+	Domain int
+	ID     int
+}
+
+// EnableInt8 switches the store to quantized storage; it must be called
+// while the store is still empty.
+func (s *ShortTermStore) EnableInt8() error {
+	if len(s.items) > 0 {
+		return fmt.Errorf("core: EnableInt8 on a non-empty short-term store (%d items)", len(s.items))
+	}
+	s.quantized = true
+	return nil
+}
+
+// Quantized reports whether the store holds int8 latents.
+func (s *ShortTermStore) Quantized() bool { return s.quantized }
 
 // NewShortTermStore creates an M_s with the given capacity (paper: 10).
 func NewShortTermStore(capacity int, rng *rand.Rand) *ShortTermStore {
@@ -37,12 +74,80 @@ func (s *ShortTermStore) Cap() int { return s.cap }
 // memory" training set). Callers must not mutate.
 func (s *ShortTermStore) Items() []cl.LatentSample { return s.items }
 
-// SetItems replaces the contents with a copy of items (checkpoint restore).
+// SetItems replaces the contents with a copy of items (fp32 checkpoint
+// restore). A quantized store rejects non-empty fp32 state — the cross-dtype
+// restore error; its own state travels through QuantState/SetQuantState.
 func (s *ShortTermStore) SetItems(items []cl.LatentSample) error {
 	if len(items) > s.cap {
 		return fmt.Errorf("core: restoring %d items into capacity-%d short-term store", len(items), s.cap)
 	}
+	if s.quantized && len(items) > 0 {
+		return fmt.Errorf("core: fp32 short-term state restored into int8 store (cross-dtype restore)")
+	}
 	s.items = append(s.items[:0:0], items...)
+	s.qz = s.qz[:0]
+	s.scales = s.scales[:0]
+	return nil
+}
+
+// QuantState exports the quantized contents for checkpointing (nil for fp32
+// stores). The returned records reference the live int8 buffers; callers
+// serialize them before the next Update, as with every State export.
+func (s *ShortTermStore) QuantState() []QuantSample {
+	if !s.quantized {
+		return nil
+	}
+	out := make([]QuantSample, len(s.items))
+	for i, it := range s.items {
+		out[i] = QuantSample{
+			QZ:     s.qz[i],
+			Scale:  s.scales[i],
+			ZShape: it.Z.Shape(),
+			Label:  it.Label,
+			Domain: it.Domain,
+			ID:     it.ID,
+		}
+	}
+	return out
+}
+
+// SetQuantState restores contents captured by QuantState, rebuilding each
+// slot's dequantized tensor from the int8 payload. An fp32 store rejects it
+// (cross-dtype restore); hostile shape metadata is rejected before anything
+// is mutated.
+func (s *ShortTermStore) SetQuantState(items []QuantSample) error {
+	if !s.quantized {
+		return fmt.Errorf("core: int8 short-term state restored into fp32 store (cross-dtype restore)")
+	}
+	if len(items) > s.cap {
+		return fmt.Errorf("core: restoring %d items into capacity-%d short-term store", len(items), s.cap)
+	}
+	for i, it := range items {
+		n := 1
+		for _, d := range it.ZShape {
+			if d <= 0 {
+				n = -1
+				break
+			}
+			n *= d
+		}
+		if len(it.ZShape) == 0 || n != len(it.QZ) {
+			return fmt.Errorf("core: quantized short-term item %d shape %v does not match %d-byte buffer", i, it.ZShape, len(it.QZ))
+		}
+		if math.IsNaN(float64(it.Scale)) || math.IsInf(float64(it.Scale), 0) {
+			return fmt.Errorf("core: quantized short-term item %d has non-finite scale", i)
+		}
+	}
+	s.items = s.items[:0]
+	s.qz = s.qz[:0]
+	s.scales = s.scales[:0]
+	for _, it := range items {
+		z := tensor.New(it.ZShape...)
+		quant.DequantizeInt8(z.Data(), it.QZ, it.Scale)
+		s.items = append(s.items, cl.LatentSample{Z: z, Label: it.Label, Domain: it.Domain, ID: it.ID})
+		s.qz = append(s.qz, append([]int8(nil), it.QZ...))
+		s.scales = append(s.scales, it.Scale)
+	}
 	return nil
 }
 
@@ -128,20 +233,69 @@ func (s *ShortTermStore) Update(batch []cl.LatentSample, probs []float64) int {
 	}
 	chosen := sampleIndex(probs, s.rng)
 	if len(s.items) < s.cap {
-		s.items = append(s.items, batch[chosen])
+		if s.quantized {
+			s.appendQuantized(batch[chosen])
+		} else {
+			s.items = append(s.items, batch[chosen])
+		}
 		return chosen
 	}
 	victim := s.rng.Intn(len(s.items))
-	s.items[victim] = batch[chosen]
+	if s.quantized {
+		s.storeQuantized(victim, batch[chosen])
+	} else {
+		s.items[victim] = batch[chosen]
+	}
 	return chosen
+}
+
+// appendQuantized grows the store by one quantized slot (fill phase: the
+// slot tensor and int8 buffer are allocated once and reused forever after).
+func (s *ShortTermStore) appendQuantized(sm cl.LatentSample) {
+	slot := sm
+	slot.Z = tensor.New(sm.Z.Shape()...)
+	s.items = append(s.items, slot)
+	s.qz = append(s.qz, make([]int8, sm.Z.Len()))
+	s.scales = append(s.scales, 0)
+	s.requantize(len(s.items)-1, sm.Z)
+}
+
+// storeQuantized refreshes slot i with a new sample, quantizing into the
+// slot's existing buffers — the zero-allocation steady-state path.
+func (s *ShortTermStore) storeQuantized(i int, sm cl.LatentSample) {
+	if len(s.qz[i]) != sm.Z.Len() {
+		// Latent shape changed (never in a configured run): rebuild the slot.
+		s.qz[i] = make([]int8, sm.Z.Len())
+		s.items[i].Z = tensor.New(sm.Z.Shape()...)
+	}
+	slot := sm
+	slot.Z = s.items[i].Z
+	s.items[i] = slot
+	s.requantize(i, sm.Z)
+}
+
+// requantize writes slot i's int8 representation from src and materialises
+// the dequantized values the trainer sweeps. The store's fp32 view is always
+// the decode of its int8 payload — never the raw incoming values — so what
+// the learner rehearses is exactly what a checkpoint round trip reproduces.
+func (s *ShortTermStore) requantize(i int, src *tensor.Tensor) {
+	s.scales[i] = quant.QuantizeInt8(s.qz[i], src.Data())
+	quant.DequantizeInt8(s.items[i].Z.Data(), s.qz[i], s.scales[i])
 }
 
 // Remove deletes the stored sample at index i (used when promoting to the
 // long-term store would otherwise duplicate it; the paper keeps the sample,
 // so Chameleon calls this only in ablation variants).
 func (s *ShortTermStore) Remove(i int) {
-	s.items[i] = s.items[len(s.items)-1]
-	s.items = s.items[:len(s.items)-1]
+	last := len(s.items) - 1
+	s.items[i] = s.items[last]
+	s.items = s.items[:last]
+	if s.quantized {
+		s.qz[i] = s.qz[last]
+		s.qz = s.qz[:last]
+		s.scales[i] = s.scales[last]
+		s.scales = s.scales[:last]
+	}
 }
 
 // sampleIndex draws an index from a (possibly unnormalised) distribution.

@@ -1,0 +1,195 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"chameleon/internal/cl"
+	"chameleon/internal/data"
+	"chameleon/internal/memcost"
+	"chameleon/internal/parallel"
+)
+
+// This file implements the memory–accuracy frontier exhibit: Fig. 2 / Table I
+// extended to fp32-vs-int8 replay stores compared at equal *bytes*, not equal
+// samples. An int8 store's per-sample payload is ~4× smaller (1 byte/element
+// plus one fp32 scale), so at a fixed byte budget it holds ~4× the samples;
+// the exhibit asks whether those extra samples buy accuracy — i.e. whether
+// quantized replay moves the frontier — rather than comparing stores that
+// differ in both representation and capacity.
+
+// FrontierPair is one equal-bytes comparison: an fp32 arm at the budget's
+// sample count versus an int8 arm holding as many samples as the same bytes
+// afford. Accuracies are MultiSeed means per dataset; DeltaPts is the int8
+// arm's accuracy minus the fp32 arm's, in percentage points (negative =
+// quantization lost accuracy despite the extra samples).
+type FrontierPair struct {
+	Method      string             `json:"method"`
+	Budget      int                `json:"budget_samples_fp32"`
+	BudgetBytes int64              `json:"budget_bytes"`
+	FP32Samples int                `json:"fp32_samples"`
+	Int8Samples int                `json:"int8_samples"`
+	SampleRatio float64            `json:"sample_ratio"`
+	FP32MB      float64            `json:"fp32_mb"`
+	Int8MB      float64            `json:"int8_mb"`
+	FP32Acc     map[string]float64 `json:"fp32_acc"`
+	Int8Acc     map[string]float64 `json:"int8_acc"`
+	DeltaPts    map[string]float64 `json:"delta_pts"`
+}
+
+// FrontierResult is the full exhibit.
+type FrontierResult struct {
+	Scale    string         `json:"scale"`
+	Datasets []string       `json:"datasets"`
+	Pairs    []FrontierPair `json:"pairs"`
+}
+
+// Int8EquivalentSamples returns how many samples an int8 store holds in the
+// byte budget of the given fp32 spec at paper scale. Only the latent-storing
+// methods are meaningful here: the raw-image methods' accounting (ER, DER,
+// GSS) is dominated by image bytes that quantized latents do not change. For
+// Chameleon the short-term store rides inside the same budget, so its ST
+// samples are subtracted from the long-term capacity the budget affords.
+func Int8EquivalentSamples(spec MethodSpec) (int, error) {
+	if spec.Name != "latent" && spec.Name != "chameleon" {
+		return 0, fmt.Errorf("exp: equal-bytes int8 sizing applies to latent-storing methods, not %q", spec.Name)
+	}
+	fp32 := spec
+	fp32.ReplayInt8 = false
+	m := memcost.PaperModel()
+	budget, err := m.Overhead(memcost.Method(fp32.Name), fp32.Buffer, fp32.ST)
+	if err != nil {
+		return 0, err
+	}
+	q := memcost.PaperModel()
+	q.LatentDtype = memcost.DtypeInt8
+	n := budget / q.LatentBytes()
+	if spec.Name == "chameleon" {
+		n -= int64(spec.ST)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return int(n), nil
+}
+
+// RunFrontier runs the equal-bytes frontier over the given fp32 budgets
+// (buffer sample counts) for the latent-storing methods on every dataset in
+// sets, mean accuracy over the scale's seeds.
+func RunFrontier(sets map[string]*cl.LatentSet, sc Scale, budgets []int, progress func(format string, args ...any)) (*FrontierResult, error) {
+	if progress == nil {
+		progress = func(string, ...any) {}
+	}
+	var datasets []string
+	for name := range sets {
+		datasets = append(datasets, name)
+	}
+	sort.Strings(datasets)
+	res := &FrontierResult{Scale: sc.Name, Datasets: datasets}
+
+	type arm struct {
+		pair int
+		int8 bool
+		spec MethodSpec
+	}
+	var arms []arm
+	for _, method := range []string{"latent", "chameleon"} {
+		for _, n := range budgets {
+			fp32 := MethodSpec{Name: method, Buffer: n}
+			if method == "chameleon" {
+				fp32.ST = sc.ChameleonST
+			}
+			n8, err := Int8EquivalentSamples(fp32)
+			if err != nil {
+				return nil, err
+			}
+			int8Spec := fp32
+			int8Spec.Buffer = n8
+			int8Spec.ReplayInt8 = true
+			m := memcost.PaperModel()
+			budgetBytes, err := m.Overhead(memcost.Method(fp32.Name), fp32.Buffer, fp32.ST)
+			if err != nil {
+				return nil, err
+			}
+			fp32MB, err := MemoryMB(fp32)
+			if err != nil {
+				return nil, err
+			}
+			int8MB, err := MemoryMB(int8Spec)
+			if err != nil {
+				return nil, err
+			}
+			pi := len(res.Pairs)
+			res.Pairs = append(res.Pairs, FrontierPair{
+				Method:      method,
+				Budget:      n,
+				BudgetBytes: budgetBytes,
+				FP32Samples: fp32.Buffer,
+				Int8Samples: n8,
+				SampleRatio: float64(n8) / float64(fp32.Buffer),
+				FP32MB:      fp32MB,
+				Int8MB:      int8MB,
+				FP32Acc:     map[string]float64{},
+				Int8Acc:     map[string]float64{},
+				DeltaPts:    map[string]float64{},
+			})
+			arms = append(arms, arm{pair: pi, int8: false, spec: fp32}, arm{pair: pi, int8: true, spec: int8Spec})
+		}
+	}
+
+	// Same fan-out as RunTable1: every (arm, dataset) cell is an independent
+	// multi-seed run over an immutable latent set.
+	var progressMu sync.Mutex
+	cells := make([]float64, len(arms)*len(datasets))
+	parallel.For(len(cells), 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			a, dsName := arms[ci/len(datasets)], datasets[ci%len(datasets)]
+			set := sets[dsName]
+			summary := cl.MultiSeed(set, data.StreamOptions{BatchSize: 10}, func(seed int64) cl.Learner {
+				l, err := NewLearner(a.spec, set, sc, seed)
+				if err != nil {
+					panic("exp: " + err.Error()) // specs are built above; cannot miss
+				}
+				return l
+			}, sc.Seeds)
+			cells[ci] = summary.MeanAcc
+			progressMu.Lock()
+			progress("frontier %-22s %-10s %.2f%%", a.spec.Label(), dsName, 100*summary.MeanAcc)
+			progressMu.Unlock()
+		}
+	})
+	for ci, acc := range cells {
+		a, dsName := arms[ci/len(datasets)], datasets[ci%len(datasets)]
+		if a.int8 {
+			res.Pairs[a.pair].Int8Acc[dsName] = acc
+		} else {
+			res.Pairs[a.pair].FP32Acc[dsName] = acc
+		}
+	}
+	for pi := range res.Pairs {
+		p := &res.Pairs[pi]
+		for _, ds := range datasets {
+			p.DeltaPts[ds] = 100 * (p.Int8Acc[ds] - p.FP32Acc[ds])
+		}
+	}
+	return res, nil
+}
+
+// Render prints the frontier as aligned equal-bytes rows.
+func (f *FrontierResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Memory–accuracy frontier — fp32 vs int8 stores at equal bytes (%s scale)\n", f.Scale)
+	fmt.Fprintf(w, "%-12s %10s %12s %14s", "method", "budget MB", "fp32 samples", "int8 samples")
+	for _, ds := range f.Datasets {
+		fmt.Fprintf(w, " %22s", ds+" Δpts")
+	}
+	fmt.Fprintln(w)
+	for _, p := range f.Pairs {
+		fmt.Fprintf(w, "%-12s %10.1f %12d %14d", p.Method, p.FP32MB, p.FP32Samples, p.Int8Samples)
+		for _, ds := range f.Datasets {
+			fmt.Fprintf(w, "   %6.2f→%6.2f (%+.2f)", 100*p.FP32Acc[ds], 100*p.Int8Acc[ds], p.DeltaPts[ds])
+		}
+		fmt.Fprintln(w)
+	}
+}

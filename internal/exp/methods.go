@@ -21,17 +21,24 @@ type MethodSpec struct {
 	Buffer int
 	// ST is Chameleon's short-term size (0 elsewhere).
 	ST int
+	// ReplayInt8 stores the method's replay payloads as int8 latents with a
+	// symmetric per-tensor scale. Bufferless methods ignore it.
+	ReplayInt8 bool
 }
 
-// Label renders "er-200"-style row labels.
+// Label renders "er-200"-style row labels ("er-200-int8" when quantized).
 func (m MethodSpec) Label() string {
+	suffix := ""
+	if m.ReplayInt8 {
+		suffix = "-int8"
+	}
 	if m.Buffer <= 0 {
-		return m.Name
+		return m.Name + suffix
 	}
 	if m.Name == "chameleon" {
-		return fmt.Sprintf("chameleon-%d+%d", m.ST, m.Buffer)
+		return fmt.Sprintf("chameleon-%d+%d%s", m.ST, m.Buffer, suffix)
 	}
-	return fmt.Sprintf("%s-%d", m.Name, m.Buffer)
+	return fmt.Sprintf("%s-%d%s", m.Name, m.Buffer, suffix)
 }
 
 // Methods lists the method families NewLearner accepts, in Table I order. It
@@ -71,7 +78,7 @@ func NewLearnerMetered(spec MethodSpec, set *cl.LatentSet, sc Scale, seed int64,
 // statistics with it; the head's width comes from the backbone config).
 func NewLearnerOn(spec MethodSpec, backbone *mobilenet.Model, classes int, sc Scale, seed int64, meter *cl.TrafficMeter) (cl.Learner, error) {
 	hc := cl.HeadConfig{LR: sc.HeadLR, Momentum: sc.HeadMomentum, Seed: seed}
-	bc := baselines.Config{BufferSize: spec.Buffer, ReplaySize: 10, Meter: meter, Seed: seed}
+	bc := baselines.Config{BufferSize: spec.Buffer, ReplaySize: 10, ReplayInt8: spec.ReplayInt8, Meter: meter, Seed: seed}
 	switch spec.Name {
 	case "finetune":
 		return baselines.NewFinetune(cl.NewHead(backbone, hc)), nil
@@ -99,7 +106,7 @@ func NewLearnerOn(spec MethodSpec, backbone *mobilenet.Model, classes int, sc Sc
 		return core.New(cl.NewHead(backbone, hc), core.Config{
 			STCap: spec.ST, LTCap: spec.Buffer,
 			AccessRate: sc.AccessRate, PromoteEvery: sc.PromoteEvery, LTSampleSize: 10,
-			Window: sc.Window, Meter: meter, Seed: seed,
+			Window: sc.Window, ReplayInt8: spec.ReplayInt8, Meter: meter, Seed: seed,
 		}), nil
 	default:
 		return nil, fmt.Errorf("exp: unknown method %q", spec.Name)
@@ -119,9 +126,15 @@ func NewRef64Learner(spec MethodSpec, set *cl.LatentSet, sc Scale, seed int64) (
 }
 
 // MemoryMB prices a spec's replay overhead at paper scale (the Table I
-// convention: the MB column always refers to the paper-scale backbone).
+// convention: the MB column always refers to the paper-scale backbone). The
+// latent dtype is derived from the spec that actually constructs the stores —
+// a quantized spec prices int8 bytes — rather than from a caller-declared
+// dtype that could drift from what the learner persists.
 func MemoryMB(spec MethodSpec) (float64, error) {
 	m := memcost.PaperModel()
+	if spec.ReplayInt8 {
+		m.LatentDtype = memcost.DtypeInt8
+	}
 	b, err := m.Overhead(memcost.Method(spec.Name), spec.Buffer, spec.ST)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,62 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"chameleon/internal/tensor"
+)
+
+// TestBFPSymmetricClamp is the regression pin for the asymmetric negative
+// clamp: RoundTripBFP documents a symmetric grid (values map into
+// [−maxMant, maxMant] steps of the shared scale), but the encoder used to
+// clamp negatives to −maxMant−1, letting a block's most-negative value land
+// one step outside the advertised range. With MantissaBits=2 (maxMant=1) and
+// a block whose magnitude leader is −1.9, the shared scale is exactly 1.0, so
+// the old code produced −2.0 where the symmetric grid ends at −1.0.
+func TestBFPSymmetricClamp(t *testing.T) {
+	cfg := BFPConfig{BlockSize: 16, MantissaBits: 2}
+	x := tensor.New(16)
+	x.Data()[0] = -1.9
+	x.Data()[1] = 1.0
+	if err := cfg.RoundTripBFP(x); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Data()[0]; got != -1.0 {
+		t.Errorf("most-negative value quantised to %g, want -1.0 (symmetric clamp)", got)
+	}
+	if got := x.Data()[1]; got != 1.0 {
+		t.Errorf("positive grid point moved: got %g, want 1.0", got)
+	}
+}
+
+// TestBFPRepresentableRange pins the min/max representable value per block
+// for several formats: after a round trip every element must lie inside
+// ±maxMant·scale, with scale derived from the block's magnitude leader the
+// same way the encoder derives it. The mirrored blocks check the positive
+// and negative extremes symmetrically.
+func TestBFPRepresentableRange(t *testing.T) {
+	for _, bits := range []int{2, 4, 8} {
+		cfg := BFPConfig{BlockSize: 8, MantissaBits: bits}
+		maxMant := float64(int64(1)<<(bits-1) - 1)
+		for _, lead := range []float64{-3.7, 3.7, -0.11, 0.11} {
+			x := tensor.New(8)
+			for i := range x.Data() {
+				x.Data()[i] = float32(lead) * float32(i+1) / 8
+			}
+			x.Data()[7] = float32(lead) // magnitude leader
+			_, exp := math.Frexp(math.Abs(lead))
+			scale := math.Ldexp(1, exp) / (maxMant + 1)
+			limit := maxMant * scale
+			if err := cfg.RoundTripBFP(x); err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range x.Data() {
+				if math.Abs(float64(v)) > limit+1e-12 {
+					t.Errorf("bits=%d lead=%g: element %d quantised to %g, outside ±%g",
+						bits, lead, i, v, limit)
+				}
+			}
+		}
+	}
+}

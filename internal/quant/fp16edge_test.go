@@ -1,0 +1,86 @@
+package quant
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFP16ExhaustiveRoundTrip pins encode∘decode as the identity on every
+// representable half-precision pattern: for all 65536 bit patterns except
+// NaNs (which canonicalise), Float16FromFloat32(Float32FromFloat16(h)) == h.
+// This is the exhaustive guarantee the sampled accuracy tests cannot give —
+// it is what caught the subnormal encoder discarding ten bits too many
+// (encode(2^-15) returned 0x0000 instead of 0x0200).
+func TestFP16ExhaustiveRoundTrip(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		h := uint16(i)
+		exp := h >> 10 & 0x1F
+		mant := h & 0x3FF
+		if exp == 0x1F && mant != 0 {
+			continue // NaN: payload is not preserved, only NaN-ness
+		}
+		f := Float32FromFloat16(h)
+		if got := Float16FromFloat32(f); got != h {
+			t.Fatalf("round trip 0x%04X -> %g -> 0x%04X", h, f, got)
+		}
+	}
+}
+
+// TestFP16NaNStaysNaN pins the one exception to the identity: every NaN
+// pattern must come back as some NaN, never a finite value or an infinity.
+func TestFP16NaNStaysNaN(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		h := uint16(i)
+		if h>>10&0x1F != 0x1F || h&0x3FF == 0 {
+			continue
+		}
+		f := Float32FromFloat16(h)
+		if !math.IsNaN(float64(f)) {
+			t.Fatalf("NaN pattern 0x%04X decoded to non-NaN %g", h, f)
+		}
+		got := Float16FromFloat32(f)
+		if got>>10&0x1F != 0x1F || got&0x3FF == 0 {
+			t.Fatalf("NaN pattern 0x%04X re-encoded to non-NaN 0x%04X", h, got)
+		}
+	}
+}
+
+// TestFP16SubnormalBoundaries drives the directed edge cases at the bottom of
+// the half-precision range, where the 24-bit float32 significand is rounded
+// down to a subnormal and a mantissa carry can spill into the smallest
+// normal. Values are constructed with Ldexp so each case states its exponent
+// arithmetic explicitly.
+func TestFP16SubnormalBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float64
+		want uint16
+	}{
+		// Exactly representable subnormals encode without rounding.
+		{"smallest subnormal", math.Ldexp(1, -24), 0x0001},
+		{"largest subnormal", math.Ldexp(1023, -24), 0x03FF},
+		{"power-of-two subnormal", math.Ldexp(1, -15), 0x0200},
+		// Rounding carry: 1023.75 ulps rounds up to 1024 ulps == 2^-14, the
+		// smallest normal. The carry must cross the subnormal/normal boundary.
+		{"carry into smallest normal", math.Ldexp(1023.75, -24), 0x0400},
+		{"just below carry", math.Ldexp(1023.25, -24), 0x03FF},
+		// Ties round to even mantissa.
+		{"tie rounds to even (down)", math.Ldexp(2.5, -24), 0x0002},
+		{"tie rounds to even (up)", math.Ldexp(3.5, -24), 0x0004},
+		// The underflow threshold: 2^-25 is exactly half an ulp and ties to
+		// zero; anything strictly above it rounds up to the smallest
+		// subnormal, anything at or below 2^-26 flushes to zero.
+		{"half ulp ties to zero", math.Ldexp(1, -25), 0x0000},
+		{"just above half ulp", math.Ldexp(1.5, -25), 0x0001},
+		{"below half ulp", math.Ldexp(1, -26), 0x0000},
+	}
+	for _, tc := range cases {
+		if got := Float16FromFloat32(float32(tc.in)); got != tc.want {
+			t.Errorf("%s: Float16FromFloat32(%g) = 0x%04X, want 0x%04X", tc.name, tc.in, got, tc.want)
+		}
+		neg := tc.want | 0x8000
+		if got := Float16FromFloat32(float32(-tc.in)); got != neg {
+			t.Errorf("%s (negative): Float16FromFloat32(%g) = 0x%04X, want 0x%04X", tc.name, -tc.in, got, neg)
+		}
+	}
+}

@@ -45,15 +45,27 @@ func Float16FromFloat32(f float32) uint16 {
 		}
 		return sign | uint16(exp+15)<<10 | uint16(m)
 	case exp >= -24: // subnormal
-		shift := uint32(-exp - 1) // 14..24 -> 13+(−14−exp) bits discarded
+		// The 24-bit significand (implicit 1 restored) is shifted until the
+		// value is a multiple of 2^-24, the subnormal ulp: −exp−1 bits fall
+		// off (14 for the largest subnormals, 23 for the smallest), rounded
+		// half to even. A carry out of the top yields m == 0x400, which is
+		// exactly the smallest normal's bit pattern — no special case needed.
+		shift := uint32(-exp - 1)
 		full := mant | 0x800000
-		m := full >> (shift + 10)
-		round := full & ((1 << (shift + 10)) - 1)
-		half := uint32(1) << (shift + 9)
+		m := full >> shift
+		round := full & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
 		if round > half || (round == half && m&1 == 1) {
 			m++
 		}
 		return sign | uint16(m)
+	case exp == -25:
+		// Halfway below the smallest subnormal: 2^-25 exactly ties to even
+		// (zero); anything above it rounds up to the smallest subnormal.
+		if mant != 0 {
+			return sign | 1
+		}
+		return sign
 	default: // underflow -> zero
 		return sign
 	}
@@ -158,8 +170,8 @@ func (c BFPConfig) RoundTripBFP(t *tensor.Tensor) error {
 			if q > maxMant {
 				q = maxMant
 			}
-			if q < -maxMant-1 {
-				q = -maxMant - 1
+			if q < -maxMant {
+				q = -maxMant
 			}
 			block[i] = float32(q * scale)
 		}

@@ -15,7 +15,8 @@ import (
 // image — the distinction is pure memory accounting, see internal/memcost);
 // DER additionally stores logits; GSS stores a gradient sketch.
 type Item struct {
-	// Z is the latent activation payload.
+	// Z is the latent activation payload (fp32 representation; nil while the
+	// item sits quantized in an int8 store).
 	Z *tensor.Tensor
 	// Label is the class index.
 	Label int
@@ -23,7 +24,19 @@ type Item struct {
 	Logits *tensor.Tensor
 	// GradSketch is the gradient-direction sketch (GSS).
 	GradSketch *tensor.Tensor
+	// QZ, Scale, and ZShape form the int8 representation used by quantized
+	// stores: a symmetric per-tensor quantization q = round(z/Scale) with
+	// Scale = max|z|/127, plus the latent shape for reconstruction. Exactly
+	// one of Z and QZ is set; Int8Codec converts between the two. The dtype
+	// is part of the checkpoint wire format — gob leaves these nil/zero on
+	// legacy fp32 payloads, which is how old checkpoints keep decoding.
+	QZ     []int8
+	Scale  float32
+	ZShape []int
 }
+
+// Quantized reports whether the item holds the int8 representation.
+func (it Item) Quantized() bool { return it.QZ != nil }
 
 // Reservoir is a fixed-capacity buffer maintaining a uniform sample of the
 // stream via reservoir sampling (the buffer used by ER and DER).
@@ -36,7 +49,24 @@ type Reservoir struct {
 	// rebuilt on demand: checkpointing goes through State/SetState, which
 	// never see it.
 	idxBuf []int
+	// codec, when non-nil, makes this an int8 store: items quantize as they
+	// enter and dequantize as they are drawn.
+	codec *Int8Codec
 }
+
+// EnableInt8 switches the reservoir to quantized storage. It must be called
+// before the first Offer — converting live contents in place would break the
+// bit-exact checkpoint contract.
+func (r *Reservoir) EnableInt8() error {
+	if len(r.items) > 0 || r.seen > 0 {
+		return fmt.Errorf("replay: EnableInt8 on a non-empty reservoir (%d items, %d seen)", len(r.items), r.seen)
+	}
+	r.codec = NewInt8Codec()
+	return nil
+}
+
+// Quantized reports whether the reservoir stores int8 latents.
+func (r *Reservoir) Quantized() bool { return r.codec != nil }
 
 // NewReservoir creates a reservoir with the given capacity.
 func NewReservoir(capacity int, rng *rand.Rand) *Reservoir {
@@ -52,12 +82,20 @@ func (r *Reservoir) Offer(it Item) bool {
 	reservoirOffers.Add(1)
 	r.seen++
 	if len(r.items) < r.cap {
+		if r.codec != nil {
+			it = r.codec.Encode(it, nil)
+		}
 		r.items = append(r.items, it)
 		reservoirFills.Add(1)
 		return true
 	}
 	j := r.rng.Intn(r.seen)
 	if j < r.cap {
+		if r.codec != nil {
+			// Quantize only on acceptance, recycling the victim's buffer:
+			// rejected offers cost nothing and accepted ones allocate nothing.
+			it = r.codec.Encode(it, r.items[j].QZ)
+		}
 		r.items[j] = it
 		reservoirHits.Add(1)
 		return true
@@ -70,6 +108,9 @@ func (r *Reservoir) Offer(it Item) bool {
 // buffer holds fewer).
 func (r *Reservoir) Sample(n int) []Item {
 	out := sampleWithout(r.items, n, r.rng)
+	if r.codec != nil {
+		r.codec.decodeInto(out)
+	}
 	samplesDrawn.Add(int64(len(out)))
 	return out
 }
@@ -82,6 +123,9 @@ func (r *Reservoir) Sample(n int) []Item {
 func (r *Reservoir) SampleInto(dst []Item, n int) []Item {
 	before := len(dst)
 	dst, r.idxBuf = sampleWithoutInto(dst, r.idxBuf, r.items, n, r.rng)
+	if r.codec != nil {
+		r.codec.decodeInto(dst[before:])
+	}
 	samplesDrawn.Add(int64(len(dst) - before))
 	return dst
 }
@@ -89,8 +133,18 @@ func (r *Reservoir) SampleInto(dst []Item, n int) []Item {
 // Items returns a copy of the current contents. It used to return the live
 // backing slice, which let callers overwrite stored records behind the
 // reservoir's back — silently corrupting the uniform-sample invariant the
-// RNG maintains. Mutating the returned slice is now harmless.
-func (r *Reservoir) Items() []Item { return append([]Item(nil), r.items...) }
+// RNG maintains. Mutating the returned slice is now harmless. Quantized
+// stores return dequantized copies in freshly allocated tensors (a cold
+// path); the raw int8 records come from State.
+func (r *Reservoir) Items() []Item {
+	out := append([]Item(nil), r.items...)
+	if r.codec != nil {
+		for i := range out {
+			out[i] = r.codec.DecodeAlloc(out[i])
+		}
+	}
+	return out
+}
 
 // Len returns the current fill.
 func (r *Reservoir) Len() int { return len(r.items) }
@@ -102,18 +156,26 @@ func (r *Reservoir) Cap() int { return r.cap }
 func (r *Reservoir) Seen() int { return r.seen }
 
 // State copies the reservoir's contents and offer count for checkpointing.
+// Quantized stores export their raw int8 records: the stored (QZ, Scale)
+// pair is the canonical form, so a save/restore cycle is bit-exact by
+// construction (re-quantizing dequantized values would not be).
 func (r *Reservoir) State() ([]Item, int) {
 	return append([]Item(nil), r.items...), r.seen
 }
 
 // SetState restores contents captured by State. The items are copied; seen
-// must be at least len(items) (a reservoir can never hold more than it saw).
+// must be at least len(items) (a reservoir can never hold more than it saw),
+// and the items' dtype must match the store's (cross-dtype restores error;
+// legacy payloads count as fp32).
 func (r *Reservoir) SetState(items []Item, seen int) error {
 	if len(items) > r.cap {
 		return fmt.Errorf("replay: restoring %d items into capacity-%d reservoir", len(items), r.cap)
 	}
 	if seen < len(items) {
 		return fmt.Errorf("replay: reservoir seen %d < %d stored items", seen, len(items))
+	}
+	if err := checkDtype(items, r.codec != nil, "reservoir"); err != nil {
+		return err
 	}
 	r.items = append(r.items[:0:0], items...)
 	r.seen = seen
@@ -125,6 +187,7 @@ type Ring struct {
 	cap   int
 	items []Item
 	next  int
+	codec *Int8Codec
 }
 
 // NewRing creates a FIFO buffer with the given capacity.
@@ -135,12 +198,31 @@ func NewRing(capacity int) *Ring {
 	return &Ring{cap: capacity, items: make([]Item, 0, capacity)}
 }
 
+// EnableInt8 switches the ring to quantized storage; it must be called while
+// the ring is still empty.
+func (r *Ring) EnableInt8() error {
+	if len(r.items) > 0 {
+		return fmt.Errorf("replay: EnableInt8 on a non-empty ring (%d items)", len(r.items))
+	}
+	r.codec = NewInt8Codec()
+	return nil
+}
+
+// Quantized reports whether the ring stores int8 latents.
+func (r *Ring) Quantized() bool { return r.codec != nil }
+
 // Push inserts an item, evicting the oldest when full.
 func (r *Ring) Push(it Item) {
 	ringPushes.Add(1)
 	if len(r.items) < r.cap {
+		if r.codec != nil {
+			it = r.codec.Encode(it, nil)
+		}
 		r.items = append(r.items, it)
 		return
+	}
+	if r.codec != nil {
+		it = r.codec.Encode(it, r.items[r.next].QZ)
 	}
 	r.items[r.next] = it
 	r.next = (r.next + 1) % r.cap
@@ -149,8 +231,17 @@ func (r *Ring) Push(it Item) {
 
 // Items returns a copy of the current contents in arbitrary order. Like
 // Reservoir.Items, this used to alias the live backing slice; a copy keeps
-// caller-side mutation from rewriting the FIFO's history.
-func (r *Ring) Items() []Item { return append([]Item(nil), r.items...) }
+// caller-side mutation from rewriting the FIFO's history. Quantized rings
+// return dequantized copies.
+func (r *Ring) Items() []Item {
+	out := append([]Item(nil), r.items...)
+	if r.codec != nil {
+		for i := range out {
+			out[i] = r.codec.DecodeAlloc(out[i])
+		}
+	}
+	return out
+}
 
 // Len returns the current fill.
 func (r *Ring) Len() int { return len(r.items) }
@@ -167,6 +258,32 @@ type ClassBalanced struct {
 	classBuf []int
 	poolBuf  []Item
 	idxBuf   []int
+	codec    *Int8Codec
+}
+
+// EnableInt8 switches the buffer to quantized storage; it must be called
+// while the buffer is still empty.
+func (b *ClassBalanced) EnableInt8() error {
+	if b.total > 0 {
+		return fmt.Errorf("replay: EnableInt8 on a non-empty class-balanced buffer (%d items)", b.total)
+	}
+	b.codec = NewInt8Codec()
+	return nil
+}
+
+// Quantized reports whether the buffer stores int8 latents.
+func (b *ClassBalanced) Quantized() bool { return b.codec != nil }
+
+// Dequantized decodes one quantized item into the buffer's slot'th scratch
+// tensor (identity on fp32 stores and on already-decoded items). Callers
+// walking Export/ExportInto or OfClass output of an int8 store use it to
+// decode just the records they touch; like any scratch decode, the result is
+// valid until the next decode into the same slot.
+func (b *ClassBalanced) Dequantized(it Item, slot int) Item {
+	if b.codec == nil {
+		return it
+	}
+	return b.codec.Decode(it, slot)
 }
 
 // NewClassBalanced creates a class-balanced buffer with global capacity.
@@ -206,8 +323,14 @@ func (b *ClassBalanced) classesInto(dst []int) []int {
 	return dst
 }
 
-// OfClass returns the live items of one class (not a copy).
-func (b *ClassBalanced) OfClass(c int) []Item { return b.byClass[c] }
+// OfClass returns a copy of one class's items, in insertion order. It used
+// to return the live per-class backing slice — the same aliasing bug
+// Reservoir.Items and Ring.Items had: a caller writing through the returned
+// slice rewrote stored records behind the buffer's back. Quantized stores
+// return the raw int8 records; decode the ones you touch with Dequantized.
+func (b *ClassBalanced) OfClass(c int) []Item {
+	return append([]Item(nil), b.byClass[c]...)
+}
 
 // Insert stores an item of its class, maintaining balance:
 //   - while the buffer has free space, the item is appended;
@@ -219,6 +342,9 @@ func (b *ClassBalanced) OfClass(c int) []Item { return b.byClass[c] }
 // Returns the evicted item's class, or -1 if nothing was evicted.
 func (b *ClassBalanced) Insert(it Item) int {
 	if b.total < b.cap {
+		if b.codec != nil {
+			it = b.codec.Encode(it, nil)
+		}
 		b.byClass[it.Label] = append(b.byClass[it.Label], it)
 		b.total++
 		balancedFills.Add(1)
@@ -233,13 +359,20 @@ func (b *ClassBalanced) Insert(it Item) int {
 	}
 	if len(own) >= largestN {
 		// Replace within the item's own class.
-		own[b.rng.Intn(len(own))] = it
+		vi := b.rng.Intn(len(own))
+		if b.codec != nil {
+			it = b.codec.Encode(it, own[vi].QZ)
+		}
+		own[vi] = it
 		balancedHits.Add(1)
 		return it.Label
 	}
 	// Evict from the largest class, then append.
 	victims := b.byClass[largest]
 	vi := b.rng.Intn(len(victims))
+	if b.codec != nil {
+		it = b.codec.Encode(it, victims[vi].QZ)
+	}
 	victims[vi] = victims[len(victims)-1]
 	b.byClass[largest] = victims[:len(victims)-1]
 	b.byClass[it.Label] = append(b.byClass[it.Label], it)
@@ -255,7 +388,11 @@ func (b *ClassBalanced) ReplaceRandomOfClass(it Item) bool {
 	if len(own) == 0 {
 		return false
 	}
-	own[b.rng.Intn(len(own))] = it
+	vi := b.rng.Intn(len(own))
+	if b.codec != nil {
+		it = b.codec.Encode(it, own[vi].QZ)
+	}
+	own[vi] = it
 	balancedHits.Add(1)
 	return true
 }
@@ -263,7 +400,9 @@ func (b *ClassBalanced) ReplaceRandomOfClass(it Item) bool {
 // Export copies the contents in canonical order — ascending class, in-class
 // insertion order preserved — for checkpointing. Feeding the result to
 // SetContents on a fresh buffer reproduces the exact per-class layout, so
-// every later seeded eviction draw lands on the same victim.
+// every later seeded eviction draw lands on the same victim. Quantized
+// stores export their raw int8 records (the canonical, bit-exact form);
+// callers that need fp32 values decode with Dequantized.
 func (b *ClassBalanced) Export() []Item {
 	out := make([]Item, 0, b.total)
 	for _, c := range b.Classes() {
@@ -278,6 +417,9 @@ func (b *ClassBalanced) Export() []Item {
 func (b *ClassBalanced) SetContents(items []Item) error {
 	if len(items) > b.cap {
 		return fmt.Errorf("replay: restoring %d items into capacity-%d class-balanced buffer", len(items), b.cap)
+	}
+	if err := checkDtype(items, b.codec != nil, "class-balanced buffer"); err != nil {
+		return err
 	}
 	byClass := map[int][]Item{}
 	for _, it := range items {
@@ -297,6 +439,9 @@ func (b *ClassBalanced) Sample(n int) []Item {
 		all = append(all, b.byClass[c]...)
 	}
 	out := sampleWithout(all, n, b.rng)
+	if b.codec != nil {
+		b.codec.decodeInto(out)
+	}
 	samplesDrawn.Add(int64(len(out)))
 	return out
 }
@@ -314,6 +459,9 @@ func (b *ClassBalanced) SampleInto(dst []Item, n int) []Item {
 	b.poolBuf = pool
 	before := len(dst)
 	dst, b.idxBuf = sampleWithoutInto(dst, b.idxBuf, pool, n, b.rng)
+	if b.codec != nil {
+		b.codec.decodeInto(dst[before:])
+	}
 	samplesDrawn.Add(int64(len(dst) - before))
 	return dst
 }

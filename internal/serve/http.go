@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"time"
 
@@ -20,14 +21,17 @@ import (
 const maxBodyBytes = 16 << 20
 
 // PredictRequest is the wire form of POST /v1/predict. Exactly one of Latent
-// (a flattened tensor matching the server's latent shape) or Image (a
-// flattened [3,R,R] frame; only with a configured backbone) must be set.
-// User selects the per-user learner on a fleet server (required there,
-// rejected on a single-learner server).
+// (a flattened tensor matching the server's latent shape), LatentInt8 (the
+// same tensor quantized to int8 — base64 on the wire — dequantized
+// server-side as float32(q)*Scale) or Image (a flattened [3,R,R] frame; only
+// with a configured backbone) must be set. User selects the per-user learner
+// on a fleet server (required there, rejected on a single-learner server).
 type PredictRequest struct {
-	User   string    `json:"user,omitempty"`
-	Latent []float32 `json:"latent,omitempty"`
-	Image  []float32 `json:"image,omitempty"`
+	User       string    `json:"user,omitempty"`
+	Latent     []float32 `json:"latent,omitempty"`
+	LatentInt8 []byte    `json:"latent_int8,omitempty"`
+	Scale      float32   `json:"scale,omitempty"`
+	Image      []float32 `json:"image,omitempty"`
 }
 
 // PredictResponse is the wire form of a classified request.
@@ -37,10 +41,14 @@ type PredictResponse struct {
 }
 
 // ObserveSample is one labelled latent (or image) inside an observe batch.
+// LatentInt8 carries the latent quantized to int8 (base64 on the wire) with
+// its symmetric per-tensor Scale; exactly one of the three payloads is set.
 type ObserveSample struct {
-	Latent []float32 `json:"latent,omitempty"`
-	Image  []float32 `json:"image,omitempty"`
-	Label  int       `json:"label"`
+	Latent     []float32 `json:"latent,omitempty"`
+	LatentInt8 []byte    `json:"latent_int8,omitempty"`
+	Scale      float32   `json:"scale,omitempty"`
+	Image      []float32 `json:"image,omitempty"`
+	Label      int       `json:"label"`
 }
 
 // ObserveRequest is the wire form of POST /v1/observe: one stream mini-batch.
@@ -157,14 +165,23 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-// latentFrom validates and materialises one request latent: either a
-// flattened latent of exactly the configured shape, or (with a backbone) a
-// raw image run through the frozen extractor. Validation happens entirely
-// before the learner is involved.
-func (s *Server) latentFrom(latent, image []float32) (*tensor.Tensor, error) {
+// latentFrom validates and materialises one request latent: a flattened fp32
+// latent of exactly the configured shape, the same latent quantized to int8
+// with a finite positive per-tensor scale (dequantized here, before the
+// learner is involved), or (with a backbone) a raw image run through the
+// frozen extractor. Exactly one payload must be set; validation happens
+// entirely before the learner is involved.
+func (s *Server) latentFrom(latent []float32, qz []byte, scale float32, image []float32) (*tensor.Tensor, error) {
+	set := 0
+	for _, present := range []bool{len(latent) > 0, len(qz) > 0, len(image) > 0} {
+		if present {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("exactly one of latent, latent_int8 or image must be set, got %d", set)
+	}
 	switch {
-	case len(latent) > 0 && len(image) > 0:
-		return nil, fmt.Errorf("exactly one of latent or image must be set, got both")
 	case len(latent) > 0:
 		want := 1
 		for _, d := range s.cfg.LatentShape {
@@ -174,6 +191,23 @@ func (s *Server) latentFrom(latent, image []float32) (*tensor.Tensor, error) {
 			return nil, fmt.Errorf("latent has %d elements, want %d (shape %v)", len(latent), want, s.cfg.LatentShape)
 		}
 		return tensor.FromSlice(latent, s.cfg.LatentShape...), nil
+	case len(qz) > 0:
+		want := 1
+		for _, d := range s.cfg.LatentShape {
+			want *= d
+		}
+		if len(qz) != want {
+			return nil, fmt.Errorf("latent_int8 has %d elements, want %d (shape %v)", len(qz), want, s.cfg.LatentShape)
+		}
+		if !(scale > 0) || math.IsInf(float64(scale), 0) {
+			return nil, fmt.Errorf("latent_int8 requires a finite positive scale, got %v", scale)
+		}
+		t := tensor.New(s.cfg.LatentShape...)
+		dst := t.Data()
+		for i, b := range qz {
+			dst[i] = float32(int8(b)) * scale
+		}
+		return t, nil
 	case len(image) > 0:
 		if s.cfg.Backbone == nil {
 			return nil, fmt.Errorf("this server accepts latents only (no backbone configured)")
@@ -187,7 +221,7 @@ func (s *Server) latentFrom(latent, image []float32) (*tensor.Tensor, error) {
 		// convolution work off the serialized engine.
 		return s.cfg.Backbone.ExtractLatent(tensor.FromSlice(image, 3, res, res)), nil
 	default:
-		return nil, fmt.Errorf("one of latent or image must be set")
+		return nil, fmt.Errorf("one of latent, latent_int8 or image must be set")
 	}
 }
 
@@ -269,7 +303,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !s.checkUserField(w, req.User) {
 		return
 	}
-	z, err := s.latentFrom(req.Latent, req.Image)
+	z, err := s.latentFrom(req.Latent, req.LatentInt8, req.Scale, req.Image)
 	if err != nil {
 		s.m.rejected.Inc()
 		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
@@ -341,7 +375,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("bad request: sample %d label %d out of range [0,%d)", i, sm.Label, s.cfg.Classes))
 			return
 		}
-		z, err := s.latentFrom(sm.Latent, sm.Image)
+		z, err := s.latentFrom(sm.Latent, sm.LatentInt8, sm.Scale, sm.Image)
 		if err != nil {
 			s.m.rejected.Inc()
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: sample %d: %v", i, err))

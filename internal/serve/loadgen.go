@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"chameleon/internal/quant"
 )
 
 // LoadOptions configures one closed-loop load run: Clients goroutines each
@@ -43,6 +45,9 @@ type LoadOptions struct {
 	// ZipfS is the Zipf exponent (must be > 1; default 1.2 — a mild skew
 	// that still leaves a heavy tail of cold users).
 	ZipfS float64
+	// Int8 sends latents in the quantized wire encoding (latent_int8 +
+	// scale, ~4× smaller bodies) instead of fp32 JSON number arrays.
+	Int8 bool
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -161,7 +166,7 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 				} else if time.Now().After(deadline) {
 					break
 				}
-				body := predictBody(rng, latentLen, users.pick())
+				body := predictBody(rng, latentLen, users.pick(), opt.Int8)
 				t0 := time.Now()
 				status, err := post(client, baseURL+"/v1/predict", body)
 				switch {
@@ -196,7 +201,7 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 			users := newUserPicker(rng, opt.Users, opt.ZipfS)
 			var sent int64
 			for i := 0; i < opt.ObserveBatches; i++ {
-				body := observeBody(rng, latentLen, stats.Classes, opt.ObserveBatchSize, users.pick())
+				body := observeBody(rng, latentLen, stats.Classes, opt.ObserveBatchSize, users.pick(), opt.Int8)
 				status, err := post(client, baseURL+"/v1/observe", body)
 				if err == nil && status == http.StatusOK {
 					sent++
@@ -270,27 +275,53 @@ func percentile(sorted []float64, q float64) float64 {
 }
 
 // predictBody builds one synthetic predict payload (user "" omits the field).
-func predictBody(rng *rand.Rand, latentLen int, user string) []byte {
+func predictBody(rng *rand.Rand, latentLen int, user string, int8Wire bool) []byte {
 	lat := make([]float32, latentLen)
 	for i := range lat {
 		lat[i] = float32(rng.NormFloat64())
 	}
-	b, _ := json.Marshal(PredictRequest{User: user, Latent: lat})
+	req := PredictRequest{User: user}
+	if int8Wire {
+		req.LatentInt8, req.Scale = quantizeWire(lat)
+	} else {
+		req.Latent = lat
+	}
+	b, _ := json.Marshal(req)
 	return b
 }
 
 // observeBody builds one synthetic labelled batch.
-func observeBody(rng *rand.Rand, latentLen, classes, batch int, user string) []byte {
+func observeBody(rng *rand.Rand, latentLen, classes, batch int, user string, int8Wire bool) []byte {
 	req := ObserveRequest{User: user, Samples: make([]ObserveSample, batch)}
 	for i := range req.Samples {
 		lat := make([]float32, latentLen)
 		for j := range lat {
 			lat[j] = float32(rng.NormFloat64())
 		}
-		req.Samples[i] = ObserveSample{Latent: lat, Label: rng.Intn(classes)}
+		sm := ObserveSample{Label: rng.Intn(classes)}
+		if int8Wire {
+			sm.LatentInt8, sm.Scale = quantizeWire(lat)
+		} else {
+			sm.Latent = lat
+		}
+		req.Samples[i] = sm
 	}
 	b, _ := json.Marshal(req)
 	return b
+}
+
+// quantizeWire converts an fp32 latent to the wire's (latent_int8, scale)
+// encoding — the same symmetric per-tensor scheme the int8 stores use
+// (internal/quant), re-expressed over []byte because Go marshals []byte as
+// base64, which is the wire format.
+func quantizeWire(lat []float32) ([]byte, float32) {
+	q := make([]int8, len(lat))
+	scale := quant.QuantizeInt8(q, lat)
+	out := make([]byte, len(q))
+	for i, v := range q {
+		out[i] = byte(v)
+	}
+	return out, scale
 }
 
 // post issues one JSON POST and fully drains the response body so the

@@ -38,11 +38,19 @@ go test -run TestAllocs -count=1 ./...
 echo '>> go test -run "Test.*64|TestGobDtype|TestFusedStepBitIdentity|TestPrecisionParity" -count=1 ./internal/tensor/ ./internal/nn/ ./internal/exp/ (precision-tier gate)'
 go test -run 'Test.*64|TestGobDtype|TestFusedStepBitIdentity|TestPrecisionParity' -count=1 \
 	./internal/tensor/ ./internal/nn/ ./internal/exp/
+# Quantized-replay gate: one named pass over the int8 store contract — the
+# symmetric quantizer round-trips, quantize-on-insert/dequantize-on-rehearsal
+# in every store (core + baselines), bit-exact dtype-tagged checkpoints with
+# cross-dtype restore rejection, the int8 wire encoding on both server
+# surfaces, and the 0 allocs/op pin on the quantized train step.
+echo '>> go test -run "TestQuantized|TestAllocsQuantized|TestInt8|TestDequantize" -count=1 ./internal/quant/ ./internal/replay/ ./internal/core/ ./internal/baselines/ ./internal/serve/ ./internal/exp/ (quantized-replay gate)'
+go test -run 'TestQuantized|TestAllocsQuantized|TestInt8|TestDequantize' -count=1 -short \
+	./internal/quant/ ./internal/replay/ ./internal/core/ ./internal/baselines/ ./internal/serve/ ./internal/exp/
 # ns/op regression gate: the fp32 fused train step must hold its lead over
 # the fp64 reference step (≥1.5×), stay within 5% of the split step, and run
 # allocation-free. Ratios are within-run (interleaved min-of-N), so the gate
 # is machine-independent; the JSON lands in a scratch dir — the published
-# BENCH_pr8.json comes from `make bench-json`, not from here.
+# BENCH_pr9.json comes from `make bench-json`, not from here.
 gatedir=$(mktemp -d)
 trap 'rm -rf "$gatedir"' EXIT
 echo '>> go run ./cmd/benchjson -quick -check (ns/op regression gate)'
@@ -52,19 +60,20 @@ go run ./cmd/benchjson -quick -check -out "$gatedir/bench-gate.json"
 # series by series. Absolute ns/op in checked-in files comes from different
 # runs on possibly different machines, so this warns instead of failing —
 # `make bench-diff` is the hard-mode variant for same-machine comparisons.
-if [ -f BENCH_pr6.json ] && [ -f BENCH_pr8.json ]; then
-	echo '>> go run ./cmd/benchdiff BENCH_pr6.json BENCH_pr8.json (cross-PR drift, informational)'
-	go run ./cmd/benchdiff -warn-only BENCH_pr6.json BENCH_pr8.json
+if [ -f BENCH_pr8.json ] && [ -f BENCH_pr9.json ]; then
+	echo '>> go run ./cmd/benchdiff BENCH_pr8.json BENCH_pr9.json (cross-PR drift, informational)'
+	go run ./cmd/benchdiff -warn-only BENCH_pr8.json BENCH_pr9.json
 fi
-# Serving smoke gate: the real chameleon-serve binary (synthetic backbone)
-# answers the load generator end to end, then drains cleanly on SIGTERM and
-# leaves a resumable checkpoint behind.
-echo '>> serve smoke: chameleon-serve + chameleon-loadgen end to end'
+# Serving smoke gate: the real chameleon-serve binary (synthetic backbone,
+# int8 replay stores) answers the load generator end to end — one fp32-wire
+# exchange and one quantized-wire (-int8) exchange — then drains cleanly on
+# SIGTERM and leaves a resumable checkpoint behind.
+echo '>> serve smoke: chameleon-serve -replay-int8 + chameleon-loadgen (fp32 + int8 wire) end to end'
 smokedir=$(mktemp -d)
 trap 'kill "$serve_pid" 2>/dev/null || true; rm -rf "$smokedir" "$gatedir"' EXIT
 go build -o "$smokedir/chameleon-serve" ./cmd/chameleon-serve
 go build -o "$smokedir/chameleon-loadgen" ./cmd/chameleon-loadgen
-"$smokedir/chameleon-serve" -dataset synthetic -method chameleon \
+"$smokedir/chameleon-serve" -dataset synthetic -method chameleon -replay-int8 \
 	-addr 127.0.0.1:18423 -checkpoint "$smokedir/serve.ckpt" \
 	>"$smokedir/serve.log" 2>&1 &
 serve_pid=$!
@@ -78,6 +87,8 @@ for i in $(seq 1 100); do
 	sleep 0.1
 done
 "$smokedir/chameleon-loadgen" -url http://127.0.0.1:18423 \
+	-clients 8 -duration 1s -observe 5 -observe-batch 4
+"$smokedir/chameleon-loadgen" -url http://127.0.0.1:18423 -int8 \
 	-clients 8 -duration 1s -observe 5 -observe-batch 4
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo 'serve smoke: non-zero exit on SIGTERM' >&2; cat "$smokedir/serve.log" >&2; exit 1; }
