@@ -1,6 +1,6 @@
 // Command benchjson measures the steady-state performance envelope of the
 // online-learning hot path and writes it as machine-readable JSON (the PR
-// regression artefact, BENCH_pr9.json by default):
+// regression artefact, BENCH_pr10.json by default):
 //
 //   - train_step: one TrainCEOn SGD step over a replay-sized batch
 //     (ns/op, B/op, allocs/op — allocs must be 0 after warm-up),
@@ -30,6 +30,12 @@
 //     server (10k-user id space, bounded hot-set), with sustained
 //     throughput, eviction/fault-in counts, fault-in p50/p99 latency and
 //     resident heap per 10k known users,
+//   - replication: the warm-standby envelope — the serve load repeated
+//     against a primary whose observe path appends to the durable log while
+//     a standby tails it (added p99 vs the plain serve section), then a
+//     rolling restart under load with client failover. With -check the
+//     restart must lose zero requests and the survivor must pass the
+//     (snapshot, log) bit-identity verification,
 //   - frontier: the fp32-vs-int8 equal-bytes memory–accuracy frontier —
 //     latent and Chameleon stores at the same byte budget, int8 arms holding
 //     ~4–5× the samples, run over both Domain-IL streams at test scale. With
@@ -52,11 +58,13 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"chameleon/internal/api"
 	"chameleon/internal/baselines"
 	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
@@ -68,6 +76,7 @@ import (
 	"chameleon/internal/nn"
 	"chameleon/internal/obs"
 	"chameleon/internal/parallel"
+	"chameleon/internal/replication"
 	"chameleon/internal/serve"
 	"chameleon/internal/tensor"
 )
@@ -155,6 +164,11 @@ type report struct {
 	// in-process fleet server with a bounded hot-set, so the numbers cover
 	// the eviction/fault-in path, not just steady-state residents.
 	Fleet fleetReport `json:"fleet"`
+	// Replication is the warm-standby section (full runs only; nil under
+	// -quick): the serving tax of the durable observe log with a live
+	// standby tailing it, and a rolling restart under load — handoff time
+	// and zero failed requests are the headline numbers.
+	Replication *replicationReport `json:"replication,omitempty"`
 	// Frontier is the equal-bytes fp32-vs-int8 store comparison (full runs
 	// only; nil under -quick).
 	Frontier *exp.FrontierResult `json:"frontier,omitempty"`
@@ -291,6 +305,16 @@ func checkGates(rep *report) []string {
 		fails = append(fails, fmt.Sprintf("batched/per-sample train-step speedup = %.2f at B=%d, want >= 1.5 (batch-first path lost its lead)",
 			rep.TrainBatched.Speedup, rep.TrainBatched.BatchSize))
 	}
+	// Replication gates (full runs only): the rolling restart must lose no
+	// requests, and the survivor must pass (snapshot, log) bit-identity.
+	if rep.Replication != nil {
+		if rep.Replication.Failover.Errors != 0 {
+			fails = append(fails, fmt.Sprintf("replication failover run lost %d request(s), want 0 (zero-downtime handoff broken)", rep.Replication.Failover.Errors))
+		}
+		if !rep.Replication.VerifyEqual {
+			fails = append(fails, "replication survivor failed (snapshot, log) bit-identity verification")
+		}
+	}
 	// Equal-bytes frontier gates (full runs only): the int8 Chameleon store
 	// must actually convert its byte budget into ≥4× the samples, and those
 	// samples must not cost accuracy — within 1.0 point of fp32 everywhere.
@@ -420,6 +444,168 @@ func benchServe(model *mobilenet.Model, classes int, seed int64) serve.LoadRepor
 	return rep
 }
 
+// replicationReport is the warm-standby section of the PR artefact: the same
+// closed-loop load the serve section runs, but against a primary that appends
+// every observe to its durable log while a warm standby tails it, then a
+// rolling restart of the primary under load with the client's -failover
+// retry path engaged.
+type replicationReport struct {
+	// Replicated is the load run against the primary with the WAL on and the
+	// standby streaming — same shape as the serve section, so the p99 delta
+	// against it is the client-visible cost of replication.
+	Replicated serve.LoadReport `json:"replicated"`
+	// AddedP99Ms is Replicated p99 minus the plain (no-WAL, no-standby)
+	// serve section's p99, in milliseconds. Noise can drive it slightly
+	// negative on quiet machines; it is reported, not gated.
+	AddedP99Ms float64 `json:"added_p99_ms"`
+	// Failover is the rolling-restart run: the primary shuts down mid-load
+	// while clients retry onto the standby. Errors is gated to 0 — the
+	// zero-downtime handoff contract.
+	Failover serve.LoadReport `json:"failover"`
+	// HandoffMs is the wall time from initiating the primary's shutdown to
+	// the standby answering as primary (drain + final log page + promote).
+	HandoffMs float64 `json:"handoff_ms"`
+	// VerifyEqual is the survivor's /v1/replication/verify verdict: a fresh
+	// learner rebuilt from (snapshot, log suffix) is bit-identical to the
+	// live one. Gated.
+	VerifyEqual bool `json:"verify_equal"`
+}
+
+// benchReplication stands up a primary (observe log on) plus a warm standby
+// tailing it, measures the replicated serving envelope, then rolls the
+// primary over under load and times the handoff.
+func benchReplication(model *mobilenet.Model, classes int, seed int64, plainP99Ms float64) *replicationReport {
+	newLearner := func() (cl.Learner, error) {
+		head := cl.NewHead(model, cl.HeadConfig{Seed: seed + 4})
+		return core.New(head, core.Config{STCap: 10, LTCap: 100, AccessRate: 5, Seed: seed + 4}), nil
+	}
+	openLog := func(dir string) *replication.Log {
+		wlog, err := replication.Open(dir, replication.Options{Registry: obs.NewRegistry()})
+		if err != nil {
+			log.Fatalf("replication bench: open log: %v", err)
+		}
+		return wlog
+	}
+	pdir, err := os.MkdirTemp("", "benchjson-repl")
+	if err != nil {
+		log.Fatalf("replication bench: %v", err)
+	}
+	defer os.RemoveAll(pdir)
+	plog, slog := openLog(pdir+"/primary"), openLog(pdir+"/standby")
+	defer plog.Close()
+	defer slog.Close()
+
+	newServer := func(wlog *replication.Log, standby bool) *serve.Server {
+		l, err := newLearner()
+		if err != nil {
+			log.Fatalf("replication bench: learner: %v", err)
+		}
+		srv, err := serve.New(l, serve.Config{
+			LatentShape:     model.LatentShape,
+			Classes:         classes,
+			WAL:             wlog,
+			Standby:         standby,
+			NewLearner:      newLearner,
+			SnapshotsEqual:  core.SnapshotsEqual,
+			CheckpointEvery: 8,
+		})
+		if err != nil {
+			log.Fatalf("replication bench: serve: %v", err)
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			log.Fatalf("replication bench: start: %v", err)
+		}
+		return srv
+	}
+	primary := newServer(plog, false)
+	standby := newServer(slog, true)
+	primaryURL := "http://" + primary.Addr()
+	standbyURL := "http://" + standby.Addr()
+
+	fol, err := replication.NewFollower(replication.FollowerConfig{
+		PrimaryURL:    primaryURL,
+		Target:        standby,
+		PollInterval:  5 * time.Millisecond,
+		FailoverAfter: -1, // promotion only via the primary's graceful handoff
+		Registry:      obs.NewRegistry(),
+	})
+	if err != nil {
+		log.Fatalf("replication bench: follower: %v", err)
+	}
+	folCtx, folCancel := context.WithCancel(context.Background())
+	folDone := make(chan error, 1)
+	go func() { folDone <- fol.Run(folCtx) }()
+
+	rep := &replicationReport{}
+
+	// Phase 1: steady-state replicated serving — WAL appends on the observe
+	// path, the standby pulling log pages the whole time.
+	rep.Replicated, err = serve.RunLoad(primaryURL, serve.LoadOptions{
+		Clients:        32,
+		Duration:       2 * time.Second,
+		ObserveBatches: 20,
+		Seed:           seed,
+	})
+	if err != nil {
+		log.Fatalf("replication bench: replicated load: %v", err)
+	}
+	rep.AddedP99Ms = rep.Replicated.P99Ms - plainP99Ms
+
+	// Phase 2: rolling restart under load. Clients target the primary with
+	// the standby as the failover pool; the primary shuts down mid-run.
+	loadDone := make(chan struct{})
+	var failoverRep serve.LoadReport
+	var loadErr error
+	go func() {
+		defer close(loadDone)
+		failoverRep, loadErr = serve.RunLoad(primaryURL, serve.LoadOptions{
+			Clients:        32,
+			Duration:       2 * time.Second,
+			ObserveBatches: 20,
+			Seed:           seed + 1,
+			Failover:       standbyURL,
+		})
+	}()
+	time.Sleep(500 * time.Millisecond)
+	t0 := time.Now()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := primary.Shutdown(shutCtx); err != nil {
+		log.Fatalf("replication bench: primary shutdown: %v", err)
+	}
+	shutCancel()
+	for !standby.Ready() {
+		time.Sleep(time.Millisecond)
+	}
+	rep.HandoffMs = 1e3 * time.Since(t0).Seconds()
+	<-loadDone
+	if loadErr != nil {
+		log.Fatalf("replication bench: failover load: %v", loadErr)
+	}
+	rep.Failover = failoverRep
+	folCancel()
+	<-folDone
+
+	// The survivor proves the log: rebuild from (snapshot, log suffix) and
+	// compare bit-for-bit against the live learner.
+	resp, err := http.Get(standbyURL + "/v1/replication/verify")
+	if err != nil {
+		log.Fatalf("replication bench: verify: %v", err)
+	}
+	var vr api.VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		log.Fatalf("replication bench: verify decode: %v", err)
+	}
+	resp.Body.Close()
+	rep.VerifyEqual = vr.Equal
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := standby.Shutdown(ctx); err != nil {
+		log.Fatalf("replication bench: survivor shutdown: %v", err)
+	}
+	return rep
+}
+
 // fleetReport is the multi-tenant section of the PR artefact: one Zipf-user
 // load run against an in-process fleet server whose hot-set is far smaller
 // than the user population, so a meaningful fraction of requests pays the
@@ -541,7 +727,7 @@ func main() {
 	var perf cli.Perf
 	perf.Bind(flag.CommandLine)
 	var (
-		out     = flag.String("out", "BENCH_pr9.json", "output JSON path")
+		out     = flag.String("out", "BENCH_pr10.json", "output JSON path")
 		classes = flag.Int("classes", 10, "synthetic class count")
 		pool    = flag.Int("pool", 400, "test-pool size")
 		batch   = flag.Int("batch", 11, "train-step batch size (incoming + replay)")
@@ -655,6 +841,7 @@ func main() {
 		benchServe(model, *classes, *seed) // warm-up run: JIT-free, but settles pools/conn reuse
 		rep.Serve = benchServe(model, *classes, *seed)
 		rep.Fleet = benchFleet(model, *classes, *seed)
+		rep.Replication = benchReplication(model, *classes, *seed, rep.Serve.P99Ms)
 		rep.Frontier = benchFrontier()
 	}
 	// Snapshot last so the report carries everything the run produced: trainer
@@ -697,6 +884,9 @@ func main() {
 			rep.Fleet.Users, rep.Fleet.HotSet, rep.Fleet.Load.ThroughputRPS,
 			rep.Fleet.UsersKnown, rep.Fleet.Evictions, rep.Fleet.FaultIns,
 			rep.Fleet.FaultInP99Ms, rep.Fleet.HeapMBPer10kUsers)
+		fmt.Printf("replication: %.0f req/s replicated (p99 %.2f ms, +%.2f ms over plain), rolling restart: %d errors, %d failovers, handoff %.0f ms, verify equal %v\n",
+			rep.Replication.Replicated.ThroughputRPS, rep.Replication.Replicated.P99Ms, rep.Replication.AddedP99Ms,
+			rep.Replication.Failover.Errors, rep.Replication.Failover.Failovers, rep.Replication.HandoffMs, rep.Replication.VerifyEqual)
 		rep.Frontier.Render(os.Stdout)
 	}
 	fmt.Printf("accuracy: %.1f%%  →  %s\n", rep.AccuracyPct, *out)

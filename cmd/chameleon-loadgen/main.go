@@ -8,6 +8,13 @@
 //	chameleon-loadgen -url http://127.0.0.1:8080
 //	chameleon-loadgen -clients 32 -duration 10s -observe 50
 //	chameleon-loadgen -clients 32 -n 200 -json
+//	chameleon-loadgen -duration 10s -failover http://127.0.0.1:8081
+//
+// With -failover the generator treats a warm standby as part of the service:
+// transport failures and retryable error codes (queue_full, draining,
+// not_ready, timeout) are retried — flipping between the two servers — and
+// only requests that exhaust their retry budget count as errors. A rolling
+// restart of the primary under load must therefore report errors 0.
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 		zipfS        = flag.Float64("zipf-s", 1.2, "Zipf exponent for user popularity (must be > 1)")
 		seed         = flag.Int64("seed", 1, "payload seed")
 		int8Wire     = flag.Bool("int8", false, "send latents in the quantized wire encoding (latent_int8 + scale, ~4x smaller bodies)")
+		failover     = flag.String("failover", "", "base URL of a warm standby: retry transport failures and retryable error codes there instead of counting errors (rolling restarts must finish with errors 0)")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
@@ -49,6 +57,7 @@ func main() {
 		ZipfS:             *zipfS,
 		Seed:              *seed,
 		Int8:              *int8Wire,
+		Failover:          *failover,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -7,6 +7,9 @@
 //	chameleon-serve -dataset core50 -method chameleon -scale test
 //	chameleon-serve -dataset synthetic -checkpoint serve.ckpt -resume
 //	chameleon-serve -dataset synthetic -fleet-users 10000 -fleet-hot 256 -fleet-dir fleet/
+//	chameleon-serve -dataset synthetic -wal-dir wal/                       # durable observe log
+//	chameleon-serve -dataset synthetic -wal-dir wal2/ -standby http://127.0.0.1:8080 \
+//	    -primary-wal wal/ -addr 127.0.0.1:8081                             # warm standby
 //
 // With -fleet-users the server hosts a multi-tenant fleet instead of one
 // learner: every request carries a "user" field, users are consistent-hashed
@@ -14,13 +17,23 @@
 // colder users are LRU-evicted to per-user checkpoints under -fleet-dir and
 // faulted back bit-identically on their next request (internal/fleet).
 //
-// Endpoints: POST /v1/predict, POST /v1/observe, GET /v1/stats, GET /metrics
-// (the full internal/obs registry), GET /healthz. See DESIGN.md §13 and the
-// README "Serving" section; cmd/chameleon-loadgen drives it under load.
+// With -wal-dir every accepted observe batch is appended to a durable,
+// CRC-framed observe log before the learner applies it, so any state is
+// reconstructible from (checkpoint, log suffix): a crashed server replays
+// the log tail its checkpoint missed, and a warm standby (-standby) streams
+// snapshot + log over HTTP, stays bit-identical, and takes over — on the
+// primary's graceful drain or on probe failure — with zero failed requests
+// under a retrying client (internal/replication, DESIGN.md §18).
+//
+// Endpoints: POST /v1/predict, POST /v1/observe, GET /v1/stats, GET
+// /v1/replication/{snapshot,log,verify}, GET /metrics, GET /healthz — see
+// API.md; cmd/chameleon-loadgen drives it under load (and through failovers
+// with -failover).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -31,10 +44,12 @@ import (
 
 	"chameleon/internal/cl"
 	"chameleon/internal/cli"
+	"chameleon/internal/core"
 	"chameleon/internal/exp"
 	"chameleon/internal/fleet"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/obs"
+	"chameleon/internal/replication"
 	"chameleon/internal/serve"
 )
 
@@ -46,6 +61,8 @@ func main() {
 	cfg.Bind(flag.CommandLine)
 	var fleetCfg cli.Fleet
 	fleetCfg.Bind(flag.CommandLine)
+	var repl cli.Replication
+	repl.Bind(flag.CommandLine)
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 		classes      = flag.Int("classes", 10, "label-space width for -dataset synthetic")
@@ -62,11 +79,17 @@ func main() {
 	if err := fleetCfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	if err := repl.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	if cfg.Precision == cli.PrecisionFP64 {
 		log.Fatal("-precision fp64 is a training reference tier; the serving path runs the fast fp32 tier only")
 	}
 	if fleetCfg.Enabled() && cfg.Checkpoint.Path != "" {
 		log.Fatal("-checkpoint is the single-learner drain target; fleet mode persists per user under -fleet-dir instead")
+	}
+	if fleetCfg.Enabled() && repl.Standby != "" {
+		log.Fatal("-standby replicates a single learner; it is incompatible with fleet mode")
 	}
 	stop, err := cfg.Perf.Start(log.Printf)
 	if err != nil {
@@ -106,6 +129,7 @@ func main() {
 		MaxBatch:       *maxBatch,
 		QueueDepth:     *queueDepth,
 		RequestTimeout: *reqTimeout,
+		HandoffTimeout: repl.HandoffTimeout,
 	}
 
 	// Single-learner mode hosts one learner behind the engine goroutine;
@@ -114,9 +138,10 @@ func main() {
 	// LRU-evicted to per-user checkpoints in -fleet-dir and faulted back
 	// bit-identically on their next request.
 	var learner cl.Learner
+	var wlog *replication.Log
 	serving := ""
 	if fleetCfg.Enabled() {
-		fl, err := fleet.New(fleet.Config{
+		flCfg := fleet.Config{
 			New: func(user string) (cl.Learner, error) {
 				return exp.NewLearnerOn(cfg.Spec(), backbone, nClasses, sc, fleet.UserSeed(cfg.Seed, user), meter)
 			},
@@ -125,7 +150,23 @@ func main() {
 			HotSet:     fleetCfg.Hot,
 			Shards:     fleetCfg.Shards,
 			QueueDepth: fleetCfg.QueueDepth,
-		})
+		}
+		if repl.Enabled() {
+			// The fleet's recovery story: user-tagged records in one shared
+			// log repair corrupt eviction checkpoints and crashed-before-
+			// eviction users (fresh construction + per-user replay).
+			wlog, err = replication.Open(repl.WALDir, replication.Options{
+				SegmentBytes: int64(repl.SegmentMB) << 20,
+				SyncEvery:    repl.SyncEvery,
+			})
+			if err != nil {
+				log.Fatalf("observe log: %v", err)
+			}
+			flCfg.WAL = wlog
+			flCfg.LatentShape = backbone.LatentShape
+			srvCfg.WAL = wlog
+		}
+		fl, err := fleet.New(flCfg)
 		if err != nil {
 			log.Fatalf("fleet: %v", err)
 		}
@@ -134,13 +175,16 @@ func main() {
 		serving = fmt.Sprintf("fleet of %s learners (max %d users, hot-set %d across %d shards → %s)",
 			cfg.Method.Name, fleetCfg.Users, st.HotSet, st.Shards, fleetCfg.Dir)
 	} else {
-		learner, err = exp.NewLearnerOn(cfg.Spec(), backbone, nClasses, sc, cfg.Seed, meter)
+		newLearner := func() (cl.Learner, error) {
+			return exp.NewLearnerOn(cfg.Spec(), backbone, nClasses, sc, cfg.Seed, meter)
+		}
+		learner, err = newLearner()
 		if err != nil {
 			log.Fatal(err)
 		}
 		srvCfg.CheckpointPath = cfg.Checkpoint.Path
 		srvCfg.CheckpointEvery = cfg.Checkpoint.Every
-		if cfg.Checkpoint.Resume && cfg.Checkpoint.Path != "" {
+		if cfg.Checkpoint.Resume && cfg.Checkpoint.Path != "" && repl.Standby == "" {
 			if _, err := os.Stat(cfg.Checkpoint.Path); err == nil {
 				st, err := serve.Resume(cfg.Checkpoint.Path, learner)
 				if err != nil {
@@ -148,6 +192,43 @@ func main() {
 				}
 				srvCfg.StartBatches, srvCfg.StartSamples = st.Batches, st.Samples
 				log.Printf("resumed %s from %s (batch %d, %d samples)", learner.Name(), cfg.Checkpoint.Path, st.Batches, st.Samples)
+			}
+		}
+		if repl.Enabled() {
+			wlog, err = replication.Open(repl.WALDir, replication.Options{
+				SegmentBytes: int64(repl.SegmentMB) << 20,
+				SyncEvery:    repl.SyncEvery,
+				StartSeq:     uint64(srvCfg.StartBatches),
+			})
+			if err != nil {
+				log.Fatalf("observe log: %v", err)
+			}
+			srvCfg.WAL = wlog
+			srvCfg.Standby = repl.Standby != ""
+			srvCfg.NewLearner = newLearner
+			if cfg.Method.Name == "chameleon" {
+				srvCfg.SnapshotsEqual = core.SnapshotsEqual
+			}
+			if !srvCfg.Standby {
+				// Crash recovery: a log that ends past the checkpoint holds
+				// acknowledged observes the checkpoint missed — replay them
+				// before serving. A log that ends short of the checkpoint (a
+				// fresh log directory next to an old checkpoint) restarts at
+				// the checkpoint's position.
+				switch end := wlog.End(); {
+				case end > uint64(srvCfg.StartBatches):
+					nb, ns, err := serve.ReplayLog(learner, wlog, uint64(srvCfg.StartBatches), 0, backbone.LatentShape)
+					if err != nil {
+						log.Fatalf("observe log replay: %v", err)
+					}
+					srvCfg.StartBatches += nb
+					srvCfg.StartSamples += ns
+					log.Printf("replayed %d logged batches (%d samples) past the checkpoint (crash recovery)", nb, ns)
+				case end < uint64(srvCfg.StartBatches):
+					if err := wlog.Reset(uint64(srvCfg.StartBatches)); err != nil {
+						log.Fatalf("observe log reset: %v", err)
+					}
+				}
 			}
 		}
 		serving = learner.Name()
@@ -160,12 +241,50 @@ func main() {
 	if err := srv.Start(*addr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("serving %s on http://%s (latent %v, %d classes; POST /v1/predict, /v1/observe, GET /v1/stats, /metrics)",
-		serving, srv.Addr(), backbone.LatentShape, nClasses)
+	role := "serving"
+	if srvCfg.Standby {
+		role = "warm standby (503 not_ready until promoted) for"
+	}
+	log.Printf("%s %s on http://%s (latent %v, %d classes; POST /v1/predict, /v1/observe, GET /v1/stats, /metrics)",
+		role, serving, srv.Addr(), backbone.LatentShape, nClasses)
+
+	// Standby: tail the primary until it drains (graceful handoff) or stops
+	// answering (probe failover), then promote and keep serving.
+	folCtx, folCancel := context.WithCancel(context.Background())
+	defer folCancel()
+	folDone := make(chan struct{})
+	close(folDone)
+	if srvCfg.Standby {
+		fol, err := replication.NewFollower(replication.FollowerConfig{
+			PrimaryURL:    repl.Standby,
+			Target:        srv,
+			PollInterval:  repl.Poll,
+			FailoverAfter: repl.FailoverAfter,
+			PrimaryWALDir: repl.PrimaryWAL,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("replication: %v", err)
+		}
+		folDone = make(chan struct{})
+		go func() {
+			defer close(folDone)
+			err := fol.Run(folCtx)
+			switch {
+			case err == nil:
+				log.Printf("promoted: now serving as primary on http://%s", srv.Addr())
+			case errors.Is(err, context.Canceled):
+			default:
+				log.Printf("replication: follower stopped: %v", err)
+			}
+		}()
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	<-ctx.Done()
+	folCancel()
+	<-folDone
 	log.Printf("shutting down: draining in-flight work (up to %s)...", *drainTimeout)
 	t0 := time.Now()
 	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -173,9 +292,17 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
+	if wlog != nil {
+		if err := wlog.Close(); err != nil {
+			log.Printf("observe log close: %v", err)
+		}
+	}
 	log.Printf("drained in %s: %d batches / %d samples observed", time.Since(t0).Round(time.Millisecond), srv.Batches(), srv.Samples())
 	if cfg.Checkpoint.Path != "" {
 		log.Printf("checkpoint written: %s (restart with -resume to continue bit-identically)", cfg.Checkpoint.Path)
+	}
+	if repl.Enabled() {
+		log.Printf("observe log synced: %s (any learner state is reconstructible from snapshot + log)", repl.WALDir)
 	}
 	if fleetCfg.Enabled() {
 		log.Printf("fleet drained: every resident learner checkpointed under %s (restart continues each user bit-identically)", fleetCfg.Dir)

@@ -1,0 +1,189 @@
+// Package api is the wire surface of the /v1 HTTP API: every request,
+// response and error-envelope type exchanged between chameleon-serve, the
+// load generator and the replication client lives here, declared exactly
+// once. Before this package existed the serving layer owned the types and
+// every client re-imported (or re-invented) them; now internal/serve,
+// cmd/chameleon-loadgen and internal/replication all resolve the same
+// declarations, so a wire-format change is a one-file diff.
+//
+// The package is deliberately a leaf: plain structs with JSON tags, the
+// stable machine-readable error codes, and nothing else — no HTTP handlers,
+// no learner types, no imports beyond the standard library.
+// See API.md at the repository root for the full endpoint documentation.
+package api
+
+import "fmt"
+
+// Machine-readable error codes carried by every error envelope. Clients
+// switch on these — never on status-code guessing or message prefixes — to
+// decide whether to retry, back off, or fail. The set is append-only: codes
+// are a wire contract.
+const (
+	// CodeBadRequest: the request was malformed (unknown fields, wrong latent
+	// length, label out of range, missing user id, ...). Retrying the same
+	// payload will fail the same way.
+	CodeBadRequest = "bad_request"
+	// CodeQueueFull: a bounded queue shed the request (HTTP 429). Retry after
+	// the Retry-After delay.
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the server is shutting down (HTTP 503). Retry against the
+	// standby, or the same address after the restart.
+	CodeDraining = "draining"
+	// CodeTooManyUsers: the fleet's user-capacity cap rejected a new user id
+	// (HTTP 429). Retrying helps only if capacity is freed.
+	CodeTooManyUsers = "too_many_users"
+	// CodeTimeout: the request waited longer than the server's request
+	// timeout (HTTP 504). The queued work may still complete server-side.
+	CodeTimeout = "timeout"
+	// CodeNotReady: a warm standby that has not been promoted yet refuses
+	// reads and writes with this code (HTTP 503). Retry against the primary,
+	// or the same address after failover promotes it.
+	CodeNotReady = "not_ready"
+	// CodeInternal: a learner panic or other server-side failure (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// Error is the JSON error envelope every non-2xx /v1 response carries. Code
+// is the stable machine-readable discriminator; Message is human-readable
+// and free to change between versions.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"error"`
+}
+
+// Error implements the error interface so a decoded envelope can flow
+// through client code as a plain Go error.
+func (e *Error) Error() string {
+	if e == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s (%s)", e.Message, e.Code)
+}
+
+// Retryable reports whether the condition the code names can clear on its
+// own — the client should retry (after Retry-After) rather than give up.
+func Retryable(code string) bool {
+	switch code {
+	case CodeQueueFull, CodeDraining, CodeTimeout, CodeNotReady:
+		return true
+	}
+	return false
+}
+
+// PredictRequest is the wire form of POST /v1/predict. Exactly one of Latent
+// (a flattened tensor matching the server's latent shape), LatentInt8 (the
+// same tensor quantized to int8 — base64 on the wire — dequantized
+// server-side as float32(q)*Scale) or Image (a flattened [3,R,R] frame; only
+// with a configured backbone) must be set. User selects the per-user learner
+// on a fleet server (required there, rejected on a single-learner server).
+type PredictRequest struct {
+	User       string    `json:"user,omitempty"`
+	Latent     []float32 `json:"latent,omitempty"`
+	LatentInt8 []byte    `json:"latent_int8,omitempty"`
+	Scale      float32   `json:"scale,omitempty"`
+	Image      []float32 `json:"image,omitempty"`
+}
+
+// PredictResponse is the wire form of a classified request.
+type PredictResponse struct {
+	// Class is the predicted class index.
+	Class int `json:"class"`
+}
+
+// ObserveSample is one labelled latent (or image) inside an observe batch.
+// LatentInt8 carries the latent quantized to int8 (base64 on the wire) with
+// its symmetric per-tensor Scale; exactly one of the three payloads is set.
+type ObserveSample struct {
+	Latent     []float32 `json:"latent,omitempty"`
+	LatentInt8 []byte    `json:"latent_int8,omitempty"`
+	Scale      float32   `json:"scale,omitempty"`
+	Image      []float32 `json:"image,omitempty"`
+	Label      int       `json:"label"`
+}
+
+// ObserveRequest is the wire form of POST /v1/observe: one stream mini-batch.
+type ObserveRequest struct {
+	// User selects the per-user learner on a fleet server (required there,
+	// rejected on a single-learner server). Each user's observe stream is
+	// numbered independently.
+	User    string          `json:"user,omitempty"`
+	Samples []ObserveSample `json:"samples"`
+	// Domain tags the batch's acquisition condition (optional).
+	Domain int `json:"domain,omitempty"`
+}
+
+// ObserveResponse acknowledges an applied batch.
+type ObserveResponse struct {
+	// Batch is the stream index the server assigned — the client's position
+	// in the total observe order, usable to resume after a drain.
+	Batch int `json:"batch"`
+	// SamplesTotal is the cumulative sample count after this batch.
+	SamplesTotal int `json:"samples_total"`
+}
+
+// Server roles reported in Stats.Role.
+const (
+	RolePrimary = "primary"
+	RoleStandby = "standby"
+)
+
+// ReplicationStats is the replication section of /v1/stats, present whenever
+// the server keeps a durable observe log. On a standby, Cursor is the log
+// position it has applied and LagBatches is how far behind the primary it
+// was at the last sync; on a primary, Cursor is the log end and LagBatches
+// is how far behind the most recent follower pull is.
+type ReplicationStats struct {
+	// Cursor is the next log sequence number this server would write (the
+	// exclusive end of its durable observe log).
+	Cursor uint64 `json:"cursor"`
+	// LagBatches is the replication lag in observe batches (0 = in sync).
+	LagBatches int64 `json:"lag_batches"`
+	// LastSyncUnix is the Unix time (seconds) of the last successful sync —
+	// the standby's last applied pull, or the primary's last served pull.
+	// 0 means no sync has happened yet.
+	LastSyncUnix float64 `json:"last_sync_unix"`
+}
+
+// Stats is the wire form of GET /v1/stats. LatentShape and Classes let load
+// generators self-configure without out-of-band knowledge; Role and
+// Replication let a failover client assert the server's state without any.
+type Stats struct {
+	Method          string  `json:"method"`
+	LatentShape     []int   `json:"latent_shape"`
+	Classes         int     `json:"classes"`
+	AcceptsImages   bool    `json:"accepts_images"`
+	Batches         int     `json:"batches_observed"`
+	Samples         int     `json:"samples_observed"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	PredictRequests int64   `json:"predict_requests"`
+	ObserveRequests int64   `json:"observe_requests"`
+	PredictShed     int64   `json:"predict_shed"`
+	ObserveShed     int64   `json:"observe_shed"`
+	QueuePredict    int     `json:"queue_predict"`
+	QueueObserve    int     `json:"queue_observe"`
+	Draining        bool    `json:"draining"`
+	// Role is "primary" for a serving instance and "standby" for a warm
+	// standby that has not been promoted yet.
+	Role string `json:"role"`
+	// Replication carries the observe-log/replication counters when the
+	// server keeps a durable observe log (nil otherwise).
+	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Fleet carries the multi-tenant counters when the server fronts a
+	// learner fleet (nil on single-learner servers). Load generators use it
+	// to decide whether to tag requests with user ids.
+	Fleet *FleetStats `json:"fleet,omitempty"`
+}
+
+// FleetStats is the multi-tenant section of /v1/stats (internal/fleet's
+// Stats type is an alias of this, so the engine and the wire agree by
+// construction).
+type FleetStats struct {
+	Shards     int   `json:"shards"`
+	HotSet     int   `json:"hot_set"`
+	UsersKnown int64 `json:"users_known"`
+	Resident   int64 `json:"resident_learners"`
+	Evictions  int64 `json:"evictions_total"`
+	FaultIns   int64 `json:"fault_ins_total"`
+	Batches    int64 `json:"batches_observed"`
+	Samples    int64 `json:"samples_observed"`
+}

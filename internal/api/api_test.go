@@ -1,0 +1,86 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestErrorEnvelopeWireShape pins the JSON error contract clients parse:
+// {"error": <human message>, "code": <machine code>}.
+func TestErrorEnvelopeWireShape(t *testing.T) {
+	b, err := json.Marshal(&Error{Code: CodeQueueFull, Message: "observe queue full"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["code"] != "queue_full" || m["error"] != "observe queue full" {
+		t.Fatalf("envelope = %s", b)
+	}
+	var e Error
+	if err := json.Unmarshal(b, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeQueueFull || e.Error() != "observe queue full (queue_full)" {
+		t.Fatalf("round trip: %+v", e)
+	}
+}
+
+// TestRetryable pins which codes a well-behaved client retries: transient
+// server conditions yes, caller bugs and hard faults no.
+func TestRetryable(t *testing.T) {
+	retry := []string{CodeQueueFull, CodeDraining, CodeTimeout, CodeNotReady}
+	for _, c := range retry {
+		if !Retryable(c) {
+			t.Errorf("Retryable(%q) = false, want true", c)
+		}
+	}
+	terminal := []string{CodeBadRequest, CodeTooManyUsers, CodeInternal, "", "unknown_code"}
+	for _, c := range terminal {
+		if Retryable(c) {
+			t.Errorf("Retryable(%q) = true, want false", c)
+		}
+	}
+}
+
+// TestStatsOmitsEmptySections keeps /v1/stats quiet in the common case: no
+// fleet, no replication, no role noise unless the server sets them.
+func TestStatsOmitsEmptySections(t *testing.T) {
+	b, err := json.Marshal(Stats{Method: "chameleon", Classes: 10, Role: RolePrimary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"fleet", "replication"} {
+		if _, ok := m[absent]; ok {
+			t.Errorf("empty Stats marshals %q section: %s", absent, b)
+		}
+	}
+	if m["role"] != "primary" {
+		t.Errorf("role = %v", m["role"])
+	}
+}
+
+// TestLogRecordWireShape pins the replication wire names the follower and the
+// failover smoke's curl checks rely on.
+func TestLogRecordWireShape(t *testing.T) {
+	rec := LogRecord{Seq: 7, Batch: 7, Samples: []LogSample{{Latent: []float32{1, 2}, Label: 3}}}
+	b, err := json.Marshal(LogResponse{Records: []LogRecord{rec}, Next: 8, End: 9, Final: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"records", "next", "end", "final"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("LogResponse lacks %q: %s", key, b)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package api
+
+// Replication protocol types: the wire forms of GET /v1/replication/snapshot,
+// GET /v1/replication/log and GET /v1/replication/verify. A warm standby
+// bootstraps from one SnapshotResponse and then tails the primary's observe
+// log with cursor-based LogResponse pulls; the pair (snapshot, log suffix)
+// reconstructs the primary's learner state exactly (DESIGN.md §18).
+
+// SnapshotResponse is one consistent learner snapshot anchored to a log
+// position: restoring Learner and then replaying every log record with
+// sequence number >= Cursor reproduces the primary's live state.
+type SnapshotResponse struct {
+	// Method names the learner family; a standby refuses a snapshot from a
+	// different method.
+	Method string `json:"method"`
+	// Batches and Samples are the stream position the snapshot captures.
+	Batches int `json:"batches"`
+	Samples int `json:"samples"`
+	// Cursor is the log sequence number the snapshot is consistent with:
+	// the first record NOT reflected in Learner.
+	Cursor uint64 `json:"cursor"`
+	// Learner is the method's opaque cl.Snapshotter payload (base64 on the
+	// wire).
+	Learner []byte `json:"learner"`
+}
+
+// LogSample is one labelled latent inside a replicated observe batch. The
+// log always stores fp32: quantized wire payloads are dequantized at the
+// handler boundary, before the record is written.
+type LogSample struct {
+	Latent []float32 `json:"latent"`
+	Label  int       `json:"label"`
+}
+
+// LogRecord is one durably logged observe batch. Seq is the global append
+// order; Batch is the per-learner (per-user, on a fleet) stream index the
+// engine assigned.
+type LogRecord struct {
+	Seq     uint64      `json:"seq"`
+	User    string      `json:"user,omitempty"`
+	Batch   int         `json:"batch"`
+	Domain  int         `json:"domain,omitempty"`
+	Samples []LogSample `json:"samples"`
+}
+
+// LogResponse is one cursor-based page of the observe log. The client passes
+// Next as the after-cursor of its next pull; when Records is empty Next
+// equals the requested cursor and End tells the client how far behind it is.
+type LogResponse struct {
+	Records []LogRecord `json:"records"`
+	// Next is the cursor to resume from (sequence number after the last
+	// returned record).
+	Next uint64 `json:"next"`
+	// End is the log's current exclusive end (the next sequence number the
+	// primary will write).
+	End uint64 `json:"end"`
+	// Final reports that the primary has drained: End is the log's final
+	// extent and no further records will ever be written. A caught-up
+	// standby may promote itself.
+	Final bool `json:"final"`
+}
+
+// VerifyResponse is the wire form of GET /v1/replication/verify: the server
+// reconstructed a fresh learner from its base snapshot plus its own durable
+// log and compared it against the live learner.
+type VerifyResponse struct {
+	// Equal reports whether the reconstruction matches the live state.
+	Equal bool `json:"equal"`
+	// Batches is the live stream position at comparison time.
+	Batches int `json:"batches"`
+	// Cursor is the log end the comparison covered.
+	Cursor uint64 `json:"cursor"`
+	// Replayed is how many log records the reconstruction applied.
+	Replayed int `json:"replayed"`
+}

@@ -10,6 +10,8 @@
 //	Stream      -dataset, -seed             benchmark stream selection
 //	Checkpoint  -checkpoint, -checkpoint-every, -resume
 //	Fleet       -fleet-users, -fleet-hot, -fleet-dir, -fleet-shards, -fleet-queue
+//	Replication -wal-dir, -wal-sync-every, -wal-segment-mb, -standby,
+//	            -primary-wal, -replication-poll, -failover-after, -handoff-timeout
 //
 // RunConfig composes all five into the full "drive one learner over one
 // stream" configuration used by chameleon-train and chameleon-serve; the
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"chameleon/internal/cl"
 	"chameleon/internal/exp"
@@ -294,6 +297,69 @@ func (f Fleet) Validate() error {
 	}
 	if f.Hot > 0 && f.Hot > f.Users {
 		return fmt.Errorf("-fleet-hot %d exceeds -fleet-users %d (the hot-set cannot outgrow the fleet)", f.Hot, f.Users)
+	}
+	return nil
+}
+
+// Replication configures the durable observe log and warm-standby
+// replication (internal/replication, DESIGN.md §18). Bound by
+// chameleon-serve only; the zero value disables both.
+type Replication struct {
+	// WALDir is the durable observe-log directory ("" disables the log).
+	WALDir string
+	// SyncEvery batches log fsyncs (records per fsync).
+	SyncEvery int
+	// SegmentMB rotates log segments at this size.
+	SegmentMB int
+	// Standby, when non-empty, starts the server as a warm standby of the
+	// primary at this base URL: it bootstraps from the primary's snapshot,
+	// tails its observe log, and serves 503 not_ready until promoted.
+	Standby string
+	// PrimaryWAL is the (dead) primary's observe-log directory on shared
+	// disk: a probe-failure promotion replays the records the primary logged
+	// but never streamed, so even SIGKILL loses no acknowledged observe.
+	PrimaryWAL string
+	// Poll spaces a caught-up standby's log pulls.
+	Poll time.Duration
+	// FailoverAfter promotes the standby after this many consecutive failed
+	// pulls (<0 disables probe-based failover).
+	FailoverAfter int
+	// HandoffTimeout bounds how long a draining primary waits for its
+	// standby to pull the rest of the log.
+	HandoffTimeout time.Duration
+}
+
+// Bind registers the group's flags on fs.
+func (r *Replication) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&r.WALDir, "wal-dir", "", "durable observe-log directory: every accepted observe batch is appended before it is applied ('' disables)")
+	fs.IntVar(&r.SyncEvery, "wal-sync-every", 16, "observe-log appends per fsync (1 = fsync every append)")
+	fs.IntVar(&r.SegmentMB, "wal-segment-mb", 4, "observe-log segment rotation size in MiB")
+	fs.StringVar(&r.Standby, "standby", "", "run as a warm standby of the primary at this base URL (e.g. http://127.0.0.1:8080); requires -wal-dir")
+	fs.StringVar(&r.PrimaryWAL, "primary-wal", "", "the primary's -wal-dir on shared disk; a probe-failure promotion recovers its unstreamed log tail from here")
+	fs.DurationVar(&r.Poll, "replication-poll", 50*time.Millisecond, "standby log-pull interval when caught up")
+	fs.IntVar(&r.FailoverAfter, "failover-after", 5, "consecutive failed pulls before the standby promotes itself (negative disables probe failover)")
+	fs.DurationVar(&r.HandoffTimeout, "handoff-timeout", 10*time.Second, "max time a draining primary waits for its standby to finish pulling the log")
+}
+
+// Enabled reports whether the observe log is configured.
+func (r Replication) Enabled() bool { return r.WALDir != "" }
+
+// Validate fails fast on an inconsistent replication spec.
+func (r Replication) Validate() error {
+	if r.Standby != "" && r.WALDir == "" {
+		return fmt.Errorf("-standby requires -wal-dir (the standby keeps its own durable copy of the observe log)")
+	}
+	if r.PrimaryWAL != "" && r.Standby == "" {
+		return fmt.Errorf("-primary-wal only makes sense with -standby")
+	}
+	if r.WALDir != "" && r.SyncEvery <= 0 {
+		return fmt.Errorf("-wal-sync-every must be > 0, got %d", r.SyncEvery)
+	}
+	if r.WALDir != "" && r.SegmentMB <= 0 {
+		return fmt.Errorf("-wal-segment-mb must be > 0, got %d", r.SegmentMB)
+	}
+	if r.Standby != "" && r.PrimaryWAL == r.WALDir && r.PrimaryWAL != "" {
+		return fmt.Errorf("-wal-dir and -primary-wal must differ (the standby's log would clobber the primary's)")
 	}
 	return nil
 }

@@ -192,3 +192,38 @@ func TestFleetFlagSurface(t *testing.T) {
 		}
 	}
 }
+
+func parseRepl(t *testing.T, args ...string) (Replication, error) {
+	t.Helper()
+	var r Replication
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	r.Bind(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return r, r.Validate()
+}
+
+func TestReplicationValidation(t *testing.T) {
+	if r, err := parseRepl(t); err != nil || r.Enabled() {
+		t.Fatalf("defaults: err=%v enabled=%v, want nil, false", err, r.Enabled())
+	}
+	if r, err := parseRepl(t, "-wal-dir", "wal/"); err != nil || !r.Enabled() {
+		t.Fatalf("-wal-dir alone: err=%v enabled=%v, want nil, true", err, r.Enabled())
+	}
+	bad := [][]string{
+		{"-standby", "http://127.0.0.1:8080"},         // standby without a local log
+		{"-wal-dir", "wal/", "-primary-wal", "pwal/"}, // primary-wal without standby
+		{"-wal-dir", "wal/", "-wal-sync-every", "0"},
+		{"-wal-dir", "wal/", "-wal-segment-mb", "-1"},
+		{"-wal-dir", "wal/", "-standby", "http://x", "-primary-wal", "wal/"}, // same dir
+	}
+	for _, args := range bad {
+		if _, err := parseRepl(t, args...); err == nil {
+			t.Errorf("args %v accepted; want error", args)
+		}
+	}
+	if _, err := parseRepl(t, "-wal-dir", "wal2/", "-standby", "http://127.0.0.1:8080", "-primary-wal", "wal/"); err != nil {
+		t.Fatalf("full standby config rejected: %v", err)
+	}
+}

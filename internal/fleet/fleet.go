@@ -38,9 +38,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chameleon/internal/api"
 	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
 	"chameleon/internal/obs"
+	"chameleon/internal/replication"
 	"chameleon/internal/tensor"
 )
 
@@ -85,6 +87,17 @@ type Config struct {
 	// QueueDepth bounds each shard's request queue (default 256). A full
 	// queue sheds with ErrQueueFull.
 	QueueDepth int
+	// WAL, when non-nil, is the fleet's durable observe log: every user's
+	// observe batch is appended (tagged with the user id) before the learner
+	// applies it. The log is the fleet's recovery story — a corrupt or
+	// missing eviction checkpoint is rebuilt by deterministic reconstruction
+	// (Config.New) plus a replay of the user's log records (DESIGN.md §18).
+	// Appends from all shards interleave through the log's own lock; each
+	// user's subsequence stays ordered because a user lives on one shard.
+	WAL *replication.Log
+	// LatentShape is the tensor shape replayed log latents are decoded into.
+	// Required when WAL is set.
+	LatentShape []int
 	// Registry receives the fleet metrics (nil: the process default).
 	Registry *obs.Registry
 }
@@ -106,16 +119,9 @@ func (c Config) withDefaults() Config {
 }
 
 // Stats is a point-in-time snapshot of the fleet, embedded in /v1/stats.
-type Stats struct {
-	Shards     int   `json:"shards"`
-	HotSet     int   `json:"hot_set"`
-	UsersKnown int64 `json:"users_known"`
-	Resident   int64 `json:"resident_learners"`
-	Evictions  int64 `json:"evictions_total"`
-	FaultIns   int64 `json:"fault_ins_total"`
-	Batches    int64 `json:"batches_observed"`
-	Samples    int64 `json:"samples_observed"`
-}
+// The wire declaration lives in internal/api with the rest of the /v1
+// surface; the alias keeps engine code reading fleet.Stats.
+type Stats = api.FleetStats
 
 // request is one unit of work routed to a shard. Exactly one of z (predict)
 // or samples (observe) is set.
@@ -209,6 +215,9 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	if cfg.Dir == "" {
 		return nil, errors.New("fleet: Config.Dir (eviction checkpoint directory) is required")
+	}
+	if cfg.WAL != nil && len(cfg.LatentShape) == 0 {
+		return nil, errors.New("fleet: Config.LatentShape is required with an observe log (log replay must shape latents)")
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("fleet: checkpoint dir: %w", err)
@@ -424,6 +433,18 @@ func (s *shard) safeObserve(e *entry, r *request) (resp response) {
 		}
 	}()
 	idx := e.batches
+	if s.f.cfg.WAL != nil {
+		// Durability first: the user-tagged record hits the log before the
+		// learner sees the batch, so the (checkpoint, log suffix) pair always
+		// covers acknowledged observes.
+		rec := &api.LogRecord{User: e.user, Batch: idx, Domain: r.domain, Samples: make([]api.LogSample, len(r.samples))}
+		for i, sm := range r.samples {
+			rec.Samples[i] = api.LogSample{Latent: sm.Z.Data(), Label: sm.Label}
+		}
+		if _, err := s.f.cfg.WAL.Append(rec); err != nil {
+			return response{err: fmt.Errorf("fleet: observe log append for user %q: %w", e.user, err)}
+		}
+	}
 	e.l.Observe(cl.LatentBatch{Samples: r.samples, Index: idx, Domain: r.domain})
 	e.batches++
 	e.samples += len(r.samples)
@@ -464,26 +485,95 @@ func (s *shard) entryFor(user string) (*entry, error) {
 		// The user was evicted (or drained by a previous process): restore.
 		t0 := time.Now()
 		var st userState
-		if err := checkpoint.Load(path, userKind, &st); err != nil {
-			return nil, fmt.Errorf("fleet: fault-in user %q: %w", user, err)
+		loadErr := checkpoint.Load(path, userKind, &st)
+		if loadErr == nil {
+			if st.User != user {
+				return nil, fmt.Errorf("fleet: checkpoint %s holds user %q, want %q", path, st.User, user)
+			}
+			if st.Method != l.Name() {
+				return nil, fmt.Errorf("fleet: checkpoint %s holds method %q, learner is %q", path, st.Method, l.Name())
+			}
+			loadErr = e.caps.Snapshotter.Restore(st.Learner)
 		}
-		if st.User != user {
-			return nil, fmt.Errorf("fleet: checkpoint %s holds user %q, want %q", path, st.User, user)
+		switch {
+		case loadErr == nil:
+			e.batches, e.samples = st.Batches, st.Samples
+		case s.f.cfg.WAL != nil:
+			// Corrupt checkpoint. The observe log is the durable truth: fall
+			// back to deterministic reconstruction plus a replay of every one
+			// of the user's logged batches (the log-replay pass below starts
+			// from batch 0). A failed Restore may have half-written the
+			// learner, so build a clean one.
+			l, err = s.f.cfg.New(user)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: reconstruct learner for user %q: %w", user, err)
+			}
+			e.l, e.caps = l, cl.Caps(l)
+			e.batches, e.samples = 0, 0
+			s.f.m.logRebuilds.Inc()
+		default:
+			return nil, fmt.Errorf("fleet: fault-in user %q: %w", user, loadErr)
 		}
-		if st.Method != l.Name() {
-			return nil, fmt.Errorf("fleet: checkpoint %s holds method %q, learner is %q", path, st.Method, l.Name())
-		}
-		if err := e.caps.Snapshotter.Restore(st.Learner); err != nil {
-			return nil, fmt.Errorf("fleet: restore user %q from %s: %w", user, path, err)
-		}
-		e.batches, e.samples = st.Batches, st.Samples
 		s.f.m.faultIns.Inc()
 		s.f.m.faultInSeconds.ObserveSince(t0)
+	}
+	if s.f.cfg.WAL != nil {
+		// Replay any of the user's logged batches past the checkpoint: a
+		// crash before eviction leaves them only in the log, and a corrupt
+		// checkpoint (handled above) replays the whole stream from zero.
+		if err := s.replayUser(e); err != nil {
+			return nil, err
+		}
 	}
 	e.elem = s.lru.PushBack(e)
 	s.resident[user] = e
 	s.nResident.Store(int64(len(s.resident)))
 	return e, nil
+}
+
+// replayUser applies every logged batch of e's user with index >= e.batches,
+// in log order. Per-user batch indices are contiguous from zero, so a replay
+// resuming at a checkpoint's position must find the next index or nothing —
+// a gap means the log does not cover this user's stream and the fault-in
+// fails rather than silently skipping observes.
+func (s *shard) replayUser(e *entry) error {
+	want := 1
+	for _, d := range s.f.cfg.LatentShape {
+		want *= d
+	}
+	replayed := 0
+	var applyErr error
+	err := s.f.cfg.WAL.Scan(s.f.cfg.WAL.Start(), func(rec *api.LogRecord) bool {
+		if rec.User != e.user || rec.Batch < e.batches {
+			return true
+		}
+		if rec.Batch != e.batches {
+			applyErr = fmt.Errorf("fleet: observe log gap for user %q: at batch %d, next logged batch is %d (seq %d)",
+				e.user, e.batches, rec.Batch, rec.Seq)
+			return false
+		}
+		samples := make([]cl.LatentSample, len(rec.Samples))
+		for i, sm := range rec.Samples {
+			if len(sm.Latent) != want {
+				applyErr = fmt.Errorf("fleet: log seq %d sample %d has %d elements, want %d", rec.Seq, i, len(sm.Latent), want)
+				return false
+			}
+			samples[i] = cl.LatentSample{Z: tensor.FromSlice(sm.Latent, s.f.cfg.LatentShape...), Label: sm.Label, Domain: rec.Domain}
+		}
+		e.l.Observe(cl.LatentBatch{Samples: samples, Index: rec.Batch, Domain: rec.Domain})
+		e.batches++
+		e.samples += len(samples)
+		replayed++
+		return true
+	})
+	if err == nil {
+		err = applyErr
+	}
+	if err != nil {
+		return err
+	}
+	s.f.m.logReplayed.Add(int64(replayed))
+	return nil
 }
 
 // evictOver demotes least-recently-used learners until the shard is within

@@ -14,6 +14,8 @@ type metrics struct {
 	evictions      *obs.Counter
 	evictionErrors *obs.Counter
 	faultIns       *obs.Counter
+	logRebuilds    *obs.Counter // corrupt/missing checkpoints repaired from the observe log
+	logReplayed    *obs.Counter // observe-log records replayed during fault-in
 
 	evictionSeconds *obs.Histogram // snapshot + checkpoint write
 	faultInSeconds  *obs.Histogram // checkpoint read + restore
@@ -28,6 +30,8 @@ func newMetrics(r *obs.Registry) *metrics {
 		evictions:       r.Counter("fleet_evictions_total"),
 		evictionErrors:  r.Counter("fleet_eviction_errors_total"),
 		faultIns:        r.Counter("fleet_fault_ins_total"),
+		logRebuilds:     r.Counter("fleet_log_rebuilds_total"),
+		logReplayed:     r.Counter("fleet_log_replayed_total"),
 		evictionSeconds: r.Histogram("fleet_eviction_seconds"),
 		faultInSeconds:  r.Histogram("fleet_fault_in_seconds"),
 	}

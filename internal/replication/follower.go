@@ -1,0 +1,351 @@
+package replication
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"time"
+
+	"chameleon/internal/api"
+	"chameleon/internal/obs"
+)
+
+// Target is the standby-side engine the Follower drives. internal/serve
+// implements it; keeping it an interface here keeps the import graph acyclic
+// (serve imports replication for the Log, replication sees serve only
+// through this surface).
+type Target interface {
+	// RestoreSnapshot replaces the learner state with the snapshot and resets
+	// the local observe log to the snapshot's cursor (bootstrap).
+	RestoreSnapshot(snap *api.SnapshotResponse) error
+	// ApplyRecord appends the record to the local log and applies it through
+	// the engine, preserving the primary's observe order. A sequence gap is
+	// an error: the follower re-bootstraps from a fresh snapshot.
+	ApplyRecord(rec *api.LogRecord) error
+	// LogEnd is the local log's exclusive end (the next seq to apply).
+	LogEnd() uint64
+	// SetLag publishes the standby's replication position for /v1/stats.
+	SetLag(lagBatches int64, lastSync time.Time)
+	// Promote flips the server from 503-read-only standby to serving primary.
+	Promote() error
+}
+
+// FollowerConfig wires a Follower to its primary and its local engine.
+type FollowerConfig struct {
+	// PrimaryURL is the primary's base URL (e.g. http://127.0.0.1:8080).
+	PrimaryURL string
+	// Target is the local engine (required).
+	Target Target
+	// Client issues the HTTP pulls (default: 5s-timeout client).
+	Client *http.Client
+	// PollInterval spaces log pulls when the standby is caught up (default
+	// 50ms). Behind, the follower pulls continuously.
+	PollInterval time.Duration
+	// FailoverAfter promotes the standby after this many consecutive failed
+	// pulls — the health-probe failover path (default 5; <0 disables
+	// probe-based failover entirely, e.g. in sync-only tests).
+	FailoverAfter int
+	// PrimaryWALDir, when set, is the dead primary's observe-log directory on
+	// shared disk. Before a probe-failure promotion the follower replays any
+	// records the primary durably logged but never streamed, so even SIGKILL
+	// loses no acknowledged observe.
+	PrimaryWALDir string
+	// MaxPull bounds one log page (default 256 records).
+	MaxPull int
+	// Registry receives follower metrics (nil: process default).
+	Registry *obs.Registry
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// Follower tails a primary's observe log into a local Target and promotes it
+// when the primary goes away. One Run per Follower.
+type Follower struct {
+	cfg FollowerConfig
+	m   *followerMetrics
+}
+
+// NewFollower validates the config and returns a runnable follower.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.PrimaryURL == "" {
+		return nil, errors.New("replication: follower needs a primary URL")
+	}
+	if _, err := url.Parse(cfg.PrimaryURL); err != nil {
+		return nil, fmt.Errorf("replication: primary URL: %w", err)
+	}
+	if cfg.Target == nil {
+		return nil, errors.New("replication: follower needs a target")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 50 * time.Millisecond
+	}
+	if cfg.FailoverAfter == 0 {
+		cfg.FailoverAfter = 5
+	}
+	if cfg.MaxPull <= 0 {
+		cfg.MaxPull = 256
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Follower{cfg: cfg, m: newFollowerMetrics(cfg.Registry)}, nil
+}
+
+// Run bootstraps from a snapshot, then tails the log until the primary
+// drains (Final) or dies (FailoverAfter consecutive pull failures), promotes
+// the target and returns nil. A ctx cancellation returns ctx.Err(); any
+// other return is a hard replication fault.
+func (f *Follower) Run(ctx context.Context) error {
+	if err := f.bootstrap(ctx); err != nil {
+		return err
+	}
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		page, err := f.pullLog(ctx, f.cfg.Target.LogEnd())
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			failures++
+			f.m.pullErrors.Inc()
+			f.cfg.Logf("replication: pull failed (%d/%d): %v", failures, f.cfg.FailoverAfter, err)
+			if f.cfg.FailoverAfter > 0 && failures >= f.cfg.FailoverAfter {
+				return f.failover()
+			}
+			if !sleepCtx(ctx, f.cfg.PollInterval) {
+				return ctx.Err()
+			}
+			continue
+		}
+		failures = 0
+		if err := f.apply(page); err != nil {
+			var gap *GapError
+			if errors.As(err, &gap) {
+				// The primary's log no longer covers our cursor (it reset, or
+				// we fell off the retained window). Start over from a fresh
+				// snapshot.
+				f.cfg.Logf("replication: %v; re-bootstrapping", err)
+				if err := f.bootstrap(ctx); err != nil {
+					return err
+				}
+				continue
+			}
+			return err
+		}
+		caughtUp := f.cfg.Target.LogEnd() >= page.End
+		if page.Final && caughtUp {
+			// Graceful handoff: the primary drained and we hold every record.
+			f.cfg.Logf("replication: primary drained at seq %d; promoting", page.End)
+			return f.promote()
+		}
+		if caughtUp && len(page.Records) == 0 {
+			if !sleepCtx(ctx, f.cfg.PollInterval) {
+				return ctx.Err()
+			}
+		}
+	}
+}
+
+// bootstrap fetches a snapshot (with retry/backoff) and restores the target
+// from it.
+func (f *Follower) bootstrap(ctx context.Context) error {
+	backoff := f.cfg.PollInterval
+	for attempt := 0; ; attempt++ {
+		snap, err := f.pullSnapshot(ctx)
+		if err == nil {
+			if err := f.cfg.Target.RestoreSnapshot(snap); err != nil {
+				return fmt.Errorf("replication: restore snapshot: %w", err)
+			}
+			f.m.bootstraps.Inc()
+			f.cfg.Logf("replication: bootstrapped from snapshot at cursor %d (%d batches)", snap.Cursor, snap.Batches)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		f.m.pullErrors.Inc()
+		f.cfg.Logf("replication: snapshot pull failed (attempt %d): %v", attempt+1, err)
+		if !sleepCtx(ctx, backoff) {
+			return ctx.Err()
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// apply feeds one log page into the target and publishes lag.
+func (f *Follower) apply(page *api.LogResponse) error {
+	t0 := time.Now()
+	for i := range page.Records {
+		rec := &page.Records[i]
+		if want := f.cfg.Target.LogEnd(); rec.Seq != want {
+			if rec.Seq > want {
+				return &GapError{Want: want, Got: rec.Seq}
+			}
+			continue // duplicate from an overlapping pull; already applied
+		}
+		if err := f.cfg.Target.ApplyRecord(rec); err != nil {
+			return fmt.Errorf("replication: apply seq %d: %w", rec.Seq, err)
+		}
+		f.m.records.Inc()
+	}
+	if len(page.Records) > 0 {
+		f.m.applySeconds.ObserveSince(t0)
+	}
+	lag := int64(page.End) - int64(f.cfg.Target.LogEnd())
+	if lag < 0 {
+		lag = 0
+	}
+	f.m.lagBatches.Set(float64(lag))
+	f.cfg.Target.SetLag(lag, time.Now())
+	return nil
+}
+
+// failover is the probe-failure promotion path: recover the dead primary's
+// durable log tail from shared disk (if configured), then promote.
+func (f *Follower) failover() error {
+	f.cfg.Logf("replication: primary unreachable; failing over")
+	if f.cfg.PrimaryWALDir != "" {
+		if err := f.recoverDiskTail(); err != nil {
+			return fmt.Errorf("replication: recover primary log tail: %w", err)
+		}
+	}
+	return f.promote()
+}
+
+// recoverDiskTail replays records the primary durably logged but never
+// streamed: everything in its on-disk observe log past our cursor. The
+// primary is dead, so opening its log (which truncates any torn tail) is
+// safe.
+func (f *Follower) recoverDiskTail() error {
+	if _, err := os.Stat(f.cfg.PrimaryWALDir); os.IsNotExist(err) {
+		return nil
+	}
+	plog, err := Open(f.cfg.PrimaryWALDir, Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		return err
+	}
+	defer plog.Close()
+	cursor := f.cfg.Target.LogEnd()
+	if plog.End() <= cursor {
+		return nil
+	}
+	if cursor < plog.Start() {
+		return fmt.Errorf("primary log starts at %d, past our cursor %d", plog.Start(), cursor)
+	}
+	n := 0
+	err = plog.Scan(cursor, func(rec *api.LogRecord) bool {
+		if rec.Seq != f.cfg.Target.LogEnd() {
+			return true
+		}
+		if aerr := f.cfg.Target.ApplyRecord(rec); aerr != nil {
+			err = aerr
+			return false
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	f.m.records.Add(int64(n))
+	f.cfg.Logf("replication: recovered %d record(s) from the primary's on-disk log", n)
+	return nil
+}
+
+func (f *Follower) promote() error {
+	if err := f.cfg.Target.Promote(); err != nil {
+		return fmt.Errorf("replication: promote: %w", err)
+	}
+	f.m.promotions.Inc()
+	f.m.lagBatches.Set(0)
+	return nil
+}
+
+// pullSnapshot fetches GET /v1/replication/snapshot.
+func (f *Follower) pullSnapshot(ctx context.Context) (*api.SnapshotResponse, error) {
+	var snap api.SnapshotResponse
+	if err := f.getJSON(ctx, "/v1/replication/snapshot", &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// pullLog fetches one GET /v1/replication/log page after the given cursor.
+func (f *Follower) pullLog(ctx context.Context, after uint64) (*api.LogResponse, error) {
+	t0 := time.Now()
+	var page api.LogResponse
+	path := "/v1/replication/log?after=" + strconv.FormatUint(after, 10) +
+		"&max=" + strconv.Itoa(f.cfg.MaxPull)
+	if err := f.getJSON(ctx, path, &page); err != nil {
+		return nil, err
+	}
+	f.m.pulls.Inc()
+	f.m.pullSeconds.ObserveSince(t0)
+	return &page, nil
+}
+
+// getJSON issues one GET and decodes the response, turning non-2xx replies
+// into *api.Error values.
+func (f *Follower) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.cfg.PrimaryURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var envelope api.Error
+		if json.Unmarshal(body, &envelope) == nil && envelope.Code != "" {
+			return &envelope
+		}
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// GapError reports a log pull whose first new record is past the follower's
+// cursor: records were lost between primary and standby, so the follower
+// must re-bootstrap from a snapshot.
+type GapError struct {
+	Want, Got uint64
+}
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("replication: log gap: want seq %d, primary sent %d", e.Want, e.Got)
+}
+
+// sleepCtx sleeps d or until ctx is done; it reports false on cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

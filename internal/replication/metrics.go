@@ -1,0 +1,50 @@
+package replication
+
+import "chameleon/internal/obs"
+
+// metrics are the observe-log and follower instrumentation. Handles are
+// resolved once at Open/NewFollower; the append path touches only atomics.
+type metrics struct {
+	appends       *obs.Counter   // wal_appends_total
+	appendBytes   *obs.Counter   // wal_append_bytes_total
+	fsyncs        *obs.Counter   // wal_fsyncs_total
+	appendSeconds *obs.Histogram // wal_append_seconds
+	fsyncSeconds  *obs.Histogram // wal_fsync_seconds
+	segments      *obs.Gauge     // wal_segments
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		appends:       r.Counter("wal_appends_total"),
+		appendBytes:   r.Counter("wal_append_bytes_total"),
+		fsyncs:        r.Counter("wal_fsyncs_total"),
+		appendSeconds: r.Histogram("wal_append_seconds"),
+		fsyncSeconds:  r.Histogram("wal_fsync_seconds"),
+		segments:      r.Gauge("wal_segments"),
+	}
+}
+
+// followerMetrics instrument the standby's pull loop.
+type followerMetrics struct {
+	pulls        *obs.Counter   // replication_pulls_total
+	pullErrors   *obs.Counter   // replication_pull_errors_total
+	records      *obs.Counter   // replication_records_applied_total
+	bootstraps   *obs.Counter   // replication_bootstraps_total
+	promotions   *obs.Counter   // replication_promotions_total
+	lagBatches   *obs.Gauge     // replication_lag_batches
+	pullSeconds  *obs.Histogram // replication_pull_seconds
+	applySeconds *obs.Histogram // replication_apply_seconds
+}
+
+func newFollowerMetrics(r *obs.Registry) *followerMetrics {
+	return &followerMetrics{
+		pulls:        r.Counter("replication_pulls_total"),
+		pullErrors:   r.Counter("replication_pull_errors_total"),
+		records:      r.Counter("replication_records_applied_total"),
+		bootstraps:   r.Counter("replication_bootstraps_total"),
+		promotions:   r.Counter("replication_promotions_total"),
+		lagBatches:   r.Gauge("replication_lag_batches"),
+		pullSeconds:  r.Histogram("replication_pull_seconds"),
+		applySeconds: r.Histogram("replication_apply_seconds"),
+	}
+}

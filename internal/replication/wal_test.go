@@ -1,0 +1,336 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"chameleon/internal/api"
+	"chameleon/internal/obs"
+)
+
+func testOptions() Options {
+	return Options{Registry: obs.NewRegistry()}
+}
+
+func openTestLog(t *testing.T, dir string, opt Options) *Log {
+	t.Helper()
+	if opt.Registry == nil {
+		opt.Registry = obs.NewRegistry()
+	}
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l
+}
+
+// testRecord builds a deterministic record; seq is assigned by Append.
+func testRecord(rng *rand.Rand, batch int, user string) *api.LogRecord {
+	n := 1 + rng.Intn(3)
+	rec := &api.LogRecord{User: user, Batch: batch, Domain: rng.Intn(4)}
+	for i := 0; i < n; i++ {
+		lat := make([]float32, 4)
+		for j := range lat {
+			lat[j] = float32(rng.NormFloat64())
+		}
+		rec.Samples = append(rec.Samples, api.LogSample{Latent: lat, Label: rng.Intn(10)})
+	}
+	return rec
+}
+
+func appendN(t *testing.T, l *Log, n int, seed int64) []api.LogRecord {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	base := int(l.End())
+	out := make([]api.LogRecord, 0, n)
+	for i := 0; i < n; i++ {
+		user := ""
+		if i%3 == 1 {
+			user = fmt.Sprintf("u%d", i%5)
+		}
+		rec := testRecord(rng, base+i, user)
+		seq, err := l.Append(rec)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if seq != uint64(base+i) {
+			t.Fatalf("Append assigned seq %d, want %d", seq, base+i)
+		}
+		out = append(out, *rec)
+	}
+	return out
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), testOptions())
+	want := appendN(t, l, 20, 1)
+
+	got, err := l.ReadFrom(0, 100)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if l.End() != 20 || l.Start() != 0 {
+		t.Fatalf("End=%d Start=%d, want 20, 0", l.End(), l.Start())
+	}
+	// Paged reads resume at the cursor.
+	page, err := l.ReadFrom(15, 3)
+	if err != nil {
+		t.Fatalf("ReadFrom(15): %v", err)
+	}
+	if len(page) != 3 || page[0].Seq != 15 || page[2].Seq != 17 {
+		t.Fatalf("page from 15: %+v", page)
+	}
+	if rs, err := l.ReadFrom(20, 10); err != nil || rs != nil {
+		t.Fatalf("ReadFrom(End) = %v, %v; want nil, nil", rs, err)
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, testOptions())
+	first := appendN(t, l, 7, 2)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2 := openTestLog(t, dir, testOptions())
+	if l2.End() != 7 {
+		t.Fatalf("reopened End=%d, want 7", l2.End())
+	}
+	second := appendN(t, l2, 5, 3)
+	got, err := l2.ReadFrom(0, 100)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	want := append(first, second...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopen lost records: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	opt := testOptions()
+	opt.SegmentBytes = 256 // force rotation every couple of records
+	l := openTestLog(t, dir, opt)
+	want := appendN(t, l, 40, 4)
+
+	names, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(names) < 3 {
+		t.Fatalf("expected several segments, got %v", names)
+	}
+	// Scan crosses segment boundaries in order.
+	var got []api.LogRecord
+	if err := l.Scan(0, func(r *api.LogRecord) bool {
+		got = append(got, *r)
+		return true
+	}); err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scan across segments diverged (got %d records, want %d)", len(got), len(want))
+	}
+	// So does a reopen.
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2 := openTestLog(t, dir, testOptions())
+	if l2.End() != 40 {
+		t.Fatalf("End after reopen = %d, want 40", l2.End())
+	}
+	mid, err := l2.ReadFrom(17, 100)
+	if err != nil {
+		t.Fatalf("ReadFrom(17): %v", err)
+	}
+	if !reflect.DeepEqual(mid, want[17:]) {
+		t.Fatalf("ReadFrom(17) mismatch")
+	}
+}
+
+func TestTornTailTruncatesCleanly(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, testOptions())
+	want := appendN(t, l, 10, 5)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Tear the tail at several depths: a few bytes into the last payload,
+	// inside the frame header, and exactly one byte short of complete.
+	seg := onlySegment(t, dir)
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 5, frameHeaderLen - 1, frameHeaderLen + 3} {
+		if err := os.WriteFile(seg, whole[:len(whole)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, testOptions())
+		if err != nil {
+			t.Fatalf("Open after %d-byte tear: %v", cut, err)
+		}
+		if l2.End() != 9 {
+			t.Fatalf("after tear: End=%d, want 9 (last record dropped)", l2.End())
+		}
+		got, err := l2.ReadFrom(0, 100)
+		if err != nil {
+			t.Fatalf("ReadFrom after tear: %v", err)
+		}
+		if !reflect.DeepEqual(got, want[:9]) {
+			t.Fatalf("torn-tail recovery is not the clean 9-record prefix")
+		}
+		// Appending continues at the truncated seq.
+		rec := testRecord(rand.New(rand.NewSource(9)), 9, "")
+		if seq, err := l2.Append(rec); err != nil || seq != 9 {
+			t.Fatalf("append after tear: seq=%d err=%v, want 9, nil", seq, err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMidSegmentCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, testOptions())
+	appendN(t, l, 10, 6)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	seg := onlySegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the FIRST record: a CRC mismatch with data
+	// after it must refuse to open — truncating here would silently drop
+	// nine acknowledged batches and desynchronize every replica.
+	bad := append([]byte(nil), raw...)
+	bad[segHeaderLen+frameHeaderLen+2] ^= 0xFF
+	if err := os.WriteFile(seg, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testOptions()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over mid-segment damage: err=%v, want ErrCorrupt", err)
+	}
+	// Reads hit the same wall (the damage is before the cursor's segment end).
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openTestLog(t, dir, testOptions())
+	if err := os.WriteFile(seg, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.ReadFrom(0, 100); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("ReadFrom over damage: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptionFuzz flips every single byte of a small log, one at a time,
+// and requires Open to either recover a clean prefix of the original records
+// or fail with an error — never panic, never return records that differ from
+// what was appended.
+func TestCorruptionFuzz(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, testOptions())
+	want := appendN(t, l, 6, 7)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := onlySegment(t, dir)
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for pos := 0; pos < len(raw); pos++ {
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0x5A
+		if err := os.WriteFile(seg, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{Registry: obs.NewRegistry()})
+		if err != nil {
+			continue // refused loudly: acceptable for any damage
+		}
+		got, rerr := l2.ReadFrom(0, 100)
+		_ = l2.Close()
+		if rerr != nil {
+			continue
+		}
+		// Whatever survived must be a clean prefix of the truth. (A flipped
+		// byte that still CRC-validates is a ~2^-32 event; the seed is fixed,
+		// so this stays deterministic.)
+		if len(got) > len(want) {
+			t.Fatalf("byte %d: recovered %d records from a %d-record log", pos, len(got), len(want))
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("byte %d: record %d diverged after recovery", pos, i)
+			}
+		}
+	}
+	// Restore the pristine file so Cleanup's Close path is happy.
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetRestartsAtCursor(t *testing.T) {
+	dir := t.TempDir()
+	l := openTestLog(t, dir, testOptions())
+	appendN(t, l, 5, 8)
+	if err := l.Reset(42); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if l.End() != 42 || l.Start() != 42 {
+		t.Fatalf("after Reset: End=%d Start=%d, want 42, 42", l.End(), l.Start())
+	}
+	// The old records are gone; a pre-start cursor is a loud error (the
+	// caller needs a fresh snapshot, not silence).
+	if _, err := l.ReadFrom(3, 10); err == nil {
+		t.Fatal("ReadFrom before Start succeeded; want error")
+	}
+	rec := testRecord(rand.New(rand.NewSource(1)), 42, "")
+	if seq, err := l.Append(rec); err != nil || seq != 42 {
+		t.Fatalf("append after Reset: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestStartSeqOnEmptyDir(t *testing.T) {
+	opt := testOptions()
+	opt.StartSeq = 31
+	l := openTestLog(t, t.TempDir(), opt)
+	if l.End() != 31 || l.Start() != 31 {
+		t.Fatalf("StartSeq: End=%d Start=%d, want 31", l.End(), l.Start())
+	}
+}
+
+func TestUserIDTooLongRejected(t *testing.T) {
+	l := openTestLog(t, t.TempDir(), testOptions())
+	rec := &api.LogRecord{User: string(make([]byte, maxUserLen+1))}
+	if _, err := l.Append(rec); err == nil {
+		t.Fatal("overlong user id accepted")
+	}
+}
+
+// onlySegment returns the single segment file in dir.
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("expected one segment, got %v (%v)", names, err)
+	}
+	return names[0]
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"chameleon/internal/api"
 	"chameleon/internal/cl"
 	"chameleon/internal/fleet"
 	"chameleon/internal/obs"
@@ -20,93 +21,29 @@ import (
 // that for every supported backbone while keeping hostile bodies cheap.
 const maxBodyBytes = 16 << 20
 
-// PredictRequest is the wire form of POST /v1/predict. Exactly one of Latent
-// (a flattened tensor matching the server's latent shape), LatentInt8 (the
-// same tensor quantized to int8 — base64 on the wire — dequantized
-// server-side as float32(q)*Scale) or Image (a flattened [3,R,R] frame; only
-// with a configured backbone) must be set. User selects the per-user learner
-// on a fleet server (required there, rejected on a single-learner server).
-type PredictRequest struct {
-	User       string    `json:"user,omitempty"`
-	Latent     []float32 `json:"latent,omitempty"`
-	LatentInt8 []byte    `json:"latent_int8,omitempty"`
-	Scale      float32   `json:"scale,omitempty"`
-	Image      []float32 `json:"image,omitempty"`
-}
+// The /v1 wire types are declared once in internal/api (shared with the load
+// generator and the replication client); these aliases keep the historical
+// serve.PredictRequest etc. names resolving to the same declarations.
+type (
+	PredictRequest  = api.PredictRequest
+	PredictResponse = api.PredictResponse
+	ObserveSample   = api.ObserveSample
+	ObserveRequest  = api.ObserveRequest
+	ObserveResponse = api.ObserveResponse
+	Stats           = api.Stats
+)
 
-// PredictResponse is the wire form of a classified request.
-type PredictResponse struct {
-	// Class is the predicted class index.
-	Class int `json:"class"`
-}
-
-// ObserveSample is one labelled latent (or image) inside an observe batch.
-// LatentInt8 carries the latent quantized to int8 (base64 on the wire) with
-// its symmetric per-tensor Scale; exactly one of the three payloads is set.
-type ObserveSample struct {
-	Latent     []float32 `json:"latent,omitempty"`
-	LatentInt8 []byte    `json:"latent_int8,omitempty"`
-	Scale      float32   `json:"scale,omitempty"`
-	Image      []float32 `json:"image,omitempty"`
-	Label      int       `json:"label"`
-}
-
-// ObserveRequest is the wire form of POST /v1/observe: one stream mini-batch.
-type ObserveRequest struct {
-	// User selects the per-user learner on a fleet server (required there,
-	// rejected on a single-learner server). Each user's observe stream is
-	// numbered independently.
-	User    string          `json:"user,omitempty"`
-	Samples []ObserveSample `json:"samples"`
-	// Domain tags the batch's acquisition condition (optional).
-	Domain int `json:"domain,omitempty"`
-}
-
-// ObserveResponse acknowledges an applied batch.
-type ObserveResponse struct {
-	// Batch is the stream index the server assigned — the client's position
-	// in the total observe order, usable to resume after a drain.
-	Batch int `json:"batch"`
-	// SamplesTotal is the cumulative sample count after this batch.
-	SamplesTotal int `json:"samples_total"`
-}
-
-// Stats is the wire form of GET /v1/stats. LatentShape and Classes let load
-// generators self-configure without out-of-band knowledge.
-type Stats struct {
-	Method          string  `json:"method"`
-	LatentShape     []int   `json:"latent_shape"`
-	Classes         int     `json:"classes"`
-	AcceptsImages   bool    `json:"accepts_images"`
-	Batches         int     `json:"batches_observed"`
-	Samples         int     `json:"samples_observed"`
-	UptimeSeconds   float64 `json:"uptime_seconds"`
-	PredictRequests int64   `json:"predict_requests"`
-	ObserveRequests int64   `json:"observe_requests"`
-	PredictShed     int64   `json:"predict_shed"`
-	ObserveShed     int64   `json:"observe_shed"`
-	QueuePredict    int     `json:"queue_predict"`
-	QueueObserve    int     `json:"queue_observe"`
-	Draining        bool    `json:"draining"`
-	// Fleet carries the multi-tenant counters when the server fronts a
-	// learner fleet (nil on single-learner servers). Load generators use it
-	// to decide whether to tag requests with user ids.
-	Fleet *fleet.Stats `json:"fleet,omitempty"`
-}
-
-// errorResponse is the JSON error envelope.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-// Handler returns the server's HTTP surface:
+// Handler returns the server's HTTP surface (documented in API.md):
 //
-//	POST /v1/predict   latent or image → class (micro-batched)
-//	POST /v1/observe   labelled mini-batch → online update (serialized)
-//	GET  /v1/stats     serving counters + model facts
-//	GET  /metrics      the obs registry (Prometheus text)
-//	GET  /vars         the obs registry (expvar JSON)
-//	GET  /healthz      liveness
+//	POST /v1/predict               latent or image → class (micro-batched)
+//	POST /v1/observe               labelled mini-batch → online update (serialized)
+//	GET  /v1/stats                 serving counters + model facts + role
+//	GET  /v1/replication/snapshot  learner snapshot anchored to a log cursor
+//	GET  /v1/replication/log       cursor-based observe-log pages
+//	GET  /v1/replication/verify    rebuild from (snapshot, log) and compare
+//	GET  /metrics                  the obs registry (Prometheus text)
+//	GET  /vars                     the obs registry (expvar JSON)
+//	GET  /healthz                  liveness
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) buildMux() *http.ServeMux {
@@ -114,6 +51,9 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("/v1/predict", s.recovered(s.handlePredict))
 	mux.HandleFunc("/v1/observe", s.recovered(s.handleObserve))
 	mux.HandleFunc("/v1/stats", s.recovered(s.handleStats))
+	mux.HandleFunc("/v1/replication/snapshot", s.recovered(s.handleReplSnapshot))
+	mux.HandleFunc("/v1/replication/log", s.recovered(s.handleReplLog))
+	mux.HandleFunc("/v1/replication/verify", s.recovered(s.handleReplVerify))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write([]byte("ok\n"))
@@ -132,7 +72,7 @@ func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
 		defer func() {
 			if p := recover(); p != nil {
 				s.m.panics.Inc()
-				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+				writeError(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("internal error: %v", p))
 			}
 		}()
 		h(w, r)
@@ -145,8 +85,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+// writeError emits the error envelope. Every 429 and 503 carries Retry-After
+// so clients never have to guess whether waiting helps (API.md).
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
+	writeJSON(w, status, api.Error{Code: code, Message: msg})
 }
 
 // decodeBody strictly decodes the JSON body into v (unknown fields and
@@ -244,11 +191,22 @@ func enqueue[T any](s *Server, q chan T, v T) (bool, bool) {
 // shed answers an over-capacity or draining request.
 func (s *Server) shed(w http.ResponseWriter, draining bool) {
 	if draining {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining")
 		return
 	}
-	w.Header().Set("Retry-After", "1")
-	writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+	writeError(w, http.StatusTooManyRequests, api.CodeQueueFull, "queue full, retry later")
+}
+
+// checkReady gates the request path on a standby: until a Follower promotes
+// the server, predict and observe answer 503 not_ready (reads would serve a
+// lagging learner, writes would fork the replicated stream). Reports whether
+// the request may proceed.
+func (s *Server) checkReady(w http.ResponseWriter) bool {
+	if s.ready.Load() {
+		return true
+	}
+	writeError(w, http.StatusServiceUnavailable, api.CodeNotReady, "this server is a warm standby; it is not serving yet")
+	return false
 }
 
 // checkUserField validates the request's user id against the server's mode:
@@ -257,12 +215,12 @@ func (s *Server) shed(w http.ResponseWriter, draining bool) {
 func (s *Server) checkUserField(w http.ResponseWriter, user string) bool {
 	if s.cfg.Fleet != nil && user == "" {
 		s.m.rejected.Inc()
-		writeError(w, http.StatusBadRequest, "bad request: this server hosts a learner fleet; a user id is required")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request: this server hosts a learner fleet; a user id is required")
 		return false
 	}
 	if s.cfg.Fleet == nil && user != "" {
 		s.m.rejected.Inc()
-		writeError(w, http.StatusBadRequest, "bad request: this server hosts a single learner; the user field is not supported")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request: this server hosts a single learner; the user field is not supported")
 		return false
 	}
 	return true
@@ -280,24 +238,27 @@ func (s *Server) writeFleetError(w http.ResponseWriter, err error, shed *obs.Cou
 		s.shed(w, true)
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		s.m.timeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, "request timed out in queue")
+		writeError(w, http.StatusGatewayTimeout, api.CodeTimeout, "request timed out in queue")
 	case errors.Is(err, fleet.ErrTooManyUsers):
 		s.m.rejected.Inc()
-		writeError(w, http.StatusTooManyRequests, err.Error())
+		writeError(w, http.StatusTooManyRequests, api.CodeTooManyUsers, err.Error())
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err.Error())
 	}
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest, "POST only")
+		return
+	}
+	if !s.checkReady(w) {
 		return
 	}
 	var req PredictRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.m.rejected.Inc()
-		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request: "+err.Error())
 		return
 	}
 	if !s.checkUserField(w, req.User) {
@@ -306,7 +267,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	z, err := s.latentFrom(req.Latent, req.LatentInt8, req.Scale, req.Image)
 	if err != nil {
 		s.m.rejected.Inc()
-		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request: "+err.Error())
 		return
 	}
 	t0 := time.Now()
@@ -334,28 +295,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case resp := <-pr.resp:
 		s.m.predictLatency.ObserveSince(t0)
 		if resp.err != nil {
-			writeError(w, http.StatusInternalServerError, resp.err.Error())
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, resp.err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, PredictResponse{Class: resp.class})
 	case <-r.Context().Done():
 		s.m.timeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, "client gave up while queued")
+		writeError(w, http.StatusGatewayTimeout, api.CodeTimeout, "client gave up while queued")
 	case <-time.After(s.cfg.RequestTimeout):
 		s.m.timeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, "request timed out in queue")
+		writeError(w, http.StatusGatewayTimeout, api.CodeTimeout, "request timed out in queue")
 	}
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest, "POST only")
+		return
+	}
+	if !s.checkReady(w) {
 		return
 	}
 	var req ObserveRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		s.m.rejected.Inc()
-		writeError(w, http.StatusBadRequest, "bad request: "+err.Error())
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request: "+err.Error())
 		return
 	}
 	if !s.checkUserField(w, req.User) {
@@ -363,7 +327,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Samples) == 0 || len(req.Samples) > s.cfg.MaxObserveBatch {
 		s.m.rejected.Inc()
-		writeError(w, http.StatusBadRequest,
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest,
 			fmt.Sprintf("bad request: batch must hold 1..%d samples, got %d", s.cfg.MaxObserveBatch, len(req.Samples)))
 		return
 	}
@@ -371,14 +335,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	for i, sm := range req.Samples {
 		if sm.Label < 0 || sm.Label >= s.cfg.Classes {
 			s.m.rejected.Inc()
-			writeError(w, http.StatusBadRequest,
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest,
 				fmt.Sprintf("bad request: sample %d label %d out of range [0,%d)", i, sm.Label, s.cfg.Classes))
 			return
 		}
 		z, err := s.latentFrom(sm.Latent, sm.LatentInt8, sm.Scale, sm.Image)
 		if err != nil {
 			s.m.rejected.Inc()
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: sample %d: %v", i, err))
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("bad request: sample %d: %v", i, err))
 			return
 		}
 		samples[i] = cl.LatentSample{Z: z, Label: sm.Label, Domain: req.Domain}
@@ -410,22 +374,22 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	case resp := <-or.resp:
 		s.m.observeLatency.ObserveSince(t0)
 		if resp.err != nil {
-			writeError(w, http.StatusInternalServerError, resp.err.Error())
+			writeError(w, http.StatusInternalServerError, api.CodeInternal, resp.err.Error())
 			return
 		}
 		writeJSON(w, http.StatusOK, ObserveResponse{Batch: resp.batch, SamplesTotal: resp.samples})
 	case <-r.Context().Done():
 		s.m.timeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, "client gave up while queued")
+		writeError(w, http.StatusGatewayTimeout, api.CodeTimeout, "client gave up while queued")
 	case <-time.After(s.cfg.RequestTimeout):
 		s.m.timeouts.Inc()
-		writeError(w, http.StatusGatewayTimeout, "request timed out in queue")
+		writeError(w, http.StatusGatewayTimeout, api.CodeTimeout, "request timed out in queue")
 	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest, "GET only")
 		return
 	}
 	s.mu.RLock()
@@ -438,6 +402,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		fs = &st
 	} else {
 		method = s.l.Name()
+	}
+	role := api.RolePrimary
+	if !s.ready.Load() {
+		role = api.RoleStandby
+	}
+	var repl *api.ReplicationStats
+	if s.cfg.WAL != nil {
+		repl = &api.ReplicationStats{Cursor: s.cfg.WAL.End()}
+		if role == api.RoleStandby {
+			// Standby: position relative to the primary, as of the last pull.
+			repl.LagBatches = s.replLagBatches.Load()
+			if ns := s.replLastSyncNano.Load(); ns != 0 {
+				repl.LastSyncUnix = float64(ns) / 1e9
+			}
+		} else if ns := s.replLastPullNano.Load(); ns != 0 {
+			// Primary: how far behind the most recent follower pull is.
+			repl.LagBatches = int64(repl.Cursor) - int64(s.replLastPullSeq.Load())
+			repl.LastSyncUnix = float64(ns) / 1e9
+		}
 	}
 	writeJSON(w, http.StatusOK, Stats{
 		Method:          method,
@@ -455,5 +438,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueuePredict:    len(s.predictQ),
 		QueueObserve:    len(s.observeQ),
 		Draining:        draining,
+		Role:            role,
+		Replication:     repl,
 	})
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"chameleon/internal/api"
 	"chameleon/internal/quant"
 )
 
@@ -48,6 +49,15 @@ type LoadOptions struct {
 	// Int8 sends latents in the quantized wire encoding (latent_int8 +
 	// scale, ~4× smaller bodies) instead of fp32 JSON number arrays.
 	Int8 bool
+	// Failover is an optional standby base URL. When set, clients stop
+	// counting transport failures and retryable error codes (queue_full,
+	// draining, not_ready, timeout) as errors: they retry, flipping between
+	// the two servers on connection failure or a draining/not_ready answer.
+	// This is the client half of the warm-standby contract — a rolling
+	// restart under load must complete with zero failed requests
+	// (DESIGN.md §18). Latency percentiles then include retry time, which
+	// is exactly the client-visible cost of a handoff.
+	Failover string
 }
 
 func (o LoadOptions) withDefaults() LoadOptions {
@@ -95,6 +105,8 @@ type LoadReport struct {
 	Requests       int64   `json:"predict_requests"`
 	Shed           int64   `json:"predict_shed"`
 	Errors         int64   `json:"errors"`
+	Retries        int64   `json:"retries,omitempty"`
+	Failovers      int64   `json:"failovers,omitempty"`
 	ObserveBatches int64   `json:"observe_batches"`
 	DurationSec    float64 `json:"duration_sec"`
 	ThroughputRPS  float64 `json:"throughput_rps"`
@@ -106,11 +118,95 @@ type LoadReport struct {
 
 // String renders the report the way cmd/chameleon-loadgen prints it.
 func (r LoadReport) String() string {
-	return fmt.Sprintf(
-		"clients %d  predicts %d (%.0f req/s)  shed %d  errors %d  observes %d\n"+
-			"latency: mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (%.2fs run)",
-		r.Clients, r.Requests, r.ThroughputRPS, r.Shed, r.Errors, r.ObserveBatches,
+	s := fmt.Sprintf(
+		"clients %d  predicts %d (%.0f req/s)  shed %d  errors %d  observes %d",
+		r.Clients, r.Requests, r.ThroughputRPS, r.Shed, r.Errors, r.ObserveBatches)
+	if r.Retries > 0 || r.Failovers > 0 {
+		s += fmt.Sprintf("  retries %d  failovers %d", r.Retries, r.Failovers)
+	}
+	return s + fmt.Sprintf(
+		"\nlatency: mean %.2f ms  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  (%.2fs run)",
 		r.MeanMs, r.P50Ms, r.P95Ms, r.P99Ms, r.DurationSec)
+}
+
+// pool tracks which server the generator is aimed at. Without -failover it
+// holds one URL; with a standby it holds two, and a client that hits a dead
+// or draining server flips the pool so every client follows on its next
+// request. Flips are counted — the report's "failovers".
+type pool struct {
+	mu    sync.Mutex
+	urls  []string
+	cur   int
+	flips int64
+}
+
+func newPool(primary, failover string) *pool {
+	p := &pool{urls: []string{primary}}
+	if failover != "" {
+		p.urls = append(p.urls, failover)
+	}
+	return p
+}
+
+func (p *pool) current() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.urls[p.cur]
+}
+
+// demote flips away from url if it is still the current target. Idempotent
+// under racing clients: the first demotion wins, the rest are no-ops.
+func (p *pool) demote(url string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.urls) < 2 || p.urls[p.cur] != url {
+		return
+	}
+	p.cur = (p.cur + 1) % len(p.urls)
+	p.flips++
+}
+
+func (p *pool) flipCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flips
+}
+
+// sendRetry posts body until it gets a definitive answer: transport errors
+// and retryable error codes (api.Retryable) are retried against whatever
+// server the pool currently points at, flipping targets when the current one
+// is unreachable, draining, or a not-yet-promoted standby. A non-retryable
+// status (bad_request, …) is returned as-is; exhausting the budget returns
+// the last failure as an error.
+func sendRetry(client *http.Client, p *pool, path string, body []byte, budget time.Duration) (status int, retries int64, err error) {
+	deadline := time.Now().Add(budget)
+	for {
+		url := p.current()
+		var code string
+		status, code, err = post(client, url+path, body)
+		switch {
+		case err != nil:
+			// The server is gone (killed primary) or not yet listening:
+			// flip to the standby and retry.
+			p.demote(url)
+		case status == http.StatusOK:
+			return status, retries, nil
+		case api.Retryable(code):
+			if code == api.CodeDraining || code == api.CodeNotReady {
+				p.demote(url)
+			}
+		default:
+			return status, retries, nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("loadgen: retry budget exhausted (last HTTP %d)", status)
+			}
+			return status, retries, err
+		}
+		retries++
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // RunLoad drives a closed-loop load test against a running server at
@@ -122,6 +218,10 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 	client := &http.Client{Timeout: opt.Timeout}
 
 	stats, err := fetchStats(client, baseURL)
+	if err != nil && opt.Failover != "" {
+		// The primary may already be gone; the standby answers stats too.
+		stats, err = fetchStats(client, opt.Failover)
+	}
 	if err != nil {
 		return LoadReport{}, err
 	}
@@ -145,8 +245,10 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 		requests  int64
 		shed      int64
 		errCount  int64
+		retries   int64
 		observes  int64
 	)
+	targets := newPool(baseURL, opt.Failover)
 	deadline := time.Now().Add(opt.Duration)
 	start := time.Now()
 
@@ -157,7 +259,7 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 			rng := rand.New(rand.NewSource(opt.Seed*7919 + int64(c)))
 			users := newUserPicker(rng, opt.Users, opt.ZipfS)
 			lats := make([]float64, 0, 1024)
-			var done, sheds, errs int64
+			var done, sheds, errs, tries int64
 			for {
 				if opt.RequestsPerClient > 0 {
 					if done >= int64(opt.RequestsPerClient) {
@@ -168,7 +270,21 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 				}
 				body := predictBody(rng, latentLen, users.pick(), opt.Int8)
 				t0 := time.Now()
-				status, err := post(client, baseURL+"/v1/predict", body)
+				if opt.Failover != "" {
+					// Failover mode: retry until the request lands somewhere.
+					// Latency then measures what the client actually waited,
+					// handoff included.
+					status, n, err := sendRetry(client, targets, "/v1/predict", body, opt.Timeout)
+					tries += n
+					if err != nil || status != http.StatusOK {
+						errs++
+					} else {
+						lats = append(lats, time.Since(t0).Seconds())
+						done++
+					}
+					continue
+				}
+				status, _, err := post(client, baseURL+"/v1/predict", body)
 				switch {
 				case err != nil:
 					errs++
@@ -189,6 +305,7 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 			requests += done
 			shed += sheds
 			errCount += errs
+			retries += tries
 			mu.Unlock()
 		}(c)
 	}
@@ -199,10 +316,20 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(opt.Seed * 104729))
 			users := newUserPicker(rng, opt.Users, opt.ZipfS)
-			var sent int64
+			var sent, errs, tries int64
 			for i := 0; i < opt.ObserveBatches; i++ {
 				body := observeBody(rng, latentLen, stats.Classes, opt.ObserveBatchSize, users.pick(), opt.Int8)
-				status, err := post(client, baseURL+"/v1/observe", body)
+				if opt.Failover != "" {
+					status, n, err := sendRetry(client, targets, "/v1/observe", body, opt.Timeout)
+					tries += n
+					if err != nil || status != http.StatusOK {
+						errs++
+					} else {
+						sent++
+					}
+					continue
+				}
+				status, _, err := post(client, baseURL+"/v1/observe", body)
 				if err == nil && status == http.StatusOK {
 					sent++
 				} else if status == http.StatusTooManyRequests {
@@ -212,6 +339,8 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 			}
 			mu.Lock()
 			observes += sent
+			errCount += errs
+			retries += tries
 			mu.Unlock()
 		}()
 	}
@@ -225,6 +354,8 @@ func RunLoad(baseURL string, opt LoadOptions) (LoadReport, error) {
 		Requests:       requests,
 		Shed:           shed,
 		Errors:         errCount,
+		Retries:        retries,
+		Failovers:      targets.flipCount(),
 		ObserveBatches: observes,
 		DurationSec:    elapsed,
 	}
@@ -325,13 +456,21 @@ func quantizeWire(lat []float32) ([]byte, float32) {
 }
 
 // post issues one JSON POST and fully drains the response body so the
-// connection is reused.
-func post(client *http.Client, url string, body []byte) (int, error) {
+// connection is reused. On non-200s it decodes the machine-readable error
+// code from the api.Error envelope — the retry logic keys on codes, not on
+// status numbers.
+func post(client *http.Client, url string, body []byte) (int, string, error) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, "", nil
+	}
+	var e api.Error
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e)
 	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
+	return resp.StatusCode, e.Code, nil
 }

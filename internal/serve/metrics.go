@@ -27,6 +27,11 @@ type metrics struct {
 	drainSeconds   *obs.Histogram
 
 	checkpointErrors *obs.Counter
+
+	// Replication-path handles (observe log configured).
+	walOrphans     *obs.Counter   // durably logged but never applied (learner panic)
+	promotions     *obs.Counter   // standby → primary flips
+	handoffSeconds *obs.Histogram // drain-to-follower-caught-up wait
 }
 
 func newMetrics(r *obs.Registry) *metrics {
@@ -44,6 +49,9 @@ func newMetrics(r *obs.Registry) *metrics {
 		observeApply:     r.Histogram("serve_observe_apply_seconds"),
 		drainSeconds:     r.Histogram("serve_drain_seconds"),
 		checkpointErrors: r.Counter("serve_checkpoint_errors_total"),
+		walOrphans:       r.Counter("serve_wal_orphans_total"),
+		promotions:       r.Counter("serve_promotions_total"),
+		handoffSeconds:   r.Histogram("serve_handoff_seconds"),
 	}
 }
 

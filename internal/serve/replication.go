@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"chameleon/internal/api"
+	"chameleon/internal/cl"
+	"chameleon/internal/replication"
+	"chameleon/internal/tensor"
+)
+
+// This file is the serving side of internal/replication (DESIGN.md §18):
+// the /v1/replication endpoints a primary serves, the replication.Target
+// surface a standby's Follower drives, and the log-replay helper both sides
+// (and crash recovery) share.
+
+// publishSnapshot captures the live learner into the snapshot served by
+// /v1/replication/snapshot. Single-writer discipline: call only where the
+// learner is quiescent (the engine goroutine, or New before the engine
+// starts). The first publication also anchors baseSnap, the reconstruction
+// root the verify endpoint replays forward from.
+func (s *Server) publishSnapshot() error {
+	state, err := s.caps.Snapshotter.Snapshot()
+	if err != nil {
+		return err
+	}
+	snap := &api.SnapshotResponse{
+		Method:  s.l.Name(),
+		Batches: int(s.batches.Load()),
+		Samples: int(s.samples.Load()),
+		Cursor:  s.cfg.WAL.End(),
+		Learner: state,
+	}
+	s.replMu.Lock()
+	s.replSnap = snap
+	if s.baseSnap == nil {
+		s.baseSnap = snap
+	}
+	s.replMu.Unlock()
+	return nil
+}
+
+// awaitHandoff blocks (up to HandoffTimeout) until a caught-up standby pull
+// has been answered Final — the follower's promotion trigger. Waiting only
+// for "pulled to the end" is not enough: a follower that was already caught
+// up before the drain has read everything yet seen no Final, and closing the
+// listener then would strand it unpromoted. Skipped entirely when no
+// follower ever pulled.
+func (s *Server) awaitHandoff(ctx context.Context) {
+	if s.replLastPullNano.Load() == 0 {
+		return
+	}
+	t0 := time.Now()
+	end := s.cfg.WAL.End()
+	deadline := time.NewTimer(s.cfg.HandoffTimeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for !(s.replFinalServed.Load() && s.replLastPullSeq.Load() >= end) {
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			s.m.handoffSeconds.ObserveSince(t0)
+			return
+		case <-ctx.Done():
+			return
+		}
+	}
+	s.m.handoffSeconds.ObserveSince(t0)
+}
+
+// engineDrained reports whether the engine goroutine has exited (the drain
+// completed); with the draining flag set this means the log is final.
+func (s *Server) engineDrained() bool {
+	select {
+	case <-s.engineDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- replication.Target (the standby side) ---
+
+// RestoreSnapshot replaces the learner state with a primary snapshot and
+// resets the local observe log to the snapshot's cursor. This is the
+// standby's bootstrap; it also re-anchors the verify reconstruction root.
+func (s *Server) RestoreSnapshot(snap *api.SnapshotResponse) error {
+	if s.cfg.Fleet != nil {
+		return errors.New("serve: a fleet server cannot restore a single-learner snapshot")
+	}
+	if s.cfg.WAL == nil {
+		return errors.New("serve: restoring a snapshot requires an observe log")
+	}
+	if snap.Method != s.l.Name() {
+		return fmt.Errorf("serve: snapshot holds method %q, learner is %q", snap.Method, s.l.Name())
+	}
+	var err error
+	onErr := s.onEngine(context.Background(), func() {
+		if err = s.caps.Snapshotter.Restore(snap.Learner); err != nil {
+			return
+		}
+		if err = s.cfg.WAL.Reset(snap.Cursor); err != nil {
+			return
+		}
+		s.batches.Store(int64(snap.Batches))
+		s.samples.Store(int64(snap.Samples))
+		s.replMu.Lock()
+		s.baseSnap = snap
+		s.replSnap = snap
+		s.replMu.Unlock()
+	})
+	if onErr != nil {
+		return onErr
+	}
+	return err
+}
+
+// ApplyRecord routes one replicated observe batch through the engine: the
+// record is appended to the local log (durably, same as a client observe)
+// and applied in the primary's order. Sequence or batch-index misalignment
+// is an error — the follower re-bootstraps from a fresh snapshot.
+func (s *Server) ApplyRecord(rec *api.LogRecord) error {
+	if s.cfg.Fleet != nil || s.cfg.WAL == nil {
+		return errors.New("serve: ApplyRecord needs a single-learner server with an observe log")
+	}
+	if rec.User != "" {
+		return fmt.Errorf("serve: record seq %d is user-tagged (%q); single-learner servers replicate untagged streams", rec.Seq, rec.User)
+	}
+	samples, err := samplesFromRecord(rec, s.cfg.LatentShape)
+	if err != nil {
+		return err
+	}
+	or := &observeReq{samples: samples, domain: rec.Domain, rec: rec, resp: make(chan observeResp, 1)}
+	if ok, draining := enqueue(s, s.observeQ, or); !ok {
+		if draining {
+			return errors.New("serve: draining")
+		}
+		return errors.New("serve: observe queue full")
+	}
+	resp := <-or.resp
+	return resp.err
+}
+
+// LogEnd returns the local observe log's exclusive end.
+func (s *Server) LogEnd() uint64 { return s.cfg.WAL.End() }
+
+// SetLag publishes the standby's replication position for /v1/stats.
+func (s *Server) SetLag(lagBatches int64, lastSync time.Time) {
+	s.replLagBatches.Store(lagBatches)
+	s.replLastSyncNano.Store(lastSync.UnixNano())
+}
+
+// Promote flips a standby into the serving role: /v1/predict and /v1/observe
+// stop answering not_ready. Idempotent.
+func (s *Server) Promote() error {
+	if s.ready.CompareAndSwap(false, true) {
+		s.m.promotions.Inc()
+	}
+	return nil
+}
+
+// Ready reports whether the server accepts predict/observe traffic (false
+// only on a not-yet-promoted standby).
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// samplesFromRecord materialises a log record's samples for the learner.
+func samplesFromRecord(rec *api.LogRecord, shape []int) ([]cl.LatentSample, error) {
+	want := 1
+	for _, d := range shape {
+		want *= d
+	}
+	samples := make([]cl.LatentSample, len(rec.Samples))
+	for i, sm := range rec.Samples {
+		if len(sm.Latent) != want {
+			return nil, fmt.Errorf("serve: record seq %d sample %d has %d elements, want %d (shape %v)",
+				rec.Seq, i, len(sm.Latent), want, shape)
+		}
+		samples[i] = cl.LatentSample{Z: tensor.FromSlice(sm.Latent, shape...), Label: sm.Label, Domain: rec.Domain}
+	}
+	return samples, nil
+}
+
+// ReplayLog feeds every untagged log record with sequence number in [from,
+// to) into l in order (to == 0 means the whole log) and returns how many
+// batches and samples it applied. This is the recovery primitive: crash
+// recovery replays the tail a checkpoint missed, and the verify endpoint
+// rebuilds a learner from (snapshot, log suffix). The caller must own l
+// exclusively.
+func ReplayLog(l cl.Learner, wlog *replication.Log, from, to uint64, shape []int) (batches, samples int, err error) {
+	if to == 0 {
+		to = wlog.End()
+	}
+	var applyErr error
+	err = wlog.Scan(from, func(rec *api.LogRecord) bool {
+		if rec.Seq >= to {
+			return false
+		}
+		if rec.User != "" {
+			applyErr = fmt.Errorf("serve: log record seq %d is user-tagged; single-learner replay cannot apply it", rec.Seq)
+			return false
+		}
+		ss, serr := samplesFromRecord(rec, shape)
+		if serr != nil {
+			applyErr = serr
+			return false
+		}
+		l.Observe(cl.LatentBatch{Samples: ss, Index: rec.Batch, Domain: rec.Domain})
+		batches++
+		samples += len(ss)
+		return true
+	})
+	if err == nil {
+		err = applyErr
+	}
+	return batches, samples, err
+}
+
+// --- HTTP handlers (the primary side) ---
+
+// handleReplSnapshot serves the cached learner snapshot a standby bootstraps
+// from. The cache is refreshed every CheckpointEvery batches; a stale cache
+// only means the standby replays a longer log suffix.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest, "GET only")
+		return
+	}
+	if s.cfg.Fleet != nil || s.cfg.WAL == nil {
+		writeError(w, http.StatusNotFound, api.CodeBadRequest, "replication is not enabled on this server")
+		return
+	}
+	s.replMu.Lock()
+	snap := s.replSnap
+	s.replMu.Unlock()
+	if snap == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, api.CodeNotReady, "no snapshot published yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleReplLog serves one cursor-based page of the observe log:
+// GET /v1/replication/log?after=<seq>&max=<n>.
+func (s *Server) handleReplLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest, "GET only")
+		return
+	}
+	if s.cfg.WAL == nil {
+		writeError(w, http.StatusNotFound, api.CodeBadRequest, "replication is not enabled on this server")
+		return
+	}
+	q := r.URL.Query()
+	after, err := strconv.ParseUint(q.Get("after"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request: after must be a log sequence number")
+		return
+	}
+	max := 256
+	if v := q.Get("max"); v != "" {
+		max, err = strconv.Atoi(v)
+		if err != nil || max <= 0 || max > 4096 {
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request: max must be in 1..4096")
+			return
+		}
+	}
+	recs, err := s.cfg.WAL.ReadFrom(after, max)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request: "+err.Error())
+		return
+	}
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	resp := api.LogResponse{
+		Records: recs,
+		Next:    after,
+		End:     s.cfg.WAL.End(),
+		Final:   draining && s.engineDrained(),
+	}
+	if len(recs) > 0 {
+		resp.Next = recs[len(recs)-1].Seq + 1
+	}
+	// Handoff bookkeeping: remember how far the follower has read — and
+	// whether it has been told Final while caught up (its promotion trigger)
+	// — so a graceful shutdown keeps the endpoint alive exactly long enough.
+	s.replLastPullSeq.Store(resp.Next)
+	s.replLastPullNano.Store(time.Now().UnixNano())
+	if resp.Final && resp.Next >= resp.End {
+		s.replFinalServed.Store(true)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReplVerify rebuilds a learner from (base snapshot, local log) and
+// compares it against the live learner: GET /v1/replication/verify. This is
+// the durability proof the failover smoke asserts on the survivor.
+func (s *Server) handleReplVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, api.CodeBadRequest, "GET only")
+		return
+	}
+	if s.cfg.Fleet != nil || s.cfg.WAL == nil {
+		writeError(w, http.StatusNotFound, api.CodeBadRequest, "replication is not enabled on this server")
+		return
+	}
+	if s.cfg.NewLearner == nil || s.cfg.SnapshotsEqual == nil {
+		writeError(w, http.StatusNotFound, api.CodeBadRequest, "verify is not supported for this method (no fresh-learner factory or snapshot comparator)")
+		return
+	}
+	// Capture a consistent (live snapshot, cursor) pair on the engine so no
+	// observe lands between the two reads.
+	var liveSnap []byte
+	var liveBatches int
+	var cursor uint64
+	var snapErr error
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	if err := s.onEngine(ctx, func() {
+		liveSnap, snapErr = s.caps.Snapshotter.Snapshot()
+		liveBatches = int(s.batches.Load())
+		cursor = s.cfg.WAL.End()
+	}); err != nil {
+		writeError(w, http.StatusGatewayTimeout, api.CodeTimeout, "engine busy: "+err.Error())
+		return
+	}
+	if snapErr != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, snapErr.Error())
+		return
+	}
+	s.replMu.Lock()
+	base := s.baseSnap
+	s.replMu.Unlock()
+	if base == nil {
+		writeError(w, http.StatusServiceUnavailable, api.CodeNotReady, "no base snapshot yet")
+		return
+	}
+	fresh, err := s.cfg.NewLearner()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "fresh learner: "+err.Error())
+		return
+	}
+	freshCaps := cl.Caps(fresh)
+	if freshCaps.Snapshotter == nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "fresh learner does not snapshot")
+		return
+	}
+	if err := freshCaps.Snapshotter.Restore(base.Learner); err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "restore base snapshot: "+err.Error())
+		return
+	}
+	replayed, _, err := ReplayLog(fresh, s.cfg.WAL, base.Cursor, cursor, s.cfg.LatentShape)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "replay log: "+err.Error())
+		return
+	}
+	reconSnap, err := freshCaps.Snapshotter.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "snapshot reconstruction: "+err.Error())
+		return
+	}
+	eq, err := s.cfg.SnapshotsEqual(liveSnap, reconSnap)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, "compare snapshots: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, api.VerifyResponse{
+		Equal:    eq,
+		Batches:  liveBatches,
+		Cursor:   cursor,
+		Replayed: replayed,
+	})
+}

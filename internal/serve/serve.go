@@ -37,11 +37,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chameleon/internal/api"
 	"chameleon/internal/checkpoint"
 	"chameleon/internal/cl"
 	"chameleon/internal/fleet"
 	"chameleon/internal/mobilenet"
 	"chameleon/internal/obs"
+	"chameleon/internal/replication"
 	"chameleon/internal/tensor"
 )
 
@@ -88,6 +90,33 @@ type Config struct {
 	// learner was restored from a drain checkpoint (see Resume).
 	StartBatches int
 	StartSamples int
+	// WAL, when non-nil, is the durable observe log: every accepted observe
+	// batch is appended (and thus made durable) before the engine applies it,
+	// and the /v1/replication endpoints are served from it (DESIGN.md §18).
+	// On a single-learner server the log's sequence numbers coincide with the
+	// batch stream indices, so New requires WAL.End() == StartBatches — replay
+	// the log tail into the learner first (ReplayLog) if a crash left the log
+	// ahead of the checkpoint.
+	WAL *replication.Log
+	// Standby starts the server in 503-read-only mode: /v1/predict and
+	// /v1/observe answer not_ready until Promote is called (normally by a
+	// replication.Follower that has caught up). Requires WAL; incompatible
+	// with Fleet.
+	Standby bool
+	// NewLearner constructs a fresh learner identical to the one New was
+	// given before any observes (same method, same seed). Required by the
+	// /v1/replication/verify endpoint, which rebuilds state from (base
+	// snapshot, log suffix) and compares it against the live learner.
+	NewLearner func() (cl.Learner, error)
+	// SnapshotsEqual compares two learner snapshots for state equality
+	// (core.SnapshotsEqual for the chameleon method). Required by
+	// /v1/replication/verify.
+	SnapshotsEqual func(a, b []byte) (bool, error)
+	// HandoffTimeout bounds how long Shutdown waits, after draining, for a
+	// warm standby to pull the rest of the observe log before the listener
+	// closes (default 10s; only with WAL, and only if a follower has ever
+	// pulled).
+	HandoffTimeout time.Duration
 	// Fleet, when non-nil, switches the server into multi-tenant mode: the
 	// learner argument to New must be nil, every /v1/predict and /v1/observe
 	// must carry a user id, and requests are routed to the fleet's per-user
@@ -121,6 +150,9 @@ func (c Config) withDefaults() Config {
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 100
 	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = 10 * time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = obs.Default()
 	}
@@ -143,7 +175,11 @@ type predictResp struct {
 type observeReq struct {
 	samples []cl.LatentSample
 	domain  int
-	resp    chan observeResp // buffered (cap 1)
+	// rec, when non-nil, marks a replicated record (ApplyRecord): it already
+	// carries its primary-assigned sequence number and batch index, which the
+	// engine verifies instead of assigning.
+	rec  *api.LogRecord
+	resp chan observeResp // buffered (cap 1)
 }
 
 type observeResp struct {
@@ -162,6 +198,13 @@ type Server struct {
 
 	predictQ chan *predictReq
 	observeQ chan *observeReq
+	// ctrlQ carries control closures (snapshot capture, restore) onto the
+	// engine goroutine; unbuffered, so a successful send guarantees the
+	// engine runs the closure to completion.
+	ctrlQ chan func()
+	// postDrainMu serializes control closures once the engine has exited
+	// (the handoff window keeps replication endpoints alive after drain).
+	postDrainMu sync.Mutex
 
 	// mu guards the draining flag against handler enqueues: handlers hold
 	// the read side across the check-then-enqueue window, Shutdown takes the
@@ -178,6 +221,30 @@ type Server struct {
 	batches atomic.Int64
 	samples atomic.Int64
 	start   time.Time
+
+	// ready gates /v1/predict and /v1/observe: false on a standby until
+	// Promote. Servers without Config.Standby start ready.
+	ready atomic.Bool
+
+	// replMu guards the replication snapshots. baseSnap anchors the local
+	// log: restoring it and replaying records from baseSnap.Cursor rebuilds
+	// live state (the verify endpoint's contract). replSnap is the cached
+	// snapshot the /v1/replication/snapshot endpoint serves, refreshed every
+	// CheckpointEvery batches.
+	replMu   sync.Mutex
+	baseSnap *api.SnapshotResponse
+	replSnap *api.SnapshotResponse
+
+	// Follower-pull bookkeeping on a primary: the cursor and time of the last
+	// served /v1/replication/log pull (handoff waits on these), whether a
+	// caught-up pull has been answered Final (the follower's promotion
+	// trigger — handoff is only complete once one was served), and the
+	// standby-side lag published via SetLag.
+	replLastPullSeq  atomic.Uint64
+	replLastPullNano atomic.Int64
+	replFinalServed  atomic.Bool
+	replLagBatches   atomic.Int64
+	replLastSyncNano atomic.Int64
 
 	mux  *http.ServeMux
 	ln   net.Listener
@@ -213,12 +280,21 @@ func New(l cl.Learner, cfg Config) (*Server, error) {
 	} else if l == nil {
 		return nil, errors.New("serve: a learner is required outside fleet mode")
 	}
+	if cfg.Standby {
+		if cfg.WAL == nil {
+			return nil, errors.New("serve: standby mode requires an observe log (Config.WAL)")
+		}
+		if cfg.Fleet != nil {
+			return nil, errors.New("serve: standby mode replicates a single learner; it is incompatible with fleet mode")
+		}
+	}
 	s := &Server{
 		cfg:        cfg,
 		l:          l,
 		m:          newMetrics(cfg.Registry),
 		predictQ:   make(chan *predictReq, cfg.QueueDepth),
 		observeQ:   make(chan *observeReq, cfg.QueueDepth),
+		ctrlQ:      make(chan func()),
 		stopCh:     make(chan struct{}),
 		engineDone: make(chan struct{}),
 		start:      time.Now(),
@@ -229,8 +305,27 @@ func New(l cl.Learner, cfg Config) (*Server, error) {
 	if cfg.CheckpointPath != "" && s.caps.Snapshotter == nil {
 		return nil, fmt.Errorf("serve: method %q does not support checkpointing", l.Name())
 	}
+	if cfg.WAL != nil && cfg.Fleet == nil {
+		if s.caps.Snapshotter == nil {
+			return nil, fmt.Errorf("serve: method %q does not support snapshots; an observe log needs them for replication", l.Name())
+		}
+		if !cfg.Standby && cfg.WAL.End() != uint64(cfg.StartBatches) {
+			return nil, fmt.Errorf("serve: observe log ends at seq %d but the start position is batch %d; replay the log tail (ReplayLog) or reset the log first",
+				cfg.WAL.End(), cfg.StartBatches)
+		}
+	}
+	s.ready.Store(!cfg.Standby)
 	s.batches.Store(int64(cfg.StartBatches))
 	s.samples.Store(int64(cfg.StartSamples))
+	if cfg.WAL != nil && cfg.Fleet == nil && !cfg.Standby {
+		// Anchor the log: the initial snapshot is what verify (and a
+		// bootstrapping standby, until the first periodic refresh) replays
+		// forward from. The engine is not running yet, so touching the
+		// learner here is safe.
+		if err := s.publishSnapshot(); err != nil {
+			return nil, fmt.Errorf("serve: initial replication snapshot: %w", err)
+		}
+	}
 	s.m.bindQueues(s)
 	s.mux = s.buildMux()
 	if cfg.Fleet != nil {
@@ -275,7 +370,29 @@ func (s *Server) engine() {
 			s.doObserve(r)
 		case r := <-s.predictQ:
 			s.doPredictBatch(r, true)
+		case fn := <-s.ctrlQ:
+			fn()
 		}
+	}
+}
+
+// onEngine runs fn on the engine goroutine (single-writer discipline: fn may
+// touch the learner). Once the engine has drained and exited, fn runs on the
+// caller under postDrainMu instead — nothing else touches the learner then,
+// and the handoff window still needs snapshot capture.
+func (s *Server) onEngine(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	select {
+	case s.ctrlQ <- func() { fn(); close(done) }:
+		<-done
+		return nil
+	case <-s.engineDone:
+		s.postDrainMu.Lock()
+		defer s.postDrainMu.Unlock()
+		fn()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -334,24 +451,71 @@ func (s *Server) safePredict(zs []*tensor.Tensor, out []int) (err error) {
 }
 
 // doObserve feeds one batch to the learner, assigning the next stream index.
+// With an observe log the record is appended — made durable — before the
+// learner applies it (DESIGN.md §18); on the replica path (r.rec set) the
+// primary-assigned sequence and batch index are verified instead of assigned.
 func (s *Server) doObserve(r *observeReq) {
 	idx := int(s.batches.Load())
+	if r.rec != nil && r.rec.Batch != idx {
+		r.resp <- observeResp{err: fmt.Errorf("serve: replicated record is batch %d, engine is at %d", r.rec.Batch, idx)}
+		return
+	}
+	if s.cfg.WAL != nil {
+		rec := r.rec
+		if rec == nil {
+			rec = logRecordFrom(r.samples, idx, r.domain)
+		} else if want := s.cfg.WAL.End(); rec.Seq != want {
+			r.resp <- observeResp{err: fmt.Errorf("serve: replicated record has seq %d, local log expects %d", rec.Seq, want)}
+			return
+		}
+		if _, err := s.cfg.WAL.Append(rec); err != nil {
+			r.resp <- observeResp{err: fmt.Errorf("serve: observe log append: %w", err)}
+			return
+		}
+	}
 	err := s.safeObserve(cl.LatentBatch{Samples: r.samples, Index: idx, Domain: r.domain})
 	if err != nil {
+		// With a WAL the record is already durable but was never applied: the
+		// log is now one record ahead of live state. Learner panics are the
+		// only path here; count the orphan so operators can see the skew
+		// (replay treats the log as truth — DESIGN.md §18).
+		if s.cfg.WAL != nil {
+			s.m.walOrphans.Inc()
+		}
 		r.resp <- observeResp{err: err}
 		return
 	}
 	b := s.batches.Add(1)
 	n := s.samples.Add(int64(len(r.samples)))
-	if s.cfg.CheckpointPath != "" && b%int64(s.cfg.CheckpointEvery) == 0 {
-		// Periodic crash protection; drain still writes the authoritative
-		// final snapshot. Failures surface in the error counter, not to the
-		// client whose observe already succeeded.
-		if err := s.saveState(); err != nil {
-			s.m.checkpointErrors.Inc()
+	if b%int64(s.cfg.CheckpointEvery) == 0 {
+		if s.cfg.CheckpointPath != "" {
+			// Periodic crash protection; drain still writes the authoritative
+			// final snapshot. Failures surface in the error counter, not to
+			// the client whose observe already succeeded.
+			if err := s.saveState(); err != nil {
+				s.m.checkpointErrors.Inc()
+			}
+		}
+		if s.cfg.WAL != nil && s.cfg.Fleet == nil {
+			// Refresh the snapshot the replication endpoint serves, so a
+			// bootstrapping standby replays at most CheckpointEvery batches.
+			if err := s.publishSnapshot(); err != nil {
+				s.m.checkpointErrors.Inc()
+			}
 		}
 	}
 	r.resp <- observeResp{batch: idx, samples: int(n)}
+}
+
+// logRecordFrom builds the durable log form of one observe batch. Latents are
+// always logged fp32 — quantized wire payloads were dequantized at the
+// handler boundary — so replay feeds the learner byte-identical inputs.
+func logRecordFrom(samples []cl.LatentSample, idx, domain int) *api.LogRecord {
+	rec := &api.LogRecord{Batch: idx, Domain: domain, Samples: make([]api.LogSample, len(samples))}
+	for i, sm := range samples {
+		rec.Samples[i] = api.LogSample{Latent: sm.Z.Data(), Label: sm.Label}
+	}
+	return rec
 }
 
 // safeObserve converts a learner panic into an error.
@@ -405,6 +569,10 @@ type State struct {
 	// Batches and Samples are the stream position at save time.
 	Batches int
 	Samples int
+	// Cursor is the observe-log position the snapshot is consistent with (the
+	// next sequence number at save time; equal to Batches on single-learner
+	// servers). Zero-valued in checkpoints written before the log existed.
+	Cursor uint64
 	// Learner is the method's cl.Snapshotter payload.
 	Learner []byte
 }
@@ -421,6 +589,10 @@ func (s *Server) saveState() error {
 		Batches: int(s.batches.Load()),
 		Samples: int(s.samples.Load()),
 		Learner: state,
+	}
+	st.Cursor = uint64(st.Batches)
+	if s.cfg.WAL != nil {
+		st.Cursor = s.cfg.WAL.End()
 	}
 	return checkpoint.Save(s.cfg.CheckpointPath, stateKind, st)
 }
@@ -470,6 +642,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-s.engineDone:
 	case <-ctx.Done():
 		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+	if s.cfg.WAL != nil {
+		// Flush the log tail so a post-mortem reader (or a failing-over
+		// standby on shared disk) sees every drained record.
+		if err := s.cfg.WAL.Sync(); err != nil {
+			s.m.checkpointErrors.Inc()
+		}
+		// Graceful handoff: if a standby has been tailing this server, keep
+		// the replication endpoints alive until it has pulled the whole log
+		// (the log handler now reports Final, telling it to promote).
+		s.awaitHandoff(ctx)
 	}
 	if s.cfg.Fleet != nil {
 		// Fleet mode: drain every shard and demote all resident learners to

@@ -60,9 +60,9 @@ go run ./cmd/benchjson -quick -check -out "$gatedir/bench-gate.json"
 # series by series. Absolute ns/op in checked-in files comes from different
 # runs on possibly different machines, so this warns instead of failing —
 # `make bench-diff` is the hard-mode variant for same-machine comparisons.
-if [ -f BENCH_pr8.json ] && [ -f BENCH_pr9.json ]; then
-	echo '>> go run ./cmd/benchdiff BENCH_pr8.json BENCH_pr9.json (cross-PR drift, informational)'
-	go run ./cmd/benchdiff -warn-only BENCH_pr8.json BENCH_pr9.json
+if [ -f BENCH_pr9.json ] && [ -f BENCH_pr10.json ]; then
+	echo '>> go run ./cmd/benchdiff BENCH_pr9.json BENCH_pr10.json (cross-PR drift, informational)'
+	go run ./cmd/benchdiff -warn-only BENCH_pr9.json BENCH_pr10.json
 fi
 # Serving smoke gate: the real chameleon-serve binary (synthetic backbone,
 # int8 replay stores) answers the load generator end to end — one fp32-wire
@@ -141,4 +141,77 @@ if [ "$drained" -lt 1 ]; then
 	exit 1
 fi
 echo "fleet smoke: drained $drained user checkpoint(s)"
+# Failover smoke gate: warm-standby replication end to end with real binaries
+# (DESIGN.md §18). A primary logs every observe to its WAL; a standby
+# bootstraps from its snapshot and tails the log; the load generator drives
+# traffic with -failover while the primary is SIGKILLed mid-run. The gate:
+# the run finishes with zero failed requests and at least one failover, the
+# standby promotes itself to primary, and the survivor's (snapshot, log)
+# reconstruction is bit-identical to its live learner
+# (/v1/replication/verify).
+echo '>> failover smoke: primary + warm standby under load, SIGKILL the primary, zero failed requests'
+"$smokedir/chameleon-serve" -dataset synthetic -method chameleon \
+	-addr 127.0.0.1:18425 -wal-dir "$smokedir/wal-primary" \
+	>"$smokedir/primary.log" 2>&1 &
+primary_pid=$!
+trap 'kill "$serve_pid" "$fleet_pid" "$primary_pid" "$standby_pid" 2>/dev/null || true; rm -rf "$smokedir" "$gatedir"' EXIT
+for i in $(seq 1 100); do
+	if curl -fsS http://127.0.0.1:18425/healthz >/dev/null 2>&1; then break; fi
+	if ! kill -0 "$primary_pid" 2>/dev/null; then
+		echo 'failover smoke: primary died during startup' >&2
+		cat "$smokedir/primary.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+"$smokedir/chameleon-serve" -dataset synthetic -method chameleon \
+	-addr 127.0.0.1:18426 -wal-dir "$smokedir/wal-standby" \
+	-standby http://127.0.0.1:18425 -primary-wal "$smokedir/wal-primary" \
+	-failover-after 3 -replication-poll 20ms \
+	>"$smokedir/standby.log" 2>&1 &
+standby_pid=$!
+for i in $(seq 1 100); do
+	if curl -fsS http://127.0.0.1:18426/healthz >/dev/null 2>&1; then break; fi
+	if ! kill -0 "$standby_pid" 2>/dev/null; then
+		echo 'failover smoke: standby died during startup' >&2
+		cat "$smokedir/standby.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+"$smokedir/chameleon-loadgen" -url http://127.0.0.1:18425 \
+	-failover http://127.0.0.1:18426 \
+	-clients 8 -duration 4s -observe 20 -observe-batch 4 -json \
+	>"$smokedir/failover-load.json" &
+load_pid=$!
+sleep 1.5
+kill -KILL "$primary_pid"
+wait "$load_pid" || {
+	echo 'failover smoke: loadgen exited non-zero' >&2
+	cat "$smokedir/failover-load.json" >&2
+	exit 1
+}
+grep -q '"errors": 0' "$smokedir/failover-load.json" || {
+	echo 'failover smoke: requests failed across the SIGKILL (the zero-failed-requests contract)' >&2
+	cat "$smokedir/failover-load.json" >&2
+	exit 1
+}
+grep -q '"failovers": [1-9]' "$smokedir/failover-load.json" || {
+	echo 'failover smoke: the load generator never flipped to the standby' >&2
+	cat "$smokedir/failover-load.json" >&2
+	exit 1
+}
+curl -fsS http://127.0.0.1:18426/v1/stats | grep -q '"role":"primary"' || {
+	echo 'failover smoke: the standby never promoted itself' >&2
+	cat "$smokedir/standby.log" >&2
+	exit 1
+}
+curl -fsS http://127.0.0.1:18426/v1/replication/verify | grep -q '"equal":true' || {
+	echo 'failover smoke: the survivor failed snapshot+log reconstruction (SnapshotsEqual)' >&2
+	curl -fsS http://127.0.0.1:18426/v1/replication/verify >&2 || true
+	exit 1
+}
+kill -TERM "$standby_pid"
+wait "$standby_pid" || { echo 'failover smoke: survivor non-zero exit on SIGTERM' >&2; cat "$smokedir/standby.log" >&2; exit 1; }
+echo 'failover smoke: zero failed requests across a SIGKILL, survivor verified bit-identical'
 echo 'check.sh: all green'
